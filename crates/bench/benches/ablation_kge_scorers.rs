@@ -1,0 +1,48 @@
+//! Ablation: KGE scoring functions for fault chain tracing.
+//!
+//! The paper's FCT model is GTransE (TransE + confidence-weighted margin).
+//! Its substrate NeuralKG ships many scorers; this ablation swaps the
+//! scorer while keeping the confidence weighting, comparing TransE, TransH,
+//! DistMult and RotatE from the same KTeleBERT-IMTL initialization.
+
+use tele_bench::report::{dump_json, Table};
+use tele_bench::zoo::Zoo;
+use tele_datagen::Scale;
+use tele_tasks::fct::KgeScorer;
+use tele_tasks::{run_fct, service_embeddings, FctTaskConfig, RankMetrics};
+
+fn main() {
+    let zoo = Zoo::load_or_train(Scale::from_env(), 17);
+    let init = service_embeddings(
+        &zoo.kimtl,
+        Some(&zoo.suite.built_kg.kg),
+        &zoo.suite.fct.node_names,
+        ktelebert::ServiceFormat::OnlyName,
+    );
+
+    let mut table = Table::new(
+        "Ablation: KGE scorer under confidence-weighted margin loss (FCT)",
+        &["Scorer", "MRR", "Hits@1", "Hits@3", "Hits@10"],
+    );
+    let mut dump = Vec::new();
+    for scorer in [KgeScorer::TransE, KgeScorer::TransH, KgeScorer::DistMult, KgeScorer::Rotate] {
+        let per_seed: Vec<RankMetrics> = (0..3u64)
+            .map(|seed| {
+                let cfg = FctTaskConfig { scorer, seed, ..Default::default() };
+                run_fct(&zoo.suite.fct, &init, &cfg).test
+            })
+            .collect();
+        let m = RankMetrics::mean(&per_seed);
+        eprintln!("[kge-scorer] {scorer:?}: MRR {:.2}", m.mrr);
+        table.row(vec![
+            format!("{scorer:?}"),
+            format!("{:.1}", m.mrr),
+            format!("{:.1}", m.hits1),
+            format!("{:.1}", m.hits3),
+            format!("{:.1}", m.hits10),
+        ]);
+        dump.push((format!("{scorer:?}"), m));
+    }
+    table.print();
+    dump_json("ablation_kge_scorers.json", &dump);
+}

@@ -1,0 +1,51 @@
+//! Ablation: the three service-delivery formats of Sec. V-A3.
+//!
+//! "only name" vs. "Entity mapping w/o Attr." vs. "Entity mapping w/ Attr."
+//! — compared on root-cause analysis with the zoo's best KTeleBERT. The
+//! with-attributes format carries the KG's numeric expert scores through
+//! ANEnc, so it should win, with the gap vanishing for the w/o-ANEnc model.
+
+use tele_bench::report::{dump_json, Table};
+use tele_bench::zoo::Zoo;
+use tele_datagen::Scale;
+use tele_tasks::{run_rca, service_embeddings, RcaTaskConfig};
+
+fn main() {
+    let zoo = Zoo::load_or_train(Scale::from_env(), 17);
+    let names: Vec<String> = (0..zoo.suite.world.num_events())
+        .map(|e| zoo.suite.world.event_name(e).to_string())
+        .collect();
+    let kg = &zoo.suite.built_kg.kg;
+
+    use ktelebert::ServiceFormat::*;
+    let formats = [("only name", OnlyName), ("entity w/o attr", EntityNoAttr), ("entity w/ attr", EntityWithAttr)];
+    let models = [("KTeleBERT-STL", &zoo.kstl), ("w/o ANEnc", &zoo.kstl_wo_anenc)];
+
+    let mut table = Table::new(
+        "Ablation: service delivery format (Sec. V-A3) on RCA",
+        &["Model", "Format", "MR ↓", "Hits@1", "Hits@3"],
+    );
+    let mut dump = Vec::new();
+    for (mname, model) in models {
+        for (fname, format) in formats {
+            let mut per_seed = Vec::new();
+            for seed in 0..3u64 {
+                let emb = service_embeddings(model, Some(kg), &names, format);
+                let cfg = RcaTaskConfig { seed, ..Default::default() };
+                per_seed.push(run_rca(&zoo.suite.rca, &emb, &cfg).mean);
+            }
+            let m = tele_tasks::RankMetrics::mean(&per_seed);
+            eprintln!("[svc-format] {mname} / {fname}: Hits@1 {:.2}", m.hits1);
+            table.row(vec![
+                mname.to_string(),
+                fname.to_string(),
+                format!("{:.2}", m.mr),
+                format!("{:.2}", m.hits1),
+                format!("{:.2}", m.hits3),
+            ]);
+            dump.push((mname, fname, m));
+        }
+    }
+    table.print();
+    dump_json("ablation_service_format.json", &dump);
+}

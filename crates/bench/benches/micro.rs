@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the substrates: tensor kernels, the
+//! autograd tape, tokenization, KG queries and ANEnc encoding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ktelebert::{Anenc, AnencConfig};
+use tele_datagen::{corpus, TeleWorld, WorldConfig};
+use tele_kg::TeleKg;
+use tele_tensor::{ParamStore, Tape, Tensor};
+use tele_tokenizer::{TeleTokenizer, TokenizerConfig};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::rand_uniform([128, 128], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([128, 128], -1.0, 1.0, &mut rng);
+    c.bench_function("tensor/matmul_128x128", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+    let a3 = Tensor::rand_uniform([8, 48, 64], -1.0, 1.0, &mut rng);
+    let b3 = Tensor::rand_uniform([64, 64], -1.0, 1.0, &mut rng);
+    c.bench_function("tensor/batched_matmul_8x48x64", |bench| {
+        bench.iter(|| std::hint::black_box(a3.matmul(&b3)))
+    });
+}
+
+fn bench_autograd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::rand_uniform([32, 64], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform([64, 64], -0.1, 0.1, &mut rng);
+    c.bench_function("autograd/linear_forward_backward", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let wv = tape.leaf(w.clone());
+            let loss = xv.matmul(wv).gelu().square().sum_all();
+            let grads = tape.backward(loss);
+            std::hint::black_box(grads.get(wv).is_some())
+        })
+    });
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let world = TeleWorld::generate(WorldConfig::default());
+    let sentences = corpus::tele_corpus(
+        &world,
+        &corpus::CorpusConfig { seed: 2, sentences: 1500, splice_fraction: 0.0 },
+    );
+    c.bench_function("tokenizer/train_1500_sentences", |bench| {
+        bench.iter_batched(
+            || sentences.clone(),
+            |s| std::hint::black_box(TeleTokenizer::train(s, &TokenizerConfig::default())),
+            BatchSize::LargeInput,
+        )
+    });
+    let tok = TeleTokenizer::train(sentences.iter(), &TokenizerConfig::default());
+    let sample = &sentences[0];
+    c.bench_function("tokenizer/encode_sentence", |bench| {
+        bench.iter(|| std::hint::black_box(tok.encode(sample, 48)))
+    });
+}
+
+fn bench_kg(c: &mut Criterion) {
+    let world = TeleWorld::generate(WorldConfig::default());
+    let built = tele_datagen::kg_build::build_kg(&world);
+    let kg: &TeleKg = &built.kg;
+    let e = built.event_entities[0];
+    c.bench_function("kg/query_by_head", |bench| {
+        bench.iter(|| std::hint::black_box(kg.query(Some(e), None, None).len()))
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let t = kg.triples()[0];
+    c.bench_function("kg/negative_sampling_10", |bench| {
+        bench.iter(|| std::hint::black_box(kg.negative_samples(&t, 10, &mut rng).len()))
+    });
+}
+
+fn bench_anenc(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let anenc = Anenc::new(&mut store, "bench", AnencConfig::for_dim(64, 8), &mut rng);
+    let values: Vec<f32> = (0..16).map(|i| i as f32 / 15.0).collect();
+    let tags = Tensor::rand_uniform([16, 64], -0.3, 0.3, &mut rng);
+    c.bench_function("anenc/encode_16_values", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let t = tape.constant(tags.clone());
+            std::hint::black_box(anenc.encode(&tape, &store, &values, t).value().numel())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_autograd, bench_tokenizer, bench_kg, bench_anenc
+}
+criterion_main!(benches);

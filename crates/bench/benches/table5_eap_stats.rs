@@ -1,0 +1,27 @@
+//! Table V: data statistics of the event association prediction dataset.
+
+use tele_bench::report::{dump_json, paper, Table};
+use tele_datagen::{Scale, Suite};
+
+fn main() {
+    let suite = Suite::generate(Scale::from_env(), 17);
+    let s = suite.eap.stats();
+    let (pe, pp, pn, pm, pel) = paper::TABLE5;
+
+    let mut table = Table::new(
+        "Table V: data statistics for event association prediction — measured (paper)",
+        &["#Events", "#Pairs (pos)", "#Pairs (neg)", "#MDAF packages", "#Network Elements"],
+    );
+    table.row(vec![
+        format!("{} ({})", s.events, pe),
+        format!("{} ({})", s.positive_pairs, pp),
+        format!("{} ({})", s.negative_pairs, pn),
+        format!("{} ({})", s.packages, pm),
+        format!("{} ({})", s.elements, pel),
+    ]);
+    table.print();
+    dump_json("table5_eap_stats.json", &s);
+
+    assert!(s.positive_pairs > 0 && s.negative_pairs > 0);
+    assert!(s.negative_pairs <= s.positive_pairs, "one negative per positive at most");
+}

@@ -1,0 +1,40 @@
+//! Table VI: event association prediction results across all variants.
+
+use tele_bench::experiments::table6_rows;
+use tele_bench::report::{dump_json, paper, Table};
+use tele_bench::zoo::Zoo;
+use tele_datagen::Scale;
+
+fn main() {
+    let zoo = Zoo::load_or_train(Scale::from_env(), 17);
+    let rows = table6_rows(&zoo, 43);
+
+    let mut table = Table::new(
+        "Table VI: event association prediction — measured (paper)",
+        &["Method", "Accuracy", "Precision", "Recall", "F1-score"],
+    );
+    for (row, &(name, acc, p, r, f1)) in rows.iter().zip(paper::TABLE6) {
+        assert_eq!(row.method, name, "row order must match the paper");
+        table.row(vec![
+            row.method.clone(),
+            format!("{:.1} ({acc})", row.metrics.accuracy),
+            format!("{:.1} ({p})", row.metrics.precision),
+            format!("{:.1} ({r})", row.metrics.recall),
+            format!("{:.1} ({f1})", row.metrics.f1),
+        ]);
+    }
+    table.print();
+    dump_json("table6_eap.json", &rows);
+
+    let get = |m: &str| rows.iter().find(|r| r.method == m).expect("row").metrics;
+    let checks = [
+        ("TeleBERT > MacBERT (Accuracy)", get("TeleBERT").accuracy > get("MacBERT").accuracy),
+        ("KTeleBERT-STL >= TeleBERT (F1)", get("KTeleBERT-STL").f1 >= get("TeleBERT").f1),
+        ("KTeleBERT-STL >= w/o ANEnc (Accuracy)",
+            get("KTeleBERT-STL").accuracy >= get("w/o ANEnc").accuracy),
+    ];
+    println!("\nShape checks:");
+    for (name, ok) in checks {
+        println!("  [{}] {name}", if ok { "ok" } else { "MISS" });
+    }
+}

@@ -1,0 +1,28 @@
+//! Table VII: data statistics of the fault chain tracing dataset.
+
+use tele_bench::report::{dump_json, paper, Table};
+use tele_datagen::{Scale, Suite};
+
+fn main() {
+    let suite = Suite::generate(Scale::from_env(), 17);
+    let s = suite.fct.stats();
+    let (pn, pe, ptr, pv, pt) = paper::TABLE7;
+
+    let mut table = Table::new(
+        "Table VII: data statistics for fault chain tracing — measured (paper)",
+        &["#Nodes", "#Edges", "#Train", "#Valid", "#Test"],
+    );
+    table.row(vec![
+        format!("{} ({})", s.nodes, pn),
+        format!("{} ({})", s.edges, pe),
+        format!("{} ({})", s.train, ptr),
+        format!("{} ({})", s.valid, pv),
+        format!("{} ({})", s.test, pt),
+    ]);
+    table.print();
+    dump_json("table7_fct_stats.json", &s);
+
+    assert!(s.train > s.valid && s.train > s.test, "train split must dominate");
+    let frac = s.train as f64 / (s.train + s.valid + s.test) as f64;
+    assert!((frac - 232.0 / 297.0).abs() < 0.05, "split proportions should match the paper");
+}

@@ -1,0 +1,44 @@
+//! Table VIII: fault chain tracing results across all variants.
+//!
+//! The paper's headline effect — KE-trained variants (PMTL/IMTL) leap far
+//! ahead of STL because their embeddings already satisfy the TransE
+//! geometry GTransE fine-tunes — is the primary shape target here.
+
+use tele_bench::experiments::table8_rows;
+use tele_bench::report::{dump_json, paper, Table};
+use tele_bench::zoo::Zoo;
+use tele_datagen::Scale;
+
+fn main() {
+    let zoo = Zoo::load_or_train(Scale::from_env(), 17);
+    let rows = table8_rows(&zoo, 47);
+
+    let mut table = Table::new(
+        "Table VIII: fault chain tracing — measured (paper)",
+        &["Method", "MRR", "Hits@1", "Hits@3", "Hits@10"],
+    );
+    for (row, &(name, mrr, h1, h3, h10)) in rows.iter().zip(paper::TABLE8) {
+        assert_eq!(row.method, name, "row order must match the paper");
+        table.row(vec![
+            row.method.clone(),
+            format!("{:.1} ({mrr})", row.metrics.mrr),
+            format!("{:.1} ({h1})", row.metrics.hits1),
+            format!("{:.1} ({h3})", row.metrics.hits3),
+            format!("{:.1} ({h10})", row.metrics.hits10),
+        ]);
+    }
+    table.print();
+    dump_json("table8_fct.json", &rows);
+
+    let get = |m: &str| rows.iter().find(|r| r.method == m).expect("row").metrics;
+    let checks = [
+        ("TeleBERT > Random (MRR)", get("TeleBERT").mrr > get("Random").mrr),
+        ("KE-trained (PMTL) > STL (MRR)", get("KTeleBERT-PMTL").mrr > get("KTeleBERT-STL").mrr),
+        ("KE-trained (IMTL) > STL (MRR)", get("KTeleBERT-IMTL").mrr > get("KTeleBERT-STL").mrr),
+        ("KTeleBERT-STL >= w/o ANEnc (MRR)", get("KTeleBERT-STL").mrr >= get("w/o ANEnc").mrr),
+    ];
+    println!("\nShape checks:");
+    for (name, ok) in checks {
+        println!("  [{}] {name}", if ok { "ok" } else { "MISS" });
+    }
+}

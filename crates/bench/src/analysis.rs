@@ -1,0 +1,160 @@
+//! Small analysis utilities for Fig. 10: PCA projection to 2-D and
+//! Spearman rank correlation.
+
+use tele_tensor::Tensor;
+
+/// Projects row vectors to 2-D with PCA (power iteration on the centered
+/// covariance, with deflation for the second component).
+pub fn pca_2d(rows: &[Vec<f32>]) -> Vec<(f32, f32)> {
+    assert!(rows.len() >= 2, "PCA needs at least two points");
+    let n = rows.len();
+    let d = rows[0].len();
+    // Center.
+    let mut mean = vec![0.0f32; d];
+    for r in rows {
+        for (m, &v) in mean.iter_mut().zip(r) {
+            *m += v / n as f32;
+        }
+    }
+    let centered: Vec<Vec<f32>> = rows
+        .iter()
+        .map(|r| r.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+        .collect();
+
+    let flat: Vec<f32> = centered.iter().flatten().copied().collect();
+    let x = Tensor::from_vec(flat, [n, d]);
+    let cov = x.transpose(0, 1).matmul(&x).scale(1.0 / n as f32); // [d, d]
+
+    let pc1 = power_iteration(&cov, d, 0xC0FFEE);
+    // Deflate: cov' = cov − λ v vᵀ.
+    let lambda = rayleigh(&cov, &pc1, d);
+    let mut cov2 = cov.clone();
+    {
+        let data = cov2.as_mut_slice();
+        for i in 0..d {
+            for j in 0..d {
+                data[i * d + j] -= lambda * pc1[i] * pc1[j];
+            }
+        }
+    }
+    let pc2 = power_iteration(&cov2, d, 0xBEEF);
+
+    centered
+        .iter()
+        .map(|r| {
+            let a: f32 = r.iter().zip(&pc1).map(|(x, v)| x * v).sum();
+            let b: f32 = r.iter().zip(&pc2).map(|(x, v)| x * v).sum();
+            (a, b)
+        })
+        .collect()
+}
+
+fn power_iteration(m: &Tensor, d: usize, seed: u64) -> Vec<f32> {
+    // Deterministic pseudo-random start.
+    let mut v: Vec<f32> = (0..d)
+        .map(|i| (((i as u64 + 1).wrapping_mul(seed) % 1000) as f32 / 1000.0) - 0.5)
+        .collect();
+    normalize(&mut v);
+    for _ in 0..100 {
+        let mut next = vec![0.0f32; d];
+        let data = m.as_slice();
+        for i in 0..d {
+            for j in 0..d {
+                next[i] += data[i * d + j] * v[j];
+            }
+        }
+        normalize(&mut next);
+        v = next;
+    }
+    v
+}
+
+fn rayleigh(m: &Tensor, v: &[f32], d: usize) -> f32 {
+    let data = m.as_slice();
+    let mut mv = vec![0.0f32; d];
+    for i in 0..d {
+        for j in 0..d {
+            mv[i] += data[i * d + j] * v[j];
+        }
+    }
+    v.iter().zip(&mv).map(|(a, b)| a * b).sum()
+}
+
+fn normalize(v: &mut [f32]) {
+    let n = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-8);
+    for x in v.iter_mut() {
+        *x /= n;
+    }
+}
+
+/// Spearman rank correlation between two same-length sequences.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(a.len() >= 2, "need at least 2 points");
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("NaN in ranks"));
+    let mut out = vec![0.0; v.len()];
+    // Average ranks for ties.
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 25.0, 100.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-9);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [5.0, 5.0, 6.0, 7.0];
+        assert!(spearman(&a, &b) > 0.9);
+    }
+
+    #[test]
+    fn pca_separates_line_structure() {
+        // Points along a line in 8-D: PC1 should recover the ordering.
+        let rows: Vec<Vec<f32>> = (0..10)
+            .map(|i| (0..8).map(|k| i as f32 * (k as f32 + 1.0) * 0.1).collect())
+            .collect();
+        let proj = pca_2d(&rows);
+        let xs: Vec<f64> = proj.iter().map(|p| p.0 as f64).collect();
+        let order: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(spearman(&xs, &order).abs() > 0.99);
+    }
+}

@@ -1,0 +1,86 @@
+//! Embedding-quality probe: how well do a model's service embeddings
+//! separate ground-truth causal pairs from non-pairs?
+//!
+//! Reports, per model variant and pooling strategy, the AUC of cosine
+//! similarity as a causal-edge detector and the mean similarity gap. This
+//! is the fast diagnostic behind tuning the pre-training recipe: the
+//! downstream tables only show the paper's shape when TeleBERT's AUC
+//! clearly exceeds MacBERT's.
+//!
+//! Run with: `cargo run --release -p tele-bench --bin probe`
+
+use ktelebert::{Pooling, TeleBert};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tele_bench::zoo::Zoo;
+use tele_datagen::Scale;
+
+fn centered(rows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    tele_tasks::EmbeddingTable::normalized(rows).rows
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn auc(pos: &[f32], neg: &[f32]) -> f64 {
+    let mut wins = 0.0;
+    for &p in pos {
+        for &n in neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() * neg.len()) as f64
+}
+
+fn probe(zoo: &Zoo, name: &str, bundle: &TeleBert, pooling: Pooling) {
+    let world = &zoo.suite.world;
+    let names: Vec<String> = (0..world.num_events())
+        .map(|e| world.event_name(e).to_string())
+        .collect();
+    let encs: Vec<_> = names
+        .iter()
+        .map(|n| bundle.tokenizer.encode(n, bundle.model.encoder.cfg.max_len))
+        .collect();
+    let embs = centered(bundle.encode_encodings_pooled(&encs, pooling));
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let pos: Vec<f32> = world
+        .causal_edges
+        .iter()
+        .map(|e| cosine(&embs[e.src], &embs[e.dst]))
+        .collect();
+    let mut neg = Vec::new();
+    while neg.len() < 300 {
+        let a = rng.gen_range(0..world.num_events());
+        let b = rng.gen_range(0..world.num_events());
+        if a == b || world.causal_edges.iter().any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a)) {
+            continue;
+        }
+        neg.push(cosine(&embs[a], &embs[b]));
+    }
+    let mp = pos.iter().sum::<f32>() / pos.len() as f32;
+    let mn = neg.iter().sum::<f32>() / neg.len() as f32;
+    println!(
+        "{name:<22} {pooling:?}: AUC {:.3}  pos {mp:+.3}  neg {mn:+.3}  gap {:+.3}",
+        auc(&pos, &neg),
+        mp - mn
+    );
+}
+
+fn main() {
+    let zoo = Zoo::load_or_train(Scale::from_env(), 17);
+    for pooling in [Pooling::Cls, Pooling::Mean] {
+        probe(&zoo, "macbert", &zoo.macbert, pooling);
+        probe(&zoo, "telebert", &zoo.telebert, pooling);
+        probe(&zoo, "ktelebert-stl", &zoo.kstl, pooling);
+        probe(&zoo, "ktelebert-stl-woanenc", &zoo.kstl_wo_anenc, pooling);
+        probe(&zoo, "ktelebert-pmtl", &zoo.kpmtl, pooling);
+        probe(&zoo, "ktelebert-imtl", &zoo.kimtl, pooling);
+        println!();
+    }
+}

@@ -1,0 +1,237 @@
+//! Experiment drivers assembling the rows of Tables IV, VI and VIII from a
+//! trained [`Zoo`], plus the Fig. 10 numeric-embedding analysis.
+
+use ktelebert::{ServiceFormat, TeleBert};
+use serde::Serialize;
+use tele_tasks::{
+    random_embeddings, run_eap, run_fct, run_rca, service_embeddings, word_avg_embeddings,
+    EapTaskConfig, EmbeddingTable, FctTaskConfig, RankMetrics, RcaTaskConfig,
+};
+
+use crate::zoo::Zoo;
+
+/// Embedding width used by the non-model baselines (matches the encoder).
+pub const EMB_DIM: usize = 64;
+
+/// A named embedding provider for one comparison row.
+pub enum Provider<'a> {
+    /// Uniform random vectors.
+    Random,
+    /// Averaged random word embeddings (EAP's "Word Embeddings" baseline).
+    WordAvg,
+    /// A trained bundle with a service-delivery format.
+    Model(&'a TeleBert, ServiceFormat),
+}
+
+impl<'a> Provider<'a> {
+    /// Builds the embedding table for the given names.
+    pub fn table(&self, zoo: &Zoo, names: &[String], seed: u64) -> EmbeddingTable {
+        match self {
+            Provider::Random => random_embeddings(names, EMB_DIM, seed),
+            Provider::WordAvg => word_avg_embeddings(names, EMB_DIM, seed),
+            Provider::Model(bundle, format) => {
+                service_embeddings(bundle, Some(&zoo.suite.built_kg.kg), names, *format)
+            }
+        }
+    }
+}
+
+/// The comparison rows of Tables IV/VIII: Random + the five model variants.
+pub fn rank_table_rows<'a>(zoo: &'a Zoo) -> Vec<(&'static str, Provider<'a>)> {
+    let fmt = ServiceFormat::EntityWithAttr;
+    vec![
+        ("Random", Provider::Random),
+        ("MacBERT", Provider::Model(&zoo.macbert, fmt)),
+        ("TeleBERT", Provider::Model(&zoo.telebert, fmt)),
+        ("KTeleBERT-STL", Provider::Model(&zoo.kstl, fmt)),
+        ("w/o ANEnc", Provider::Model(&zoo.kstl_wo_anenc, fmt)),
+        ("KTeleBERT-PMTL", Provider::Model(&zoo.kpmtl, fmt)),
+        ("KTeleBERT-IMTL", Provider::Model(&zoo.kimtl, fmt)),
+    ]
+}
+
+/// One measured row of a rank-metric table.
+#[derive(Clone, Debug, Serialize)]
+pub struct RankRow {
+    /// Method name.
+    pub method: String,
+    /// The measured metrics.
+    pub metrics: RankMetrics,
+}
+
+/// Number of task seeds averaged per table row (small datasets are noisy).
+pub const TASK_SEEDS: u64 = 3;
+
+/// Runs Table IV (root-cause analysis) across all providers, averaging
+/// `TASK_SEEDS` task seeds per row.
+pub fn table4_rows(zoo: &Zoo, seed: u64) -> Vec<RankRow> {
+    let names: Vec<String> = (0..zoo.suite.world.num_events())
+        .map(|e| zoo.suite.world.event_name(e).to_string())
+        .collect();
+    rank_table_rows(zoo)
+        .into_iter()
+        .map(|(method, provider)| {
+            let per_seed: Vec<RankMetrics> = (0..TASK_SEEDS)
+                .map(|k| {
+                    let s = seed.wrapping_add(k);
+                    let emb = provider.table(zoo, &names, s);
+                    let cfg = RcaTaskConfig { seed: s, ..Default::default() };
+                    run_rca(&zoo.suite.rca, &emb, &cfg).mean
+                })
+                .collect();
+            let mean = RankMetrics::mean(&per_seed);
+            eprintln!("[table4] {method}: MR {:.2} Hits@1 {:.2}", mean.mr, mean.hits1);
+            RankRow { method: method.to_string(), metrics: mean }
+        })
+        .collect()
+}
+
+/// One measured row of the EAP table.
+#[derive(Clone, Debug, Serialize)]
+pub struct BinaryRow {
+    /// Method name.
+    pub method: String,
+    /// The measured metrics.
+    pub metrics: tele_tasks::BinaryMetrics,
+}
+
+/// Runs Table VI (event association prediction) across all providers.
+pub fn table6_rows(zoo: &Zoo, seed: u64) -> Vec<BinaryRow> {
+    let world = &zoo.suite.world;
+    let names: Vec<String> = (0..world.num_events())
+        .map(|e| world.event_name(e).to_string())
+        .collect();
+    let neighbors: Vec<Vec<usize>> = (0..world.instances.len())
+        .map(|i| world.instance_neighbors(i))
+        .collect();
+    let cfg = EapTaskConfig { seed, ..Default::default() };
+    let fmt = ServiceFormat::EntityWithAttr;
+    let providers: Vec<(&str, Provider<'_>)> = vec![
+        ("Word Embeddings", Provider::WordAvg),
+        ("MacBERT", Provider::Model(&zoo.macbert, fmt)),
+        ("TeleBERT", Provider::Model(&zoo.telebert, fmt)),
+        ("KTeleBERT-STL", Provider::Model(&zoo.kstl, fmt)),
+        ("w/o ANEnc", Provider::Model(&zoo.kstl_wo_anenc, fmt)),
+        ("KTeleBERT-PMTL", Provider::Model(&zoo.kpmtl, fmt)),
+        ("KTeleBERT-IMTL", Provider::Model(&zoo.kimtl, fmt)),
+    ];
+    providers
+        .into_iter()
+        .map(|(method, provider)| {
+            let per_seed: Vec<tele_tasks::BinaryMetrics> = (0..TASK_SEEDS)
+                .map(|k| {
+                    let s = seed.wrapping_add(k);
+                    let emb = provider.table(zoo, &names, s);
+                    let cfg = EapTaskConfig { seed: s, ..cfg.clone() };
+                    run_eap(&zoo.suite.eap, &emb, &neighbors, &cfg).mean
+                })
+                .collect();
+            let mean = tele_tasks::BinaryMetrics::mean(&per_seed);
+            eprintln!("[table6] {method}: Acc {:.2} F1 {:.2}", mean.accuracy, mean.f1);
+            BinaryRow { method: method.to_string(), metrics: mean }
+        })
+        .collect()
+}
+
+/// Runs Table VIII (fault chain tracing) across all providers.
+pub fn table8_rows(zoo: &Zoo, seed: u64) -> Vec<RankRow> {
+    let names = zoo.suite.fct.node_names.clone();
+    rank_table_rows(zoo)
+        .into_iter()
+        .map(|(method, provider)| {
+            let per_seed: Vec<RankMetrics> = (0..TASK_SEEDS)
+                .map(|k| {
+                    let s = seed.wrapping_add(k);
+                    let emb = provider.table(zoo, &names, s);
+                    let cfg = FctTaskConfig { seed: s, ..Default::default() };
+                    run_fct(&zoo.suite.fct, &emb, &cfg).test
+                })
+                .collect();
+            let mean = RankMetrics::mean(&per_seed);
+            eprintln!("[table8] {method}: MRR {:.2} Hits@1 {:.2}", mean.mrr, mean.hits1);
+            RankRow { method: method.to_string(), metrics: mean }
+        })
+        .collect()
+}
+
+/// Fig. 10 output: a value sweep embedded by an ANEnc trained with or
+/// without the numerical contrastive loss, PCA-projected to 2-D, with a
+/// monotonicity score (Spearman of embedding distance vs. value distance).
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10Result {
+    /// Whether `L_nc` was applied.
+    pub with_nc: bool,
+    /// Swept values.
+    pub values: Vec<f32>,
+    /// 2-D PCA projection of the embeddings.
+    pub projection: Vec<(f32, f32)>,
+    /// Spearman correlation between pairwise value distance and pairwise
+    /// embedding distance (higher = value magnitude better preserved).
+    pub distance_spearman: f64,
+}
+
+/// Trains a standalone ANEnc with/without `L_nc` and embeds a value sweep.
+pub fn fig10(with_nc: bool, seed: u64) -> Fig10Result {
+    use ktelebert::{Anenc, AnencConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tele_tensor::{optim::AdamW, ParamStore, Tape, Tensor};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = 32;
+    let mut store = ParamStore::new();
+    let cfg = AnencConfig { tau: 0.05, ..AnencConfig::for_dim(dim, 0) };
+    let anenc = Anenc::new(&mut store, "fig10", cfg, &mut rng);
+    let mut opt = AdamW::new(2e-3, 0.0);
+
+    // One fixed tag embedding: the sweep isolates the value axis.
+    let tag_row: Vec<f32> = (0..dim).map(|i| ((i as f32) * 0.37).sin() * 0.3).collect();
+    fn make_tags<'t>(tape: &'t Tape, tag_row: &[f32], k: usize, dim: usize) -> tele_tensor::Var<'t> {
+        let data: Vec<f32> = (0..k).flat_map(|_| tag_row.iter().copied()).collect();
+        tape.constant(Tensor::from_vec(data, [k, dim]))
+    }
+
+    for _ in 0..250 {
+        store.zero_grads();
+        let values: Vec<f32> = (0..12).map(|_| rng.gen::<f32>()).collect();
+        let tape = Tape::new();
+        let tags = make_tags(&tape, &tag_row, values.len(), dim);
+        let h = anenc.encode(&tape, &store, &values, tags);
+        // Regression always on (it anchors the value); L_nc optionally.
+        let mut loss = anenc.regression_loss(&tape, &store, h, &values);
+        if with_nc {
+            if let Some(nc) = anenc.contrastive_loss(h, &values) {
+                loss = loss.add(nc);
+            }
+        }
+        tape.backward(loss).accumulate_into(&tape, &mut store);
+        opt.step(&mut store);
+    }
+
+    // Embed the sweep.
+    let values: Vec<f32> = (0..50).map(|i| i as f32 / 49.0).collect();
+    let tape = Tape::new();
+    let tags = make_tags(&tape, &tag_row, values.len(), dim);
+    let h = anenc.encode(&tape, &store, &values, tags).value();
+    let rows: Vec<Vec<f32>> = (0..values.len()).map(|i| h.row(i).to_vec()).collect();
+    let projection = crate::analysis::pca_2d(&rows);
+
+    // Pairwise distance agreement.
+    let mut dv = Vec::new();
+    let mut de = Vec::new();
+    for i in 0..values.len() {
+        for j in i + 1..values.len() {
+            dv.push((values[i] - values[j]).abs() as f64);
+            let d: f32 = rows[i]
+                .iter()
+                .zip(&rows[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            de.push(d as f64);
+        }
+    }
+    let distance_spearman = crate::analysis::spearman(&dv, &de);
+
+    Fig10Result { with_nc, values, projection, distance_spearman }
+}

@@ -1,0 +1,21 @@
+//! # tele-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! KTeleBERT paper's evaluation, plus Criterion micro-benchmarks.
+//!
+//! - [`zoo`]: trains (and caches) every model variant the tables compare,
+//! - [`experiments`]: drivers assembling the measured rows,
+//! - [`report`]: table rendering, paper reference numbers, JSON dumps,
+//! - [`analysis`]: PCA / Spearman utilities for Fig. 10,
+//! - [`persist`]: bundle checkpointing.
+//!
+//! Run `cargo bench -p tele-bench` to regenerate everything; results land
+//! in `results/*.json` and are summarized in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod experiments;
+pub mod persist;
+pub mod report;
+pub mod zoo;

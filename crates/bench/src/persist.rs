@@ -1,0 +1,16 @@
+//! Checkpoint persistence helpers for the experiment harness.
+//!
+//! Bundle (de)serialization lives in [`ktelebert::checkpoint`]; this module
+//! re-exports it and adds the file-system plumbing the zoo cache uses.
+
+use std::path::Path;
+
+pub use ktelebert::checkpoint::{clone_bundle, load_bundle, save_bundle, SavedBundle};
+
+/// Writes a string to a file, creating parent directories.
+pub fn write_file(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
+}

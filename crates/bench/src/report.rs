@@ -1,0 +1,148 @@
+//! Table rendering and result persistence for the experiment harness.
+//!
+//! Every bench target prints a paper-vs-measured table to stdout and dumps
+//! the measured values as JSON under `results/` so EXPERIMENTS.md can be
+//! regenerated from artifacts.
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A rendered experiment table.
+pub struct Table {
+    /// Title, e.g. `"Table IV: root-cause analysis"`.
+    pub title: String,
+    /// Column headers (first column is the method name).
+    pub headers: Vec<String>,
+    /// Rows: method name + formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = format!("\n=== {} ===\n", self.title);
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float cell.
+pub fn cell(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a "measured (paper)" cell for side-by-side comparison.
+pub fn cell_vs(measured: f64, paper: f64) -> String {
+    format!("{measured:.2} ({paper:.2})")
+}
+
+/// The repository's `results/` directory.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Writes a serializable result as pretty JSON under `results/`.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(name);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("[report] failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("[report] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[report] serialization failed for {name}: {e}"),
+    }
+}
+
+/// Paper-reported reference numbers (for side-by-side printing; the
+/// reproduction targets the *shape*, not these absolute values).
+pub mod paper {
+    /// Table IV rows: (method, MR, Hits@1, Hits@3, Hits@5).
+    pub const TABLE4: &[(&str, f64, f64, f64, f64)] = &[
+        ("Random", 2.47, 54.88, 75.00, 88.67),
+        ("MacBERT", 2.16, 59.64, 82.68, 90.85),
+        ("TeleBERT", 2.09, 62.65, 83.52, 92.46),
+        ("KTeleBERT-STL", 2.06, 63.66, 83.21, 91.87),
+        ("w/o ANEnc", 2.13, 60.72, 82.96, 90.80),
+        ("KTeleBERT-PMTL", 2.03, 65.96, 84.98, 92.63),
+        ("KTeleBERT-IMTL", 2.02, 64.78, 85.65, 91.13),
+    ];
+
+    /// Table VI rows: (method, Accuracy, Precision, Recall, F1).
+    pub const TABLE6: &[(&str, f64, f64, f64, f64)] = &[
+        ("Word Embeddings", 64.9, 66.4, 96.8, 78.7),
+        ("MacBERT", 64.3, 65.9, 96.1, 78.2),
+        ("TeleBERT", 70.4, 71.4, 95.1, 81.5),
+        ("KTeleBERT-STL", 77.3, 76.6, 96.6, 85.4),
+        ("w/o ANEnc", 76.0, 76.1, 95.1, 84.5),
+        ("KTeleBERT-PMTL", 68.5, 68.8, 99.1, 81.3),
+        ("KTeleBERT-IMTL", 71.5, 71.5, 99.0, 83.2),
+    ];
+
+    /// Table VIII rows: (method, MRR, Hits@1, Hits@3, Hits@10).
+    pub const TABLE8: &[(&str, f64, f64, f64, f64)] = &[
+        ("Random", 58.2, 56.2, 56.2, 62.5),
+        ("MacBERT", 65.9, 62.5, 65.6, 68.8),
+        ("TeleBERT", 69.0, 65.6, 71.9, 71.9),
+        ("KTeleBERT-STL", 73.6, 71.9, 71.9, 78.1),
+        ("w/o ANEnc", 67.5, 65.6, 65.6, 71.9),
+        ("KTeleBERT-PMTL", 87.3, 84.4, 87.5, 93.8),
+        ("KTeleBERT-IMTL", 94.8, 93.8, 93.8, 100.0),
+    ];
+
+    /// Table III: (#Graphs, #Features, avg #Nodes, avg #Edges).
+    pub const TABLE3: (f64, f64, f64, f64) = (127.0, 349.0, 10.96, 51.15);
+
+    /// Table V: (#Events, #pos pairs, #neg pairs, #MDAF, #NEs).
+    pub const TABLE5: (f64, f64, f64, f64, f64) = (86.0, 2141.0, 2141.0, 104.0, 31.0);
+
+    /// Table VII: (#Nodes, #Edges, #Train, #Valid, #Test).
+    pub const TABLE7: (f64, f64, f64, f64, f64) = (243.0, 100.0, 232.0, 33.0, 32.0);
+}

@@ -1,0 +1,237 @@
+//! The model zoo: every pre-trained variant the paper's tables compare,
+//! trained once per `(scale, seed)` and cached on disk.
+//!
+//! | Variant | Pre-training | Re-training |
+//! |---|---|---|
+//! | MacBERT (stand-in) | generic corpus | — |
+//! | TeleBERT | tele corpus | — |
+//! | KTeleBERT-STL | tele corpus | STL (mask + numeric) |
+//! | KTeleBERT-STL w/o ANEnc | tele corpus | STL, ANEnc disabled |
+//! | KTeleBERT-PMTL | tele corpus | PMTL (mask + numeric + KE, parallel) |
+//! | KTeleBERT-IMTL | tele corpus | IMTL (Table II stage schedule) |
+//!
+//! The "Random" baseline needs no model (random embedding tables).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ktelebert::{
+    pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, Strategy, TeleBert,
+};
+use tele_datagen::{logs, Scale, Suite};
+use tele_tensor::nn::TransformerConfig;
+use tele_tokenizer::{SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
+
+use crate::persist::{clone_bundle, load_bundle, save_bundle, write_file};
+
+/// The trained variants plus the data suite they were trained on.
+pub struct Zoo {
+    /// The data suite (world, corpora, downstream datasets).
+    pub suite: Suite,
+    /// Shared tokenizer (trained on tele + generic corpora so every model
+    /// can read every input, as MacBERT's large general vocabulary does).
+    pub tokenizer: TeleTokenizer,
+    /// Generic-corpus baseline (the MacBERT stand-in).
+    pub macbert: TeleBert,
+    /// Tele-corpus stage-1 model.
+    pub telebert: TeleBert,
+    /// KTeleBERT re-trained with STL.
+    pub kstl: TeleBert,
+    /// KTeleBERT-STL without the adaptive numeric encoder.
+    pub kstl_wo_anenc: TeleBert,
+    /// KTeleBERT re-trained with PMTL.
+    pub kpmtl: TeleBert,
+    /// KTeleBERT re-trained with IMTL.
+    pub kimtl: TeleBert,
+}
+
+/// Training budget knobs, scaled from Table II's 60k-step runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ZooBudget {
+    /// Stage-1 steps.
+    pub pretrain_steps: usize,
+    /// Stage-2 steps per strategy.
+    pub retrain_steps: usize,
+    /// Batch size for both stages.
+    pub batch: usize,
+}
+
+impl ZooBudget {
+    /// Budget for a scale; `TELE_STEPS` scales both stage budgets
+    /// multiplicatively (e.g. `TELE_STEPS=2` doubles them).
+    pub fn for_scale(scale: Scale) -> Self {
+        let base = match scale {
+            Scale::Smoke => ZooBudget { pretrain_steps: 30, retrain_steps: 24, batch: 6 },
+            Scale::Lab => ZooBudget { pretrain_steps: 1400, retrain_steps: 500, batch: 8 },
+            Scale::Paper => ZooBudget { pretrain_steps: 4000, retrain_steps: 1500, batch: 8 },
+        };
+        let factor: f64 = std::env::var("TELE_STEPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        ZooBudget {
+            pretrain_steps: ((base.pretrain_steps as f64 * factor) as usize).max(2),
+            retrain_steps: ((base.retrain_steps as f64 * factor) as usize).max(2),
+            batch: base.batch,
+        }
+    }
+}
+
+/// The encoder configuration shared by every variant.
+pub fn encoder_config(vocab: usize) -> TransformerConfig {
+    TransformerConfig {
+        vocab,
+        dim: 64,
+        layers: 3,
+        heads: 4,
+        ffn_hidden: 128,
+        max_len: 48,
+        dropout: 0.1,
+    }
+}
+
+impl Zoo {
+    /// Trains the full zoo (no cache).
+    pub fn train(scale: Scale, seed: u64) -> Zoo {
+        let budget = ZooBudget::for_scale(scale);
+        let suite = Suite::generate(scale, seed);
+        eprintln!("[zoo] suite: {:?}", suite.world);
+
+        // Shared tokenizer over both corpora.
+        let mut all: Vec<String> = suite.tele_corpus.clone();
+        all.extend(suite.generic_corpus.iter().cloned());
+        let tokenizer = TeleTokenizer::train(
+            all.iter(),
+            &TokenizerConfig {
+                bpe_merges: 700,
+                special: SpecialTokenConfig {
+                    min_len: 2,
+                    max_len: 4,
+                    min_freq: (suite.tele_corpus.len() / 200).max(8),
+                },
+                phrases: tele_datagen::words::DOMAIN_PHRASES
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            },
+        );
+        eprintln!("[zoo] tokenizer vocab = {}", tokenizer.vocab_size());
+
+        let enc_cfg = encoder_config(tokenizer.vocab_size());
+        let pre_cfg = PretrainConfig {
+            steps: budget.pretrain_steps,
+            batch_size: budget.batch,
+            seed: seed.wrapping_add(100),
+            ..Default::default()
+        };
+
+        let t0 = Instant::now();
+        let (macbert, mlog) = pretrain(&suite.generic_corpus, &tokenizer, enc_cfg.clone(), &pre_cfg);
+        eprintln!(
+            "[zoo] macbert stand-in: {} steps, final loss {:.3} ({:.1?})",
+            mlog.steps, mlog.final_loss, t0.elapsed()
+        );
+        let t0 = Instant::now();
+        let (telebert, tlog) = pretrain(&suite.tele_corpus, &tokenizer, enc_cfg.clone(), &pre_cfg);
+        eprintln!(
+            "[zoo] telebert: {} steps, final loss {:.3} ({:.1?})",
+            tlog.steps, tlog.final_loss, t0.elapsed()
+        );
+
+        // Stage 2 from the TeleBERT checkpoint, once per variant.
+        let templates = logs::log_templates(&suite.world, &suite.episodes);
+        let data = RetrainData {
+            causal_sentences: &suite.causal_sentences,
+            log_templates: &templates,
+            kg: &suite.built_kg.kg,
+        };
+        let re_cfg = RetrainConfig {
+            steps: budget.retrain_steps,
+            batch_size: budget.batch,
+            seed: seed.wrapping_add(200),
+            ..Default::default()
+        };
+        let variant = |strategy: Strategy, use_anenc: bool, label: &str| -> TeleBert {
+            let t0 = Instant::now();
+            let cfg = RetrainConfig { use_anenc, ..re_cfg.clone() };
+            let (bundle, log) = retrain(clone_bundle(&telebert), &data, strategy, &cfg);
+            eprintln!(
+                "[zoo] {label}: {} steps, final loss {:.3} ({:.1?})",
+                log.steps, log.final_loss, t0.elapsed()
+            );
+            bundle
+        };
+        let kstl = variant(Strategy::Stl, true, "ktelebert-stl");
+        let kstl_wo_anenc = variant(Strategy::Stl, false, "ktelebert-stl w/o anenc");
+        let kpmtl = variant(Strategy::Pmtl, true, "ktelebert-pmtl");
+        let kimtl = variant(Strategy::Imtl, true, "ktelebert-imtl");
+
+        Zoo { suite, tokenizer, macbert, telebert, kstl, kstl_wo_anenc, kpmtl, kimtl }
+    }
+
+    /// Loads the zoo from the on-disk cache, or trains and caches it.
+    ///
+    /// The cache key is `(scale, seed, budget)`; set `TELE_ZOO_REFRESH=1`
+    /// to force re-training.
+    pub fn load_or_train(scale: Scale, seed: u64) -> Zoo {
+        let budget = ZooBudget::for_scale(scale);
+        let dir = cache_dir(scale, seed, &budget);
+        let refresh = std::env::var("TELE_ZOO_REFRESH").is_ok();
+        if !refresh && dir.join("kimtl.json").exists() {
+            if let Some(zoo) = Self::try_load(&dir, scale, seed) {
+                eprintln!("[zoo] loaded cache from {}", dir.display());
+                return zoo;
+            }
+            eprintln!("[zoo] cache unreadable, re-training");
+        }
+        let zoo = Self::train(scale, seed);
+        zoo.persist(&dir);
+        zoo
+    }
+
+    fn try_load(dir: &std::path::Path, scale: Scale, seed: u64) -> Option<Zoo> {
+        let read = |name: &str| -> Option<TeleBert> {
+            let json = std::fs::read_to_string(dir.join(name)).ok()?;
+            load_bundle(&json).ok()
+        };
+        let suite = Suite::generate(scale, seed);
+        let macbert = read("macbert.json")?;
+        let tokenizer = macbert.tokenizer.clone();
+        Some(Zoo {
+            suite,
+            tokenizer,
+            macbert,
+            telebert: read("telebert.json")?,
+            kstl: read("kstl.json")?,
+            kstl_wo_anenc: read("kstl_wo_anenc.json")?,
+            kpmtl: read("kpmtl.json")?,
+            kimtl: read("kimtl.json")?,
+        })
+    }
+
+    fn persist(&self, dir: &std::path::Path) {
+        let pairs = [
+            ("macbert.json", &self.macbert),
+            ("telebert.json", &self.telebert),
+            ("kstl.json", &self.kstl),
+            ("kstl_wo_anenc.json", &self.kstl_wo_anenc),
+            ("kpmtl.json", &self.kpmtl),
+            ("kimtl.json", &self.kimtl),
+        ];
+        for (name, bundle) in pairs {
+            if let Err(e) = write_file(&dir.join(name), &save_bundle(bundle)) {
+                eprintln!("[zoo] cache write failed for {name}: {e}");
+            }
+        }
+        eprintln!("[zoo] cached to {}", dir.display());
+    }
+}
+
+fn cache_dir(scale: Scale, seed: u64, budget: &ZooBudget) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiment-cache")
+        .join(format!(
+            "{scale:?}-seed{seed}-p{}-r{}-b{}",
+            budget.pretrain_steps, budget.retrain_steps, budget.batch
+        ))
+}

@@ -1,0 +1,462 @@
+//! The Adaptive Numeric Encoder (ANEnc), paper Sec. IV-B, Figs. 4–5.
+//!
+//! Encodes a tagged numerical value `v^tag` into a `d`-dimensional embedding
+//! that replaces the `[NUM]` token embedding. Each of the `L` stacked ANEnc
+//! layers performs attention-based numeric projection (ANP) over `N`
+//! field-aware meta embeddings — the tag-name embedding queries which "meta
+//! domain" conversion applies — followed by an FFN with a LoRA-style
+//! low-rank residual (Eq. 4).
+//!
+//! Three auxiliary objectives keep the embedding informative:
+//! - **numeric regression** (`L_reg`, Eq. 5): a numeric decoder (NDec) must
+//!   recover `v` from the transformer's output at the slot,
+//! - **tag classification** (`L_cls`, Eq. 6): a tag classifier (TGC) must
+//!   recover the tag from `h` (optional — new tags keep appearing),
+//! - **numerical contrastive learning** (`L_nc`, Eq. 7): the in-batch
+//!   sample with the closest value is the positive.
+//!
+//! The three are fused with homoscedastic-uncertainty weighting (Kendall et
+//! al.) and the value-transformation matrices carry an orthogonal
+//! regularizer (Eq. 8).
+
+use rand::rngs::StdRng;
+
+use tele_tensor::{nn::{Linear, Mlp}, xavier_uniform, ParamId, ParamStore, Tape, Tensor, Var};
+
+/// ANEnc hyper-parameters.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct AnencConfig {
+    /// Model width `d` (must match the transformer).
+    pub dim: usize,
+    /// Number of field-aware meta embeddings `N` (must divide `dim`).
+    pub metas: usize,
+    /// Number of stacked ANEnc layers `L`.
+    pub layers: usize,
+    /// LoRA rank `r ≤ d`.
+    pub lora_rank: usize,
+    /// LoRA scaling `α ≥ 1`.
+    pub alpha: f32,
+    /// Tag classifier width (0 disables TGC).
+    pub num_tags: usize,
+    /// Contrastive temperature `τ`.
+    pub tau: f32,
+    /// Orthogonal-regularization weight `λ`.
+    pub lambda: f32,
+}
+
+impl AnencConfig {
+    /// Defaults scaled to the reproduction's encoder width.
+    pub fn for_dim(dim: usize, num_tags: usize) -> Self {
+        AnencConfig {
+            dim,
+            metas: 4,
+            layers: 2,
+            lora_rank: (dim / 8).max(1),
+            alpha: 1.0,
+            num_tags,
+            tau: 0.05,
+            lambda: 1e-4,
+        }
+    }
+}
+
+struct AnencLayer {
+    meta: ParamId,             // E: [N, d/N]
+    w_q: ParamId,              // [d, d/N]
+    w_v: Vec<ParamId>,         // N × [d, d]
+    ffn_up: Linear,            // d -> 2d
+    ffn_down: Linear,          // 2d -> d
+    w_down: ParamId,           // [d, r]
+    w_up: ParamId,             // [r, d]
+    norm: tele_tensor::nn::LayerNorm,
+}
+
+/// The adaptive numeric encoder with its decoder and classifier heads.
+pub struct Anenc {
+    /// The configuration.
+    pub cfg: AnencConfig,
+    w_fc: ParamId, // [1, d] value mapping
+    layers: Vec<AnencLayer>,
+    ndec: Mlp,
+    tgc: Option<Linear>,
+    /// Uncertainty parameters μ₁ (reg), μ₂ (cls), μ₃ (nc).
+    mu: [ParamId; 3],
+}
+
+impl Anenc {
+    /// Creates the module, registering parameters under `name`.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: AnencConfig, rng: &mut StdRng) -> Self {
+        assert!(cfg.metas > 0 && cfg.dim % cfg.metas == 0, "metas must divide dim");
+        assert!(cfg.lora_rank >= 1 && cfg.lora_rank <= cfg.dim, "invalid LoRA rank");
+        assert!(cfg.alpha >= 1.0, "alpha must be >= 1");
+        let d = cfg.dim;
+        let dn = d / cfg.metas;
+        let w_fc = store.create(format!("{name}.w_fc"), xavier_uniform([1, d], rng));
+        let layers = (0..cfg.layers)
+            .map(|l| {
+                let p = format!("{name}.layer{l}");
+                AnencLayer {
+                    meta: store.create(format!("{p}.meta"), xavier_uniform([cfg.metas, dn], rng)),
+                    w_q: store.create(format!("{p}.w_q"), xavier_uniform([d, dn], rng)),
+                    w_v: (0..cfg.metas)
+                        .map(|i| {
+                            // Near-orthogonal init: identity + small noise,
+                            // so the orthogonality penalty starts small.
+                            let noise = xavier_uniform([d, d], rng).scale(0.05);
+                            let init = Tensor::eye(d).add(&noise);
+                            store.create(format!("{p}.w_v{i}"), init)
+                        })
+                        .collect(),
+                    ffn_up: Linear::new(store, &format!("{p}.ffn_up"), d, 2 * d, true, rng),
+                    ffn_down: Linear::new(store, &format!("{p}.ffn_down"), 2 * d, d, true, rng),
+                    w_down: store.create(format!("{p}.w_down"), xavier_uniform([d, cfg.lora_rank], rng)),
+                    w_up: store.create(format!("{p}.w_up"), xavier_uniform([cfg.lora_rank, d], rng)),
+                    norm: tele_tensor::nn::LayerNorm::new(store, &format!("{p}.ln"), d),
+                }
+            })
+            .collect();
+        let ndec = Mlp::new(store, &format!("{name}.ndec"), &[d, d, 1], rng);
+        let tgc = (cfg.num_tags > 0)
+            .then(|| Linear::new(store, &format!("{name}.tgc"), d, cfg.num_tags, true, rng));
+        let mu = [
+            store.create(format!("{name}.mu_reg"), Tensor::ones([1])),
+            store.create(format!("{name}.mu_cls"), Tensor::ones([1])),
+            store.create(format!("{name}.mu_nc"), Tensor::ones([1])),
+        ];
+        Anenc { cfg, w_fc, layers, ndec, tgc, mu }
+    }
+
+    /// Encodes `k` normalized values with their tag-name embeddings
+    /// (`tags: [k, d]`) into numeric embeddings `h: [k, d]` (Eqs. 1–4).
+    pub fn encode<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        values: &[f32],
+        tags: Var<'t>,
+    ) -> Var<'t> {
+        let k = values.len();
+        assert!(k > 0, "encode called with no values");
+        let d = self.cfg.dim;
+        let dn = d / self.cfg.metas;
+        // x = ACT_FN(v · W_fc)  (Eq. 3, l = 1)
+        let v = tape.constant(Tensor::from_vec(values.to_vec(), [k, 1]));
+        let w_fc = tape.param(store, self.w_fc);
+        let mut x = v.matmul(w_fc).gelu();
+
+        for layer in &self.layers {
+            // Attention scores over meta domains (Eq. 1):
+            // s = softmax(t W_q Eᵀ / sqrt(d/N))   [k, N]
+            let w_q = tape.param(store, layer.w_q);
+            let meta = tape.param(store, layer.meta);
+            let q = tags.matmul(w_q); // [k, d/N]
+            let scores = q.matmul(meta.transpose(0, 1)).scale(1.0 / (dn as f32).sqrt());
+            let attn = scores.softmax_last(); // [k, N]
+
+            // ĥ = Σᵢ sᵢ · (x W_v⁽ⁱ⁾)  (Eq. 2)
+            let mut hhat: Option<Var<'t>> = None;
+            for (i, &w_v) in layer.w_v.iter().enumerate() {
+                let vi = x.matmul(tape.param(store, w_v)); // [k, d]
+                let wi = attn.narrow(1, i, 1); // [k, 1] broadcasts over d
+                let term = vi.mul(wi);
+                hhat = Some(match hhat {
+                    Some(acc) => acc.add(term),
+                    None => term,
+                });
+            }
+            let hhat = hhat.expect("metas > 0");
+
+            // h = Norm(FFN(ĥ) + α · x W_down W_up)  (Eq. 4)
+            let ffn = layer.ffn_down.forward(tape, store, layer.ffn_up.forward(tape, store, hhat).gelu());
+            let lora = x
+                .matmul(tape.param(store, layer.w_down))
+                .matmul(tape.param(store, layer.w_up))
+                .scale(self.cfg.alpha);
+            x = layer.norm.forward(tape, store, ffn.add(lora));
+        }
+        x
+    }
+
+    /// Numeric regression loss `L_reg` (Eq. 5): NDec must reconstruct the
+    /// value from the transformer's output at the slot (`slot_hidden: [k, d]`).
+    pub fn regression_loss<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        slot_hidden: Var<'t>,
+        values: &[f32],
+    ) -> Var<'t> {
+        let k = values.len();
+        let pred = self.ndec.forward(tape, store, slot_hidden); // [k, 1]
+        pred.mse(&Tensor::from_vec(values.to_vec(), [k, 1]))
+    }
+
+    /// Tag classification loss `L_cls` (Eq. 6) on the numeric embeddings
+    /// `h: [k, d]`. Returns `None` when TGC is disabled.
+    pub fn tag_loss<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        h: Var<'t>,
+        tag_labels: &[Option<usize>],
+    ) -> Option<Var<'t>> {
+        let tgc = self.tgc.as_ref()?;
+        if tag_labels.iter().all(Option::is_none) {
+            return None;
+        }
+        let logits = tgc.forward(tape, store, h);
+        Some(logits.cross_entropy_logits(tag_labels))
+    }
+
+    /// Numerical contrastive loss `L_nc` (Eq. 7): within the batch, the
+    /// sample with the closest value is positive, all others negative.
+    /// Returns `None` for batches smaller than 3.
+    pub fn contrastive_loss<'t>(&self, h: Var<'t>, values: &[f32]) -> Option<Var<'t>> {
+        let k = values.len();
+        if k < 3 {
+            return None;
+        }
+        let tape = h.owner();
+        let hn = h.normalize_last(1e-8);
+        let sim = hn.matmul(hn.transpose(0, 1)).scale(1.0 / self.cfg.tau); // [k, k]
+        // Exclude self-similarity from the softmax denominator.
+        let mut diag = Tensor::zeros([k, k]);
+        for i in 0..k {
+            diag.as_mut_slice()[i * k + i] = -1e9;
+        }
+        let logp = sim.add(tape.constant(diag)).log_softmax_last();
+        // One-hot positives: closest value, ties to the lowest index.
+        let mut pos_mask = Tensor::zeros([k, k]);
+        for i in 0..k {
+            let mut best = usize::MAX;
+            let mut best_d = f32::INFINITY;
+            for j in 0..k {
+                if j == i {
+                    continue;
+                }
+                let dist = (values[i] - values[j]).abs();
+                if dist < best_d {
+                    best_d = dist;
+                    best = j;
+                }
+            }
+            pos_mask.as_mut_slice()[i * k + best] = 1.0;
+        }
+        Some(logp.mul(tape.constant(pos_mask)).sum_all().scale(-1.0 / k as f32))
+    }
+
+    /// The fused numeric loss `L_num` with uncertainty weighting
+    /// (Kendall-style, the paper's "automatically weighted loss"):
+    /// `½ Σᵢ Lᵢ/μᵢ² + Σᵢ ln(1 + μᵢ²)`, over whichever of the three
+    /// components are available, plus the orthogonal penalty (Eq. 8).
+    pub fn numeric_loss<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        h: Var<'t>,
+        slot_hidden: Var<'t>,
+        values: &[f32],
+        tag_labels: &[Option<usize>],
+    ) -> Var<'t> {
+        let reg = self.regression_loss(tape, store, slot_hidden, values);
+        let cls = self.tag_loss(tape, store, h, tag_labels);
+        let nc = self.contrastive_loss(h, values);
+
+        let mut total = self.weighted(tape, store, reg, 0);
+        if let Some(cls) = cls {
+            total = total.add(self.weighted(tape, store, cls, 1));
+        }
+        if let Some(nc) = nc {
+            total = total.add(self.weighted(tape, store, nc, 2));
+        }
+        total.add(self.orthogonal_penalty(tape, store))
+    }
+
+    /// `½ L/μᵢ² + ln(1 + μᵢ²)` for the i-th task.
+    fn weighted<'t>(&self, tape: &'t Tape, store: &ParamStore, loss: Var<'t>, i: usize) -> Var<'t> {
+        let mu = tape.param(store, self.mu[i]);
+        let mu2 = mu.square();
+        let weighted = loss.scale(0.5).div(mu2);
+        let penalty = mu2.add_scalar(1.0).ln();
+        weighted.add(penalty).reshape(tele_tensor::Shape::scalar())
+    }
+
+    /// Orthogonal regularization (Eq. 8): `λ Σᵢ ‖I − W_v⁽ⁱ⁾ᵀ W_v⁽ⁱ⁾‖²_F`
+    /// across all layers.
+    pub fn orthogonal_penalty<'t>(&self, tape: &'t Tape, store: &ParamStore) -> Var<'t> {
+        let eye = Tensor::eye(self.cfg.dim);
+        let mut total: Option<Var<'t>> = None;
+        for layer in &self.layers {
+            for &w_v in &layer.w_v {
+                let w = tape.param(store, w_v);
+                let gram = w.transpose(0, 1).matmul(w);
+                let diff = tape.constant(eye.clone()).sub(gram);
+                let term = diff.square().sum_all();
+                total = Some(match total {
+                    Some(acc) => acc.add(term),
+                    None => term,
+                });
+            }
+        }
+        total.expect("at least one layer").scale(self.cfg.lambda)
+    }
+
+    /// Current uncertainty weights (μ₁, μ₂, μ₃), for logging.
+    pub fn uncertainties(&self, store: &ParamStore) -> [f32; 3] {
+        [
+            store.value(self.mu[0]).item(),
+            store.value(self.mu[1]).item(),
+            store.value(self.mu[2]).item(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tele_tensor::optim::AdamW;
+
+    fn setup(num_tags: usize) -> (ParamStore, Anenc) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cfg = AnencConfig::for_dim(16, num_tags);
+        let anenc = Anenc::new(&mut store, "anenc", cfg, &mut rng);
+        (store, anenc)
+    }
+
+    fn fake_tags<'t>(tape: &'t Tape, k: usize, d: usize) -> Var<'t> {
+        let data: Vec<f32> = (0..k * d).map(|i| ((i % 7) as f32 - 3.0) * 0.1).collect();
+        tape.constant(Tensor::from_vec(data, [k, d]))
+    }
+
+    #[test]
+    fn encode_shapes_and_finite() {
+        let (store, anenc) = setup(3);
+        let tape = Tape::new();
+        let tags = fake_tags(&tape, 4, 16);
+        let h = anenc.encode(&tape, &store, &[0.1, 0.5, 0.9, 0.3], tags);
+        assert_eq!(h.value().shape().dims(), &[4, 16]);
+        assert!(h.value().all_finite());
+    }
+
+    #[test]
+    fn different_values_different_embeddings() {
+        let (store, anenc) = setup(0);
+        let tape = Tape::new();
+        let tags = fake_tags(&tape, 2, 16);
+        let h = anenc.encode(&tape, &store, &[0.0, 1.0], tags).value();
+        let d: f32 = h
+            .row(0)
+            .iter()
+            .zip(h.row(1).iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1e-3, "value change did not move the embedding");
+    }
+
+    #[test]
+    fn tag_changes_move_embedding() {
+        let (store, anenc) = setup(0);
+        let tape = Tape::new();
+        let t1 = tape.constant(Tensor::full([1, 16], 0.2));
+        let t2 = tape.constant(Tensor::full([1, 16], -0.2));
+        let h1 = anenc.encode(&tape, &store, &[0.5], t1).value();
+        let h2 = anenc.encode(&tape, &store, &[0.5], t2).value();
+        let d: f32 = h1
+            .as_slice()
+            .iter()
+            .zip(h2.as_slice().iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1e-4, "tag change did not move the embedding");
+    }
+
+    #[test]
+    fn contrastive_positive_is_nearest_value() {
+        let (store, anenc) = setup(0);
+        let tape = Tape::new();
+        let tags = fake_tags(&tape, 3, 16);
+        let h = anenc.encode(&tape, &store, &[0.1, 0.11, 0.9], tags);
+        let loss = anenc.contrastive_loss(h, &[0.1, 0.11, 0.9]);
+        assert!(loss.is_some());
+        assert!(loss.unwrap().value().item().is_finite());
+    }
+
+    #[test]
+    fn contrastive_skipped_for_tiny_batches() {
+        let (store, anenc) = setup(0);
+        let tape = Tape::new();
+        let tags = fake_tags(&tape, 2, 16);
+        let h = anenc.encode(&tape, &store, &[0.1, 0.9], tags);
+        assert!(anenc.contrastive_loss(h, &[0.1, 0.9]).is_none());
+    }
+
+    #[test]
+    fn tag_loss_disabled_without_tgc() {
+        let (store, anenc) = setup(0);
+        let tape = Tape::new();
+        let tags = fake_tags(&tape, 3, 16);
+        let h = anenc.encode(&tape, &store, &[0.1, 0.5, 0.9], tags);
+        assert!(anenc.tag_loss(&tape, &store, h, &[Some(0), Some(1), None]).is_none());
+    }
+
+    #[test]
+    fn orthogonal_penalty_small_at_init_positive_always() {
+        let (store, anenc) = setup(0);
+        let tape = Tape::new();
+        let p = anenc.orthogonal_penalty(&tape, &store).value().item();
+        assert!(p >= 0.0);
+        assert!(p < 1.0, "near-identity init should have small penalty: {p}");
+    }
+
+    #[test]
+    fn numeric_loss_trains_value_recovery() {
+        // End-to-end: NDec applied directly to h must learn to recover v.
+        let (mut store, anenc) = setup(0);
+        let mut opt = AdamW::new(3e-3, 0.0);
+        let values: Vec<f32> = (0..8).map(|i| i as f32 / 7.0).collect();
+        let labels: Vec<Option<usize>> = vec![None; 8];
+        let mut last = f32::INFINITY;
+        for step in 0..150 {
+            store.zero_grads();
+            let tape = Tape::new();
+            let tags = fake_tags(&tape, 8, 16);
+            let h = anenc.encode(&tape, &store, &values, tags);
+            // Use h itself as the "transformer output" stand-in.
+            let loss = anenc.numeric_loss(&tape, &store, h, h, &values, &labels);
+            let grads = tape.backward(loss);
+            grads.accumulate_into(&tape, &mut store);
+            opt.step(&mut store);
+            if step == 0 {
+                last = loss.value().item();
+            }
+        }
+        let tape = Tape::new();
+        let tags = fake_tags(&tape, 8, 16);
+        let h = anenc.encode(&tape, &store, &values, tags);
+        let final_reg = anenc.regression_loss(&tape, &store, h, &values).value().item();
+        assert!(final_reg < 0.02, "regression did not converge: {final_reg}");
+        assert!(final_reg.is_finite() && last.is_finite());
+    }
+
+    #[test]
+    fn uncertainty_params_move_during_training() {
+        let (mut store, anenc) = setup(2);
+        let mut opt = AdamW::new(1e-2, 0.0);
+        let before = anenc.uncertainties(&store);
+        let values = [0.1, 0.4, 0.7, 0.95];
+        let labels = [Some(0), Some(1), Some(0), Some(1)];
+        for _ in 0..30 {
+            store.zero_grads();
+            let tape = Tape::new();
+            let tags = fake_tags(&tape, 4, 16);
+            let h = anenc.encode(&tape, &store, &values, tags);
+            let loss = anenc.numeric_loss(&tape, &store, h, h, &values, &labels);
+            tape.backward(loss).accumulate_into(&tape, &mut store);
+            opt.step(&mut store);
+        }
+        let after = anenc.uncertainties(&store);
+        assert!(before.iter().zip(after.iter()).any(|(b, a)| (b - a).abs() > 1e-4));
+    }
+}

@@ -1,0 +1,103 @@
+//! Batching: padding variable-length encodings into rectangular id blocks
+//! and collecting numeric slots with flattened positions.
+
+use tele_tokenizer::{special_ids, Encoding};
+
+/// A numeric slot inside a padded batch.
+#[derive(Clone, Debug)]
+pub struct BatchNumeric {
+    /// Flat row index into the `[batch * seq, d]` hidden matrix.
+    pub flat_pos: usize,
+    /// The raw value (normalize before training).
+    pub value: f32,
+    /// Tag-name token ids.
+    pub tag_ids: Vec<usize>,
+    /// Tag surface.
+    pub tag: String,
+}
+
+/// A padded batch of encodings.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Right-padded ids, row-major `[batch * seq]`.
+    pub ids: Vec<usize>,
+    /// Batch size.
+    pub batch: usize,
+    /// Padded sequence length.
+    pub seq: usize,
+    /// True lengths per row.
+    pub lens: Vec<usize>,
+    /// Maskable word spans, positions flattened per row
+    /// (`row * seq + offset`).
+    pub word_spans: Vec<(usize, usize)>,
+    /// Numeric slots with flattened positions.
+    pub numerics: Vec<BatchNumeric>,
+}
+
+impl Batch {
+    /// Pads `encodings` into one batch. Panics on an empty slice.
+    pub fn collate(encodings: &[&Encoding]) -> Batch {
+        assert!(!encodings.is_empty(), "cannot collate an empty batch");
+        let batch = encodings.len();
+        let seq = encodings.iter().map(|e| e.len()).max().expect("non-empty");
+        let mut ids = vec![special_ids::PAD; batch * seq];
+        let mut lens = Vec::with_capacity(batch);
+        let mut word_spans = Vec::new();
+        let mut numerics = Vec::new();
+        for (row, e) in encodings.iter().enumerate() {
+            let base = row * seq;
+            ids[base..base + e.len()].copy_from_slice(&e.ids);
+            lens.push(e.len());
+            for &(start, len) in &e.words {
+                word_spans.push((base + start, len));
+            }
+            for n in &e.numerics {
+                numerics.push(BatchNumeric {
+                    flat_pos: base + n.pos,
+                    value: n.value,
+                    tag_ids: n.tag_ids.clone(),
+                    tag: n.tag.clone(),
+                });
+            }
+        }
+        Batch { ids, batch, seq, lens, word_spans, numerics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tele_tokenizer::NumericSlot;
+
+    fn enc(ids: Vec<usize>, words: Vec<(usize, usize)>, numerics: Vec<NumericSlot>) -> Encoding {
+        Encoding { ids, words, numerics }
+    }
+
+    #[test]
+    fn collate_pads_to_longest() {
+        let a = enc(vec![2, 10, 3], vec![(1, 1)], vec![]);
+        let b = enc(vec![2, 11, 12, 13, 3], vec![(1, 3)], vec![]);
+        let batch = Batch::collate(&[&a, &b]);
+        assert_eq!(batch.batch, 2);
+        assert_eq!(batch.seq, 5);
+        assert_eq!(batch.lens, vec![3, 5]);
+        assert_eq!(&batch.ids[..5], &[2, 10, 3, 0, 0]);
+        assert_eq!(&batch.ids[5..], &[2, 11, 12, 13, 3]);
+    }
+
+    #[test]
+    fn spans_and_numerics_flattened() {
+        let a = enc(
+            vec![2, 10, 6, 3],
+            vec![(1, 1)],
+            vec![NumericSlot { pos: 2, value: 0.4, tag_ids: vec![10], tag: "t".into() }],
+        );
+        let b = enc(vec![2, 11, 12, 3], vec![(1, 2)], vec![]);
+        let batch = Batch::collate(&[&a, &b]);
+        assert_eq!(batch.word_spans, vec![(1, 1), (5, 2)]);
+        assert_eq!(batch.numerics.len(), 1);
+        assert_eq!(batch.numerics[0].flat_pos, 2);
+        let c = Batch::collate(&[&b, &a]);
+        assert_eq!(c.numerics[0].flat_pos, 4 + 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Bundle checkpointing: serialize a trained [`TeleBert`] (tokenizer,
+//! configuration, parameters, normalizer) to JSON and rebuild it later.
+//!
+//! Parameters are matched by name, so a stage-1 (TeleBERT) checkpoint loads
+//! into a stage-1 structure and a stage-2 (KTeleBERT, with ANEnc) checkpoint
+//! into a stage-2 structure; extra entries (e.g. the ELECTRA generator from
+//! pre-training) are skipped.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use tele_tensor::{nn::TransformerConfig, ParamStore};
+use tele_tokenizer::TeleTokenizer;
+
+use crate::anenc::AnencConfig;
+use crate::model::{ModelConfig, TeleBert, TeleModel};
+use crate::normalizer::TagNormalizer;
+
+/// The canonical parameter-name prefix used by the trainers; checkpoints
+/// rebuild model structures under this prefix so names line up.
+pub const MODEL_PREFIX: &str = "telebert";
+
+/// Everything needed to reconstruct a bundle.
+#[derive(Serialize, Deserialize)]
+pub struct SavedBundle {
+    /// The tokenizer.
+    pub tokenizer: TeleTokenizer,
+    /// Encoder configuration.
+    pub encoder: TransformerConfig,
+    /// ANEnc configuration, if attached.
+    pub anenc: Option<AnencConfig>,
+    /// Parameter checkpoint (the `ParamStore` JSON).
+    pub params: String,
+    /// The fitted normalizer.
+    pub normalizer: TagNormalizer,
+}
+
+/// Serializes a bundle to a JSON string.
+pub fn save_bundle(bundle: &TeleBert) -> String {
+    let saved = SavedBundle {
+        tokenizer: bundle.tokenizer.clone(),
+        encoder: bundle.model.encoder.cfg.clone(),
+        anenc: bundle.model.anenc.as_ref().map(|a| a.cfg.clone()),
+        params: bundle.store.to_json(),
+        normalizer: bundle.normalizer.clone(),
+    };
+    serde_json::to_string(&saved).expect("bundle serialization cannot fail")
+}
+
+/// Rebuilds a bundle from [`save_bundle`] output.
+pub fn load_bundle(json: &str) -> serde_json::Result<TeleBert> {
+    let saved: SavedBundle = serde_json::from_str(json)?;
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let cfg = ModelConfig { encoder: saved.encoder, anenc: saved.anenc };
+    let model = TeleModel::new(&mut store, MODEL_PREFIX, &cfg, &mut rng);
+    let summary = store
+        .load_json(&saved.params)
+        .expect("checkpoint params must parse");
+    assert!(summary.loaded > 0, "checkpoint loaded no parameters");
+    Ok(TeleBert { store, model, tokenizer: saved.tokenizer, normalizer: saved.normalizer })
+}
+
+/// Clones a trained bundle via a save/load round-trip (bundles own their
+/// parameter stores, so a structural clone goes through the checkpoint
+/// path by design).
+pub fn clone_bundle(bundle: &TeleBert) -> TeleBert {
+    load_bundle(&save_bundle(bundle)).expect("round-trip cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{pretrain, PretrainConfig};
+    use tele_tokenizer::TokenizerConfig;
+
+    #[test]
+    fn roundtrip_preserves_embeddings() {
+        let corpus: Vec<String> = (0..30)
+            .map(|i| format!("the control plane {} is congested on SMF", i % 5))
+            .collect();
+        let tokenizer = TeleTokenizer::train(corpus.iter(), &TokenizerConfig::default());
+        let encoder = TransformerConfig {
+            vocab: tokenizer.vocab_size(),
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_hidden: 32,
+            max_len: 32,
+            dropout: 0.1,
+        };
+        let (bundle, _) = pretrain(
+            &corpus,
+            &tokenizer,
+            encoder,
+            &PretrainConfig { steps: 5, batch_size: 4, ..Default::default() },
+        );
+        let sentences = vec!["the control plane 1 is congested on SMF".to_string()];
+        let before = bundle.encode_sentences(&sentences);
+        let restored = load_bundle(&save_bundle(&bundle)).unwrap();
+        let after = restored.encode_sentences(&sentences);
+        assert_eq!(before, after, "checkpoint round-trip changed embeddings");
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let corpus: Vec<String> = (0..20).map(|_| "alarm raised on AMF".to_string()).collect();
+        let tokenizer = TeleTokenizer::train(corpus.iter(), &TokenizerConfig::default());
+        let encoder = TransformerConfig {
+            vocab: tokenizer.vocab_size(),
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_hidden: 32,
+            max_len: 32,
+            dropout: 0.1,
+        };
+        let (bundle, _) = pretrain(
+            &corpus,
+            &tokenizer,
+            encoder,
+            &PretrainConfig { steps: 3, batch_size: 4, ..Default::default() },
+        );
+        let mut clone = clone_bundle(&bundle);
+        // Mutating the clone must not affect the original.
+        let id = clone.store.ids().next().unwrap();
+        let zeroed = tele_tensor::Tensor::zeros(clone.store.value(id).shape().clone());
+        clone.store.set_value(id, zeroed);
+        let orig_ids: Vec<_> = bundle.store.ids().collect();
+        assert!(bundle.store.value(orig_ids[0]).norm_l2() > 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! ELECTRA pre-training (paper Sec. III-B): a small MLM generator fills the
+//! masked positions, and the main model acts as a discriminator trained
+//! with replaced-token detection (RTD).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tele_tensor::{nn::Linear, ParamStore, Tape, Tensor, Var};
+
+use crate::batch::Batch;
+use crate::masking::MaskedBatch;
+use crate::model::TeleModel;
+
+/// The ELECTRA generator/discriminator coupling.
+pub struct Electra {
+    /// The small MLM generator.
+    pub generator: TeleModel,
+    rtd_head: Linear,
+    /// Weight of the RTD loss relative to the generator MLM loss
+    /// (ELECTRA uses 50 on large models; small models need less).
+    pub rtd_weight: f32,
+}
+
+/// Losses of one ELECTRA step.
+pub struct ElectraLosses<'t> {
+    /// Generator MLM loss.
+    pub mlm: Var<'t>,
+    /// Discriminator replaced-token-detection loss.
+    pub rtd: Var<'t>,
+    /// `mlm + rtd_weight * rtd`.
+    pub total: Var<'t>,
+    /// Discriminator hidden states (for chaining SimCSE on the same pass).
+    pub disc_hidden: Var<'t>,
+}
+
+impl Electra {
+    /// Creates the generator (a narrower copy of the discriminator's
+    /// configuration) and the RTD head on the discriminator's width.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        disc_cfg: &tele_tensor::nn::TransformerConfig,
+        rtd_weight: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut gen_cfg = disc_cfg.clone();
+        gen_cfg.dim = (disc_cfg.dim / 2).max(8);
+        gen_cfg.ffn_hidden = (disc_cfg.ffn_hidden / 2).max(16);
+        gen_cfg.heads = (disc_cfg.heads / 2).max(1);
+        gen_cfg.layers = (disc_cfg.layers / 2).max(1);
+        let generator = TeleModel::new(
+            store,
+            &format!("{name}.gen"),
+            &crate::model::ModelConfig { encoder: gen_cfg, anenc: None },
+            rng,
+        );
+        let rtd_head = Linear::new(store, &format!("{name}.rtd"), disc_cfg.dim, 1, true, rng);
+        Electra { generator, rtd_head, rtd_weight }
+    }
+
+    /// One ELECTRA step over a masked batch:
+    /// 1. the generator reconstructs masked tokens (MLM loss),
+    /// 2. masked positions are filled with generator samples,
+    /// 3. the discriminator classifies each unpadded position as
+    ///    original / replaced (RTD loss).
+    pub fn step<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        discriminator: &TeleModel,
+        batch: &Batch,
+        masked: &MaskedBatch,
+        rng: &mut StdRng,
+    ) -> ElectraLosses<'t> {
+        // Generator pass on the masked input.
+        let gen_out = self.generator.encode(tape, store, batch, Some(&masked.ids), None, Some(rng));
+        let gen_logits = self.generator.mlm_logits(tape, store, gen_out.hidden);
+        let mlm = gen_logits.cross_entropy_logits(&masked.targets);
+
+        // Sample replacements at masked positions (no gradient through the
+        // sampling, as in ELECTRA).
+        let logits_val = gen_logits.value();
+        let vocab = logits_val.shape().dim(1);
+        let mut corrupted = batch.ids.clone();
+        let mut replaced = vec![false; corrupted.len()];
+        for (pos, target) in masked.targets.iter().enumerate() {
+            if target.is_none() {
+                continue;
+            }
+            let sampled = sample_row(logits_val.row(pos), rng);
+            replaced[pos] = sampled != batch.ids[pos];
+            corrupted[pos] = sampled;
+        }
+        let _ = vocab;
+
+        // Discriminator pass on the corrupted input.
+        let disc_out = discriminator.encode(tape, store, batch, Some(&corrupted), None, Some(rng));
+        let d = discriminator.dim();
+        let flat = disc_out.hidden.reshape([batch.batch * batch.seq, d]);
+        // RTD over unpadded positions only.
+        let positions: Vec<usize> = (0..batch.batch)
+            .flat_map(|b| (0..batch.lens[b]).map(move |p| b * batch.seq + p))
+            .collect();
+        let selected = flat.index_select0(&positions);
+        let logits = self
+            .rtd_head
+            .forward(tape, store, selected)
+            .reshape([positions.len()]);
+        let labels: Vec<f32> = positions.iter().map(|&p| replaced[p] as u8 as f32).collect();
+        let rtd = logits.bce_with_logits(&Tensor::from_vec(labels, [positions.len()]));
+
+        let total = mlm.add(rtd.scale(self.rtd_weight));
+        ElectraLosses { mlm, rtd, total, disc_hidden: disc_out.hidden }
+    }
+}
+
+/// Samples an index from a logit row (softmax sampling).
+fn sample_row(logits: &[f32], rng: &mut StdRng) -> usize {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut r = rng.gen::<f32>() * sum;
+    for (i, &e) in exps.iter().enumerate() {
+        r -= e;
+        if r <= 0.0 {
+            return i;
+        }
+    }
+    exps.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::masking::{apply_masking, MaskingConfig};
+    use crate::model::ModelConfig;
+    use rand::SeedableRng;
+    use tele_tensor::nn::TransformerConfig;
+    use tele_tokenizer::Encoding;
+
+    fn setup() -> (ParamStore, TeleModel, Electra, Batch) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cfg = TransformerConfig {
+            vocab: 40,
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_hidden: 32,
+            max_len: 16,
+            dropout: 0.1,
+        };
+        let disc = TeleModel::new(
+            &mut store,
+            "disc",
+            &ModelConfig { encoder: cfg.clone(), anenc: None },
+            &mut rng,
+        );
+        let electra = Electra::new(&mut store, "electra", &cfg, 1.0, &mut rng);
+        let e = Encoding {
+            ids: vec![2, 20, 21, 22, 23, 24, 3],
+            words: (1..6).map(|i| (i, 1)).collect(),
+            numerics: vec![],
+        };
+        let batch = Batch::collate(&[&e]);
+        (store, disc, electra, batch)
+    }
+
+    #[test]
+    fn losses_are_finite_and_positive() {
+        let (store, disc, electra, batch) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let masked = apply_masking(&batch, 40, &MaskingConfig { rate: 0.5, whole_word: false }, &mut rng);
+        let tape = Tape::new();
+        let losses = electra.step(&tape, &store, &disc, &batch, &masked, &mut rng);
+        assert!(losses.mlm.value().item() > 0.0);
+        assert!(losses.rtd.value().item() > 0.0);
+        assert!(losses.total.value().item().is_finite());
+    }
+
+    #[test]
+    fn gradients_reach_both_models() {
+        let (mut store, disc, electra, batch) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let masked = apply_masking(&batch, 40, &MaskingConfig { rate: 1.0, whole_word: false }, &mut rng);
+        store.zero_grads();
+        let tape = Tape::new();
+        let losses = electra.step(&tape, &store, &disc, &batch, &masked, &mut rng);
+        tape.backward(losses.total).accumulate_into(&tape, &mut store);
+        let gen_tok = electra.generator.encoder.tok_embedding().weight_id();
+        let disc_tok = disc.encoder.tok_embedding().weight_id();
+        assert!(store.grad(gen_tok).norm_l2() > 0.0, "no grad to generator");
+        assert!(store.grad(disc_tok).norm_l2() > 0.0, "no grad to discriminator");
+    }
+}

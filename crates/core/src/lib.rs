@@ -1,0 +1,36 @@
+//! # ktelebert
+//!
+//! The paper's primary contribution: tele-domain pre-training
+//! ([`trainer::pretrain`] — ELECTRA + SimCSE + whole-word MLM) and
+//! knowledge-enhanced re-training ([`trainer::retrain`] — raised masking
+//! rate, the adaptive numeric encoder [`Anenc`], the knowledge-embedding
+//! objective [`ke`], and the STL / PMTL / IMTL strategies of Table II).
+//!
+//! The result is a [`TeleBert`] bundle that delivers `[CLS]` service
+//! embeddings ([`ServiceEncoder`]) to the downstream fault-analysis tasks
+//! in `tele-tasks`.
+
+#![warn(missing_docs)]
+
+pub mod anenc;
+pub mod batch;
+pub mod checkpoint;
+pub mod electra;
+pub mod ke;
+pub mod masking;
+pub mod model;
+pub mod normalizer;
+pub mod service;
+pub mod simcse;
+pub mod strategy;
+pub mod trainer;
+
+pub use anenc::{Anenc, AnencConfig};
+pub use batch::Batch;
+pub use checkpoint::{clone_bundle, load_bundle, save_bundle, SavedBundle};
+pub use masking::MaskingConfig;
+pub use model::{ModelConfig, Pooling, TeleBert, TeleModel};
+pub use normalizer::TagNormalizer;
+pub use service::{cosine, ServiceEncoder, ServiceFormat};
+pub use strategy::{StepTask, Strategy};
+pub use trainer::{pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, TrainLog};

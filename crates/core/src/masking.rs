@@ -1,0 +1,202 @@
+//! Mask-reconstruction strategies (paper Sec. IV-C).
+//!
+//! - Prompt tokens, control tokens and `[NUM]` values are excluded from the
+//!   mask candidate set (only the batch's word spans are maskable).
+//! - Whole-word masking hides entire spans (domain phrases included).
+//! - Masking is *dynamic* in RoBERTa's sense by construction: each training
+//!   step samples a fresh pattern.
+//! - The re-training stage raises the rate from BERT's 15% to 40%,
+//!   following the paper's adoption of higher-rate masking.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tele_tokenizer::special_ids;
+
+use crate::batch::Batch;
+
+/// Masking hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MaskingConfig {
+    /// Fraction of candidate tokens to mask.
+    pub rate: f32,
+    /// Whole-word masking: hide complete spans instead of single tokens.
+    pub whole_word: bool,
+}
+
+impl MaskingConfig {
+    /// Stage-1 (TeleBERT) defaults: 15%, WWM.
+    pub fn stage1() -> Self {
+        MaskingConfig { rate: 0.15, whole_word: true }
+    }
+
+    /// Stage-2 (KTeleBERT re-training) defaults: 40%, WWM.
+    pub fn stage2() -> Self {
+        MaskingConfig { rate: 0.40, whole_word: true }
+    }
+}
+
+/// A masked batch ready for the MLM objective.
+#[derive(Clone, Debug)]
+pub struct MaskedBatch {
+    /// Ids with masking applied (same layout as the source batch).
+    pub ids: Vec<usize>,
+    /// Reconstruction target per position; `None` where not masked.
+    pub targets: Vec<Option<usize>>,
+}
+
+/// Applies BERT-style masking (80% `[MASK]`, 10% random learned token, 10%
+/// unchanged) to the maskable spans of a batch.
+pub fn apply_masking(
+    batch: &Batch,
+    vocab_size: usize,
+    cfg: &MaskingConfig,
+    rng: &mut StdRng,
+) -> MaskedBatch {
+    let mut ids = batch.ids.clone();
+    let mut targets = vec![None; ids.len()];
+    let learned_range = special_ids::FIRST_LEARNED..vocab_size;
+
+    let mask_position = |pos: usize, ids: &mut Vec<usize>, targets: &mut Vec<Option<usize>>, rng: &mut StdRng| {
+        targets[pos] = Some(ids[pos]);
+        let roll: f32 = rng.gen();
+        if roll < 0.8 {
+            ids[pos] = special_ids::MASK;
+        } else if roll < 0.9 && learned_range.len() > 0 {
+            ids[pos] = rng.gen_range(learned_range.clone());
+        } // else leave unchanged
+    };
+
+    if cfg.whole_word {
+        // Shuffle spans and take them until the token budget is filled.
+        let total: usize = batch.word_spans.iter().map(|s| s.1).sum();
+        let budget = ((total as f32 * cfg.rate).round() as usize).max(usize::from(total > 0));
+        let mut order: Vec<usize> = (0..batch.word_spans.len()).collect();
+        // Fisher–Yates.
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut used = 0;
+        for &si in &order {
+            if used >= budget {
+                break;
+            }
+            let (start, len) = batch.word_spans[si];
+            for p in start..start + len {
+                mask_position(p, &mut ids, &mut targets, rng);
+            }
+            used += len;
+        }
+    } else {
+        for &(start, len) in &batch.word_spans {
+            for p in start..start + len {
+                if rng.gen::<f32>() < cfg.rate {
+                    mask_position(p, &mut ids, &mut targets, rng);
+                }
+            }
+        }
+    }
+
+    MaskedBatch { ids, targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tele_tokenizer::Encoding;
+
+    fn demo_batch() -> Batch {
+        // [CLS] w w w w w w w w w [SEP] — one 9-token span plus singles.
+        let e = Encoding {
+            ids: vec![2, 20, 21, 22, 23, 24, 25, 26, 27, 28, 3],
+            words: vec![(1, 3), (4, 1), (5, 1), (6, 1), (7, 1), (8, 1), (9, 1)],
+            numerics: vec![],
+        };
+        Batch::collate(&[&e])
+    }
+
+    #[test]
+    fn only_span_positions_masked() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = demo_batch();
+        let m = apply_masking(&b, 100, &MaskingConfig { rate: 1.0, whole_word: true }, &mut rng);
+        // CLS/SEP untouched.
+        assert!(m.targets[0].is_none());
+        assert!(m.targets[10].is_none());
+        assert_eq!(m.ids[0], 2);
+        assert_eq!(m.ids[10], 3);
+        // Everything inside spans is a target at rate 1.0.
+        for p in 1..10 {
+            assert!(m.targets[p].is_some());
+        }
+    }
+
+    #[test]
+    fn targets_record_original_ids() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = demo_batch();
+        let m = apply_masking(&b, 100, &MaskingConfig { rate: 1.0, whole_word: true }, &mut rng);
+        for p in 1..10 {
+            assert_eq!(m.targets[p], Some(b.ids[p]));
+        }
+    }
+
+    #[test]
+    fn whole_word_masks_entire_span() {
+        let rng = StdRng::seed_from_u64(2);
+        let b = demo_batch();
+        // Low rate: at most one span gets chosen; the 3-token span must be
+        // all-or-nothing.
+        for seed in 0..20 {
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let m = apply_masking(&b, 100, &MaskingConfig { rate: 0.12, whole_word: true }, &mut rng2);
+            let span_masked: Vec<bool> = (1..4).map(|p| m.targets[p].is_some()).collect();
+            assert!(
+                span_masked.iter().all(|&x| x) || span_masked.iter().all(|&x| !x),
+                "partial whole-word mask: {span_masked:?}"
+            );
+        }
+        let _ = rng;
+    }
+
+    #[test]
+    fn rate_controls_mask_count() {
+        let b = demo_batch();
+        let mut low_total = 0;
+        let mut high_total = 0;
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = apply_masking(&b, 100, &MaskingConfig { rate: 0.15, whole_word: false }, &mut rng);
+            low_total += m.targets.iter().flatten().count();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = apply_masking(&b, 100, &MaskingConfig { rate: 0.40, whole_word: false }, &mut rng);
+            high_total += m.targets.iter().flatten().count();
+        }
+        assert!(high_total > low_total, "40% should mask more than 15%");
+    }
+
+    #[test]
+    fn dynamic_masking_varies_across_calls() {
+        let b = demo_batch();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m1 = apply_masking(&b, 100, &MaskingConfig::stage1(), &mut rng);
+        let m2 = apply_masking(&b, 100, &MaskingConfig::stage1(), &mut rng);
+        assert_ne!(m1.targets, m2.targets, "masking pattern should change per step");
+    }
+
+    #[test]
+    fn numeric_positions_never_masked() {
+        use crate::batch::BatchNumeric;
+        let e = Encoding {
+            ids: vec![2, 20, 13, 3], // 13 = [NUM] prompt id region
+            words: vec![(1, 1)],
+            numerics: vec![],
+        };
+        let mut b = Batch::collate(&[&e]);
+        b.numerics.push(BatchNumeric { flat_pos: 2, value: 0.3, tag_ids: vec![20], tag: "t".into() });
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = apply_masking(&b, 100, &MaskingConfig { rate: 1.0, whole_word: true }, &mut rng);
+        assert!(m.targets[2].is_none(), "numeric slot was masked");
+    }
+}

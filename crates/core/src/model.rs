@@ -1,0 +1,388 @@
+//! The TeleBERT / KTeleBERT encoder model.
+//!
+//! One [`TeleModel`] covers both stages: stage 1 (TeleBERT) is the
+//! transformer with a weight-tied MLM head; stage 2 (KTeleBERT) attaches the
+//! adaptive numeric encoder, whose outputs replace `[NUM]` token embeddings
+//! before the encoder stack (paper Fig. 4). "w/o ANEnc" ablations simply
+//! construct the model without the module — `[NUM]` slots then keep their
+//! plain prompt-token embedding.
+
+use rand::rngs::StdRng;
+
+use tele_tensor::{
+    nn::{TransformerConfig, TransformerEncoder},
+    ParamId, ParamStore, Tape, Tensor, Var,
+};
+use tele_tokenizer::TeleTokenizer;
+
+use crate::anenc::{Anenc, AnencConfig};
+use crate::batch::Batch;
+use crate::normalizer::TagNormalizer;
+
+/// Model configuration.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Transformer encoder sizes.
+    pub encoder: TransformerConfig,
+    /// ANEnc configuration; `None` disables numeric encoding (TeleBERT and
+    /// the "w/o ANEnc" ablation).
+    pub anenc: Option<AnencConfig>,
+}
+
+impl ModelConfig {
+    /// A TeleBERT-stage configuration for a vocabulary size.
+    pub fn telebert(vocab: usize) -> Self {
+        ModelConfig { encoder: TransformerConfig::base(vocab), anenc: None }
+    }
+
+    /// A KTeleBERT-stage configuration (adds ANEnc with `num_tags` classes).
+    pub fn ktelebert(vocab: usize, num_tags: usize) -> Self {
+        let encoder = TransformerConfig::base(vocab);
+        let anenc = AnencConfig::for_dim(encoder.dim, num_tags);
+        ModelConfig { encoder, anenc: Some(anenc) }
+    }
+}
+
+/// The encoder model with MLM head and optional ANEnc.
+pub struct TeleModel {
+    /// The transformer encoder.
+    pub encoder: TransformerEncoder,
+    /// The adaptive numeric encoder, present in KTeleBERT configurations.
+    pub anenc: Option<Anenc>,
+    mlm_bias: ParamId,
+}
+
+/// The outputs of one encoder pass over a batch.
+pub struct EncodeOutput<'t> {
+    /// Hidden states `[batch, seq, d]`.
+    pub hidden: Var<'t>,
+    /// ANEnc numeric embeddings `[k, d]` for the batch's numeric slots
+    /// (order matches `batch.numerics`); `None` without ANEnc or slots.
+    pub numeric_h: Option<Var<'t>>,
+}
+
+impl TeleModel {
+    /// Creates the model, registering parameters under `name`.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: &ModelConfig, rng: &mut StdRng) -> Self {
+        let encoder = TransformerEncoder::new(store, &format!("{name}.enc"), cfg.encoder.clone(), rng);
+        let anenc = cfg
+            .anenc
+            .as_ref()
+            .map(|a| {
+                assert_eq!(a.dim, cfg.encoder.dim, "ANEnc width must match the encoder");
+                Anenc::new(store, &format!("{name}.anenc"), a.clone(), rng)
+            });
+        let mlm_bias = store.create(format!("{name}.mlm_bias"), Tensor::zeros([cfg.encoder.vocab]));
+        TeleModel { encoder, anenc, mlm_bias }
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.encoder.cfg.dim
+    }
+
+    /// Encodes a batch: embeddings → ANEnc splice at `[NUM]` slots →
+    /// encoder stack. `ids` may override the batch ids (for masked inputs).
+    pub fn encode<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        batch: &Batch,
+        ids_override: Option<&[usize]>,
+        normalizer: Option<&TagNormalizer>,
+        mut rng: Option<&mut StdRng>,
+    ) -> EncodeOutput<'t> {
+        let ids = ids_override.unwrap_or(&batch.ids);
+        assert_eq!(ids.len(), batch.batch * batch.seq, "id override length mismatch");
+        let d = self.dim();
+        let mut x = self
+            .encoder
+            .embed(tape, store, ids, batch.batch, batch.seq, rng.as_deref_mut());
+
+        // Splice numeric embeddings at the [NUM] slots.
+        let mut numeric_h = None;
+        if let (Some(anenc), false) = (&self.anenc, batch.numerics.is_empty()) {
+            let values: Vec<f32> = batch
+                .numerics
+                .iter()
+                .map(|n| match normalizer {
+                    Some(nm) => nm.normalize(&n.tag, n.value),
+                    None => n.value.clamp(0.0, 1.0),
+                })
+                .collect();
+            let tags = self.tag_embeddings(tape, store, batch);
+            let h = anenc.encode(tape, store, &values, tags);
+            let positions: Vec<usize> = batch.numerics.iter().map(|n| n.flat_pos).collect();
+            x = x
+                .reshape([batch.batch * batch.seq, d])
+                .scatter_rows_replace(&positions, h)
+                .reshape([batch.batch, batch.seq, d]);
+            numeric_h = Some(h);
+        }
+
+        let mask = TransformerEncoder::padding_mask(batch.batch, batch.seq, &batch.lens);
+        let hidden = self.encoder.encode_embedded(tape, store, x, Some(&mask), rng);
+        EncodeOutput { hidden, numeric_h }
+    }
+
+    /// Tag-name embeddings for the batch's numeric slots: mean-pooled token
+    /// embeddings (the paper's "tag name's pooling output embedding from the
+    /// former embedding layer"), shape `[k, d]`.
+    fn tag_embeddings<'t>(&self, tape: &'t Tape, store: &ParamStore, batch: &Batch) -> Var<'t> {
+        let vocab = self.encoder.cfg.vocab;
+        let k = batch.numerics.len();
+        // Averaging matrix A [k, vocab]: row i holds 1/len at the tag's
+        // token ids; tag embedding = A · E_tok.
+        let mut a = Tensor::zeros([k, vocab]);
+        {
+            let data = a.as_mut_slice();
+            for (i, n) in batch.numerics.iter().enumerate() {
+                let len = n.tag_ids.len().max(1) as f32;
+                for &t in &n.tag_ids {
+                    data[i * vocab + t] += 1.0 / len;
+                }
+            }
+        }
+        let tok = self.encoder.tok_embedding().weight(tape, store);
+        tape.constant(a).matmul(tok)
+    }
+
+    /// MLM logits `[batch * seq, vocab]` with the projection tied to the
+    /// token embedding table.
+    pub fn mlm_logits<'t>(&self, tape: &'t Tape, store: &ParamStore, hidden: Var<'t>) -> Var<'t> {
+        let shape = hidden.shape();
+        let (b, s, d) = (shape.dim(0), shape.dim(1), shape.dim(2));
+        let tok = self.encoder.tok_embedding().weight(tape, store);
+        let bias = tape.param(store, self.mlm_bias);
+        hidden
+            .reshape([b * s, d])
+            .matmul(tok.transpose(0, 1))
+            .add(bias)
+    }
+
+    /// `[CLS]` sentence embeddings `[batch, d]` from hidden states.
+    pub fn cls<'t>(hidden: Var<'t>) -> Var<'t> {
+        TransformerEncoder::cls(hidden)
+    }
+
+    /// Hidden rows at the batch's numeric slots, `[k, d]` (the NDec input).
+    pub fn slot_hidden<'t>(&self, hidden: Var<'t>, batch: &Batch) -> Var<'t> {
+        let shape = hidden.shape();
+        let (b, s, d) = (shape.dim(0), shape.dim(1), shape.dim(2));
+        let positions: Vec<usize> = batch.numerics.iter().map(|n| n.flat_pos).collect();
+        hidden.reshape([b * s, d]).index_select0(&positions)
+    }
+}
+
+/// Sentence-embedding pooling strategies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pooling {
+    /// The `[CLS]` (first-position) hidden state — the paper's choice.
+    Cls,
+    /// Mean over all unpadded positions.
+    Mean,
+}
+
+/// A trained model bundle: parameters, model structure, tokenizer and the
+/// numeric normalizer, everything needed to deliver service embeddings.
+pub struct TeleBert {
+    /// Parameter values.
+    pub store: ParamStore,
+    /// Model structure.
+    pub model: TeleModel,
+    /// The tokenizer the model was trained with.
+    pub tokenizer: TeleTokenizer,
+    /// Per-tag normalization fitted during (re-)training.
+    pub normalizer: TagNormalizer,
+}
+
+impl TeleBert {
+    /// Encodes raw sentences into `[CLS]` embeddings (eval mode), returning
+    /// one `dim`-sized vector per sentence.
+    pub fn encode_sentences(&self, sentences: &[String]) -> Vec<Vec<f32>> {
+        let encs: Vec<_> = sentences
+            .iter()
+            .map(|s| self.tokenizer.encode(s, self.model.encoder.cfg.max_len))
+            .collect();
+        self.encode_encodings(&encs)
+    }
+
+    /// Encodes pre-tokenized encodings into `[CLS]` embeddings (eval mode).
+    pub fn encode_encodings(&self, encs: &[tele_tokenizer::Encoding]) -> Vec<Vec<f32>> {
+        self.encode_encodings_pooled(encs, Pooling::Cls)
+    }
+
+    /// Encodes with an explicit pooling choice.
+    pub fn encode_encodings_pooled(
+        &self,
+        encs: &[tele_tokenizer::Encoding],
+        pooling: Pooling,
+    ) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(encs.len());
+        // Small batches keep peak memory flat regardless of input count.
+        for chunk in encs.chunks(16) {
+            let refs: Vec<&tele_tokenizer::Encoding> = chunk.iter().collect();
+            let batch = Batch::collate(&refs);
+            let tape = Tape::new();
+            let enc = self
+                .model
+                .encode(&tape, &self.store, &batch, None, Some(&self.normalizer), None);
+            match pooling {
+                Pooling::Cls => {
+                    let cls = TeleModel::cls(enc.hidden).value();
+                    for r in 0..chunk.len() {
+                        out.push(cls.row(r).to_vec());
+                    }
+                }
+                Pooling::Mean => {
+                    let h = enc.hidden.value(); // [b, s, d]
+                    let d = self.model.dim();
+                    for (r, e) in chunk.iter().enumerate() {
+                        let mut acc = vec![0.0f32; d];
+                        let len = e.ids.len();
+                        for p in 0..len {
+                            let base = (r * batch.seq + p) * d;
+                            for (a, &v) in acc.iter_mut().zip(&h.as_slice()[base..base + d]) {
+                                *a += v / len as f32;
+                            }
+                        }
+                        out.push(acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tele_tokenizer::{patterns, SpecialTokenConfig, TokenizerConfig};
+
+    fn tiny_cfg(vocab: usize, with_anenc: bool) -> ModelConfig {
+        let encoder = TransformerConfig {
+            vocab,
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_hidden: 32,
+            max_len: 32,
+            dropout: 0.1,
+        };
+        let anenc = with_anenc.then(|| AnencConfig::for_dim(16, 2));
+        ModelConfig { encoder, anenc }
+    }
+
+    fn tokenizer() -> TeleTokenizer {
+        let corpus: Vec<String> = (0..20)
+            .flat_map(|_| {
+                [
+                    "the control plane is congested on SMF".to_string(),
+                    "success rate of registration drops".to_string(),
+                ]
+            })
+            .collect();
+        TeleTokenizer::train(
+            corpus,
+            &TokenizerConfig {
+                bpe_merges: 60,
+                special: SpecialTokenConfig { min_len: 2, max_len: 4, min_freq: 5 },
+                phrases: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn encode_without_anenc_keeps_num_token() {
+        let tok = tokenizer();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let model = TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), false), &mut rng);
+        let enc = tok.encode_template(&patterns::kpi("success rate", "SMF", 0.7), 32);
+        let batch = Batch::collate(&[&enc]);
+        let tape = Tape::new();
+        let out = model.encode(&tape, &store, &batch, None, None, None);
+        assert!(out.numeric_h.is_none());
+        assert_eq!(out.hidden.value().shape().dims(), &[1, batch.seq, 16]);
+    }
+
+    #[test]
+    fn encode_with_anenc_produces_numeric_embeddings() {
+        let tok = tokenizer();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let model = TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), true), &mut rng);
+        let enc = tok.encode_template(&patterns::kpi("success rate", "SMF", 0.7), 32);
+        let batch = Batch::collate(&[&enc]);
+        let tape = Tape::new();
+        let out = model.encode(&tape, &store, &batch, None, None, None);
+        let h = out.numeric_h.expect("numeric embeddings expected");
+        assert_eq!(h.value().shape().dims(), &[1, 16]);
+        assert!(out.hidden.value().all_finite());
+    }
+
+    #[test]
+    fn numeric_value_changes_cls_only_with_anenc() {
+        let tok = tokenizer();
+        let rng = StdRng::seed_from_u64(1);
+        let run = |with_anenc: bool, value: f32| -> Vec<f32> {
+            let mut rng2 = StdRng::seed_from_u64(7);
+            let mut store = ParamStore::new();
+            let model = TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), with_anenc), &mut rng2);
+            let enc = tok.encode_template(&patterns::kpi("success rate", "SMF", value), 32);
+            let batch = Batch::collate(&[&enc]);
+            let tape = Tape::new();
+            let out = model.encode(&tape, &store, &batch, None, None, None);
+            TeleModel::cls(out.hidden).value().to_vec()
+        };
+        let with_a = run(true, 0.1);
+        let with_b = run(true, 0.9);
+        let without_a = run(false, 0.1);
+        let without_b = run(false, 0.9);
+        let moved: f32 = with_a.iter().zip(&with_b).map(|(a, b)| (a - b).abs()).sum();
+        let unmoved: f32 = without_a.iter().zip(&without_b).map(|(a, b)| (a - b).abs()).sum();
+        assert!(moved > 1e-4, "ANEnc value change invisible to CLS");
+        assert!(unmoved < 1e-6, "without ANEnc the value must be invisible");
+        let _ = rng;
+    }
+
+    #[test]
+    fn mlm_logits_shape_ties_vocab() {
+        let tok = tokenizer();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let model = TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), false), &mut rng);
+        let enc = tok.encode("the control plane is congested", 32);
+        let batch = Batch::collate(&[&enc]);
+        let tape = Tape::new();
+        let out = model.encode(&tape, &store, &batch, None, None, None);
+        let logits = model.mlm_logits(&tape, &store, out.hidden);
+        assert_eq!(logits.value().shape().dims(), &[batch.seq, tok.vocab_size()]);
+    }
+
+    #[test]
+    fn telebert_bundle_encodes_sentences() {
+        let tok = tokenizer();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let model = TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), false), &mut rng);
+        let bundle = TeleBert {
+            store,
+            model,
+            tokenizer: tok,
+            normalizer: TagNormalizer::new(),
+        };
+        let embs = bundle.encode_sentences(&[
+            "the control plane is congested".to_string(),
+            "success rate of registration drops".to_string(),
+        ]);
+        assert_eq!(embs.len(), 2);
+        assert_eq!(embs[0].len(), 16);
+        assert_ne!(embs[0], embs[1]);
+        // Deterministic in eval mode.
+        let again = bundle.encode_sentences(&["the control plane is congested".to_string()]);
+        assert_eq!(embs[0], again[0]);
+    }
+}

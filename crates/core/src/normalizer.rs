@@ -1,0 +1,117 @@
+//! Per-tag min-max normalization and the tag vocabulary.
+//!
+//! The paper (Sec. IV-B): "all numerical values across the same tag name
+//! should be normalized via Min-max normalization to smooth the learning
+//! process". Tag names also get integer ids for the tag classifier (TGC);
+//! unseen tags at inference time fall back to pass-through normalization,
+//! matching the paper's note that new field names keep appearing.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-tag value statistics and tag ids.
+#[derive(Clone, Default, Serialize, Deserialize)]
+pub struct TagNormalizer {
+    ranges: HashMap<String, (f32, f32)>,
+    tag_ids: HashMap<String, usize>,
+}
+
+impl TagNormalizer {
+    /// Creates an empty normalizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fits from `(tag, value)` observations, extending existing ranges.
+    pub fn fit<'a>(&mut self, observations: impl IntoIterator<Item = (&'a str, f32)>) {
+        for (tag, v) in observations {
+            let entry = self.ranges.entry(tag.to_string()).or_insert((v, v));
+            entry.0 = entry.0.min(v);
+            entry.1 = entry.1.max(v);
+            let next = self.tag_ids.len();
+            self.tag_ids.entry(tag.to_string()).or_insert(next);
+        }
+    }
+
+    /// Min-max normalizes `v` within its tag's observed range. Degenerate
+    /// ranges map to 0.5; unknown tags clamp to `[0, 1]` pass-through.
+    pub fn normalize(&self, tag: &str, v: f32) -> f32 {
+        match self.ranges.get(tag) {
+            Some(&(lo, hi)) if hi > lo => ((v - lo) / (hi - lo)).clamp(0.0, 1.0),
+            Some(_) => 0.5,
+            None => v.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The tag's classifier id, if seen during fitting.
+    pub fn tag_id(&self, tag: &str) -> Option<usize> {
+        self.tag_ids.get(tag).copied()
+    }
+
+    /// Number of known tags (the TGC output width).
+    pub fn num_tags(&self) -> usize {
+        self.tag_ids.len()
+    }
+
+    /// True if no tags have been fitted.
+    pub fn is_empty(&self) -> bool {
+        self.tag_ids.is_empty()
+    }
+}
+
+impl std::fmt::Debug for TagNormalizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TagNormalizer({} tags)", self.num_tags())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_normalization() {
+        let mut n = TagNormalizer::new();
+        n.fit([("cpu", 0.0), ("cpu", 10.0), ("cpu", 5.0)]);
+        assert_eq!(n.normalize("cpu", 0.0), 0.0);
+        assert_eq!(n.normalize("cpu", 10.0), 1.0);
+        assert_eq!(n.normalize("cpu", 5.0), 0.5);
+        // Out-of-range clamps.
+        assert_eq!(n.normalize("cpu", 20.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_range_maps_to_half() {
+        let mut n = TagNormalizer::new();
+        n.fit([("flat", 3.0), ("flat", 3.0)]);
+        assert_eq!(n.normalize("flat", 3.0), 0.5);
+    }
+
+    #[test]
+    fn unseen_tag_passthrough() {
+        let n = TagNormalizer::new();
+        assert_eq!(n.normalize("new tag", 0.7), 0.7);
+        assert_eq!(n.normalize("new tag", 5.0), 1.0);
+        assert_eq!(n.tag_id("new tag"), None);
+    }
+
+    #[test]
+    fn tag_ids_dense_and_stable() {
+        let mut n = TagNormalizer::new();
+        n.fit([("a", 1.0), ("b", 2.0), ("a", 3.0)]);
+        assert_eq!(n.num_tags(), 2);
+        let a = n.tag_id("a").unwrap();
+        let b = n.tag_id("b").unwrap();
+        assert_ne!(a, b);
+        assert!(a < 2 && b < 2);
+    }
+
+    #[test]
+    fn incremental_fit_extends_range() {
+        let mut n = TagNormalizer::new();
+        n.fit([("x", 0.0), ("x", 1.0)]);
+        n.fit([("x", 2.0)]);
+        assert_eq!(n.normalize("x", 1.0), 0.5);
+    }
+}

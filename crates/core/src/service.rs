@@ -1,0 +1,140 @@
+//! Service delivery (paper Sec. V-A3): downstream tasks request `[CLS]`
+//! embeddings for target names in one of three formats — plain name, entity
+//! mapping without attributes, or entity mapping with attributes.
+
+use tele_kg::{serialize, TeleKg};
+use tele_tokenizer::{patterns, Encoding};
+
+use crate::model::TeleBert;
+
+/// The three service-delivery data formats.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceFormat {
+    /// "only name": the pure literal name.
+    OnlyName,
+    /// "Entity mapping w/o Attr.": the name mapped to a Tele-KG entity by
+    /// surface (falls back to the plain name if unmapped).
+    EntityNoAttr,
+    /// "Entity mapping w/ Attr.": entity with its attributes concatenated.
+    EntityWithAttr,
+}
+
+/// Delivers service embeddings from a trained bundle.
+pub struct ServiceEncoder<'a> {
+    /// The trained model bundle.
+    pub bundle: &'a TeleBert,
+    /// The Tele-KG used for entity mapping (`None` forces [`ServiceFormat::OnlyName`]).
+    pub kg: Option<&'a TeleKg>,
+}
+
+impl<'a> ServiceEncoder<'a> {
+    /// Creates a service encoder.
+    pub fn new(bundle: &'a TeleBert, kg: Option<&'a TeleKg>) -> Self {
+        ServiceEncoder { bundle, kg }
+    }
+
+    /// Encodes target names into `[CLS]` service embeddings.
+    pub fn encode(&self, names: &[String], format: ServiceFormat) -> Vec<Vec<f32>> {
+        let max_len = self.bundle.model.encoder.cfg.max_len;
+        let tok = &self.bundle.tokenizer;
+        let encodings: Vec<Encoding> = names
+            .iter()
+            .map(|name| {
+                let entity = match format {
+                    ServiceFormat::OnlyName => None,
+                    _ => self.kg.and_then(|kg| kg.entity(name).map(|e| (kg, e))),
+                };
+                match (format, entity) {
+                    (ServiceFormat::EntityWithAttr, Some((kg, e))) => {
+                        tok.encode_template(&serialize::entity_template(kg, e, true), max_len)
+                    }
+                    (ServiceFormat::EntityNoAttr, Some((kg, e))) => {
+                        tok.encode_template(&serialize::entity_template(kg, e, false), max_len)
+                    }
+                    // Unmapped names degrade to the literal-name format.
+                    _ => tok.encode_template(&patterns::document(name), max_len),
+                }
+            })
+            .collect();
+        self.bundle.encode_encodings(&encodings)
+    }
+}
+
+/// Cosine similarity between two service embeddings.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    dot / (na * nb).max(1e-8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelConfig, TeleModel};
+    use crate::normalizer::TagNormalizer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tele_kg::{Literal, Schema};
+    use tele_tensor::nn::TransformerConfig;
+    use tele_tensor::ParamStore;
+    use tele_tokenizer::{TeleTokenizer, TokenizerConfig};
+
+    fn setup() -> (TeleBert, TeleKg) {
+        let mut schema = Schema::with_roots();
+        let alarm = schema.add_class("Alarm", schema.event_root());
+        let mut kg = TeleKg::new(schema);
+        let e = kg.add_entity("control plane congested", alarm);
+        kg.add_attribute(e, "severity", Literal::Text("critical".into()));
+        kg.add_attribute(e, "impact", Literal::Number(0.8));
+
+        let corpus: Vec<String> = (0..15).map(|_| "control plane congested severity critical".to_string()).collect();
+        let tokenizer = TeleTokenizer::train(corpus, &TokenizerConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cfg = TransformerConfig {
+            vocab: tokenizer.vocab_size(),
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_hidden: 32,
+            max_len: 32,
+            dropout: 0.1,
+        };
+        let model = TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
+        let bundle = TeleBert { store, model, tokenizer, normalizer: TagNormalizer::new() };
+        (bundle, kg)
+    }
+
+    #[test]
+    fn formats_produce_different_embeddings() {
+        let (bundle, kg) = setup();
+        let svc = ServiceEncoder::new(&bundle, Some(&kg));
+        let names = vec!["control plane congested".to_string()];
+        let only = svc.encode(&names, ServiceFormat::OnlyName);
+        let no_attr = svc.encode(&names, ServiceFormat::EntityNoAttr);
+        let with_attr = svc.encode(&names, ServiceFormat::EntityWithAttr);
+        assert_eq!(only[0].len(), 16);
+        // Entity formats wrap with [ENT]/[ATTR] templates, so they differ
+        // from the plain document wrapping.
+        assert_ne!(only[0], no_attr[0]);
+        assert_ne!(no_attr[0], with_attr[0]);
+    }
+
+    #[test]
+    fn unmapped_name_falls_back() {
+        let (bundle, kg) = setup();
+        let svc = ServiceEncoder::new(&bundle, Some(&kg));
+        let names = vec!["completely unknown event".to_string()];
+        let a = svc.encode(&names, ServiceFormat::EntityWithAttr);
+        let b = svc.encode(&names, ServiceFormat::OnlyName);
+        assert_eq!(a[0], b[0], "unmapped names should degrade to OnlyName");
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+}

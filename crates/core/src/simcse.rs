@@ -1,0 +1,137 @@
+//! SimCSE contrastive learning (paper Sec. III-B): the same batch is
+//! encoded twice with independent dropout masks (implicit data
+//! augmentation); matching rows are positives in an InfoNCE loss over
+//! cosine similarities. This counteracts representation collapse — the
+//! failure mode where most sentences share one embedding.
+
+use rand::rngs::StdRng;
+
+use tele_tensor::{ParamStore, Tape, Tensor, Var};
+
+use crate::batch::Batch;
+use crate::model::TeleModel;
+
+/// Computes the SimCSE loss for a batch: two dropout-noised passes, then
+/// cross-entropy on the `[b, b]` cosine-similarity matrix with diagonal
+/// targets. Requires a batch of at least 2.
+pub fn simcse_loss<'t>(
+    tape: &'t Tape,
+    store: &ParamStore,
+    model: &TeleModel,
+    batch: &Batch,
+    tau: f32,
+    rng: &mut StdRng,
+) -> Var<'t> {
+    assert!(batch.batch >= 2, "SimCSE needs at least two sentences per batch");
+    let z1 = TeleModel::cls(model.encode(tape, store, batch, None, None, Some(rng)).hidden)
+        .normalize_last(1e-8);
+    let z2 = TeleModel::cls(model.encode(tape, store, batch, None, None, Some(rng)).hidden)
+        .normalize_last(1e-8);
+    let sim = z1.matmul(z2.transpose(0, 1)).scale(1.0 / tau);
+    let targets: Vec<Option<usize>> = (0..batch.batch).map(Some).collect();
+    sim.cross_entropy_logits(&targets)
+}
+
+/// Alignment/uniformity style collapse probe used in tests and ablations:
+/// the mean pairwise cosine similarity of a set of embeddings. Values near
+/// 1 indicate collapse.
+pub fn mean_pairwise_cosine(embs: &[Vec<f32>]) -> f32 {
+    let n = embs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let normed: Vec<Tensor> = embs
+        .iter()
+        .map(|e| {
+            let t = Tensor::from_vec(e.clone(), [e.len()]);
+            let norm = t.norm_l2().max(1e-8);
+            t.scale(1.0 / norm)
+        })
+        .collect();
+    let mut total = 0.0;
+    let mut count = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            total += normed[i].dot(&normed[j]);
+            count += 1;
+        }
+    }
+    total / count as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use rand::SeedableRng;
+    use tele_tensor::nn::TransformerConfig;
+    use tele_tensor::optim::AdamW;
+    use tele_tokenizer::Encoding;
+
+    fn setup() -> (ParamStore, TeleModel, Batch) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cfg = TransformerConfig {
+            vocab: 40,
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_hidden: 32,
+            max_len: 16,
+            dropout: 0.2,
+        };
+        let model = TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
+        let encs: Vec<Encoding> = (0..4)
+            .map(|i| Encoding {
+                ids: vec![2, 20 + i, 21 + i, 22 + i, 3],
+                words: vec![(1, 1), (2, 1), (3, 1)],
+                numerics: vec![],
+            })
+            .collect();
+        let refs: Vec<&Encoding> = encs.iter().collect();
+        let batch = Batch::collate(&refs);
+        (store, model, batch)
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let (store, model, batch) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tape = Tape::new();
+        let loss = simcse_loss(&tape, &store, &model, &batch, 0.05, &mut rng);
+        let v = loss.value().item();
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (mut store, model, batch) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut opt = AdamW::new(1e-3, 0.0);
+        let initial = {
+            let tape = Tape::new();
+            simcse_loss(&tape, &store, &model, &batch, 0.05, &mut rng).value().item()
+        };
+        for _ in 0..40 {
+            store.zero_grads();
+            let tape = Tape::new();
+            let loss = simcse_loss(&tape, &store, &model, &batch, 0.05, &mut rng);
+            tape.backward(loss).accumulate_into(&tape, &mut store);
+            opt.step(&mut store);
+        }
+        let final_loss = {
+            let tape = Tape::new();
+            simcse_loss(&tape, &store, &model, &batch, 0.05, &mut rng).value().item()
+        };
+        assert!(final_loss < initial, "SimCSE loss did not improve: {initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn cosine_probe_detects_collapse() {
+        let collapsed = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0001, 1.0]];
+        assert!(mean_pairwise_cosine(&collapsed) > 0.99);
+        let spread = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, 0.0]];
+        assert!(mean_pairwise_cosine(&spread) < 0.1);
+        assert_eq!(mean_pairwise_cosine(&[]), 0.0);
+    }
+}

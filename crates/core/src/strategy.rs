@@ -1,0 +1,152 @@
+//! Multi-source training strategies (paper Sec. IV-E, Table II).
+//!
+//! - **STL**: single-task learning — mask reconstruction (with the numeric
+//!   losses) only; no knowledge embedding.
+//! - **PMTL**: cooperative parallel training — each step sums the mask and
+//!   KE losses.
+//! - **IMTL**: ERNIE-2.0-style iterative training — three stages whose
+//!   mask/KE step allocations follow Table II's 40k/10k/10k vs. 40k/20k
+//!   ratios, scaled to the requested budget and interleaved within a stage.
+
+use serde::{Deserialize, Serialize};
+
+/// What one training step optimizes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StepTask {
+    /// Mask reconstruction (+ numeric losses): `L_mask + L_num`.
+    Mask,
+    /// Knowledge embedding: `L_ke`.
+    Ke,
+    /// Both, summed: `L_mask + L_num + L_ke`.
+    Both,
+}
+
+/// The three training strategies of Table II.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Single-task learning.
+    Stl,
+    /// Parallel multi-task learning.
+    Pmtl,
+    /// Iterative multi-task learning.
+    Imtl,
+}
+
+impl Strategy {
+    /// Produces the per-step task sequence for a training budget.
+    pub fn schedule(self, total_steps: usize) -> Vec<StepTask> {
+        match self {
+            Strategy::Stl => vec![StepTask::Mask; total_steps],
+            Strategy::Pmtl => vec![StepTask::Both; total_steps],
+            Strategy::Imtl => imtl_schedule(total_steps),
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Stl => "STL",
+            Strategy::Pmtl => "PMTL",
+            Strategy::Imtl => "IMTL",
+        }
+    }
+}
+
+/// Table II IMTL allocations: stage 1 masks only (40k); stage 2 interleaves
+/// mask:KE at 10k:40k; stage 3 at 10k:20k. Scaled proportionally.
+fn imtl_schedule(total: usize) -> Vec<StepTask> {
+    const STAGES: [(usize, usize); 3] = [(40, 0), (10, 40), (10, 20)];
+    let unit_total: usize = STAGES.iter().map(|&(m, k)| m + k).sum(); // 120
+    let mut out = Vec::with_capacity(total);
+    for (si, &(m, k)) in STAGES.iter().enumerate() {
+        let stage_steps = if si == STAGES.len() - 1 {
+            total - out.len() // absorb rounding in the last stage
+        } else {
+            total * (m + k) / unit_total
+        };
+        out.extend(interleave(m, k, stage_steps));
+    }
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+/// Interleaves Mask/Ke steps in ratio `m:k` over `steps` steps.
+fn interleave(m: usize, k: usize, steps: usize) -> Vec<StepTask> {
+    if k == 0 {
+        return vec![StepTask::Mask; steps];
+    }
+    if m == 0 {
+        return vec![StepTask::Ke; steps];
+    }
+    // Bresenham-style interleave keeping the m:k proportion.
+    let mut out = Vec::with_capacity(steps);
+    let (mut acc_m, mut acc_k) = (0usize, 0usize);
+    for _ in 0..steps {
+        // Pick the task that is furthest behind its quota.
+        if acc_m * k <= acc_k * m {
+            out.push(StepTask::Mask);
+            acc_m += 1;
+        } else {
+            out.push(StepTask::Ke);
+            acc_k += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stl_is_all_mask() {
+        assert!(Strategy::Stl.schedule(50).iter().all(|&t| t == StepTask::Mask));
+    }
+
+    #[test]
+    fn pmtl_is_all_both() {
+        assert!(Strategy::Pmtl.schedule(50).iter().all(|&t| t == StepTask::Both));
+    }
+
+    #[test]
+    fn imtl_length_exact() {
+        for total in [12, 120, 121, 300, 601] {
+            assert_eq!(Strategy::Imtl.schedule(total).len(), total);
+        }
+    }
+
+    #[test]
+    fn imtl_first_stage_is_mask_only() {
+        let s = Strategy::Imtl.schedule(120);
+        // First third (40/120) must be mask-only.
+        assert!(s[..40].iter().all(|&t| t == StepTask::Mask));
+    }
+
+    #[test]
+    fn imtl_overall_ratio_matches_table2() {
+        let s = Strategy::Imtl.schedule(1200);
+        let masks = s.iter().filter(|&&t| t == StepTask::Mask).count();
+        let kes = s.iter().filter(|&&t| t == StepTask::Ke).count();
+        // Table II: 60k mask vs 60k KE → 1:1 overall.
+        let ratio = masks as f64 / kes as f64;
+        assert!((ratio - 1.0).abs() < 0.1, "mask:ke ratio {ratio}");
+    }
+
+    #[test]
+    fn imtl_later_stages_interleave() {
+        let s = Strategy::Imtl.schedule(120);
+        let stage2 = &s[40..90];
+        assert!(stage2.contains(&StepTask::Mask));
+        assert!(stage2.contains(&StepTask::Ke));
+        // KE dominates stage 2 at 4:1.
+        let kes = stage2.iter().filter(|&&t| t == StepTask::Ke).count();
+        assert!(kes > stage2.len() / 2);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Strategy::Stl.label(), "STL");
+        assert_eq!(Strategy::Pmtl.label(), "PMTL");
+        assert_eq!(Strategy::Imtl.label(), "IMTL");
+    }
+}

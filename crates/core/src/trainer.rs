@@ -1,0 +1,461 @@
+//! Training drivers: stage-1 TeleBERT pre-training (ELECTRA + SimCSE +
+//! WWM-MLM) and stage-2 KTeleBERT re-training (raised masking rate, numeric
+//! losses, knowledge embedding, STL/PMTL/IMTL strategies).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use tele_kg::TeleKg;
+use tele_tensor::{
+    nn::TransformerConfig,
+    optim::{AdamW, LinearWarmup},
+    ParamStore, Tape,
+};
+use tele_tokenizer::{patterns, Encoding, TeleTokenizer, TemplateField};
+
+use crate::batch::Batch;
+use crate::electra::Electra;
+use crate::ke::{ke_loss, KeConfig};
+use crate::masking::{apply_masking, MaskingConfig};
+use crate::model::{ModelConfig, TeleBert, TeleModel};
+use crate::normalizer::TagNormalizer;
+use crate::simcse::simcse_loss;
+use crate::strategy::{StepTask, Strategy};
+
+/// Stage-1 pre-training configuration.
+#[derive(Clone, Debug)]
+pub struct PretrainConfig {
+    /// Optimizer steps.
+    pub steps: usize,
+    /// Sentences per batch.
+    pub batch_size: usize,
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Warmup fraction of total steps.
+    pub warmup_frac: f32,
+    /// AdamW weight decay.
+    pub weight_decay: f32,
+    /// Masking strategy (stage-1 default: 15%, WWM).
+    pub mask: MaskingConfig,
+    /// SimCSE temperature.
+    pub simcse_tau: f32,
+    /// Weight of the SimCSE loss.
+    pub simcse_weight: f32,
+    /// Weight of the RTD loss inside ELECTRA.
+    pub rtd_weight: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig {
+            steps: 300,
+            batch_size: 8,
+            lr: 3e-4,
+            warmup_frac: 0.1,
+            weight_decay: 0.01,
+            mask: MaskingConfig::stage1(),
+            simcse_tau: 0.05,
+            simcse_weight: 1.0,
+            rtd_weight: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-step telemetry from the trainers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrainLog {
+    /// Mean total loss over the run.
+    pub mean_loss: f32,
+    /// Total loss at the final step.
+    pub final_loss: f32,
+    /// Steps executed.
+    pub steps: usize,
+}
+
+/// Pre-trains a TeleBERT-style model on a sentence corpus (stage 1).
+///
+/// The same driver trains the MacBERT stand-in: pass the generic corpus
+/// instead of the tele corpus. Returns the bundle plus a training log.
+pub fn pretrain(
+    corpus: &[String],
+    tokenizer: &TeleTokenizer,
+    encoder_cfg: TransformerConfig,
+    cfg: &PretrainConfig,
+) -> (TeleBert, TrainLog) {
+    assert!(!corpus.is_empty(), "pretrain needs a corpus");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let max_len = encoder_cfg.max_len;
+    let encodings: Vec<Encoding> = corpus.iter().map(|s| tokenizer.encode(s, max_len)).collect();
+
+    let mut store = ParamStore::new();
+    let model = TeleModel::new(
+        &mut store,
+        "telebert",
+        &ModelConfig { encoder: encoder_cfg.clone(), anenc: None },
+        &mut rng,
+    );
+    let electra = Electra::new(&mut store, "electra", &encoder_cfg, cfg.rtd_weight, &mut rng);
+    let mut opt = AdamW::new(cfg.lr, cfg.weight_decay);
+    opt.exclude_from_decay(&store, &["bias", "norm_", ".tok.", ".pos."]);
+    let schedule = LinearWarmup {
+        peak_lr: cfg.lr,
+        warmup_steps: ((cfg.steps as f32 * cfg.warmup_frac) as u64).max(1),
+        total_steps: cfg.steps as u64,
+    };
+
+    let mut loss_sum = 0.0;
+    let mut last = 0.0;
+    for step in 0..cfg.steps {
+        store.zero_grads();
+        opt.lr = schedule.lr_at(step as u64);
+        let batch = sample_batch(&encodings, cfg.batch_size, &mut rng);
+        let masked = apply_masking(&batch, tokenizer.vocab_size(), &cfg.mask, &mut rng);
+        let tape = Tape::new();
+        let electra_losses = electra.step(&tape, &store, &model, &batch, &masked, &mut rng);
+        let total = if batch.batch >= 2 && cfg.simcse_weight > 0.0 {
+            let cse = simcse_loss(&tape, &store, &model, &batch, cfg.simcse_tau, &mut rng);
+            electra_losses.total.add(cse.scale(cfg.simcse_weight))
+        } else {
+            electra_losses.total
+        };
+        tape.backward(total).accumulate_into(&tape, &mut store);
+        store.clip_grad_norm(1.0);
+        opt.step(&mut store);
+        last = total.value().item();
+        loss_sum += last;
+    }
+
+    let bundle = TeleBert {
+        store,
+        model,
+        tokenizer: tokenizer.clone(),
+        normalizer: TagNormalizer::new(),
+    };
+    let log = TrainLog {
+        mean_loss: loss_sum / cfg.steps.max(1) as f32,
+        final_loss: last,
+        steps: cfg.steps,
+    };
+    (bundle, log)
+}
+
+/// Stage-2 re-training configuration.
+#[derive(Clone, Debug)]
+pub struct RetrainConfig {
+    /// Optimizer steps (Table II's 60k, scaled).
+    pub steps: usize,
+    /// Sequences per mask-reconstruction batch.
+    pub batch_size: usize,
+    /// Learning rate (constant; re-training is short).
+    pub lr: f32,
+    /// AdamW weight decay.
+    pub weight_decay: f32,
+    /// Masking strategy (stage-2 default: 40%, WWM).
+    pub mask: MaskingConfig,
+    /// Attach the adaptive numeric encoder (`false` = the "w/o ANEnc"
+    /// ablation of Tables IV/VI/VIII).
+    pub use_anenc: bool,
+    /// Knowledge-embedding objective parameters.
+    pub ke: KeConfig,
+    /// Positive triples per KE step.
+    pub ke_batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        RetrainConfig {
+            steps: 240,
+            batch_size: 8,
+            lr: 3e-4,
+            weight_decay: 0.01,
+            mask: MaskingConfig::stage2(),
+            use_anenc: true,
+            ke: KeConfig::default(),
+            ke_batch: 4,
+            seed: 13,
+        }
+    }
+}
+
+/// The stage-2 data sources (paper Sec. V-A2: causal sentences, machine
+/// logs, Tele-KG triples).
+pub struct RetrainData<'a> {
+    /// Causal sentences extracted from the corpus.
+    pub causal_sentences: &'a [String],
+    /// Machine-log records wrapped in prompt templates.
+    pub log_templates: &'a [Vec<TemplateField>],
+    /// The Tele-KG (KE objective + attribute fitting).
+    pub kg: &'a TeleKg,
+}
+
+/// Re-trains a stage-1 bundle into KTeleBERT (stage 2).
+pub fn retrain(
+    mut bundle: TeleBert,
+    data: &RetrainData<'_>,
+    strategy: Strategy,
+    cfg: &RetrainConfig,
+) -> (TeleBert, TrainLog) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let max_len = bundle.model.encoder.cfg.max_len;
+    let tokenizer = bundle.tokenizer.clone();
+
+    // Fit the per-tag normalizer on every numeric observation (logs + KG
+    // attribute triples), which also fixes the TGC label space.
+    let mut normalizer = TagNormalizer::new();
+    let mut observations: Vec<(String, f32)> = Vec::new();
+    for fields in data.log_templates {
+        for f in fields {
+            if let tele_tokenizer::FieldContent::Numeric { tag, value } = &f.content {
+                observations.push((tag.clone(), *value));
+            }
+        }
+    }
+    for e in data.kg.entity_ids() {
+        for (name, v) in data.kg.attributes(e) {
+            if let tele_kg::Literal::Number(v) = v {
+                observations.push((name.clone(), *v));
+            }
+        }
+    }
+    normalizer.fit(observations.iter().map(|(t, v)| (t.as_str(), *v)));
+    bundle.normalizer = normalizer;
+
+    // Attach ANEnc (full KTeleBERT) or leave it off (w/o ANEnc ablation).
+    if cfg.use_anenc && bundle.model.anenc.is_none() {
+        let anenc_cfg = crate::anenc::AnencConfig::for_dim(
+            bundle.model.encoder.cfg.dim,
+            bundle.normalizer.num_tags(),
+        );
+        bundle.model.anenc = Some(crate::anenc::Anenc::new(
+            &mut bundle.store,
+            "telebert.anenc",
+            anenc_cfg,
+            &mut rng,
+        ));
+    }
+
+    // Pre-encode the mask-reconstruction pool: causal sentences (wrapped as
+    // documents) + machine-log templates + serialized KG triples.
+    let mut pool: Vec<Encoding> = data
+        .causal_sentences
+        .iter()
+        .map(|s| tokenizer.encode_template(&patterns::document(s), max_len))
+        .collect();
+    for fields in data.log_templates {
+        pool.push(tokenizer.encode_template(fields, max_len));
+    }
+    for t in data.kg.triples() {
+        let s = tele_kg::serialize::triple_sentence(data.kg, t);
+        pool.push(tokenizer.encode(&s, max_len));
+    }
+    assert!(!pool.is_empty(), "retrain needs data");
+
+    let triples: Vec<tele_kg::Triple> = data.kg.triples().to_vec();
+    let mut opt = AdamW::new(cfg.lr, cfg.weight_decay);
+    opt.exclude_from_decay(&bundle.store, &["bias", "norm_", ".tok.", ".pos.", ".mu_"]);
+
+    let schedule = strategy.schedule(cfg.steps);
+    let mut loss_sum = 0.0;
+    let mut last = 0.0;
+    for task in schedule {
+        bundle.store.zero_grads();
+        let tape = Tape::new();
+        let mut total: Option<tele_tensor::Var<'_>> = None;
+
+        if matches!(task, StepTask::Mask | StepTask::Both) {
+            let batch = sample_batch(&pool, cfg.batch_size, &mut rng);
+            let masked = apply_masking(&batch, tokenizer.vocab_size(), &cfg.mask, &mut rng);
+            let out = bundle.model.encode(
+                &tape,
+                &bundle.store,
+                &batch,
+                Some(&masked.ids),
+                Some(&bundle.normalizer),
+                Some(&mut rng),
+            );
+            let logits = bundle.model.mlm_logits(&tape, &bundle.store, out.hidden);
+            let mut loss = logits.cross_entropy_logits(&masked.targets);
+            // L_num on batches that carry numeric slots.
+            if let (Some(anenc), Some(h)) = (&bundle.model.anenc, out.numeric_h) {
+                let slot_hidden = bundle.model.slot_hidden(out.hidden, &batch);
+                let values: Vec<f32> = batch
+                    .numerics
+                    .iter()
+                    .map(|n| bundle.normalizer.normalize(&n.tag, n.value))
+                    .collect();
+                let labels: Vec<Option<usize>> = batch
+                    .numerics
+                    .iter()
+                    .map(|n| bundle.normalizer.tag_id(&n.tag))
+                    .collect();
+                let lnum = anenc.numeric_loss(&tape, &bundle.store, h, slot_hidden, &values, &labels);
+                loss = loss.add(lnum);
+            }
+            total = Some(loss);
+        }
+
+        if matches!(task, StepTask::Ke | StepTask::Both) && !triples.is_empty() {
+            let picks: Vec<tele_kg::Triple> = (0..cfg.ke_batch)
+                .map(|_| triples[rng.gen_range(0..triples.len())])
+                .collect();
+            let lke = ke_loss(
+                &tape,
+                &bundle.store,
+                &bundle.model,
+                &tokenizer,
+                &bundle.normalizer,
+                data.kg,
+                &picks,
+                &cfg.ke,
+                &mut rng,
+            );
+            total = Some(match total {
+                Some(t) => t.add(lke),
+                None => lke,
+            });
+        }
+
+        let Some(total) = total else { continue };
+        tape.backward(total).accumulate_into(&tape, &mut bundle.store);
+        bundle.store.clip_grad_norm(1.0);
+        opt.step(&mut bundle.store);
+        last = total.value().item();
+        loss_sum += last;
+    }
+
+    let log = TrainLog {
+        mean_loss: loss_sum / cfg.steps.max(1) as f32,
+        final_loss: last,
+        steps: cfg.steps,
+    };
+    (bundle, log)
+}
+
+/// Samples a batch of encodings (with replacement).
+fn sample_batch(pool: &[Encoding], batch_size: usize, rng: &mut StdRng) -> Batch {
+    let refs: Vec<&Encoding> = (0..batch_size)
+        .map(|_| &pool[rng.gen_range(0..pool.len())])
+        .collect();
+    Batch::collate(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tele_datagen::{corpus, kg_build, logs, TeleWorld, WorldConfig};
+    use tele_tokenizer::{SpecialTokenConfig, TokenizerConfig};
+
+    fn tiny_world() -> TeleWorld {
+        TeleWorld::generate(WorldConfig {
+            seed: 3,
+            ne_types: 4,
+            instances_per_type: 2,
+            alarms: 10,
+            kpis: 4,
+            avg_out_degree: 1.5,
+            expert_coverage: 0.8,
+        })
+    }
+
+    fn tiny_encoder(vocab: usize) -> TransformerConfig {
+        TransformerConfig {
+            vocab,
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_hidden: 32,
+            max_len: 32,
+            dropout: 0.1,
+        }
+    }
+
+    #[test]
+    fn pretrain_then_retrain_end_to_end() {
+        let world = tiny_world();
+        let sentences = corpus::tele_corpus(
+            &world,
+            &corpus::CorpusConfig { seed: 1, sentences: 150, splice_fraction: 0.0 },
+        );
+        let tokenizer = TeleTokenizer::train(
+            sentences.iter(),
+            &TokenizerConfig {
+                bpe_merges: 150,
+                special: SpecialTokenConfig { min_len: 2, max_len: 4, min_freq: 5 },
+                phrases: vec![],
+            },
+        );
+        let pre_cfg = PretrainConfig { steps: 10, batch_size: 4, ..Default::default() };
+        let (bundle, log) = pretrain(&sentences, &tokenizer, tiny_encoder(tokenizer.vocab_size()), &pre_cfg);
+        assert_eq!(log.steps, 10);
+        assert!(log.final_loss.is_finite());
+
+        // Stage 2.
+        let causal = corpus::extract_causal_sentences(&sentences, 5);
+        let episodes = logs::simulate(&world, &logs::LogSimConfig { seed: 2, episodes: 6, ..Default::default() });
+        let templates = logs::log_templates(&world, &episodes);
+        let built = kg_build::build_kg(&world);
+        let data = RetrainData {
+            causal_sentences: &causal,
+            log_templates: &templates,
+            kg: &built.kg,
+        };
+        let re_cfg = RetrainConfig { steps: 12, batch_size: 4, ke_batch: 2, ..Default::default() };
+        let (kbundle, klog) = retrain(bundle, &data, Strategy::Imtl, &re_cfg);
+        assert!(klog.final_loss.is_finite());
+        assert!(kbundle.model.anenc.is_some(), "ANEnc should be attached");
+        assert!(kbundle.normalizer.num_tags() > 0, "normalizer should be fitted");
+
+        // The re-trained model still delivers embeddings.
+        let embs = kbundle.encode_sentences(&[world.alarms[0].name.clone()]);
+        assert_eq!(embs[0].len(), 16);
+        assert!(embs[0].iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn retrain_without_anenc_is_ablation() {
+        let world = tiny_world();
+        let sentences = corpus::tele_corpus(
+            &world,
+            &corpus::CorpusConfig { seed: 1, sentences: 80, splice_fraction: 0.0 },
+        );
+        let tokenizer = TeleTokenizer::train(sentences.iter(), &TokenizerConfig::default());
+        let (bundle, _) = pretrain(
+            &sentences,
+            &tokenizer,
+            tiny_encoder(tokenizer.vocab_size()),
+            &PretrainConfig { steps: 4, batch_size: 4, ..Default::default() },
+        );
+        let causal = corpus::extract_causal_sentences(&sentences, 5);
+        let episodes = logs::simulate(&world, &logs::LogSimConfig { seed: 2, episodes: 4, ..Default::default() });
+        let templates = logs::log_templates(&world, &episodes);
+        let built = kg_build::build_kg(&world);
+        let data = RetrainData { causal_sentences: &causal, log_templates: &templates, kg: &built.kg };
+        let cfg = RetrainConfig { steps: 6, batch_size: 4, use_anenc: false, ke_batch: 2, ..Default::default() };
+        let (kbundle, _) = retrain(bundle, &data, Strategy::Stl, &cfg);
+        assert!(kbundle.model.anenc.is_none(), "ablation must not attach ANEnc");
+    }
+
+    #[test]
+    fn pretrain_loss_decreases_on_longer_run() {
+        let world = tiny_world();
+        let sentences = corpus::tele_corpus(
+            &world,
+            &corpus::CorpusConfig { seed: 1, sentences: 120, splice_fraction: 0.0 },
+        );
+        let tokenizer = TeleTokenizer::train(sentences.iter(), &TokenizerConfig::default());
+        let cfg = PretrainConfig { steps: 60, batch_size: 6, ..Default::default() };
+        let (_, log) = pretrain(&sentences, &tokenizer, tiny_encoder(tokenizer.vocab_size()), &cfg);
+        assert!(
+            log.final_loss < log.mean_loss,
+            "loss should trend down: final {} vs mean {}",
+            log.final_loss,
+            log.mean_loss
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Corpus generation: the tele-domain pre-training corpus (substituting the
+//! paper's 20M-sentence product-document corpus), the generic baseline
+//! corpus (substituting MacBERT's general-domain pre-training data), and
+//! the causal-sentence extraction rules of Sec. IV-A1.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::words;
+use crate::world::TeleWorld;
+
+/// Configuration for tele-corpus generation.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Target number of sentences before explicit augmentation.
+    pub sentences: usize,
+    /// Fraction of sentences created by splicing adjacent sentences
+    /// (explicit data augmentation, Sec. III-A).
+    pub splice_fraction: f32,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { seed: 23, sentences: 6000, splice_fraction: 0.15 }
+    }
+}
+
+/// Generates the tele-domain corpus from the world's ground truth.
+///
+/// Sentence families mirror the paper's product-document content: alarm
+/// profiles, KPI documentation, causal statements derived from the fault
+/// DAG (using [`words::CAUSAL_KEYWORDS`]), maintenance cases, topology
+/// notes, Q&A pairs and neutral filler.
+pub fn tele_corpus(world: &TeleWorld, cfg: &CorpusConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.sentences + cfg.sentences / 4);
+
+    while out.len() < cfg.sentences {
+        match rng.gen_range(0..10) {
+            // Alarm profile.
+            0 | 1 => {
+                let a = &world.alarms[rng.gen_range(0..world.alarms.len())];
+                let ne = &world.ne_types[a.ne_type];
+                out.push(match rng.gen_range(0..3) {
+                    0 => format!(
+                        "Alarm {} indicates that {} on the {} element.",
+                        a.code, a.name, ne
+                    ),
+                    1 => format!(
+                        "When {} the {} raises a {} severity alarm {}.",
+                        a.name, ne, a.severity.label(), a.code
+                    ),
+                    _ => format!(
+                        "The product document for {} explains the handling procedure when {}.",
+                        ne, a.name
+                    ),
+                });
+            }
+            // KPI documentation.
+            2 => {
+                let k = &world.kpis[rng.gen_range(0..world.kpis.len())];
+                let ne = &world.ne_types[k.ne_type];
+                let iface = words::INTERFACES[rng.gen_range(0..words::INTERFACES.len())];
+                out.push(format!(
+                    "KPI {} measures the {} on interface {} of the {} element.",
+                    k.code, k.name, iface, ne
+                ));
+            }
+            // Causal statement from the ground-truth DAG — this is the
+            // signal domain pre-training can exploit and generic cannot.
+            3 | 4 | 5 => {
+                if world.causal_edges.is_empty() {
+                    continue;
+                }
+                let e = &world.causal_edges[rng.gen_range(0..world.causal_edges.len())];
+                let kw = words::CAUSAL_KEYWORDS[rng.gen_range(0..words::CAUSAL_KEYWORDS.len())];
+                let (src, dst) = (world.event_name(e.src), world.event_name(e.dst));
+                // Short forms dominate: the two event names should carry
+                // most of the sentence's mass so co-occurrence is learnable
+                // by a small model.
+                out.push(match rng.gen_range(0..5) {
+                    0 | 1 => format!("{src} {kw} {dst}."),
+                    2 => format!("When {src} it usually {kw} {dst}."),
+                    3 => format!("Engineers observed that {src} frequently {kw} {dst}."),
+                    _ => format!("In most fault cases {src} {kw} the situation where {dst}."),
+                });
+            }
+            // Maintenance case.
+            6 => {
+                let a = &world.alarms[rng.gen_range(0..world.alarms.len())];
+                let inst = &world.instances[rng.gen_range(0..world.instances.len())];
+                out.push(format!(
+                    "Daily maintenance case: on {} the operator confirmed {} and restarted the board.",
+                    inst.name, a.name
+                ));
+            }
+            // Topology note.
+            7 => {
+                if world.topology.is_empty() {
+                    continue;
+                }
+                let &(x, y) = &world.topology[rng.gen_range(0..world.topology.len())];
+                out.push(format!(
+                    "The {} connects to the {} over a dedicated control channel.",
+                    world.instances[x].name, world.instances[y].name
+                ));
+            }
+            // Q&A pair.
+            8 => {
+                let a = &world.alarms[rng.gen_range(0..world.alarms.len())];
+                out.push(format!(
+                    "Question: what should be checked when {} ? Answer: inspect the {} and collect the logs.",
+                    a.name,
+                    words::COMPONENTS[rng.gen_range(0..words::COMPONENTS.len())]
+                ));
+            }
+            // Glossary / index line: the bare event name, as appears in
+            // product-document indexes. Anchors standalone-name encoding,
+            // which is exactly how downstream tasks query the model.
+            9 if rng.gen_bool(0.5) => {
+                let e = rng.gen_range(0..world.num_events());
+                out.push(format!("{}.", world.event_name(e)));
+            }
+            // Neutral filler connecting two unrelated events.
+            _ => {
+                let a = rng.gen_range(0..world.num_events());
+                let b = rng.gen_range(0..world.num_events());
+                if a == b {
+                    continue;
+                }
+                let conn = words::NEUTRAL_CONNECTIVES[rng.gen_range(0..words::NEUTRAL_CONNECTIVES.len())];
+                out.push(format!(
+                    "The report notes that {} {} {} in the weekly summary.",
+                    world.event_name(a), conn, world.event_name(b)
+                ));
+            }
+        }
+    }
+
+    // Explicit augmentation: splice adjacent sentences into longer samples.
+    let splices = (out.len() as f32 * cfg.splice_fraction) as usize;
+    for i in 0..splices {
+        let j = (i * 7) % (out.len() - 1);
+        out.push(format!("{} {}", out[j], out[j + 1]));
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
+/// Generates a generic (non-tele) corpus of the same size, used to
+/// pre-train the stand-in for the MacBERT baseline.
+pub fn generic_corpus(sentences: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..sentences)
+        .map(|_| {
+            let s = words::GENERIC_SUBJECTS[rng.gen_range(0..words::GENERIC_SUBJECTS.len())];
+            let v = words::GENERIC_VERBS[rng.gen_range(0..words::GENERIC_VERBS.len())];
+            let o = words::GENERIC_OBJECTS[rng.gen_range(0..words::GENERIC_OBJECTS.len())];
+            match rng.gen_range(0..3) {
+                0 => format!("Every spring {s} {v} {o}."),
+                1 => format!("{s} {v} {o} during the quiet season."),
+                _ => format!("Visitors remember that {s} {v} {o}."),
+            }
+        })
+        .collect()
+}
+
+/// Causal-sentence extraction rules (paper Sec. IV-A1): keep sentences that
+/// contain a causal keyword and satisfy a minimum word count; IDs like
+/// `[KPI] 1929480378` / `ALM-…` codes are stripped first.
+pub fn extract_causal_sentences(corpus: &[String], min_words: usize) -> Vec<String> {
+    corpus
+        .iter()
+        .filter(|s| {
+            let lower = s.to_lowercase();
+            words::CAUSAL_KEYWORDS.iter().any(|k| lower.contains(k))
+        })
+        .map(|s| strip_ids(s))
+        .filter(|s| s.split_whitespace().count() >= min_words)
+        .collect()
+}
+
+/// Removes pure identifier tokens (`ALM-…`, `KPI-…`) from a sentence.
+pub fn strip_ids(sentence: &str) -> String {
+    sentence
+        .split_whitespace()
+        .filter(|w| {
+            let w = w.trim_matches(|c: char| !c.is_alphanumeric() && c != '-');
+            !(w.starts_with("ALM-") || w.starts_with("KPI-"))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> TeleWorld {
+        TeleWorld::generate(WorldConfig::default())
+    }
+
+    #[test]
+    fn corpus_reaches_target_size() {
+        let cfg = CorpusConfig { seed: 1, sentences: 500, splice_fraction: 0.1 };
+        let c = tele_corpus(&world(), &cfg);
+        assert!(c.len() >= 500);
+        assert!(c.len() <= 600);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = CorpusConfig { seed: 5, sentences: 200, splice_fraction: 0.0 };
+        let w = world();
+        assert_eq!(tele_corpus(&w, &cfg), tele_corpus(&w, &cfg));
+    }
+
+    #[test]
+    fn corpus_mentions_causal_pairs() {
+        let cfg = CorpusConfig { seed: 1, sentences: 2000, splice_fraction: 0.0 };
+        let w = world();
+        let c = tele_corpus(&w, &cfg);
+        let causal = extract_causal_sentences(&c, 5);
+        assert!(
+            causal.len() > c.len() / 10,
+            "causal sentences underrepresented: {} of {}",
+            causal.len(),
+            c.len()
+        );
+        // Every ground-truth edge should be mentioned somewhere in a large
+        // enough corpus.
+        let text = c.join(" ");
+        let mentioned = w
+            .causal_edges
+            .iter()
+            .filter(|e| {
+                text.contains(w.event_name(e.src)) && text.contains(w.event_name(e.dst))
+            })
+            .count();
+        assert!(mentioned as f32 >= 0.9 * w.causal_edges.len() as f32);
+    }
+
+    #[test]
+    fn causal_extraction_respects_min_length() {
+        let corpus = vec![
+            "a causes b".to_string(),
+            "this alarm causes severe packet loss downstream today".to_string(),
+            "no keyword here at all in this sentence".to_string(),
+        ];
+        let got = extract_causal_sentences(&corpus, 5);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].contains("packet loss"));
+    }
+
+    #[test]
+    fn strip_ids_removes_codes() {
+        let s = strip_ids("Alarm ALM-100072 causes KPI-1929480378 to rise");
+        assert!(!s.contains("ALM-"));
+        assert!(!s.contains("KPI-"));
+        assert!(s.contains("causes"));
+    }
+
+    #[test]
+    fn generic_corpus_avoids_tele_vocabulary() {
+        let g = generic_corpus(300, 9);
+        let text = g.join(" ");
+        for ne in words::NE_TYPES {
+            assert!(!text.contains(ne), "generic corpus leaked tele token {ne}");
+        }
+        for kw in ["alarm", "KPI", "session"] {
+            assert!(!text.to_lowercase().contains(&kw.to_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Fault chain tracing dataset (paper Sec. V-D, Tables VII/VIII).
+//!
+//! Nodes are alarm-on-instance occurrences; relations are determined by the
+//! NE-type pair the edge crosses (the paper: "some edges share the same
+//! embedding since they connect the same network element type"); facts are
+//! probabilistic quadruples `(h, r, t, s)` whose confidence comes from the
+//! empirical propagation frequency. The task is link prediction over a
+//! train/valid/test split of the facts.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::logs::Episode;
+use crate::world::{EventId, TeleWorld};
+
+/// A probabilistic fact `(head, relation, tail, confidence)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FctFact {
+    /// Head node index.
+    pub head: usize,
+    /// Relation index.
+    pub rel: usize,
+    /// Tail node index.
+    pub tail: usize,
+    /// Confidence `s ∈ (0, 1]`.
+    pub conf: f32,
+}
+
+/// The fault-chain tracing dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FctDataset {
+    /// Natural-language surface of each node (`<alarm name> on <instance>`),
+    /// the input to the service-embedding encoder.
+    pub node_names: Vec<String>,
+    /// Underlying alarm event type of each node.
+    pub node_event: Vec<EventId>,
+    /// NE instance of each node.
+    pub node_instance: Vec<usize>,
+    /// Relation surfaces (`propagates from <TYPE> to <TYPE>`).
+    pub rel_names: Vec<String>,
+    /// Training facts.
+    pub train: Vec<FctFact>,
+    /// Validation facts.
+    pub valid: Vec<FctFact>,
+    /// Test facts.
+    pub test: Vec<FctFact>,
+}
+
+/// Data statistics matching the columns of Table VII.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FctStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges (relation types).
+    pub edges: usize,
+    /// Training facts.
+    pub train: usize,
+    /// Validation facts.
+    pub valid: usize,
+    /// Test facts.
+    pub test: usize,
+}
+
+impl FctDataset {
+    /// Builds the dataset from simulated episodes with a ~78/11/11 split.
+    pub fn build(world: &TeleWorld, episodes: &[Episode], seed: u64) -> Self {
+        let mut node_index: HashMap<(EventId, usize), usize> = HashMap::new();
+        let mut node_names = Vec::new();
+        let mut node_event = Vec::new();
+        let mut node_instance = Vec::new();
+        let mut rel_index: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut rel_names = Vec::new();
+        let mut edge_counts: HashMap<(usize, usize, usize), u32> = HashMap::new();
+
+        let mut node_of = |event: EventId, inst: usize,
+                           names: &mut Vec<String>,
+                           events: &mut Vec<EventId>,
+                           insts: &mut Vec<usize>|
+         -> usize {
+            *node_index.entry((event, inst)).or_insert_with(|| {
+                let id = names.len();
+                names.push(format!(
+                    "{} on {}",
+                    world.event_name(event),
+                    world.instances[inst].name
+                ));
+                events.push(event);
+                insts.push(inst);
+                id
+            })
+        };
+
+        for ep in episodes {
+            for a in &ep.activations {
+                let Some(p) = a.parent else { continue };
+                let parent = &ep.activations[p];
+                // Chains run over alarms only (KPIs are symptoms, not hops).
+                if !world.is_alarm(a.event) || !world.is_alarm(parent.event) {
+                    continue;
+                }
+                let h = node_of(parent.event, parent.instance, &mut node_names, &mut node_event, &mut node_instance);
+                let t = node_of(a.event, a.instance, &mut node_names, &mut node_event, &mut node_instance);
+                let tp = (
+                    world.instances[parent.instance].ne_type,
+                    world.instances[a.instance].ne_type,
+                );
+                let r = *rel_index.entry(tp).or_insert_with(|| {
+                    let id = rel_names.len();
+                    rel_names.push(format!(
+                        "propagates from {} to {}",
+                        world.ne_types[tp.0], world.ne_types[tp.1]
+                    ));
+                    id
+                });
+                *edge_counts.entry((h, r, t)).or_default() += 1;
+            }
+        }
+
+        // Confidence: observation count normalized by the max (probabilistic
+        // facts from "records of experts and automatic algorithms").
+        let max_count = edge_counts.values().copied().max().unwrap_or(1) as f32;
+        let mut facts: Vec<FctFact> = edge_counts
+            .into_iter()
+            .map(|((h, r, t), c)| FctFact {
+                head: h,
+                rel: r,
+                tail: t,
+                conf: (c as f32 / max_count).clamp(0.1, 1.0),
+            })
+            .collect();
+        facts.sort_by_key(|f| (f.head, f.rel, f.tail));
+        let mut rng = StdRng::seed_from_u64(seed);
+        facts.shuffle(&mut rng);
+
+        let n = facts.len();
+        let n_test = (n as f64 * 0.11).round() as usize;
+        let n_valid = n_test;
+        let n_train = n - n_valid - n_test;
+        let train = facts[..n_train].to_vec();
+        let valid = facts[n_train..n_train + n_valid].to_vec();
+        let test = facts[n_train + n_valid..].to_vec();
+
+        FctDataset { node_names, node_event, node_instance, rel_names, train, valid, test }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.rel_names.len()
+    }
+
+    /// All facts across splits.
+    pub fn all_facts(&self) -> impl Iterator<Item = &FctFact> {
+        self.train.iter().chain(self.valid.iter()).chain(self.test.iter())
+    }
+
+    /// Table VII statistics.
+    pub fn stats(&self) -> FctStats {
+        FctStats {
+            nodes: self.num_nodes(),
+            edges: self.num_relations(),
+            train: self.train.len(),
+            valid: self.valid.len(),
+            test: self.test.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logs::{simulate, LogSimConfig};
+    use crate::world::WorldConfig;
+
+    fn dataset() -> FctDataset {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let eps = simulate(&w, &LogSimConfig { seed: 13, episodes: 80, ..Default::default() });
+        FctDataset::build(&w, &eps, 5)
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover() {
+        let ds = dataset();
+        let total = ds.train.len() + ds.valid.len() + ds.test.len();
+        assert!(total > 20, "too few facts: {total}");
+        let mut all: Vec<_> = ds.all_facts().map(|f| (f.head, f.rel, f.tail)).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate facts across splits");
+        assert!(ds.test.len() >= 1 && ds.valid.len() >= 1);
+    }
+
+    #[test]
+    fn confidences_in_range() {
+        let ds = dataset();
+        for f in ds.all_facts() {
+            assert!(f.conf > 0.0 && f.conf <= 1.0);
+        }
+        // At least one fact should have max confidence.
+        assert!(ds.all_facts().any(|f| (f.conf - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn relations_shared_by_type_pair() {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let eps = simulate(&w, &LogSimConfig { seed: 13, episodes: 80, ..Default::default() });
+        let ds = FctDataset::build(&w, &eps, 5);
+        // Facts over the same (head type, tail type) share the relation.
+        for f in ds.all_facts() {
+            let ht = w.instances[ds.node_instance[f.head]].ne_type;
+            let tt = w.instances[ds.node_instance[f.tail]].ne_type;
+            let expect = format!("propagates from {} to {}", w.ne_types[ht], w.ne_types[tt]);
+            assert_eq!(ds.rel_names[f.rel], expect);
+        }
+        assert!(ds.num_relations() < ds.all_facts().count(), "relations should be shared");
+    }
+
+    #[test]
+    fn node_names_mention_alarm_and_instance() {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let eps = simulate(&w, &LogSimConfig { seed: 13, episodes: 80, ..Default::default() });
+        let ds = FctDataset::build(&w, &eps, 5);
+        for (i, name) in ds.node_names.iter().enumerate() {
+            assert!(name.contains(w.event_name(ds.node_event[i])));
+            assert!(name.contains(&w.instances[ds.node_instance[i]].name));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+}

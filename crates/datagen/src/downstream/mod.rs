@@ -1,0 +1,5 @@
+//! Downstream dataset builders for the paper's three fault-analysis tasks.
+
+pub mod eap;
+pub mod fct;
+pub mod rca;

@@ -1,0 +1,170 @@
+//! Root-cause analysis dataset (paper Sec. V-B, Tables III/IV).
+//!
+//! Each fault episode becomes one graph: nodes are the NE instances
+//! involved in the state (plus their one-hop topology neighborhood), edges
+//! come from the network topology, node features count abnormal-event
+//! occurrences, and the label is the NE instance the root alarm fired on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::logs::Episode;
+use crate::world::TeleWorld;
+
+/// One telecom-system state as a labeled graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RcaGraph {
+    /// Global NE instance ids of the nodes.
+    pub nodes: Vec<usize>,
+    /// Undirected edges as local node-index pairs.
+    pub edges: Vec<(usize, usize)>,
+    /// `features[i][j]` = number of times abnormal event `j` occurred on
+    /// node `i` (the paper's node feature matrix `X`).
+    pub features: Vec<Vec<f32>>,
+    /// Local index of the labeled root-cause node.
+    pub root: usize,
+}
+
+impl RcaGraph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// The RCA dataset: one graph per system state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RcaDataset {
+    /// Labeled graphs.
+    pub graphs: Vec<RcaGraph>,
+    /// Feature dimensionality = number of abnormal event types.
+    pub num_features: usize,
+}
+
+/// Data statistics matching the columns of Table III.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RcaStats {
+    /// Number of graphs.
+    pub graphs: usize,
+    /// Number of features.
+    pub features: usize,
+    /// Average node count.
+    pub avg_nodes: f64,
+    /// Average edge count.
+    pub avg_edges: f64,
+}
+
+impl RcaDataset {
+    /// Builds the dataset from simulated episodes.
+    pub fn build(world: &TeleWorld, episodes: &[Episode]) -> Self {
+        let num_features = world.num_events();
+        let graphs = episodes
+            .iter()
+            .map(|ep| build_graph(world, ep, num_features))
+            .collect();
+        RcaDataset { graphs, num_features }
+    }
+
+    /// Table III statistics.
+    pub fn stats(&self) -> RcaStats {
+        let n = self.graphs.len().max(1) as f64;
+        RcaStats {
+            graphs: self.graphs.len(),
+            features: self.num_features,
+            avg_nodes: self.graphs.iter().map(|g| g.nodes.len() as f64).sum::<f64>() / n,
+            avg_edges: self.graphs.iter().map(|g| g.edges.len() as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+fn build_graph(world: &TeleWorld, ep: &Episode, num_features: usize) -> RcaGraph {
+    // Node set: involved instances plus their one-hop neighborhood — the
+    // analyst collects the whole surrounding state, not only alarmed boxes.
+    let mut nodes = ep.involved_instances();
+    for inst in nodes.clone() {
+        for nb in world.instance_neighbors(inst) {
+            if !nodes.contains(&nb) {
+                nodes.push(nb);
+            }
+        }
+    }
+    nodes.sort_unstable();
+    let local = |g: usize| nodes.iter().position(|&n| n == g).expect("node present");
+
+    let mut edges = Vec::new();
+    for &(a, b) in &world.topology {
+        if nodes.contains(&a) && nodes.contains(&b) {
+            edges.push((local(a), local(b)));
+        }
+    }
+
+    let mut features = vec![vec![0.0; num_features]; nodes.len()];
+    for a in &ep.activations {
+        features[local(a.instance)][a.event] += 1.0;
+    }
+
+    RcaGraph { nodes: nodes.clone(), edges, features, root: local(ep.root_instance) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logs::{simulate, LogSimConfig};
+    use crate::world::{TeleWorld, WorldConfig};
+
+    fn dataset() -> (TeleWorld, RcaDataset) {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let eps = simulate(&w, &LogSimConfig { seed: 7, episodes: 30, ..Default::default() });
+        let ds = RcaDataset::build(&w, &eps);
+        (w, ds)
+    }
+
+    #[test]
+    fn one_graph_per_episode() {
+        let (_, ds) = dataset();
+        assert_eq!(ds.graphs.len(), 30);
+    }
+
+    #[test]
+    fn root_is_valid_and_carries_root_event() {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let eps = simulate(&w, &LogSimConfig { seed: 7, episodes: 30, ..Default::default() });
+        let ds = RcaDataset::build(&w, &eps);
+        for (g, ep) in ds.graphs.iter().zip(&eps) {
+            assert!(g.root < g.nodes.len());
+            assert_eq!(g.nodes[g.root], ep.root_instance);
+            // The root node's feature row includes the root event.
+            assert!(g.features[g.root][ep.root_event] >= 1.0);
+        }
+    }
+
+    #[test]
+    fn edges_reference_local_nodes() {
+        let (_, ds) = dataset();
+        for g in &ds.graphs {
+            for &(a, b) in &g.edges {
+                assert!(a < g.nodes.len() && b < g.nodes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn feature_rows_match_node_count() {
+        let (w, ds) = dataset();
+        assert_eq!(ds.num_features, w.num_events());
+        for g in &ds.graphs {
+            assert_eq!(g.features.len(), g.nodes.len());
+            for row in &g.features {
+                assert_eq!(row.len(), ds.num_features);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let (_, ds) = dataset();
+        let s = ds.stats();
+        assert_eq!(s.graphs, 30);
+        assert!(s.avg_nodes > 2.0, "graphs too small: {}", s.avg_nodes);
+        assert!(s.avg_edges >= 1.0);
+    }
+}

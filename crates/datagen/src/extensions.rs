@@ -1,0 +1,246 @@
+//! Future-work data sources (paper Sec. IV-B): signaling flows and
+//! configuration data.
+//!
+//! The paper: "Other data sources like signaling flow and configuration
+//! data are temporarily not considered in this paper. We leave it as the
+//! future work." This module implements both as opt-in extensions: their
+//! templates can be appended to the stage-2 mask-reconstruction pool
+//! (`RetrainData::log_templates`) without any trainer changes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use tele_tokenizer::{PromptToken, TemplateField};
+
+use crate::words;
+use crate::world::TeleWorld;
+
+/// One step of a signaling procedure: a message between two NE instances.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SignalingStep {
+    /// Sending NE instance.
+    pub from: usize,
+    /// Receiving NE instance.
+    pub to: usize,
+    /// The reference-point / interface name.
+    pub interface: String,
+    /// Message name, e.g. "registration request".
+    pub message: String,
+    /// Whether the step failed (set on flows traversing faulty elements).
+    pub failed: bool,
+}
+
+/// A signaling flow: a named procedure and its message sequence.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SignalingFlow {
+    /// Procedure name, e.g. "initial registration".
+    pub procedure: String,
+    /// Ordered message steps.
+    pub steps: Vec<SignalingStep>,
+}
+
+/// Configuration for signaling-flow generation.
+#[derive(Clone, Debug)]
+pub struct SignalingConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of flows to generate.
+    pub flows: usize,
+    /// Probability that a step fails when traversing a fault.
+    pub failure_rate: f64,
+}
+
+impl Default for SignalingConfig {
+    fn default() -> Self {
+        SignalingConfig { seed: 71, flows: 120, failure_rate: 0.15 }
+    }
+}
+
+/// Generates signaling flows over the world's topology: each flow walks a
+/// path of topology-adjacent instances, exchanging procedure messages over
+/// named interfaces.
+pub fn signaling_flows(world: &TeleWorld, cfg: &SignalingConfig) -> Vec<SignalingFlow> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.flows)
+        .map(|_| {
+            let proc_idx = rng.gen_range(0..words::PROCEDURES.len());
+            let procedure = words::PROCEDURES[proc_idx].to_string();
+            let hops = rng.gen_range(2..5);
+            let mut at = rng.gen_range(0..world.instances.len());
+            let mut steps = Vec::with_capacity(hops);
+            for h in 0..hops {
+                let neighbors = world.instance_neighbors(at);
+                if neighbors.is_empty() {
+                    break;
+                }
+                let next = neighbors[rng.gen_range(0..neighbors.len())];
+                let iface = words::INTERFACES[rng.gen_range(0..words::INTERFACES.len())];
+                let message = match h {
+                    0 => format!("{procedure} request"),
+                    _ if h == hops - 1 => format!("{procedure} response"),
+                    _ => format!("{procedure} update"),
+                };
+                steps.push(SignalingStep {
+                    from: at,
+                    to: next,
+                    interface: iface.to_string(),
+                    message,
+                    failed: rng.gen_bool(cfg.failure_rate),
+                });
+                at = next;
+            }
+            SignalingFlow { procedure, steps }
+        })
+        .filter(|f| !f.steps.is_empty())
+        .collect()
+}
+
+/// Wraps signaling steps into prompt templates using the `[SIG]` extension
+/// token: `[SIG] message over interface | [LOC] from | [LOC] to`.
+pub fn signaling_templates(world: &TeleWorld, flows: &[SignalingFlow]) -> Vec<Vec<TemplateField>> {
+    flows
+        .iter()
+        .flat_map(|f| f.steps.iter())
+        .map(|s| {
+            let status = if s.failed { "failed" } else { "succeeded" };
+            vec![
+                TemplateField::text(
+                    PromptToken::Sig,
+                    format!("{} over {} {}", s.message, s.interface, status),
+                ),
+                TemplateField::text(PromptToken::Loc, &world.instances[s.from].name),
+                TemplateField::text(PromptToken::Loc, &world.instances[s.to].name),
+            ]
+        })
+        .collect()
+}
+
+/// One NE instance's configuration table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConfigTable {
+    /// The instance.
+    pub instance: usize,
+    /// `(parameter name, value)` rows.
+    pub params: Vec<(String, f32)>,
+}
+
+/// Configuration parameters per NE type (name, plausible range).
+const CONFIG_PARAMS: &[(&str, f32, f32)] = &[
+    ("max sessions", 1000.0, 50000.0),
+    ("heartbeat interval", 1.0, 30.0),
+    ("retry limit", 1.0, 8.0),
+    ("timer t3510", 5.0, 60.0),
+    ("bandwidth limit", 100.0, 10000.0),
+    ("queue depth", 64.0, 4096.0),
+];
+
+/// Generates configuration tables for every NE instance.
+pub fn config_tables(world: &TeleWorld, seed: u64) -> Vec<ConfigTable> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    world
+        .instances
+        .iter()
+        .map(|inst| {
+            let params = CONFIG_PARAMS
+                .iter()
+                .map(|&(name, lo, hi)| (name.to_string(), rng.gen_range(lo..hi)))
+                .collect();
+            ConfigTable { instance: inst.id, params }
+        })
+        .collect()
+}
+
+/// Wraps configuration rows into prompt templates with numeric slots:
+/// `[ENT] instance | [ATTR] parameter | [NUM]` — extra training signal for
+/// the adaptive numeric encoder.
+pub fn config_templates(world: &TeleWorld, tables: &[ConfigTable]) -> Vec<Vec<TemplateField>> {
+    tables
+        .iter()
+        .flat_map(|t| {
+            let name = world.instances[t.instance].name.clone();
+            t.params.iter().map(move |(param, value)| {
+                vec![
+                    TemplateField::text(PromptToken::Ent, name.clone()),
+                    TemplateField::numeric(PromptToken::Attr, param.clone(), *value),
+                ]
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use tele_tokenizer::FieldContent;
+
+    fn world() -> TeleWorld {
+        TeleWorld::generate(WorldConfig::default())
+    }
+
+    #[test]
+    fn flows_walk_topology_edges() {
+        let w = world();
+        let flows = signaling_flows(&w, &SignalingConfig::default());
+        assert!(!flows.is_empty());
+        for f in &flows {
+            for s in &f.steps {
+                assert!(
+                    w.instance_neighbors(s.from).contains(&s.to),
+                    "signaling step jumps a non-edge"
+                );
+            }
+            // Steps chain: each step starts where the previous ended.
+            for pair in f.steps.windows(2) {
+                assert_eq!(pair[0].to, pair[1].from);
+            }
+        }
+    }
+
+    #[test]
+    fn flows_are_deterministic() {
+        let w = world();
+        let a = signaling_flows(&w, &SignalingConfig::default());
+        let b = signaling_flows(&w, &SignalingConfig::default());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].steps.len(), b[0].steps.len());
+    }
+
+    #[test]
+    fn signaling_templates_use_sig_token() {
+        let w = world();
+        let flows = signaling_flows(&w, &SignalingConfig { flows: 5, ..Default::default() });
+        let templates = signaling_templates(&w, &flows);
+        assert!(!templates.is_empty());
+        for t in &templates {
+            assert_eq!(t[0].kind, PromptToken::Sig);
+            assert_eq!(t.len(), 3);
+        }
+    }
+
+    #[test]
+    fn config_tables_cover_all_instances() {
+        let w = world();
+        let tables = config_tables(&w, 5);
+        assert_eq!(tables.len(), w.instances.len());
+        for t in &tables {
+            assert_eq!(t.params.len(), CONFIG_PARAMS.len());
+            for ((name, value), &(pname, lo, hi)) in t.params.iter().zip(CONFIG_PARAMS) {
+                assert_eq!(name, pname);
+                assert!(*value >= lo && *value <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn config_templates_carry_numeric_slots() {
+        let w = world();
+        let tables = config_tables(&w, 5);
+        let templates = config_templates(&w, &tables);
+        assert_eq!(templates.len(), w.instances.len() * CONFIG_PARAMS.len());
+        for t in &templates {
+            assert!(matches!(t[1].content, FieldContent::Numeric { .. }));
+        }
+    }
+}

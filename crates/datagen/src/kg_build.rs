@@ -1,0 +1,226 @@
+//! Builds the Tele-KG from the world's ground truth.
+//!
+//! Mirrors the paper's construction (Sec. II-A3): a hierarchical tele-schema
+//! rooted at `Event` / `Resource`, instance-level entities for alarms, KPIs
+//! and network elements, expert-recorded `trigger` relations (only the
+//! `expert_known` subset of the causal DAG — expert coverage is incomplete
+//! by design), plus textual and numerical attribute triples.
+
+use tele_kg::{EntityId, Literal, Schema, TeleKg};
+
+use crate::world::TeleWorld;
+
+/// Well-known relation names used by the builder.
+pub mod relations {
+    /// Causal trigger between events.
+    pub const TRIGGER: &str = "trigger";
+    /// Event located at an NE type.
+    pub const LOCATED_AT: &str = "locatedAt";
+    /// KPI measured on an NE type.
+    pub const MEASURED_ON: &str = "measuredOn";
+    /// Topology adjacency between NE instances.
+    pub const CONNECTED_TO: &str = "connectedTo";
+    /// Instance-of between an NE instance and its type entity.
+    pub const INSTANCE_OF: &str = "instanceOf";
+}
+
+/// The built KG plus the entity handles downstream code needs.
+pub struct BuiltKg {
+    /// The knowledge graph.
+    pub kg: TeleKg,
+    /// Entity of each event (alarm / KPI), indexed by global event id.
+    pub event_entities: Vec<EntityId>,
+    /// Entity of each NE instance.
+    pub instance_entities: Vec<EntityId>,
+    /// Entity of each NE type.
+    pub type_entities: Vec<EntityId>,
+}
+
+/// Builds the Tele-KG for a world.
+pub fn build_kg(world: &TeleWorld) -> BuiltKg {
+    let mut schema = Schema::with_roots();
+    let event_root = schema.event_root();
+    let resource_root = schema.resource_root();
+    let abnormal = schema.add_class("AbnormalEvent", event_root);
+    let alarm_cls = schema.add_class("Alarm", abnormal);
+    let indicator = schema.add_class("Indicator", event_root);
+    let kpi_cls = schema.add_class("KPI", indicator);
+    let ne_cls = schema.add_class("NetworkElement", resource_root);
+    let ne_type_classes: Vec<_> = world
+        .ne_types
+        .iter()
+        .map(|t| schema.add_class(&format!("{t}Element"), ne_cls))
+        .collect();
+
+    let mut kg = TeleKg::new(schema);
+    let trigger = kg.add_relation(relations::TRIGGER);
+    let located = kg.add_relation(relations::LOCATED_AT);
+    let measured = kg.add_relation(relations::MEASURED_ON);
+    let connected = kg.add_relation(relations::CONNECTED_TO);
+    let instance_of = kg.add_relation(relations::INSTANCE_OF);
+
+    // NE type entities.
+    let type_entities: Vec<EntityId> = world
+        .ne_types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| kg.add_entity(t, ne_type_classes[i]))
+        .collect();
+
+    // NE instance entities + topology.
+    let instance_entities: Vec<EntityId> = world
+        .instances
+        .iter()
+        .map(|inst| {
+            let e = kg.add_entity(&inst.name, ne_type_classes[inst.ne_type]);
+            kg.add_triple(e, instance_of, type_entities[inst.ne_type]);
+            e
+        })
+        .collect();
+    for &(a, b) in &world.topology {
+        kg.add_triple(instance_entities[a], connected, instance_entities[b]);
+        kg.add_triple(instance_entities[b], connected, instance_entities[a]);
+    }
+
+    // The "propagation impact" expert score: how many events sit below this
+    // one in the fault DAG, normalized — the numerical attribute ANEnc
+    // encodes for the service embeddings.
+    let impact = propagation_impact(world);
+
+    // Event entities with attributes.
+    let mut event_entities = Vec::with_capacity(world.num_events());
+    for (id, a) in world.alarms.iter().enumerate() {
+        let e = kg.add_entity(&a.name, alarm_cls);
+        kg.add_attribute(e, "alarm code", Literal::Text(a.code.clone()));
+        kg.add_attribute(e, "severity", Literal::Text(a.severity.label().to_string()));
+        kg.add_attribute(e, "propagation impact", Literal::Number(impact[id]));
+        kg.add_triple(e, located, type_entities[a.ne_type]);
+        event_entities.push(e);
+    }
+    for k in &world.kpis {
+        let e = kg.add_entity(&k.name, kpi_cls);
+        kg.add_attribute(e, "kpi code", Literal::Text(k.code.clone()));
+        kg.add_attribute(e, "baseline value", Literal::Number(k.baseline));
+        kg.add_attribute(e, "propagation impact", Literal::Number(impact[world.alarms.len() + k.id]));
+        kg.add_triple(e, measured, type_entities[k.ne_type]);
+        event_entities.push(e);
+    }
+
+    // Expert-known trigger relations only: the KG is an incomplete view of
+    // the ground truth, as in the paper.
+    for edge in world.causal_edges.iter().filter(|e| e.expert_known) {
+        kg.add_triple(event_entities[edge.src], trigger, event_entities[edge.dst]);
+    }
+
+    BuiltKg { kg, event_entities, instance_entities, type_entities }
+}
+
+/// Normalized count of (transitive) downstream events per event.
+fn propagation_impact(world: &TeleWorld) -> Vec<f32> {
+    let n = world.num_events();
+    let mut downstream = vec![0usize; n];
+    for src in 0..n {
+        // DFS from src.
+        let mut seen = vec![false; n];
+        let mut stack = vec![src];
+        seen[src] = true;
+        let mut count = 0;
+        while let Some(u) = stack.pop() {
+            for e in world.out_edges(u) {
+                if !seen[e.dst] {
+                    seen[e.dst] = true;
+                    count += 1;
+                    stack.push(e.dst);
+                }
+            }
+        }
+        downstream[src] = count;
+    }
+    let max = downstream.iter().copied().max().unwrap_or(1).max(1) as f32;
+    downstream.iter().map(|&d| d as f32 / max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn built() -> (TeleWorld, BuiltKg) {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let b = build_kg(&w);
+        (w, b)
+    }
+
+    #[test]
+    fn entity_counts() {
+        let (w, b) = built();
+        assert_eq!(b.event_entities.len(), w.num_events());
+        assert_eq!(b.instance_entities.len(), w.instances.len());
+        assert_eq!(b.type_entities.len(), w.ne_types.len());
+        assert_eq!(
+            b.kg.num_entities(),
+            w.num_events() + w.instances.len() + w.ne_types.len()
+        );
+    }
+
+    #[test]
+    fn expert_triggers_are_subset_of_ground_truth() {
+        let (w, b) = built();
+        let trigger = b.kg.relation(relations::TRIGGER).unwrap();
+        let stored = b.kg.query(None, Some(trigger), None);
+        let expert_count = w.causal_edges.iter().filter(|e| e.expert_known).count();
+        assert_eq!(stored.len(), expert_count);
+        assert!(expert_count < w.causal_edges.len(), "expert coverage should be partial");
+        for t in stored {
+            let src = b.event_entities.iter().position(|&e| e == t.head).unwrap();
+            let dst = b.event_entities.iter().position(|&e| e == t.tail).unwrap();
+            assert!(w.causal_edges.iter().any(|e| e.src == src && e.dst == dst));
+        }
+    }
+
+    #[test]
+    fn alarm_entities_typed_under_event_root() {
+        let (w, b) = built();
+        let event_root = b.kg.schema.event_root();
+        for &e in &b.event_entities[..w.alarms.len()] {
+            assert!(b.kg.schema.is_subclass_of(b.kg.class_of(e), event_root));
+        }
+    }
+
+    #[test]
+    fn numeric_attributes_present() {
+        let (_, b) = built();
+        let mut numeric = 0;
+        for e in b.kg.entity_ids() {
+            for (_, v) in b.kg.attributes(e) {
+                if matches!(v, Literal::Number(_)) {
+                    numeric += 1;
+                }
+            }
+        }
+        assert!(numeric > 0, "expected numeric attribute triples");
+    }
+
+    #[test]
+    fn topology_mirrored_in_kg() {
+        let (w, b) = built();
+        let conn = b.kg.relation(relations::CONNECTED_TO).unwrap();
+        let stored = b.kg.query(None, Some(conn), None);
+        assert_eq!(stored.len(), 2 * w.topology.len());
+    }
+
+    #[test]
+    fn impact_scores_normalized_and_roots_high() {
+        let (w, _) = built();
+        let impact = propagation_impact(&w);
+        assert!(impact.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let max_idx = impact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // The most impactful event cannot be a KPI (KPIs are sinks).
+        assert!(w.is_alarm(max_idx));
+    }
+}

@@ -1,0 +1,32 @@
+//! # tele-datagen
+//!
+//! The synthetic tele-world that substitutes for the paper's proprietary
+//! Huawei data (see DESIGN.md §2). One ground-truth [`TeleWorld`] — NE
+//! catalogs, topology and a fault-propagation DAG — derives everything:
+//!
+//! - [`corpus`]: the tele-domain pre-training corpus, the generic baseline
+//!   corpus, and the causal-sentence extraction rules,
+//! - [`logs`]: fault-episode simulation producing machine logs (alarms +
+//!   co-varying KPI readings),
+//! - [`kg_build`]: the Tele-KG with expert-known trigger triples and
+//!   numeric attributes,
+//! - [`downstream`]: the RCA / EAP / FCT dataset builders with the
+//!   statistics of Tables III, V and VII,
+//! - [`Suite`]: a one-stop deterministic bundle at a chosen [`Scale`].
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod extensions;
+pub mod downstream;
+pub mod kg_build;
+pub mod logs;
+mod suite;
+pub mod words;
+mod world;
+
+pub use suite::{Scale, Suite};
+pub use world::{
+    AbnormalDirection, AlarmType, CausalEdge, EventId, KpiType, NeInstance, Severity, TeleWorld,
+    WorldConfig,
+};

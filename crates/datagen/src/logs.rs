@@ -1,0 +1,407 @@
+//! Machine-log simulation: fault episodes sampled from the ground-truth
+//! DAG, producing alarm events and KPI readings (the paper's "machine log
+//! data", delivered as MDAF-like packages).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::world::{AbnormalDirection, EventId, TeleWorld};
+
+/// One record in a machine log.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// An alarm occurrence.
+    Alarm {
+        /// Alarm event id (catalog index).
+        event: EventId,
+        /// NE instance the alarm fired on.
+        instance: usize,
+        /// Occurrence time (time units from episode start).
+        time: u32,
+    },
+    /// A KPI reading.
+    Kpi {
+        /// KPI event id (global event id: `alarms.len() + kpi index`).
+        event: EventId,
+        /// NE instance the KPI is measured on.
+        instance: usize,
+        /// Reading time.
+        time: u32,
+        /// The raw value.
+        value: f32,
+    },
+}
+
+impl LogRecord {
+    /// The global event id of the record.
+    pub fn event(&self) -> EventId {
+        match self {
+            LogRecord::Alarm { event, .. } | LogRecord::Kpi { event, .. } => *event,
+        }
+    }
+
+    /// The NE instance of the record.
+    pub fn instance(&self) -> usize {
+        match self {
+            LogRecord::Alarm { instance, .. } | LogRecord::Kpi { instance, .. } => *instance,
+        }
+    }
+
+    /// The record time.
+    pub fn time(&self) -> u32 {
+        match self {
+            LogRecord::Alarm { time, .. } | LogRecord::Kpi { time, .. } => *time,
+        }
+    }
+}
+
+/// One propagated fault occurrence inside an episode.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Activation {
+    /// The activated event.
+    pub event: EventId,
+    /// The NE instance it occurred on.
+    pub instance: usize,
+    /// Activation time.
+    pub time: u32,
+    /// The activation that caused this one (index into the episode's
+    /// activation list), `None` for the root.
+    pub parent: Option<usize>,
+}
+
+/// A simulated fault episode: the paper's "state of a telecommunication
+/// system in a time slot", with ground truth attached.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Episode {
+    /// The root-cause alarm.
+    pub root_event: EventId,
+    /// The NE instance the root occurred on.
+    pub root_instance: usize,
+    /// All activations in causal order.
+    pub activations: Vec<Activation>,
+    /// The full machine log (alarms + KPI readings, time-sorted).
+    pub records: Vec<LogRecord>,
+}
+
+impl Episode {
+    /// NE instances touched by any activation.
+    pub fn involved_instances(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.activations.iter().map(|a| a.instance).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct LogSimConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of episodes (≈ MDAF packages).
+    pub episodes: usize,
+    /// Standard deviation of KPI baseline noise.
+    pub kpi_noise: f32,
+    /// Magnitude of the abnormal KPI shift.
+    pub kpi_shift: f32,
+    /// Expected number of spurious (causally unrelated) alarms per episode
+    /// — real fault states contain unrelated noise, which is what defeats
+    /// pure event-identity memorization in RCA.
+    pub spurious_alarms: f32,
+}
+
+impl Default for LogSimConfig {
+    fn default() -> Self {
+        LogSimConfig {
+            seed: 31,
+            episodes: 127,
+            kpi_noise: 0.03,
+            kpi_shift: 0.3,
+            spurious_alarms: 1.2,
+        }
+    }
+}
+
+/// Simulates fault episodes on the world.
+///
+/// Each episode picks a root alarm, propagates along the causal DAG with
+/// the edges' probabilities and delays, and emits the machine log: alarm
+/// records for activated alarms, plus KPI readings on all involved
+/// instances (abnormal where the KPI was activated, baseline noise
+/// elsewhere — the co-variation signal ANEnc learns from).
+pub fn simulate(world: &TeleWorld, cfg: &LogSimConfig) -> Vec<Episode> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.episodes)
+        .map(|_| simulate_episode(world, cfg, &mut rng))
+        .collect()
+}
+
+fn simulate_episode(world: &TeleWorld, cfg: &LogSimConfig, rng: &mut StdRng) -> Episode {
+    // Any alarm can start an incident (the paper: "a large number of
+    // abnormal events happen every day with various causes"); propagation
+    // then follows the DAG downstream of it.
+    let root_event: EventId = rng.gen_range(0..world.alarms.len());
+    let root_instance = pick_instance(world, world.event_ne_type(root_event), None, rng);
+
+    let mut activations = vec![Activation { event: root_event, instance: root_instance, time: 0, parent: None }];
+    let mut activated_events = vec![false; world.num_events()];
+    activated_events[root_event] = true;
+
+    // Breadth-first propagation over the DAG.
+    let mut frontier = vec![0usize];
+    while let Some(ai) = frontier.pop() {
+        let act = activations[ai];
+        let edges: Vec<_> = world.out_edges(act.event).cloned().collect();
+        for e in edges {
+            if activated_events[e.dst] || !rng.gen_bool(e.prob as f64) {
+                continue;
+            }
+            activated_events[e.dst] = true;
+            let inst = pick_instance(world, world.event_ne_type(e.dst), Some(act.instance), rng);
+            let time = act.time + e.delay + rng.gen_range(0..2);
+            let idx = activations.len();
+            activations.push(Activation { event: e.dst, instance: inst, time, parent: Some(ai) });
+            if world.is_alarm(e.dst) {
+                frontier.push(idx);
+            }
+        }
+    }
+
+    // Spurious alarms: causally unrelated events that happen to fire in the
+    // same time slot (parentless, excluded from chains and trigger pairs).
+    let max_t = activations.iter().map(|a| a.time).max().unwrap_or(0);
+    let n_spurious = (cfg.spurious_alarms * 2.0 * rng.gen::<f32>()) as usize;
+    for _ in 0..n_spurious {
+        let event: EventId = rng.gen_range(0..world.alarms.len());
+        if activated_events[event] {
+            continue;
+        }
+        activated_events[event] = true;
+        let inst = pick_instance(world, world.event_ne_type(event), None, rng);
+        activations.push(Activation {
+            event,
+            instance: inst,
+            time: rng.gen_range(0..=max_t + 1),
+            parent: None,
+        });
+    }
+
+    // Emit the log: alarms as-is; KPI readings on every involved instance.
+    let mut records = Vec::new();
+    for a in &activations {
+        if world.is_alarm(a.event) {
+            records.push(LogRecord::Alarm { event: a.event, instance: a.instance, time: a.time });
+        }
+    }
+    let involved: Vec<usize> = {
+        let mut v: Vec<usize> = activations.iter().map(|a| a.instance).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let max_time = activations.iter().map(|a| a.time).max().unwrap_or(0);
+    for kpi in &world.kpis {
+        let global: EventId = world.alarms.len() + kpi.id;
+        let activated_on: Option<usize> = activations
+            .iter()
+            .find(|a| a.event == global)
+            .map(|a| a.instance);
+        for &inst in &involved {
+            if world.instances[inst].ne_type != kpi.ne_type {
+                continue;
+            }
+            let noise = (rng.gen::<f32>() - 0.5) * 2.0 * cfg.kpi_noise;
+            let value = if activated_on == Some(inst) {
+                match kpi.direction {
+                    AbnormalDirection::Increase => kpi.baseline + cfg.kpi_shift + noise,
+                    AbnormalDirection::Decrease => (kpi.baseline - cfg.kpi_shift + noise).max(0.0),
+                }
+            } else {
+                kpi.baseline + noise
+            };
+            records.push(LogRecord::Kpi { event: global, instance: inst, time: max_time, value });
+        }
+    }
+    records.sort_by_key(|r| (r.time(), r.event()));
+
+    Episode { root_event, root_instance, activations, records }
+}
+
+/// Wraps log records into prompt templates (paper Fig. 3) for re-training:
+/// alarms become `[ALM] name | [LOC] instance`, KPI readings become
+/// `[KPI] name | [NUM]  [LOC] instance` with the value in the numeric slot.
+pub fn log_templates(
+    world: &TeleWorld,
+    episodes: &[Episode],
+) -> Vec<Vec<tele_tokenizer::TemplateField>> {
+    use tele_tokenizer::patterns;
+    let mut out = Vec::new();
+    for ep in episodes {
+        for r in &ep.records {
+            match r {
+                LogRecord::Alarm { event, instance, .. } => {
+                    out.push(patterns::alarm(
+                        world.event_name(*event),
+                        &world.instances[*instance].name,
+                    ));
+                }
+                LogRecord::Kpi { event, instance, value, .. } => {
+                    out.push(patterns::kpi(
+                        world.event_name(*event),
+                        &world.instances[*instance].name,
+                        *value,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Picks an NE instance of the given type, preferring topology neighbors of
+/// `near` (so propagation follows the network graph, which the EAP task's
+/// topology feature relies on).
+fn pick_instance(world: &TeleWorld, ne_type: usize, near: Option<usize>, rng: &mut StdRng) -> usize {
+    if let Some(src) = near {
+        let neighbors: Vec<usize> = world
+            .instance_neighbors(src)
+            .into_iter()
+            .filter(|&i| world.instances[i].ne_type == ne_type)
+            .collect();
+        if !neighbors.is_empty() {
+            return neighbors[rng.gen_range(0..neighbors.len())];
+        }
+    }
+    let cands = world.instances_of_type(ne_type);
+    cands[rng.gen_range(0..cands.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn episodes() -> (TeleWorld, Vec<Episode>) {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let eps = simulate(&w, &LogSimConfig { seed: 2, episodes: 40, ..Default::default() });
+        (w, eps)
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let cfg = LogSimConfig { seed: 4, episodes: 10, ..Default::default() };
+        let a = simulate(&w, &cfg);
+        let b = simulate(&w, &cfg);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].root_event, b[0].root_event);
+        assert_eq!(a[0].records, b[0].records);
+    }
+
+    #[test]
+    fn roots_are_alarms_at_time_zero() {
+        let (w, eps) = episodes();
+        for e in &eps {
+            assert!(w.is_alarm(e.root_event));
+            assert_eq!(e.activations[0].event, e.root_event);
+            assert_eq!(e.activations[0].time, 0);
+        }
+        // With roots drawn from all alarms, more root types appear than the
+        // DAG-root subset alone.
+        let distinct: std::collections::HashSet<_> = eps.iter().map(|e| e.root_event).collect();
+        assert!(distinct.len() > w.root_alarms().len() / 2);
+    }
+
+    #[test]
+    fn activation_times_respect_causality() {
+        let (_, eps) = episodes();
+        for ep in &eps {
+            for a in &ep.activations {
+                if let Some(p) = a.parent {
+                    assert!(a.time > ep.activations[p].time, "child activated before parent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn activations_follow_causal_edges() {
+        let (w, eps) = episodes();
+        for ep in &eps {
+            for a in &ep.activations {
+                if let Some(p) = a.parent {
+                    let src = ep.activations[p].event;
+                    assert!(
+                        w.causal_edges.iter().any(|e| e.src == src && e.dst == a.event),
+                        "activation without a ground-truth edge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spurious_alarms_are_parentless_and_marked() {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let eps = simulate(&w, &LogSimConfig { seed: 5, episodes: 40, spurious_alarms: 2.0, ..Default::default() });
+        let mut saw_spurious = false;
+        for ep in &eps {
+            for (i, a) in ep.activations.iter().enumerate() {
+                if i > 0 && a.parent.is_none() {
+                    saw_spurious = true;
+                    assert!(w.is_alarm(a.event), "spurious events are alarms");
+                }
+            }
+        }
+        assert!(saw_spurious, "expected spurious alarms at rate 2.0");
+    }
+
+    #[test]
+    fn zero_spurious_rate_produces_none() {
+        let w = TeleWorld::generate(WorldConfig::default());
+        let eps = simulate(&w, &LogSimConfig { seed: 5, episodes: 20, spurious_alarms: 0.0, ..Default::default() });
+        for ep in &eps {
+            for (i, a) in ep.activations.iter().enumerate() {
+                assert!(i == 0 || a.parent.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn abnormal_kpis_shift_from_baseline() {
+        let (w, eps) = episodes();
+        let mut checked = 0;
+        for ep in &eps {
+            let activated: Vec<(EventId, usize)> = ep
+                .activations
+                .iter()
+                .filter(|a| !w.is_alarm(a.event))
+                .map(|a| (a.event, a.instance))
+                .collect();
+            for r in &ep.records {
+                if let LogRecord::Kpi { event, instance, value, .. } = r {
+                    let kpi = w.kpi_of(*event);
+                    let diff = (value - kpi.baseline).abs();
+                    if activated.contains(&(*event, *instance)) {
+                        assert!(diff > 0.15, "activated KPI did not shift");
+                        checked += 1;
+                    } else {
+                        assert!(diff < 0.1, "baseline KPI shifted too far");
+                    }
+                }
+            }
+        }
+        assert!(checked > 0, "no abnormal KPI readings produced");
+    }
+
+    #[test]
+    fn records_are_time_sorted() {
+        let (_, eps) = episodes();
+        for ep in &eps {
+            for w in ep.records.windows(2) {
+                assert!(w[0].time() <= w[1].time());
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! One-stop dataset suite: world + corpora + logs + Tele-KG + downstream
+//! datasets, generated from a scale preset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::{extract_causal_sentences, generic_corpus, tele_corpus, CorpusConfig};
+use crate::downstream::{eap::EapDataset, fct::FctDataset, rca::RcaDataset};
+use crate::kg_build::{build_kg, BuiltKg};
+use crate::logs::{simulate, Episode, LogSimConfig};
+use crate::world::{TeleWorld, WorldConfig};
+
+/// Scale presets for the suite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Scale {
+    /// Minimal: for unit/integration tests (seconds).
+    Smoke,
+    /// Default: the experiment harness scale — downstream dataset counts
+    /// close to the paper's tables, corpus scaled to CPU budget (minutes).
+    Lab,
+    /// Paper-count datasets with a larger corpus (tens of minutes on CPU).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `TELE_SCALE` (`smoke` / `lab` / `paper`), defaulting to `Lab`.
+    pub fn from_env() -> Self {
+        match std::env::var("TELE_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Lab,
+        }
+    }
+
+    /// The world configuration for this scale.
+    pub fn world_config(self, seed: u64) -> WorldConfig {
+        match self {
+            Scale::Smoke => WorldConfig {
+                seed,
+                ne_types: 6,
+                instances_per_type: 2,
+                alarms: 18,
+                kpis: 8,
+                avg_out_degree: 1.6,
+                expert_coverage: 0.7,
+            },
+            Scale::Lab | Scale::Paper => WorldConfig {
+                seed,
+                ne_types: 12,
+                instances_per_type: 3,
+                alarms: 60,
+                kpis: 26,
+                avg_out_degree: 1.8,
+                expert_coverage: 0.7,
+            },
+        }
+    }
+
+    /// Sentence budget for the tele corpus.
+    pub fn corpus_sentences(self) -> usize {
+        match self {
+            Scale::Smoke => 800,
+            Scale::Lab => 6000,
+            Scale::Paper => 20000,
+        }
+    }
+
+    /// Episode budget (drives RCA graphs / EAP packages / FCT chains).
+    pub fn episodes(self) -> usize {
+        match self {
+            Scale::Smoke => 40,
+            // 127 matches the paper's #Graphs in Table III.
+            Scale::Lab | Scale::Paper => 127,
+        }
+    }
+}
+
+/// Everything the experiments consume, generated deterministically from a
+/// `(scale, seed)` pair.
+pub struct Suite {
+    /// The scale preset used.
+    pub scale: Scale,
+    /// The ground-truth world.
+    pub world: TeleWorld,
+    /// Tele-domain pre-training corpus.
+    pub tele_corpus: Vec<String>,
+    /// Generic corpus for the MacBERT-substitute baseline.
+    pub generic_corpus: Vec<String>,
+    /// Causal sentences extracted for re-training.
+    pub causal_sentences: Vec<String>,
+    /// Simulated fault episodes.
+    pub episodes: Vec<Episode>,
+    /// The Tele-KG with entity handles.
+    pub built_kg: BuiltKg,
+    /// Root-cause analysis dataset.
+    pub rca: RcaDataset,
+    /// Event association prediction dataset.
+    pub eap: EapDataset,
+    /// Fault chain tracing dataset.
+    pub fct: FctDataset,
+}
+
+impl Suite {
+    /// Generates the full suite.
+    pub fn generate(scale: Scale, seed: u64) -> Self {
+        let world = TeleWorld::generate(scale.world_config(seed));
+        let corpus_cfg = CorpusConfig {
+            seed: seed.wrapping_add(1),
+            sentences: scale.corpus_sentences(),
+            splice_fraction: 0.15,
+        };
+        let tele = tele_corpus(&world, &corpus_cfg);
+        let generic = generic_corpus(scale.corpus_sentences(), seed.wrapping_add(2));
+        let causal = extract_causal_sentences(&tele, 6);
+        let episodes = simulate(
+            &world,
+            &LogSimConfig {
+                seed: seed.wrapping_add(3),
+                episodes: scale.episodes(),
+                ..Default::default()
+            },
+        );
+        let built_kg = build_kg(&world);
+        let rca = RcaDataset::build(&world, &episodes);
+        let eap = EapDataset::build(&world, &episodes, seed.wrapping_add(4));
+        let fct = FctDataset::build(&world, &episodes, seed.wrapping_add(5));
+        Suite {
+            scale,
+            world,
+            tele_corpus: tele,
+            generic_corpus: generic,
+            causal_sentences: causal,
+            episodes,
+            built_kg,
+            rca,
+            eap,
+            fct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_generates_quickly_and_consistently() {
+        let s = Suite::generate(Scale::Smoke, 42);
+        assert!(!s.tele_corpus.is_empty());
+        assert!(!s.causal_sentences.is_empty());
+        assert_eq!(s.rca.graphs.len(), s.episodes.len());
+        assert!(!s.eap.pairs.is_empty());
+        assert!(!s.fct.train.is_empty());
+        let s2 = Suite::generate(Scale::Smoke, 42);
+        assert_eq!(s.tele_corpus, s2.tele_corpus);
+        assert_eq!(s.fct.train, s2.fct.train);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Smoke.corpus_sentences() < Scale::Lab.corpus_sentences());
+        assert!(Scale::Lab.corpus_sentences() < Scale::Paper.corpus_sentences());
+    }
+
+    #[test]
+    fn different_seeds_give_different_worlds() {
+        let a = Suite::generate(Scale::Smoke, 1);
+        let b = Suite::generate(Scale::Smoke, 2);
+        assert_ne!(a.world.alarms[0].name, b.world.alarms[0].name);
+    }
+}

@@ -1,0 +1,515 @@
+//! The ground-truth tele-world: catalogs, topology and the fault DAG.
+//!
+//! Everything else — corpora, machine logs, the Tele-KG and the three
+//! downstream datasets — is *derived* from one [`TeleWorld`], so the causal
+//! signal a model can learn during pre-training is, by construction, the
+//! same signal the downstream tasks test for. This mirrors the paper's
+//! setting, where product documents, expert KG triples and fault cases all
+//! describe one underlying telecom network.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::words;
+
+/// Alarm severity levels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Severity {
+    /// Service-affecting.
+    Critical,
+    /// Degradation.
+    Major,
+    /// Warning only.
+    Minor,
+}
+
+impl Severity {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Critical => "critical",
+            Severity::Major => "major",
+            Severity::Minor => "minor",
+        }
+    }
+}
+
+/// An alarm type in the catalog.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AlarmType {
+    /// Catalog index.
+    pub id: usize,
+    /// Alarm code, e.g. `ALM-100072`.
+    pub code: String,
+    /// Natural-language name, e.g. "The NF destination service is unreachable".
+    pub name: String,
+    /// Index into the world's NE-type list.
+    pub ne_type: usize,
+    /// Severity level.
+    pub severity: Severity,
+}
+
+/// Which direction a KPI moves when its element is affected by a fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AbnormalDirection {
+    /// The value rises abnormally (e.g. request counts).
+    Increase,
+    /// The value falls abnormally (e.g. success rates).
+    Decrease,
+}
+
+/// A KPI type in the catalog.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KpiType {
+    /// Catalog index.
+    pub id: usize,
+    /// KPI code, e.g. `KPI-1929480378`.
+    pub code: String,
+    /// Natural-language name, e.g. "success rate of initial registration".
+    pub name: String,
+    /// Index into the world's NE-type list.
+    pub ne_type: usize,
+    /// Normal operating value (before min-max normalization).
+    pub baseline: f32,
+    /// Abnormal movement direction.
+    pub direction: AbnormalDirection,
+}
+
+/// A global event id: alarms come first, then KPIs.
+pub type EventId = usize;
+
+/// A ground-truth causal edge in the fault-propagation DAG.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CausalEdge {
+    /// Source event (always an alarm).
+    pub src: EventId,
+    /// Destination event (alarm or KPI).
+    pub dst: EventId,
+    /// Propagation probability per episode.
+    pub prob: f32,
+    /// Propagation delay in time units.
+    pub delay: u32,
+    /// Whether tele experts have already recorded this edge in the Tele-KG
+    /// (the paper notes low-frequency relationships escape expert coverage).
+    pub expert_known: bool,
+}
+
+/// A deployed network-element instance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NeInstance {
+    /// Instance index.
+    pub id: usize,
+    /// Instance name, e.g. `SMF-03`.
+    pub name: String,
+    /// Index into the world's NE-type list.
+    pub ne_type: usize,
+}
+
+/// Size parameters for world generation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// RNG seed; the whole world is a pure function of the config.
+    pub seed: u64,
+    /// Number of NE types used (≤ the pool size).
+    pub ne_types: usize,
+    /// NE instances per type (approximate; at least one each).
+    pub instances_per_type: usize,
+    /// Number of alarm types.
+    pub alarms: usize,
+    /// Number of KPI types.
+    pub kpis: usize,
+    /// Average causal out-degree of an alarm.
+    pub avg_out_degree: f32,
+    /// Fraction of causal edges known to experts (recorded in Tele-KG).
+    pub expert_coverage: f32,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 17,
+            ne_types: 12,
+            instances_per_type: 3,
+            alarms: 60,
+            kpis: 26,
+            avg_out_degree: 1.8,
+            expert_coverage: 0.7,
+        }
+    }
+}
+
+/// The generated world: catalogs, instances, topology and the causal DAG.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct TeleWorld {
+    /// The configuration that generated this world.
+    pub config: WorldConfig,
+    /// NE type names in use (prefix of [`words::NE_TYPES`]).
+    pub ne_types: Vec<String>,
+    /// Alarm catalog.
+    pub alarms: Vec<AlarmType>,
+    /// KPI catalog.
+    pub kpis: Vec<KpiType>,
+    /// Deployed instances.
+    pub instances: Vec<NeInstance>,
+    /// Undirected topology edges between instances (index pairs).
+    pub topology: Vec<(usize, usize)>,
+    /// The ground-truth fault-propagation DAG.
+    pub causal_edges: Vec<CausalEdge>,
+}
+
+impl TeleWorld {
+    /// Generates a world deterministically from its config.
+    pub fn generate(config: WorldConfig) -> Self {
+        assert!(config.ne_types >= 2 && config.ne_types <= words::NE_TYPES.len());
+        assert!(config.alarms >= 4, "need at least a few alarm types");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let ne_types: Vec<String> = words::NE_TYPES[..config.ne_types]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+
+        // Alarm catalog: unique (component, failure mode) phrases.
+        let mut phrases: Vec<(usize, usize)> = (0..words::COMPONENTS.len())
+            .flat_map(|c| (0..words::FAILURE_MODES.len()).map(move |f| (c, f)))
+            .collect();
+        phrases.shuffle(&mut rng);
+        assert!(config.alarms <= phrases.len(), "alarm count exceeds phrase space");
+        let alarms: Vec<AlarmType> = phrases[..config.alarms]
+            .iter()
+            .enumerate()
+            .map(|(id, &(c, f))| {
+                let ne_type = rng.gen_range(0..ne_types.len());
+                let severity = match rng.gen_range(0..3) {
+                    0 => Severity::Critical,
+                    1 => Severity::Major,
+                    _ => Severity::Minor,
+                };
+                AlarmType {
+                    id,
+                    code: format!("ALM-{}", 100000 + id),
+                    name: format!("the {} {}", words::COMPONENTS[c], words::FAILURE_MODES[f]),
+                    ne_type,
+                    severity,
+                }
+            })
+            .collect();
+
+        // KPI catalog: unique (metric, procedure) names.
+        let mut kpi_pairs: Vec<(usize, usize)> = (0..words::METRICS.len())
+            .flat_map(|m| (0..words::PROCEDURES.len()).map(move |p| (m, p)))
+            .collect();
+        kpi_pairs.shuffle(&mut rng);
+        assert!(config.kpis <= kpi_pairs.len(), "kpi count exceeds name space");
+        let kpis: Vec<KpiType> = kpi_pairs[..config.kpis]
+            .iter()
+            .enumerate()
+            .map(|(id, &(m, p))| {
+                let direction = if words::METRICS[m].contains("rate") && words::METRICS[m].contains("success") {
+                    AbnormalDirection::Decrease
+                } else if rng.gen_bool(0.5) {
+                    AbnormalDirection::Increase
+                } else {
+                    AbnormalDirection::Decrease
+                };
+                KpiType {
+                    id,
+                    code: format!("KPI-{}", 1_900_000 + id),
+                    name: format!("{} of {}", words::METRICS[m], words::PROCEDURES[p]),
+                    ne_type: rng.gen_range(0..ne_types.len()),
+                    baseline: rng.gen_range(0.3..0.7),
+                    direction,
+                }
+            })
+            .collect();
+
+        // Instances: at least one per type.
+        let mut instances = Vec::new();
+        for (t, _) in ne_types.iter().enumerate() {
+            for k in 0..config.instances_per_type.max(1) {
+                let id = instances.len();
+                instances.push(NeInstance {
+                    id,
+                    name: format!("{}-{:02}", ne_types[t], k + 1),
+                    ne_type: t,
+                });
+            }
+        }
+
+        // Topology: spanning tree + extra random edges (connected).
+        let n = instances.len();
+        let mut topology = Vec::new();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        for i in 1..n {
+            let parent = order[rng.gen_range(0..i)];
+            topology.push((order[i].min(parent), order[i].max(parent)));
+        }
+        let extra = n; // roughly doubles the edge count
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                let e = (a.min(b), a.max(b));
+                if !topology.contains(&e) {
+                    topology.push(e);
+                }
+            }
+        }
+
+        // Causal DAG over a random topological order: alarms may trigger
+        // later alarms and KPIs; KPIs are sinks.
+        let num_events = alarms.len() + kpis.len();
+        let mut topo_order: Vec<EventId> = (0..alarms.len()).collect();
+        topo_order.shuffle(&mut rng);
+        let mut causal_edges = Vec::new();
+        let target_edges = (alarms.len() as f32 * config.avg_out_degree) as usize;
+        let mut tries = 0;
+        while causal_edges.len() < target_edges && tries < target_edges * 60 {
+            tries += 1;
+            // Source: position in the alarm order; destination: later alarm
+            // or any KPI (30% of edges point at KPIs).
+            let si = rng.gen_range(0..topo_order.len().saturating_sub(1).max(1));
+            let src = topo_order[si];
+            let dst: EventId = if rng.gen_bool(0.3) && !kpis.is_empty() {
+                alarms.len() + rng.gen_range(0..kpis.len())
+            } else {
+                let di = rng.gen_range(si + 1..topo_order.len());
+                topo_order[di]
+            };
+            if src == dst || causal_edges.iter().any(|e: &CausalEdge| e.src == src && e.dst == dst) {
+                continue;
+            }
+            causal_edges.push(CausalEdge {
+                src,
+                dst,
+                prob: rng.gen_range(0.55..0.95),
+                delay: rng.gen_range(1..6),
+                expert_known: rng.gen_bool(config.expert_coverage as f64),
+            });
+        }
+        debug_assert!(causal_edges.iter().all(|e| e.dst < num_events));
+
+        TeleWorld { config, ne_types, alarms, kpis, instances, topology, causal_edges }
+    }
+
+    /// Total number of event types (alarms + KPIs).
+    pub fn num_events(&self) -> usize {
+        self.alarms.len() + self.kpis.len()
+    }
+
+    /// True if `e` is an alarm id (vs. a KPI id).
+    pub fn is_alarm(&self, e: EventId) -> bool {
+        e < self.alarms.len()
+    }
+
+    /// The KPI behind a KPI event id.
+    pub fn kpi_of(&self, e: EventId) -> &KpiType {
+        &self.kpis[e - self.alarms.len()]
+    }
+
+    /// The natural-language name of an event.
+    pub fn event_name(&self, e: EventId) -> &str {
+        if self.is_alarm(e) {
+            &self.alarms[e].name
+        } else {
+            &self.kpi_of(e).name
+        }
+    }
+
+    /// The code (`ALM-…` / `KPI-…`) of an event.
+    pub fn event_code(&self, e: EventId) -> &str {
+        if self.is_alarm(e) {
+            &self.alarms[e].code
+        } else {
+            &self.kpi_of(e).code
+        }
+    }
+
+    /// The NE type index an event lives on.
+    pub fn event_ne_type(&self, e: EventId) -> usize {
+        if self.is_alarm(e) {
+            self.alarms[e].ne_type
+        } else {
+            self.kpi_of(e).ne_type
+        }
+    }
+
+    /// Outgoing causal edges of an event.
+    pub fn out_edges(&self, e: EventId) -> impl Iterator<Item = &CausalEdge> {
+        self.causal_edges.iter().filter(move |c| c.src == e)
+    }
+
+    /// Alarms with no incoming causal edge — the possible root causes.
+    pub fn root_alarms(&self) -> Vec<EventId> {
+        (0..self.alarms.len())
+            .filter(|&a| !self.causal_edges.iter().any(|e| e.dst == a))
+            .collect()
+    }
+
+    /// The causal depth of every event: roots at 0, descendants at
+    /// 1 + max(parent depths). Used for numeric "expert score" attributes.
+    pub fn causal_depths(&self) -> Vec<u32> {
+        let mut depth = vec![0u32; self.num_events()];
+        // Edges only go forward in some topological order, so a few sweeps
+        // converge (bounded by the longest chain).
+        for _ in 0..self.num_events() {
+            let mut changed = false;
+            for e in &self.causal_edges {
+                if depth[e.dst] < depth[e.src] + 1 {
+                    depth[e.dst] = depth[e.src] + 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        depth
+    }
+
+    /// Instances of a given NE type.
+    pub fn instances_of_type(&self, ne_type: usize) -> Vec<usize> {
+        self.instances
+            .iter()
+            .filter(|i| i.ne_type == ne_type)
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Neighbor instances in the topology.
+    pub fn instance_neighbors(&self, inst: usize) -> Vec<usize> {
+        self.topology
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == inst {
+                    Some(b)
+                } else if b == inst {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for TeleWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TeleWorld({} NE types, {} instances, {} alarms, {} KPIs, {} causal edges)",
+            self.ne_types.len(),
+            self.instances.len(),
+            self.alarms.len(),
+            self.kpis.len(),
+            self.causal_edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> TeleWorld {
+        TeleWorld::generate(WorldConfig::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.alarms.len(), b.alarms.len());
+        assert_eq!(a.causal_edges.len(), b.causal_edges.len());
+        assert_eq!(a.alarms[0].name, b.alarms[0].name);
+        assert_eq!(a.causal_edges[0].src, b.causal_edges[0].src);
+    }
+
+    #[test]
+    fn alarm_names_unique() {
+        let w = world();
+        let mut names: Vec<_> = w.alarms.iter().map(|a| &a.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), w.alarms.len());
+    }
+
+    #[test]
+    fn dag_is_acyclic() {
+        let w = world();
+        // Kahn's algorithm must consume all events.
+        let n = w.num_events();
+        let mut indeg = vec![0usize; n];
+        for e in &w.causal_edges {
+            indeg[e.dst] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for e in w.causal_edges.iter().filter(|e| e.src == u) {
+                indeg[e.dst] -= 1;
+                if indeg[e.dst] == 0 {
+                    queue.push(e.dst);
+                }
+            }
+        }
+        assert_eq!(seen, n, "causal graph has a cycle");
+    }
+
+    #[test]
+    fn kpis_are_sinks() {
+        let w = world();
+        for e in &w.causal_edges {
+            assert!(w.is_alarm(e.src), "KPI {} has outgoing edge", e.src);
+        }
+    }
+
+    #[test]
+    fn roots_exist_and_have_no_parents() {
+        let w = world();
+        let roots = w.root_alarms();
+        assert!(!roots.is_empty());
+        for r in roots {
+            assert!(!w.causal_edges.iter().any(|e| e.dst == r));
+        }
+    }
+
+    #[test]
+    fn topology_is_connected() {
+        let w = world();
+        let n = w.instances.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for v in w.instance_neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "topology is disconnected");
+    }
+
+    #[test]
+    fn depths_increase_along_edges() {
+        let w = world();
+        let d = w.causal_depths();
+        for e in &w.causal_edges {
+            assert!(d[e.dst] > d[e.src], "depth not monotone along edge");
+        }
+    }
+
+    #[test]
+    fn every_type_has_instances() {
+        let w = world();
+        for t in 0..w.ne_types.len() {
+            assert!(!w.instances_of_type(t).is_empty());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # tele-kg
+//!
+//! The Tele-product Knowledge Graph (Tele-KG) of the KTeleBERT paper:
+//! a hierarchical tele-schema rooted at `Event` and `Resource`
+//! ([`Schema`]), an interned triple store with pattern queries and
+//! negative sampling ([`TeleKg`]), and serializers that turn triples into
+//! training sentences or prompt templates ([`serialize`]).
+
+#![warn(missing_docs)]
+
+pub mod ntriples;
+pub mod query;
+mod schema;
+pub mod serialize;
+mod store;
+
+pub use ntriples::{from_ntriples, to_ntriples, NtriplesError};
+pub use query::{query, Binding, Pattern, Query, QueryError, Term};
+pub use schema::{ClassId, Schema};
+pub use store::{EntityId, Literal, RelationId, TeleKg, Triple};

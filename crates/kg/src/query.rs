@@ -1,0 +1,528 @@
+//! A small SPARQL-like query engine over the Tele-KG.
+//!
+//! The paper (Sec. I): "experts and engineers often regard [Tele-KG] as a
+//! knowledge base and get knowledge in Tele-KG by executing SPARQL queries.
+//! The knowledge, namely the triples, retrieved from Tele-KG will be used as
+//! background knowledge or constraints in fault analysis tasks."
+//!
+//! This module implements the subset those retrievals need: basic graph
+//! patterns (conjunctions of triple patterns with shared variables), a
+//! `type`-constraint pattern resolved against the schema hierarchy, and
+//! SELECT / ASK forms, e.g.:
+//!
+//! ```text
+//! SELECT ?a ?ne WHERE {
+//!     ?a trigger ?b .
+//!     ?a locatedAt ?ne .
+//!     ?a type Alarm
+//! }
+//! ```
+//!
+//! Evaluation is a straightforward backtracking join, smallest-first by
+//! candidate count — adequate for KGs in the 10⁴–10⁵ triple range.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::schema::ClassId;
+use crate::store::{EntityId, RelationId, TeleKg};
+
+/// A term in a triple pattern: a variable or a constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Term {
+    /// A named variable (`?x`).
+    Var(String),
+    /// A constant entity surface / relation name / class name.
+    Const(String),
+}
+
+impl Term {
+    fn parse(tok: &str) -> Term {
+        match tok.strip_prefix('?') {
+            Some(name) => Term::Var(name.to_string()),
+            None => Term::Const(tok.to_string()),
+        }
+    }
+}
+
+/// One pattern of a basic graph pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pattern {
+    /// `subject relation object`.
+    Triple {
+        /// Subject term.
+        s: Term,
+        /// Relation term (constant or variable).
+        p: Term,
+        /// Object term.
+        o: Term,
+    },
+    /// `subject type Class` — subject's class must be a subclass of the
+    /// named class (resolved against the schema hierarchy).
+    Type {
+        /// Subject term.
+        s: Term,
+        /// Class name.
+        class: String,
+    },
+}
+
+/// A parsed query.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Projected variables (empty for ASK).
+    pub select: Vec<String>,
+    /// The basic graph pattern.
+    pub patterns: Vec<Pattern>,
+    /// True for ASK queries.
+    pub ask: bool,
+}
+
+/// Query parsing / evaluation errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// The query text is malformed.
+    Parse(String),
+    /// A constant names an entity / relation / class absent from the KG.
+    Unknown(String),
+    /// A projected variable never occurs in the pattern.
+    UnboundVariable(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(m) => write!(f, "parse error: {m}"),
+            QueryError::Unknown(m) => write!(f, "unknown name: {m}"),
+            QueryError::UnboundVariable(v) => write!(f, "projected variable ?{v} not in pattern"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One solution: variable → entity bindings.
+pub type Binding = HashMap<String, EntityId>;
+
+impl Query {
+    /// Parses a query of the form
+    /// `SELECT ?a ?b WHERE { pat . pat . pat }` or `ASK { pat }`.
+    ///
+    /// Patterns are whitespace-tokenized; multi-word constants use
+    /// double-quotes: `?a trigger "the control plane is congested"`.
+    pub fn parse(text: &str) -> Result<Query, QueryError> {
+        let text = text.trim();
+        let upper = text.to_uppercase();
+        let (select, ask, body) = if upper.starts_with("SELECT") {
+            let where_pos = upper
+                .find("WHERE")
+                .ok_or_else(|| QueryError::Parse("SELECT requires WHERE".into()))?;
+            let head = &text[6..where_pos];
+            let select: Vec<String> = head
+                .split_whitespace()
+                .map(|v| {
+                    v.strip_prefix('?')
+                        .map(str::to_string)
+                        .ok_or_else(|| QueryError::Parse(format!("expected variable, got {v:?}")))
+                })
+                .collect::<Result<_, _>>()?;
+            if select.is_empty() {
+                return Err(QueryError::Parse("SELECT needs at least one variable".into()));
+            }
+            (select, false, &text[where_pos + 5..])
+        } else if upper.starts_with("ASK") {
+            (Vec::new(), true, &text[3..])
+        } else {
+            return Err(QueryError::Parse("query must start with SELECT or ASK".into()));
+        };
+
+        let body = body.trim();
+        let inner = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or_else(|| QueryError::Parse("pattern block must be { … }".into()))?;
+
+        let mut patterns = Vec::new();
+        for clause in inner.split('.').map(str::trim).filter(|c| !c.is_empty()) {
+            let toks = tokenize(clause)?;
+            if toks.len() != 3 {
+                return Err(QueryError::Parse(format!(
+                    "pattern needs 3 terms, got {} in {clause:?}",
+                    toks.len()
+                )));
+            }
+            let s = Term::parse(&toks[0]);
+            if toks[1] == "type" {
+                patterns.push(Pattern::Type { s, class: toks[2].clone() });
+            } else {
+                patterns.push(Pattern::Triple {
+                    s,
+                    p: Term::parse(&toks[1]),
+                    o: Term::parse(&toks[2]),
+                });
+            }
+        }
+        if patterns.is_empty() {
+            return Err(QueryError::Parse("empty pattern block".into()));
+        }
+
+        // Projected variables must occur somewhere.
+        for v in &select {
+            let occurs = patterns.iter().any(|p| match p {
+                Pattern::Triple { s, p, o } => {
+                    [s, p, o].iter().any(|t| matches!(t, Term::Var(name) if name == v))
+                }
+                Pattern::Type { s, .. } => matches!(s, Term::Var(name) if name == v),
+            });
+            if !occurs {
+                return Err(QueryError::UnboundVariable(v.clone()));
+            }
+        }
+        Ok(Query { select, patterns, ask })
+    }
+}
+
+/// Splits a clause into tokens, honoring double-quoted multi-word constants.
+fn tokenize(clause: &str) -> Result<Vec<String>, QueryError> {
+    let mut toks = Vec::new();
+    let mut rest = clause.trim();
+    while !rest.is_empty() {
+        if let Some(stripped) = rest.strip_prefix('"') {
+            let end = stripped
+                .find('"')
+                .ok_or_else(|| QueryError::Parse(format!("unterminated quote in {clause:?}")))?;
+            toks.push(stripped[..end].to_string());
+            rest = stripped[end + 1..].trim_start();
+        } else {
+            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            toks.push(rest[..end].to_string());
+            rest = rest[end..].trim_start();
+        }
+    }
+    Ok(toks)
+}
+
+/// Evaluates a parsed query against a KG, returning all solutions
+/// (ASK queries return zero or one empty binding).
+pub fn execute(kg: &TeleKg, query: &Query) -> Result<Vec<Binding>, QueryError> {
+    // Resolve constants up front.
+    enum RTerm {
+        Var(String),
+        Entity(EntityId),
+    }
+    enum RPattern {
+        Triple { s: RTerm, p: Option<RelationId>, pv: Option<String>, o: RTerm },
+        Type { s: RTerm, class: ClassId },
+    }
+    let resolve_entity = |t: &Term| -> Result<RTerm, QueryError> {
+        match t {
+            Term::Var(v) => Ok(RTerm::Var(v.clone())),
+            Term::Const(c) => kg
+                .entity(c)
+                .map(RTerm::Entity)
+                .ok_or_else(|| QueryError::Unknown(format!("entity {c:?}"))),
+        }
+    };
+    let mut rpatterns = Vec::new();
+    for p in &query.patterns {
+        match p {
+            Pattern::Triple { s, p, o } => {
+                let (rel, pv) = match p {
+                    Term::Const(name) => (
+                        Some(
+                            kg.relation(name)
+                                .ok_or_else(|| QueryError::Unknown(format!("relation {name:?}")))?,
+                        ),
+                        None,
+                    ),
+                    Term::Var(v) => (None, Some(v.clone())),
+                };
+                rpatterns.push(RPattern::Triple {
+                    s: resolve_entity(s)?,
+                    p: rel,
+                    pv,
+                    o: resolve_entity(o)?,
+                });
+            }
+            Pattern::Type { s, class } => {
+                let cid = kg
+                    .schema
+                    .class(class)
+                    .ok_or_else(|| QueryError::Unknown(format!("class {class:?}")))?;
+                rpatterns.push(RPattern::Type { s: resolve_entity(s)?, class: cid });
+            }
+        }
+    }
+
+    // Backtracking join. Relation variables are bound separately.
+    let mut solutions = Vec::new();
+    let mut binding: Binding = HashMap::new();
+    let mut rel_binding: HashMap<String, RelationId> = HashMap::new();
+
+    fn term_value(t: &RTerm, b: &Binding) -> Option<EntityId> {
+        match t {
+            RTerm::Entity(e) => Some(*e),
+            RTerm::Var(v) => b.get(v).copied(),
+        }
+    }
+
+    fn solve(
+        kg: &TeleKg,
+        pats: &[RPattern],
+        binding: &mut Binding,
+        rel_binding: &mut HashMap<String, RelationId>,
+        out: &mut Vec<Binding>,
+        ask: bool,
+    ) {
+        if ask && !out.is_empty() {
+            return;
+        }
+        let Some((pat, rest)) = pats.split_first() else {
+            out.push(binding.clone());
+            return;
+        };
+        match pat {
+            RPattern::Type { s, class } => {
+                match term_value(s, binding) {
+                    Some(e) => {
+                        if kg.schema.is_subclass_of(kg.class_of(e), *class) {
+                            solve(kg, rest, binding, rel_binding, out, ask);
+                        }
+                    }
+                    None => {
+                        let RTerm::Var(v) = s else { unreachable!("unbound const") };
+                        for e in kg.entities_of_class(*class) {
+                            binding.insert(v.clone(), e);
+                            solve(kg, rest, binding, rel_binding, out, ask);
+                            binding.remove(v);
+                        }
+                    }
+                }
+            }
+            RPattern::Triple { s, p, pv, o } => {
+                let sv = term_value(s, binding);
+                let ov = term_value(o, binding);
+                let rel = match (p, pv) {
+                    (Some(r), _) => Some(*r),
+                    (None, Some(v)) => rel_binding.get(v).copied(),
+                    _ => None,
+                };
+                for t in kg.query(sv, rel, ov) {
+                    let mut added: Vec<&String> = Vec::new();
+                    let mut rel_added: Option<&String> = None;
+                    let mut ok = true;
+                    if sv.is_none() {
+                        if let RTerm::Var(v) = s {
+                            binding.insert(v.clone(), t.head);
+                            added.push(v);
+                        }
+                    }
+                    // Same variable on both sides must bind consistently.
+                    if ok && ov.is_none() {
+                        if let RTerm::Var(v) = o {
+                            match binding.get(v) {
+                                Some(&bound) if bound != t.tail => ok = false,
+                                Some(_) => {}
+                                None => {
+                                    binding.insert(v.clone(), t.tail);
+                                    added.push(v);
+                                }
+                            }
+                        }
+                    }
+                    if ok && rel.is_none() {
+                        if let Some(v) = pv {
+                            rel_binding.insert(v.clone(), t.rel);
+                            rel_added = Some(v);
+                        }
+                    }
+                    if ok {
+                        solve(kg, rest, binding, rel_binding, out, ask);
+                    }
+                    for v in added {
+                        binding.remove(v);
+                    }
+                    if let Some(v) = rel_added {
+                        rel_binding.remove(v);
+                    }
+                }
+            }
+        }
+    }
+
+    solve(kg, &rpatterns, &mut binding, &mut rel_binding, &mut solutions, query.ask);
+
+    // Project, deduplicate.
+    if query.ask {
+        solutions.truncate(1);
+        return Ok(solutions.into_iter().map(|_| Binding::new()).collect());
+    }
+    let mut projected: Vec<Binding> = solutions
+        .into_iter()
+        .map(|b| {
+            query
+                .select
+                .iter()
+                .filter_map(|v| b.get(v).map(|&e| (v.clone(), e)))
+                .collect()
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    projected.retain(|b| {
+        let mut key: Vec<(&String, EntityId)> = b.iter().map(|(k, &v)| (k, v)).collect();
+        key.sort();
+        seen.insert(format!("{key:?}"))
+    });
+    Ok(projected)
+}
+
+/// Parses and executes in one step.
+pub fn query(kg: &TeleKg, text: &str) -> Result<Vec<Binding>, QueryError> {
+    execute(kg, &Query::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn kg() -> TeleKg {
+        let mut schema = Schema::with_roots();
+        let ev = schema.event_root();
+        let res = schema.resource_root();
+        let alarm = schema.add_class("Alarm", ev);
+        let kpi = schema.add_class("KPI", ev);
+        let ne = schema.add_class("NetworkElement", res);
+        let mut kg = TeleKg::new(schema);
+        let a = kg.add_entity("alarm a", alarm);
+        let b = kg.add_entity("alarm b", alarm);
+        let c = kg.add_entity("kpi c", kpi);
+        let smf = kg.add_entity("SMF", ne);
+        let amf = kg.add_entity("AMF", ne);
+        let trigger = kg.add_relation("trigger");
+        let located = kg.add_relation("locatedAt");
+        kg.add_triple(a, trigger, b);
+        kg.add_triple(b, trigger, c);
+        kg.add_triple(a, located, smf);
+        kg.add_triple(b, located, amf);
+        kg.add_triple(c, located, amf);
+        kg
+    }
+
+    fn names(kg: &TeleKg, solutions: &[Binding], var: &str) -> Vec<String> {
+        let mut v: Vec<String> = solutions
+            .iter()
+            .map(|b| kg.surface(b[var]).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn single_pattern_select() {
+        let kg = kg();
+        let sols = query(&kg, r#"SELECT ?x WHERE { "alarm a" trigger ?x }"#).unwrap();
+        assert_eq!(names(&kg, &sols, "x"), vec!["alarm b"]);
+    }
+
+    #[test]
+    fn join_over_shared_variable() {
+        let kg = kg();
+        // What does `alarm a` trigger, and where does that live?
+        let sols = query(&kg, r#"SELECT ?x ?ne WHERE { "alarm a" trigger ?x . ?x locatedAt ?ne }"#)
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(kg.surface(sols[0]["x"]), "alarm b");
+        assert_eq!(kg.surface(sols[0]["ne"]), "AMF");
+    }
+
+    #[test]
+    fn type_constraint_uses_hierarchy() {
+        let kg = kg();
+        // Everything under the Event root that is located at AMF.
+        let sols = query(&kg, r#"SELECT ?x WHERE { ?x type Event . ?x locatedAt "AMF" }"#).unwrap();
+        assert_eq!(names(&kg, &sols, "x"), vec!["alarm b", "kpi c"]);
+        // Restricting to KPI narrows it.
+        let sols = query(&kg, r#"SELECT ?x WHERE { ?x type KPI . ?x locatedAt "AMF" }"#).unwrap();
+        assert_eq!(names(&kg, &sols, "x"), vec!["kpi c"]);
+    }
+
+    #[test]
+    fn two_hop_chain() {
+        let kg = kg();
+        let sols = query(&kg, r#"SELECT ?z WHERE { "alarm a" trigger ?y . ?y trigger ?z }"#).unwrap();
+        assert_eq!(names(&kg, &sols, "z"), vec!["kpi c"]);
+    }
+
+    #[test]
+    fn relation_variable() {
+        let kg = kg();
+        let sols = query(&kg, r#"SELECT ?x WHERE { "alarm a" ?r ?x }"#).unwrap();
+        assert_eq!(names(&kg, &sols, "x"), vec!["SMF", "alarm b"]);
+    }
+
+    #[test]
+    fn relation_variable_is_join_consistent() {
+        let kg = kg();
+        // ?r must be the same relation in both patterns: locatedAt works
+        // (b locatedAt AMF, c locatedAt AMF), trigger does not.
+        let sols = query(
+            &kg,
+            r#"SELECT ?x WHERE { "alarm b" ?r "AMF" . ?x ?r "AMF" }"#,
+        )
+        .unwrap();
+        assert_eq!(names(&kg, &sols, "x"), vec!["alarm b", "kpi c"]);
+    }
+
+    #[test]
+    fn ask_queries() {
+        let kg = kg();
+        assert_eq!(query(&kg, r#"ASK { "alarm a" trigger "alarm b" }"#).unwrap().len(), 1);
+        assert_eq!(query(&kg, r#"ASK { "alarm b" trigger "alarm a" }"#).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn same_variable_subject_and_object() {
+        let kg = kg();
+        // Self-loops don't exist: no solution.
+        let sols = query(&kg, r#"SELECT ?x WHERE { ?x trigger ?x }"#).unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        let kg = kg();
+        assert!(matches!(query(&kg, "FETCH ?x"), Err(QueryError::Parse(_))));
+        assert!(matches!(query(&kg, "SELECT ?x WHERE { ?x trigger }"), Err(QueryError::Parse(_))));
+        assert!(matches!(
+            query(&kg, "SELECT ?y WHERE { ?x trigger ?z }"),
+            Err(QueryError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_names() {
+        let kg = kg();
+        assert!(matches!(
+            query(&kg, r#"SELECT ?x WHERE { "nonexistent" trigger ?x }"#),
+            Err(QueryError::Unknown(_))
+        ));
+        assert!(matches!(
+            query(&kg, r#"SELECT ?x WHERE { ?x nonrel ?y }"#),
+            Err(QueryError::Unknown(_))
+        ));
+        assert!(matches!(
+            query(&kg, r#"SELECT ?x WHERE { ?x type NoClass }"#),
+            Err(QueryError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_solutions_removed() {
+        let kg = kg();
+        // ?x locatedAt ?ne projected only on ?ne: AMF appears for two
+        // subjects but should be listed once.
+        let sols = query(&kg, r#"SELECT ?ne WHERE { ?x locatedAt ?ne }"#).unwrap();
+        assert_eq!(names(&kg, &sols, "ne"), vec!["AMF", "SMF"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! The hierarchical tele-schema (paper Sec. II-A3, Fig. 2).
+//!
+//! Two top superclasses, `Event` and `Resource`, root the hierarchy; concept
+//! classes across levels are inherited via `subclassOf`, and instances are
+//! typed by the leaf classes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a concept class within a [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ClassId(pub(crate) usize);
+
+#[derive(Clone, Serialize, Deserialize)]
+struct ClassData {
+    name: String,
+    parent: Option<ClassId>,
+}
+
+/// The concept hierarchy of the Tele-KG.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Schema {
+    classes: Vec<ClassData>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl Schema {
+    /// Creates a schema pre-seeded with the two top superclasses `Event`
+    /// and `Resource`.
+    pub fn with_roots() -> Self {
+        let mut s = Schema { classes: Vec::new(), by_name: HashMap::new() };
+        s.insert("Event", None);
+        s.insert("Resource", None);
+        s
+    }
+
+    /// The `Event` root.
+    pub fn event_root(&self) -> ClassId {
+        self.class("Event").expect("Event root always present")
+    }
+
+    /// The `Resource` root.
+    pub fn resource_root(&self) -> ClassId {
+        self.class("Resource").expect("Resource root always present")
+    }
+
+    fn insert(&mut self, name: &str, parent: Option<ClassId>) -> ClassId {
+        assert!(!self.by_name.contains_key(name), "class {name:?} already defined");
+        let id = ClassId(self.classes.len());
+        self.classes.push(ClassData { name: name.to_string(), parent });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Defines a subclass of `parent`.
+    pub fn add_class(&mut self, name: &str, parent: ClassId) -> ClassId {
+        assert!(parent.0 < self.classes.len(), "unknown parent class");
+        self.insert(name, Some(parent))
+    }
+
+    /// Looks up a class by name.
+    pub fn class(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The class's name.
+    pub fn name(&self, id: ClassId) -> &str {
+        &self.classes[id.0].name
+    }
+
+    /// The direct superclass, if any.
+    pub fn parent(&self, id: ClassId) -> Option<ClassId> {
+        self.classes[id.0].parent
+    }
+
+    /// True if `a == b` or `a` is a (transitive) subclass of `b`.
+    pub fn is_subclass_of(&self, a: ClassId, b: ClassId) -> bool {
+        let mut cur = Some(a);
+        while let Some(c) = cur {
+            if c == b {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// The chain from `id` up to its root, inclusive.
+    pub fn ancestors(&self, id: ClassId) -> Vec<ClassId> {
+        let mut out = vec![id];
+        let mut cur = self.parent(id);
+        while let Some(c) = cur {
+            out.push(c);
+            cur = self.parent(c);
+        }
+        out
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Never empty: the two roots are always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All `(subclass, superclass)` pairs, for serializing the schema level
+    /// of the KG into training triples.
+    pub fn subclass_pairs(&self) -> Vec<(ClassId, ClassId)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.parent.map(|p| (ClassId(i), p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_exist() {
+        let s = Schema::with_roots();
+        assert_eq!(s.name(s.event_root()), "Event");
+        assert_eq!(s.name(s.resource_root()), "Resource");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn subclass_transitivity() {
+        let mut s = Schema::with_roots();
+        let ev = s.event_root();
+        let abnormal = s.add_class("AbnormalEvent", ev);
+        let alarm = s.add_class("Alarm", abnormal);
+        assert!(s.is_subclass_of(alarm, ev));
+        assert!(s.is_subclass_of(alarm, abnormal));
+        assert!(!s.is_subclass_of(ev, alarm));
+        assert!(!s.is_subclass_of(alarm, s.resource_root()));
+    }
+
+    #[test]
+    fn ancestors_chain() {
+        let mut s = Schema::with_roots();
+        let ev = s.event_root();
+        let a = s.add_class("A", ev);
+        let b = s.add_class("B", a);
+        assert_eq!(s.ancestors(b), vec![b, a, ev]);
+    }
+
+    #[test]
+    fn subclass_pairs_cover_all_non_roots() {
+        let mut s = Schema::with_roots();
+        let ev = s.event_root();
+        s.add_class("A", ev);
+        s.add_class("B", ev);
+        assert_eq!(s.subclass_pairs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn duplicate_class_panics() {
+        let mut s = Schema::with_roots();
+        let ev = s.event_root();
+        s.add_class("A", ev);
+        s.add_class("A", ev);
+    }
+}

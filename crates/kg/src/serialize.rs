@@ -1,0 +1,118 @@
+//! Serialization of KG knowledge into model inputs.
+//!
+//! Two paths from the paper:
+//! - **Implicit injection** (Sec. IV-A1): relational triples (and evaluated
+//!   attribute triples) become plain sentences by concatenating surfaces,
+//!   and join the re-training corpus.
+//! - **Explicit injection** (Sec. IV-D): entities/relations are wrapped
+//!   with prompt templates and encoded for the KE objective.
+
+use tele_tokenizer::{patterns, PromptToken, TemplateField};
+
+use crate::store::{EntityId, Literal, TeleKg, Triple};
+
+/// Serializes a relational triple into a plain sentence by concatenating
+/// the surfaces of head, relation and tail (implicit knowledge injection).
+pub fn triple_sentence(kg: &TeleKg, t: &Triple) -> String {
+    format!(
+        "{} {} {}",
+        kg.surface(t.head),
+        kg.relation_name(t.rel),
+        kg.surface(t.tail)
+    )
+}
+
+/// Serializes a textual attribute triple into a sentence.
+pub fn attribute_sentence(kg: &TeleKg, e: EntityId, attr: &str, value: &Literal) -> String {
+    match value {
+        Literal::Text(s) => format!("{} {attr} {s}", kg.surface(e)),
+        Literal::Number(v) => format!("{} {attr} {v}", kg.surface(e)),
+    }
+}
+
+/// Prompt-template fields for a relational triple:
+/// `[ENT] h | [REL] r | [ENT] t`.
+pub fn triple_template(kg: &TeleKg, t: &Triple) -> Vec<TemplateField> {
+    patterns::triple(kg.surface(t.head), kg.relation_name(t.rel), kg.surface(t.tail))
+}
+
+/// Prompt-template fields for one entity, optionally with its attributes
+/// (the three service-delivery formats of Sec. V-A3 are: plain name, entity
+/// mapping without attributes, entity mapping with attributes).
+pub fn entity_template(kg: &TeleKg, e: EntityId, with_attrs: bool) -> Vec<TemplateField> {
+    let mut fields = vec![TemplateField::text(PromptToken::Ent, kg.surface(e))];
+    if with_attrs {
+        for (name, value) in kg.attributes(e) {
+            match value {
+                Literal::Text(s) => {
+                    fields.push(TemplateField::text(PromptToken::Attr, format!("{name} {s}")));
+                }
+                Literal::Number(v) => {
+                    fields.push(TemplateField::numeric(PromptToken::Attr, name.clone(), *v));
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Prompt-template fields for one relation surface: `[REL] name`.
+pub fn relation_template(kg: &TeleKg, r: crate::store::RelationId) -> Vec<TemplateField> {
+    vec![TemplateField::text(PromptToken::Rel, kg.relation_name(r))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use tele_tokenizer::FieldContent;
+
+    fn kg() -> TeleKg {
+        let mut schema = Schema::with_roots();
+        let ev = schema.event_root();
+        let alarm = schema.add_class("Alarm", ev);
+        let mut kg = TeleKg::new(schema);
+        let a = kg.add_entity("NF destination unreachable", alarm);
+        let b = kg.add_entity("registration surge", alarm);
+        let r = kg.add_relation("trigger");
+        kg.add_triple(a, r, b);
+        kg.add_attribute(a, "severity", Literal::Text("critical".into()));
+        kg.add_attribute(a, "occurrence rate", Literal::Number(0.9));
+        kg
+    }
+
+    #[test]
+    fn triple_sentence_concats_surfaces() {
+        let kg = kg();
+        let s = triple_sentence(&kg, &kg.triples()[0]);
+        assert_eq!(s, "NF destination unreachable trigger registration surge");
+    }
+
+    #[test]
+    fn entity_template_with_attrs_mixes_text_and_numeric() {
+        let kg = kg();
+        let e = kg.entity("NF destination unreachable").unwrap();
+        let fields = entity_template(&kg, e, true);
+        assert_eq!(fields.len(), 3);
+        assert!(matches!(fields[1].content, FieldContent::Text(_)));
+        assert!(matches!(fields[2].content, FieldContent::Numeric { .. }));
+    }
+
+    #[test]
+    fn entity_template_without_attrs() {
+        let kg = kg();
+        let e = kg.entity("NF destination unreachable").unwrap();
+        assert_eq!(entity_template(&kg, e, false).len(), 1);
+    }
+
+    #[test]
+    fn attribute_sentence_renders_both_kinds() {
+        let kg = kg();
+        let e = kg.entity("registration surge").unwrap();
+        assert_eq!(
+            attribute_sentence(&kg, e, "severity", &Literal::Text("minor".into())),
+            "registration surge severity minor"
+        );
+        assert!(attribute_sentence(&kg, e, "rate", &Literal::Number(0.5)).contains("0.5"));
+    }
+}

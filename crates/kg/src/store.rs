@@ -1,0 +1,423 @@
+//! The Tele-KG store: interned entities/relations, indexed triples,
+//! attribute triples, pattern queries, and negative sampling.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{ClassId, Schema};
+
+/// Identifier of an entity instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub(crate) usize);
+
+/// Identifier of a relation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelationId(pub(crate) usize);
+
+/// An attribute value: free text or a number (numeric attributes feed the
+/// adaptive numeric encoder).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// Textual attribute value.
+    Text(String),
+    /// Numerical attribute value.
+    Number(f32),
+}
+
+/// A relational fact `(head, relation, tail)` with a confidence score.
+///
+/// Expert-curated facts carry confidence 1.0; facts produced by automatic
+/// algorithms are probabilistic (the paper's fault-chain quadruples
+/// `q = (h, r, t, s)`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Triple {
+    /// Head entity.
+    pub head: EntityId,
+    /// Relation.
+    pub rel: RelationId,
+    /// Tail entity.
+    pub tail: EntityId,
+    /// Confidence in `[0, 1]`.
+    pub conf: f32,
+}
+
+#[derive(Clone, Serialize, Deserialize)]
+struct EntityData {
+    surface: String,
+    class: ClassId,
+    attrs: Vec<(String, Literal)>,
+}
+
+#[derive(Clone, Serialize, Deserialize)]
+struct RelationData {
+    name: String,
+}
+
+/// The Tele-product Knowledge Graph.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct TeleKg {
+    /// The concept hierarchy instances are typed against.
+    pub schema: Schema,
+    entities: Vec<EntityData>,
+    by_surface: HashMap<String, EntityId>,
+    relations: Vec<RelationData>,
+    rel_by_name: HashMap<String, RelationId>,
+    triples: Vec<Triple>,
+    by_head: HashMap<EntityId, Vec<usize>>,
+    by_tail: HashMap<EntityId, Vec<usize>>,
+    fact_set: HashSet<(EntityId, RelationId, EntityId)>,
+}
+
+impl TeleKg {
+    /// Creates an empty KG over the given schema.
+    pub fn new(schema: Schema) -> Self {
+        TeleKg {
+            schema,
+            entities: Vec::new(),
+            by_surface: HashMap::new(),
+            relations: Vec::new(),
+            rel_by_name: HashMap::new(),
+            triples: Vec::new(),
+            by_head: HashMap::new(),
+            by_tail: HashMap::new(),
+            fact_set: HashSet::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds (or returns) an entity by surface form.
+    pub fn add_entity(&mut self, surface: &str, class: ClassId) -> EntityId {
+        if let Some(&id) = self.by_surface.get(surface) {
+            return id;
+        }
+        let id = EntityId(self.entities.len());
+        self.entities.push(EntityData { surface: surface.to_string(), class, attrs: Vec::new() });
+        self.by_surface.insert(surface.to_string(), id);
+        id
+    }
+
+    /// Adds (or returns) a relation by name.
+    pub fn add_relation(&mut self, name: &str) -> RelationId {
+        if let Some(&id) = self.rel_by_name.get(name) {
+            return id;
+        }
+        let id = RelationId(self.relations.len());
+        self.relations.push(RelationData { name: name.to_string() });
+        self.rel_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds an expert fact (confidence 1.0). Duplicate facts are ignored.
+    pub fn add_triple(&mut self, head: EntityId, rel: RelationId, tail: EntityId) {
+        self.add_weighted_triple(head, rel, tail, 1.0);
+    }
+
+    /// Adds a probabilistic fact with confidence `conf ∈ [0, 1]`.
+    pub fn add_weighted_triple(&mut self, head: EntityId, rel: RelationId, tail: EntityId, conf: f32) {
+        assert!((0.0..=1.0).contains(&conf), "confidence must be in [0,1], got {conf}");
+        if !self.fact_set.insert((head, rel, tail)) {
+            return;
+        }
+        let idx = self.triples.len();
+        self.triples.push(Triple { head, rel, tail, conf });
+        self.by_head.entry(head).or_default().push(idx);
+        self.by_tail.entry(tail).or_default().push(idx);
+    }
+
+    /// Attaches an attribute to an entity.
+    pub fn add_attribute(&mut self, e: EntityId, name: &str, value: Literal) {
+        self.entities[e.0].attrs.push((name.to_string(), value));
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The entity's surface form.
+    pub fn surface(&self, e: EntityId) -> &str {
+        &self.entities[e.0].surface
+    }
+
+    /// The entity's concept class.
+    pub fn class_of(&self, e: EntityId) -> ClassId {
+        self.entities[e.0].class
+    }
+
+    /// The entity's attributes.
+    pub fn attributes(&self, e: EntityId) -> &[(String, Literal)] {
+        &self.entities[e.0].attrs
+    }
+
+    /// Looks up an entity by surface form.
+    pub fn entity(&self, surface: &str) -> Option<EntityId> {
+        self.by_surface.get(surface).copied()
+    }
+
+    /// The relation's name.
+    pub fn relation_name(&self, r: RelationId) -> &str {
+        &self.relations[r.0].name
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<RelationId> {
+        self.rel_by_name.get(name).copied()
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of triples.
+    pub fn num_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Number of attribute triples across all entities.
+    pub fn num_attributes(&self) -> usize {
+        self.entities.iter().map(|e| e.attrs.len()).sum()
+    }
+
+    /// All entity ids.
+    pub fn entity_ids(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.entities.len()).map(EntityId)
+    }
+
+    /// All relation ids.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.relations.len()).map(RelationId)
+    }
+
+    /// All triples.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// True if the exact fact is present.
+    pub fn contains(&self, head: EntityId, rel: RelationId, tail: EntityId) -> bool {
+        self.fact_set.contains(&(head, rel, tail))
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Single-pattern query (the SPARQL-style access experts use on
+    /// Tele-KG): any of head/relation/tail may be a wildcard (`None`).
+    pub fn query(
+        &self,
+        head: Option<EntityId>,
+        rel: Option<RelationId>,
+        tail: Option<EntityId>,
+    ) -> Vec<&Triple> {
+        let candidates: Vec<usize> = match (head, tail) {
+            (Some(h), _) => self.by_head.get(&h).cloned().unwrap_or_default(),
+            (None, Some(t)) => self.by_tail.get(&t).cloned().unwrap_or_default(),
+            (None, None) => (0..self.triples.len()).collect(),
+        };
+        candidates
+            .into_iter()
+            .map(|i| &self.triples[i])
+            .filter(|t| {
+                head.map_or(true, |h| t.head == h)
+                    && rel.map_or(true, |r| t.rel == r)
+                    && tail.map_or(true, |x| t.tail == x)
+            })
+            .collect()
+    }
+
+    /// One-hop neighbors of `e` (either direction), deduplicated.
+    pub fn neighbors(&self, e: EntityId) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = self
+            .by_head
+            .get(&e)
+            .into_iter()
+            .flatten()
+            .map(|&i| self.triples[i].tail)
+            .chain(self.by_tail.get(&e).into_iter().flatten().map(|&i| self.triples[i].head))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Entities of a class (including subclasses).
+    pub fn entities_of_class(&self, class: ClassId) -> Vec<EntityId> {
+        self.entity_ids()
+            .filter(|&e| self.schema.is_subclass_of(self.class_of(e), class))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Negative sampling (paper Sec. IV-D: fix the head and corrupt the
+    // tail, and vice versa; filtered against true facts)
+    // ------------------------------------------------------------------
+
+    /// Draws `n` corrupted triples for `t` by replacing head or tail with a
+    /// uniformly random entity, rejecting true facts. Alternates corruption
+    /// side per sample.
+    pub fn negative_samples(&self, t: &Triple, n: usize, rng: &mut impl Rng) -> Vec<Triple> {
+        assert!(self.num_entities() >= 2, "need at least two entities to corrupt");
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < n * 50 {
+            attempts += 1;
+            let corrupt_head = (out.len() + attempts) % 2 == 0;
+            let repl = EntityId(rng.gen_range(0..self.num_entities()));
+            let cand = if corrupt_head {
+                Triple { head: repl, ..*t }
+            } else {
+                Triple { tail: repl, ..*t }
+            };
+            if cand.head == cand.tail || self.contains(cand.head, cand.rel, cand.tail) {
+                continue;
+            }
+            out.push(cand);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TeleKg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TeleKg({} entities, {} relations, {} triples, {} attributes)",
+            self.num_entities(),
+            self.num_relations(),
+            self.num_triples(),
+            self.num_attributes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_kg() -> TeleKg {
+        let mut schema = Schema::with_roots();
+        let ev = schema.event_root();
+        let res = schema.resource_root();
+        let alarm = schema.add_class("Alarm", ev);
+        let ne = schema.add_class("NetworkElement", res);
+        let mut kg = TeleKg::new(schema);
+        let a = kg.add_entity("ALM-1 service unreachable", alarm);
+        let b = kg.add_entity("ALM-2 registration surge", alarm);
+        let smf = kg.add_entity("SMF-01", ne);
+        let trigger = kg.add_relation("trigger");
+        let located = kg.add_relation("locatedAt");
+        kg.add_triple(a, trigger, b);
+        kg.add_triple(a, located, smf);
+        kg.add_attribute(a, "severity", Literal::Text("critical".into()));
+        kg.add_attribute(smf, "cpu load", Literal::Number(0.7));
+        kg
+    }
+
+    #[test]
+    fn entity_interning_dedupes() {
+        let mut kg = sample_kg();
+        let class = kg.class_of(kg.entity("SMF-01").unwrap());
+        let again = kg.add_entity("SMF-01", class);
+        assert_eq!(Some(again), kg.entity("SMF-01"));
+        assert_eq!(kg.num_entities(), 3);
+    }
+
+    #[test]
+    fn duplicate_triples_ignored() {
+        let mut kg = sample_kg();
+        let a = kg.entity("ALM-1 service unreachable").unwrap();
+        let b = kg.entity("ALM-2 registration surge").unwrap();
+        let r = kg.relation("trigger").unwrap();
+        let before = kg.num_triples();
+        kg.add_triple(a, r, b);
+        assert_eq!(kg.num_triples(), before);
+    }
+
+    #[test]
+    fn query_patterns() {
+        let kg = sample_kg();
+        let a = kg.entity("ALM-1 service unreachable").unwrap();
+        let trigger = kg.relation("trigger").unwrap();
+        assert_eq!(kg.query(Some(a), None, None).len(), 2);
+        assert_eq!(kg.query(Some(a), Some(trigger), None).len(), 1);
+        assert_eq!(kg.query(None, None, None).len(), 2);
+        let b = kg.entity("ALM-2 registration surge").unwrap();
+        assert_eq!(kg.query(None, None, Some(b)).len(), 1);
+        assert!(kg.query(Some(b), Some(trigger), Some(a)).is_empty());
+    }
+
+    #[test]
+    fn neighbors_bidirectional() {
+        let kg = sample_kg();
+        let a = kg.entity("ALM-1 service unreachable").unwrap();
+        let b = kg.entity("ALM-2 registration surge").unwrap();
+        assert_eq!(kg.neighbors(a).len(), 2);
+        assert_eq!(kg.neighbors(b), vec![a]);
+    }
+
+    #[test]
+    fn entities_of_class_uses_hierarchy() {
+        let kg = sample_kg();
+        let ev = kg.schema.event_root();
+        assert_eq!(kg.entities_of_class(ev).len(), 2);
+        let res = kg.schema.resource_root();
+        assert_eq!(kg.entities_of_class(res).len(), 1);
+    }
+
+    #[test]
+    fn negative_samples_avoid_true_facts() {
+        let kg = sample_kg();
+        let t = kg.triples()[0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let negs = kg.negative_samples(&t, 10, &mut rng);
+        assert!(!negs.is_empty());
+        for n in &negs {
+            assert!(!kg.contains(n.head, n.rel, n.tail), "negative sample is a true fact");
+            assert_ne!(n.head, n.tail);
+            // Exactly one side corrupted.
+            assert!(n.head == t.head || n.tail == t.tail);
+        }
+    }
+
+    #[test]
+    fn weighted_triple_confidence() {
+        let mut kg = sample_kg();
+        let a = kg.entity("ALM-1 service unreachable").unwrap();
+        let smf = kg.entity("SMF-01").unwrap();
+        let r = kg.add_relation("maybeAffects");
+        kg.add_weighted_triple(smf, r, a, 0.4);
+        let found = kg.query(Some(smf), Some(r), None);
+        assert_eq!(found.len(), 1);
+        assert!((found[0].conf - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in")]
+    fn invalid_confidence_panics() {
+        let mut kg = sample_kg();
+        let a = kg.entity("SMF-01").unwrap();
+        let r = kg.add_relation("x");
+        kg.add_weighted_triple(a, r, a, 1.5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let kg = sample_kg();
+        let json = serde_json::to_string(&kg).unwrap();
+        let kg2: TeleKg = serde_json::from_str(&json).unwrap();
+        assert_eq!(kg2.num_triples(), kg.num_triples());
+        assert_eq!(kg2.surface(EntityId(0)), kg.surface(EntityId(0)));
+    }
+}

@@ -1,0 +1,170 @@
+//! Embedding providers for the downstream tasks.
+//!
+//! Every task consumes a frozen embedding matrix (one row per event / node
+//! name). The providers mirror the paper's comparison axis: random vectors,
+//! averaged random word embeddings, and `[CLS]` service embeddings from a
+//! pre-trained bundle.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ktelebert::{ServiceEncoder, ServiceFormat, TeleBert};
+use tele_kg::TeleKg;
+use tele_tensor::Tensor;
+use tele_tokenizer::pre_tokenize;
+
+/// A frozen embedding table: `rows × dim`.
+#[derive(Clone, Debug)]
+pub struct EmbeddingTable {
+    /// Row vectors.
+    pub rows: Vec<Vec<f32>>,
+    /// Embedding dimensionality.
+    pub dim: usize,
+}
+
+impl EmbeddingTable {
+    /// Builds a table from raw rows: mean-centered, then L2-normalized.
+    ///
+    /// Centering removes the large shared component transformer `[CLS]`
+    /// embeddings carry (anisotropy), which would otherwise drown the
+    /// between-name signal; it is applied identically to every provider so
+    /// the comparison stays fair (random rows are already near-centered).
+    pub fn normalized(rows: Vec<Vec<f32>>) -> Self {
+        assert!(!rows.is_empty(), "empty embedding table");
+        let dim = rows[0].len();
+        let n = rows.len() as f32;
+        let mut mean = vec![0.0f32; dim];
+        for r in &rows {
+            assert_eq!(r.len(), dim, "ragged embedding rows");
+            for (m, &v) in mean.iter_mut().zip(r) {
+                *m += v / n;
+            }
+        }
+        let rows = rows
+            .into_iter()
+            .map(|r| {
+                let centered: Vec<f32> = r.iter().zip(&mean).map(|(&v, &m)| v - m).collect();
+                let norm = centered.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+                centered.into_iter().map(|v| v / norm).collect()
+            })
+            .collect();
+        EmbeddingTable { rows, dim }
+    }
+
+    /// The table as a `[rows, dim]` tensor.
+    pub fn tensor(&self) -> Tensor {
+        let flat: Vec<f32> = self.rows.iter().flatten().copied().collect();
+        Tensor::from_vec(flat, [self.rows.len(), self.dim])
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table is empty (never: constructors reject it).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Random uniform embeddings — the paper's "Random" baseline ("random
+/// valued vectors drawn from a uniform distribution").
+pub fn random_embeddings(names: &[String], dim: usize, seed: u64) -> EmbeddingTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = names
+        .iter()
+        .map(|_| {
+            Tensor::rand_uniform([dim], -1.0, 1.0, &mut rng).to_vec()
+        })
+        .collect();
+    EmbeddingTable::normalized(rows)
+}
+
+/// Averaged random word embeddings — the paper's "Word Embeddings" baseline
+/// for EAP: each distinct word gets a random vector; an event is the mean
+/// of its words. Shared words induce similarity; nothing else does.
+pub fn word_avg_embeddings(names: &[String], dim: usize, seed: u64) -> EmbeddingTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut word_vecs: std::collections::HashMap<String, Vec<f32>> = std::collections::HashMap::new();
+    // Deterministic: assign vectors in first-appearance order.
+    let rows = names
+        .iter()
+        .map(|name| {
+            let words = pre_tokenize(name);
+            let mut acc = vec![0.0f32; dim];
+            let n = words.len().max(1) as f32;
+            for w in &words {
+                let v = word_vecs
+                    .entry(w.to_lowercase())
+                    .or_insert_with(|| Tensor::rand_uniform([dim], -1.0, 1.0, &mut rng).to_vec());
+                for (a, b) in acc.iter_mut().zip(v.iter()) {
+                    *a += b / n;
+                }
+            }
+            acc
+        })
+        .collect();
+    EmbeddingTable::normalized(rows)
+}
+
+/// `[CLS]` service embeddings from a pre-trained bundle (MacBERT stand-in,
+/// TeleBERT, or any KTeleBERT variant), in the chosen delivery format.
+pub fn service_embeddings(
+    bundle: &TeleBert,
+    kg: Option<&TeleKg>,
+    names: &[String],
+    format: ServiceFormat,
+) -> EmbeddingTable {
+    let svc = ServiceEncoder::new(bundle, kg);
+    EmbeddingTable::normalized(svc.encode(names, format))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec![
+            "control plane congested".into(),
+            "control plane failed".into(),
+            "garden party tomorrow".into(),
+        ]
+    }
+
+    #[test]
+    fn random_rows_are_unit_norm_and_distinct() {
+        let t = random_embeddings(&names(), 16, 0);
+        assert_eq!(t.len(), 3);
+        for r in &t.rows {
+            let n: f32 = r.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+        assert_ne!(t.rows[0], t.rows[1]);
+    }
+
+    #[test]
+    fn word_avg_reflects_shared_words() {
+        let t = word_avg_embeddings(&names(), 32, 1);
+        let cos = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        let related = cos(&t.rows[0], &t.rows[1]); // share "control plane"
+        let unrelated = cos(&t.rows[0], &t.rows[2]);
+        assert!(
+            related > unrelated,
+            "shared words should raise similarity: {related} vs {unrelated}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_embeddings(&names(), 8, 5);
+        let b = random_embeddings(&names(), 8, 5);
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn tensor_shape() {
+        let t = random_embeddings(&names(), 8, 5);
+        assert_eq!(t.tensor().shape().dims(), &[3, 8]);
+    }
+}

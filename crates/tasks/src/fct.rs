@@ -1,0 +1,428 @@
+//! Fault chain tracing (paper Sec. V-D, Fig. 9): uncertain-KG completion
+//! with a GTransE-style confidence-weighted margin loss (Eq. 24):
+//!
+//! `L = Σ_pos Σ_neg [ d(h,r,t) − d(h',r,t') + s^α · M ]₊`
+//!
+//! Node embeddings are initialized from the pre-trained service embeddings
+//! (Eq. 23) instead of random vectors — the paper's key lever — and
+//! evaluation is filtered link prediction over head and tail queries.
+//!
+//! The paper builds on NeuralKG, which offers a family of KGE scorers; we
+//! implement four ([`KgeScorer`]) so the choice can be ablated: TransE
+//! (the paper's GTransE base), TransH, DistMult and RotatE.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tele_datagen::downstream::fct::{FctDataset, FctFact};
+use tele_tensor::{optim::AdamW, xavier_uniform, ParamId, ParamStore, Tape};
+
+use crate::embeddings::EmbeddingTable;
+use crate::metrics::RankMetrics;
+
+/// The KGE scoring function used by the completion model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KgeScorer {
+    /// `‖h + r − t‖₁` (the paper's GTransE base).
+    TransE,
+    /// Translation on a relation-specific hyperplane:
+    /// `‖(h − (wᵣ·h)wᵣ) + dᵣ − (t − (wᵣ·t)wᵣ)‖₁`.
+    TransH,
+    /// Bilinear diagonal: `−Σ h ∘ r ∘ t` (negated similarity as distance).
+    DistMult,
+    /// Complex rotation: `‖h ∘ r − t‖₁` with `r` normalized to unit modulus.
+    Rotate,
+}
+
+/// FCT task hyper-parameters (the paper uses margin loss with `s^α M`,
+/// 1000 negatives on GPU; scaled for CPU).
+#[derive(Clone, Debug)]
+pub struct FctTaskConfig {
+    /// Margin `M`.
+    pub margin: f32,
+    /// Confidence exponent `α`.
+    pub alpha: f32,
+    /// Negative samples per positive per step.
+    pub negatives: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Scoring function.
+    pub scorer: KgeScorer,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FctTaskConfig {
+    fn default() -> Self {
+        FctTaskConfig {
+            margin: 2.0,
+            alpha: 1.0,
+            negatives: 8,
+            epochs: 60,
+            lr: 1e-2,
+            scorer: KgeScorer::TransE,
+            seed: 0,
+        }
+    }
+}
+
+struct FctModel {
+    entities: ParamId,  // [n, d]
+    relations: ParamId, // [r, d] (TransH: [r, 2d] — normal ++ translation)
+    scorer: KgeScorer,
+    dim: usize,
+}
+
+impl FctModel {
+    fn new(
+        store: &mut ParamStore,
+        init: &EmbeddingTable,
+        num_relations: usize,
+        scorer: KgeScorer,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(
+            scorer != KgeScorer::Rotate || init.dim % 2 == 0,
+            "RotatE needs an even embedding width"
+        );
+        let entities = store.create("fct.entities", init.tensor());
+        let rel_width = if scorer == KgeScorer::TransH { 2 * init.dim } else { init.dim };
+        let relations = store.create(
+            "fct.relations",
+            xavier_uniform([num_relations, rel_width], rng).scale(0.5),
+        );
+        FctModel { entities, relations, scorer, dim: init.dim }
+    }
+
+    /// Differentiable distance `[k]` for parallel (h, r, t) index lists.
+    fn distance<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        heads: &[usize],
+        rels: &[usize],
+        tails: &[usize],
+    ) -> tele_tensor::Var<'t> {
+        let k = heads.len();
+        let d = self.dim;
+        let e = tape.param(store, self.entities);
+        let r = tape.param(store, self.relations);
+        let h = e.index_select0(heads);
+        let t = e.index_select0(tails);
+        let rel = r.index_select0(rels);
+        match self.scorer {
+            KgeScorer::TransE => h.add(rel).sub(t).abs().sum_axis(1).reshape([k]),
+            KgeScorer::TransH => {
+                // rel = [w ++ dvec]; project h, t off the (normalized) w.
+                let w = rel.narrow(1, 0, d).normalize_last(1e-8);
+                let dv = rel.narrow(1, d, d);
+                let wh = w.mul(h).sum_axis(1); // (w·h) [k,1]
+                let wt = w.mul(t).sum_axis(1);
+                let hp = h.sub(w.mul(wh));
+                let tp = t.sub(w.mul(wt));
+                hp.add(dv).sub(tp).abs().sum_axis(1).reshape([k])
+            }
+            KgeScorer::DistMult => h.mul(rel).mul(t).sum_axis(1).reshape([k]).neg(),
+            KgeScorer::Rotate => {
+                // Split into real/imag halves; normalize r to unit modulus.
+                let half = d / 2;
+                let (ha, hb) = (h.narrow(1, 0, half), h.narrow(1, half, half));
+                let (ta, tb) = (t.narrow(1, 0, half), t.narrow(1, half, half));
+                let (ra, rb) = (rel.narrow(1, 0, half), rel.narrow(1, half, half));
+                let modulus = ra.square().add(rb.square()).add_scalar(1e-8).sqrt();
+                let (ru, iu) = (ra.div(modulus), rb.div(modulus));
+                let rot_a = ha.mul(ru).sub(hb.mul(iu));
+                let rot_b = ha.mul(iu).add(hb.mul(ru));
+                let da = rot_a.sub(ta).abs().sum_axis(1);
+                let db = rot_b.sub(tb).abs().sum_axis(1);
+                da.add(db).reshape([k])
+            }
+        }
+    }
+
+    /// Raw (no-tape) distance for evaluation; must agree with `distance`.
+    fn distance_raw(&self, store: &ParamStore, h: usize, r: usize, t: usize) -> f32 {
+        let e = store.value(self.entities);
+        let rel = store.value(self.relations);
+        let d = self.dim;
+        let (hr, rr, tr) = (e.row(h), rel.row(r), e.row(t));
+        match self.scorer {
+            KgeScorer::TransE => hr
+                .iter()
+                .zip(rr)
+                .zip(tr)
+                .map(|((&a, &b), &c)| (a + b - c).abs())
+                .sum(),
+            KgeScorer::TransH => {
+                let w = &rr[..d];
+                let dv = &rr[d..];
+                let wn2: f32 = w.iter().map(|v| v * v).sum::<f32>().max(1e-16);
+                let wh: f32 = w.iter().zip(hr).map(|(a, b)| a * b).sum::<f32>() / wn2;
+                let wt: f32 = w.iter().zip(tr).map(|(a, b)| a * b).sum::<f32>() / wn2;
+                (0..d)
+                    .map(|i| {
+                        let hp = hr[i] - wh * w[i];
+                        let tp = tr[i] - wt * w[i];
+                        (hp + dv[i] - tp).abs()
+                    })
+                    .sum()
+            }
+            KgeScorer::DistMult => -hr
+                .iter()
+                .zip(rr)
+                .zip(tr)
+                .map(|((&a, &b), &c)| a * b * c)
+                .sum::<f32>(),
+            KgeScorer::Rotate => {
+                let half = d / 2;
+                (0..half)
+                    .map(|i| {
+                        let m = (rr[i] * rr[i] + rr[half + i] * rr[half + i] + 1e-8).sqrt();
+                        let (ru, iu) = (rr[i] / m, rr[half + i] / m);
+                        let ra = hr[i] * ru - hr[half + i] * iu;
+                        let rb = hr[i] * iu + hr[half + i] * ru;
+                        (ra - tr[i]).abs() + (rb - tr[half + i]).abs()
+                    })
+                    .sum()
+            }
+        }
+    }
+}
+
+/// Per-split FCT results.
+#[derive(Clone, Debug)]
+pub struct FctResultMetrics {
+    /// Test-set metrics (the Table VIII row).
+    pub test: RankMetrics,
+    /// Validation-set metrics (model selection).
+    pub valid: RankMetrics,
+}
+
+/// Runs the FCT evaluation: train GTransE from the given initialization,
+/// early-stop on validation MRR, report filtered test metrics.
+pub fn run_fct(ds: &FctDataset, init: &EmbeddingTable, cfg: &FctTaskConfig) -> FctResultMetrics {
+    assert_eq!(init.len(), ds.num_nodes(), "one embedding per node required");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = ParamStore::new();
+    let model = FctModel::new(&mut store, init, ds.num_relations(), cfg.scorer, &mut rng);
+    let mut opt = AdamW::new(cfg.lr, 1e-5);
+
+    // Filter set: all true facts across splits.
+    let all_facts: std::collections::HashSet<(usize, usize, usize)> =
+        ds.all_facts().map(|f| (f.head, f.rel, f.tail)).collect();
+
+    let n = ds.num_nodes();
+    let mut best_valid_mrr = f64::NEG_INFINITY;
+    let mut best_snapshot = store.snapshot();
+    for _ in 0..cfg.epochs {
+        for fact in &ds.train {
+            store.zero_grads();
+            let tape = Tape::new();
+            let loss = gtranse_loss(&tape, &store, &model, fact, &all_facts, n, cfg, &mut rng);
+            tape.backward(loss).accumulate_into(&tape, &mut store);
+            opt.step(&mut store);
+        }
+        let vm = evaluate(&store, &model, &ds.valid, &all_facts, n);
+        if vm.mrr > best_valid_mrr {
+            best_valid_mrr = vm.mrr;
+            best_snapshot = store.snapshot();
+        }
+    }
+    store.restore(&best_snapshot);
+    FctResultMetrics {
+        test: evaluate(&store, &model, &ds.test, &all_facts, n),
+        valid: evaluate(&store, &model, &ds.valid, &all_facts, n),
+    }
+}
+
+/// The confidence-weighted margin loss for one positive fact and its
+/// sampled negatives (Eq. 24).
+fn gtranse_loss<'t>(
+    tape: &'t Tape,
+    store: &ParamStore,
+    model: &FctModel,
+    fact: &FctFact,
+    all_facts: &std::collections::HashSet<(usize, usize, usize)>,
+    num_entities: usize,
+    cfg: &FctTaskConfig,
+    rng: &mut StdRng,
+) -> tele_tensor::Var<'t> {
+    // Sample filtered negatives by corrupting head or tail.
+    let mut negs = Vec::with_capacity(cfg.negatives);
+    let mut guard = 0;
+    while negs.len() < cfg.negatives && guard < cfg.negatives * 40 {
+        guard += 1;
+        let corrupt_head = rng.gen_bool(0.5);
+        let repl = rng.gen_range(0..num_entities);
+        let (h, t) = if corrupt_head { (repl, fact.tail) } else { (fact.head, repl) };
+        if h == t || all_facts.contains(&(h, fact.rel, t)) {
+            continue;
+        }
+        negs.push((h, t));
+    }
+    if negs.is_empty() {
+        negs.push(((fact.head + 1) % num_entities, fact.tail));
+    }
+
+    let k = negs.len();
+    let heads: Vec<usize> = std::iter::once(fact.head).chain(negs.iter().map(|&(h, _)| h)).collect();
+    let tails: Vec<usize> = std::iter::once(fact.tail).chain(negs.iter().map(|&(_, t)| t)).collect();
+    let rels = vec![fact.rel; k + 1];
+    let dist = model.distance(tape, store, &heads, &rels, &tails); // [k+1]
+    let d_pos = dist.narrow(0, 0, 1); // [1]
+    let d_neg = dist.narrow(0, 1, k); // [k]
+    // [d_pos − d_neg + s^α M]+ summed over negatives.
+    let margin = fact.conf.powf(cfg.alpha) * cfg.margin;
+    d_pos
+        .sub(d_neg) // broadcast [1] - [k]
+        .add_scalar(margin)
+        .relu()
+        .sum_all()
+        .scale(1.0 / k as f32)
+}
+
+/// Filtered link prediction: for each fact, rank the true tail among all
+/// entities for the `(h, r, ?)` query and the true head for `(?, r, t)`.
+fn evaluate(
+    store: &ParamStore,
+    model: &FctModel,
+    facts: &[FctFact],
+    all_facts: &std::collections::HashSet<(usize, usize, usize)>,
+    num_entities: usize,
+) -> RankMetrics {
+    assert!(!facts.is_empty(), "no facts to evaluate");
+    let mut ranks = Vec::with_capacity(facts.len() * 2);
+    for f in facts {
+        // Tail query.
+        let d_true = model.distance_raw(store, f.head, f.rel, f.tail);
+        let mut rank = 1;
+        for cand in 0..num_entities {
+            if cand == f.tail || all_facts.contains(&(f.head, f.rel, cand)) {
+                continue;
+            }
+            if model.distance_raw(store, f.head, f.rel, cand) <= d_true {
+                rank += 1;
+            }
+        }
+        ranks.push(rank);
+        // Head query.
+        let mut rank = 1;
+        for cand in 0..num_entities {
+            if cand == f.head || all_facts.contains(&(cand, f.rel, f.tail)) {
+                continue;
+            }
+            if model.distance_raw(store, cand, f.rel, f.tail) <= d_true {
+                rank += 1;
+            }
+        }
+        ranks.push(rank);
+    }
+    RankMetrics::from_ranks(&ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embeddings::random_embeddings;
+    use tele_datagen::logs::{simulate, LogSimConfig};
+    use tele_datagen::{TeleWorld, WorldConfig};
+
+    fn dataset() -> FctDataset {
+        let w = TeleWorld::generate(WorldConfig {
+            seed: 12,
+            ne_types: 5,
+            instances_per_type: 2,
+            alarms: 16,
+            kpis: 6,
+            avg_out_degree: 1.8,
+            expert_coverage: 0.7,
+        });
+        let eps = simulate(&w, &LogSimConfig { seed: 13, episodes: 80, ..Default::default() });
+        FctDataset::build(&w, &eps, 14)
+    }
+
+    #[test]
+    fn training_improves_over_untrained() {
+        let ds = dataset();
+        let init = random_embeddings(&ds.node_names, 16, 0);
+        // Untrained baseline: 0 epochs of training.
+        let untrained = run_fct(&ds, &init, &FctTaskConfig { epochs: 0, ..Default::default() });
+        let trained = run_fct(&ds, &init, &FctTaskConfig { epochs: 30, ..Default::default() });
+        assert!(
+            trained.test.mrr >= untrained.test.mrr,
+            "training should not hurt: {} -> {}",
+            untrained.test.mrr,
+            trained.test.mrr
+        );
+        assert!(trained.test.mrr > 0.0);
+    }
+
+    #[test]
+    fn ranks_are_filtered() {
+        // With filtering, a fact's rank cannot exceed the entity count.
+        let ds = dataset();
+        let init = random_embeddings(&ds.node_names, 8, 1);
+        let res = run_fct(&ds, &init, &FctTaskConfig { epochs: 2, ..Default::default() });
+        assert!(res.test.mr <= ds.num_nodes() as f64);
+    }
+
+    #[test]
+    fn confidence_scales_margin() {
+        // Internal check of the loss: higher confidence ⇒ larger margin ⇒
+        // larger hinge for the same embedding state.
+        let ds = dataset();
+        let init = random_embeddings(&ds.node_names, 8, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let model = FctModel::new(&mut store, &init, ds.num_relations(), KgeScorer::TransE, &mut rng);
+        let all: std::collections::HashSet<_> = ds.all_facts().map(|f| (f.head, f.rel, f.tail)).collect();
+        let cfg = FctTaskConfig::default();
+        let base = ds.train[0];
+        let low = FctFact { conf: 0.1, ..base };
+        let high = FctFact { conf: 1.0, ..base };
+        let mut loss_of = |f: &FctFact| {
+            let mut r = StdRng::seed_from_u64(42);
+            let tape = Tape::new();
+            gtranse_loss(&tape, &store, &model, f, &all, ds.num_nodes(), &cfg, &mut r)
+                .value()
+                .item()
+        };
+        assert!(loss_of(&high) >= loss_of(&low));
+    }
+
+    #[test]
+    fn all_scorers_train_and_evaluate() {
+        let ds = dataset();
+        let init = random_embeddings(&ds.node_names, 16, 3);
+        for scorer in [KgeScorer::TransE, KgeScorer::TransH, KgeScorer::DistMult, KgeScorer::Rotate] {
+            let cfg = FctTaskConfig { epochs: 3, scorer, ..Default::default() };
+            let res = run_fct(&ds, &init, &cfg);
+            assert!(res.test.mrr > 0.0, "{scorer:?} produced zero MRR");
+            assert!(res.test.mr >= 1.0);
+        }
+    }
+
+    #[test]
+    fn tape_and_raw_distances_agree() {
+        let ds = dataset();
+        let init = random_embeddings(&ds.node_names, 16, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for scorer in [KgeScorer::TransE, KgeScorer::TransH, KgeScorer::DistMult, KgeScorer::Rotate] {
+            let mut store = ParamStore::new();
+            let model = FctModel::new(&mut store, &init, ds.num_relations(), scorer, &mut rng);
+            let f = ds.train[0];
+            let tape = Tape::new();
+            let tape_d = model
+                .distance(&tape, &store, &[f.head], &[f.rel], &[f.tail])
+                .value()
+                .item();
+            let raw_d = model.distance_raw(&store, f.head, f.rel, f.tail);
+            assert!(
+                (tape_d - raw_d).abs() < 1e-3 * (1.0 + raw_d.abs()),
+                "{scorer:?}: tape {tape_d} vs raw {raw_d}"
+            );
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! K-fold cross-validation splits (paper Sec. V-B3: "we split all graphs
+//! into 5 folds, we select 1 fold as the testing set, the next 1 fold as
+//! the validation set, and others as the training set").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One cross-validation fold's index sets.
+#[derive(Clone, Debug)]
+pub struct Fold {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub valid: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+/// Produces `k` folds over `n` items, shuffled with `seed`.
+pub fn k_folds(n: usize, k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 3, "need k >= 3 so train/valid/test are disjoint");
+    assert!(n >= k, "need at least one item per fold");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    // Contiguous chunks of the shuffled order, sizes differing by ≤ 1.
+    let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &idx) in order.iter().enumerate() {
+        chunks[i % k].push(idx);
+    }
+    (0..k)
+        .map(|fi| {
+            let test = chunks[fi].clone();
+            let valid = chunks[(fi + 1) % k].clone();
+            let train = (0..k)
+                .filter(|&c| c != fi && c != (fi + 1) % k)
+                .flat_map(|c| chunks[c].iter().copied())
+                .collect();
+            Fold { train, valid, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_everything() {
+        let folds = k_folds(23, 5, 0);
+        assert_eq!(folds.len(), 5);
+        for f in &folds {
+            let mut all: Vec<usize> = f
+                .train
+                .iter()
+                .chain(f.valid.iter())
+                .chain(f.test.iter())
+                .copied()
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..23).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn test_sets_cover_all_items_once() {
+        let folds = k_folds(20, 5, 1);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.test.iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn train_valid_test_disjoint() {
+        for f in k_folds(17, 5, 2) {
+            for &t in &f.test {
+                assert!(!f.train.contains(&t));
+                assert!(!f.valid.contains(&t));
+            }
+            for &v in &f.valid {
+                assert!(!f.train.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = k_folds(10, 5, 3);
+        let b = k_folds(10, 5, 3);
+        assert_eq!(a[0].test, b[0].test);
+    }
+}

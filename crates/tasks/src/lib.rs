@@ -1,0 +1,29 @@
+//! # tele-tasks
+//!
+//! The three downstream fault-analysis tasks of the KTeleBERT paper, each
+//! consuming frozen service embeddings:
+//!
+//! - [`rca`]: root-cause analysis — GCN node ranking (Table IV),
+//! - [`eap`]: event association prediction — trigger-pair classification
+//!   (Table VI),
+//! - [`fct`]: fault chain tracing — GTransE uncertain-KG completion
+//!   (Table VIII),
+//!
+//! plus [`embeddings`] providers (random / word-average / service),
+//! [`kfold`] cross-validation and [`metrics`].
+
+#![warn(missing_docs)]
+
+pub mod eap;
+pub mod embeddings;
+pub mod fct;
+pub mod kfold;
+pub mod metrics;
+pub mod rca;
+
+pub use eap::{run_eap, EapResult, EapTaskConfig};
+pub use embeddings::{random_embeddings, service_embeddings, word_avg_embeddings, EmbeddingTable};
+pub use fct::{run_fct, FctResultMetrics, FctTaskConfig, KgeScorer};
+pub use kfold::{k_folds, Fold};
+pub use metrics::{rank_of, BinaryMetrics, RankMetrics};
+pub use rca::{run_rca, RcaResult, RcaTaskConfig};

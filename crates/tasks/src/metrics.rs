@@ -1,0 +1,174 @@
+//! Evaluation metrics used across the three tasks: rank metrics (MR, MRR,
+//! Hits@N) and binary-classification metrics (Accuracy/Precision/Recall/F1).
+
+use serde::{Deserialize, Serialize};
+
+/// Rank-based metrics over a set of queries (1-based ranks).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RankMetrics {
+    /// Mean rank (lower is better).
+    pub mr: f64,
+    /// Mean reciprocal rank ×100 (higher is better).
+    pub mrr: f64,
+    /// Hits@1 ×100.
+    pub hits1: f64,
+    /// Hits@3 ×100.
+    pub hits3: f64,
+    /// Hits@5 ×100.
+    pub hits5: f64,
+    /// Hits@10 ×100.
+    pub hits10: f64,
+}
+
+impl RankMetrics {
+    /// Computes rank metrics from 1-based ranks.
+    pub fn from_ranks(ranks: &[usize]) -> Self {
+        assert!(!ranks.is_empty(), "no ranks to aggregate");
+        assert!(ranks.iter().all(|&r| r >= 1), "ranks are 1-based");
+        let n = ranks.len() as f64;
+        let hits = |k: usize| 100.0 * ranks.iter().filter(|&&r| r <= k).count() as f64 / n;
+        RankMetrics {
+            mr: ranks.iter().sum::<usize>() as f64 / n,
+            mrr: 100.0 * ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / n,
+            hits1: hits(1),
+            hits3: hits(3),
+            hits5: hits(5),
+            hits10: hits(10),
+        }
+    }
+
+    /// Averages metrics across folds.
+    pub fn mean(folds: &[RankMetrics]) -> Self {
+        assert!(!folds.is_empty(), "no folds to average");
+        let n = folds.len() as f64;
+        RankMetrics {
+            mr: folds.iter().map(|m| m.mr).sum::<f64>() / n,
+            mrr: folds.iter().map(|m| m.mrr).sum::<f64>() / n,
+            hits1: folds.iter().map(|m| m.hits1).sum::<f64>() / n,
+            hits3: folds.iter().map(|m| m.hits3).sum::<f64>() / n,
+            hits5: folds.iter().map(|m| m.hits5).sum::<f64>() / n,
+            hits10: folds.iter().map(|m| m.hits10).sum::<f64>() / n,
+        }
+    }
+}
+
+/// The 1-based rank of `target` when items are sorted by descending score.
+/// Ties are broken pessimistically (equal scores rank ahead of the target),
+/// so degenerate constant scorers cannot look good.
+pub fn rank_of(scores: &[f32], target: usize) -> usize {
+    let t = scores[target];
+    1 + scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| i != target && s >= t)
+        .count()
+}
+
+/// Binary-classification metrics ×100.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// Accuracy ×100.
+    pub accuracy: f64,
+    /// Precision ×100 (of predicted positives).
+    pub precision: f64,
+    /// Recall ×100 (of actual positives).
+    pub recall: f64,
+    /// F1 score ×100.
+    pub f1: f64,
+}
+
+impl BinaryMetrics {
+    /// Computes metrics from (prediction, label) pairs.
+    pub fn from_predictions(pred_label: &[(bool, bool)]) -> Self {
+        assert!(!pred_label.is_empty(), "no predictions to score");
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        let mut tn = 0.0;
+        let mut fnn = 0.0;
+        for &(p, l) in pred_label {
+            match (p, l) {
+                (true, true) => tp += 1.0,
+                (true, false) => fp += 1.0,
+                (false, false) => tn += 1.0,
+                (false, true) => fnn += 1.0,
+            }
+        }
+        let accuracy = 100.0 * (tp + tn) / pred_label.len() as f64;
+        let precision = if tp + fp > 0.0 { 100.0 * tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fnn > 0.0 { 100.0 * tp / (tp + fnn) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        BinaryMetrics { accuracy, precision, recall, f1 }
+    }
+
+    /// Averages metrics across folds.
+    pub fn mean(folds: &[BinaryMetrics]) -> Self {
+        assert!(!folds.is_empty(), "no folds to average");
+        let n = folds.len() as f64;
+        BinaryMetrics {
+            accuracy: folds.iter().map(|m| m.accuracy).sum::<f64>() / n,
+            precision: folds.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: folds.iter().map(|m| m.recall).sum::<f64>() / n,
+            f1: folds.iter().map(|m| m.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_descending_scores() {
+        let scores = [0.9, 0.5, 0.7];
+        assert_eq!(rank_of(&scores, 0), 1);
+        assert_eq!(rank_of(&scores, 2), 2);
+        assert_eq!(rank_of(&scores, 1), 3);
+    }
+
+    #[test]
+    fn rank_of_pessimistic_on_ties() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(rank_of(&scores, 1), 3);
+    }
+
+    #[test]
+    fn rank_metrics_from_ranks() {
+        let m = RankMetrics::from_ranks(&[1, 2, 4, 10]);
+        assert!((m.mr - 4.25).abs() < 1e-9);
+        assert!((m.hits1 - 25.0).abs() < 1e-9);
+        assert!((m.hits3 - 50.0).abs() < 1e-9);
+        assert!((m.hits5 - 75.0).abs() < 1e-9);
+        assert!((m.hits10 - 100.0).abs() < 1e-9);
+        assert!((m.mrr - 100.0 * (1.0 + 0.5 + 0.25 + 0.1) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_metrics_perfect() {
+        let m = BinaryMetrics::from_predictions(&[(true, true), (false, false)]);
+        assert_eq!(m.accuracy, 100.0);
+        assert_eq!(m.f1, 100.0);
+    }
+
+    #[test]
+    fn binary_metrics_all_positive_predictions() {
+        // Predict everything positive over a balanced set: recall 100,
+        // precision 50.
+        let m = BinaryMetrics::from_predictions(&[(true, true), (true, false)]);
+        assert_eq!(m.recall, 100.0);
+        assert_eq!(m.precision, 50.0);
+        assert!((m.f1 - 2.0 * 50.0 * 100.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn means_average_fields() {
+        let a = RankMetrics::from_ranks(&[1]);
+        let b = RankMetrics::from_ranks(&[3]);
+        let m = RankMetrics::mean(&[a, b]);
+        assert!((m.mr - 2.0).abs() < 1e-9);
+        assert!((m.hits1 - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Weight initializers.
+
+use rand::Rng;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier_uniform(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let (fan_in, fan_out) = fans(&shape);
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Truncated-normal-style initialization used by BERT (std 0.02), clamped to
+/// two standard deviations.
+pub fn bert_normal(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let t = Tensor::rand_normal(shape, 0.0, 0.02, rng);
+    t.map(|v| v.clamp(-0.04, 0.04))
+}
+
+/// Kaiming/He uniform initialization for ReLU-family activations.
+pub fn kaiming_uniform(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let (fan_in, _) = fans(&shape);
+    let bound = (3.0_f32 / fan_in as f32).sqrt() * std::f32::consts::SQRT_2;
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+fn fans(shape: &Shape) -> (usize, usize) {
+    match shape.rank() {
+        0 => (1, 1),
+        1 => (shape.dim(0), shape.dim(0)),
+        _ => {
+            let fan_out = shape.dim(shape.rank() - 1);
+            let fan_in = shape.numel() / fan_out;
+            (fan_in, fan_out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let t = xavier_uniform([100, 100], &mut rng);
+        let bound = (6.0f32 / 200.0).sqrt();
+        for &v in t.as_slice() {
+            assert!(v.abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn bert_normal_is_clamped() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = bert_normal([64, 64], &mut rng);
+        for &v in t.as_slice() {
+            assert!(v.abs() <= 0.04 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(42);
+        let mut b = rand::rngs::StdRng::seed_from_u64(42);
+        assert_eq!(
+            xavier_uniform([4, 4], &mut a).to_vec(),
+            xavier_uniform([4, 4], &mut b).to_vec()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # tele-tensor
+//!
+//! A from-scratch CPU deep-learning substrate: dense `f32` tensors with
+//! broadcasting, tape-based reverse-mode autograd, transformer building
+//! blocks, and optimizers.
+//!
+//! This crate exists because the KTeleBERT reproduction (see the workspace
+//! root) is built without external ML frameworks. It is deliberately small
+//! and auditable rather than fast on large models: kernels are plain Rust
+//! with rayon parallelism in matmul, and every op's gradient is verified by
+//! finite differences in the test suite.
+//!
+//! ## Layering
+//!
+//! - [`Tensor`]: raw values (copy-on-write storage, no gradients),
+//! - [`Tape`] / [`Var`]: autograd graph built per training step,
+//! - [`ParamStore`]: persistent parameters + gradients,
+//! - [`nn`]: layers (linear, embedding, layer norm, attention, transformer),
+//! - [`optim`]: SGD / AdamW / LR schedules.
+//!
+//! ## Example: one gradient step
+//!
+//! ```
+//! use tele_tensor::{Tape, Tensor, ParamStore, optim::Sgd};
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.create("w", Tensor::zeros([1]));
+//! let mut opt = Sgd::new(0.5, 0.0);
+//! for _ in 0..100 {
+//!     store.zero_grads();
+//!     let tape = Tape::new();
+//!     let wv = tape.param(&store, w);
+//!     let loss = wv.add_scalar(-2.0).square().sum_all();
+//!     tape.backward(loss).accumulate_into(&tape, &mut store);
+//!     opt.step(&mut store);
+//! }
+//! assert!((store.value(w).item() - 2.0).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod init;
+pub mod nn;
+mod ops;
+pub mod optim;
+mod shape;
+mod tape;
+mod tensor;
+
+pub use init::{bert_normal, kaiming_uniform, xavier_uniform};
+pub use shape::{BroadcastIter, Shape};
+pub use tape::{Grads, LoadSummary, ParamId, ParamStore, Tape, Var};
+pub use tensor::Tensor;

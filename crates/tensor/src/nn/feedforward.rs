@@ -1,0 +1,79 @@
+//! Position-wise feed-forward block.
+
+use rand::rngs::StdRng;
+
+use crate::nn::Linear;
+use crate::tape::{ParamStore, Tape, Var};
+
+/// The transformer FFN: `Linear -> GELU -> Linear` with optional dropout.
+pub struct FeedForward {
+    up: Linear,
+    down: Linear,
+    /// Dropout rate after the down-projection (training only).
+    pub dropout: f32,
+}
+
+impl FeedForward {
+    /// Creates an FFN expanding `dim` to `hidden` and back.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        hidden: usize,
+        dropout: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        FeedForward {
+            up: Linear::new(store, &format!("{name}.up"), dim, hidden, true, rng),
+            down: Linear::new(store, &format!("{name}.down"), hidden, dim, true, rng),
+            dropout,
+        }
+    }
+
+    /// Applies the block.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        x: Var<'t>,
+        rng: Option<&mut StdRng>,
+    ) -> Var<'t> {
+        let h = self.up.forward(tape, store, x).gelu();
+        let y = self.down.forward(tape, store, h);
+        match rng {
+            Some(r) => y.dropout(self.dropout, r),
+            None => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let ffn = FeedForward::new(&mut store, "ffn", 8, 32, 0.1, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones([2, 3, 8]));
+        let y = ffn.forward(&tape, &store, x, None);
+        assert_eq!(y.value().shape().dims(), &[2, 3, 8]);
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let ffn = FeedForward::new(&mut store, "ffn", 4, 8, 0.5, &mut rng);
+        let run = || {
+            let tape = Tape::new();
+            let x = tape.constant(Tensor::ones([1, 2, 4]));
+            ffn.forward(&tape, &store, x, None).value().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

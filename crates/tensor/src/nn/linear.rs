@@ -1,0 +1,145 @@
+//! Affine layers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::init::xavier_uniform;
+use crate::tape::{ParamId, ParamStore, Tape, Var};
+use crate::tensor::Tensor;
+
+/// A fully connected layer `y = x W + b`.
+///
+/// Accepts inputs of any rank `>= 2`; the weight multiplies the last axis.
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    /// Input feature size.
+    pub in_dim: usize,
+    /// Output feature size.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialized linear layer registered under `name`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weight = store.create(format!("{name}.weight"), xavier_uniform([in_dim, out_dim], rng));
+        let bias = bias.then(|| store.create(format!("{name}.bias"), Tensor::zeros([out_dim])));
+        Linear { weight, bias, in_dim, out_dim }
+    }
+
+    /// Applies the layer on the current tape.
+    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>) -> Var<'t> {
+        let w = tape.param(store, self.weight);
+        let y = x.matmul(w);
+        match self.bias {
+            Some(b) => y.add(tape.param(store, b)),
+            None => y,
+        }
+    }
+
+    /// The weight parameter id (for regularizers acting on raw weights).
+    pub fn weight_id(&self) -> ParamId {
+        self.weight
+    }
+}
+
+/// A multi-layer perceptron with a fixed hidden activation (ReLU) between
+/// layers, as used by the paper's downstream task heads.
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP through the given layer sizes, e.g. `[512, 128, 1]`
+    /// creates two linear layers with one ReLU between them.
+    pub fn new(store: &mut ParamStore, name: &str, sizes: &[usize], rng: &mut StdRng) -> Self {
+        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.{i}"), w[0], w[1], true, rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Forward pass; ReLU after every layer except the last.
+    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, mut x: Var<'t>) -> Var<'t> {
+        let last = self.layers.len() - 1;
+        for (i, l) in self.layers.iter().enumerate() {
+            x = l.forward(tape, store, x);
+            if i != last {
+                x = x.relu();
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let l = Linear::new(&mut store, "l", 4, 3, true, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones([2, 4]));
+        let y = l.forward(&tape, &store, x);
+        assert_eq!(y.value().shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn linear_rank3_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let l = Linear::new(&mut store, "l", 4, 3, true, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones([2, 5, 4]));
+        let y = l.forward(&tape, &store, x);
+        assert_eq!(y.value().shape().dims(), &[2, 5, 3]);
+    }
+
+    #[test]
+    fn linear_learns_identity() {
+        use crate::optim::Sgd;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let l = Linear::new(&mut store, "l", 2, 2, true, &mut rng);
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5], [4, 2]);
+        for _ in 0..300 {
+            store.zero_grads();
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let y = l.forward(&tape, &store, xv);
+            let loss = y.mse(&x);
+            let grads = tape.backward(loss);
+            grads.accumulate_into(&tape, &mut store);
+            opt.step(&mut store);
+        }
+        let tape = Tape::new();
+        let y = l.forward(&tape, &store, tape.constant(x.clone()));
+        let err = y.mse(&x).value().item();
+        assert!(err < 1e-3, "MLP failed to fit identity, err = {err}");
+    }
+
+    #[test]
+    fn mlp_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "head", &[8, 4, 1], &mut rng);
+        let tape = Tape::new();
+        let y = mlp.forward(&tape, &store, tape.constant(Tensor::ones([3, 8])));
+        assert_eq!(y.value().shape().dims(), &[3, 1]);
+    }
+}

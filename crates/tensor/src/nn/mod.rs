@@ -1,0 +1,21 @@
+//! Neural-network layers built on the tape autograd.
+//!
+//! Layers are plain structs holding [`ParamId`](crate::ParamId)s plus
+//! configuration; their `forward` methods take the current [`Tape`](crate::Tape) and
+//! [`ParamStore`](crate::ParamStore) so a fresh tape can be built each step.
+//! Dropout-bearing layers take `Option<&mut StdRng>`: `Some(rng)` means
+//! training mode, `None` means evaluation (dropout disabled).
+
+mod attention;
+mod embedding;
+mod feedforward;
+mod linear;
+mod norm;
+mod transformer;
+
+pub use attention::MultiHeadAttention;
+pub use embedding::Embedding;
+pub use feedforward::FeedForward;
+pub use linear::{Linear, Mlp};
+pub use norm::LayerNorm;
+pub use transformer::{EncoderLayer, TransformerConfig, TransformerEncoder};

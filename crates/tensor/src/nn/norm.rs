@@ -1,0 +1,64 @@
+//! Layer normalization.
+
+use crate::tape::{ParamId, ParamStore, Tape, Var};
+use crate::tensor::Tensor;
+
+/// Layer normalization over the last axis with learned scale and shift.
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    /// Normalized feature size.
+    pub dim: usize,
+    /// Variance floor.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm with `gamma = 1`, `beta = 0`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.create(format!("{name}.norm_gamma"), Tensor::ones([dim]));
+        let beta = store.create(format!("{name}.norm_beta"), Tensor::zeros([dim]));
+        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+    }
+
+    /// Normalizes the last axis of `x`.
+    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>) -> Var<'t> {
+        let g = tape.param(store, self.gamma);
+        let b = tape.param(store, self.beta);
+        x.layer_norm(g, b, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_normalized() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], [2, 4]));
+        let y = ln.forward(&tape, &store, x).value();
+        for r in 0..2 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scale_invariance_of_rows() {
+        // Rows that are scalar multiples normalize to the same vector.
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 3);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 100.0, 200.0, 300.0], [2, 3]));
+        let y = ln.forward(&tape, &store, x).value();
+        for i in 0..3 {
+            assert!((y.row(0)[i] - y.row(1)[i]).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! A BERT-style transformer encoder.
+
+use rand::rngs::StdRng;
+
+use crate::nn::{Embedding, FeedForward, LayerNorm, MultiHeadAttention};
+use crate::tape::{ParamStore, Tape, Var};
+use crate::tensor::Tensor;
+
+/// Size and regularization hyper-parameters for [`TransformerEncoder`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// FFN hidden width.
+    pub ffn_hidden: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_len: usize,
+    /// Dropout rate used in embeddings, attention and FFN.
+    pub dropout: f32,
+}
+
+impl TransformerConfig {
+    /// A small configuration suitable for CPU training in tests/examples.
+    pub fn tiny(vocab: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            dim: 32,
+            layers: 2,
+            heads: 2,
+            ffn_hidden: 64,
+            max_len: 64,
+            dropout: 0.1,
+        }
+    }
+
+    /// The default reproduction configuration (still far below the paper's
+    /// 768-wide MacBERT, by design — see DESIGN.md).
+    pub fn base(vocab: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            dim: 64,
+            layers: 3,
+            heads: 4,
+            ffn_hidden: 128,
+            max_len: 64,
+            dropout: 0.1,
+        }
+    }
+}
+
+/// One post-norm encoder layer: `x = LN(x + Attn(x)); x = LN(x + FFN(x))`.
+pub struct EncoderLayer {
+    attn: MultiHeadAttention,
+    ffn: FeedForward,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+}
+
+impl EncoderLayer {
+    /// Creates one encoder layer.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: &TransformerConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        EncoderLayer {
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), cfg.dim, cfg.heads, cfg.dropout, rng),
+            ffn: FeedForward::new(store, &format!("{name}.ffn"), cfg.dim, cfg.ffn_hidden, cfg.dropout, rng),
+            norm1: LayerNorm::new(store, &format!("{name}.ln1"), cfg.dim),
+            norm2: LayerNorm::new(store, &format!("{name}.ln2"), cfg.dim),
+        }
+    }
+
+    /// Applies the layer to `x: [b, s, d]`.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        x: Var<'t>,
+        mask: Option<&Tensor>,
+        mut rng: Option<&mut StdRng>,
+    ) -> Var<'t> {
+        let a = self.attn.forward(tape, store, x, mask, rng.as_deref_mut());
+        let x = self.norm1.forward(tape, store, x.add(a));
+        let f = self.ffn.forward(tape, store, x, rng);
+        self.norm2.forward(tape, store, x.add(f))
+    }
+}
+
+/// A BERT-style encoder: token + position embeddings, embedding layer norm
+/// and dropout, then a stack of [`EncoderLayer`]s.
+pub struct TransformerEncoder {
+    /// The configuration this encoder was built with.
+    pub cfg: TransformerConfig,
+    tok: Embedding,
+    pos: Embedding,
+    emb_norm: LayerNorm,
+    layers: Vec<EncoderLayer>,
+}
+
+impl TransformerEncoder {
+    /// Creates an encoder whose parameters are registered under `name`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: TransformerConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let tok = Embedding::new(store, &format!("{name}.tok"), cfg.vocab, cfg.dim, rng);
+        let pos = Embedding::new(store, &format!("{name}.pos"), cfg.max_len, cfg.dim, rng);
+        let emb_norm = LayerNorm::new(store, &format!("{name}.emb_ln"), cfg.dim);
+        let layers = (0..cfg.layers)
+            .map(|l| EncoderLayer::new(store, &format!("{name}.layer{l}"), &cfg, rng))
+            .collect();
+        TransformerEncoder { cfg, tok, pos, emb_norm, layers }
+    }
+
+    /// Builds the additive attention mask for right-padded sequences:
+    /// `[b, 1, 1, s]` with `-1e9` at positions `>= len`.
+    pub fn padding_mask(batch: usize, seq: usize, lens: &[usize]) -> Tensor {
+        assert_eq!(lens.len(), batch, "one length per sequence required");
+        let mut m = Tensor::zeros([batch, 1, 1, seq]);
+        let data = m.as_mut_slice();
+        for (b, &len) in lens.iter().enumerate() {
+            for p in len..seq {
+                data[b * seq + p] = -1e9;
+            }
+        }
+        m
+    }
+
+    /// Embeds a padded id batch `[b * s]` (row-major) into `[b, s, d]`.
+    ///
+    /// Exposed separately so callers can splice extra embeddings (e.g. the
+    /// ANEnc numeric embedding) into the sequence before encoding.
+    pub fn embed<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        ids: &[usize],
+        batch: usize,
+        seq: usize,
+        rng: Option<&mut StdRng>,
+    ) -> Var<'t> {
+        assert_eq!(ids.len(), batch * seq, "id count must be batch * seq");
+        assert!(seq <= self.cfg.max_len, "sequence length {seq} exceeds max_len");
+        let tok = self.tok.forward(tape, store, ids);
+        let pos_ids: Vec<usize> = (0..batch).flat_map(|_| 0..seq).collect();
+        let pos = self.pos.forward(tape, store, &pos_ids);
+        let x = tok.add(pos).reshape([batch, seq, self.cfg.dim]);
+        let x = self.emb_norm.forward(tape, store, x);
+        match rng {
+            Some(r) => x.dropout(self.cfg.dropout, r),
+            None => x,
+        }
+    }
+
+    /// Runs the encoder stack over pre-embedded inputs `[b, s, d]`.
+    pub fn encode_embedded<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        mut x: Var<'t>,
+        mask: Option<&Tensor>,
+        mut rng: Option<&mut StdRng>,
+    ) -> Var<'t> {
+        for layer in &self.layers {
+            x = layer.forward(tape, store, x, mask, rng.as_deref_mut());
+        }
+        x
+    }
+
+    /// Full forward: ids `[b * s]` (row-major, right-padded) with per-row
+    /// lengths, returning hidden states `[b, s, d]`.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        ids: &[usize],
+        batch: usize,
+        seq: usize,
+        lens: &[usize],
+        mut rng: Option<&mut StdRng>,
+    ) -> Var<'t> {
+        let mask = Self::padding_mask(batch, seq, lens);
+        let x = self.embed(tape, store, ids, batch, seq, rng.as_deref_mut());
+        self.encode_embedded(tape, store, x, Some(&mask), rng)
+    }
+
+    /// The `[CLS]` (first-position) hidden states: `[b, d]` from `[b, s, d]`.
+    pub fn cls<'t>(hidden: Var<'t>) -> Var<'t> {
+        let shape = hidden.shape();
+        let (b, d) = (shape.dim(0), shape.dim(2));
+        hidden.narrow(1, 0, 1).reshape([b, d])
+    }
+
+    /// The token embedding table (for MLM weight tying).
+    pub fn tok_embedding(&self) -> &Embedding {
+        &self.tok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_encoder() -> (ParamStore, TransformerEncoder) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let cfg = TransformerConfig { vocab: 20, dim: 8, layers: 2, heads: 2, ffn_hidden: 16, max_len: 10, dropout: 0.1 };
+        let enc = TransformerEncoder::new(&mut store, "enc", cfg, &mut rng);
+        (store, enc)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (store, enc) = tiny_encoder();
+        let tape = Tape::new();
+        let ids = vec![1, 2, 3, 0, 4, 5, 6, 7];
+        let h = enc.forward(&tape, &store, &ids, 2, 4, &[3, 4], None);
+        assert_eq!(h.value().shape().dims(), &[2, 4, 8]);
+        let cls = TransformerEncoder::cls(h);
+        assert_eq!(cls.value().shape().dims(), &[2, 8]);
+    }
+
+    #[test]
+    fn padding_does_not_affect_unpadded_positions() {
+        let (store, enc) = tiny_encoder();
+        // Same 3-token sentence, padded with different garbage tokens.
+        let run = |pad: usize| {
+            let tape = Tape::new();
+            let ids = vec![1, 2, 3, pad, pad];
+            let h = enc.forward(&tape, &store, &ids, 1, 5, &[3], None);
+            h.value().narrow(1, 0, 3).to_vec()
+        };
+        let a = run(7);
+        let b = run(9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-4, "padding leaked into real positions");
+        }
+    }
+
+    #[test]
+    fn gradients_reach_embeddings() {
+        let (mut store, enc) = tiny_encoder();
+        store.zero_grads();
+        let tape = Tape::new();
+        let h = enc.forward(&tape, &store, &[1, 2, 3], 1, 3, &[3], None);
+        let loss = h.square().sum_all();
+        let grads = tape.backward(loss);
+        grads.accumulate_into(&tape, &mut store);
+        let g = store.grad(enc.tok_embedding().weight_id());
+        assert!(g.norm_l2() > 0.0);
+        // Unused vocabulary rows stay zero.
+        assert_eq!(g.row(10), vec![0.0; 8].as_slice());
+    }
+
+    #[test]
+    fn train_and_eval_modes_differ_only_by_dropout() {
+        let (store, enc) = tiny_encoder();
+        let eval = {
+            let tape = Tape::new();
+            enc.forward(&tape, &store, &[1, 2], 1, 2, &[2], None).value().to_vec()
+        };
+        let eval2 = {
+            let tape = Tape::new();
+            enc.forward(&tape, &store, &[1, 2], 1, 2, &[2], None).value().to_vec()
+        };
+        assert_eq!(eval, eval2, "eval mode must be deterministic");
+    }
+}

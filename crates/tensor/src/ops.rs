@@ -1,0 +1,949 @@
+//! Differentiable operations on [`Var`].
+//!
+//! Every op computes its forward value eagerly with the raw [`Tensor`]
+//! kernels and records a backward closure on the tape. Broadcasting binary
+//! ops reduce gradients back to the operand shapes via [`Tensor::reduce_to`]
+//! (the adjoint of broadcasting).
+
+use rand::Rng;
+
+use crate::shape::Shape;
+use crate::tape::Var;
+use crate::tensor::Tensor;
+
+impl<'t> Var<'t> {
+    /// The forward value of this node.
+    pub fn value(self) -> Tensor {
+        self.tape.value(self)
+    }
+
+    /// The shape of this node's value.
+    pub fn shape(self) -> Shape {
+        self.value().shape().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Binary elementwise (broadcasting)
+    // ------------------------------------------------------------------
+
+    /// Elementwise `self + other` with broadcasting.
+    pub fn add(self, other: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), other.value());
+        let out = a.add(&b);
+        let (sa, sb) = (a.shape().clone(), b.shape().clone());
+        self.tape.push_op(
+            out,
+            vec![self.id, other.id],
+            Box::new(move |g| vec![g.reduce_to(&sa), g.reduce_to(&sb)]),
+        )
+    }
+
+    /// Elementwise `self - other` with broadcasting.
+    pub fn sub(self, other: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), other.value());
+        let out = a.sub(&b);
+        let (sa, sb) = (a.shape().clone(), b.shape().clone());
+        self.tape.push_op(
+            out,
+            vec![self.id, other.id],
+            Box::new(move |g| vec![g.reduce_to(&sa), g.scale(-1.0).reduce_to(&sb)]),
+        )
+    }
+
+    /// Elementwise `self * other` with broadcasting.
+    pub fn mul(self, other: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), other.value());
+        let out = a.mul(&b);
+        let (sa, sb) = (a.shape().clone(), b.shape().clone());
+        self.tape.push_op(
+            out,
+            vec![self.id, other.id],
+            Box::new(move |g| {
+                vec![g.mul(&b).reduce_to(&sa), g.mul(&a).reduce_to(&sb)]
+            }),
+        )
+    }
+
+    /// Elementwise `self / other` with broadcasting.
+    pub fn div(self, other: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), other.value());
+        let out = a.div(&b);
+        let (sa, sb) = (a.shape().clone(), b.shape().clone());
+        self.tape.push_op(
+            out,
+            vec![self.id, other.id],
+            Box::new(move |g| {
+                let ga = g.div(&b).reduce_to(&sa);
+                let gb = g.mul(&a).div(&b).div(&b).scale(-1.0).reduce_to(&sb);
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Unary / scalar
+    // ------------------------------------------------------------------
+
+    /// `-self`.
+    pub fn neg(self) -> Var<'t> {
+        self.scale(-1.0)
+    }
+
+    /// `self * s`.
+    pub fn scale(self, s: f32) -> Var<'t> {
+        let out = self.value().scale(s);
+        self.tape
+            .push_op(out, vec![self.id], Box::new(move |g| vec![g.scale(s)]))
+    }
+
+    /// `self + s` elementwise.
+    pub fn add_scalar(self, s: f32) -> Var<'t> {
+        let out = self.value().add_scalar(s);
+        self.tape
+            .push_op(out, vec![self.id], Box::new(move |g| vec![g.clone()]))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(|v| v.max(0.0));
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![g.zip(&x, |gv, xv| if xv > 0.0 { gv } else { 0.0 })]),
+        )
+    }
+
+    /// GELU activation (tanh approximation), the transformer default.
+    pub fn gelu(self) -> Var<'t> {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        let x = self.value();
+        let out = x.map(|v| 0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh()));
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| {
+                vec![g.zip(&x, |gv, v| {
+                    let inner = C * (v + 0.044715 * v * v * v);
+                    let t = inner.tanh();
+                    let dinner = C * (1.0 + 3.0 * 0.044715 * v * v);
+                    let d = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner;
+                    gv * d
+                })]
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Var<'t> {
+        let out = self.value().map(f32::tanh);
+        let y = out.clone();
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![g.zip(&y, |gv, yv| gv * (1.0 - yv * yv))]),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'t> {
+        let out = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let y = out.clone();
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![g.zip(&y, |gv, yv| gv * yv * (1.0 - yv))]),
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(self) -> Var<'t> {
+        let out = self.value().map(f32::exp);
+        let y = out.clone();
+        self.tape
+            .push_op(out, vec![self.id], Box::new(move |g| vec![g.mul(&y)]))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(f32::ln);
+        self.tape
+            .push_op(out, vec![self.id], Box::new(move |g| vec![g.div(&x)]))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(self) -> Var<'t> {
+        let out = self.value().map(f32::sqrt);
+        let y = out.clone();
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![g.zip(&y, |gv, yv| gv / (2.0 * yv))]),
+        )
+    }
+
+    /// Elementwise square.
+    pub fn square(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(|v| v * v);
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![g.zip(&x, |gv, xv| gv * 2.0 * xv)]),
+        )
+    }
+
+    /// Elementwise absolute value (subgradient 0 at 0).
+    pub fn abs(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.map(f32::abs);
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![g.zip(&x, |gv, xv| gv * xv.signum() * (xv != 0.0) as u8 as f32)]),
+        )
+    }
+
+    /// Elementwise `max(self, 0)` shifted: `max(self + margin, 0)`, the
+    /// hinge used by margin-ranking losses.
+    pub fn hinge(self, margin: f32) -> Var<'t> {
+        self.add_scalar(margin).relu()
+    }
+
+    /// Inverted dropout: keeps each element with probability `1 - p`,
+    /// scaling survivors by `1/(1-p)`. With `p == 0` this is the identity.
+    pub fn dropout(self, p: f32, rng: &mut impl Rng) -> Var<'t> {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        if p == 0.0 {
+            return self;
+        }
+        let x = self.value();
+        let keep = 1.0 / (1.0 - p);
+        let mask_data: Vec<f32> = (0..x.numel())
+            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, x.shape().clone());
+        let out = x.mul(&mask);
+        self.tape
+            .push_op(out, vec![self.id], Box::new(move |g| vec![g.mul(&mask)]))
+    }
+
+    // ------------------------------------------------------------------
+    // Shape ops
+    // ------------------------------------------------------------------
+
+    /// Reshape to a new shape with the same element count.
+    pub fn reshape(self, shape: impl Into<Shape>) -> Var<'t> {
+        let shape = shape.into();
+        let x = self.value();
+        let orig = x.shape().clone();
+        let out = x.reshape(shape);
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![g.reshape(orig.clone())]),
+        )
+    }
+
+    /// Swap two axes.
+    pub fn transpose(self, ax0: usize, ax1: usize) -> Var<'t> {
+        let out = self.value().transpose(ax0, ax1);
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![g.transpose(ax0, ax1)]),
+        )
+    }
+
+    /// Select `[start, start+len)` along `axis`.
+    pub fn narrow(self, axis: usize, start: usize, len: usize) -> Var<'t> {
+        let x = self.value();
+        let full = x.shape().clone();
+        let out = x.narrow(axis, start, len);
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| {
+                // Scatter the slice gradient back into a zero tensor.
+                let mut gx = Tensor::zeros(full.clone());
+                let outer: usize = full.dims()[..axis].iter().product();
+                let inner: usize = full.dims()[axis + 1..].iter().product();
+                let extent = full.dim(axis);
+                let gs = g.as_slice();
+                let dst = gx.as_mut_slice();
+                for o in 0..outer {
+                    let src_base = o * len * inner;
+                    let dst_base = (o * extent + start) * inner;
+                    dst[dst_base..dst_base + len * inner]
+                        .copy_from_slice(&gs[src_base..src_base + len * inner]);
+                }
+                vec![gx]
+            }),
+        )
+    }
+
+    /// Concatenate along `axis`.
+    pub fn concat(parts: &[Var<'t>], axis: usize) -> Var<'t> {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let tape = parts[0].tape;
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let out = Tensor::concat(&refs, axis);
+        let extents: Vec<usize> = values.iter().map(|v| v.shape().dim(axis)).collect();
+        tape.push_op(
+            out,
+            parts.iter().map(|p| p.id).collect(),
+            Box::new(move |g| {
+                let mut grads = Vec::with_capacity(extents.len());
+                let mut start = 0;
+                for &e in &extents {
+                    grads.push(g.narrow(axis, start, e));
+                    start += e;
+                }
+                grads
+            }),
+        )
+    }
+
+    /// Gather rows along axis 0: `out[i] = self[ids[i]]`. The backward pass
+    /// scatter-adds, so repeated ids accumulate (this is the embedding
+    /// lookup primitive).
+    pub fn index_select0(self, ids: &[usize]) -> Var<'t> {
+        let x = self.value();
+        let full = x.shape().clone();
+        let out = x.index_select0(ids);
+        let ids = ids.to_vec();
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| {
+                let mut gx = Tensor::zeros(full.clone());
+                let row: usize = full.dims()[1..].iter().product();
+                let gs = g.as_slice();
+                let dst = gx.as_mut_slice();
+                for (i, &id) in ids.iter().enumerate() {
+                    let src = &gs[i * row..(i + 1) * row];
+                    let d = &mut dst[id * row..(id + 1) * row];
+                    for (dv, &sv) in d.iter_mut().zip(src.iter()) {
+                        *dv += sv;
+                    }
+                }
+                vec![gx]
+            }),
+        )
+    }
+
+    /// Replaces rows of a rank-2 tensor: `out[rows[i]] = values[i]`, other
+    /// rows pass through. Gradient w.r.t. `self` is zeroed at replaced rows;
+    /// gradient w.r.t. `values` gathers the replaced rows.
+    ///
+    /// This is the splice point for the adaptive numeric encoder: `[NUM]`
+    /// token embeddings are swapped for ANEnc outputs before the encoder
+    /// stack runs.
+    pub fn scatter_rows_replace(self, rows: &[usize], values: Var<'t>) -> Var<'t> {
+        let x = self.value();
+        let v = values.value();
+        assert_eq!(x.rank(), 2, "scatter_rows_replace expects [n, d] input");
+        assert_eq!(v.rank(), 2, "scatter_rows_replace expects [k, d] values");
+        assert_eq!(v.shape().dim(0), rows.len(), "one value row per index required");
+        assert_eq!(v.shape().dim(1), x.shape().dim(1), "row width mismatch");
+        let d = x.shape().dim(1);
+        let mut out = x.clone();
+        {
+            let dst = out.as_mut_slice();
+            let src = v.as_slice();
+            for (i, &r) in rows.iter().enumerate() {
+                dst[r * d..(r + 1) * d].copy_from_slice(&src[i * d..(i + 1) * d]);
+            }
+        }
+        let rows_v = rows.to_vec();
+        self.tape.push_op(
+            out,
+            vec![self.id, values.id],
+            Box::new(move |g| {
+                let mut gx = g.clone();
+                {
+                    let s = gx.as_mut_slice();
+                    for &r in &rows_v {
+                        s[r * d..(r + 1) * d].fill(0.0);
+                    }
+                }
+                let gv = g.index_select0(&rows_v);
+                vec![gx, gv]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements, producing a scalar.
+    pub fn sum_all(self) -> Var<'t> {
+        let x = self.value();
+        let shape = x.shape().clone();
+        let out = Tensor::scalar(x.sum_all());
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![Tensor::full(shape.clone(), g.item())]),
+        )
+    }
+
+    /// Mean of all elements, producing a scalar.
+    pub fn mean_all(self) -> Var<'t> {
+        let n = self.value().numel() as f32;
+        self.sum_all().scale(1.0 / n)
+    }
+
+    /// Sum over `axis`, keeping the axis with extent 1.
+    pub fn sum_axis(self, axis: usize) -> Var<'t> {
+        let x = self.value();
+        let shape = x.shape().clone();
+        let out = x.sum_axis(axis);
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| vec![g.broadcast_to(&shape)]),
+        )
+    }
+
+    /// Mean over `axis`, keeping the axis with extent 1.
+    pub fn mean_axis(self, axis: usize) -> Var<'t> {
+        let n = self.value().shape().dim(axis) as f32;
+        self.sum_axis(axis).scale(1.0 / n)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Batched matrix multiplication (see [`Tensor::matmul`]).
+    pub fn matmul(self, other: Var<'t>) -> Var<'t> {
+        let (a, b) = (self.value(), other.value());
+        let out = a.matmul(&b);
+        let (sa, sb) = (a.shape().clone(), b.shape().clone());
+        self.tape.push_op(
+            out,
+            vec![self.id, other.id],
+            Box::new(move |g| {
+                let ra = a.rank();
+                let rb = b.rank();
+                let ga = g.matmul(&b.transpose(rb - 2, rb - 1)).reduce_to(&sa);
+                let gb = a.transpose(ra - 2, ra - 1).matmul(g).reduce_to(&sb);
+                vec![ga, gb]
+            }),
+        )
+    }
+
+    /// L2-normalizes the last axis (rows for rank 2), with an epsilon for
+    /// stability. Used before cosine-similarity computations.
+    pub fn normalize_last(self, eps: f32) -> Var<'t> {
+        let rank = self.value().rank();
+        let sq = self.square().sum_axis(rank - 1);
+        let norm = sq.add_scalar(eps).sqrt();
+        self.div(norm)
+    }
+
+    // ------------------------------------------------------------------
+    // Softmax family (fused, last axis)
+    // ------------------------------------------------------------------
+
+    /// Numerically stable softmax over the last axis.
+    pub fn softmax_last(self) -> Var<'t> {
+        let out = self.value().softmax_last();
+        let y = out.clone();
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| {
+                // dx = y * (g - sum(g * y)) rowwise over the last axis.
+                let rank = y.rank();
+                let gy = g.mul(&y);
+                let s = gy.sum_axis(rank - 1);
+                vec![y.mul(&g.sub(&s.broadcast_to(g.shape())))]
+            }),
+        )
+    }
+
+    /// Log-softmax over the last axis.
+    pub fn log_softmax_last(self) -> Var<'t> {
+        let x = self.value();
+        let out = x.log_softmax_last();
+        let soft = x.softmax_last();
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| {
+                let rank = soft.rank();
+                let s = g.sum_axis(rank - 1);
+                vec![g.sub(&soft.mul(&s.broadcast_to(g.shape())))]
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Fused layers / losses
+    // ------------------------------------------------------------------
+
+    /// Fused layer normalization over the last axis:
+    /// `y = (x - mean) / sqrt(var + eps) * gamma + beta`.
+    pub fn layer_norm(self, gamma: Var<'t>, beta: Var<'t>, eps: f32) -> Var<'t> {
+        let x = self.value();
+        let gm = gamma.value();
+        let bt = beta.value();
+        let d = x.shape().dim(x.rank() - 1);
+        assert_eq!(gm.numel(), d, "layer_norm gamma size mismatch");
+        assert_eq!(bt.numel(), d, "layer_norm beta size mismatch");
+        let rows = x.numel() / d;
+        let mut out = vec![0.0; x.numel()];
+        let mut xhat = vec![0.0; x.numel()];
+        let mut inv_std = vec![0.0; rows];
+        let xs = x.as_slice();
+        let gs: Vec<f32> = gm.to_vec();
+        let bs = bt.as_slice();
+        for r in 0..rows {
+            let row = &xs[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std[r] = istd;
+            for i in 0..d {
+                let xh = (row[i] - mean) * istd;
+                xhat[r * d + i] = xh;
+                out[r * d + i] = xh * gs[i] + bs[i];
+            }
+        }
+        let out = Tensor::from_vec(out, x.shape().clone());
+        let xhat = Tensor::from_vec(xhat, x.shape().clone());
+        let gm_shape = gm.shape().clone();
+        let bt_shape = bt.shape().clone();
+        let x_shape = x.shape().clone();
+        self.tape.push_op(
+            out,
+            vec![self.id, gamma.id, beta.id],
+            Box::new(move |g| {
+                let gsl = g.as_slice();
+                let xh = xhat.as_slice();
+                let mut gx = vec![0.0; x_shape.numel()];
+                let mut ggamma = vec![0.0; d];
+                let mut gbeta = vec![0.0; d];
+                for r in 0..rows {
+                    let istd = inv_std[r];
+                    // Per-row sums for the normalization Jacobian.
+                    let mut sum_gg = 0.0; // sum(gamma * g)
+                    let mut sum_ggx = 0.0; // sum(gamma * g * xhat)
+                    for i in 0..d {
+                        let gg = gs[i] * gsl[r * d + i];
+                        sum_gg += gg;
+                        sum_ggx += gg * xh[r * d + i];
+                        ggamma[i] += gsl[r * d + i] * xh[r * d + i];
+                        gbeta[i] += gsl[r * d + i];
+                    }
+                    let inv_d = 1.0 / d as f32;
+                    for i in 0..d {
+                        let gg = gs[i] * gsl[r * d + i];
+                        gx[r * d + i] =
+                            istd * (gg - inv_d * sum_gg - xh[r * d + i] * inv_d * sum_ggx);
+                    }
+                }
+                vec![
+                    Tensor::from_vec(gx, x_shape.clone()),
+                    Tensor::from_vec(ggamma.clone(), gm_shape.clone()),
+                    Tensor::from_vec(gbeta.clone(), bt_shape.clone()),
+                ]
+            }),
+        )
+    }
+
+    /// Fused mean cross-entropy over rows of a `[n, C]` logits tensor.
+    ///
+    /// `targets[i]` is the class index for row `i`; `None` rows are ignored
+    /// (the MLM convention for unmasked positions). Returns a scalar; if no
+    /// row has a target the loss is 0 with zero gradient.
+    pub fn cross_entropy_logits(self, targets: &[Option<usize>]) -> Var<'t> {
+        let x = self.value();
+        assert_eq!(x.rank(), 2, "cross_entropy expects [n, C] logits");
+        let (n, c) = (x.shape().dim(0), x.shape().dim(1));
+        assert_eq!(targets.len(), n, "cross_entropy target count mismatch");
+        let logp = x.log_softmax_last();
+        let valid = targets.iter().flatten().count();
+        let mut loss = 0.0;
+        for (i, t) in targets.iter().enumerate() {
+            if let Some(t) = t {
+                assert!(*t < c, "target class {t} out of range");
+                loss -= logp.at(i * c + t);
+            }
+        }
+        let denom = valid.max(1) as f32;
+        let out = Tensor::scalar(loss / denom);
+        let soft = x.softmax_last();
+        let targets = targets.to_vec();
+        let shape = x.shape().clone();
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| {
+                let gv = g.item() / denom;
+                let mut gx = soft.to_vec();
+                for (i, t) in targets.iter().enumerate() {
+                    match t {
+                        Some(t) => gx[i * c + t] -= 1.0,
+                        None => gx[i * c..(i + 1) * c].fill(0.0),
+                    }
+                }
+                for v in gx.iter_mut() {
+                    *v *= gv;
+                }
+                vec![Tensor::from_vec(gx, shape.clone())]
+            }),
+        )
+    }
+
+    /// Fused mean binary cross-entropy with logits. `targets` are 0/1 floats
+    /// with the same element count as `self`.
+    pub fn bce_with_logits(self, targets: &Tensor) -> Var<'t> {
+        let x = self.value();
+        assert_eq!(x.numel(), targets.numel(), "bce target size mismatch");
+        let n = x.numel() as f32;
+        let xs = x.as_slice();
+        let ts = targets.as_slice();
+        // loss = max(x,0) - x*t + ln(1 + exp(-|x|)) (stable form)
+        let loss: f32 = xs
+            .iter()
+            .zip(ts.iter())
+            .map(|(&xv, &tv)| xv.max(0.0) - xv * tv + (1.0 + (-xv.abs()).exp()).ln())
+            .sum::<f32>()
+            / n;
+        let out = Tensor::scalar(loss);
+        let targets = targets.clone();
+        let shape = x.shape().clone();
+        self.tape.push_op(
+            out,
+            vec![self.id],
+            Box::new(move |g| {
+                let gv = g.item() / n;
+                let grad: Vec<f32> = x
+                    .as_slice()
+                    .iter()
+                    .zip(targets.as_slice().iter())
+                    .map(|(&xv, &tv)| gv * (1.0 / (1.0 + (-xv).exp()) - tv))
+                    .collect();
+                vec![Tensor::from_vec(grad, shape.clone())]
+            }),
+        )
+    }
+
+    /// Mean squared error against a constant target.
+    pub fn mse(self, target: &Tensor) -> Var<'t> {
+        let t = self.tape.constant(target.clone());
+        self.sub(t).square().mean_all()
+    }
+}
+
+impl<'t> std::ops::Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        Var::add(self, rhs)
+    }
+}
+
+impl<'t> std::ops::Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        Var::sub(self, rhs)
+    }
+}
+
+impl<'t> std::ops::Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        Var::mul(self, rhs)
+    }
+}
+
+impl<'t> std::ops::Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Var<'t> {
+        Var::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+
+    /// Finite-difference gradient check: compares the analytic gradient of
+    /// `f(x).sum()` against central differences.
+    fn gradcheck(shape: &[usize], data: Vec<f32>, f: impl Fn(crate::tape::Var<'_>) -> crate::tape::Var<'_>) {
+        let eps = 1e-3_f32;
+        let tol = 2e-2_f32;
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(data.clone(), shape.to_vec()));
+        let y = f(x).sum_all();
+        let grads = tape.backward(y);
+        let analytic = grads.get(x).expect("gradient missing").to_vec();
+        for i in 0..data.len() {
+            let mut plus = data.clone();
+            plus[i] += eps;
+            let mut minus = data.clone();
+            minus[i] -= eps;
+            let t1 = Tape::new();
+            let y1 = f(t1.leaf(Tensor::from_vec(plus, shape.to_vec()))).sum_all().value().item();
+            let t2 = Tape::new();
+            let y2 = f(t2.leaf(Tensor::from_vec(minus, shape.to_vec()))).sum_all().value().item();
+            let numeric = (y1 - y2) / (2.0 * eps);
+            let diff = (analytic[i] - numeric).abs();
+            let scale = analytic[i].abs().max(numeric.abs()).max(1.0);
+            assert!(
+                diff / scale < tol,
+                "grad mismatch at {i}: analytic {} vs numeric {}",
+                analytic[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_elementwise_chain() {
+        gradcheck(&[4], vec![0.5, -1.2, 2.0, 0.1], |x| x.square().add_scalar(1.0).sqrt());
+    }
+
+    #[test]
+    fn gradcheck_tanh_sigmoid_gelu() {
+        gradcheck(&[3], vec![0.3, -0.7, 1.5], |x| x.tanh());
+        gradcheck(&[3], vec![0.3, -0.7, 1.5], |x| x.sigmoid());
+        gradcheck(&[3], vec![0.3, -0.7, 1.5], |x| x.gelu());
+    }
+
+    #[test]
+    fn gradcheck_exp_ln() {
+        gradcheck(&[3], vec![0.5, 1.0, 2.0], |x| x.exp());
+        gradcheck(&[3], vec![0.5, 1.0, 2.0], |x| x.ln());
+    }
+
+    #[test]
+    fn gradcheck_softmax() {
+        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.0, -1.0], |x| {
+            x.softmax_last().square()
+        });
+    }
+
+    #[test]
+    fn gradcheck_log_softmax() {
+        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.0, -1.0], |x| {
+            x.log_softmax_last().square()
+        });
+    }
+
+    #[test]
+    fn gradcheck_matmul() {
+        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.2, -1.0], |x| {
+            let w = x
+                .tape
+                .constant(Tensor::from_vec(vec![0.3, -0.2, 0.8, 0.5, 0.1, -0.4], vec![3, 2]));
+            x.matmul(w)
+        });
+    }
+
+    #[test]
+    fn gradcheck_matmul_both_sides() {
+        // Gradient flows to both operands; check via a product with itself
+        // transposed.
+        gradcheck(&[2, 2], vec![0.4, -0.1, 0.7, 0.2], |x| x.matmul(x.transpose(0, 1)));
+    }
+
+    #[test]
+    fn gradcheck_broadcast_add_mul() {
+        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.2, -1.0], |x| {
+            let b = x.tape.constant(Tensor::from_vec(vec![0.5, -1.0, 2.0], vec![3]));
+            x.add(b).mul(x)
+        });
+    }
+
+    #[test]
+    fn gradcheck_div() {
+        gradcheck(&[3], vec![1.0, 2.0, 3.0], |x| {
+            let b = x.tape.constant(Tensor::from_vec(vec![2.0, 4.0, 8.0], vec![3]));
+            x.div(b)
+        });
+        // Gradient through the denominator.
+        gradcheck(&[3], vec![1.0, 2.0, 4.0], |x| {
+            let a = x.tape.constant(Tensor::from_vec(vec![3.0, 3.0, 3.0], vec![3]));
+            a.div(x)
+        });
+    }
+
+    #[test]
+    fn gradcheck_layer_norm() {
+        gradcheck(&[2, 4], vec![0.1, 0.5, -0.3, 1.0, 0.2, -1.0, 0.7, 0.4], |x| {
+            let gamma = x.tape.leaf(Tensor::from_vec(vec![1.0, 0.5, 2.0, 1.5], vec![4]));
+            let beta = x.tape.leaf(Tensor::from_vec(vec![0.0, 0.1, -0.1, 0.2], vec![4]));
+            x.layer_norm(gamma, beta, 1e-5)
+        });
+    }
+
+    #[test]
+    fn layer_norm_gamma_beta_grads() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]));
+        let gamma = tape.leaf(Tensor::ones([2]));
+        let beta = tape.leaf(Tensor::zeros([2]));
+        let y = x.layer_norm(gamma, beta, 1e-5).sum_all();
+        let grads = tape.backward(y);
+        // beta grad = sum over rows of ones = [2, 2]
+        assert_eq!(grads.get(beta).unwrap().to_vec(), vec![2.0, 2.0]);
+        assert!(grads.get(gamma).is_some());
+    }
+
+    #[test]
+    fn gradcheck_normalize_last() {
+        gradcheck(&[2, 3], vec![0.5, -1.0, 2.0, 1.0, 0.3, -0.7], |x| x.normalize_last(1e-6));
+    }
+
+    #[test]
+    fn gradcheck_reductions() {
+        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.2, -1.0], |x| x.sum_axis(0).square());
+        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.2, -1.0], |x| x.mean_axis(1).square());
+    }
+
+    #[test]
+    fn gradcheck_narrow_concat() {
+        gradcheck(&[2, 4], vec![0.1, 0.5, -0.3, 1.0, 0.2, -1.0, 0.7, 0.4], |x| {
+            let a = x.narrow(1, 0, 2);
+            let b = x.narrow(1, 2, 2);
+            crate::tape::Var::concat(&[b, a], 1).square()
+        });
+    }
+
+    #[test]
+    fn gradcheck_index_select_accumulates() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]));
+        // Select row 0 twice: its gradient should be 2x.
+        let y = x.index_select0(&[0, 0, 1]).sum_all();
+        let grads = tape.backward(y);
+        assert_eq!(grads.get(x).unwrap().to_vec(), vec![2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_vec(vec![2.0, 1.0, 0.0, 0.5, 0.5, 3.0], vec![2, 3]));
+        let loss = logits.cross_entropy_logits(&[Some(0), Some(2)]);
+        let expected = {
+            let p0 = (2.0f32).exp() / ((2.0f32).exp() + (1.0f32).exp() + 1.0);
+            let p1 = (3.0f32).exp() / ((0.5f32).exp() * 2.0 + (3.0f32).exp());
+            -(p0.ln() + p1.ln()) / 2.0
+        };
+        assert!((loss.value().item() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_ignores_none_rows() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_vec(vec![2.0, 1.0, 0.3, 0.7], vec![2, 2]));
+        let loss = logits.cross_entropy_logits(&[Some(0), None]);
+        let grads = tape.backward(loss);
+        let g = grads.get(logits).unwrap();
+        // Ignored row has exactly zero gradient.
+        assert_eq!(g.at(2), 0.0);
+        assert_eq!(g.at(3), 0.0);
+        assert!(g.at(0) != 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_all_ignored_is_zero() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], vec![1, 2]));
+        let loss = logits.cross_entropy_logits(&[None]);
+        assert_eq!(loss.value().item(), 0.0);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(logits).unwrap().to_vec(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradcheck_cross_entropy() {
+        gradcheck(&[2, 3], vec![0.2, 1.0, -0.5, 0.9, -0.2, 0.4], |x| {
+            x.cross_entropy_logits(&[Some(1), Some(0)])
+        });
+    }
+
+    #[test]
+    fn bce_with_logits_matches_manual() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.0, 2.0], vec![2]));
+        let t = Tensor::from_vec(vec![1.0, 0.0], vec![2]);
+        let loss = x.bce_with_logits(&t).value().item();
+        let expected = (-(0.5f32).ln() + -(1.0 - 1.0 / (1.0 + (-2.0f32).exp())).ln()) / 2.0;
+        assert!((loss - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradcheck_bce() {
+        gradcheck(&[4], vec![0.5, -1.0, 2.0, 0.0], |x| {
+            x.bce_with_logits(&Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], vec![4]))
+        });
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], vec![2]));
+        let y = x.dropout(0.0, &mut rng);
+        assert_eq!(y.value().to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dropout_scales_survivors() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones([1000]));
+        let y = x.dropout(0.5, &mut rng).value();
+        // Survivors are exactly 2.0; mean stays near 1.
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        let mean = y.mean_all();
+        assert!((mean - 1.0).abs() < 0.15, "dropout mean drifted: {mean}");
+    }
+
+    #[test]
+    fn operator_overloads() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], vec![2]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], vec![2]));
+        let c = (a + b) * a - b;
+        assert_eq!(c.value().to_vec(), vec![1.0, 8.0]);
+        let d = -a;
+        assert_eq!(d.value().to_vec(), vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    fn scatter_rows_replace_forward_and_grads() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![3, 2]));
+        let v = tape.leaf(Tensor::from_vec(vec![10.0, 20.0], vec![1, 2]));
+        let y = x.scatter_rows_replace(&[1], v);
+        assert_eq!(y.value().to_vec(), vec![1.0, 2.0, 10.0, 20.0, 5.0, 6.0]);
+        let loss = y.square().sum_all();
+        let grads = tape.backward(loss);
+        let gx = grads.get(x).unwrap();
+        // Replaced row gets zero gradient.
+        assert_eq!(gx.to_vec(), vec![2.0, 4.0, 0.0, 0.0, 10.0, 12.0]);
+        let gv = grads.get(v).unwrap();
+        assert_eq!(gv.to_vec(), vec![20.0, 40.0]);
+    }
+
+    #[test]
+    fn hinge_is_relu_shifted() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![-2.0, 0.5], vec![2]));
+        let y = x.hinge(1.0);
+        assert_eq!(y.value().to_vec(), vec![0.0, 1.5]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! Optimizers own their per-parameter state (moment buffers) keyed by
+//! [`ParamId`] and update a [`ParamStore`] in place from its accumulated
+//! gradients.
+
+use std::collections::HashMap;
+
+use crate::tape::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    velocity: HashMap<ParamId, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: HashMap::new() }
+    }
+
+    /// Applies one update step from the store's accumulated gradients.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        for id in store.ids().collect::<Vec<_>>() {
+            let grad = store.grad(id).clone();
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(id)
+                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+                let mut nv = v.scale(self.momentum);
+                nv.axpy(1.0, &grad);
+                *v = nv.clone();
+                nv
+            } else {
+                grad
+            };
+            store.value_mut(id).axpy(-self.lr, &update);
+        }
+    }
+}
+
+/// AdamW: Adam with decoupled weight decay (the BERT-training default).
+pub struct AdamW {
+    /// Learning rate (can be reassigned each step by a schedule).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor in the denominator.
+    pub eps: f32,
+    /// Decoupled weight-decay coefficient.
+    pub weight_decay: f32,
+    step: u64,
+    moments: HashMap<ParamId, (Tensor, Tensor)>,
+    /// Parameters excluded from weight decay (biases, norms, embeddings).
+    no_decay: Vec<ParamId>,
+}
+
+impl AdamW {
+    /// Creates an AdamW optimizer with BERT-style defaults for the betas.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        AdamW {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            step: 0,
+            moments: HashMap::new(),
+            no_decay: Vec::new(),
+        }
+    }
+
+    /// Excludes parameters from weight decay by convention: names containing
+    /// any of the given substrings (e.g. `"bias"`, `"norm"`).
+    pub fn exclude_from_decay(&mut self, store: &ParamStore, patterns: &[&str]) {
+        for id in store.ids() {
+            let name = store.name(id);
+            if patterns.iter().any(|p| name.contains(p)) {
+                self.no_decay.push(id);
+            }
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one AdamW step from the store's accumulated gradients.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for id in store.ids().collect::<Vec<_>>() {
+            let grad = store.grad(id).clone();
+            let (m, v) = self
+                .moments
+                .entry(id)
+                .or_insert_with(|| (Tensor::zeros(grad.shape().clone()), Tensor::zeros(grad.shape().clone())));
+            // m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2
+            let mut nm = m.scale(self.beta1);
+            nm.axpy(1.0 - self.beta1, &grad);
+            let mut nv = v.scale(self.beta2);
+            nv.axpy(1.0 - self.beta2, &grad.map(|x| x * x));
+            *m = nm.clone();
+            *v = nv.clone();
+
+            let decay = if self.no_decay.contains(&id) { 0.0 } else { self.weight_decay };
+            let lr = self.lr;
+            let eps = self.eps;
+            let value = store.value_mut(id);
+            {
+                let data = value.as_mut_slice();
+                let ms = nm.as_slice();
+                let vs = nv.as_slice();
+                for i in 0..data.len() {
+                    let mhat = ms[i] / bc1;
+                    let vhat = vs[i] / bc2;
+                    data[i] -= lr * (mhat / (vhat.sqrt() + eps) + decay * data[i]);
+                }
+            }
+        }
+    }
+}
+
+/// Linear warmup followed by linear decay to zero — the BERT schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearWarmup {
+    /// Peak learning rate reached at the end of warmup.
+    pub peak_lr: f32,
+    /// Number of warmup steps.
+    pub warmup_steps: u64,
+    /// Total steps (decay reaches zero here).
+    pub total_steps: u64,
+}
+
+impl LinearWarmup {
+    /// The learning rate at `step` (0-based).
+    pub fn lr_at(&self, step: u64) -> f32 {
+        if self.total_steps == 0 {
+            return self.peak_lr;
+        }
+        if step < self.warmup_steps {
+            self.peak_lr * (step + 1) as f32 / self.warmup_steps.max(1) as f32
+        } else {
+            let remain = self.total_steps.saturating_sub(step) as f32;
+            let span = self.total_steps.saturating_sub(self.warmup_steps).max(1) as f32;
+            self.peak_lr * (remain / span).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimizes (w - 3)^2 and checks convergence.
+    fn quadratic_converges(mut step_fn: impl FnMut(&mut ParamStore, ParamId)) {
+        let mut store = ParamStore::new();
+        let w = store.create("w", Tensor::from_vec(vec![0.0], [1]));
+        for _ in 0..500 {
+            store.zero_grads();
+            let tape = Tape::new();
+            let wv = tape.param(&store, w);
+            let loss = wv.add_scalar(-3.0).square().sum_all();
+            let grads = tape.backward(loss);
+            grads.accumulate_into(&tape, &mut store);
+            step_fn(&mut store, w);
+        }
+        let v = store.value(w).item();
+        assert!((v - 3.0).abs() < 1e-2, "did not converge: w = {v}");
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        quadratic_converges(|store, _| opt.step(store));
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        quadratic_converges(|store, _| opt.step(store));
+    }
+
+    #[test]
+    fn adamw_converges() {
+        let mut opt = AdamW::new(0.05, 0.0);
+        quadratic_converges(|store, _| opt.step(store));
+    }
+
+    #[test]
+    fn adamw_weight_decay_shrinks_params() {
+        let mut store = ParamStore::new();
+        let w = store.create("w", Tensor::from_vec(vec![10.0], [1]));
+        let mut opt = AdamW::new(0.1, 0.5);
+        // Zero gradient: only decay acts.
+        for _ in 0..10 {
+            store.zero_grads();
+            opt.step(&mut store);
+        }
+        assert!(store.value(w).item() < 10.0);
+    }
+
+    #[test]
+    fn adamw_no_decay_exclusion() {
+        let mut store = ParamStore::new();
+        let b = store.create("layer.bias", Tensor::from_vec(vec![10.0], [1]));
+        let mut opt = AdamW::new(0.1, 0.5);
+        opt.exclude_from_decay(&store, &["bias"]);
+        for _ in 0..10 {
+            store.zero_grads();
+            opt.step(&mut store);
+        }
+        assert_eq!(store.value(b).item(), 10.0);
+    }
+
+    #[test]
+    fn warmup_schedule_shape() {
+        let s = LinearWarmup { peak_lr: 1.0, warmup_steps: 10, total_steps: 110 };
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(60) < 1.0);
+        assert!(s.lr_at(109) < s.lr_at(60));
+        assert_eq!(s.lr_at(110), 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Shapes, strides and broadcasting rules for row-major dense tensors.
+//!
+//! All tensors in this crate are contiguous and row-major. Broadcasting
+//! follows the NumPy convention: shapes are aligned on the trailing axes,
+//! and an axis of extent 1 (or a missing leading axis) stretches to match
+//! the other operand.
+
+use std::fmt;
+
+/// The dimensions of a tensor.
+///
+/// A scalar is represented by the empty shape `[]` with one element.
+#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Shape of a scalar (zero axes, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of axis `ax`.
+    pub fn dim(&self, ax: usize) -> usize {
+        self.0[ax]
+    }
+
+    /// The axes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.rank()];
+        let mut acc = 1;
+        for ax in (0..self.rank()).rev() {
+            strides[ax] = acc;
+            acc *= self.0[ax];
+        }
+        strides
+    }
+
+    /// Broadcast two shapes together, or `None` if they are incompatible.
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut out = vec![0; rank];
+        for i in 0..rank {
+            let a = axis_from_right(&self.0, i);
+            let b = axis_from_right(&other.0, i);
+            out[rank - 1 - i] = match (a, b) {
+                (x, y) if x == y => x,
+                (1, y) => y,
+                (x, 1) => x,
+                _ => return None,
+            };
+        }
+        Some(Shape(out))
+    }
+
+    /// `true` if `self` can broadcast to exactly `target`.
+    pub fn broadcasts_to(&self, target: &Shape) -> bool {
+        self.broadcast(target).as_ref() == Some(target)
+    }
+
+    /// Splits the shape into leading batch dims and the trailing matrix dims,
+    /// for batched matmul. Panics if rank < 2.
+    pub fn split_matrix(&self) -> (&[usize], usize, usize) {
+        assert!(self.rank() >= 2, "matrix split requires rank >= 2, got {self}");
+        let r = self.rank();
+        (&self.0[..r - 2], self.0[r - 2], self.0[r - 1])
+    }
+}
+
+/// Extent of the axis `i` counted from the right, treating missing leading
+/// axes as extent 1 (the broadcast convention).
+fn axis_from_right(dims: &[usize], i: usize) -> usize {
+    if i < dims.len() {
+        dims[dims.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+/// Iterates over all multi-indices of a shape in row-major order, yielding
+/// the flat offsets of a *broadcast* operand.
+///
+/// Given the output shape and the operand's shape, precomputes the operand's
+/// effective strides (0 on broadcast axes) so each output element maps to the
+/// operand element feeding it.
+pub struct BroadcastIter {
+    out_dims: Vec<usize>,
+    eff_strides: Vec<usize>,
+    index: Vec<usize>,
+    offset: usize,
+    remaining: usize,
+}
+
+impl BroadcastIter {
+    /// Creates an iterator mapping each element of `out` (row-major order) to
+    /// the flat offset in an operand of shape `operand`.
+    ///
+    /// Panics if `operand` does not broadcast to `out`.
+    pub fn new(out: &Shape, operand: &Shape) -> Self {
+        assert!(
+            operand.broadcasts_to(out),
+            "shape {operand} does not broadcast to {out}"
+        );
+        let rank = out.rank();
+        let op_strides = operand.strides();
+        let mut eff = vec![0usize; rank];
+        for i in 0..rank {
+            let op_dim = axis_from_right(&operand.0, rank - 1 - i);
+            if op_dim != 1 {
+                eff[i] = op_strides[operand.rank() - (rank - i)];
+            }
+        }
+        BroadcastIter {
+            out_dims: out.0.clone(),
+            eff_strides: eff,
+            index: vec![0; rank],
+            offset: 0,
+            remaining: out.numel(),
+        }
+    }
+}
+
+impl Iterator for BroadcastIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let current = self.offset;
+        // Advance the multi-index (row-major little-endian from the right).
+        for ax in (0..self.out_dims.len()).rev() {
+            self.index[ax] += 1;
+            self.offset += self.eff_strides[ax];
+            if self.index[ax] < self.out_dims[ax] {
+                break;
+            }
+            self.offset -= self.eff_strides[ax] * self.out_dims[ax];
+            self.index[ax] = 0;
+        }
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BroadcastIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s: Shape = [2, 3, 4].into();
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn broadcast_equal() {
+        let a: Shape = [2, 3].into();
+        assert_eq!(a.broadcast(&a), Some(a.clone()));
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        let a: Shape = [4, 3].into();
+        let b: Shape = [3].into();
+        assert_eq!(a.broadcast(&b), Some([4, 3].into()));
+        assert!(b.broadcasts_to(&a));
+        assert!(!a.broadcasts_to(&b));
+    }
+
+    #[test]
+    fn broadcast_column() {
+        let a: Shape = [4, 1].into();
+        let b: Shape = [1, 3].into();
+        assert_eq!(a.broadcast(&b), Some([4, 3].into()));
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a: Shape = [4, 3].into();
+        let b: Shape = [2, 3].into();
+        assert_eq!(a.broadcast(&b), None);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a: Shape = [2, 2].into();
+        let s = Shape::scalar();
+        assert_eq!(a.broadcast(&s), Some(a.clone()));
+        assert!(s.broadcasts_to(&a));
+    }
+
+    #[test]
+    fn broadcast_iter_identity() {
+        let s: Shape = [2, 3].into();
+        let offsets: Vec<usize> = BroadcastIter::new(&s, &s).collect();
+        assert_eq!(offsets, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn broadcast_iter_row() {
+        let out: Shape = [2, 3].into();
+        let op: Shape = [3].into();
+        let offsets: Vec<usize> = BroadcastIter::new(&out, &op).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn broadcast_iter_column() {
+        let out: Shape = [2, 3].into();
+        let op: Shape = [2, 1].into();
+        let offsets: Vec<usize> = BroadcastIter::new(&out, &op).collect();
+        assert_eq!(offsets, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn broadcast_iter_scalar() {
+        let out: Shape = [2, 2].into();
+        let offsets: Vec<usize> = BroadcastIter::new(&out, &Shape::scalar()).collect();
+        assert_eq!(offsets, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn broadcast_iter_middle_axis() {
+        let out: Shape = [2, 2, 2].into();
+        let op: Shape = [2, 1, 2].into();
+        let offsets: Vec<usize> = BroadcastIter::new(&out, &op).collect();
+        assert_eq!(offsets, vec![0, 1, 0, 1, 2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn split_matrix() {
+        let s: Shape = [5, 4, 2, 3].into();
+        let (batch, m, n) = s.split_matrix();
+        assert_eq!(batch, &[5, 4]);
+        assert_eq!((m, n), (2, 3));
+    }
+}

@@ -1,0 +1,496 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] is an append-only arena of nodes built during a forward pass.
+//! Each differentiable op pushes one node holding its output value, the ids
+//! of its parents, and a backward closure that maps the node's output
+//! gradient to gradients for each parent. [`Tape::backward`] walks the arena
+//! in reverse, accumulating gradients.
+//!
+//! The intended training-loop shape is:
+//!
+//! ```
+//! use tele_tensor::{Tape, Tensor, ParamStore};
+//! let mut store = ParamStore::new();
+//! let w = store.create("w", Tensor::from_vec(vec![2.0], [1, 1]));
+//! // one step:
+//! let tape = Tape::new();
+//! let wv = tape.param(&store, w);
+//! let x = tape.constant(Tensor::from_vec(vec![3.0], [1, 1]));
+//! let loss = wv.matmul(x).square().sum_all();
+//! let grads = tape.backward(loss);
+//! grads.accumulate_into(&tape, &mut store);
+//! assert!((store.grad(w).item() - 36.0).abs() < 1e-4); // d/dw (3w)^2 = 18w
+//! ```
+//!
+//! Tapes are cheap to create and are meant to be rebuilt every step;
+//! persistent state (parameter values, gradients, optimizer moments) lives in
+//! [`ParamStore`] / the optimizers.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// A backward function: given the output gradient, produce one gradient per
+/// parent (aligned with the node's parent list).
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub parents: Vec<usize>,
+    pub backward: Option<BackwardFn>,
+    pub needs_grad: bool,
+}
+
+#[derive(Default)]
+pub(crate) struct TapeInner {
+    pub nodes: Vec<Node>,
+    /// Leaf nodes that view parameters, for gradient write-back.
+    pub param_leaves: Vec<(ParamId, usize)>,
+}
+
+/// The autograd arena for one forward/backward pass.
+#[derive(Default)]
+pub struct Tape {
+    pub(crate) inner: RefCell<TapeInner>,
+}
+
+/// A handle to a node on a [`Tape`]; the differentiable value type.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) id: usize,
+}
+
+impl<'t> Var<'t> {
+    /// The tape this variable lives on.
+    pub fn owner(self) -> &'t Tape {
+        self.tape
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes a leaf that participates in differentiation.
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        self.push(value, Vec::new(), None, true)
+    }
+
+    /// Pushes a non-differentiable constant (masks, labels, frozen inputs).
+    pub fn constant(&self, value: Tensor) -> Var<'_> {
+        self.push(value, Vec::new(), None, false)
+    }
+
+    /// Pushes a leaf viewing parameter `id` in `store`, recording it for
+    /// gradient write-back via [`Grads::accumulate_into`].
+    pub fn param(&self, store: &ParamStore, id: ParamId) -> Var<'_> {
+        let v = self.leaf(store.value(id).clone());
+        self.inner.borrow_mut().param_leaves.push((id, v.id));
+        v
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+        needs_grad: bool,
+    ) -> Var<'_> {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node { value, parents, backward, needs_grad });
+        Var { tape: self, id }
+    }
+
+    /// Convenience for pushing an op node: `needs_grad` is inherited from the
+    /// parents, and the backward closure is dropped when no parent needs it.
+    pub(crate) fn push_op(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: BackwardFn,
+    ) -> Var<'_> {
+        let needs_grad = {
+            let inner = self.inner.borrow();
+            parents.iter().any(|&p| inner.nodes[p].needs_grad)
+        };
+        let backward = if needs_grad { Some(backward) } else { None };
+        self.push(value, parents, backward, needs_grad)
+    }
+
+    /// The forward value of a node (cheap clone of COW storage).
+    pub fn value(&self, v: Var<'_>) -> Tensor {
+        self.inner.borrow().nodes[v.id].value.clone()
+    }
+
+    /// Runs reverse-mode differentiation from `root` (typically a scalar
+    /// loss) and returns all gradients.
+    ///
+    /// The root gradient is seeded with ones, so a non-scalar root computes
+    /// the gradient of `root.sum_all()`.
+    pub fn backward(&self, root: Var<'_>) -> Grads {
+        let inner = self.inner.borrow();
+        let n = inner.nodes.len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        grads[root.id] = Some(Tensor::ones(inner.nodes[root.id].value.shape().clone()));
+        for id in (0..=root.id).rev() {
+            let Some(grad_out) = grads[id].clone() else { continue };
+            let node = &inner.nodes[id];
+            let Some(backward) = &node.backward else { continue };
+            let parent_grads = backward(&grad_out);
+            debug_assert_eq!(parent_grads.len(), node.parents.len());
+            for (&pid, g) in node.parents.iter().zip(parent_grads) {
+                if !inner.nodes[pid].needs_grad {
+                    continue;
+                }
+                debug_assert_eq!(
+                    g.shape(),
+                    inner.nodes[pid].value.shape(),
+                    "gradient shape mismatch for node {pid}"
+                );
+                match &mut grads[pid] {
+                    Some(acc) => acc.axpy(1.0, &g),
+                    slot @ None => *slot = Some(g),
+                }
+            }
+        }
+        Grads { grads }
+    }
+}
+
+/// Gradients produced by [`Tape::backward`].
+pub struct Grads {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    /// The gradient of `v`, if any path from the root reached it.
+    pub fn get(&self, v: Var<'_>) -> Option<&Tensor> {
+        self.grads.get(v.id).and_then(|g| g.as_ref())
+    }
+
+    /// Adds the gradients of all parameter leaves on `tape` into `store`.
+    pub fn accumulate_into(&self, tape: &Tape, store: &mut ParamStore) {
+        let inner = tape.inner.borrow();
+        for &(pid, node) in &inner.param_leaves {
+            if let Some(g) = &self.grads[node] {
+                store.grad_mut(pid).axpy(1.0, g);
+            }
+        }
+    }
+}
+
+/// Identifier of a parameter in a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+struct Param {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// Persistent storage for trainable parameters and their gradients.
+///
+/// Models hold [`ParamId`]s; each training step views parameters on a fresh
+/// [`Tape`] via [`Tape::param`], and gradients flow back through
+/// [`Grads::accumulate_into`]. Optimizers then update values in place.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+    by_name: HashMap<String, ParamId>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a new parameter. Panics on duplicate names.
+    pub fn create(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "parameter {name:?} already exists"
+        );
+        let id = ParamId(self.params.len());
+        let grad = Tensor::zeros(value.shape().clone());
+        self.params.push(Param { name: name.clone(), value, grad });
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Looks a parameter up by name.
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar elements across all parameters.
+    pub fn numel(&self) -> usize {
+        self.params.iter().map(|p| p.value.numel()).sum()
+    }
+
+    /// All parameter ids, in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// The name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// The current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Overwrites a parameter's value (e.g. when loading a checkpoint).
+    pub fn set_value(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            value.shape(),
+            self.params[id.0].value.shape(),
+            "set_value shape mismatch for {}",
+            self.params[id.0].name
+        );
+        self.params[id.0].value = value;
+    }
+
+    /// Mutable access to a parameter's value (for optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// Mutable access to a parameter's gradient.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].grad
+    }
+
+    /// Zeroes every gradient (call once per optimizer step).
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.zero_();
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| {
+                let n = p.grad.norm_l2();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm does not exceed `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in &mut self.params {
+                let g = p.grad.scale(s);
+                p.grad = g;
+            }
+        }
+        norm
+    }
+
+    /// Cheap snapshot of all parameter values (COW storage: O(params)
+    /// pointer copies). Pair with [`Self::restore`] for early stopping.
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.params.iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Restores values from a [`Self::snapshot`] of the same store.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.params.len(), "snapshot size mismatch");
+        for (p, s) in self.params.iter_mut().zip(snapshot) {
+            assert_eq!(p.value.shape(), s.shape(), "snapshot shape mismatch for {}", p.name);
+            p.value = s.clone();
+        }
+    }
+
+    /// Serializes all parameters (names, shapes, data) to JSON.
+    pub fn to_json(&self) -> String {
+        let entries: Vec<SerializedParam> = self
+            .params
+            .iter()
+            .map(|p| SerializedParam {
+                name: p.name.clone(),
+                shape: p.value.shape().dims().to_vec(),
+                data: p.value.to_vec(),
+            })
+            .collect();
+        serde_json::to_string(&entries).expect("parameter serialization cannot fail")
+    }
+
+    /// Restores parameter *values* from JSON produced by [`Self::to_json`].
+    ///
+    /// Parameters are matched by name; entries missing on either side are
+    /// reported in the returned summary rather than treated as errors, so a
+    /// checkpoint of a sub-model (e.g. TeleBERT inside KTeleBERT) loads
+    /// cleanly.
+    pub fn load_json(&mut self, json: &str) -> Result<LoadSummary, serde_json::Error> {
+        let entries: Vec<SerializedParam> = serde_json::from_str(json)?;
+        let mut loaded = 0;
+        let mut skipped = Vec::new();
+        for e in entries {
+            match self.by_name.get(&e.name).copied() {
+                Some(id) if self.params[id.0].value.shape().dims() == e.shape.as_slice() => {
+                    self.params[id.0].value = Tensor::from_vec(e.data, Shape(e.shape));
+                    loaded += 1;
+                }
+                _ => skipped.push(e.name),
+            }
+        }
+        Ok(LoadSummary { loaded, skipped })
+    }
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SerializedParam {
+    name: String,
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+/// Outcome of [`ParamStore::load_json`].
+#[derive(Debug)]
+pub struct LoadSummary {
+    /// Parameters whose values were restored.
+    pub loaded: usize,
+    /// Checkpoint entries with no matching parameter (by name and shape).
+    pub skipped: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_through_simple_chain() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![2.0, 3.0], [2]));
+        let y = x.square().sum_all();
+        let grads = tape.backward(y);
+        let gx = grads.get(x).unwrap();
+        assert_eq!(gx.to_vec(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![2.0], [1]));
+        let c = tape.constant(Tensor::from_vec(vec![5.0], [1]));
+        let y = x.mul(c).sum_all();
+        let grads = tape.backward(y);
+        assert!(grads.get(c).is_none());
+        assert_eq!(grads.get(x).unwrap().to_vec(), vec![5.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_fanout() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![3.0], [1]));
+        // y = x*x + x => dy/dx = 2x + 1 = 7
+        let y = x.mul(x).add(x).sum_all();
+        let grads = tape.backward(y);
+        assert_eq!(grads.get(x).unwrap().to_vec(), vec![7.0]);
+    }
+
+    #[test]
+    fn param_store_roundtrip_json() {
+        let mut store = ParamStore::new();
+        let a = store.create("layer.w", Tensor::from_vec(vec![1.0, 2.0], [2]));
+        let json = store.to_json();
+        let mut other = ParamStore::new();
+        let b = other.create("layer.w", Tensor::zeros([2]));
+        other.create("layer.extra", Tensor::zeros([1]));
+        let summary = other.load_json(&json).unwrap();
+        assert_eq!(summary.loaded, 1);
+        assert!(summary.skipped.is_empty());
+        assert_eq!(other.value(b).to_vec(), store.value(a).to_vec());
+    }
+
+    #[test]
+    fn load_json_skips_shape_mismatch() {
+        let mut store = ParamStore::new();
+        store.create("w", Tensor::zeros([2]));
+        let json = store.to_json();
+        let mut other = ParamStore::new();
+        other.create("w", Tensor::zeros([3]));
+        let summary = other.load_json(&json).unwrap();
+        assert_eq!(summary.loaded, 0);
+        assert_eq!(summary.skipped, vec!["w".to_string()]);
+    }
+
+    #[test]
+    fn param_grad_writeback() {
+        let mut store = ParamStore::new();
+        let w = store.create("w", Tensor::from_vec(vec![2.0], [1]));
+        let tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let loss = wv.square().sum_all();
+        let grads = tape.backward(loss);
+        grads.accumulate_into(&tape, &mut store);
+        assert_eq!(store.grad(w).to_vec(), vec![4.0]);
+        // Second accumulation adds.
+        grads.accumulate_into(&tape, &mut store);
+        assert_eq!(store.grad(w).to_vec(), vec![8.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(w).to_vec(), vec![0.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let mut store = ParamStore::new();
+        let w = store.create("w", Tensor::zeros([2]));
+        *store.grad_mut(w) = Tensor::from_vec(vec![3.0, 4.0], [2]);
+        let pre = store.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((store.grad(w).norm_l2() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_param_name_panics() {
+        let mut store = ParamStore::new();
+        store.create("w", Tensor::zeros([1]));
+        store.create("w", Tensor::zeros([1]));
+    }
+}

@@ -1,0 +1,779 @@
+//! Dense row-major `f32` tensor with copy-on-write storage.
+//!
+//! `Tensor` is the *raw* (non-differentiable) value type. Autograd lives in
+//! [`crate::tape`]; its `Var` handles wrap `Tensor` values. Storage is an
+//! `Arc<Vec<f32>>`, so cloning a tensor is O(1) and mutation copies lazily.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use rayon::prelude::*;
+
+use crate::shape::{BroadcastIter, Shape};
+
+/// Minimum number of output elements before matmul parallelizes with rayon.
+const PAR_MATMUL_THRESHOLD: usize = 64 * 64;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    data: Arc<Vec<f32>>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Builds a tensor from raw data and a shape. Panics if sizes mismatch.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { data: Arc::new(data), shape }
+    }
+
+    /// A scalar tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(vec![v], Shape::scalar())
+    }
+
+    /// All zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: Arc::new(vec![0.0; shape.numel()]), shape }
+    }
+
+    /// All ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Every element equal to `v`.
+    pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
+        let shape = shape.into();
+        Tensor { data: Arc::new(vec![v; shape.numel()]), shape }
+    }
+
+    /// I.i.d. uniform samples from `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { data: Arc::new(data), shape }
+    }
+
+    /// I.i.d. normal samples with the given mean and standard deviation.
+    pub fn rand_normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Self {
+        use rand_distr::{Distribution, Normal};
+        let shape = shape.into();
+        let dist = Normal::new(mean, std).expect("std must be finite and positive");
+        let data = (0..shape.numel()).map(|_| dist.sample(rng)).collect();
+        Tensor { data: Arc::new(data), shape }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor::from_vec(data, [n, n])
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// The underlying data as a flat slice (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data; copies if the storage is shared.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        let v: &mut Vec<f32> = Arc::make_mut(&mut self.data);
+        v
+    }
+
+    /// Extracts the single element of a scalar (or one-element) tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires exactly one element, shape is {}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at a flat offset.
+    pub fn at(&self, flat: usize) -> f32 {
+        self.data[flat]
+    }
+
+    /// Returns a copy of the data as a `Vec`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data.as_ref().clone()
+    }
+
+    /// Row `i` of a rank-2 tensor, as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.rank(), 2, "row() requires rank 2, shape is {}", self.shape);
+        let n = self.shape.dim(1);
+        &self.data[i * n..(i + 1) * n]
+    }
+
+    /// True if all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation (always cheap or a plain copy)
+    // ------------------------------------------------------------------
+
+    /// Reinterprets the data under a new shape with the same element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "cannot reshape {} to {shape}",
+            self.shape
+        );
+        Tensor { data: Arc::clone(&self.data), shape }
+    }
+
+    /// Swaps two axes (copies into a fresh contiguous tensor).
+    pub fn transpose(&self, ax0: usize, ax1: usize) -> Tensor {
+        assert!(ax0 < self.rank() && ax1 < self.rank(), "transpose axes out of range");
+        if ax0 == ax1 {
+            return self.clone();
+        }
+        let mut out_dims = self.shape.0.clone();
+        out_dims.swap(ax0, ax1);
+        let out_shape = Shape(out_dims);
+        let in_strides = self.shape.strides();
+        let mut perm_strides = in_strides.clone();
+        perm_strides.swap(ax0, ax1);
+        let mut out = vec![0.0; self.numel()];
+        let out_dims = &out_shape.0;
+        // Walk output indices in row-major order, computing the source offset
+        // with the permuted strides.
+        let rank = out_dims.len();
+        let mut idx = vec![0usize; rank];
+        let mut src = 0usize;
+        for slot in out.iter_mut() {
+            *slot = self.data[src];
+            for ax in (0..rank).rev() {
+                idx[ax] += 1;
+                src += perm_strides[ax];
+                if idx[ax] < out_dims[ax] {
+                    break;
+                }
+                src -= perm_strides[ax] * out_dims[ax];
+                idx[ax] = 0;
+            }
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+
+    /// Concatenates tensors along `axis`. All other axes must agree.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let rank = tensors[0].rank();
+        assert!(axis < rank, "concat axis out of range");
+        let mut out_dims = tensors[0].shape.0.clone();
+        let mut total = 0;
+        for t in tensors {
+            assert_eq!(t.rank(), rank, "concat rank mismatch");
+            for ax in 0..rank {
+                if ax != axis {
+                    assert_eq!(t.shape.dim(ax), out_dims[ax], "concat dim mismatch on axis {ax}");
+                }
+            }
+            total += t.shape.dim(axis);
+        }
+        out_dims[axis] = total;
+        let out_shape = Shape(out_dims);
+        let outer: usize = out_shape.0[..axis].iter().product();
+        let inner: usize = out_shape.0[axis + 1..].iter().product();
+        let mut out = Vec::with_capacity(out_shape.numel());
+        for o in 0..outer {
+            for t in tensors {
+                let block = t.shape.dim(axis) * inner;
+                let start = o * block;
+                out.extend_from_slice(&t.data[start..start + block]);
+            }
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+
+    /// Selects `len` consecutive slices `[start, start+len)` along `axis`.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        assert!(axis < self.rank(), "narrow axis out of range");
+        assert!(start + len <= self.shape.dim(axis), "narrow range out of bounds");
+        let mut out_dims = self.shape.0.clone();
+        out_dims[axis] = len;
+        let out_shape = Shape(out_dims);
+        let outer: usize = self.shape.0[..axis].iter().product();
+        let inner: usize = self.shape.0[axis + 1..].iter().product();
+        let src_block = self.shape.dim(axis) * inner;
+        let mut out = Vec::with_capacity(out_shape.numel());
+        for o in 0..outer {
+            let base = o * src_block + start * inner;
+            out.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+
+    /// Gathers rows along axis 0: `out[i] = self[ids[i]]`.
+    pub fn index_select0(&self, ids: &[usize]) -> Tensor {
+        assert!(self.rank() >= 1, "index_select0 requires rank >= 1");
+        let row: usize = self.shape.0[1..].iter().product();
+        let mut out = Vec::with_capacity(ids.len() * row);
+        for &i in ids {
+            assert!(i < self.shape.dim(0), "index {i} out of bounds for axis 0 of {}", self.shape);
+            out.extend_from_slice(&self.data[i * row..(i + 1) * row]);
+        }
+        let mut dims = vec![ids.len()];
+        dims.extend_from_slice(&self.shape.0[1..]);
+        Tensor::from_vec(out, dims)
+    }
+
+    /// Broadcasts (materializes) this tensor to `target`.
+    pub fn broadcast_to(&self, target: &Shape) -> Tensor {
+        if &self.shape == target {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity(target.numel());
+        for off in BroadcastIter::new(target, &self.shape) {
+            out.push(self.data[off]);
+        }
+        Tensor::from_vec(out, target.clone())
+    }
+
+    /// Sums this tensor down to `target` (the adjoint of `broadcast_to`).
+    pub fn reduce_to(&self, target: &Shape) -> Tensor {
+        if &self.shape == target {
+            return self.clone();
+        }
+        assert!(
+            target.broadcasts_to(&self.shape),
+            "cannot reduce {} to {target}: target does not broadcast to source",
+            self.shape
+        );
+        let mut out = vec![0.0; target.numel()];
+        for (src, dst) in BroadcastIter::new(&self.shape, target).enumerate() {
+            out[dst] += self.data[src];
+        }
+        Tensor::from_vec(out, target.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise ops
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data.iter().map(|&v| f(v)).collect();
+        Tensor { data: Arc::new(data), shape: self.shape.clone() }
+    }
+
+    /// Combines two tensors elementwise with broadcasting.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape == other.shape {
+            let data = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor { data: Arc::new(data), shape: self.shape.clone() };
+        }
+        let out_shape = self
+            .shape
+            .broadcast(&other.shape)
+            .unwrap_or_else(|| panic!("shapes {} and {} do not broadcast", self.shape, other.shape));
+        let mut out = Vec::with_capacity(out_shape.numel());
+        let it_a = BroadcastIter::new(&out_shape, &self.shape);
+        let it_b = BroadcastIter::new(&out_shape, &other.shape);
+        for (oa, ob) in it_a.zip(it_b) {
+            out.push(f(self.data[oa], other.data[ob]));
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// In-place `self += other * s` for same-shape tensors (axpy).
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        let dst = self.as_mut_slice();
+        for (d, &o) in dst.iter_mut().zip(other.data.iter()) {
+            *d += s * o;
+        }
+    }
+
+    /// Fills the tensor with zeros in place.
+    pub fn zero_(&mut self) {
+        self.as_mut_slice().fill(0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean_all(&self) -> f32 {
+        self.sum_all() / self.numel() as f32
+    }
+
+    /// Sum over `axis` with `keepdim` semantics (the axis becomes extent 1).
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        assert!(axis < self.rank(), "sum axis out of range");
+        let mut out_dims = self.shape.0.clone();
+        out_dims[axis] = 1;
+        let out_shape = Shape(out_dims);
+        let outer: usize = self.shape.0[..axis].iter().product();
+        let extent = self.shape.dim(axis);
+        let inner: usize = self.shape.0[axis + 1..].iter().product();
+        let mut out = vec![0.0; out_shape.numel()];
+        for o in 0..outer {
+            for k in 0..extent {
+                let base = (o * extent + k) * inner;
+                let dst = o * inner;
+                for i in 0..inner {
+                    out[dst + i] += self.data[base + i];
+                }
+            }
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+
+    /// Mean over `axis` with `keepdim` semantics.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let n = self.shape.dim(axis) as f32;
+        self.sum_axis(axis).scale(1.0 / n)
+    }
+
+    /// Maximum element value.
+    pub fn max_all(&self) -> f32 {
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element in each row of a rank-2 tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows requires rank 2");
+        let n = self.shape.dim(1);
+        (0..self.shape.dim(0))
+            .map(|r| {
+                let row = &self.data[r * n..(r + 1) * n];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in argmax"))
+                    .map(|(i, _)| i)
+                    .expect("empty row")
+            })
+            .collect()
+    }
+
+    /// Euclidean (L2) norm of the whole tensor.
+    pub fn norm_l2(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Frobenius inner product of two same-shape tensors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "dot shape mismatch");
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Softmax (last axis)
+    // ------------------------------------------------------------------
+
+    /// Numerically stable softmax over the last axis.
+    pub fn softmax_last(&self) -> Tensor {
+        assert!(self.rank() >= 1, "softmax requires rank >= 1");
+        let n = self.shape.dim(self.rank() - 1);
+        let rows = self.numel() / n;
+        let mut out = vec![0.0; self.numel()];
+        for r in 0..rows {
+            let src = &self.data[r * n..(r + 1) * n];
+            let dst = &mut out[r * n..(r + 1) * n];
+            softmax_row(src, dst);
+        }
+        Tensor::from_vec(out, self.shape.clone())
+    }
+
+    /// Log-softmax over the last axis.
+    pub fn log_softmax_last(&self) -> Tensor {
+        let n = self.shape.dim(self.rank() - 1);
+        let rows = self.numel() / n;
+        let mut out = vec![0.0; self.numel()];
+        for r in 0..rows {
+            let src = &self.data[r * n..(r + 1) * n];
+            let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let logsum = src.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for (d, &s) in out[r * n..(r + 1) * n].iter_mut().zip(src.iter()) {
+                *d = s - logsum;
+            }
+        }
+        Tensor::from_vec(out, self.shape.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix multiplication
+    // ------------------------------------------------------------------
+
+    /// Batched matrix multiplication with broadcasting over leading axes.
+    ///
+    /// `[..., m, k] x [..., k, n] -> [..., m, n]`; rank-2 inputs are the plain
+    /// matrix product. Rank-1 inputs are not supported — reshape first.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (a_batch, m, k) = self.shape.split_matrix();
+        let (b_batch, k2, n) = other.shape.split_matrix();
+        assert_eq!(k, k2, "matmul inner dims mismatch: {} vs {}", self.shape, other.shape);
+        let batch_shape = Shape(a_batch.to_vec())
+            .broadcast(&Shape(b_batch.to_vec()))
+            .unwrap_or_else(|| {
+                panic!("matmul batch dims do not broadcast: {} vs {}", self.shape, other.shape)
+            });
+        let batches = batch_shape.numel();
+        let mut out_dims = batch_shape.0.clone();
+        out_dims.push(m);
+        out_dims.push(n);
+        let out_shape = Shape(out_dims);
+
+        // Flat offsets for each batch of the two operands.
+        let a_mat = m * k;
+        let b_mat = k * n;
+        let a_offsets: Vec<usize> = if a_batch.is_empty() {
+            vec![0; batches]
+        } else {
+            BroadcastIter::new(&batch_shape, &Shape(a_batch.to_vec()))
+                .map(|o| o * a_mat)
+                .collect()
+        };
+        let b_offsets: Vec<usize> = if b_batch.is_empty() {
+            vec![0; batches]
+        } else {
+            BroadcastIter::new(&batch_shape, &Shape(b_batch.to_vec()))
+                .map(|o| o * b_mat)
+                .collect()
+        };
+
+        let mut out = vec![0.0; out_shape.numel()];
+        let a = &self.data;
+        let b = &other.data;
+        let work = batches * m * n;
+        if work >= PAR_MATMUL_THRESHOLD {
+            out.par_chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
+                matmul_kernel(&a[a_offsets[bi]..a_offsets[bi] + a_mat], &b[b_offsets[bi]..b_offsets[bi] + b_mat], chunk, m, k, n);
+            });
+        } else {
+            for bi in 0..batches {
+                matmul_kernel(
+                    &a[a_offsets[bi]..a_offsets[bi] + a_mat],
+                    &b[b_offsets[bi]..b_offsets[bi] + b_mat],
+                    &mut out[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+}
+
+/// `c[m,n] = a[m,k] * b[k,n]`, accumulating into a zeroed `c`. The k-inner
+/// loop is ordered (i, l, j) so the innermost loop is a contiguous saxpy,
+/// which autovectorizes well.
+fn matmul_kernel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m >= 8 && m * n >= PAR_MATMUL_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+            for l in 0..k {
+                let av = a[i * k + l];
+                if av != 0.0 {
+                    let brow = &b[l * n..(l + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        });
+    } else {
+        for i in 0..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for l in 0..k {
+                let av = a[i * k + l];
+                if av != 0.0 {
+                    let brow = &b[l * n..(l + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writes the stable softmax of `src` into `dst`.
+pub(crate) fn softmax_row(src: &[f32], dst: &mut [f32]) {
+    let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        let e = (s - max).exp();
+        *d = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for d in dst.iter_mut() {
+        *d *= inv;
+    }
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).cloned().collect();
+        write!(f, "Tensor{} {:?}{}", self.shape, preview, if self.numel() > 8 { "…" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), [rows, cols])
+    }
+
+    #[test]
+    fn add_broadcast_row() {
+        let a = t2(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(vec![10., 20., 30.], [3]);
+        let c = a.add(&b);
+        assert_eq!(c.to_vec(), vec![11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn reduce_to_row() {
+        let a = t2(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let r = a.reduce_to(&[3].into());
+        assert_eq!(r.to_vec(), vec![5., 7., 9.]);
+    }
+
+    #[test]
+    fn reduce_to_scalar() {
+        let a = t2(2, 2, &[1., 2., 3., 4.]);
+        let r = a.reduce_to(&Shape::scalar());
+        assert_eq!(r.item(), 10.0);
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let a = t2(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t2(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.to_vec(), vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_batched() {
+        // Two independent 2x2 products.
+        let a = Tensor::from_vec(vec![1., 0., 0., 1., 2., 0., 0., 2.], [2, 2, 2]);
+        let b = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6., 7., 8.], [2, 2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().dims(), &[2, 2, 2]);
+        assert_eq!(c.to_vec(), vec![1., 2., 3., 4., 10., 12., 14., 16.]);
+    }
+
+    #[test]
+    fn matmul_broadcast_batch() {
+        // [2,2,2] x [2,2] broadcasts the rhs across the batch.
+        let a = Tensor::from_vec(vec![1., 0., 0., 1., 2., 0., 0., 2.], [2, 2, 2]);
+        let b = t2(2, 2, &[1., 2., 3., 4.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![1., 2., 3., 4., 2., 4., 6., 8.]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = t2(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose(0, 1);
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.to_vec(), vec![1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn transpose_inner_axes_4d() {
+        // [1,2,2,1] swap axes 1,2.
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], [1, 2, 2, 1]);
+        let t = a.transpose(1, 2);
+        assert_eq!(t.to_vec(), vec![1., 3., 2., 4.]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = rand::rngs::mock::StepRng::new(1, 7);
+        let a = Tensor::rand_uniform([3, 4, 5], -1.0, 1.0, &mut rng);
+        let back = a.transpose(0, 2).transpose(0, 2);
+        assert_eq!(a.to_vec(), back.to_vec());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t2(2, 3, &[1., 2., 3., -1., 0., 1.]);
+        let s = a.softmax_last();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let a = t2(1, 3, &[1000., 1000., 1000.]);
+        let s = a.softmax_last();
+        assert!(s.all_finite());
+        assert!((s.at(0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let a = t2(1, 4, &[0.5, -1.0, 2.0, 0.0]);
+        let s = a.softmax_last();
+        let ls = a.log_softmax_last();
+        for i in 0..4 {
+            assert!((ls.at(i).exp() - s.at(i)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sum_axis_middle() {
+        let a = Tensor::from_vec((1..=8).map(|v| v as f32).collect(), [2, 2, 2]);
+        let s = a.sum_axis(1);
+        assert_eq!(s.shape().dims(), &[2, 1, 2]);
+        assert_eq!(s.to_vec(), vec![4., 6., 12., 14.]);
+    }
+
+    #[test]
+    fn concat_axis1() {
+        let a = t2(2, 2, &[1., 2., 3., 4.]);
+        let b = t2(2, 1, &[9., 10.]);
+        let c = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c.shape().dims(), &[2, 3]);
+        assert_eq!(c.to_vec(), vec![1., 2., 9., 3., 4., 10.]);
+    }
+
+    #[test]
+    fn narrow_axis0() {
+        let a = t2(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let n = a.narrow(0, 1, 2);
+        assert_eq!(n.to_vec(), vec![3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn narrow_axis1() {
+        let a = t2(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let n = a.narrow(1, 1, 1);
+        assert_eq!(n.shape().dims(), &[2, 1]);
+        assert_eq!(n.to_vec(), vec![2., 5.]);
+    }
+
+    #[test]
+    fn index_select_rows() {
+        let a = t2(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let g = a.index_select0(&[2, 0, 2]);
+        assert_eq!(g.to_vec(), vec![5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn eye_matmul_is_identity() {
+        let a = t2(3, 3, &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let a = t2(2, 3, &[0.1, 0.9, 0.2, 5.0, 1.0, 2.0]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn clone_is_cheap_and_cow() {
+        let a = Tensor::zeros([4]);
+        let mut b = a.clone();
+        b.as_mut_slice()[0] = 1.0;
+        assert_eq!(a.at(0), 0.0);
+        assert_eq!(b.at(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_size_mismatch_panics() {
+        Tensor::from_vec(vec![1.0, 2.0], [3]);
+    }
+
+    #[test]
+    fn broadcast_to_column() {
+        let a = Tensor::from_vec(vec![1., 2.], [2, 1]);
+        let b = a.broadcast_to(&[2, 3].into());
+        assert_eq!(b.to_vec(), vec![1., 1., 1., 2., 2., 2.]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the tensor substrate: algebraic identities,
+//! broadcast/reduce adjointness, and autograd invariants over random
+//! shapes and values.
+
+use proptest::prelude::*;
+use tele_tensor::{Shape, Tape, Tensor};
+
+fn small_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn broadcast_is_commutative(a in proptest::collection::vec(1usize..5, 0..4),
+                                b in proptest::collection::vec(1usize..5, 0..4)) {
+        let sa = Shape::from(a);
+        let sb = Shape::from(b);
+        prop_assert_eq!(sa.broadcast(&sb), sb.broadcast(&sa));
+    }
+
+    #[test]
+    fn reduce_is_adjoint_of_broadcast(rows in 1usize..6, cols in 1usize..6, vals in small_vals(6)) {
+        // <broadcast(x), y> == <x, reduce(y)> for x: [cols], y: [rows, cols].
+        let x = Tensor::from_vec(vals[..cols.min(vals.len())].to_vec().into_iter().chain(std::iter::repeat(0.5)).take(cols).collect(), [cols]);
+        let mut ydata = Vec::with_capacity(rows * cols);
+        for i in 0..rows * cols {
+            ydata.push(((i as f32) * 0.7).sin());
+        }
+        let y = Tensor::from_vec(ydata, [rows, cols]);
+        let lhs = x.broadcast_to(y.shape()).dot(&y);
+        let rhs = x.dot(&y.reduce_to(x.shape()));
+        prop_assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn matmul_identity(n in 1usize..8, vals in small_vals(49)) {
+        let data: Vec<f32> = vals.into_iter().chain(std::iter::repeat(0.0)).take(n * n).collect();
+        let a = Tensor::from_vec(data, [n, n]);
+        let i = Tensor::eye(n);
+        let left = i.matmul(&a);
+        let right = a.matmul(&i);
+        for k in 0..n * n {
+            prop_assert!((left.at(k) - a.at(k)).abs() < 1e-5);
+            prop_assert!((right.at(k) - a.at(k)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(vals in small_vals(12)) {
+        let a = Tensor::from_vec(vals[..6].to_vec(), [2, 3]);
+        let b = Tensor::from_vec(vals[6..12].to_vec(), [2, 3]);
+        let w = Tensor::from_vec((0..6).map(|i| (i as f32 * 0.3).cos()).collect(), [3, 2]);
+        let lhs = a.add(&b).matmul(&w);
+        let rhs = a.matmul(&w).add(&b.matmul(&w));
+        for k in 0..4 {
+            prop_assert!((lhs.at(k) - rhs.at(k)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..6, vals in small_vals(30)) {
+        let data: Vec<f32> = vals.into_iter().chain(std::iter::repeat(0.1)).take(rows * cols).collect();
+        let s = Tensor::from_vec(data, [rows, cols]).softmax_last();
+        for r in 0..rows {
+            let sum: f32 = (0..cols).map(|c| s.at(r * cols + c)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            for c in 0..cols {
+                prop_assert!(s.at(r * cols + c) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(r in 1usize..5, c in 1usize..5, vals in small_vals(25)) {
+        let data: Vec<f32> = vals.into_iter().chain(std::iter::repeat(0.0)).take(r * c).collect();
+        let a = Tensor::from_vec(data.clone(), [r, c]);
+        let back = a.transpose(0, 1).transpose(0, 1);
+        prop_assert_eq!(back.to_vec(), data);
+    }
+
+    #[test]
+    fn autograd_linearity(vals in small_vals(4), s in -2.0f32..2.0) {
+        // grad of (s * x).sum() is s everywhere.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vals.clone(), [4]));
+        let y = x.scale(s).sum_all();
+        let grads = tape.backward(y);
+        for &g in grads.get(x).unwrap().as_slice() {
+            prop_assert!((g - s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn autograd_chain_rule_square(vals in small_vals(4)) {
+        // d/dx sum(x^2) = 2x.
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vals.clone(), [4]));
+        let y = x.square().sum_all();
+        let grads = tape.backward(y);
+        let g = grads.get(x).unwrap();
+        for (gv, xv) in g.as_slice().iter().zip(&vals) {
+            prop_assert!((gv - 2.0 * xv).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_statistics(cols in 2usize..8, vals in small_vals(8)) {
+        let data: Vec<f32> = vals.into_iter().chain((0..8).map(|i| i as f32 * 0.1)).take(cols).collect();
+        // Skip degenerate constant rows (variance 0 handled by eps, mean still 0).
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(data, [1, cols]));
+        let gamma = tape.constant(Tensor::ones([cols]));
+        let beta = tape.constant(Tensor::zeros([cols]));
+        let y = x.layer_norm(gamma, beta, 1e-5).value();
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / cols as f32;
+        prop_assert!(mean.abs() < 1e-4, "layer norm mean {mean}");
+    }
+
+    #[test]
+    fn index_select_scatter_roundtrip(rows in 2usize..6, vals in small_vals(12)) {
+        // Replacing rows with themselves is the identity, in value and grad.
+        let data: Vec<f32> = vals.into_iter().chain(std::iter::repeat(0.2)).take(rows * 2).collect();
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(data.clone(), [rows, 2]));
+        let picked = x.index_select0(&[0]);
+        let y = x.scatter_rows_replace(&[0], picked);
+        prop_assert_eq!(y.value().to_vec(), data);
+    }
+}

@@ -1,0 +1,234 @@
+//! Byte-pair encoding: merge learning and greedy application.
+//!
+//! Follows Sennrich et al. (the algorithm the paper uses for tele special
+//! token construction, Sec. IV-A3): starting from characters plus an
+//! end-of-word marker, repeatedly merge the most frequent adjacent symbol
+//! pair. Ties break lexicographically so learning is deterministic.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// End-of-word marker appended to the last character of every word.
+pub const EOW: &str = "</w>";
+
+/// A learned BPE model: an ordered list of merges.
+///
+/// Only the merge list is serialized; the rank index is rebuilt on load
+/// (JSON cannot represent tuple-keyed maps).
+#[derive(Clone, Serialize, Deserialize)]
+#[serde(from = "BpeSerde", into = "BpeSerde")]
+pub struct Bpe {
+    merges: Vec<(String, String)>,
+    ranks: HashMap<(String, String), usize>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BpeSerde {
+    merges: Vec<(String, String)>,
+}
+
+impl From<BpeSerde> for Bpe {
+    fn from(s: BpeSerde) -> Self {
+        let ranks = s
+            .merges
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        Bpe { merges: s.merges, ranks }
+    }
+}
+
+impl From<Bpe> for BpeSerde {
+    fn from(b: Bpe) -> Self {
+        BpeSerde { merges: b.merges }
+    }
+}
+
+impl Bpe {
+    /// Learns `num_merges` merges from a word-frequency table.
+    pub fn learn(word_freqs: &HashMap<String, usize>, num_merges: usize) -> Self {
+        // Each word as its current symbol sequence.
+        let mut words: Vec<(Vec<String>, usize)> = word_freqs
+            .iter()
+            .map(|(w, &f)| (word_symbols(w), f))
+            .collect();
+        // Sort for determinism (HashMap iteration order is random).
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut merges = Vec::with_capacity(num_merges);
+        for _ in 0..num_merges {
+            let mut pair_freqs: HashMap<(&str, &str), usize> = HashMap::new();
+            for (syms, f) in &words {
+                for w in syms.windows(2) {
+                    *pair_freqs.entry((w[0].as_str(), w[1].as_str())).or_default() += f;
+                }
+            }
+            let Some(best) = pair_freqs
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                .filter(|&(_, f)| f >= 2)
+            else {
+                break;
+            };
+            let pair = (best.0 .0.to_string(), best.0 .1.to_string());
+            for (syms, _) in words.iter_mut() {
+                merge_in_place(syms, &pair);
+            }
+            merges.push(pair);
+        }
+        let ranks = merges
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        Bpe { merges, ranks }
+    }
+
+    /// Number of learned merges.
+    pub fn num_merges(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Splits one word into BPE symbols by applying merges in rank order.
+    pub fn segment(&self, word: &str) -> Vec<String> {
+        let mut syms = word_symbols(word);
+        loop {
+            // Find the lowest-rank applicable merge.
+            let mut best: Option<(usize, usize)> = None; // (rank, position)
+            for (i, w) in syms.windows(2).enumerate() {
+                if let Some(&r) = self.ranks.get(&(w[0].clone(), w[1].clone())) {
+                    if best.map_or(true, |(br, _)| r < br) {
+                        best = Some((r, i));
+                    }
+                }
+            }
+            match best {
+                Some((rank, _)) => {
+                    merge_in_place(&mut syms, &self.merges[rank]);
+                }
+                None => break,
+            }
+        }
+        syms
+    }
+
+    /// All symbols the model can produce from the training alphabet plus
+    /// merges (used to seed the vocabulary).
+    pub fn symbol_inventory(&self, word_freqs: &HashMap<String, usize>) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for w in word_freqs.keys() {
+            for s in self.segment(w) {
+                seen.insert(s);
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+/// Splits a word into characters with the end-of-word marker attached to the
+/// final character.
+fn word_symbols(word: &str) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    let n = chars.len();
+    chars
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == n - 1 {
+                format!("{c}{EOW}")
+            } else {
+                c.to_string()
+            }
+        })
+        .collect()
+}
+
+/// Replaces every adjacent occurrence of `pair` with its concatenation.
+fn merge_in_place(syms: &mut Vec<String>, pair: &(String, String)) {
+    let mut i = 0;
+    while i + 1 < syms.len() {
+        if syms[i] == pair.0 && syms[i + 1] == pair.1 {
+            let merged = format!("{}{}", syms[i], syms[i + 1]);
+            syms[i] = merged;
+            syms.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freqs(pairs: &[(&str, usize)]) -> HashMap<String, usize> {
+        pairs.iter().map(|&(w, f)| (w.to_string(), f)).collect()
+    }
+
+    #[test]
+    fn frequent_word_becomes_single_symbol() {
+        let f = freqs(&[("alarm", 100), ("alert", 3)]);
+        let bpe = Bpe::learn(&f, 50);
+        let segs = bpe.segment("alarm");
+        assert_eq!(segs, vec![format!("alarm{EOW}")]);
+    }
+
+    #[test]
+    fn rare_word_stays_segmented() {
+        let f = freqs(&[("alarm", 100)]);
+        let bpe = Bpe::learn(&f, 10);
+        let segs = bpe.segment("zzz");
+        assert!(segs.len() > 1 || segs[0] != format!("zzz{EOW}"));
+    }
+
+    #[test]
+    fn shared_prefix_learned() {
+        // "net" appears in both words and should merge early.
+        let f = freqs(&[("network", 50), ("netcore", 50)]);
+        let bpe = Bpe::learn(&f, 3);
+        let segs = bpe.segment("netplan");
+        // First symbol should contain the shared prefix fragment.
+        assert!(segs[0].len() >= 2, "expected a learned multi-char prefix, got {segs:?}");
+    }
+
+    #[test]
+    fn learning_is_deterministic() {
+        let f = freqs(&[("smf", 10), ("amf", 10), ("upf", 10), ("session", 7)]);
+        let a = Bpe::learn(&f, 20);
+        let b = Bpe::learn(&f, 20);
+        assert_eq!(a.merges, b.merges);
+    }
+
+    #[test]
+    fn segment_roundtrips_surface() {
+        let f = freqs(&[("registration", 40), ("request", 30)]);
+        let bpe = Bpe::learn(&f, 30);
+        for w in ["registration", "request", "regret"] {
+            let joined: String = bpe.segment(w).concat();
+            assert_eq!(joined, format!("{w}{EOW}"));
+        }
+    }
+
+    #[test]
+    fn inventory_covers_training_words() {
+        let f = freqs(&[("abc", 5), ("abd", 5)]);
+        let bpe = Bpe::learn(&f, 5);
+        let inv = bpe.symbol_inventory(&f);
+        for w in f.keys() {
+            for s in bpe.segment(w) {
+                assert!(inv.contains(&s), "missing symbol {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = freqs(&[("alarm", 10), ("alert", 10)]);
+        let bpe = Bpe::learn(&f, 8);
+        let json = serde_json::to_string(&bpe).unwrap();
+        let bpe2: Bpe = serde_json::from_str(&json).unwrap();
+        assert_eq!(bpe.segment("alarm"), bpe2.segment("alarm"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # tele-tokenizer
+//!
+//! Tokenization for the KTeleBERT reproduction:
+//!
+//! - [`Vocab`]: token ↔ id maps with reserved control tokens and the
+//!   paper's prompt tokens (`[ALM]`, `[KPI]`, `[ATTR]`, `[NUM]`, `[ENT]`,
+//!   `[REL]`, `[LOC]`, `[DOC]`, `|`),
+//! - [`Bpe`]: byte-pair encoding learner and greedy segmenter,
+//! - special-token mining ([`mine_special_tokens`]): frequent 2–4 character
+//!   domain abbreviations become whole tokens (paper Sec. IV-A3),
+//! - [`PhraseMatcher`]: multi-word phrase grouping, the whole-word oracle
+//!   for whole-word masking,
+//! - [`TeleTokenizer`]: the assembled tokenizer, including prompt-template
+//!   encoding with `[NUM]` slots for the adaptive numeric encoder.
+
+#![warn(missing_docs)]
+
+mod bpe;
+mod matcher;
+mod special;
+mod template;
+mod tokenizer;
+mod vocab;
+
+pub use bpe::{Bpe, EOW};
+pub use matcher::PhraseMatcher;
+pub use special::{is_abbreviation_like, mine_special_tokens, SpecialTokenConfig};
+pub use template::{patterns, FieldContent, TemplateField};
+pub use tokenizer::{pre_tokenize, Encoding, NumericSlot, TeleTokenizer, TokenizerConfig};
+pub use vocab::{special as special_ids, PromptToken, Vocab};

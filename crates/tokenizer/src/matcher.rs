@@ -1,0 +1,144 @@
+//! Longest-match phrase detection for whole-word masking.
+//!
+//! The paper performs whole-word masking with a 372k-entry tele vocabulary
+//! of proper nouns and multi-word phrases ("network congestion points") as
+//! the segmentation collection. [`PhraseMatcher`] is that oracle: given a
+//! word sequence it groups maximal known phrases so masking can hide a whole
+//! domain concept at once.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+/// A lexicon of multi-word phrases with longest-match lookup.
+#[derive(Clone, Default, Serialize, Deserialize)]
+pub struct PhraseMatcher {
+    /// Phrases stored lowercase as word vectors, keyed by first word.
+    by_first: HashMap<String, Vec<Vec<String>>>,
+    /// Longest phrase length, to bound the scan.
+    max_len: usize,
+}
+
+impl PhraseMatcher {
+    /// Builds a matcher from whitespace-separated phrases. Single-word
+    /// entries are accepted but have no grouping effect.
+    pub fn new<S: AsRef<str>>(phrases: impl IntoIterator<Item = S>) -> Self {
+        let mut by_first: HashMap<String, Vec<Vec<String>>> = HashMap::new();
+        let mut max_len = 1;
+        let mut seen = HashSet::new();
+        for p in phrases {
+            let words: Vec<String> = p
+                .as_ref()
+                .split_whitespace()
+                .map(|w| w.to_lowercase())
+                .collect();
+            if words.len() < 2 || !seen.insert(words.clone()) {
+                continue;
+            }
+            max_len = max_len.max(words.len());
+            by_first.entry(words[0].clone()).or_default().push(words);
+        }
+        // Longest phrases first per bucket so matching is greedy-longest.
+        for bucket in by_first.values_mut() {
+            bucket.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        }
+        PhraseMatcher { by_first, max_len }
+    }
+
+    /// Number of phrases in the lexicon.
+    pub fn len(&self) -> usize {
+        self.by_first.values().map(Vec::len).sum()
+    }
+
+    /// True if the lexicon is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_first.is_empty()
+    }
+
+    /// Groups `words` into spans `(start, len)` covering the sequence, where
+    /// each span is either a matched phrase or a single word. Matching is
+    /// case-insensitive, greedy and left-to-right.
+    pub fn group(&self, words: &[String]) -> Vec<(usize, usize)> {
+        let lower: Vec<String> = words.iter().map(|w| w.to_lowercase()).collect();
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < lower.len() {
+            let mut matched = 1;
+            if let Some(cands) = self.by_first.get(&lower[i]) {
+                for cand in cands {
+                    if cand.len() <= lower.len() - i && lower[i..i + cand.len()] == cand[..] {
+                        matched = cand.len();
+                        break; // buckets are longest-first
+                    }
+                }
+            }
+            spans.push((i, matched));
+            i += matched;
+        }
+        spans
+    }
+}
+
+impl std::fmt::Debug for PhraseMatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PhraseMatcher({} phrases, max {} words)", self.len(), self.max_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn groups_known_phrase() {
+        let m = PhraseMatcher::new(["network congestion points"]);
+        let spans = m.group(&words("the network congestion points increased"));
+        assert_eq!(spans, vec![(0, 1), (1, 3), (4, 1)]);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let m = PhraseMatcher::new(["session establishment", "session establishment reject"]);
+        let spans = m.group(&words("pdu session establishment reject observed"));
+        assert_eq!(spans, vec![(0, 1), (1, 3), (4, 1)]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let m = PhraseMatcher::new(["Dedicated Control Channel"]);
+        let spans = m.group(&words("dedicated control channel down"));
+        assert_eq!(spans[0], (0, 3));
+    }
+
+    #[test]
+    fn no_phrases_means_singletons() {
+        let m = PhraseMatcher::default();
+        let spans = m.group(&words("a b c"));
+        assert_eq!(spans, vec![(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn single_word_entries_ignored() {
+        let m = PhraseMatcher::new(["alarm"]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn spans_cover_sequence() {
+        let m = PhraseMatcher::new(["b c", "d e"]);
+        let w = words("a b c d e f");
+        let spans = m.group(&w);
+        let covered: usize = spans.iter().map(|s| s.1).sum();
+        assert_eq!(covered, w.len());
+        // Spans are contiguous.
+        let mut pos = 0;
+        for (start, len) in spans {
+            assert_eq!(start, pos);
+            pos += len;
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Tele special-token mining (paper Sec. IV-A3).
+//!
+//! The paper mines candidate tokens that are "mostly significant
+//! abbreviations of domain-specific phrases or nouns" using two constraints:
+//! character length between 2 and 4, and high corpus frequency while absent
+//! from the backbone vocabulary ("RAN", "MML", "PGW", "MME", "SGW", "NF").
+//! These become whole special tokens with fresh embeddings.
+
+use std::collections::HashMap;
+
+/// Configuration for special-token mining.
+#[derive(Clone, Debug)]
+pub struct SpecialTokenConfig {
+    /// Minimum character length of a candidate (paper: 2).
+    pub min_len: usize,
+    /// Maximum character length of a candidate (paper: 4).
+    pub max_len: usize,
+    /// Minimum corpus frequency (paper: 8000 on 20M sentences; scale down
+    /// proportionally for smaller corpora).
+    pub min_freq: usize,
+}
+
+impl Default for SpecialTokenConfig {
+    fn default() -> Self {
+        SpecialTokenConfig { min_len: 2, max_len: 4, min_freq: 20 }
+    }
+}
+
+/// True if a word looks like a domain abbreviation: all characters are
+/// uppercase ASCII letters or digits, with at least one letter.
+pub fn is_abbreviation_like(word: &str) -> bool {
+    !word.is_empty()
+        && word.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+        && word.chars().any(|c| c.is_ascii_uppercase())
+}
+
+/// Mines special tele tokens from a word-frequency table.
+///
+/// Returns candidates sorted by descending frequency (ties alphabetical) so
+/// selection is deterministic. `in_base_vocab` filters words the backbone
+/// already knows — the paper only adds tokens missing from MacBERT/BERT.
+pub fn mine_special_tokens(
+    word_freqs: &HashMap<String, usize>,
+    cfg: &SpecialTokenConfig,
+    in_base_vocab: impl Fn(&str) -> bool,
+) -> Vec<String> {
+    let mut candidates: Vec<(String, usize)> = word_freqs
+        .iter()
+        .filter(|(w, &f)| {
+            let len = w.chars().count();
+            len >= cfg.min_len
+                && len <= cfg.max_len
+                && f >= cfg.min_freq
+                && is_abbreviation_like(w)
+                && !in_base_vocab(w)
+        })
+        .map(|(w, &f)| (w.clone(), f))
+        .collect();
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    candidates.into_iter().map(|(w, _)| w).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freqs(pairs: &[(&str, usize)]) -> HashMap<String, usize> {
+        pairs.iter().map(|&(w, f)| (w.to_string(), f)).collect()
+    }
+
+    #[test]
+    fn abbreviation_detection() {
+        assert!(is_abbreviation_like("RAN"));
+        assert!(is_abbreviation_like("N11"));
+        assert!(is_abbreviation_like("PGW"));
+        assert!(!is_abbreviation_like("ran"));
+        assert!(!is_abbreviation_like("Ran"));
+        assert!(!is_abbreviation_like("123"));
+        assert!(!is_abbreviation_like(""));
+    }
+
+    #[test]
+    fn mining_respects_length_and_freq() {
+        let f = freqs(&[("RAN", 100), ("X", 100), ("TOOLONG", 100), ("MME", 5), ("smf", 100)]);
+        let cfg = SpecialTokenConfig { min_len: 2, max_len: 4, min_freq: 10 };
+        let mined = mine_special_tokens(&f, &cfg, |_| false);
+        assert_eq!(mined, vec!["RAN".to_string()]);
+    }
+
+    #[test]
+    fn mining_excludes_base_vocab() {
+        let f = freqs(&[("RAN", 100), ("SGW", 100)]);
+        let cfg = SpecialTokenConfig { min_len: 2, max_len: 4, min_freq: 10 };
+        let mined = mine_special_tokens(&f, &cfg, |w| w == "RAN");
+        assert_eq!(mined, vec!["SGW".to_string()]);
+    }
+
+    #[test]
+    fn mining_order_is_deterministic() {
+        let f = freqs(&[("AMF", 50), ("SMF", 50), ("UPF", 80)]);
+        let cfg = SpecialTokenConfig { min_len: 2, max_len: 4, min_freq: 10 };
+        let mined = mine_special_tokens(&f, &cfg, |_| false);
+        assert_eq!(mined, vec!["UPF".to_string(), "AMF".to_string(), "SMF".to_string()]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Prompt templates (paper Fig. 3).
+//!
+//! Multi-source data — alarms, KPIs, KG triples, document sentences — is
+//! wrapped into a single input pattern: each field starts with a prompt
+//! token marking its category, and `|` separates a field's name from its
+//! value. Numerical values never become text tokens; they occupy a `[NUM]`
+//! slot whose embedding is produced by the adaptive numeric encoder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vocab::PromptToken;
+
+/// The payload of a template field.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FieldContent {
+    /// Plain text, tokenized normally.
+    Text(String),
+    /// A tagged numerical value: the tag name is tokenized, the value fills
+    /// a `[NUM]` slot encoded by ANEnc.
+    Numeric {
+        /// The tag (field) name, e.g. a KPI name.
+        tag: String,
+        /// The raw value; normalize per-tag before training (see
+        /// `ktelebert::anenc`).
+        value: f32,
+    },
+}
+
+/// One field of a prompt template: a category marker plus content.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TemplateField {
+    /// The category prompt token prepended to the content.
+    pub kind: PromptToken,
+    /// The field payload.
+    pub content: FieldContent,
+}
+
+impl TemplateField {
+    /// A text field.
+    pub fn text(kind: PromptToken, s: impl Into<String>) -> Self {
+        TemplateField { kind, content: FieldContent::Text(s.into()) }
+    }
+
+    /// A numeric field (renders as `tag | [NUM]`).
+    pub fn numeric(kind: PromptToken, tag: impl Into<String>, value: f32) -> Self {
+        TemplateField { kind, content: FieldContent::Numeric { tag: tag.into(), value } }
+    }
+}
+
+/// Convenience constructors for the input patterns of Fig. 3.
+pub mod patterns {
+    use super::*;
+
+    /// An alarm occurrence: `[ALM] name | [LOC] network element`.
+    pub fn alarm(name: &str, location: &str) -> Vec<TemplateField> {
+        vec![
+            TemplateField::text(PromptToken::Alm, name),
+            TemplateField::text(PromptToken::Loc, location),
+        ]
+    }
+
+    /// A KPI reading: `[KPI] name | [NUM]` plus its location.
+    pub fn kpi(name: &str, location: &str, value: f32) -> Vec<TemplateField> {
+        vec![
+            TemplateField::numeric(PromptToken::Kpi, name, value),
+            TemplateField::text(PromptToken::Loc, location),
+        ]
+    }
+
+    /// A serialized relational triple: `[ENT] h | [REL] r | [ENT] t`.
+    pub fn triple(head: &str, relation: &str, tail: &str) -> Vec<TemplateField> {
+        vec![
+            TemplateField::text(PromptToken::Ent, head),
+            TemplateField::text(PromptToken::Rel, relation),
+            TemplateField::text(PromptToken::Ent, tail),
+        ]
+    }
+
+    /// An attribute triple with a numeric value: `[ENT] e | [ATTR] a | [NUM]`.
+    pub fn numeric_attribute(entity: &str, attr: &str, value: f32) -> Vec<TemplateField> {
+        vec![
+            TemplateField::text(PromptToken::Ent, entity),
+            TemplateField::numeric(PromptToken::Attr, attr, value),
+        ]
+    }
+
+    /// A document sentence: `[DOC] text`.
+    pub fn document(text: &str) -> Vec<TemplateField> {
+        vec![TemplateField::text(PromptToken::Doc, text)]
+    }
+
+    /// An entity with textual attributes attached, the "Entity mapping w/
+    /// Attr." service-delivery format (paper Sec. V-A3).
+    pub fn entity_with_attrs(name: &str, attrs: &[(&str, &str)]) -> Vec<TemplateField> {
+        let mut fields = vec![TemplateField::text(PromptToken::Ent, name)];
+        for (a, v) in attrs {
+            fields.push(TemplateField::text(PromptToken::Attr, format!("{a} {v}")));
+        }
+        fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_shapes() {
+        let a = patterns::alarm("NF destination service unreachable", "SMF");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].kind, PromptToken::Alm);
+
+        let k = patterns::kpi("initial registration requests", "AMF", 0.7);
+        assert!(matches!(k[0].content, FieldContent::Numeric { value, .. } if value == 0.7));
+
+        let t = patterns::triple("ALM-100072", "trigger", "KPI-1929");
+        assert_eq!(t[1].kind, PromptToken::Rel);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = TemplateField::numeric(PromptToken::Kpi, "success rate", 0.35);
+        let json = serde_json::to_string(&f).unwrap();
+        let g: TemplateField = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,447 @@
+//! The top-level tele-domain tokenizer.
+//!
+//! Combines pre-tokenization, mined tele special tokens (kept whole), BPE
+//! subword segmentation, whole-word/phrase span tracking for WWM, and prompt
+//! template encoding with numeric slots.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bpe::Bpe;
+use crate::matcher::PhraseMatcher;
+use crate::special::{mine_special_tokens, SpecialTokenConfig};
+use crate::template::{FieldContent, TemplateField};
+use crate::vocab::{special, PromptToken, Vocab};
+
+/// Training configuration for [`TeleTokenizer::train`].
+#[derive(Clone, Debug)]
+pub struct TokenizerConfig {
+    /// Number of BPE merges to learn.
+    pub bpe_merges: usize,
+    /// Special tele-token mining thresholds.
+    pub special: SpecialTokenConfig,
+    /// Multi-word domain phrases used as whole words for WWM.
+    pub phrases: Vec<String>,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        TokenizerConfig {
+            bpe_merges: 800,
+            special: SpecialTokenConfig::default(),
+            phrases: Vec::new(),
+        }
+    }
+}
+
+/// A tokenized sequence ready for the model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Encoding {
+    /// Token ids, starting with `[CLS]` and ending with `[SEP]`.
+    pub ids: Vec<usize>,
+    /// Maskable whole-word spans `(start, len)` into `ids`. Control, prompt
+    /// and `[NUM]` positions are never part of a span, implementing the
+    /// paper's exclusion of special tokens and numerals from MLM candidates.
+    pub words: Vec<(usize, usize)>,
+    /// Numeric slots for the adaptive numeric encoder.
+    pub numerics: Vec<NumericSlot>,
+}
+
+impl Encoding {
+    /// Sequence length including `[CLS]`/`[SEP]`.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Never true: every encoding carries at least `[CLS]` and `[SEP]`.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// A `[NUM]` position whose embedding the ANEnc must produce.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NumericSlot {
+    /// Position of the `[NUM]` token within `ids`.
+    pub pos: usize,
+    /// The raw numerical value.
+    pub value: f32,
+    /// Token ids of the tag name (for the tag-name embedding `t`).
+    pub tag_ids: Vec<usize>,
+    /// The tag name surface (for per-tag normalization and classification).
+    pub tag: String,
+}
+
+/// The trained tele-domain tokenizer.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct TeleTokenizer {
+    vocab: Vocab,
+    bpe: Bpe,
+    phrases: PhraseMatcher,
+}
+
+impl TeleTokenizer {
+    /// Trains a tokenizer on a corpus of sentences.
+    ///
+    /// Pipeline: word-frequency counting → tele special-token mining (the
+    /// mined abbreviations enter the vocabulary whole) → BPE merge learning
+    /// on everything else → vocabulary assembly.
+    pub fn train(corpus: impl IntoIterator<Item = impl AsRef<str>>, cfg: &TokenizerConfig) -> Self {
+        let mut word_freqs: HashMap<String, usize> = HashMap::new();
+        for sentence in corpus {
+            for w in pre_tokenize(sentence.as_ref()) {
+                *word_freqs.entry(w).or_default() += 1;
+            }
+        }
+
+        let mut vocab = Vocab::with_reserved();
+        let specials = mine_special_tokens(&word_freqs, &cfg.special, |_| false);
+        for s in &specials {
+            vocab.add(s);
+        }
+        // BPE learns on the non-special words.
+        let bpe_freqs: HashMap<String, usize> = word_freqs
+            .iter()
+            .filter(|(w, _)| !vocab.contains(w))
+            .map(|(w, &f)| (w.clone(), f))
+            .collect();
+        let bpe = Bpe::learn(&bpe_freqs, cfg.bpe_merges);
+        for sym in bpe.symbol_inventory(&bpe_freqs) {
+            vocab.add(&sym);
+        }
+        let phrases = PhraseMatcher::new(cfg.phrases.iter());
+        TeleTokenizer { vocab, bpe, phrases }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Vocabulary size (the model's embedding-table height).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Tokenizes one word into ids: mined special tokens stay whole,
+    /// everything else goes through BPE; unknown symbols map to `[UNK]`.
+    fn word_ids(&self, word: &str) -> Vec<usize> {
+        if let Some(id) = self.vocab.id(word) {
+            return vec![id];
+        }
+        self.bpe
+            .segment(word)
+            .iter()
+            .map(|s| self.vocab.id_or_unk(s))
+            .collect()
+    }
+
+    /// Encodes a plain sentence: `[CLS] tokens… [SEP]`, truncated to
+    /// `max_len`, with whole-word (phrase-merged) spans for WWM.
+    pub fn encode(&self, text: &str, max_len: usize) -> Encoding {
+        let words = pre_tokenize(text);
+        let mut ids = vec![special::CLS];
+        let mut spans = Vec::new();
+        'outer: for (start, len) in self.phrases.group(&words) {
+            let span_start = ids.len();
+            for w in &words[start..start + len] {
+                for id in self.word_ids(w) {
+                    if ids.len() >= max_len - 1 {
+                        // Drop the partially emitted span and stop.
+                        ids.truncate(span_start.min(max_len - 1));
+                        break 'outer;
+                    }
+                    ids.push(id);
+                }
+            }
+            if ids.len() > span_start {
+                spans.push((span_start, ids.len() - span_start));
+            }
+        }
+        ids.push(special::SEP);
+        Encoding { ids, words: spans, numerics: Vec::new() }
+    }
+
+    /// Encodes a prompt template (paper Fig. 3): each field contributes its
+    /// prompt token, its content, and `|` separators inside name/value
+    /// fields; numeric values become `[NUM]` slots.
+    pub fn encode_template(&self, fields: &[TemplateField], max_len: usize) -> Encoding {
+        let bar = self.vocab.prompt(PromptToken::Bar);
+        let num = self.vocab.prompt(PromptToken::Num);
+        let mut ids = vec![special::CLS];
+        let mut spans = Vec::new();
+        let mut numerics = Vec::new();
+        let budget = max_len.saturating_sub(1);
+
+        'fields: for field in fields {
+            if ids.len() + 2 >= budget {
+                break;
+            }
+            ids.push(self.vocab.prompt(field.kind));
+            match &field.content {
+                FieldContent::Text(text) => {
+                    let words = pre_tokenize(text);
+                    for (start, len) in self.phrases.group(&words) {
+                        let span_start = ids.len();
+                        for w in &words[start..start + len] {
+                            for id in self.word_ids(w) {
+                                if ids.len() >= budget {
+                                    ids.truncate(span_start.min(budget));
+                                    break 'fields;
+                                }
+                                ids.push(id);
+                            }
+                        }
+                        if ids.len() > span_start {
+                            spans.push((span_start, ids.len() - span_start));
+                        }
+                    }
+                }
+                FieldContent::Numeric { tag, value } => {
+                    let mut tag_ids = Vec::new();
+                    for w in pre_tokenize(tag) {
+                        tag_ids.extend(self.word_ids(&w));
+                    }
+                    // tag | [NUM]
+                    if ids.len() + tag_ids.len() + 2 >= budget {
+                        ids.pop(); // remove the dangling prompt token
+                        break 'fields;
+                    }
+                    let span_start = ids.len();
+                    ids.extend_from_slice(&tag_ids);
+                    if !tag_ids.is_empty() {
+                        spans.push((span_start, tag_ids.len()));
+                    }
+                    ids.push(bar);
+                    numerics.push(NumericSlot {
+                        pos: ids.len(),
+                        value: *value,
+                        tag_ids,
+                        tag: tag.clone(),
+                    });
+                    ids.push(num);
+                }
+            }
+        }
+        ids.push(special::SEP);
+        Encoding { ids, words: spans, numerics }
+    }
+
+    /// Decodes ids back to a readable string (subword markers stripped),
+    /// mainly for debugging and examples.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            let tok = self.vocab.token(id);
+            if tok == "[PAD]" {
+                continue;
+            }
+            if tok.ends_with(crate::bpe::EOW) {
+                out.push_str(&tok[..tok.len() - crate::bpe::EOW.len()]);
+                out.push(' ');
+            } else if self.vocab.is_reserved(id) {
+                out.push_str(tok);
+                out.push(' ');
+            } else {
+                out.push_str(tok);
+                // mined special tokens are whole words
+                if self.vocab.id(tok).is_some() && !tok.chars().any(|c| c.is_lowercase()) {
+                    out.push(' ');
+                }
+            }
+        }
+        out.trim_end().to_string()
+    }
+}
+
+impl std::fmt::Debug for TeleTokenizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TeleTokenizer(vocab = {})", self.vocab.len())
+    }
+}
+
+/// Splits text into words: whitespace-delimited, with punctuation split off
+/// (hyphens and underscores stay inside words, as domain names use them).
+pub fn pre_tokenize(text: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    for chunk in text.split_whitespace() {
+        let mut current = String::new();
+        for c in chunk.chars() {
+            if c.is_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                current.push(c);
+            } else {
+                if !current.is_empty() {
+                    words.push(std::mem::take(&mut current));
+                }
+                words.push(c.to_string());
+            }
+        }
+        if !current.is_empty() {
+            // Trailing periods are sentence punctuation, not part of a word.
+            let trimmed = current.trim_end_matches('.');
+            if trimmed.is_empty() {
+                words.push(current);
+            } else {
+                if trimmed.len() < current.len() {
+                    words.push(trimmed.to_string());
+                    words.push(".".to_string());
+                } else {
+                    words.push(current);
+                }
+            }
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::patterns;
+
+    fn corpus() -> Vec<String> {
+        let base = [
+            "The NF destination service is unreachable on SMF",
+            "Alarm raised on AMF because network congestion points increased",
+            "The number of initial registration requests increases abnormally",
+            "PDU session establishment reject messages on N11 interface",
+            "UPF reports packet loss rate above threshold",
+        ];
+        // Repeat so frequencies clear mining thresholds.
+        (0..30).flat_map(|_| base.iter().map(|s| s.to_string())).collect()
+    }
+
+    fn tok() -> TeleTokenizer {
+        let cfg = TokenizerConfig {
+            bpe_merges: 200,
+            special: SpecialTokenConfig { min_len: 2, max_len: 4, min_freq: 10 },
+            phrases: vec![
+                "network congestion points".to_string(),
+                "session establishment reject".to_string(),
+            ],
+        };
+        TeleTokenizer::train(corpus(), &cfg)
+    }
+
+    #[test]
+    fn pre_tokenize_splits_punct_keeps_hyphens() {
+        assert_eq!(
+            pre_tokenize("ALM-100072: service unreachable."),
+            vec!["ALM-100072", ":", "service", "unreachable", "."]
+        );
+    }
+
+    #[test]
+    fn special_tokens_mined_whole() {
+        let t = tok();
+        assert!(t.vocab().contains("SMF"), "SMF should be a mined special token");
+        assert!(t.vocab().contains("NF"));
+        let ids = t.word_ids("SMF");
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn encode_wraps_with_cls_sep() {
+        let t = tok();
+        let e = t.encode("Alarm raised on AMF", 32);
+        assert_eq!(e.ids[0], special::CLS);
+        assert_eq!(*e.ids.last().unwrap(), special::SEP);
+        assert!(e.numerics.is_empty());
+    }
+
+    #[test]
+    fn word_spans_exclude_cls_sep() {
+        let t = tok();
+        let e = t.encode("service unreachable", 32);
+        for (start, len) in &e.words {
+            assert!(*start >= 1);
+            assert!(start + len <= e.ids.len() - 1);
+        }
+        // Spans tile the interior tokens.
+        let covered: usize = e.words.iter().map(|w| w.1).sum();
+        assert_eq!(covered, e.ids.len() - 2);
+    }
+
+    #[test]
+    fn phrase_becomes_single_span() {
+        let t = tok();
+        let e = t.encode("network congestion points", 32);
+        assert_eq!(e.words.len(), 1, "phrase should be one WWM span: {:?}", e.words);
+    }
+
+    #[test]
+    fn truncation_respects_max_len() {
+        let t = tok();
+        let long = "service unreachable ".repeat(50);
+        let e = t.encode(&long, 16);
+        assert!(e.len() <= 16);
+        assert_eq!(*e.ids.last().unwrap(), special::SEP);
+        for (start, len) in &e.words {
+            assert!(start + len < e.ids.len());
+        }
+    }
+
+    #[test]
+    fn template_numeric_slot() {
+        let t = tok();
+        let fields = patterns::kpi("registration requests", "AMF", 0.83);
+        let e = t.encode_template(&fields, 32);
+        assert_eq!(e.numerics.len(), 1);
+        let slot = &e.numerics[0];
+        assert_eq!(e.ids[slot.pos], t.vocab().prompt(PromptToken::Num));
+        assert!((slot.value - 0.83).abs() < 1e-6);
+        assert!(!slot.tag_ids.is_empty());
+        // The [KPI] prompt token leads the field.
+        assert_eq!(e.ids[1], t.vocab().prompt(PromptToken::Kpi));
+    }
+
+    #[test]
+    fn template_triple_encodes_rel() {
+        let t = tok();
+        let e = t.encode_template(&patterns::triple("alarm A", "trigger", "alarm B"), 32);
+        let rel = t.vocab().prompt(PromptToken::Rel);
+        assert!(e.ids.contains(&rel));
+        assert!(e.numerics.is_empty());
+    }
+
+    #[test]
+    fn template_spans_never_cover_prompt_tokens() {
+        let t = tok();
+        let fields = patterns::kpi("packet loss rate", "UPF", 0.5);
+        let e = t.encode_template(&fields, 64);
+        for (start, len) in &e.words {
+            for p in *start..start + len {
+                assert!(
+                    !t.vocab().is_reserved(e.ids[p]),
+                    "WWM span covers reserved token at {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_word_does_not_panic() {
+        let t = tok();
+        let e = t.encode("zxqv jjwwkk", 16);
+        assert!(e.len() >= 3);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_encoding() {
+        let t = tok();
+        let json = serde_json::to_string(&t).unwrap();
+        let t2: TeleTokenizer = serde_json::from_str(&json).unwrap();
+        let a = t.encode("PDU session establishment reject on N11", 32);
+        let b = t2.encode("PDU session establishment reject on N11", 32);
+        assert_eq!(a.ids, b.ids);
+    }
+
+    #[test]
+    fn decode_is_readable() {
+        let t = tok();
+        let e = t.encode("service unreachable", 32);
+        let s = t.decode(&e.ids);
+        assert!(s.contains("service"), "decoded: {s}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Vocabulary: token ↔ id mapping with reserved special and prompt tokens.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The prompt (template) tokens of KTeleBERT, Fig. 3 of the paper.
+///
+/// Each marks the category of the immediately following content, unifying
+/// machine-log / KG / document modalities into one input format.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PromptToken {
+    /// Alarm data (`[ALM]`).
+    Alm,
+    /// KPI data (`[KPI]`).
+    Kpi,
+    /// Attribute + value (`[ATTR]`).
+    Attr,
+    /// Numerical value slot (`[NUM]`); filled by the ANEnc embedding.
+    Num,
+    /// Entity surface (`[ENT]`).
+    Ent,
+    /// Relation surface (`[REL]`).
+    Rel,
+    /// Location / network element (`[LOC]`).
+    Loc,
+    /// Document text (`[DOC]`).
+    Doc,
+    /// The field separator `|`.
+    Bar,
+    /// Signaling-flow step (`[SIG]`) — an extension beyond the paper's
+    /// Fig. 3 covering its stated future work (signaling-flow data).
+    Sig,
+}
+
+impl PromptToken {
+    /// All prompt tokens, in vocabulary order.
+    pub const ALL: [PromptToken; 10] = [
+        PromptToken::Alm,
+        PromptToken::Kpi,
+        PromptToken::Attr,
+        PromptToken::Num,
+        PromptToken::Ent,
+        PromptToken::Rel,
+        PromptToken::Loc,
+        PromptToken::Doc,
+        PromptToken::Bar,
+        PromptToken::Sig,
+    ];
+
+    /// The literal surface of the token.
+    pub fn surface(self) -> &'static str {
+        match self {
+            PromptToken::Alm => "[ALM]",
+            PromptToken::Kpi => "[KPI]",
+            PromptToken::Attr => "[ATTR]",
+            PromptToken::Num => "[NUM]",
+            PromptToken::Ent => "[ENT]",
+            PromptToken::Rel => "[REL]",
+            PromptToken::Loc => "[LOC]",
+            PromptToken::Doc => "[DOC]",
+            PromptToken::Bar => "|",
+            PromptToken::Sig => "[SIG]",
+        }
+    }
+}
+
+/// Reserved control-token ids, fixed for every vocabulary.
+pub mod special {
+    /// Padding.
+    pub const PAD: usize = 0;
+    /// Unknown token.
+    pub const UNK: usize = 1;
+    /// Classification / sentence-embedding token.
+    pub const CLS: usize = 2;
+    /// Separator.
+    pub const SEP: usize = 3;
+    /// Mask token for MLM.
+    pub const MASK: usize = 4;
+    /// First prompt-token id; prompt tokens occupy a contiguous block.
+    pub const PROMPT_BASE: usize = 5;
+    /// First id available to learned (BPE / special tele) tokens.
+    pub const FIRST_LEARNED: usize = PROMPT_BASE + super::PromptToken::ALL.len();
+}
+
+/// A token ↔ id vocabulary.
+///
+/// Ids `0..FIRST_LEARNED` are reserved (control + prompt tokens); learned
+/// tokens (BPE subwords and mined tele special tokens) follow.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    ids: HashMap<String, usize>,
+}
+
+impl Vocab {
+    /// Creates a vocabulary containing only the reserved tokens.
+    pub fn with_reserved() -> Self {
+        let mut v = Vocab { tokens: Vec::new(), ids: HashMap::new() };
+        for t in ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"] {
+            v.push(t.to_string());
+        }
+        for p in PromptToken::ALL {
+            v.push(p.surface().to_string());
+        }
+        debug_assert_eq!(v.len(), special::FIRST_LEARNED);
+        v
+    }
+
+    fn push(&mut self, token: String) -> usize {
+        debug_assert!(!self.ids.contains_key(&token), "duplicate token {token:?}");
+        let id = self.tokens.len();
+        self.ids.insert(token.clone(), id);
+        self.tokens.push(token);
+        id
+    }
+
+    /// Adds a learned token, returning its id. Re-adding returns the
+    /// existing id.
+    pub fn add(&mut self, token: &str) -> usize {
+        match self.ids.get(token) {
+            Some(&id) => id,
+            None => self.push(token.to_string()),
+        }
+    }
+
+    /// The id of `token`, if present.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.ids.get(token).copied()
+    }
+
+    /// The id of `token`, or `[UNK]`.
+    pub fn id_or_unk(&self, token: &str) -> usize {
+        self.id(token).unwrap_or(special::UNK)
+    }
+
+    /// The surface of an id.
+    pub fn token(&self, id: usize) -> &str {
+        &self.tokens[id]
+    }
+
+    /// Whether the vocabulary contains `token`.
+    pub fn contains(&self, token: &str) -> bool {
+        self.ids.contains_key(token)
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Always false: reserved tokens are present from construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The id of a prompt token.
+    pub fn prompt(&self, p: PromptToken) -> usize {
+        special::PROMPT_BASE + PromptToken::ALL.iter().position(|&q| q == p).expect("prompt token")
+    }
+
+    /// True for control and prompt ids, which MLM never masks or predicts.
+    pub fn is_reserved(&self, id: usize) -> bool {
+        id < special::FIRST_LEARNED
+    }
+}
+
+impl std::fmt::Debug for Vocab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Vocab({} tokens)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_layout() {
+        let v = Vocab::with_reserved();
+        assert_eq!(v.id("[PAD]"), Some(special::PAD));
+        assert_eq!(v.id("[MASK]"), Some(special::MASK));
+        assert_eq!(v.id("[ALM]"), Some(v.prompt(PromptToken::Alm)));
+        assert_eq!(v.id("|"), Some(v.prompt(PromptToken::Bar)));
+        assert_eq!(v.len(), special::FIRST_LEARNED);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::with_reserved();
+        let a = v.add("alarm");
+        let b = v.add("alarm");
+        assert_eq!(a, b);
+        assert_eq!(v.token(a), "alarm");
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let v = Vocab::with_reserved();
+        assert_eq!(v.id_or_unk("nonexistent"), special::UNK);
+    }
+
+    #[test]
+    fn reserved_ids_flagged() {
+        let mut v = Vocab::with_reserved();
+        let learned = v.add("NF");
+        assert!(v.is_reserved(special::CLS));
+        assert!(v.is_reserved(v.prompt(PromptToken::Num)));
+        assert!(!v.is_reserved(learned));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut v = Vocab::with_reserved();
+        v.add("smf");
+        let json = serde_json::to_string(&v).unwrap();
+        let v2: Vocab = serde_json::from_str(&json).unwrap();
+        assert_eq!(v2.id("smf"), v.id("smf"));
+        assert_eq!(v2.len(), v.len());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the tokenizer: encoding invariants over random
+//! text and configurations.
+
+use proptest::prelude::*;
+use tele_tokenizer::{
+    patterns, special_ids, PromptToken, TeleTokenizer, TokenizerConfig,
+};
+
+fn trained() -> TeleTokenizer {
+    let corpus: Vec<String> = (0..40)
+        .flat_map(|i| {
+            [
+                format!("alarm {i} raised on SMF because the control plane is congested"),
+                format!("the success rate of registration {i} dropped on AMF"),
+            ]
+        })
+        .collect();
+    TeleTokenizer::train(corpus, &TokenizerConfig::default())
+}
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9]{1,8}", 1..12).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn encoding_respects_max_len(text in word_strategy(), max_len in 8usize..64) {
+        let tok = trained();
+        let e = tok.encode(&text, max_len);
+        prop_assert!(e.len() <= max_len);
+        prop_assert_eq!(e.ids[0], special_ids::CLS);
+        prop_assert_eq!(*e.ids.last().unwrap(), special_ids::SEP);
+    }
+
+    #[test]
+    fn word_spans_stay_in_bounds(text in word_strategy()) {
+        let tok = trained();
+        let e = tok.encode(&text, 48);
+        for (start, len) in &e.words {
+            prop_assert!(*start >= 1, "span covers [CLS]");
+            prop_assert!(start + len <= e.ids.len() - 1, "span covers [SEP]");
+            prop_assert!(*len > 0);
+        }
+    }
+
+    #[test]
+    fn all_ids_are_in_vocab(text in word_strategy()) {
+        let tok = trained();
+        let e = tok.encode(&text, 48);
+        for &id in &e.ids {
+            prop_assert!(id < tok.vocab_size());
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(text in word_strategy()) {
+        let tok = trained();
+        let a = tok.encode(&text, 48);
+        let b = tok.encode(&text, 48);
+        prop_assert_eq!(a.ids, b.ids);
+        prop_assert_eq!(a.words, b.words);
+    }
+
+    #[test]
+    fn numeric_templates_have_consistent_slots(tag in word_strategy(), value in -10.0f32..10.0) {
+        let tok = trained();
+        let fields = patterns::kpi(&tag, "SMF", value);
+        let e = tok.encode_template(&fields, 64);
+        for slot in &e.numerics {
+            prop_assert!(slot.pos < e.ids.len());
+            prop_assert_eq!(e.ids[slot.pos], tok.vocab().prompt(PromptToken::Num));
+            prop_assert_eq!(slot.value, value);
+        }
+        // A short enough tag always produces exactly one slot.
+        if e.numerics.is_empty() {
+            prop_assert!(tag.len() > 40, "slot dropped for short tag {tag:?}");
+        }
+    }
+
+    #[test]
+    fn template_spans_never_touch_control_or_prompt_tokens(text in word_strategy()) {
+        let tok = trained();
+        let e = tok.encode_template(&patterns::document(&text), 48);
+        for (start, len) in &e.words {
+            for p in *start..start + len {
+                let id = e.ids[p];
+                // [UNK] inside a span is fine (unknown words are maskable);
+                // control and prompt tokens are not.
+                prop_assert!(
+                    id == special_ids::UNK || !tok.vocab().is_reserved(id),
+                    "span covers control/prompt id {id}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The adaptive numeric encoder (ANEnc) in isolation.
+//!
+//! Trains a standalone ANEnc on tagged values with all three auxiliary
+//! objectives (regression, tag classification, numerical contrast) under
+//! uncertainty-weighted fusion, then shows that:
+//! - the numeric decoder recovers values from embeddings,
+//! - embedding distance tracks value distance (the Fig. 10 property),
+//! - different tags occupy different regions.
+//!
+//! Run with: `cargo run --release --example numeric_encoding`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tele_knowledge::model::{Anenc, AnencConfig, TagNormalizer};
+use tele_knowledge::tensor::{optim::AdamW, ParamStore, Tape, Tensor};
+
+const DIM: usize = 32;
+
+fn tag_embedding(tag_id: usize) -> Vec<f32> {
+    (0..DIM).map(|i| ((i + tag_id * 7) as f32 * 0.31).sin() * 0.3).collect()
+}
+
+fn tags_tensor<'t>(tape: &'t Tape, ids: &[usize]) -> tele_knowledge::tensor::Var<'t> {
+    let data: Vec<f32> = ids.iter().flat_map(|&t| tag_embedding(t)).collect();
+    tape.constant(Tensor::from_vec(data, [ids.len(), DIM]))
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let cfg = AnencConfig::for_dim(DIM, 3);
+    let anenc = Anenc::new(&mut store, "demo", cfg, &mut rng);
+    let mut opt = AdamW::new(2e-3, 0.0);
+
+    // Normalizer over three tags with different raw ranges — exactly the
+    // paper's setting where each KPI has its own scale.
+    let mut normalizer = TagNormalizer::new();
+    normalizer.fit([
+        ("cpu load", 0.0), ("cpu load", 100.0),
+        ("latency ms", 1.0), ("latency ms", 500.0),
+        ("success rate", 0.0), ("success rate", 1.0),
+    ]);
+    let tags = ["cpu load", "latency ms", "success rate"];
+    let ranges = [(0.0f32, 100.0f32), (1.0, 500.0), (0.0, 1.0)];
+
+    println!("training ANEnc with L_reg + L_cls + L_nc (uncertainty-weighted)...");
+    for step in 0..300 {
+        store.zero_grads();
+        // A batch of random tagged values.
+        let mut values = Vec::new();
+        let mut tag_ids = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..12 {
+            let t = rng.gen_range(0..3);
+            let raw = rng.gen_range(ranges[t].0..ranges[t].1);
+            values.push(normalizer.normalize(tags[t], raw));
+            tag_ids.push(t);
+            labels.push(normalizer.tag_id(tags[t]));
+        }
+        let tape = Tape::new();
+        let tv = tags_tensor(&tape, &tag_ids);
+        let h = anenc.encode(&tape, &store, &values, tv);
+        let loss = anenc.numeric_loss(&tape, &store, h, h, &values, &labels);
+        tape.backward(loss).accumulate_into(&tape, &mut store);
+        opt.step(&mut store);
+        if step % 100 == 0 {
+            println!("  step {step}: loss {:.4}, μ = {:?}", loss.value().item(), anenc.uncertainties(&store));
+        }
+    }
+
+    // Value recovery through the numeric decoder.
+    println!("\nvalue recovery (cpu load):");
+    let probe = [10.0f32, 50.0, 90.0];
+    let normed: Vec<f32> = probe.iter().map(|&v| normalizer.normalize("cpu load", v)).collect();
+    let tape = Tape::new();
+    let tv = tags_tensor(&tape, &[0, 0, 0]);
+    let h = anenc.encode(&tape, &store, &normed, tv);
+    let err = anenc.regression_loss(&tape, &store, h, &normed).value().item();
+    println!("  NDec reconstruction MSE over normalized values: {err:.5}");
+
+    // Distance structure: |v1 - v2| vs embedding distance.
+    println!("\nembedding distance vs value distance (cpu load):");
+    let sweep: Vec<f32> = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+    let tape = Tape::new();
+    let tv = tags_tensor(&tape, &vec![0; sweep.len()]);
+    let hs = anenc.encode(&tape, &store, &sweep, tv).value();
+    for i in 1..sweep.len() {
+        let d: f32 = hs
+            .row(0)
+            .iter()
+            .zip(hs.row(i))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        println!("  |0.00 - {:.2}| -> embedding distance {d:.3}", sweep[i]);
+    }
+
+    // Tag separation: same value, different tag.
+    let tape = Tape::new();
+    let tv = tags_tensor(&tape, &[0, 1, 2]);
+    let hs = anenc.encode(&tape, &store, &[0.5, 0.5, 0.5], tv).value();
+    let d01: f32 = hs.row(0).iter().zip(hs.row(1)).map(|(a, b)| (a - b).abs()).sum();
+    let d02: f32 = hs.row(0).iter().zip(hs.row(2)).map(|(a, b)| (a - b).abs()).sum();
+    println!("\ntag separation at value 0.5: |cpu−latency| = {d01:.2}, |cpu−success| = {d02:.2}");
+    println!("(nonzero separation = the field-aware meta attention distinguishes tags)");
+}

@@ -1,0 +1,148 @@
+//! Quickstart: the full KTeleBERT pipeline on a small synthetic tele-world.
+//!
+//! 1. Generate a tele-world (alarms, KPIs, topology, fault DAG) and derive
+//!    a corpus, machine logs and a Tele-KG from it.
+//! 2. Train a tokenizer and pre-train TeleBERT (stage 1).
+//! 3. Re-train into KTeleBERT (stage 2: causal sentences + logs + KG).
+//! 4. Deliver service embeddings and show that causally related events are
+//!    closer than unrelated ones.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tele_knowledge::datagen::{logs, Scale, Suite};
+use tele_knowledge::model::{
+    cosine, pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, Strategy,
+};
+use tele_knowledge::tensor::nn::TransformerConfig;
+use tele_knowledge::tokenizer::{SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
+
+fn main() {
+    // 1. A deterministic synthetic tele-world.
+    let suite = Suite::generate(Scale::Smoke, 42);
+    println!("world: {:?}", suite.world);
+    println!("corpus: {} sentences ({} causal)", suite.tele_corpus.len(), suite.causal_sentences.len());
+    println!("kg: {:?}", suite.built_kg.kg);
+
+    // 2. Tokenizer + stage-1 pre-training (TeleBERT).
+    let tokenizer = TeleTokenizer::train(
+        suite.tele_corpus.iter(),
+        &TokenizerConfig {
+            bpe_merges: 400,
+            special: SpecialTokenConfig { min_len: 2, max_len: 4, min_freq: 8 },
+            phrases: tele_knowledge::datagen::words::DOMAIN_PHRASES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        },
+    );
+    println!("tokenizer vocab = {}", tokenizer.vocab_size());
+
+    let encoder = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 48,
+        layers: 2,
+        heads: 4,
+        ffn_hidden: 96,
+        max_len: 48,
+        dropout: 0.1,
+    };
+    let (telebert, log) = pretrain(
+        &suite.tele_corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig { steps: 120, batch_size: 8, ..Default::default() },
+    );
+    println!("TeleBERT pre-trained: mean loss {:.3}, final {:.3}", log.mean_loss, log.final_loss);
+
+    // 3. Stage-2 re-training (KTeleBERT, iterative multi-task).
+    let templates = logs::log_templates(&suite.world, &suite.episodes);
+    let data = RetrainData {
+        causal_sentences: &suite.causal_sentences,
+        log_templates: &templates,
+        kg: &suite.built_kg.kg,
+    };
+    let (ktelebert, klog) = retrain(
+        telebert,
+        &data,
+        Strategy::Imtl,
+        &RetrainConfig { steps: 90, batch_size: 8, ..Default::default() },
+    );
+    println!(
+        "KTeleBERT re-trained: mean loss {:.3}, final {:.3}, {} numeric tags",
+        klog.mean_loss,
+        klog.final_loss,
+        ktelebert.normalizer.num_tags()
+    );
+
+    // 4. Service embeddings: a ground-truth causal pair should be closer
+    //    than an unrelated pair.
+    let edge = &suite.world.causal_edges[0];
+    let src = suite.world.event_name(edge.src).to_string();
+    let dst = suite.world.event_name(edge.dst).to_string();
+    // An event with no causal link to `src`.
+    let unrelated = (0..suite.world.num_events())
+        .find(|&e| {
+            e != edge.src
+                && e != edge.dst
+                && !suite.world.causal_edges.iter().any(|c| {
+                    (c.src == edge.src && c.dst == e) || (c.src == e && c.dst == edge.src)
+                })
+        })
+        .expect("an unrelated event exists");
+    let unrelated = suite.world.event_name(unrelated).to_string();
+
+    // Encode every event name, then mean-center: raw transformer [CLS]
+    // embeddings share a large common component (anisotropy) that hides
+    // the relative structure; all downstream tasks center the same way.
+    let all_names: Vec<String> = (0..suite.world.num_events())
+        .map(|e| suite.world.event_name(e).to_string())
+        .collect();
+    let raw = ktelebert.encode_sentences(&all_names);
+    let dim = raw[0].len();
+    let mean: Vec<f32> = (0..dim)
+        .map(|k| raw.iter().map(|r| r[k]).sum::<f32>() / raw.len() as f32)
+        .collect();
+    let centered: Vec<Vec<f32>> = raw
+        .iter()
+        .map(|r| r.iter().zip(&mean).map(|(v, m)| v - m).collect())
+        .collect();
+    let idx = |name: &str| all_names.iter().position(|n| n == name).expect("known event");
+    let related_sim = cosine(&centered[idx(&src)], &centered[idx(&dst)]);
+    let unrelated_sim = cosine(&centered[idx(&src)], &centered[idx(&unrelated)]);
+    println!("\nexample pair:");
+    println!("  cos(\"{src}\", \"{dst}\")  [causal]    = {related_sim:+.3}");
+    println!("  cos(\"{src}\", \"{unrelated}\")  [unrelated] = {unrelated_sim:+.3}");
+
+    // The robust statistic: mean similarity over ALL ground-truth causal
+    // pairs vs. all non-pairs (single pairs are noisy at this tiny scale).
+    let is_pair = |a: usize, b: usize| {
+        suite.world.causal_edges.iter().any(|e| {
+            (e.src == a && e.dst == b) || (e.src == b && e.dst == a)
+        })
+    };
+    let (mut pos, mut npos, mut neg, mut nneg) = (0.0f32, 0, 0.0f32, 0);
+    for a in 0..suite.world.num_events() {
+        for b in (a + 1)..suite.world.num_events() {
+            let c = cosine(&centered[a], &centered[b]);
+            if is_pair(a, b) {
+                pos += c;
+                npos += 1;
+            } else {
+                neg += c;
+                nneg += 1;
+            }
+        }
+    }
+    let (pos, neg) = (pos / npos as f32, neg / nneg as f32);
+    println!("\naggregate over all {npos} ground-truth causal pairs:");
+    println!("  mean cos(causal pairs)   = {pos:+.3}");
+    println!("  mean cos(non-pairs)      = {neg:+.3}");
+    println!(
+        "\n{}",
+        if pos > neg {
+            "-> causally related events are closer in embedding space, as expected;\n   increase the step budget (see tele-bench's zoo) to sharpen the gap"
+        } else {
+            "-> no separation yet at this tiny training scale; increase steps"
+        }
+    );
+}

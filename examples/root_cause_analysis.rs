@@ -1,0 +1,68 @@
+//! Root-cause analysis (paper Task 1): rank network elements of a faulty
+//! telecom state by how likely they are the root cause.
+//!
+//! Builds the RCA dataset from simulated fault episodes, trains the
+//! GCN-based ranking model on three embedding providers (random, averaged
+//! word embeddings, trained TeleBERT) and compares MR / Hits@N.
+//!
+//! Run with: `cargo run --release --example root_cause_analysis`
+
+use tele_knowledge::datagen::{Scale, Suite};
+use tele_knowledge::model::{pretrain, PretrainConfig, ServiceFormat};
+use tele_knowledge::tasks::{
+    random_embeddings, run_rca, service_embeddings, word_avg_embeddings, RcaTaskConfig,
+};
+use tele_knowledge::tensor::nn::TransformerConfig;
+use tele_knowledge::tokenizer::{TeleTokenizer, TokenizerConfig};
+
+fn main() {
+    let suite = Suite::generate(Scale::Smoke, 7);
+    let stats = suite.rca.stats();
+    println!(
+        "RCA dataset: {} graphs, {} features, avg {:.1} nodes / {:.1} edges",
+        stats.graphs, stats.features, stats.avg_nodes, stats.avg_edges
+    );
+
+    let names: Vec<String> = (0..suite.world.num_events())
+        .map(|e| suite.world.event_name(e).to_string())
+        .collect();
+    let cfg = RcaTaskConfig { epochs: 12, seed: 3, ..Default::default() };
+
+    // Baselines.
+    let rand_emb = random_embeddings(&names, 48, 1);
+    let word_emb = word_avg_embeddings(&names, 48, 1);
+
+    // A quickly pre-trained TeleBERT.
+    let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
+    let encoder = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 48,
+        layers: 2,
+        heads: 4,
+        ffn_hidden: 96,
+        max_len: 48,
+        dropout: 0.1,
+    };
+    let (telebert, _) = pretrain(
+        &suite.tele_corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig { steps: 150, batch_size: 8, ..Default::default() },
+    );
+    let tele_emb = service_embeddings(
+        &telebert,
+        Some(&suite.built_kg.kg),
+        &names,
+        ServiceFormat::EntityNoAttr,
+    );
+
+    println!("\n{:<16} {:>6} {:>8} {:>8} {:>8}", "Provider", "MR", "Hits@1", "Hits@3", "Hits@5");
+    for (name, emb) in [("Random", rand_emb), ("WordAvg", word_emb), ("TeleBERT", tele_emb)] {
+        let res = run_rca(&suite.rca, &emb, &cfg);
+        println!(
+            "{:<16} {:>6.2} {:>8.2} {:>8.2} {:>8.2}",
+            name, res.mean.mr, res.mean.hits1, res.mean.hits3, res.mean.hits5
+        );
+    }
+    println!("\nHigher Hits@N / lower MR = better root-cause localization.");
+}

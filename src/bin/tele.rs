@@ -1,0 +1,279 @@
+//! `tele` — command-line interface to the tele-knowledge reproduction.
+//!
+//! ```text
+//! tele world    [--seed N] [--scale smoke|lab|paper]      inspect the tele-world
+//! tele corpus   [--seed N] [--count N]                    sample corpus sentences
+//! tele simulate [--seed N] [--episodes N]                 fault-episode summaries
+//! tele query    [--seed N] <SPARQL-like query>            query the Tele-KG
+//! tele train    [--seed N] [--steps N] [--retrain N] --out FILE
+//!                                                         train and checkpoint
+//! tele encode   --ckpt FILE <sentence> [<sentence> ...]   embed + similarities
+//! ```
+
+use std::process::ExitCode;
+
+use tele_knowledge::datagen::{logs, Scale, Suite};
+use tele_knowledge::kg;
+use tele_knowledge::model::{
+    cosine, load_bundle, pretrain, retrain, save_bundle, PretrainConfig, RetrainConfig,
+    RetrainData, Strategy,
+};
+use tele_knowledge::tensor::nn::TransformerConfig;
+use tele_knowledge::tokenizer::{SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn u64_flag(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer")),
+            None => Ok(default),
+        }
+    }
+
+    fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
+        Ok(self.u64_flag(name, default as u64)? as usize)
+    }
+
+    fn scale(&self) -> Result<Scale, String> {
+        match self.flags.get("scale").map(String::as_str) {
+            None | Some("smoke") => Ok(Scale::Smoke),
+            Some("lab") => Ok(Scale::Lab),
+            Some("paper") => Ok(Scale::Paper),
+            Some(other) => Err(format!("unknown scale {other:?} (smoke|lab|paper)")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{}", USAGE);
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "world" => cmd_world(&args),
+        "corpus" => cmd_corpus(&args),
+        "simulate" => cmd_simulate(&args),
+        "query" => cmd_query(&args),
+        "train" => cmd_train(&args),
+        "encode" => cmd_encode(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "tele — tele-knowledge CLI
+  tele world    [--seed N] [--scale smoke|lab|paper]
+  tele corpus   [--seed N] [--count N]
+  tele simulate [--seed N] [--episodes N]
+  tele query    [--seed N] <query>      e.g. 'SELECT ?a WHERE { ?a type Alarm }'
+  tele train    [--seed N] [--steps N] [--retrain N] --out FILE
+  tele encode   --ckpt FILE <sentence> [<sentence> ...]";
+
+fn cmd_world(args: &Args) -> Result<(), String> {
+    let suite = Suite::generate(args.scale()?, args.u64_flag("seed", 17)?);
+    println!("{:?}", suite.world);
+    println!("{:?}", suite.built_kg.kg);
+    println!("\nNE types: {}", suite.world.ne_types.join(", "));
+    println!("\nfirst alarms:");
+    for a in suite.world.alarms.iter().take(5) {
+        println!(
+            "  {} [{}] {} (on {})",
+            a.code,
+            a.severity.label(),
+            a.name,
+            suite.world.ne_types[a.ne_type]
+        );
+    }
+    println!("\nfirst KPIs:");
+    for k in suite.world.kpis.iter().take(3) {
+        println!("  {} {} (baseline {:.2})", k.code, k.name, k.baseline);
+    }
+    println!(
+        "\ncausal DAG: {} edges, {} root alarms, max depth {}",
+        suite.world.causal_edges.len(),
+        suite.world.root_alarms().len(),
+        suite.world.causal_depths().iter().max().unwrap_or(&0)
+    );
+    Ok(())
+}
+
+fn cmd_corpus(args: &Args) -> Result<(), String> {
+    let suite = Suite::generate(args.scale()?, args.u64_flag("seed", 17)?);
+    let count = args.usize_flag("count", 10)?;
+    println!(
+        "tele corpus: {} sentences, {} causal\n",
+        suite.tele_corpus.len(),
+        suite.causal_sentences.len()
+    );
+    for s in suite.tele_corpus.iter().take(count) {
+        println!("  {s}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let suite = Suite::generate(args.scale()?, args.u64_flag("seed", 17)?);
+    let n = args.usize_flag("episodes", 3)?;
+    for (i, ep) in suite.episodes.iter().take(n).enumerate() {
+        println!(
+            "episode {i}: root {:?} on {}",
+            suite.world.event_name(ep.root_event),
+            suite.world.instances[ep.root_instance].name
+        );
+        for a in &ep.activations {
+            let kind = match (a.parent, suite.world.is_alarm(a.event)) {
+                (None, _) if a.event == ep.root_event => "root    ",
+                (None, _) => "spurious",
+                (_, true) => "alarm   ",
+                (_, false) => "kpi     ",
+            };
+            println!(
+                "  t={:>2} {kind} {:?} @ {}",
+                a.time,
+                suite.world.event_name(a.event),
+                suite.world.instances[a.instance].name
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let suite = Suite::generate(args.scale()?, args.u64_flag("seed", 17)?);
+    let q = args
+        .positional
+        .first()
+        .ok_or("query text required, e.g. 'SELECT ?a WHERE { ?a type Alarm }'")?;
+    let solutions = kg::query(&suite.built_kg.kg, q).map_err(|e| e.to_string())?;
+    println!("{} solution(s)", solutions.len());
+    for b in solutions.iter().take(25) {
+        let mut parts: Vec<String> = b
+            .iter()
+            .map(|(v, &e)| format!("?{v} = {:?}", suite.built_kg.kg.surface(e)))
+            .collect();
+        parts.sort();
+        println!("  {}", parts.join("  "));
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let out = args.flags.get("out").ok_or("--out FILE required")?;
+    let seed = args.u64_flag("seed", 17)?;
+    let steps = args.usize_flag("steps", 200)?;
+    let retrain_steps = args.usize_flag("retrain", 120)?;
+    let suite = Suite::generate(args.scale()?, seed);
+
+    let tokenizer = TeleTokenizer::train(
+        suite.tele_corpus.iter(),
+        &TokenizerConfig {
+            bpe_merges: 500,
+            special: SpecialTokenConfig::default(),
+            phrases: tele_knowledge::datagen::words::DOMAIN_PHRASES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        },
+    );
+    let encoder = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 64,
+        layers: 3,
+        heads: 4,
+        ffn_hidden: 128,
+        max_len: 48,
+        dropout: 0.1,
+    };
+    eprintln!("pre-training TeleBERT: {steps} steps (vocab {})", tokenizer.vocab_size());
+    let (telebert, log) = pretrain(
+        &suite.tele_corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig { steps, seed, ..Default::default() },
+    );
+    eprintln!("  final loss {:.3}", log.final_loss);
+
+    eprintln!("re-training KTeleBERT (IMTL): {retrain_steps} steps");
+    let templates = logs::log_templates(&suite.world, &suite.episodes);
+    let data = RetrainData {
+        causal_sentences: &suite.causal_sentences,
+        log_templates: &templates,
+        kg: &suite.built_kg.kg,
+    };
+    let (bundle, klog) = retrain(
+        telebert,
+        &data,
+        Strategy::Imtl,
+        &RetrainConfig { steps: retrain_steps, seed, ..Default::default() },
+    );
+    eprintln!("  final loss {:.3}", klog.final_loss);
+
+    std::fs::write(out, save_bundle(&bundle)).map_err(|e| e.to_string())?;
+    println!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn cmd_encode(args: &Args) -> Result<(), String> {
+    let ckpt = args.flags.get("ckpt").ok_or("--ckpt FILE required")?;
+    if args.positional.is_empty() {
+        return Err("at least one sentence required".into());
+    }
+    let json = std::fs::read_to_string(ckpt).map_err(|e| e.to_string())?;
+    let bundle = load_bundle(&json).map_err(|e| e.to_string())?;
+    let embs = bundle.encode_sentences(&args.positional);
+    for (s, e) in args.positional.iter().zip(&embs) {
+        let preview: Vec<String> = e.iter().take(6).map(|v| format!("{v:+.3}")).collect();
+        println!("{s:?} -> [{} …] ({} dims)", preview.join(", "), e.len());
+    }
+    if embs.len() >= 2 {
+        println!("\ncosine similarities:");
+        for i in 0..embs.len() {
+            for j in i + 1..embs.len() {
+                println!(
+                    "  ({i}, {j}): {:+.4}",
+                    cosine(&embs[i], &embs[j])
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # tele-knowledge
+//!
+//! A from-scratch Rust reproduction of *Tele-Knowledge Pre-training for
+//! Fault Analysis* (KTeleBERT, ICDE 2023).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! - [`tensor`] — CPU tensors, tape autograd, transformer layers, optimizers,
+//! - [`tokenizer`] — BPE, tele special tokens, prompt templates, WWM,
+//! - [`kg`] — the Tele-product Knowledge Graph,
+//! - [`datagen`] — the synthetic tele-world (corpora, logs, datasets),
+//! - [`model`] — TeleBERT / KTeleBERT pre-training and service embeddings,
+//! - [`tasks`] — the three downstream fault-analysis tasks.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end pipeline: generate a
+//! tele-world, pre-train TeleBERT, re-train KTeleBERT, and deliver service
+//! embeddings to a fault-analysis task.
+
+#![warn(missing_docs)]
+
+/// The tensor / autograd substrate (`tele-tensor`).
+pub use tele_tensor as tensor;
+
+/// Tokenization (`tele-tokenizer`).
+pub use tele_tokenizer as tokenizer;
+
+/// The Tele-KG (`tele-kg`).
+pub use tele_kg as kg;
+
+/// The synthetic tele-world generator (`tele-datagen`).
+pub use tele_datagen as datagen;
+
+/// The pre-training models (`ktelebert`).
+pub use ktelebert as model;
+
+/// The downstream fault-analysis tasks (`tele-tasks`).
+pub use tele_tasks as tasks;

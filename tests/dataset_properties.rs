@@ -1,0 +1,122 @@
+//! Property-based integration tests over the data-generation pipeline:
+//! invariants that must hold for *any* seed and scale parameters.
+
+use proptest::prelude::*;
+
+use tele_knowledge::datagen::logs::{simulate, LogSimConfig};
+use tele_knowledge::datagen::{TeleWorld, WorldConfig};
+use tele_knowledge::kg::Literal;
+
+fn small_world_config() -> impl Strategy<Value = WorldConfig> {
+    (any::<u64>(), 3usize..8, 1usize..4, 8usize..24, 2usize..10).prop_map(
+        |(seed, ne_types, inst, alarms, kpis)| WorldConfig {
+            seed,
+            ne_types,
+            instances_per_type: inst,
+            alarms,
+            kpis,
+            avg_out_degree: 1.5,
+            expert_coverage: 0.6,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn world_dag_is_acyclic_for_any_seed(cfg in small_world_config()) {
+        let w = TeleWorld::generate(cfg);
+        // Kahn's algorithm consumes every event iff the graph is a DAG.
+        let n = w.num_events();
+        let mut indeg = vec![0usize; n];
+        for e in &w.causal_edges {
+            indeg[e.dst] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for e in w.causal_edges.iter().filter(|e| e.src == u) {
+                indeg[e.dst] -= 1;
+                if indeg[e.dst] == 0 {
+                    queue.push(e.dst);
+                }
+            }
+        }
+        prop_assert_eq!(seen, n);
+    }
+
+    #[test]
+    fn episodes_follow_ground_truth(cfg in small_world_config(), sim_seed in any::<u64>()) {
+        let w = TeleWorld::generate(cfg);
+        let eps = simulate(&w, &LogSimConfig { seed: sim_seed, episodes: 5, ..Default::default() });
+        for ep in &eps {
+            // Every non-root activation must correspond to a causal edge,
+            // and times must increase along parent links.
+            for a in &ep.activations {
+                if let Some(p) = a.parent {
+                    let parent = &ep.activations[p];
+                    prop_assert!(a.time > parent.time);
+                    prop_assert!(w
+                        .causal_edges
+                        .iter()
+                        .any(|e| e.src == parent.event && e.dst == a.event));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kg_attributes_and_triples_consistent(cfg in small_world_config()) {
+        let w = TeleWorld::generate(cfg);
+        let built = tele_knowledge::datagen::kg_build::build_kg(&w);
+        let kg = &built.kg;
+        // Numeric attributes are all normalized impacts or baselines in [0, 1].
+        for e in kg.entity_ids() {
+            for (name, v) in kg.attributes(e) {
+                if let Literal::Number(v) = v {
+                    prop_assert!((0.0..=1.0).contains(v), "attribute {name} = {v}");
+                }
+            }
+        }
+        // Every triple's endpoints exist.
+        for t in kg.triples() {
+            prop_assert!(!kg.surface(t.head).is_empty());
+            prop_assert!(!kg.surface(t.tail).is_empty());
+        }
+    }
+
+    #[test]
+    fn rca_graphs_are_well_formed(cfg in small_world_config(), sim_seed in any::<u64>()) {
+        let w = TeleWorld::generate(cfg);
+        let eps = simulate(&w, &LogSimConfig { seed: sim_seed, episodes: 6, ..Default::default() });
+        let ds = tele_knowledge::datagen::downstream::rca::RcaDataset::build(&w, &eps);
+        for g in &ds.graphs {
+            prop_assert!(g.root < g.nodes.len());
+            prop_assert_eq!(g.features.len(), g.nodes.len());
+            for &(a, b) in &g.edges {
+                prop_assert!(a < g.nodes.len() && b < g.nodes.len());
+            }
+            // The root node carries at least one abnormal event.
+            prop_assert!(g.features[g.root].iter().sum::<f32>() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn fct_splits_disjoint(cfg in small_world_config(), sim_seed in any::<u64>()) {
+        let w = TeleWorld::generate(cfg);
+        let eps = simulate(&w, &LogSimConfig { seed: sim_seed, episodes: 20, ..Default::default() });
+        let ds = tele_knowledge::datagen::downstream::fct::FctDataset::build(&w, &eps, 3);
+        let mut all: Vec<_> = ds.all_facts().map(|f| (f.head, f.rel, f.tail)).collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), total, "duplicate facts across splits");
+        for f in ds.all_facts() {
+            prop_assert!(f.head < ds.num_nodes() && f.tail < ds.num_nodes());
+            prop_assert!(f.rel < ds.num_relations());
+            prop_assert!(f.conf > 0.0 && f.conf <= 1.0);
+        }
+    }
+}

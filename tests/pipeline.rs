@@ -1,0 +1,99 @@
+//! End-to-end integration test: the full paper pipeline at smoke scale.
+//!
+//! tele-world → corpora/logs/Tele-KG → tokenizer → TeleBERT pre-training →
+//! KTeleBERT re-training → service embeddings → all three downstream tasks.
+
+use tele_knowledge::datagen::{logs, Scale, Suite};
+use tele_knowledge::model::{
+    pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, ServiceFormat, Strategy,
+};
+use tele_knowledge::tasks::{
+    random_embeddings, run_eap, run_fct, run_rca, service_embeddings, EapTaskConfig,
+    FctTaskConfig, RcaTaskConfig,
+};
+use tele_knowledge::tensor::nn::TransformerConfig;
+use tele_knowledge::tokenizer::{TeleTokenizer, TokenizerConfig};
+
+#[test]
+fn full_pipeline_smoke() {
+    let suite = Suite::generate(Scale::Smoke, 101);
+    assert!(!suite.causal_sentences.is_empty());
+
+    // Tokenizer + tiny TeleBERT.
+    let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
+    let encoder = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 32,
+        layers: 2,
+        heads: 2,
+        ffn_hidden: 64,
+        max_len: 48,
+        dropout: 0.1,
+    };
+    let (telebert, log) = pretrain(
+        &suite.tele_corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig { steps: 15, batch_size: 4, ..Default::default() },
+    );
+    assert!(log.final_loss.is_finite());
+
+    // KTeleBERT (IMTL).
+    let templates = logs::log_templates(&suite.world, &suite.episodes);
+    let data = RetrainData {
+        causal_sentences: &suite.causal_sentences,
+        log_templates: &templates,
+        kg: &suite.built_kg.kg,
+    };
+    let (ktelebert, klog) = retrain(
+        telebert,
+        &data,
+        Strategy::Imtl,
+        &RetrainConfig { steps: 15, batch_size: 4, ke_batch: 2, ..Default::default() },
+    );
+    assert!(klog.final_loss.is_finite());
+    assert!(ktelebert.model.anenc.is_some());
+
+    // Service embeddings for event names.
+    let names: Vec<String> = (0..suite.world.num_events())
+        .map(|e| suite.world.event_name(e).to_string())
+        .collect();
+    let emb = service_embeddings(
+        &ktelebert,
+        Some(&suite.built_kg.kg),
+        &names,
+        ServiceFormat::EntityWithAttr,
+    );
+    assert_eq!(emb.len(), names.len());
+    assert!(emb.rows.iter().all(|r| r.iter().all(|v| v.is_finite())));
+
+    // All three downstream tasks run end-to-end on those embeddings.
+    let rca = run_rca(&suite.rca, &emb, &RcaTaskConfig { epochs: 2, ..Default::default() });
+    assert!(rca.mean.mr >= 1.0);
+    assert!(rca.mean.hits1 >= 0.0 && rca.mean.hits1 <= 100.0);
+
+    let neighbors: Vec<Vec<usize>> = (0..suite.world.instances.len())
+        .map(|i| suite.world.instance_neighbors(i))
+        .collect();
+    let eap = run_eap(&suite.eap, &emb, &neighbors, &EapTaskConfig { epochs: 2, ..Default::default() });
+    assert!(eap.mean.accuracy > 0.0);
+
+    let node_emb = service_embeddings(&ktelebert, None, &suite.fct.node_names, ServiceFormat::OnlyName);
+    let fct = run_fct(&suite.fct, &node_emb, &FctTaskConfig { epochs: 3, ..Default::default() });
+    assert!(fct.test.mrr > 0.0);
+}
+
+#[test]
+fn random_embeddings_flow_through_all_tasks() {
+    let suite = Suite::generate(Scale::Smoke, 102);
+    let names: Vec<String> = (0..suite.world.num_events())
+        .map(|e| suite.world.event_name(e).to_string())
+        .collect();
+    let emb = random_embeddings(&names, 32, 0);
+    let rca = run_rca(&suite.rca, &emb, &RcaTaskConfig { epochs: 2, ..Default::default() });
+    assert!(rca.folds.len() == 5);
+
+    let node_emb = random_embeddings(&suite.fct.node_names, 32, 1);
+    let fct = run_fct(&suite.fct, &node_emb, &FctTaskConfig { epochs: 2, ..Default::default() });
+    assert!(fct.test.mr >= 1.0);
+}

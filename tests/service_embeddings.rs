@@ -1,0 +1,75 @@
+//! Integration tests of the service-delivery layer: checkpoint round-trips
+//! across crates, delivery formats, and determinism guarantees.
+
+use tele_knowledge::datagen::{Scale, Suite};
+use tele_knowledge::model::{
+    load_bundle, pretrain, save_bundle, Pooling, PretrainConfig, ServiceEncoder, ServiceFormat,
+};
+use tele_knowledge::tensor::nn::TransformerConfig;
+use tele_knowledge::tokenizer::{TeleTokenizer, TokenizerConfig};
+
+fn trained_bundle(suite: &Suite) -> tele_knowledge::model::TeleBert {
+    let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
+    let encoder = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 32,
+        layers: 1,
+        heads: 2,
+        ffn_hidden: 64,
+        max_len: 48,
+        dropout: 0.1,
+    };
+    pretrain(
+        &suite.tele_corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig { steps: 10, batch_size: 4, ..Default::default() },
+    )
+    .0
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_service_embeddings() {
+    let suite = Suite::generate(Scale::Smoke, 77);
+    let bundle = trained_bundle(&suite);
+    let names: Vec<String> = (0..4)
+        .map(|e| suite.world.event_name(e).to_string())
+        .collect();
+
+    let kg = &suite.built_kg.kg;
+    let before = ServiceEncoder::new(&bundle, Some(kg)).encode(&names, ServiceFormat::EntityWithAttr);
+    let restored = load_bundle(&save_bundle(&bundle)).expect("load");
+    let after = ServiceEncoder::new(&restored, Some(kg)).encode(&names, ServiceFormat::EntityWithAttr);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn delivery_formats_are_distinct_but_deterministic() {
+    let suite = Suite::generate(Scale::Smoke, 78);
+    let bundle = trained_bundle(&suite);
+    let kg = &suite.built_kg.kg;
+    let names = vec![suite.world.event_name(0).to_string()];
+    let svc = ServiceEncoder::new(&bundle, Some(kg));
+
+    let a1 = svc.encode(&names, ServiceFormat::OnlyName);
+    let a2 = svc.encode(&names, ServiceFormat::OnlyName);
+    assert_eq!(a1, a2, "eval-mode encoding must be deterministic");
+
+    let b = svc.encode(&names, ServiceFormat::EntityNoAttr);
+    let c = svc.encode(&names, ServiceFormat::EntityWithAttr);
+    assert_ne!(a1[0], b[0]);
+    assert_ne!(b[0], c[0]);
+}
+
+#[test]
+fn pooling_strategies_differ() {
+    let suite = Suite::generate(Scale::Smoke, 79);
+    let bundle = trained_bundle(&suite);
+    let enc = bundle
+        .tokenizer
+        .encode(suite.world.event_name(0), bundle.model.encoder.cfg.max_len);
+    let cls = bundle.encode_encodings_pooled(std::slice::from_ref(&enc), Pooling::Cls);
+    let mean = bundle.encode_encodings_pooled(std::slice::from_ref(&enc), Pooling::Mean);
+    assert_eq!(cls[0].len(), mean[0].len());
+    assert_ne!(cls[0], mean[0]);
+}
