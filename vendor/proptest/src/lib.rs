@@ -1,0 +1,410 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Covers what this workspace's property tests use: the [`Strategy`] trait
+//! with `prop_map`, numeric range strategies, [`collection::vec`], simple
+//! character-class regex strategies (`"[a-zA-Z0-9]{1,8}"`), `any::<u64>()`,
+//! tuple strategies, the [`proptest!`] macro with an optional
+//! `ProptestConfig`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! No shrinking: a failing case reports its case index and message. Inputs
+//! are generated deterministically per test from the case index, so
+//! failures reproduce exactly on re-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic per-case RNG used by the [`proptest!`] expansion.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for case number `case` — stable across runs and platforms.
+    pub fn for_case(case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(0x70726F70_u64 ^ case.wrapping_mul(0x9E3779B97F4A7C15)))
+    }
+
+    /// Draws 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    /// The underlying seeded RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Test-runner configuration (subset: number of cases).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u64,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u64) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of an output type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The "any value" strategy for a type, e.g. `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f32, f64);
+
+/// Character-class regex strategies like `"[a-zA-Z0-9]{1,8}"`.
+///
+/// Supported grammar: one `[...]` class (literal characters and `a-z`
+/// ranges) followed by an optional `{n}` or `{n,m}` repetition (default:
+/// exactly one).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_char_class(self);
+        assert!(!alphabet.is_empty(), "empty character class in pattern {self:?}");
+        let len = rng.rng().gen_range(min..=max);
+        (0..len)
+            .map(|_| alphabet[rng.rng().gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+    let chars: Vec<char> = pattern.chars().collect();
+    assert!(
+        chars.first() == Some(&'['),
+        "proptest shim supports only `[class]{{n,m}}` patterns, got {pattern:?}"
+    );
+    let close = chars
+        .iter()
+        .position(|&c| c == ']')
+        .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+    let mut alphabet = Vec::new();
+    let mut i = 1;
+    while i < close {
+        if i + 2 < close && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    let rest: String = chars[close + 1..].iter().collect();
+    if rest.is_empty() {
+        return (alphabet, 1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition {rest:?} in {pattern:?}"));
+    let (min, max) = match inner.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad repetition lower bound"),
+            hi.trim().parse().expect("bad repetition upper bound"),
+        ),
+        None => {
+            let n = inner.trim().parse().expect("bad repetition count");
+            (n, n)
+        }
+    };
+    (alphabet, min, max)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident : $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Bounds for the length of a generated collection.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element` and
+    /// whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.rng().gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the current
+/// case fails with the formatted message (no panic unwinding per case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// block runs `cases` times with fresh random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$attr:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        panic!("proptest case {case} failed: {message}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..9, x in -1.0f32..1.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x), "x = {x}");
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in &v {
+                prop_assert!(*x < 5);
+            }
+        }
+
+        #[test]
+        fn regex_class_shape(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u64..10, 0u64..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(pair < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let strat = crate::collection::vec(0u64..100, 3..10);
+        let a = Strategy::generate(&strat, &mut TestRng::for_case(5));
+        let b = Strategy::generate(&strat, &mut TestRng::for_case(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline drop-in subset of `rand_distr`: the [`Normal`] distribution,
+//! which is all this workspace samples (Gaussian weight initialization).
+
+use rand::RngCore;
+
+/// Types that can be sampled given an RNG.
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std^2)` over `f32`.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f32,
+    std: f32,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std` must be finite and non-negative.
+    pub fn new(mean: f32, std: f32) -> Result<Self, NormalError> {
+        if !std.is_finite() || std < 0.0 {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl Distribution<f32> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // Box–Muller transform; u1 is kept away from 0 so ln(u1) is finite.
+        let unit = |r: &mut R| ((r.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        let u1 = f64::max(unit(rng), 1e-300);
+        let u2 = unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std * z as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_negative_std() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f32::NAN).is_err());
+    }
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Normal::new(2.0, 0.5).unwrap();
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+}

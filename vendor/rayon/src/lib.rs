@@ -1,0 +1,112 @@
+//! Offline drop-in subset of `rayon`: exactly the
+//! `par_chunks_mut(..).enumerate().for_each(..)` pipeline the tensor
+//! kernels use, implemented with `std::thread::scope` over the machine's
+//! available parallelism.
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::ParallelSliceMut;
+}
+
+/// Slices whose mutable chunks can be processed in parallel.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into non-overlapping mutable chunks of `chunk_size` elements
+    /// (last chunk may be shorter), processed in parallel on `for_each`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut { chunks: self.chunks.into_iter().enumerate().collect() }
+    }
+
+    /// Runs `f` on every chunk, distributing chunks across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run_parallel(self.chunks, &|c| f(c));
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+pub struct EnumChunksMut<'a, T> {
+    chunks: Vec<(usize, &'a mut [T])>,
+}
+
+impl<T: Send> EnumChunksMut<'_, T> {
+    /// Runs `f` on every `(index, chunk)` pair, distributing across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        run_parallel(self.chunks, &|(i, c)| f((i, c)));
+    }
+}
+
+/// Distributes `items` round-robin over up to `available_parallelism`
+/// scoped threads. Falls back to sequential execution for tiny workloads.
+fn run_parallel<I: Send, F: Fn(I) + Sync + ?Sized>(items: Vec<I>, f: &F) {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len());
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<I>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push(item);
+    }
+    std::thread::scope(|s| {
+        for bucket in buckets {
+            s.spawn(move || {
+                for item in bucket {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerated_chunks_cover_whole_slice() {
+        let mut data = vec![0usize; 103];
+        data.as_mut_slice().par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn plain_for_each_works() {
+        let mut data = vec![1i32; 64];
+        data.as_mut_slice().par_chunks_mut(7).for_each(|chunk| {
+            for v in chunk.iter_mut() {
+                *v *= 2;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+}

@@ -1,0 +1,509 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The build environment has no crates-io access, so the workspace vendors a
+//! minimal serde replacement. Instead of serde's zero-copy visitor
+//! architecture, this shim round-trips through an owned JSON-like
+//! [`Value`] tree: [`Serialize`] renders a value into a tree and
+//! [`Deserialize`] reads one back. The `serde_json` shim then prints and
+//! parses that tree. The derive macros (re-exported from `serde_derive`)
+//! cover the shapes this workspace uses: named/tuple/unit structs, enums
+//! with unit/tuple/struct variants, and the `#[serde(from = "T", into =
+//! "T")]` container attribute.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like data tree — the interchange format between
+/// [`Serialize`], [`Deserialize`] and the `serde_json` shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object, as ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Looks up a field of an object; absent fields read as [`Value::Null`]
+    /// (so `Option` fields tolerate missing keys).
+    pub fn field(&self, name: &str) -> &Value {
+        if let Value::Obj(entries) = self {
+            for (k, v) in entries {
+                if k == name {
+                    return v;
+                }
+            }
+        }
+        &NULL
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be read back from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads an instance from `v`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError(format!("integer {n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError(format!("integer {n} out of range"))),
+                    _ => Err(DeError::expected("unsigned integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError(format!("integer {n} out of range"))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError(format!("integer {n} out of range"))),
+                    _ => Err(DeError::expected("integer", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact, so the f64 shortest-round-trip printer
+        // preserves every f32 bit pattern (apart from NaN payloads).
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().map(|x| x as f32).ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(_: &Value) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// References and smart pointers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_boxlike {
+    ($($p:path),*) => {$(
+        impl<T: Serialize + ?Sized> Serialize for $p {
+            fn to_value(&self) -> Value {
+                (**self).to_value()
+            }
+        }
+        impl<T: Deserialize> Deserialize for $p {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                T::from_value(v).map(<$p>::new)
+            }
+        }
+    )*};
+}
+
+impl_boxlike!(Box<T>, std::sync::Arc<T>, std::rc::Rc<T>);
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_arr().ok_or_else(|| DeError::expected("array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Renders a map key as a JSON object key. Mirrors `serde_json`: string
+/// keys pass through, integer and boolean keys stringify.
+fn key_to_string(key: &Value) -> String {
+    match key {
+        Value::Str(s) => s.clone(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a string, integer or bool, got {}", other.kind()),
+    }
+}
+
+/// Reads a map key back: tries the key type directly as a string, then as
+/// a stringified integer (for numeric newtype keys like entity ids).
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        return K::from_value(&Value::U64(n));
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return K::from_value(&Value::I64(n));
+    }
+    Err(DeError(format!("cannot interpret object key {s:?}")))
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut rendered: Vec<(String, Value)> =
+        entries.map(|(k, v)| (key_to_string(&k.to_value()), v.to_value())).collect();
+    // Sort for deterministic output (HashMap iteration order is random).
+    rendered.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Obj(rendered)
+}
+
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize
+    for std::collections::HashMap<K, V>
+{
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_obj().ok_or_else(|| DeError::expected("object", v))?;
+        entries.iter().map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?))).collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_obj().ok_or_else(|| DeError::expected("object", v))?;
+        entries.iter().map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?))).collect()
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        // Sort the rendered output for determinism (set order is random);
+        // compare via the compact textual form.
+        items.sort_by_key(render_sort_key);
+        Value::Arr(items)
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_arr().ok_or_else(|| DeError::expected("array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_arr().ok_or_else(|| DeError::expected("array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+/// A total-order sort key over rendered values, used to emit hash-based
+/// collections deterministically.
+fn render_sort_key(v: &Value) -> String {
+    match v {
+        Value::Null => "n".to_string(),
+        Value::Bool(b) => format!("b{b}"),
+        Value::U64(n) => format!("u{n:020}"),
+        Value::I64(n) => format!("i{n:+021}"),
+        Value::F64(x) => format!("f{x}"),
+        Value::Str(s) => format!("s{s}"),
+        Value::Arr(items) => {
+            let mut out = "a".to_string();
+            for item in items {
+                out.push_str(&render_sort_key(item));
+                out.push('\u{1f}');
+            }
+            out
+        }
+        Value::Obj(entries) => {
+            let mut out = "o".to_string();
+            for (k, val) in entries {
+                out.push_str(k);
+                out.push('\u{1e}');
+                out.push_str(&render_sort_key(val));
+                out.push('\u{1f}');
+            }
+            out
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr; $($t:ident : $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_arr().ok_or_else(|| DeError::expected("array", v))?;
+                if items.len() != $n {
+                    return Err(DeError(format!(
+                        "expected array of length {}, found {}", $n, items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1; A: 0);
+impl_tuple!(2; A: 0, B: 1);
+impl_tuple!(3; A: 0, B: 1, C: 2);
+impl_tuple!(4; A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(5; A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple!(6; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let obj = Value::Obj(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.field("b"), &Value::Null);
+        assert_eq!(obj.field("a"), &Value::U64(1));
+    }
+
+    #[test]
+    fn hashmap_sorted_for_determinism() {
+        let mut m = std::collections::HashMap::new();
+        m.insert("z".to_string(), 1u32);
+        m.insert("a".to_string(), 2u32);
+        let v = m.to_value();
+        let entries = v.as_obj().unwrap();
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[1].0, "z");
+    }
+}

@@ -1,0 +1,493 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`), covering the shapes this workspace derives:
+//!
+//! - named-field structs (any field visibility, doc comments)
+//! - tuple structs (newtype structs serialize transparently)
+//! - unit structs
+//! - enums with unit, tuple and struct variants (externally tagged,
+//!   matching serde's default representation)
+//! - the `#[serde(from = "T", into = "T")]` container attribute
+//!
+//! Generic types are intentionally unsupported and panic at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by rendering into a `serde::Value` tree.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = if let Some(into_ty) = &item.into_ty {
+        format!(
+            "let proxy: {into_ty} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&proxy)"
+        )
+    } else {
+        serialize_body(&item)
+    };
+    let name = &item.name;
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` by reading back from a `serde::Value` tree.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = if let Some(from_ty) = &item.from_ty {
+        format!(
+            "let proxy: {from_ty} = ::serde::Deserialize::from_value(v)?;\n\
+             ::core::result::Result::Ok(::core::convert::From::from(proxy))"
+        )
+    } else {
+        deserialize_body(&item)
+    };
+    let name = &item.name;
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut from_ty = None;
+    let mut into_ty = None;
+
+    // Outer attributes: `#[...]`, looking for `#[serde(from = "T", into = "T")]`.
+    while is_punct(tokens.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            parse_serde_attr(g.stream(), &mut from_ty, &mut into_ty);
+        }
+        i += 2;
+    }
+
+    // Visibility: `pub` optionally followed by `(crate)` etc.
+    if is_ident(tokens.get(i), "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let is_enum = if is_ident(tokens.get(i), "struct") {
+        false
+    } else if is_ident(tokens.get(i), "enum") {
+        true
+    } else {
+        panic!("serde derive: expected `struct` or `enum`, found {:?}", tokens.get(i));
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if is_punct(tokens.get(i), '<') {
+        panic!("serde derive shim does not support generic type `{name}`");
+    }
+
+    let kind = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde derive: expected struct body, found {other:?}"),
+        }
+    };
+
+    Item { name, kind, from_ty, into_ty }
+}
+
+/// Extracts `from`/`into` types out of a `serde(...)` attribute group.
+fn parse_serde_attr(attr: TokenStream, from_ty: &mut Option<String>, into_ty: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    if !is_ident(tokens.first(), "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else { return };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        if let (Some(TokenTree::Ident(key)), true, Some(TokenTree::Literal(lit))) =
+            (args.get(i), is_punct(args.get(i + 1), '='), args.get(i + 2))
+        {
+            let ty = strip_quotes(&lit.to_string());
+            match key.to_string().as_str() {
+                "from" => *from_ty = Some(ty),
+                "into" => *into_ty = Some(ty),
+                other => panic!("serde derive shim: unsupported serde attribute `{other}`"),
+            }
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        }
+        i += 1;
+        assert!(is_punct(tokens.get(i), ':'), "serde derive: expected `:` after field name");
+        i = skip_type(&tokens, i + 1);
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type(&tokens, i);
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Skips any `#[...]` attributes and a `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    while is_punct(tokens.get(i), '#') {
+        i += 2; // `#` + bracket group
+    }
+    if is_ident(tokens.get(i), "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a type, honouring nested `<...>` so commas inside generics don't
+/// terminate the field. Returns the index of the token after the type.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn is_punct(token: Option<&TokenTree>, ch: char) -> bool {
+    matches!(token, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn is_ident(token: Option<&TokenTree>, text: &str) -> bool {
+    matches!(token, Some(TokenTree::Ident(id)) if id.to_string() == text)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Obj(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Arr(::std::vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Obj(::std::vec![{entries}]))]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    }
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?,"))
+                .collect();
+            format!(
+                "if v.as_obj().is_none() {{\n\
+                     return ::core::result::Result::Err(\
+                         ::serde::DeError::expected(\"object for struct {name}\", v));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join("\n")
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_arr().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array for tuple struct {name}\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError(::std::format!(\
+                         \"expected {n} fields for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push(format!(
+                        "\"{vname}\" => return ::core::result::Result::Ok({name}::{vname}),"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push(format!(
+                        "\"{vname}\" => return ::core::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => {{\n\
+                                 let items = payload.as_arr().ok_or_else(|| \
+                                     ::serde::DeError::expected(\
+                                         \"array for variant {name}::{vname}\", payload))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return ::core::result::Result::Err(::serde::DeError(\
+                                         ::std::format!(\"expected {n} fields for \
+                                         {name}::{vname}, found {{}}\", items.len())));\n\
+                                 }}\n\
+                                 return ::core::result::Result::Ok({name}::{vname}({}));\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     payload.field(\"{f}\"))?,"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => return ::core::result::Result::Ok(\
+                             {name}::{vname} {{\n{}\n}}),",
+                            inits.join("\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::core::option::Option::Some(tag) = v.as_str() {{\n\
+                     match tag {{\n{unit}\n_ => {{}}\n}}\n\
+                 }}\n\
+                 if let ::core::option::Option::Some(entries) = v.as_obj() {{\n\
+                     if entries.len() == 1 {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n{tagged}\n_ => {{}}\n}}\n\
+                     }}\n\
+                 }}\n\
+                 ::core::result::Result::Err(\
+                     ::serde::DeError::expected(\"variant of {name}\", v))",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    }
+}
