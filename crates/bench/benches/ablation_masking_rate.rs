@@ -16,16 +16,12 @@ use tele_tasks::EmbeddingTable;
 
 fn causal_auc(zoo: &Zoo, bundle: &ktelebert::TeleBert) -> f64 {
     let world = &zoo.suite.world;
-    let names: Vec<String> = (0..world.num_events())
-        .map(|e| world.event_name(e).to_string())
-        .collect();
+    let names: Vec<String> =
+        (0..world.num_events()).map(|e| world.event_name(e).to_string()).collect();
     let embs = EmbeddingTable::normalized(bundle.encode_sentences(&names)).rows;
     let cos = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
-    let pos: Vec<f32> = world
-        .causal_edges
-        .iter()
-        .map(|e| cos(&embs[e.src], &embs[e.dst]))
-        .collect();
+    let pos: Vec<f32> =
+        world.causal_edges.iter().map(|e| cos(&embs[e.src], &embs[e.dst])).collect();
     let mut rng = StdRng::seed_from_u64(3);
     let mut neg = Vec::new();
     while neg.len() < 400 {
@@ -44,7 +40,13 @@ fn causal_auc(zoo: &Zoo, bundle: &ktelebert::TeleBert) -> f64 {
     let mut wins = 0.0;
     for &p in &pos {
         for &n in &neg {
-            wins += if p > n { 1.0 } else if p == n { 0.5 } else { 0.0 };
+            wins += if p > n {
+                1.0
+            } else if p == n {
+                0.5
+            } else {
+                0.0
+            };
         }
     }
     wins / (pos.len() * neg.len()) as f64

@@ -18,7 +18,11 @@ fn main() {
     let kg = &zoo.suite.built_kg.kg;
 
     use ktelebert::ServiceFormat::*;
-    let formats = [("only name", OnlyName), ("entity w/o attr", EntityNoAttr), ("entity w/ attr", EntityWithAttr)];
+    let formats = [
+        ("only name", OnlyName),
+        ("entity w/o attr", EntityNoAttr),
+        ("entity w/ attr", EntityWithAttr),
+    ];
     let models = [("KTeleBERT-STL", &zoo.kstl), ("w/o ANEnc", &zoo.kstl_wo_anenc)];
 
     let mut table = Table::new(

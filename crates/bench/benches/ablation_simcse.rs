@@ -15,9 +15,8 @@ use tele_datagen::Scale;
 fn main() {
     let zoo = Zoo::load_or_train(Scale::from_env(), 17);
     let world = &zoo.suite.world;
-    let names: Vec<String> = (0..world.num_events())
-        .map(|e| world.event_name(e).to_string())
-        .collect();
+    let names: Vec<String> =
+        (0..world.num_events()).map(|e| world.event_name(e).to_string()).collect();
 
     let mut table = Table::new(
         "Ablation: SimCSE weight in stage-1 pre-training",
@@ -25,12 +24,8 @@ fn main() {
     );
     let mut dump = Vec::new();
     for weight in [0.0f32, 0.3, 1.0] {
-        let cfg = PretrainConfig {
-            steps: 400,
-            simcse_weight: weight,
-            seed: 21,
-            ..Default::default()
-        };
+        let cfg =
+            PretrainConfig { steps: 400, simcse_weight: weight, seed: 21, ..Default::default() };
         let (bundle, _) = pretrain(
             &zoo.suite.tele_corpus,
             &zoo.tokenizer,
@@ -43,17 +38,18 @@ fn main() {
         // Centered cosine gap between causal pairs and random non-pairs.
         let centered = tele_tasks::EmbeddingTable::normalized(raw).rows;
         let cos = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
-        let pos: f32 = world
-            .causal_edges
-            .iter()
-            .map(|e| cos(&centered[e.src], &centered[e.dst]))
-            .sum::<f32>()
-            / world.causal_edges.len() as f32;
+        let pos: f32 =
+            world.causal_edges.iter().map(|e| cos(&centered[e.src], &centered[e.dst])).sum::<f32>()
+                / world.causal_edges.len() as f32;
         let mut neg_sum = 0.0;
         let mut count = 0;
         for a in 0..world.num_events() {
             for b in (a + 1)..world.num_events() {
-                if !world.causal_edges.iter().any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a)) {
+                if !world
+                    .causal_edges
+                    .iter()
+                    .any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
+                {
                     neg_sum += cos(&centered[a], &centered[b]);
                     count += 1;
                 }
@@ -61,11 +57,7 @@ fn main() {
         }
         let gap = pos - neg_sum / count as f32;
         eprintln!("[simcse] w={weight}: collapse {collapse:.3}, gap {gap:+.3}");
-        table.row(vec![
-            format!("{weight}"),
-            format!("{collapse:.3}"),
-            format!("{gap:+.3}"),
-        ]);
+        table.row(vec![format!("{weight}"), format!("{collapse:.3}"), format!("{gap:+.3}")]);
         dump.push((weight, collapse, gap));
     }
     table.print();

@@ -40,6 +40,9 @@ fn main() {
     println!("\nShape checks:");
     let ok_with = with.distance_spearman > 0.6;
     let ok_gap = with.distance_spearman > without.distance_spearman;
-    println!("  [{}] with L_nc preserves value magnitude (ρ > 0.6)", if ok_with { "ok" } else { "MISS" });
+    println!(
+        "  [{}] with L_nc preserves value magnitude (ρ > 0.6)",
+        if ok_with { "ok" } else { "MISS" }
+    );
     println!("  [{}] L_nc improves structure over no-L_nc", if ok_gap { "ok" } else { "MISS" });
 }

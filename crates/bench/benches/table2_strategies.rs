@@ -28,11 +28,8 @@ fn main() {
             // Stage boundaries follow the IMTL 40/50/30 split of Table II;
             // STL/PMTL are single-stage.
             let (b1, b2) = (total * 40 / 120, total * 90 / 120);
-            let stages = [
-                count_stage(&s, 0..b1),
-                count_stage(&s, b1..b2),
-                count_stage(&s, b2..total),
-            ];
+            let stages =
+                [count_stage(&s, 0..b1), count_stage(&s, b1..b2), count_stage(&s, b2..total)];
             let objective = match strategy {
                 Strategy::Stl => "L_num + L_mask",
                 Strategy::Pmtl => "L_num + L_mask + L_ke",

@@ -23,5 +23,8 @@ fn main() {
 
     assert!(s.graphs > 0 && s.features > 0);
     println!("\nNote: the paper's RCA system has 349 event types; our single shared");
-    println!("tele-world uses {} (sized to match Table V's 86 events). See EXPERIMENTS.md.", s.features);
+    println!(
+        "tele-world uses {} (sized to match Table V's 86 events). See EXPERIMENTS.md.",
+        s.features
+    );
 }

@@ -38,9 +38,14 @@ fn main() {
     let checks = [
         ("TeleBERT > Random (Hits@1)", get("TeleBERT").hits1 > get("Random").hits1),
         ("TeleBERT >= MacBERT (Hits@1)", get("TeleBERT").hits1 >= get("MacBERT").hits1),
-        ("KTeleBERT-STL >= w/o ANEnc (Hits@1)", get("KTeleBERT-STL").hits1 >= get("w/o ANEnc").hits1),
-        ("best KTeleBERT >= TeleBERT (Hits@1)",
-            get("KTeleBERT-PMTL").hits1.max(get("KTeleBERT-IMTL").hits1) >= get("TeleBERT").hits1),
+        (
+            "KTeleBERT-STL >= w/o ANEnc (Hits@1)",
+            get("KTeleBERT-STL").hits1 >= get("w/o ANEnc").hits1,
+        ),
+        (
+            "best KTeleBERT >= TeleBERT (Hits@1)",
+            get("KTeleBERT-PMTL").hits1.max(get("KTeleBERT-IMTL").hits1) >= get("TeleBERT").hits1,
+        ),
     ];
     println!("\nShape checks:");
     for (name, ok) in checks {

@@ -30,8 +30,10 @@ fn main() {
     let checks = [
         ("TeleBERT > MacBERT (Accuracy)", get("TeleBERT").accuracy > get("MacBERT").accuracy),
         ("KTeleBERT-STL >= TeleBERT (F1)", get("KTeleBERT-STL").f1 >= get("TeleBERT").f1),
-        ("KTeleBERT-STL >= w/o ANEnc (Accuracy)",
-            get("KTeleBERT-STL").accuracy >= get("w/o ANEnc").accuracy),
+        (
+            "KTeleBERT-STL >= w/o ANEnc (Accuracy)",
+            get("KTeleBERT-STL").accuracy >= get("w/o ANEnc").accuracy,
+        ),
     ];
     println!("\nShape checks:");
     for (name, ok) in checks {

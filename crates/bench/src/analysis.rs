@@ -16,10 +16,8 @@ pub fn pca_2d(rows: &[Vec<f32>]) -> Vec<(f32, f32)> {
             *m += v / n as f32;
         }
     }
-    let centered: Vec<Vec<f32>> = rows
-        .iter()
-        .map(|r| r.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
-        .collect();
+    let centered: Vec<Vec<f32>> =
+        rows.iter().map(|r| r.iter().zip(&mean).map(|(&v, &m)| v - m).collect()).collect();
 
     let flat: Vec<f32> = centered.iter().flatten().copied().collect();
     let x = Tensor::from_vec(flat, [n, d]);
@@ -149,9 +147,8 @@ mod tests {
     #[test]
     fn pca_separates_line_structure() {
         // Points along a line in 8-D: PC1 should recover the ordering.
-        let rows: Vec<Vec<f32>> = (0..10)
-            .map(|i| (0..8).map(|k| i as f32 * (k as f32 + 1.0) * 0.1).collect())
-            .collect();
+        let rows: Vec<Vec<f32>> =
+            (0..10).map(|i| (0..8).map(|k| i as f32 * (k as f32 + 1.0) * 0.1).collect()).collect();
         let proj = pca_2d(&rows);
         let xs: Vec<f64> = proj.iter().map(|p| p.0 as f64).collect();
         let order: Vec<f64> = (0..10).map(|i| i as f64).collect();

@@ -39,9 +39,8 @@ fn auc(pos: &[f32], neg: &[f32]) -> f64 {
 
 fn probe(zoo: &Zoo, name: &str, bundle: &TeleBert, pooling: Pooling) {
     let world = &zoo.suite.world;
-    let names: Vec<String> = (0..world.num_events())
-        .map(|e| world.event_name(e).to_string())
-        .collect();
+    let names: Vec<String> =
+        (0..world.num_events()).map(|e| world.event_name(e).to_string()).collect();
     let encs: Vec<_> = names
         .iter()
         .map(|n| bundle.tokenizer.encode(n, bundle.model.encoder.cfg.max_len))
@@ -49,16 +48,18 @@ fn probe(zoo: &Zoo, name: &str, bundle: &TeleBert, pooling: Pooling) {
     let embs = centered(bundle.encode_encodings_pooled(&encs, pooling));
 
     let mut rng = StdRng::seed_from_u64(1);
-    let pos: Vec<f32> = world
-        .causal_edges
-        .iter()
-        .map(|e| cosine(&embs[e.src], &embs[e.dst]))
-        .collect();
+    let pos: Vec<f32> =
+        world.causal_edges.iter().map(|e| cosine(&embs[e.src], &embs[e.dst])).collect();
     let mut neg = Vec::new();
     while neg.len() < 300 {
         let a = rng.gen_range(0..world.num_events());
         let b = rng.gen_range(0..world.num_events());
-        if a == b || world.causal_edges.iter().any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a)) {
+        if a == b
+            || world
+                .causal_edges
+                .iter()
+                .any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
+        {
             continue;
         }
         neg.push(cosine(&embs[a], &embs[b]));

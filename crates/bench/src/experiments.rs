@@ -98,12 +98,10 @@ pub struct BinaryRow {
 /// Runs Table VI (event association prediction) across all providers.
 pub fn table6_rows(zoo: &Zoo, seed: u64) -> Vec<BinaryRow> {
     let world = &zoo.suite.world;
-    let names: Vec<String> = (0..world.num_events())
-        .map(|e| world.event_name(e).to_string())
-        .collect();
-    let neighbors: Vec<Vec<usize>> = (0..world.instances.len())
-        .map(|i| world.instance_neighbors(i))
-        .collect();
+    let names: Vec<String> =
+        (0..world.num_events()).map(|e| world.event_name(e).to_string()).collect();
+    let neighbors: Vec<Vec<usize>> =
+        (0..world.instances.len()).map(|i| world.instance_neighbors(i)).collect();
     let cfg = EapTaskConfig { seed, ..Default::default() };
     let fmt = ServiceFormat::EntityWithAttr;
     let providers: Vec<(&str, Provider<'_>)> = vec![
@@ -186,7 +184,12 @@ pub fn fig10(with_nc: bool, seed: u64) -> Fig10Result {
 
     // One fixed tag embedding: the sweep isolates the value axis.
     let tag_row: Vec<f32> = (0..dim).map(|i| ((i as f32) * 0.37).sin() * 0.3).collect();
-    fn make_tags<'t>(tape: &'t Tape, tag_row: &[f32], k: usize, dim: usize) -> tele_tensor::Var<'t> {
+    fn make_tags<'t>(
+        tape: &'t Tape,
+        tag_row: &[f32],
+        k: usize,
+        dim: usize,
+    ) -> tele_tensor::Var<'t> {
         let data: Vec<f32> = (0..k).flat_map(|_| tag_row.iter().copied()).collect();
         tape.constant(Tensor::from_vec(data, [k, dim]))
     }
@@ -222,12 +225,8 @@ pub fn fig10(with_nc: bool, seed: u64) -> Fig10Result {
     for i in 0..values.len() {
         for j in i + 1..values.len() {
             dv.push((values[i] - values[j]).abs() as f64);
-            let d: f32 = rows[i]
-                .iter()
-                .zip(&rows[j])
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f32>()
-                .sqrt();
+            let d: f32 =
+                rows[i].iter().zip(&rows[j]).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
             de.push(d as f64);
         }
     }

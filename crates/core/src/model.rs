@@ -64,14 +64,12 @@ pub struct EncodeOutput<'t> {
 impl TeleModel {
     /// Creates the model, registering parameters under `name`.
     pub fn new(store: &mut ParamStore, name: &str, cfg: &ModelConfig, rng: &mut StdRng) -> Self {
-        let encoder = TransformerEncoder::new(store, &format!("{name}.enc"), cfg.encoder.clone(), rng);
-        let anenc = cfg
-            .anenc
-            .as_ref()
-            .map(|a| {
-                assert_eq!(a.dim, cfg.encoder.dim, "ANEnc width must match the encoder");
-                Anenc::new(store, &format!("{name}.anenc"), a.clone(), rng)
-            });
+        let encoder =
+            TransformerEncoder::new(store, &format!("{name}.enc"), cfg.encoder.clone(), rng);
+        let anenc = cfg.anenc.as_ref().map(|a| {
+            assert_eq!(a.dim, cfg.encoder.dim, "ANEnc width must match the encoder");
+            Anenc::new(store, &format!("{name}.anenc"), a.clone(), rng)
+        });
         let mlm_bias = store.create(format!("{name}.mlm_bias"), Tensor::zeros([cfg.encoder.vocab]));
         TeleModel { encoder, anenc, mlm_bias }
     }
@@ -95,9 +93,8 @@ impl TeleModel {
         let ids = ids_override.unwrap_or(&batch.ids);
         assert_eq!(ids.len(), batch.batch * batch.seq, "id override length mismatch");
         let d = self.dim();
-        let mut x = self
-            .encoder
-            .embed(tape, store, ids, batch.batch, batch.seq, rng.as_deref_mut());
+        let mut x =
+            self.encoder.embed(tape, store, ids, batch.batch, batch.seq, rng.as_deref_mut());
 
         // Splice numeric embeddings at the [NUM] slots.
         let mut numeric_h = None;
@@ -154,10 +151,7 @@ impl TeleModel {
         let (b, s, d) = (shape.dim(0), shape.dim(1), shape.dim(2));
         let tok = self.encoder.tok_embedding().weight(tape, store);
         let bias = tape.param(store, self.mlm_bias);
-        hidden
-            .reshape([b * s, d])
-            .matmul(tok.transpose(0, 1))
-            .add(bias)
+        hidden.reshape([b * s, d]).matmul(tok.transpose(0, 1)).add(bias)
     }
 
     /// `[CLS]` sentence embeddings `[batch, d]` from hidden states.
@@ -224,9 +218,8 @@ impl TeleBert {
             let refs: Vec<&tele_tokenizer::Encoding> = chunk.iter().collect();
             let batch = Batch::collate(&refs);
             let tape = Tape::new();
-            let enc = self
-                .model
-                .encode(&tape, &self.store, &batch, None, Some(&self.normalizer), None);
+            let enc =
+                self.model.encode(&tape, &self.store, &batch, None, Some(&self.normalizer), None);
             match pooling {
                 Pooling::Cls => {
                     let cls = TeleModel::cls(enc.hidden).value();
@@ -330,7 +323,8 @@ mod tests {
         let run = |with_anenc: bool, value: f32| -> Vec<f32> {
             let mut rng2 = StdRng::seed_from_u64(7);
             let mut store = ParamStore::new();
-            let model = TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), with_anenc), &mut rng2);
+            let model =
+                TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), with_anenc), &mut rng2);
             let enc = tok.encode_template(&patterns::kpi("success rate", "SMF", value), 32);
             let batch = Batch::collate(&[&enc]);
             let tape = Tape::new();
@@ -368,12 +362,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut store = ParamStore::new();
         let model = TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), false), &mut rng);
-        let bundle = TeleBert {
-            store,
-            model,
-            tokenizer: tok,
-            normalizer: TagNormalizer::new(),
-        };
+        let bundle = TeleBert { store, model, tokenizer: tok, normalizer: TagNormalizer::new() };
         let embs = bundle.encode_sentences(&[
             "the control plane is congested".to_string(),
             "success rate of registration drops".to_string(),

@@ -88,7 +88,8 @@ mod tests {
         kg.add_attribute(e, "severity", Literal::Text("critical".into()));
         kg.add_attribute(e, "impact", Literal::Number(0.8));
 
-        let corpus: Vec<String> = (0..15).map(|_| "control plane congested severity critical".to_string()).collect();
+        let corpus: Vec<String> =
+            (0..15).map(|_| "control plane congested severity critical".to_string()).collect();
         let tokenizer = TeleTokenizer::train(corpus, &TokenizerConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
@@ -101,7 +102,8 @@ mod tests {
             max_len: 32,
             dropout: 0.1,
         };
-        let model = TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
+        let model =
+            TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
         let bundle = TeleBert { store, model, tokenizer, normalizer: TagNormalizer::new() };
         (bundle, kg)
     }

@@ -80,7 +80,8 @@ mod tests {
             max_len: 16,
             dropout: 0.2,
         };
-        let model = TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
+        let model =
+            TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
         let encs: Vec<Encoding> = (0..4)
             .map(|i| Encoding {
                 ids: vec![2, 20 + i, 21 + i, 22 + i, 3],

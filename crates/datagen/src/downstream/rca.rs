@@ -57,10 +57,7 @@ impl RcaDataset {
     /// Builds the dataset from simulated episodes.
     pub fn build(world: &TeleWorld, episodes: &[Episode]) -> Self {
         let num_features = world.num_events();
-        let graphs = episodes
-            .iter()
-            .map(|ep| build_graph(world, ep, num_features))
-            .collect();
+        let graphs = episodes.iter().map(|ep| build_graph(world, ep, num_features)).collect();
         RcaDataset { graphs, num_features }
     }
 

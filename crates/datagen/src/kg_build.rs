@@ -46,11 +46,8 @@ pub fn build_kg(world: &TeleWorld) -> BuiltKg {
     let indicator = schema.add_class("Indicator", event_root);
     let kpi_cls = schema.add_class("KPI", indicator);
     let ne_cls = schema.add_class("NetworkElement", resource_root);
-    let ne_type_classes: Vec<_> = world
-        .ne_types
-        .iter()
-        .map(|t| schema.add_class(&format!("{t}Element"), ne_cls))
-        .collect();
+    let ne_type_classes: Vec<_> =
+        world.ne_types.iter().map(|t| schema.add_class(&format!("{t}Element"), ne_cls)).collect();
 
     let mut kg = TeleKg::new(schema);
     let trigger = kg.add_relation(relations::TRIGGER);
@@ -101,7 +98,11 @@ pub fn build_kg(world: &TeleWorld) -> BuiltKg {
         let e = kg.add_entity(&k.name, kpi_cls);
         kg.add_attribute(e, "kpi code", Literal::Text(k.code.clone()));
         kg.add_attribute(e, "baseline value", Literal::Number(k.baseline));
-        kg.add_attribute(e, "propagation impact", Literal::Number(impact[world.alarms.len() + k.id]));
+        kg.add_attribute(
+            e,
+            "propagation impact",
+            Literal::Number(impact[world.alarms.len() + k.id]),
+        );
         kg.add_triple(e, measured, type_entities[k.ne_type]);
         event_entities.push(e);
     }
@@ -157,10 +158,7 @@ mod tests {
         assert_eq!(b.event_entities.len(), w.num_events());
         assert_eq!(b.instance_entities.len(), w.instances.len());
         assert_eq!(b.type_entities.len(), w.ne_types.len());
-        assert_eq!(
-            b.kg.num_entities(),
-            w.num_events() + w.instances.len() + w.ne_types.len()
-        );
+        assert_eq!(b.kg.num_entities(), w.num_events() + w.instances.len() + w.ne_types.len());
     }
 
     #[test]
@@ -214,12 +212,8 @@ mod tests {
         let (w, _) = built();
         let impact = propagation_impact(&w);
         assert!(impact.iter().all(|&v| (0.0..=1.0).contains(&v)));
-        let max_idx = impact
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx =
+            impact.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         // The most impactful event cannot be a KPI (KPIs are sinks).
         assert!(w.is_alarm(max_idx));
     }

@@ -17,8 +17,8 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
-pub mod extensions;
 pub mod downstream;
+pub mod extensions;
 pub mod kg_build;
 pub mod logs;
 mod suite;

@@ -132,9 +132,7 @@ impl Default for LogSimConfig {
 /// elsewhere — the co-variation signal ANEnc learns from).
 pub fn simulate(world: &TeleWorld, cfg: &LogSimConfig) -> Vec<Episode> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    (0..cfg.episodes)
-        .map(|_| simulate_episode(world, cfg, &mut rng))
-        .collect()
+    (0..cfg.episodes).map(|_| simulate_episode(world, cfg, &mut rng)).collect()
 }
 
 fn simulate_episode(world: &TeleWorld, cfg: &LogSimConfig, rng: &mut StdRng) -> Episode {
@@ -144,7 +142,8 @@ fn simulate_episode(world: &TeleWorld, cfg: &LogSimConfig, rng: &mut StdRng) -> 
     let root_event: EventId = rng.gen_range(0..world.alarms.len());
     let root_instance = pick_instance(world, world.event_ne_type(root_event), None, rng);
 
-    let mut activations = vec![Activation { event: root_event, instance: root_instance, time: 0, parent: None }];
+    let mut activations =
+        vec![Activation { event: root_event, instance: root_instance, time: 0, parent: None }];
     let mut activated_events = vec![false; world.num_events()];
     activated_events[root_event] = true;
 
@@ -203,10 +202,8 @@ fn simulate_episode(world: &TeleWorld, cfg: &LogSimConfig, rng: &mut StdRng) -> 
     let max_time = activations.iter().map(|a| a.time).max().unwrap_or(0);
     for kpi in &world.kpis {
         let global: EventId = world.alarms.len() + kpi.id;
-        let activated_on: Option<usize> = activations
-            .iter()
-            .find(|a| a.event == global)
-            .map(|a| a.instance);
+        let activated_on: Option<usize> =
+            activations.iter().find(|a| a.event == global).map(|a| a.instance);
         for &inst in &involved {
             if world.instances[inst].ne_type != kpi.ne_type {
                 continue;
@@ -262,7 +259,12 @@ pub fn log_templates(
 /// Picks an NE instance of the given type, preferring topology neighbors of
 /// `near` (so propagation follows the network graph, which the EAP task's
 /// topology feature relies on).
-fn pick_instance(world: &TeleWorld, ne_type: usize, near: Option<usize>, rng: &mut StdRng) -> usize {
+fn pick_instance(
+    world: &TeleWorld,
+    ne_type: usize,
+    near: Option<usize>,
+    rng: &mut StdRng,
+) -> usize {
     if let Some(src) = near {
         let neighbors: Vec<usize> = world
             .instance_neighbors(src)
@@ -344,7 +346,10 @@ mod tests {
     #[test]
     fn spurious_alarms_are_parentless_and_marked() {
         let w = TeleWorld::generate(WorldConfig::default());
-        let eps = simulate(&w, &LogSimConfig { seed: 5, episodes: 40, spurious_alarms: 2.0, ..Default::default() });
+        let eps = simulate(
+            &w,
+            &LogSimConfig { seed: 5, episodes: 40, spurious_alarms: 2.0, ..Default::default() },
+        );
         let mut saw_spurious = false;
         for ep in &eps {
             for (i, a) in ep.activations.iter().enumerate() {
@@ -360,7 +365,10 @@ mod tests {
     #[test]
     fn zero_spurious_rate_produces_none() {
         let w = TeleWorld::generate(WorldConfig::default());
-        let eps = simulate(&w, &LogSimConfig { seed: 5, episodes: 20, spurious_alarms: 0.0, ..Default::default() });
+        let eps = simulate(
+            &w,
+            &LogSimConfig { seed: 5, episodes: 20, spurious_alarms: 0.0, ..Default::default() },
+        );
         for ep in &eps {
             for (i, a) in ep.activations.iter().enumerate() {
                 assert!(i == 0 || a.parent.is_some());

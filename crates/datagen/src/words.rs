@@ -7,88 +7,173 @@
 
 /// 5G-core / EPC network-element type names.
 pub const NE_TYPES: &[&str] = &[
-    "AMF", "SMF", "UPF", "PCF", "UDM", "AUSF", "NRF", "NSSF", "UDR", "NEF",
-    "SGW", "PGW", "MME", "HSS", "PCRF", "GNB", "CU", "DU", "RRU", "BBU",
+    "AMF", "SMF", "UPF", "PCF", "UDM", "AUSF", "NRF", "NSSF", "UDR", "NEF", "SGW", "PGW", "MME",
+    "HSS", "PCRF", "GNB", "CU", "DU", "RRU", "BBU",
 ];
 
 /// Reference-point / interface names.
 pub const INTERFACES: &[&str] = &[
-    "N1", "N2", "N3", "N4", "N6", "N8", "N10", "N11", "N12", "N15", "N22",
-    "S1", "S5", "S6A", "S11", "X2", "XN", "F1", "E1", "NG",
+    "N1", "N2", "N3", "N4", "N6", "N8", "N10", "N11", "N12", "N15", "N22", "S1", "S5", "S6A",
+    "S11", "X2", "XN", "F1", "E1", "NG",
 ];
 
 /// Components that can fail inside a network element.
 pub const COMPONENTS: &[&str] = &[
-    "destination service", "heartbeat link", "signaling channel", "control plane",
-    "user plane", "registration module", "session context", "license file",
-    "certificate chain", "configuration database", "routing table", "dns resolver",
-    "backup board", "clock source", "optical port", "message queue",
-    "subscription profile", "policy engine", "charging gateway", "paging channel",
+    "destination service",
+    "heartbeat link",
+    "signaling channel",
+    "control plane",
+    "user plane",
+    "registration module",
+    "session context",
+    "license file",
+    "certificate chain",
+    "configuration database",
+    "routing table",
+    "dns resolver",
+    "backup board",
+    "clock source",
+    "optical port",
+    "message queue",
+    "subscription profile",
+    "policy engine",
+    "charging gateway",
+    "paging channel",
 ];
 
 /// Failure modes paired with components to form alarm phrases.
 pub const FAILURE_MODES: &[&str] = &[
-    "is unreachable", "has failed", "is interrupted", "timed out",
-    "is congested", "lost synchronization", "is overloaded", "was rejected",
-    "is degraded", "went offline", "expired", "is corrupted",
-    "reset unexpectedly", "dropped packets", "exceeded threshold", "is flapping",
+    "is unreachable",
+    "has failed",
+    "is interrupted",
+    "timed out",
+    "is congested",
+    "lost synchronization",
+    "is overloaded",
+    "was rejected",
+    "is degraded",
+    "went offline",
+    "expired",
+    "is corrupted",
+    "reset unexpectedly",
+    "dropped packets",
+    "exceeded threshold",
+    "is flapping",
 ];
 
 /// Measured procedures for KPI names.
 pub const PROCEDURES: &[&str] = &[
-    "initial registration", "session establishment", "handover execution",
-    "paging response", "service request", "bearer activation",
-    "authentication exchange", "policy update", "pdu session modification",
-    "subscriber lookup", "charging report", "slice selection",
+    "initial registration",
+    "session establishment",
+    "handover execution",
+    "paging response",
+    "service request",
+    "bearer activation",
+    "authentication exchange",
+    "policy update",
+    "pdu session modification",
+    "subscriber lookup",
+    "charging report",
+    "slice selection",
 ];
 
 /// Metrics paired with procedures to form KPI names.
 pub const METRICS: &[&str] = &[
-    "success rate", "request count", "average latency", "failure ratio",
-    "timeout count", "retry rate", "throughput", "drop rate",
+    "success rate",
+    "request count",
+    "average latency",
+    "failure ratio",
+    "timeout count",
+    "retry rate",
+    "throughput",
+    "drop rate",
 ];
 
 /// Causal connective phrases; sentences containing any of these are
 /// extracted as causal sentences during re-training (paper Sec. IV-A1).
 pub const CAUSAL_KEYWORDS: &[&str] = &[
-    "leads to", "results in", "causes", "triggers", "affects",
-    "is caused by", "is triggered by", "gives rise to", "brings about",
+    "leads to",
+    "results in",
+    "causes",
+    "triggers",
+    "affects",
+    "is caused by",
+    "is triggered by",
+    "gives rise to",
+    "brings about",
     "further induces",
 ];
 
 /// Non-causal connective phrases for filler sentences.
 pub const NEUTRAL_CONNECTIVES: &[&str] = &[
-    "is documented alongside", "is unrelated to", "is monitored together with",
-    "is reported near", "shares a dashboard with",
+    "is documented alongside",
+    "is unrelated to",
+    "is monitored together with",
+    "is reported near",
+    "shares a dashboard with",
 ];
 
 /// Multi-word domain phrases used as whole words for WWM (the paper's
 /// 372k-entry proper-noun vocabulary, scaled down).
 pub const DOMAIN_PHRASES: &[&str] = &[
-    "network congestion points", "dedicated control channel",
-    "session establishment reject", "initial registration requests",
-    "quality of service", "network function", "user plane function",
-    "packet data unit", "service level agreement", "fault propagation chain",
+    "network congestion points",
+    "dedicated control channel",
+    "session establishment reject",
+    "initial registration requests",
+    "quality of service",
+    "network function",
+    "user plane function",
+    "packet data unit",
+    "service level agreement",
+    "fault propagation chain",
 ];
 
 /// Generic (non-tele) vocabulary for the baseline corpus that stands in for
 /// MacBERT's general-domain pre-training data.
 pub const GENERIC_SUBJECTS: &[&str] = &[
-    "the library", "a museum", "the garden", "the bakery", "a festival",
-    "the orchestra", "a bridge", "the harbor", "a bookstore", "the bakery cart",
-    "the village", "a lighthouse", "the market", "a workshop", "the gallery",
+    "the library",
+    "a museum",
+    "the garden",
+    "the bakery",
+    "a festival",
+    "the orchestra",
+    "a bridge",
+    "the harbor",
+    "a bookstore",
+    "the bakery cart",
+    "the village",
+    "a lighthouse",
+    "the market",
+    "a workshop",
+    "the gallery",
 ];
 
 /// Generic verbs for the baseline corpus.
 pub const GENERIC_VERBS: &[&str] = &[
-    "opens near", "closes beside", "welcomes", "collects", "displays",
-    "organizes", "restores", "celebrates", "hosts", "borrows from",
+    "opens near",
+    "closes beside",
+    "welcomes",
+    "collects",
+    "displays",
+    "organizes",
+    "restores",
+    "celebrates",
+    "hosts",
+    "borrows from",
 ];
 
 /// Generic objects for the baseline corpus.
 pub const GENERIC_OBJECTS: &[&str] = &[
-    "old paintings", "fresh bread", "quiet streets", "rare books", "spring flowers",
-    "wooden boats", "evening concerts", "stone arches", "paper lanterns", "herbal tea",
+    "old paintings",
+    "fresh bread",
+    "quiet streets",
+    "rare books",
+    "spring flowers",
+    "wooden boats",
+    "evening concerts",
+    "stone arches",
+    "paper lanterns",
+    "herbal tea",
 ];
 
 #[cfg(test)]

@@ -166,10 +166,8 @@ impl TeleWorld {
         assert!(config.alarms >= 4, "need at least a few alarm types");
         let mut rng = StdRng::seed_from_u64(config.seed);
 
-        let ne_types: Vec<String> = words::NE_TYPES[..config.ne_types]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let ne_types: Vec<String> =
+            words::NE_TYPES[..config.ne_types].iter().map(|s| s.to_string()).collect();
 
         // Alarm catalog: unique (component, failure mode) phrases.
         let mut phrases: Vec<(usize, usize)> = (0..words::COMPONENTS.len())
@@ -207,7 +205,9 @@ impl TeleWorld {
             .iter()
             .enumerate()
             .map(|(id, &(m, p))| {
-                let direction = if words::METRICS[m].contains("rate") && words::METRICS[m].contains("success") {
+                let direction = if words::METRICS[m].contains("rate")
+                    && words::METRICS[m].contains("success")
+                {
                     AbnormalDirection::Decrease
                 } else if rng.gen_bool(0.5) {
                     AbnormalDirection::Increase
@@ -279,7 +279,8 @@ impl TeleWorld {
                 let di = rng.gen_range(si + 1..topo_order.len());
                 topo_order[di]
             };
-            if src == dst || causal_edges.iter().any(|e: &CausalEdge| e.src == src && e.dst == dst) {
+            if src == dst || causal_edges.iter().any(|e: &CausalEdge| e.src == src && e.dst == dst)
+            {
                 continue;
             }
             causal_edges.push(CausalEdge {
@@ -344,9 +345,7 @@ impl TeleWorld {
 
     /// Alarms with no incoming causal edge — the possible root causes.
     pub fn root_alarms(&self) -> Vec<EventId> {
-        (0..self.alarms.len())
-            .filter(|&a| !self.causal_edges.iter().any(|e| e.dst == a))
-            .collect()
+        (0..self.alarms.len()).filter(|&a| !self.causal_edges.iter().any(|e| e.dst == a)).collect()
     }
 
     /// The causal depth of every event: roots at 0, descendants at
@@ -372,11 +371,7 @@ impl TeleWorld {
 
     /// Instances of a given NE type.
     pub fn instances_of_type(&self, ne_type: usize) -> Vec<usize> {
-        self.instances
-            .iter()
-            .filter(|i| i.ne_type == ne_type)
-            .map(|i| i.id)
-            .collect()
+        self.instances.iter().filter(|i| i.ne_type == ne_type).map(|i| i.id).collect()
     }
 
     /// Neighbor instances in the topology.

@@ -282,23 +282,21 @@ pub fn execute(kg: &TeleKg, query: &Query) -> Result<Vec<Binding>, QueryError> {
             return;
         };
         match pat {
-            RPattern::Type { s, class } => {
-                match term_value(s, binding) {
-                    Some(e) => {
-                        if kg.schema.is_subclass_of(kg.class_of(e), *class) {
-                            solve(kg, rest, binding, rel_binding, out, ask);
-                        }
-                    }
-                    None => {
-                        let RTerm::Var(v) = s else { unreachable!("unbound const") };
-                        for e in kg.entities_of_class(*class) {
-                            binding.insert(v.clone(), e);
-                            solve(kg, rest, binding, rel_binding, out, ask);
-                            binding.remove(v);
-                        }
+            RPattern::Type { s, class } => match term_value(s, binding) {
+                Some(e) => {
+                    if kg.schema.is_subclass_of(kg.class_of(e), *class) {
+                        solve(kg, rest, binding, rel_binding, out, ask);
                     }
                 }
-            }
+                None => {
+                    let RTerm::Var(v) = s else { unreachable!("unbound const") };
+                    for e in kg.entities_of_class(*class) {
+                        binding.insert(v.clone(), e);
+                        solve(kg, rest, binding, rel_binding, out, ask);
+                        binding.remove(v);
+                    }
+                }
+            },
             RPattern::Triple { s, p, pv, o } => {
                 let sv = term_value(s, binding);
                 let ov = term_value(o, binding);
@@ -359,13 +357,7 @@ pub fn execute(kg: &TeleKg, query: &Query) -> Result<Vec<Binding>, QueryError> {
     }
     let mut projected: Vec<Binding> = solutions
         .into_iter()
-        .map(|b| {
-            query
-                .select
-                .iter()
-                .filter_map(|v| b.get(v).map(|&e| (v.clone(), e)))
-                .collect()
-        })
+        .map(|b| query.select.iter().filter_map(|v| b.get(v).map(|&e| (v.clone(), e))).collect())
         .collect();
     let mut seen = std::collections::HashSet::new();
     projected.retain(|b| {
@@ -410,10 +402,7 @@ mod tests {
     }
 
     fn names(kg: &TeleKg, solutions: &[Binding], var: &str) -> Vec<String> {
-        let mut v: Vec<String> = solutions
-            .iter()
-            .map(|b| kg.surface(b[var]).to_string())
-            .collect();
+        let mut v: Vec<String> = solutions.iter().map(|b| kg.surface(b[var]).to_string()).collect();
         v.sort();
         v
     }
@@ -450,7 +439,8 @@ mod tests {
     #[test]
     fn two_hop_chain() {
         let kg = kg();
-        let sols = query(&kg, r#"SELECT ?z WHERE { "alarm a" trigger ?y . ?y trigger ?z }"#).unwrap();
+        let sols =
+            query(&kg, r#"SELECT ?z WHERE { "alarm a" trigger ?y . ?y trigger ?z }"#).unwrap();
         assert_eq!(names(&kg, &sols, "z"), vec!["kpi c"]);
     }
 
@@ -466,11 +456,7 @@ mod tests {
         let kg = kg();
         // ?r must be the same relation in both patterns: locatedAt works
         // (b locatedAt AMF, c locatedAt AMF), trigger does not.
-        let sols = query(
-            &kg,
-            r#"SELECT ?x WHERE { "alarm b" ?r "AMF" . ?x ?r "AMF" }"#,
-        )
-        .unwrap();
+        let sols = query(&kg, r#"SELECT ?x WHERE { "alarm b" ?r "AMF" . ?x ?r "AMF" }"#).unwrap();
         assert_eq!(names(&kg, &sols, "x"), vec!["alarm b", "kpi c"]);
     }
 

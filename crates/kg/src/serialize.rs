@@ -14,12 +14,7 @@ use crate::store::{EntityId, Literal, TeleKg, Triple};
 /// Serializes a relational triple into a plain sentence by concatenating
 /// the surfaces of head, relation and tail (implicit knowledge injection).
 pub fn triple_sentence(kg: &TeleKg, t: &Triple) -> String {
-    format!(
-        "{} {} {}",
-        kg.surface(t.head),
-        kg.relation_name(t.rel),
-        kg.surface(t.tail)
-    )
+    format!("{} {} {}", kg.surface(t.head), kg.relation_name(t.rel), kg.surface(t.tail))
 }
 
 /// Serializes a textual attribute triple into a sentence.

@@ -47,8 +47,8 @@ impl Default for EapTaskConfig {
 
 struct EapModel {
     ne_emb: Embedding,
-    w1: Linear, // time difference: 1 -> 2
-    w2: Linear, // concatenated features -> 2 logits
+    w1: Linear,  // time difference: 1 -> 2
+    w2: Linear,  // concatenated features -> 2 logits
     avg: Tensor, // neighbor-averaging matrix [num_inst, num_inst]
 }
 
@@ -101,17 +101,14 @@ impl EapModel {
         let t2 = text.index_select0(&e2);
 
         // Aggregated topology features for every instance, then row-gather.
-        let agg = tape
-            .constant(self.avg.clone())
-            .matmul(self.ne_emb.weight(tape, store));
+        let agg = tape.constant(self.avg.clone()).matmul(self.ne_emb.weight(tape, store));
         let n1 = agg.index_select0(&pairs.iter().map(|p| p.ne1).collect::<Vec<_>>());
         let n2 = agg.index_select0(&pairs.iter().map(|p| p.ne2).collect::<Vec<_>>());
 
         // Time difference feature (Eq. 19).
         let dt: Vec<f32> = pairs.iter().map(|p| p.t1 as f32 - p.t2 as f32).collect();
-        let d12 = self
-            .w1
-            .forward(tape, store, tape.constant(Tensor::from_vec(dt, [pairs.len(), 1])));
+        let d12 =
+            self.w1.forward(tape, store, tape.constant(Tensor::from_vec(dt, [pairs.len(), 1])));
 
         let feats = Var::concat(&[t1, t2, n1, n2, d12], 1);
         self.w2.forward(tape, store, feats)
@@ -175,9 +172,7 @@ pub fn run_eap(
                     .map(|&i| pos_types[i])
                     .chain(neg_idx.iter().map(|&i| neg_types[i]))
                     .collect();
-                (0..ds.pairs.len())
-                    .filter(|&i| types.contains(&pair_type[i]))
-                    .collect()
+                (0..ds.pairs.len()).filter(|&i| types.contains(&pair_type[i])).collect()
             };
             crate::kfold::Fold {
                 train: expand(&pf.train, &nf.train),
@@ -215,10 +210,8 @@ pub fn run_eap(
                 store.zero_grads();
                 let tape = Tape::new();
                 let logits = model.forward(&tape, &store, ds, &emb_t, chunk);
-                let targets: Vec<Option<usize>> = chunk
-                    .iter()
-                    .map(|&i| Some(ds.pairs[i].label as usize))
-                    .collect();
+                let targets: Vec<Option<usize>> =
+                    chunk.iter().map(|&i| Some(ds.pairs[i].label as usize)).collect();
                 let loss = logits.cross_entropy_logits(&targets);
                 tape.backward(loss).accumulate_into(&tape, &mut store);
                 opt.step(&mut store);

@@ -72,12 +72,8 @@ impl EmbeddingTable {
 /// valued vectors drawn from a uniform distribution").
 pub fn random_embeddings(names: &[String], dim: usize, seed: u64) -> EmbeddingTable {
     let mut rng = StdRng::seed_from_u64(seed);
-    let rows = names
-        .iter()
-        .map(|_| {
-            Tensor::rand_uniform([dim], -1.0, 1.0, &mut rng).to_vec()
-        })
-        .collect();
+    let rows =
+        names.iter().map(|_| Tensor::rand_uniform([dim], -1.0, 1.0, &mut rng).to_vec()).collect();
     EmbeddingTable::normalized(rows)
 }
 
@@ -86,7 +82,8 @@ pub fn random_embeddings(names: &[String], dim: usize, seed: u64) -> EmbeddingTa
 /// of its words. Shared words induce similarity; nothing else does.
 pub fn word_avg_embeddings(names: &[String], dim: usize, seed: u64) -> EmbeddingTable {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut word_vecs: std::collections::HashMap<String, Vec<f32>> = std::collections::HashMap::new();
+    let mut word_vecs: std::collections::HashMap<String, Vec<f32>> =
+        std::collections::HashMap::new();
     // Deterministic: assign vectors in first-appearance order.
     let rows = names
         .iter()

@@ -50,13 +50,8 @@ mod tests {
         let folds = k_folds(23, 5, 0);
         assert_eq!(folds.len(), 5);
         for f in &folds {
-            let mut all: Vec<usize> = f
-                .train
-                .iter()
-                .chain(f.valid.iter())
-                .chain(f.test.iter())
-                .copied()
-                .collect();
+            let mut all: Vec<usize> =
+                f.train.iter().chain(f.valid.iter()).chain(f.test.iter()).copied().collect();
             all.sort_unstable();
             assert_eq!(all, (0..23).collect::<Vec<_>>());
         }

@@ -57,11 +57,7 @@ impl RankMetrics {
 /// so degenerate constant scorers cannot look good.
 pub fn rank_of(scores: &[f32], target: usize) -> usize {
     let t = scores[target];
-    1 + scores
-        .iter()
-        .enumerate()
-        .filter(|&(i, &s)| i != target && s >= t)
-        .count()
+    1 + scores.iter().enumerate().filter(|&(i, &s)| i != target && s >= t).count()
 }
 
 /// Binary-classification metrics ×100.

@@ -42,7 +42,15 @@ pub struct RcaTaskConfig {
 
 impl Default for RcaTaskConfig {
     fn default() -> Self {
-        RcaTaskConfig { hidden: 64, out: 32, mlp_hidden: 16, epochs: 25, lr: 5e-3, folds: 5, seed: 0 }
+        RcaTaskConfig {
+            hidden: 64,
+            out: 32,
+            mlp_hidden: 16,
+            epochs: 25,
+            lr: 5e-3,
+            folds: 5,
+            seed: 0,
+        }
     }
 }
 
@@ -90,9 +98,8 @@ pub fn normalized_adjacency(g: &RcaGraph) -> Tensor {
             data[y * v + x] = 1.0;
         }
     }
-    let deg: Vec<f32> = (0..v)
-        .map(|i| a.as_slice()[i * v..(i + 1) * v].iter().sum::<f32>())
-        .collect();
+    let deg: Vec<f32> =
+        (0..v).map(|i| a.as_slice()[i * v..(i + 1) * v].iter().sum::<f32>()).collect();
     let mut out = a;
     {
         let data = out.as_mut_slice();
@@ -179,7 +186,8 @@ pub fn run_rca(dataset: &RcaDataset, emb: &EmbeddingTable, cfg: &RcaTaskConfig) 
                 store.zero_grads();
                 let tape = Tape::new();
                 let scores = model.forward(&tape, &store, &adjs[gi], &inits[gi]);
-                let loss = rca_loss(scores, dataset.graphs[gi].root, dataset.graphs[gi].num_nodes());
+                let loss =
+                    rca_loss(scores, dataset.graphs[gi].root, dataset.graphs[gi].num_nodes());
                 tape.backward(loss).accumulate_into(&tape, &mut store);
                 store.clip_grad_norm(5.0);
                 opt.step(&mut store);

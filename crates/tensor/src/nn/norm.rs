@@ -38,7 +38,8 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let tape = Tape::new();
-        let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], [2, 4]));
+        let x = tape
+            .constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], [2, 4]));
         let y = ln.forward(&tape, &store, x).value();
         for r in 0..2 {
             let row = y.row(r);

@@ -141,10 +141,7 @@ impl BroadcastIter {
     ///
     /// Panics if `operand` does not broadcast to `out`.
     pub fn new(out: &Shape, operand: &Shape) -> Self {
-        assert!(
-            operand.broadcasts_to(out),
-            "shape {operand} does not broadcast to {out}"
-        );
+        assert!(operand.broadcasts_to(out), "shape {operand} does not broadcast to {out}");
         let rank = out.rank();
         let op_strides = operand.strides();
         let mut eff = vec![0usize; rank];

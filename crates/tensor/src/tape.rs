@@ -225,10 +225,7 @@ impl ParamStore {
     /// Registers a new parameter. Panics on duplicate names.
     pub fn create(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let name = name.into();
-        assert!(
-            !self.by_name.contains_key(&name),
-            "parameter {name:?} already exists"
-        );
+        assert!(!self.by_name.contains_key(&name), "parameter {name:?} already exists");
         let id = ParamId(self.params.len());
         let grad = Tensor::zeros(value.shape().clone());
         self.params.push(Param { name: name.clone(), value, grad });

@@ -27,11 +27,8 @@ impl PhraseMatcher {
         let mut max_len = 1;
         let mut seen = HashSet::new();
         for p in phrases {
-            let words: Vec<String> = p
-                .as_ref()
-                .split_whitespace()
-                .map(|w| w.to_lowercase())
-                .collect();
+            let words: Vec<String> =
+                p.as_ref().split_whitespace().map(|w| w.to_lowercase()).collect();
             if words.len() < 2 || !seen.insert(words.clone()) {
                 continue;
             }

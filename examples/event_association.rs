@@ -18,12 +18,10 @@ fn main() {
         stats.events, stats.positive_pairs, stats.negative_pairs, stats.packages, stats.elements
     );
 
-    let names: Vec<String> = (0..suite.world.num_events())
-        .map(|e| suite.world.event_name(e).to_string())
-        .collect();
-    let neighbors: Vec<Vec<usize>> = (0..suite.world.instances.len())
-        .map(|i| suite.world.instance_neighbors(i))
-        .collect();
+    let names: Vec<String> =
+        (0..suite.world.num_events()).map(|e| suite.world.event_name(e).to_string()).collect();
+    let neighbors: Vec<Vec<usize>> =
+        (0..suite.world.instances.len()).map(|i| suite.world.instance_neighbors(i)).collect();
 
     let cfg = EapTaskConfig { epochs: 12, seed: 5, ..Default::default() };
     println!(

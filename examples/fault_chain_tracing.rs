@@ -24,7 +24,10 @@ fn main() {
     for f in suite.fct.train.iter().take(3) {
         println!(
             "  ({:?}, {:?}, {:?}, {:.2})",
-            suite.fct.node_names[f.head], suite.fct.rel_names[f.rel], suite.fct.node_names[f.tail], f.conf
+            suite.fct.node_names[f.head],
+            suite.fct.rel_names[f.rel],
+            suite.fct.node_names[f.tail],
+            f.conf
         );
     }
 

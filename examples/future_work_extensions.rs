@@ -13,7 +13,9 @@ use tele_knowledge::datagen::extensions::{
     config_tables, config_templates, signaling_flows, signaling_templates, SignalingConfig,
 };
 use tele_knowledge::datagen::{logs, Scale, Suite};
-use tele_knowledge::model::{pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, Strategy};
+use tele_knowledge::model::{
+    pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, Strategy,
+};
 use tele_knowledge::tensor::nn::TransformerConfig;
 use tele_knowledge::tokenizer::{TeleTokenizer, TokenizerConfig};
 
@@ -86,10 +88,7 @@ fn main() {
         Strategy::Stl,
         &RetrainConfig { steps: 60, batch_size: 6, ..Default::default() },
     );
-    println!(
-        "\nre-trained with extensions: final loss {:.3}",
-        log.final_loss
-    );
+    println!("\nre-trained with extensions: final loss {:.3}", log.final_loss);
     println!(
         "numeric tags known to ANEnc: {} (machine logs alone would give ~{base_tags})",
         ktelebert.normalizer.num_tags()

@@ -23,9 +23,8 @@ fn main() {
         stats.graphs, stats.features, stats.avg_nodes, stats.avg_edges
     );
 
-    let names: Vec<String> = (0..suite.world.num_events())
-        .map(|e| suite.world.event_name(e).to_string())
-        .collect();
+    let names: Vec<String> =
+        (0..suite.world.num_events()).map(|e| suite.world.event_name(e).to_string()).collect();
     let cfg = RcaTaskConfig { epochs: 12, seed: 3, ..Default::default() };
 
     // Baselines.

@@ -22,11 +22,7 @@ fn main() {
     println!("schema classes ({}):", kg.schema.len());
     let event_root = kg.schema.event_root();
     let resource_root = kg.schema.resource_root();
-    println!(
-        "  roots: {:?} / {:?}",
-        kg.schema.name(event_root),
-        kg.schema.name(resource_root)
-    );
+    println!("  roots: {:?} / {:?}", kg.schema.name(event_root), kg.schema.name(resource_root));
     println!(
         "  {} entities under Event, {} under Resource",
         kg.entities_of_class(event_root).len(),
@@ -73,11 +69,7 @@ fn main() {
     match tele_knowledge::kg::query(kg, q) {
         Ok(solutions) => {
             for b in solutions.iter().take(5) {
-                println!(
-                    "    ?a = {:?}  ?ne = {:?}",
-                    kg.surface(b["a"]),
-                    kg.surface(b["ne"])
-                );
+                println!("    ?a = {:?}  ?ne = {:?}", kg.surface(b["a"]), kg.surface(b["ne"]));
             }
             println!("    ({} solutions total)", solutions.len());
         }

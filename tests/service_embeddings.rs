@@ -32,14 +32,14 @@ fn trained_bundle(suite: &Suite) -> tele_knowledge::model::TeleBert {
 fn checkpoint_roundtrip_preserves_service_embeddings() {
     let suite = Suite::generate(Scale::Smoke, 77);
     let bundle = trained_bundle(&suite);
-    let names: Vec<String> = (0..4)
-        .map(|e| suite.world.event_name(e).to_string())
-        .collect();
+    let names: Vec<String> = (0..4).map(|e| suite.world.event_name(e).to_string()).collect();
 
     let kg = &suite.built_kg.kg;
-    let before = ServiceEncoder::new(&bundle, Some(kg)).encode(&names, ServiceFormat::EntityWithAttr);
+    let before =
+        ServiceEncoder::new(&bundle, Some(kg)).encode(&names, ServiceFormat::EntityWithAttr);
     let restored = load_bundle(&save_bundle(&bundle)).expect("load");
-    let after = ServiceEncoder::new(&restored, Some(kg)).encode(&names, ServiceFormat::EntityWithAttr);
+    let after =
+        ServiceEncoder::new(&restored, Some(kg)).encode(&names, ServiceFormat::EntityWithAttr);
     assert_eq!(before, after);
 }
 
@@ -65,9 +65,7 @@ fn delivery_formats_are_distinct_but_deterministic() {
 fn pooling_strategies_differ() {
     let suite = Suite::generate(Scale::Smoke, 79);
     let bundle = trained_bundle(&suite);
-    let enc = bundle
-        .tokenizer
-        .encode(suite.world.event_name(0), bundle.model.encoder.cfg.max_len);
+    let enc = bundle.tokenizer.encode(suite.world.event_name(0), bundle.model.encoder.cfg.max_len);
     let cls = bundle.encode_encodings_pooled(std::slice::from_ref(&enc), Pooling::Cls);
     let mean = bundle.encode_encodings_pooled(std::slice::from_ref(&enc), Pooling::Mean);
     assert_eq!(cls[0].len(), mean[0].len());

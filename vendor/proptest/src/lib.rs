@@ -157,9 +157,7 @@ impl Strategy for &str {
         let (alphabet, min, max) = parse_char_class(self);
         assert!(!alphabet.is_empty(), "empty character class in pattern {self:?}");
         let len = rng.rng().gen_range(min..=max);
-        (0..len)
-            .map(|_| alphabet[rng.rng().gen_range(0..alphabet.len())])
-            .collect()
+        (0..len).map(|_| alphabet[rng.rng().gen_range(0..alphabet.len())]).collect()
     }
 }
 

@@ -79,8 +79,12 @@ impl Standard01 for bool {
 pub trait SampleUniform: Sized {
     /// Draws from `[lo, hi)`, or `[lo, hi]` when `inclusive`. Panics on an
     /// empty interval.
-    fn sample_interval<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_interval<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

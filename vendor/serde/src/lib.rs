@@ -326,7 +326,9 @@ fn key_to_string(key: &Value) -> String {
         Value::U64(n) => n.to_string(),
         Value::I64(n) => n.to_string(),
         Value::Bool(b) => b.to_string(),
-        other => panic!("map key must serialize to a string, integer or bool, got {}", other.kind()),
+        other => {
+            panic!("map key must serialize to a string, integer or bool, got {}", other.kind())
+        }
     }
 }
 

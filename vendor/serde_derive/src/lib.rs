@@ -404,9 +404,9 @@ fn deserialize_body(item: &Item) -> String {
                 inits.join("\n")
             )
         }
-        Kind::TupleStruct(1) => format!(
-            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-        ),
+        Kind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
         Kind::TupleStruct(n) => {
             let inits: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
