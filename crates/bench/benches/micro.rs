@@ -3,9 +3,14 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use ktelebert::{Anenc, AnencConfig};
+use ktelebert::masking::apply_masking;
+use ktelebert::objective::{MaskedLm, StepData};
+use ktelebert::{
+    pretrain, ActivationSchedule, Anenc, AnencConfig, Batch, EngineConfig, MaskingConfig,
+    PretrainConfig, TrainEngine,
+};
 use tele_datagen::{corpus, TeleWorld, WorldConfig};
 use tele_kg::TeleKg;
 use tele_tensor::{ParamStore, Tape, Tensor};
@@ -91,9 +96,95 @@ fn bench_anenc(c: &mut Criterion) {
     });
 }
 
+/// Engine dispatch overhead: 8 identical masked-LM steps run through a
+/// hand-written inline loop vs. `TrainEngine` (schedule lookup, objective
+/// dispatch, telemetry records). The two must stay within a few percent.
+fn bench_train_engine(c: &mut Criterion) {
+    use tele_tensor::optim::AdamW;
+    use tele_tokenizer::Encoding;
+
+    let corpus: Vec<String> =
+        (0..32).map(|i| format!("alarm {} raised on NE-{} link degraded", i % 8, i % 5)).collect();
+    let tokenizer = TeleTokenizer::train(corpus.iter(), &TokenizerConfig::default());
+    let encoder = tele_tensor::nn::TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 32,
+        layers: 1,
+        heads: 2,
+        ffn_hidden: 64,
+        max_len: 32,
+        dropout: 0.1,
+    };
+    let (mut bundle, _) = pretrain(
+        &corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig { steps: 1, batch_size: 4, ..Default::default() },
+    );
+    let encodings: Vec<Encoding> = corpus.iter().map(|s| tokenizer.encode(s, 32)).collect();
+
+    c.bench_function("train/inline_8_steps", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut opt = AdamW::new(3e-4, 0.01);
+            opt.exclude_from_decay(&bundle.store, &["bias", "norm_", ".tok.", ".pos."]);
+            for _ in 0..8 {
+                bundle.store.zero_grads();
+                let tape = Tape::new();
+                let refs: Vec<&Encoding> =
+                    (0..4).map(|_| &encodings[rng.gen_range(0..encodings.len())]).collect();
+                let batch = Batch::collate(&refs);
+                let masked = apply_masking(
+                    &batch,
+                    tokenizer.vocab_size(),
+                    &MaskingConfig::stage2(),
+                    &mut rng,
+                );
+                let out = bundle.model.encode(
+                    &tape,
+                    &bundle.store,
+                    &batch,
+                    Some(&masked.ids),
+                    None,
+                    Some(&mut rng),
+                );
+                let loss = bundle
+                    .model
+                    .mlm_logits(&tape, &bundle.store, out.hidden)
+                    .cross_entropy_logits(&masked.targets);
+                tape.backward(loss).accumulate_into(&tape, &mut bundle.store);
+                bundle.store.clip_grad_norm(1.0);
+                opt.step(&mut bundle.store);
+                std::hint::black_box(loss.value().item());
+            }
+        })
+    });
+
+    let data = StepData {
+        pool: &encodings,
+        batch_size: 4,
+        mask: MaskingConfig::stage2(),
+        tokenizer: &tokenizer,
+        normalizer: None,
+    };
+    c.bench_function("train/engine_8_steps", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut engine = TrainEngine::new(
+                EngineConfig { warmup_frac: None, ..Default::default() },
+                ActivationSchedule::always(ActivationSchedule::group(&[0]), 8),
+            );
+            engine.add_objective(Box::new(MaskedLm));
+            std::hint::black_box(
+                engine.run(&mut bundle.store, &bundle.model, &data, &mut rng).steps,
+            )
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_autograd, bench_tokenizer, bench_kg, bench_anenc
+    targets = bench_matmul, bench_autograd, bench_tokenizer, bench_kg, bench_anenc, bench_train_engine
 }
 criterion_main!(benches);

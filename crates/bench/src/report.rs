@@ -78,6 +78,34 @@ pub fn cell_vs(measured: f64, paper: f64) -> String {
     format!("{measured:.2} ({paper:.2})")
 }
 
+/// Renders per-variant training telemetry (objective-level loss breakdown
+/// and step timings) as a table. Pairs with `dump_json` so the same data
+/// lands in the experiment JSON artifacts.
+pub fn training_table(telemetry: &[crate::zoo::VariantTrace]) -> Table {
+    let mut table = Table::new(
+        "Training telemetry (per-objective final/mean loss)",
+        &["variant", "steps", "mean", "final", "objectives", "µs/step"],
+    );
+    for t in telemetry {
+        let objectives = t
+            .summary
+            .objectives
+            .iter()
+            .map(|o| format!("{} {:.3} (mean {:.3})", o.name, o.last, o.mean))
+            .collect::<Vec<_>>()
+            .join(", ");
+        table.row(vec![
+            t.variant.clone(),
+            t.summary.steps.to_string(),
+            format!("{:.3}", t.summary.mean_loss),
+            format!("{:.3}", t.summary.final_loss),
+            objectives,
+            t.summary.mean_step_micros.to_string(),
+        ]);
+    }
+    table
+}
+
 /// The repository's `results/` directory.
 pub fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")

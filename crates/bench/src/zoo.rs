@@ -16,13 +16,25 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use ktelebert::{
-    pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, Strategy, TeleBert,
+    pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, Strategy, TeleBert, TraceSummary,
 };
+use serde::{Deserialize, Serialize};
 use tele_datagen::{logs, Scale, Suite};
 use tele_tensor::nn::TransformerConfig;
 use tele_tokenizer::{SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
 
 use crate::persist::{clone_bundle, load_bundle, save_bundle, write_file};
+use crate::report;
+
+/// Training telemetry of one zoo variant: the trace summary the engine
+/// produced while the variant trained.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VariantTrace {
+    /// Variant label (e.g. `"telebert"`, `"ktelebert-imtl"`).
+    pub variant: String,
+    /// Per-objective and timing aggregates of the training run.
+    pub summary: TraceSummary,
+}
 
 /// The trained variants plus the data suite they were trained on.
 pub struct Zoo {
@@ -43,6 +55,9 @@ pub struct Zoo {
     pub kpmtl: TeleBert,
     /// KTeleBERT re-trained with IMTL.
     pub kimtl: TeleBert,
+    /// Per-variant training telemetry (restored from the cache alongside
+    /// the bundles; empty only for pre-telemetry caches).
+    pub telemetry: Vec<VariantTrace>,
 }
 
 /// Training budget knobs, scaled from Table II's 60k-step runs.
@@ -65,10 +80,8 @@ impl ZooBudget {
             Scale::Lab => ZooBudget { pretrain_steps: 1400, retrain_steps: 500, batch: 8 },
             Scale::Paper => ZooBudget { pretrain_steps: 4000, retrain_steps: 1500, batch: 8 },
         };
-        let factor: f64 = std::env::var("TELE_STEPS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1.0);
+        let factor: f64 =
+            std::env::var("TELE_STEPS").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
         ZooBudget {
             pretrain_steps: ((base.pretrain_steps as f64 * factor) as usize).max(2),
             retrain_steps: ((base.retrain_steps as f64 * factor) as usize).max(2),
@@ -125,18 +138,26 @@ impl Zoo {
             ..Default::default()
         };
 
+        let mut telemetry: Vec<VariantTrace> = Vec::new();
         let t0 = Instant::now();
-        let (macbert, mlog) = pretrain(&suite.generic_corpus, &tokenizer, enc_cfg.clone(), &pre_cfg);
+        let (macbert, mlog) =
+            pretrain(&suite.generic_corpus, &tokenizer, enc_cfg.clone(), &pre_cfg);
         eprintln!(
             "[zoo] macbert stand-in: {} steps, final loss {:.3} ({:.1?})",
-            mlog.steps, mlog.final_loss, t0.elapsed()
+            mlog.steps,
+            mlog.final_loss,
+            t0.elapsed()
         );
+        telemetry.push(VariantTrace { variant: "macbert".into(), summary: mlog.summary() });
         let t0 = Instant::now();
         let (telebert, tlog) = pretrain(&suite.tele_corpus, &tokenizer, enc_cfg.clone(), &pre_cfg);
         eprintln!(
             "[zoo] telebert: {} steps, final loss {:.3} ({:.1?})",
-            tlog.steps, tlog.final_loss, t0.elapsed()
+            tlog.steps,
+            tlog.final_loss,
+            t0.elapsed()
         );
+        telemetry.push(VariantTrace { variant: "telebert".into(), summary: tlog.summary() });
 
         // Stage 2 from the TeleBERT checkpoint, once per variant.
         let templates = logs::log_templates(&suite.world, &suite.episodes);
@@ -151,14 +172,17 @@ impl Zoo {
             seed: seed.wrapping_add(200),
             ..Default::default()
         };
-        let variant = |strategy: Strategy, use_anenc: bool, label: &str| -> TeleBert {
+        let mut variant = |strategy: Strategy, use_anenc: bool, label: &str| -> TeleBert {
             let t0 = Instant::now();
             let cfg = RetrainConfig { use_anenc, ..re_cfg.clone() };
             let (bundle, log) = retrain(clone_bundle(&telebert), &data, strategy, &cfg);
             eprintln!(
                 "[zoo] {label}: {} steps, final loss {:.3} ({:.1?})",
-                log.steps, log.final_loss, t0.elapsed()
+                log.steps,
+                log.final_loss,
+                t0.elapsed()
             );
+            telemetry.push(VariantTrace { variant: label.to_string(), summary: log.summary() });
             bundle
         };
         let kstl = variant(Strategy::Stl, true, "ktelebert-stl");
@@ -166,7 +190,10 @@ impl Zoo {
         let kpmtl = variant(Strategy::Pmtl, true, "ktelebert-pmtl");
         let kimtl = variant(Strategy::Imtl, true, "ktelebert-imtl");
 
-        Zoo { suite, tokenizer, macbert, telebert, kstl, kstl_wo_anenc, kpmtl, kimtl }
+        report::training_table(&telemetry).print();
+        report::dump_json("training_telemetry.json", &telemetry);
+
+        Zoo { suite, tokenizer, macbert, telebert, kstl, kstl_wo_anenc, kpmtl, kimtl, telemetry }
     }
 
     /// Loads the zoo from the on-disk cache, or trains and caches it.
@@ -197,6 +224,10 @@ impl Zoo {
         let suite = Suite::generate(scale, seed);
         let macbert = read("macbert.json")?;
         let tokenizer = macbert.tokenizer.clone();
+        let telemetry = std::fs::read_to_string(dir.join("telemetry.json"))
+            .ok()
+            .and_then(|json| serde_json::from_str(&json).ok())
+            .unwrap_or_default();
         Some(Zoo {
             suite,
             tokenizer,
@@ -206,6 +237,7 @@ impl Zoo {
             kstl_wo_anenc: read("kstl_wo_anenc.json")?,
             kpmtl: read("kpmtl.json")?,
             kimtl: read("kimtl.json")?,
+            telemetry,
         })
     }
 
@@ -223,15 +255,21 @@ impl Zoo {
                 eprintln!("[zoo] cache write failed for {name}: {e}");
             }
         }
+        match serde_json::to_string(&self.telemetry) {
+            Ok(json) => {
+                if let Err(e) = write_file(&dir.join("telemetry.json"), &json) {
+                    eprintln!("[zoo] cache write failed for telemetry.json: {e}");
+                }
+            }
+            Err(e) => eprintln!("[zoo] telemetry serialization failed: {e}"),
+        }
         eprintln!("[zoo] cached to {}", dir.display());
     }
 }
 
 fn cache_dir(scale: Scale, seed: u64, budget: &ZooBudget) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiment-cache")
-        .join(format!(
-            "{scale:?}-seed{seed}-p{}-r{}-b{}",
-            budget.pretrain_steps, budget.retrain_steps, budget.batch
-        ))
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiment-cache").join(format!(
+        "{scale:?}-seed{seed}-p{}-r{}-b{}",
+        budget.pretrain_steps, budget.retrain_steps, budget.batch
+    ))
 }

@@ -21,7 +21,12 @@
 
 use rand::rngs::StdRng;
 
-use tele_tensor::{nn::{Linear, Mlp}, xavier_uniform, ParamId, ParamStore, Tape, Tensor, Var};
+use tele_tensor::{
+    nn::{Linear, Mlp},
+    xavier_uniform, ParamId, ParamStore, Tape, Tensor, Var,
+};
+
+use crate::fusion::MultiTaskFusion;
 
 /// ANEnc hyper-parameters.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -61,13 +66,13 @@ impl AnencConfig {
 }
 
 struct AnencLayer {
-    meta: ParamId,             // E: [N, d/N]
-    w_q: ParamId,              // [d, d/N]
-    w_v: Vec<ParamId>,         // N × [d, d]
-    ffn_up: Linear,            // d -> 2d
-    ffn_down: Linear,          // 2d -> d
-    w_down: ParamId,           // [d, r]
-    w_up: ParamId,             // [r, d]
+    meta: ParamId,     // E: [N, d/N]
+    w_q: ParamId,      // [d, d/N]
+    w_v: Vec<ParamId>, // N × [d, d]
+    ffn_up: Linear,    // d -> 2d
+    ffn_down: Linear,  // 2d -> d
+    w_down: ParamId,   // [d, r]
+    w_up: ParamId,     // [r, d]
     norm: tele_tensor::nn::LayerNorm,
 }
 
@@ -79,14 +84,15 @@ pub struct Anenc {
     layers: Vec<AnencLayer>,
     ndec: Mlp,
     tgc: Option<Linear>,
-    /// Uncertainty parameters μ₁ (reg), μ₂ (cls), μ₃ (nc).
-    mu: [ParamId; 3],
+    /// Uncertainty-weighted combinator over (reg, cls, nc) with learned
+    /// μ₁/μ₂/μ₃ parameters.
+    fusion: MultiTaskFusion,
 }
 
 impl Anenc {
     /// Creates the module, registering parameters under `name`.
     pub fn new(store: &mut ParamStore, name: &str, cfg: AnencConfig, rng: &mut StdRng) -> Self {
-        assert!(cfg.metas > 0 && cfg.dim % cfg.metas == 0, "metas must divide dim");
+        assert!(cfg.metas > 0 && cfg.dim.is_multiple_of(cfg.metas), "metas must divide dim");
         assert!(cfg.lora_rank >= 1 && cfg.lora_rank <= cfg.dim, "invalid LoRA rank");
         assert!(cfg.alpha >= 1.0, "alpha must be >= 1");
         let d = cfg.dim;
@@ -109,8 +115,10 @@ impl Anenc {
                         .collect(),
                     ffn_up: Linear::new(store, &format!("{p}.ffn_up"), d, 2 * d, true, rng),
                     ffn_down: Linear::new(store, &format!("{p}.ffn_down"), 2 * d, d, true, rng),
-                    w_down: store.create(format!("{p}.w_down"), xavier_uniform([d, cfg.lora_rank], rng)),
-                    w_up: store.create(format!("{p}.w_up"), xavier_uniform([cfg.lora_rank, d], rng)),
+                    w_down: store
+                        .create(format!("{p}.w_down"), xavier_uniform([d, cfg.lora_rank], rng)),
+                    w_up: store
+                        .create(format!("{p}.w_up"), xavier_uniform([cfg.lora_rank, d], rng)),
                     norm: tele_tensor::nn::LayerNorm::new(store, &format!("{p}.ln"), d),
                 }
             })
@@ -118,12 +126,12 @@ impl Anenc {
         let ndec = Mlp::new(store, &format!("{name}.ndec"), &[d, d, 1], rng);
         let tgc = (cfg.num_tags > 0)
             .then(|| Linear::new(store, &format!("{name}.tgc"), d, cfg.num_tags, true, rng));
-        let mu = [
+        let fusion = MultiTaskFusion::new(vec![
             store.create(format!("{name}.mu_reg"), Tensor::ones([1])),
             store.create(format!("{name}.mu_cls"), Tensor::ones([1])),
             store.create(format!("{name}.mu_nc"), Tensor::ones([1])),
-        ];
-        Anenc { cfg, w_fc, layers, ndec, tgc, mu }
+        ]);
+        Anenc { cfg, w_fc, layers, ndec, tgc, fusion }
     }
 
     /// Encodes `k` normalized values with their tag-name embeddings
@@ -167,7 +175,8 @@ impl Anenc {
             let hhat = hhat.expect("metas > 0");
 
             // h = Norm(FFN(ĥ) + α · x W_down W_up)  (Eq. 4)
-            let ffn = layer.ffn_down.forward(tape, store, layer.ffn_up.forward(tape, store, hhat).gelu());
+            let ffn =
+                layer.ffn_down.forward(tape, store, layer.ffn_up.forward(tape, store, hhat).gelu());
             let lora = x
                 .matmul(tape.param(store, layer.w_down))
                 .matmul(tape.param(store, layer.w_up))
@@ -219,7 +228,7 @@ impl Anenc {
         let tape = h.owner();
         let hn = h.normalize_last(1e-8);
         let sim = hn.matmul(hn.transpose(0, 1)).scale(1.0 / self.cfg.tau); // [k, k]
-        // Exclude self-similarity from the softmax denominator.
+                                                                           // Exclude self-similarity from the softmax denominator.
         let mut diag = Tensor::zeros([k, k]);
         for i in 0..k {
             diag.as_mut_slice()[i * k + i] = -1e9;
@@ -262,23 +271,16 @@ impl Anenc {
         let cls = self.tag_loss(tape, store, h, tag_labels);
         let nc = self.contrastive_loss(h, values);
 
-        let mut total = self.weighted(tape, store, reg, 0);
-        if let Some(cls) = cls {
-            total = total.add(self.weighted(tape, store, cls, 1));
-        }
-        if let Some(nc) = nc {
-            total = total.add(self.weighted(tape, store, nc, 2));
-        }
+        let total = self
+            .fusion
+            .fuse(tape, store, &[Some(reg), cls, nc])
+            .expect("regression loss is always present");
         total.add(self.orthogonal_penalty(tape, store))
     }
 
-    /// `½ L/μᵢ² + ln(1 + μᵢ²)` for the i-th task.
-    fn weighted<'t>(&self, tape: &'t Tape, store: &ParamStore, loss: Var<'t>, i: usize) -> Var<'t> {
-        let mu = tape.param(store, self.mu[i]);
-        let mu2 = mu.square();
-        let weighted = loss.scale(0.5).div(mu2);
-        let penalty = mu2.add_scalar(1.0).ln();
-        weighted.add(penalty).reshape(tele_tensor::Shape::scalar())
+    /// The uncertainty-weighted combinator over (reg, cls, nc).
+    pub fn fusion(&self) -> &MultiTaskFusion {
+        &self.fusion
     }
 
     /// Orthogonal regularization (Eq. 8): `λ Σᵢ ‖I − W_v⁽ⁱ⁾ᵀ W_v⁽ⁱ⁾‖²_F`
@@ -303,11 +305,8 @@ impl Anenc {
 
     /// Current uncertainty weights (μ₁, μ₂, μ₃), for logging.
     pub fn uncertainties(&self, store: &ParamStore) -> [f32; 3] {
-        [
-            store.value(self.mu[0]).item(),
-            store.value(self.mu[1]).item(),
-            store.value(self.mu[2]).item(),
-        ]
+        let mu = self.fusion.uncertainties(store);
+        [mu[0], mu[1], mu[2]]
     }
 }
 
@@ -346,12 +345,7 @@ mod tests {
         let tape = Tape::new();
         let tags = fake_tags(&tape, 2, 16);
         let h = anenc.encode(&tape, &store, &[0.0, 1.0], tags).value();
-        let d: f32 = h
-            .row(0)
-            .iter()
-            .zip(h.row(1).iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let d: f32 = h.row(0).iter().zip(h.row(1).iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(d > 1e-3, "value change did not move the embedding");
     }
 
@@ -363,12 +357,8 @@ mod tests {
         let t2 = tape.constant(Tensor::full([1, 16], -0.2));
         let h1 = anenc.encode(&tape, &store, &[0.5], t1).value();
         let h2 = anenc.encode(&tape, &store, &[0.5], t2).value();
-        let d: f32 = h1
-            .as_slice()
-            .iter()
-            .zip(h2.as_slice().iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let d: f32 =
+            h1.as_slice().iter().zip(h2.as_slice().iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(d > 1e-4, "tag change did not move the embedding");
     }
 

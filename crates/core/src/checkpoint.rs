@@ -14,6 +14,7 @@ use tele_tensor::{nn::TransformerConfig, ParamStore};
 use tele_tokenizer::TeleTokenizer;
 
 use crate::anenc::AnencConfig;
+use crate::engine::EngineState;
 use crate::model::{ModelConfig, TeleBert, TeleModel};
 use crate::normalizer::TagNormalizer;
 
@@ -55,9 +56,7 @@ pub fn load_bundle(json: &str) -> serde_json::Result<TeleBert> {
     let mut store = ParamStore::new();
     let cfg = ModelConfig { encoder: saved.encoder, anenc: saved.anenc };
     let model = TeleModel::new(&mut store, MODEL_PREFIX, &cfg, &mut rng);
-    let summary = store
-        .load_json(&saved.params)
-        .expect("checkpoint params must parse");
+    let summary = store.load_json(&saved.params).expect("checkpoint params must parse");
     assert!(summary.loaded > 0, "checkpoint loaded no parameters");
     Ok(TeleBert { store, model, tokenizer: saved.tokenizer, normalizer: saved.normalizer })
 }
@@ -69,6 +68,36 @@ pub fn clone_bundle(bundle: &TeleBert) -> TeleBert {
     load_bundle(&save_bundle(bundle)).expect("round-trip cannot fail")
 }
 
+/// A mid-run training checkpoint: the model bundle plus the engine's
+/// progress and optimizer state, so an interrupted run can resume.
+#[derive(Serialize, Deserialize)]
+pub struct SavedCheckpoint {
+    /// The model bundle.
+    pub bundle: SavedBundle,
+    /// Engine progress + optimizer moments (parameter-name keyed).
+    pub engine: EngineState,
+}
+
+/// Serializes a bundle together with an engine snapshot
+/// (see [`TrainEngine::state`](crate::engine::TrainEngine::state)).
+pub fn save_checkpoint(bundle: &TeleBert, engine: &EngineState) -> String {
+    let saved = SavedCheckpoint {
+        bundle: serde_json::from_str(&save_bundle(bundle)).expect("bundle round-trip"),
+        engine: engine.clone(),
+    };
+    serde_json::to_string(&saved).expect("checkpoint serialization cannot fail")
+}
+
+/// Rebuilds a bundle and engine snapshot from [`save_checkpoint`] output.
+/// Feed the state to [`TrainEngine::resume`](crate::engine::TrainEngine::resume)
+/// before calling `run` to continue from the recorded step.
+pub fn load_checkpoint(json: &str) -> serde_json::Result<(TeleBert, EngineState)> {
+    let saved: SavedCheckpoint = serde_json::from_str(json)?;
+    let bundle_json = serde_json::to_string(&saved.bundle).expect("bundle serialization");
+    let bundle = load_bundle(&bundle_json)?;
+    Ok((bundle, saved.engine))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,9 +106,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_embeddings() {
-        let corpus: Vec<String> = (0..30)
-            .map(|i| format!("the control plane {} is congested on SMF", i % 5))
-            .collect();
+        let corpus: Vec<String> =
+            (0..30).map(|i| format!("the control plane {} is congested on SMF", i % 5)).collect();
         let tokenizer = TeleTokenizer::train(corpus.iter(), &TokenizerConfig::default());
         let encoder = TransformerConfig {
             vocab: tokenizer.vocab_size(),
@@ -101,6 +129,71 @@ mod tests {
         let restored = load_bundle(&save_bundle(&bundle)).unwrap();
         let after = restored.encode_sentences(&sentences);
         assert_eq!(before, after, "checkpoint round-trip changed embeddings");
+    }
+
+    #[test]
+    fn checkpoint_saves_and_resumes_engine_state() {
+        use crate::engine::{ActivationSchedule, EngineConfig, TrainEngine};
+        use crate::masking::MaskingConfig;
+        use crate::objective::{MaskedLm, StepData};
+        use tele_tokenizer::Encoding;
+
+        let corpus: Vec<String> =
+            (0..24).map(|i| format!("link {} degraded between UPF and AMF", i % 6)).collect();
+        let tokenizer = TeleTokenizer::train(corpus.iter(), &TokenizerConfig::default());
+        let encoder = TransformerConfig {
+            vocab: tokenizer.vocab_size(),
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_hidden: 32,
+            max_len: 32,
+            dropout: 0.1,
+        };
+        let (mut bundle, _) = pretrain(
+            &corpus,
+            &tokenizer,
+            encoder,
+            &PretrainConfig { steps: 2, batch_size: 4, ..Default::default() },
+        );
+        let encodings: Vec<Encoding> =
+            corpus.iter().map(|s| bundle.tokenizer.encode(s, 32)).collect();
+        let data = StepData {
+            pool: &encodings,
+            batch_size: 4,
+            mask: MaskingConfig::stage2(),
+            tokenizer: &tokenizer,
+            normalizer: None,
+        };
+
+        // Phase 1: run the first half of the schedule, then snapshot.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut engine = TrainEngine::new(
+            EngineConfig::default(),
+            ActivationSchedule::always(ActivationSchedule::group(&[0]), 3),
+        );
+        engine.add_objective(Box::new(MaskedLm));
+        let first = engine.run(&mut bundle.store, &bundle.model, &data, &mut rng);
+        assert_eq!(engine.completed(), 3);
+        assert_eq!(first.steps, 3);
+        let json = save_checkpoint(&bundle, &engine.state(&bundle.store));
+
+        // Phase 2: restore and run the remaining steps of the full schedule.
+        let (mut restored, state) = load_checkpoint(&json).unwrap();
+        assert_eq!(state.completed, 3);
+        assert_eq!(state.optimizer.step, 3);
+        let mut engine2 = TrainEngine::new(
+            EngineConfig::default(),
+            ActivationSchedule::always(ActivationSchedule::group(&[0]), 6),
+        );
+        engine2.add_objective(Box::new(MaskedLm));
+        engine2.resume(&restored.store, &state);
+        assert_eq!(engine2.completed(), 3);
+        let tail = engine2.run(&mut restored.store, &restored.model, &data, &mut rng);
+        assert_eq!(engine2.completed(), 6);
+        assert_eq!(tail.steps, 3);
+        assert_eq!(tail.records[0].step, 3, "resume continues at the saved step");
+        assert!(tail.final_loss.is_finite());
     }
 
     #[test]

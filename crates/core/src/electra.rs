@@ -33,6 +33,17 @@ pub struct ElectraLosses<'t> {
     pub disc_hidden: Var<'t>,
 }
 
+/// Result of the generator half of an ELECTRA step: the MLM loss plus the
+/// corrupted token sequence handed to the discriminator.
+pub struct GeneratorPass<'t> {
+    /// Generator MLM loss over the masked positions.
+    pub mlm: Var<'t>,
+    /// Input ids with masked positions filled by generator samples.
+    pub corrupted: Vec<usize>,
+    /// Per-position flag: did the sample differ from the original token?
+    pub replaced: Vec<bool>,
+}
+
 impl Electra {
     /// Creates the generator (a narrower copy of the discriminator's
     /// configuration) and the RTD head on the discriminator's width.
@@ -58,29 +69,22 @@ impl Electra {
         Electra { generator, rtd_head, rtd_weight }
     }
 
-    /// One ELECTRA step over a masked batch:
-    /// 1. the generator reconstructs masked tokens (MLM loss),
-    /// 2. masked positions are filled with generator samples,
-    /// 3. the discriminator classifies each unpadded position as
-    ///    original / replaced (RTD loss).
-    pub fn step<'t>(
+    /// Generator half of an ELECTRA step: the generator reconstructs masked
+    /// tokens (MLM loss), then masked positions are filled with generator
+    /// samples (no gradient through the sampling, as in ELECTRA).
+    pub fn generator_pass<'t>(
         &self,
         tape: &'t Tape,
         store: &ParamStore,
-        discriminator: &TeleModel,
         batch: &Batch,
         masked: &MaskedBatch,
         rng: &mut StdRng,
-    ) -> ElectraLosses<'t> {
-        // Generator pass on the masked input.
+    ) -> GeneratorPass<'t> {
         let gen_out = self.generator.encode(tape, store, batch, Some(&masked.ids), None, Some(rng));
         let gen_logits = self.generator.mlm_logits(tape, store, gen_out.hidden);
         let mlm = gen_logits.cross_entropy_logits(&masked.targets);
 
-        // Sample replacements at masked positions (no gradient through the
-        // sampling, as in ELECTRA).
         let logits_val = gen_logits.value();
-        let vocab = logits_val.shape().dim(1);
         let mut corrupted = batch.ids.clone();
         let mut replaced = vec![false; corrupted.len()];
         for (pos, target) in masked.targets.iter().enumerate() {
@@ -91,10 +95,24 @@ impl Electra {
             replaced[pos] = sampled != batch.ids[pos];
             corrupted[pos] = sampled;
         }
-        let _ = vocab;
+        GeneratorPass { mlm, corrupted, replaced }
+    }
 
-        // Discriminator pass on the corrupted input.
-        let disc_out = discriminator.encode(tape, store, batch, Some(&corrupted), None, Some(rng));
+    /// Discriminator half of an ELECTRA step: the discriminator classifies
+    /// each unpadded position of the corrupted sequence as original /
+    /// replaced. Returns the RTD loss and the discriminator hidden states
+    /// (for chaining SimCSE on the same pass).
+    pub fn rtd_loss<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        discriminator: &TeleModel,
+        batch: &Batch,
+        pass: &GeneratorPass<'t>,
+        rng: &mut StdRng,
+    ) -> (Var<'t>, Var<'t>) {
+        let disc_out =
+            discriminator.encode(tape, store, batch, Some(&pass.corrupted), None, Some(rng));
         let d = discriminator.dim();
         let flat = disc_out.hidden.reshape([batch.batch * batch.seq, d]);
         // RTD over unpadded positions only.
@@ -102,15 +120,27 @@ impl Electra {
             .flat_map(|b| (0..batch.lens[b]).map(move |p| b * batch.seq + p))
             .collect();
         let selected = flat.index_select0(&positions);
-        let logits = self
-            .rtd_head
-            .forward(tape, store, selected)
-            .reshape([positions.len()]);
-        let labels: Vec<f32> = positions.iter().map(|&p| replaced[p] as u8 as f32).collect();
+        let logits = self.rtd_head.forward(tape, store, selected).reshape([positions.len()]);
+        let labels: Vec<f32> = positions.iter().map(|&p| pass.replaced[p] as u8 as f32).collect();
         let rtd = logits.bce_with_logits(&Tensor::from_vec(labels, [positions.len()]));
+        (rtd, disc_out.hidden)
+    }
 
-        let total = mlm.add(rtd.scale(self.rtd_weight));
-        ElectraLosses { mlm, rtd, total, disc_hidden: disc_out.hidden }
+    /// One full ELECTRA step over a masked batch: [`Self::generator_pass`]
+    /// followed by [`Self::rtd_loss`], fused as `mlm + rtd_weight * rtd`.
+    pub fn step<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        discriminator: &TeleModel,
+        batch: &Batch,
+        masked: &MaskedBatch,
+        rng: &mut StdRng,
+    ) -> ElectraLosses<'t> {
+        let pass = self.generator_pass(tape, store, batch, masked, rng);
+        let (rtd, disc_hidden) = self.rtd_loss(tape, store, discriminator, batch, &pass, rng);
+        let total = pass.mlm.add(rtd.scale(self.rtd_weight));
+        ElectraLosses { mlm: pass.mlm, rtd, total, disc_hidden }
     }
 }
 
@@ -170,7 +200,8 @@ mod tests {
     fn losses_are_finite_and_positive() {
         let (store, disc, electra, batch) = setup();
         let mut rng = StdRng::seed_from_u64(1);
-        let masked = apply_masking(&batch, 40, &MaskingConfig { rate: 0.5, whole_word: false }, &mut rng);
+        let masked =
+            apply_masking(&batch, 40, &MaskingConfig { rate: 0.5, whole_word: false }, &mut rng);
         let tape = Tape::new();
         let losses = electra.step(&tape, &store, &disc, &batch, &masked, &mut rng);
         assert!(losses.mlm.value().item() > 0.0);
@@ -182,7 +213,8 @@ mod tests {
     fn gradients_reach_both_models() {
         let (mut store, disc, electra, batch) = setup();
         let mut rng = StdRng::seed_from_u64(2);
-        let masked = apply_masking(&batch, 40, &MaskingConfig { rate: 1.0, whole_word: false }, &mut rng);
+        let masked =
+            apply_masking(&batch, 40, &MaskingConfig { rate: 1.0, whole_word: false }, &mut rng);
         store.zero_grads();
         let tape = Tape::new();
         let losses = electra.step(&tape, &store, &disc, &batch, &masked, &mut rng);

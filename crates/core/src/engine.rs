@@ -1,0 +1,326 @@
+//! The unified training engine.
+//!
+//! [`TrainEngine`] owns the optimizer, the learning-rate schedule, the
+//! gradient step, and a set of [`Objective`]s activated per step by an
+//! [`ActivationSchedule`] — pure schedule data derived from the paper's
+//! STL/PMTL/IMTL strategies (or "everything, every step" for stage 1).
+//! Per-step telemetry flows to [`TrainCallback`]s and accumulates in the
+//! returned [`TrainTrace`]. `pretrain`/`retrain` are thin shims over this
+//! engine; neither owns a step loop of its own.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use tele_tensor::{
+    optim::{AdamW, AdamWState, LinearWarmup},
+    ParamStore, Tape, Var,
+};
+
+use crate::model::TeleModel;
+use crate::objective::{Objective, StepData, StepEnv};
+use crate::strategy::{StepTask, Strategy};
+use crate::telemetry::{ObjectiveRecord, StepRecord, TrainCallback, TrainTrace};
+
+/// Which objectives are active at each step, as one bitmask per step
+/// (bit `i` = objective `i` in engine registration order).
+///
+/// Strategies are compiled to this representation once, so STL/PMTL/IMTL
+/// differ only in the data here — the engine's control flow never branches
+/// on the strategy.
+#[derive(Clone, Debug)]
+pub struct ActivationSchedule {
+    masks: Vec<u32>,
+}
+
+impl ActivationSchedule {
+    /// Builds a bitmask with the given objective indices set.
+    pub fn group(indices: &[usize]) -> u32 {
+        indices.iter().fold(0u32, |acc, &i| {
+            assert!(i < 32, "at most 32 objectives per engine");
+            acc | (1 << i)
+        })
+    }
+
+    /// Every step activates the same objective group (stage-1 shape).
+    pub fn always(bits: u32, steps: usize) -> Self {
+        ActivationSchedule { masks: vec![bits; steps] }
+    }
+
+    /// Builds explicit per-step masks.
+    pub fn from_masks(masks: Vec<u32>) -> Self {
+        ActivationSchedule { masks }
+    }
+
+    /// Compiles a paper strategy (Table II) to per-step activation data:
+    /// `Mask` steps activate `mask_group`, `Ke` steps `ke_group`, and
+    /// `Both` steps their union.
+    pub fn from_strategy(strategy: Strategy, steps: usize, mask_group: u32, ke_group: u32) -> Self {
+        let masks = strategy
+            .schedule(steps)
+            .into_iter()
+            .map(|task| match task {
+                StepTask::Mask => mask_group,
+                StepTask::Ke => ke_group,
+                StepTask::Both => mask_group | ke_group,
+            })
+            .collect();
+        ActivationSchedule { masks }
+    }
+
+    /// Number of scheduled steps.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// The activation bitmask for `step`.
+    pub fn active(&self, step: usize) -> u32 {
+        self.masks[step]
+    }
+}
+
+/// Optimizer/schedule hyperparameters for an engine run.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Peak (or constant, without warmup) learning rate.
+    pub lr: f32,
+    /// AdamW decoupled weight decay.
+    pub weight_decay: f32,
+    /// Linear warmup fraction of total steps; `None` keeps the LR constant.
+    pub warmup_frac: Option<f32>,
+    /// Global gradient-norm clip.
+    pub clip_norm: f32,
+    /// Name substrings of parameters excluded from weight decay.
+    pub no_decay: Vec<String>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            lr: 3e-4,
+            weight_decay: 0.01,
+            warmup_frac: None,
+            clip_norm: 1.0,
+            no_decay: vec!["bias".into(), "norm_".into(), ".tok.".into(), ".pos.".into()],
+        }
+    }
+}
+
+/// Serializable engine snapshot: progress plus optimizer state. Pairs with
+/// a saved model bundle to resume an interrupted run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineState {
+    /// Steps already completed.
+    pub completed: usize,
+    /// Optimizer moments and step counter, keyed by parameter name.
+    pub optimizer: AdamWState,
+}
+
+/// The single training loop behind both pre-training stages.
+///
+/// Owns the optimizer, the LR schedule, objective activation, loss fusion,
+/// the gradient step, and telemetry dispatch. Objectives and callbacks are
+/// registered up front; [`Self::run`] then executes the remaining scheduled
+/// steps (all of them on a fresh engine, the tail after [`Self::resume`]).
+pub struct TrainEngine<'a> {
+    cfg: EngineConfig,
+    opt: AdamW,
+    schedule: ActivationSchedule,
+    objectives: Vec<Box<dyn Objective + 'a>>,
+    callbacks: Vec<Box<dyn TrainCallback + 'a>>,
+    completed: usize,
+    decay_configured: bool,
+}
+
+impl<'a> TrainEngine<'a> {
+    /// Creates an engine with no objectives or callbacks registered yet.
+    pub fn new(cfg: EngineConfig, schedule: ActivationSchedule) -> Self {
+        let opt = AdamW::new(cfg.lr, cfg.weight_decay);
+        TrainEngine {
+            cfg,
+            opt,
+            schedule,
+            objectives: Vec::new(),
+            callbacks: Vec::new(),
+            completed: 0,
+            decay_configured: false,
+        }
+    }
+
+    /// Registers an objective; returns its index (its bit in activation
+    /// masks).
+    pub fn add_objective(&mut self, objective: Box<dyn Objective + 'a>) -> usize {
+        assert!(self.objectives.len() < 32, "at most 32 objectives per engine");
+        self.objectives.push(objective);
+        self.objectives.len() - 1
+    }
+
+    /// Registers a telemetry callback.
+    pub fn add_callback(&mut self, callback: Box<dyn TrainCallback + 'a>) {
+        self.callbacks.push(callback);
+    }
+
+    /// Steps already completed (non-zero after [`Self::resume`] or a
+    /// partial [`Self::run`]).
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Snapshots progress and optimizer state for checkpointing.
+    pub fn state(&self, store: &ParamStore) -> EngineState {
+        EngineState { completed: self.completed, optimizer: self.opt.export_state(store) }
+    }
+
+    /// Restores a snapshot taken by [`Self::state`]; the next [`Self::run`]
+    /// continues from the recorded step.
+    pub fn resume(&mut self, store: &ParamStore, state: &EngineState) {
+        self.opt.import_state(store, &state.optimizer);
+        self.completed = state.completed;
+        // The snapshot carries the decay exclusions; don't re-derive them.
+        self.decay_configured = true;
+    }
+
+    /// Runs every remaining scheduled step, mutating `store` in place, and
+    /// returns the telemetry trace for the steps executed by this call.
+    ///
+    /// Each step: zero grads → set LR → compute each active objective's
+    /// loss over a shared [`StepEnv`] → fuse (`Σ wᵢ·Lᵢ`) → backward, clip,
+    /// optimizer step → emit a [`StepRecord`]. A step where every active
+    /// objective abstains skips the optimizer but still emits a record with
+    /// `fused: None`.
+    pub fn run(
+        &mut self,
+        store: &mut ParamStore,
+        model: &TeleModel,
+        data: &StepData<'_>,
+        rng: &mut StdRng,
+    ) -> TrainTrace {
+        if !self.decay_configured {
+            let patterns: Vec<&str> = self.cfg.no_decay.iter().map(String::as_str).collect();
+            self.opt.exclude_from_decay(store, &patterns);
+            self.decay_configured = true;
+        }
+        let total = self.schedule.len();
+        let warmup = self.cfg.warmup_frac.map(|frac| LinearWarmup {
+            peak_lr: self.cfg.lr,
+            warmup_steps: ((total as f32 * frac) as u64).max(1),
+            total_steps: total as u64,
+        });
+
+        let mut trace = TrainTrace::default();
+        for step in self.completed..total {
+            store.zero_grads();
+            let lr = match warmup {
+                Some(schedule) => schedule.lr_at(step as u64),
+                None => self.cfg.lr,
+            };
+            self.opt.lr = lr;
+            let started = Instant::now();
+            let active = self.schedule.active(step);
+
+            let tape = Tape::new();
+            let mut env = StepEnv::new(&tape, store, model, data, rng);
+            let mut contributions: Vec<(Var<'_>, f32)> = Vec::new();
+            let mut records: Vec<ObjectiveRecord> = Vec::new();
+            for (i, objective) in self.objectives.iter_mut().enumerate() {
+                if active & (1 << i) == 0 {
+                    continue;
+                }
+                let weight = objective.weight();
+                if weight == 0.0 {
+                    continue;
+                }
+                let Some(loss) = objective.loss(&mut env) else { continue };
+                records.push(ObjectiveRecord {
+                    name: objective.name().to_string(),
+                    loss: loss.value().item(),
+                    weight,
+                });
+                contributions.push((loss, weight));
+            }
+            drop(env);
+
+            let mut fused: Option<Var<'_>> = None;
+            for (loss, weight) in contributions {
+                let term = if weight == 1.0 { loss } else { loss.scale(weight) };
+                fused = Some(match fused {
+                    Some(acc) => acc.add(term),
+                    None => term,
+                });
+            }
+
+            let fused_value = fused.map(|total| {
+                tape.backward(total).accumulate_into(&tape, store);
+                store.clip_grad_norm(self.cfg.clip_norm);
+                self.opt.step(store);
+                total.value().item()
+            });
+
+            let record = StepRecord {
+                step,
+                lr,
+                objectives: records,
+                fused: fused_value,
+                uncertainty: model.anenc.as_ref().map(|a| a.uncertainties(store).to_vec()),
+                micros: started.elapsed().as_micros() as u64,
+            };
+            for callback in &mut self.callbacks {
+                callback.on_step(&record);
+            }
+            trace.push(record);
+            self.completed = step + 1;
+        }
+        for callback in &mut self.callbacks {
+            callback.on_end(&trace);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn group_builds_bitmasks() {
+        assert_eq!(ActivationSchedule::group(&[0]), 0b1);
+        assert_eq!(ActivationSchedule::group(&[0, 2]), 0b101);
+        assert_eq!(ActivationSchedule::group(&[]), 0);
+    }
+
+    #[test]
+    fn strategy_compiles_to_masks() {
+        let mask_group = ActivationSchedule::group(&[0, 1]);
+        let ke_group = ActivationSchedule::group(&[2]);
+        for strategy in [Strategy::Stl, Strategy::Pmtl, Strategy::Imtl] {
+            let steps = 120;
+            let schedule = ActivationSchedule::from_strategy(strategy, steps, mask_group, ke_group);
+            assert_eq!(schedule.len(), steps);
+            let tasks = strategy.schedule(steps);
+            for (step, task) in tasks.iter().enumerate() {
+                let expected = match task {
+                    StepTask::Mask => mask_group,
+                    StepTask::Ke => ke_group,
+                    StepTask::Both => mask_group | ke_group,
+                };
+                assert_eq!(schedule.active(step), expected, "{strategy:?} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn always_schedule_is_uniform() {
+        let schedule = ActivationSchedule::always(0b111, 5);
+        assert_eq!(schedule.len(), 5);
+        assert!((0..5).all(|s| schedule.active(s) == 0b111));
+        assert!(!schedule.is_empty());
+        assert!(ActivationSchedule::always(0b1, 0).is_empty());
+    }
+}

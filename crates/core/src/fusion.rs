@@ -1,0 +1,133 @@
+//! Multi-task loss fusion with homoscedastic-uncertainty weighting
+//! (Kendall et al., the paper's "automatically weighted loss").
+//!
+//! Each task `i` carries a learned uncertainty parameter `μᵢ`; its loss
+//! enters the fused total as `½ Lᵢ/μᵢ² + ln(1 + μᵢ²)`, so the optimizer
+//! trades per-task confidence against raw loss magnitude. The combinator is
+//! shared by the ANEnc numeric bundle (reg/cls/nc) and is available to any
+//! [`Objective`](crate::objective::Objective) set an engine fuses.
+
+use tele_tensor::{ParamId, ParamStore, Tape, Tensor, Var};
+
+/// A composable uncertainty-weighted loss combinator over `n` task slots.
+///
+/// The `μ` parameters live in the shared [`ParamStore`] so the optimizer
+/// updates them alongside the model weights.
+pub struct MultiTaskFusion {
+    mu: Vec<ParamId>,
+}
+
+impl MultiTaskFusion {
+    /// Wraps existing `μ` parameters (e.g. the ANEnc's `mu_reg`/`mu_cls`/
+    /// `mu_nc`).
+    pub fn new(mu: Vec<ParamId>) -> Self {
+        assert!(!mu.is_empty(), "fusion needs at least one task slot");
+        MultiTaskFusion { mu }
+    }
+
+    /// Registers `n` fresh `μ` parameters (initialized to 1) under
+    /// `name.mu0..name.mu{n-1}` and wraps them.
+    pub fn register(store: &mut ParamStore, name: &str, n: usize) -> Self {
+        let mu = (0..n).map(|i| store.create(format!("{name}.mu{i}"), Tensor::ones([1]))).collect();
+        MultiTaskFusion::new(mu)
+    }
+
+    /// Number of task slots.
+    pub fn slots(&self) -> usize {
+        self.mu.len()
+    }
+
+    /// `½ L/μᵢ² + ln(1 + μᵢ²)` for slot `i`.
+    pub fn weighted<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        loss: Var<'t>,
+        i: usize,
+    ) -> Var<'t> {
+        let mu = tape.param(store, self.mu[i]);
+        let mu2 = mu.square();
+        let weighted = loss.scale(0.5).div(mu2);
+        let penalty = mu2.add_scalar(1.0).ln();
+        weighted.add(penalty).reshape(tele_tensor::Shape::scalar())
+    }
+
+    /// Fuses the available slot losses: `Σᵢ ½ Lᵢ/μᵢ² + ln(1 + μᵢ²)` over
+    /// every `Some` entry (absent tasks contribute nothing, matching the
+    /// paper's "whichever components are available" semantics). Returns
+    /// `None` when no slot is active.
+    pub fn fuse<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        losses: &[Option<Var<'t>>],
+    ) -> Option<Var<'t>> {
+        assert!(losses.len() <= self.mu.len(), "more losses than fusion slots");
+        let mut total: Option<Var<'t>> = None;
+        for (i, loss) in losses.iter().enumerate() {
+            let Some(loss) = loss else { continue };
+            let term = self.weighted(tape, store, *loss, i);
+            total = Some(match total {
+                Some(acc) => acc.add(term),
+                None => term,
+            });
+        }
+        total
+    }
+
+    /// Current uncertainty weights `μ₀..μₙ`, for logging.
+    pub fn uncertainties(&self, store: &ParamStore) -> Vec<f32> {
+        self.mu.iter().map(|&id| store.value(id).item()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tele_tensor::optim::AdamW;
+
+    #[test]
+    fn fuse_matches_manual_weighting() {
+        let mut store = ParamStore::new();
+        let fusion = MultiTaskFusion::register(&mut store, "f", 2);
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(vec![2.0], [1])).sum_all();
+        let b = tape.constant(Tensor::from_vec(vec![3.0], [1])).sum_all();
+        let fused = fusion.fuse(&tape, &store, &[Some(a), Some(b)]).unwrap();
+        // μ = 1 at init: ½·2/1 + ln 2 + ½·3/1 + ln 2.
+        let expected = 1.0 + (2.0f32).ln() + 1.5 + (2.0f32).ln();
+        assert!((fused.value().item() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn absent_slots_are_skipped() {
+        let mut store = ParamStore::new();
+        let fusion = MultiTaskFusion::register(&mut store, "f", 3);
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(vec![2.0], [1])).sum_all();
+        let partial = fusion.fuse(&tape, &store, &[None, Some(a), None]).unwrap();
+        let expected = 1.0 + (2.0f32).ln();
+        assert!((partial.value().item() - expected).abs() < 1e-5);
+        assert!(fusion.fuse(&tape, &store, &[None, None, None]).is_none());
+    }
+
+    #[test]
+    fn uncertainties_adapt_to_loss_scale() {
+        // Two constant losses of very different scale: the larger task's μ
+        // should grow (down-weighting it) faster than the smaller task's.
+        let mut store = ParamStore::new();
+        let fusion = MultiTaskFusion::register(&mut store, "f", 2);
+        let mut opt = AdamW::new(1e-2, 0.0);
+        for _ in 0..50 {
+            store.zero_grads();
+            let tape = Tape::new();
+            let big = tape.constant(Tensor::from_vec(vec![10.0], [1])).sum_all();
+            let small = tape.constant(Tensor::from_vec(vec![0.1], [1])).sum_all();
+            let fused = fusion.fuse(&tape, &store, &[Some(big), Some(small)]).unwrap();
+            tape.backward(fused).accumulate_into(&tape, &mut store);
+            opt.step(&mut store);
+        }
+        let mu = fusion.uncertainties(&store);
+        assert!(mu[0] > mu[1], "large-loss task should be down-weighted: {mu:?}");
+    }
+}

@@ -43,6 +43,7 @@ impl Default for KeConfig {
 ///
 /// All involved entity and relation surfaces are encoded in one collated
 /// batch; the TransE distances and Eq. 10 are then assembled on the tape.
+#[allow(clippy::too_many_arguments)]
 pub fn ke_loss<'t>(
     tape: &'t Tape,
     store: &ParamStore,
@@ -64,20 +65,22 @@ pub fn ke_loss<'t>(
     let mut sequences = Vec::new();
     let mut entity_index = std::collections::HashMap::new();
     let mut relation_index = std::collections::HashMap::new();
-    let mut intern_entity = |e: tele_kg::EntityId, sequences: &mut Vec<tele_tokenizer::Encoding>| {
-        *entity_index.entry(e).or_insert_with(|| {
-            let fields = serialize::entity_template(kg, e, cfg.with_attrs);
-            sequences.push(tokenizer.encode_template(&fields, cfg.max_len));
-            sequences.len() - 1
-        })
-    };
-    let mut intern_relation = |r: tele_kg::RelationId, sequences: &mut Vec<tele_tokenizer::Encoding>| {
-        *relation_index.entry(r).or_insert_with(|| {
-            let fields = serialize::relation_template(kg, r);
-            sequences.push(tokenizer.encode_template(&fields, cfg.max_len));
-            sequences.len() - 1
-        })
-    };
+    let mut intern_entity =
+        |e: tele_kg::EntityId, sequences: &mut Vec<tele_tokenizer::Encoding>| {
+            *entity_index.entry(e).or_insert_with(|| {
+                let fields = serialize::entity_template(kg, e, cfg.with_attrs);
+                sequences.push(tokenizer.encode_template(&fields, cfg.max_len));
+                sequences.len() - 1
+            })
+        };
+    let mut intern_relation =
+        |r: tele_kg::RelationId, sequences: &mut Vec<tele_tokenizer::Encoding>| {
+            *relation_index.entry(r).or_insert_with(|| {
+                let fields = serialize::relation_template(kg, r);
+                sequences.push(tokenizer.encode_template(&fields, cfg.max_len));
+                sequences.len() - 1
+            })
+        };
 
     struct Scored {
         h: usize,
@@ -127,14 +130,8 @@ pub fn ke_loss<'t>(
     // Positive part: −log σ(γ − d).
     let pos_refs: Vec<&Scored> = positives.iter().collect();
     let d_pos = distance(&pos_refs);
-    let pos_loss = d_pos
-        .neg()
-        .add_scalar(cfg.gamma)
-        .sigmoid()
-        .add_scalar(1e-8)
-        .ln()
-        .neg()
-        .mean_all();
+    let pos_loss =
+        d_pos.neg().add_scalar(cfg.gamma).sigmoid().add_scalar(1e-8).ln().neg().mean_all();
 
     // Negative part: uniform pᵢ, −(1/n) Σ log σ(d' − γ).
     let neg_refs: Vec<&Scored> = negatives.iter().flatten().collect();
@@ -142,13 +139,7 @@ pub fn ke_loss<'t>(
         return pos_loss;
     }
     let d_neg = distance(&neg_refs);
-    let neg_loss = d_neg
-        .add_scalar(-cfg.gamma)
-        .sigmoid()
-        .add_scalar(1e-8)
-        .ln()
-        .neg()
-        .mean_all();
+    let neg_loss = d_neg.add_scalar(-cfg.gamma).sigmoid().add_scalar(1e-8).ln().neg().mean_all();
 
     pos_loss.add(neg_loss)
 }
@@ -189,11 +180,7 @@ mod tests {
     fn setup() -> (ParamStore, TeleModel, TeleTokenizer, TeleKg) {
         let kg = kg();
         let sentences: Vec<String> = (0..10)
-            .flat_map(|_| {
-                kg.entity_ids()
-                    .map(|e| kg.surface(e).to_string())
-                    .collect::<Vec<_>>()
-            })
+            .flat_map(|_| kg.entity_ids().map(|e| kg.surface(e).to_string()).collect::<Vec<_>>())
             .collect();
         let tokenizer = TeleTokenizer::train(
             sentences,
@@ -214,7 +201,8 @@ mod tests {
             max_len: 48,
             dropout: 0.1,
         };
-        let model = TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
+        let model =
+            TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
         (store, model, tokenizer, kg)
     }
 
@@ -225,8 +213,15 @@ mod tests {
         let tape = Tape::new();
         let triples: Vec<_> = kg.triples().to_vec();
         let loss = ke_loss(
-            &tape, &store, &model, &tokenizer, &TagNormalizer::new(), &kg, &triples,
-            &KeConfig::default(), &mut rng,
+            &tape,
+            &store,
+            &model,
+            &tokenizer,
+            &TagNormalizer::new(),
+            &kg,
+            &triples,
+            &KeConfig::default(),
+            &mut rng,
         );
         assert!(loss.value().item().is_finite());
         assert!(loss.value().item() > 0.0);
@@ -251,7 +246,8 @@ mod tests {
         for _ in 0..30 {
             store.zero_grads();
             let tape = Tape::new();
-            let loss = ke_loss(&tape, &store, &model, &tokenizer, &norm, &kg, &triples, &cfg, &mut rng);
+            let loss =
+                ke_loss(&tape, &store, &model, &tokenizer, &norm, &kg, &triples, &cfg, &mut rng);
             tape.backward(loss).accumulate_into(&tape, &mut store);
             opt.step(&mut store);
         }

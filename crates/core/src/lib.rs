@@ -9,6 +9,17 @@
 //! The result is a [`TeleBert`] bundle that delivers `[CLS]` service
 //! embeddings ([`ServiceEncoder`]) to the downstream fault-analysis tasks
 //! in `tele-tasks`.
+//!
+//! Training is organized around three layers:
+//! - [`objective`] — each pre-training loss as a first-class
+//!   [`Objective`](objective::Objective) over a shared per-step environment,
+//! - [`engine`] — the single [`TrainEngine`](engine::TrainEngine) owning the
+//!   optimizer, LR schedule, strategy-driven objective activation
+//!   ([`ActivationSchedule`](engine::ActivationSchedule)), loss fusion, and
+//!   the gradient step,
+//! - [`telemetry`] — per-step, per-objective loss records flowing to
+//!   callbacks (e.g. a JSONL sink) and into the returned
+//!   [`TrainTrace`](telemetry::TrainTrace).
 
 #![warn(missing_docs)]
 
@@ -16,21 +27,34 @@ pub mod anenc;
 pub mod batch;
 pub mod checkpoint;
 pub mod electra;
+pub mod engine;
+pub mod fusion;
 pub mod ke;
 pub mod masking;
 pub mod model;
 pub mod normalizer;
+pub mod objective;
 pub mod service;
 pub mod simcse;
 pub mod strategy;
+pub mod telemetry;
 pub mod trainer;
 
 pub use anenc::{Anenc, AnencConfig};
 pub use batch::Batch;
-pub use checkpoint::{clone_bundle, load_bundle, save_bundle, SavedBundle};
+pub use checkpoint::{
+    clone_bundle, load_bundle, load_checkpoint, save_bundle, save_checkpoint, SavedBundle,
+    SavedCheckpoint,
+};
+pub use engine::{ActivationSchedule, EngineConfig, EngineState, TrainEngine};
+pub use fusion::MultiTaskFusion;
 pub use masking::MaskingConfig;
 pub use model::{ModelConfig, Pooling, TeleBert, TeleModel};
 pub use normalizer::TagNormalizer;
+pub use objective::{Objective, StepData, StepEnv};
 pub use service::{cosine, ServiceEncoder, ServiceFormat};
 pub use strategy::{StepTask, Strategy};
+pub use telemetry::{
+    JsonlSink, ObjectiveRecord, ObjectiveStats, StepRecord, TraceSummary, TrainCallback, TrainTrace,
+};
 pub use trainer::{pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, TrainLog};

@@ -57,15 +57,16 @@ pub fn apply_masking(
     let mut targets = vec![None; ids.len()];
     let learned_range = special_ids::FIRST_LEARNED..vocab_size;
 
-    let mask_position = |pos: usize, ids: &mut Vec<usize>, targets: &mut Vec<Option<usize>>, rng: &mut StdRng| {
-        targets[pos] = Some(ids[pos]);
-        let roll: f32 = rng.gen();
-        if roll < 0.8 {
-            ids[pos] = special_ids::MASK;
-        } else if roll < 0.9 && learned_range.len() > 0 {
-            ids[pos] = rng.gen_range(learned_range.clone());
-        } // else leave unchanged
-    };
+    let mask_position =
+        |pos: usize, ids: &mut Vec<usize>, targets: &mut Vec<Option<usize>>, rng: &mut StdRng| {
+            targets[pos] = Some(ids[pos]);
+            let roll: f32 = rng.gen();
+            if roll < 0.8 {
+                ids[pos] = special_ids::MASK;
+            } else if roll < 0.9 && !learned_range.is_empty() {
+                ids[pos] = rng.gen_range(learned_range.clone());
+            } // else leave unchanged
+        };
 
     if cfg.whole_word {
         // Shuffle spans and take them until the token budget is filled.
@@ -150,7 +151,8 @@ mod tests {
         // all-or-nothing.
         for seed in 0..20 {
             let mut rng2 = StdRng::seed_from_u64(seed);
-            let m = apply_masking(&b, 100, &MaskingConfig { rate: 0.12, whole_word: true }, &mut rng2);
+            let m =
+                apply_masking(&b, 100, &MaskingConfig { rate: 0.12, whole_word: true }, &mut rng2);
             let span_masked: Vec<bool> = (1..4).map(|p| m.targets[p].is_some()).collect();
             assert!(
                 span_masked.iter().all(|&x| x) || span_masked.iter().all(|&x| !x),
@@ -167,10 +169,12 @@ mod tests {
         let mut high_total = 0;
         for seed in 0..30 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let m = apply_masking(&b, 100, &MaskingConfig { rate: 0.15, whole_word: false }, &mut rng);
+            let m =
+                apply_masking(&b, 100, &MaskingConfig { rate: 0.15, whole_word: false }, &mut rng);
             low_total += m.targets.iter().flatten().count();
             let mut rng = StdRng::seed_from_u64(seed);
-            let m = apply_masking(&b, 100, &MaskingConfig { rate: 0.40, whole_word: false }, &mut rng);
+            let m =
+                apply_masking(&b, 100, &MaskingConfig { rate: 0.40, whole_word: false }, &mut rng);
             high_total += m.targets.iter().flatten().count();
         }
         assert!(high_total > low_total, "40% should mask more than 15%");
@@ -194,7 +198,12 @@ mod tests {
             numerics: vec![],
         };
         let mut b = Batch::collate(&[&e]);
-        b.numerics.push(BatchNumeric { flat_pos: 2, value: 0.3, tag_ids: vec![20], tag: "t".into() });
+        b.numerics.push(BatchNumeric {
+            flat_pos: 2,
+            value: 0.3,
+            tag_ids: vec![20],
+            tag: "t".into(),
+        });
         let mut rng = StdRng::seed_from_u64(4);
         let m = apply_masking(&b, 100, &MaskingConfig { rate: 1.0, whole_word: true }, &mut rng);
         assert!(m.targets[2].is_none(), "numeric slot was masked");

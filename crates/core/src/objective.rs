@@ -1,0 +1,358 @@
+//! Pre-training objectives as first-class values.
+//!
+//! Each loss the paper trains on — ELECTRA generator MLM, replaced-token
+//! detection, SimCSE, whole-word MLM, the ANEnc numeric bundle, and TransE
+//! knowledge embedding — implements [`Objective`]: a name, a static fusion
+//! weight, and a loss over a shared per-step environment. The
+//! [`TrainEngine`](crate::engine::TrainEngine) activates objectives from
+//! schedule data and fuses whatever they return, so STL/PMTL/IMTL and the
+//! stage-1 recipe are configurations, not separate training loops.
+//!
+//! [`StepEnv`] lazily computes and caches the expensive shared artifacts of
+//! one step — the sampled masked batch, the ELECTRA generator pass, and the
+//! main-model encoding — so objectives compose without redundant forward
+//! passes and, crucially, without perturbing the RNG stream relative to the
+//! previous hand-written loops (KE-only steps never sample a batch; the
+//! generator runs exactly once per step).
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tele_kg::{TeleKg, Triple};
+use tele_tensor::{ParamStore, Tape, Var};
+use tele_tokenizer::{Encoding, TeleTokenizer};
+
+use crate::batch::Batch;
+use crate::electra::{Electra, GeneratorPass};
+use crate::ke::{ke_loss, KeConfig};
+use crate::masking::{apply_masking, MaskedBatch, MaskingConfig};
+use crate::model::TeleModel;
+use crate::normalizer::TagNormalizer;
+
+/// The immutable data sources an engine run trains on.
+pub struct StepData<'a> {
+    /// Pre-encoded sentence pool sampled (with replacement) each step.
+    pub pool: &'a [Encoding],
+    /// Sequences per batch.
+    pub batch_size: usize,
+    /// Masking strategy applied to sampled batches.
+    pub mask: MaskingConfig,
+    /// Tokenizer (vocab size for masking; templates for KE).
+    pub tokenizer: &'a TeleTokenizer,
+    /// Numeric-tag normalizer, when fitted (stage 2).
+    pub normalizer: Option<&'a TagNormalizer>,
+}
+
+/// A sampled batch together with its masked view.
+pub struct MaskedSample {
+    /// Collated batch.
+    pub batch: Batch,
+    /// Masked ids and reconstruction targets.
+    pub masked: MaskedBatch,
+}
+
+/// Cached main-model encoding of the masked batch.
+pub struct EncodedBatch<'t> {
+    /// Hidden states `[batch*seq, dim]`-shaped (as `[batch, seq, dim]`).
+    pub hidden: Var<'t>,
+    /// ANEnc numeric embeddings for the batch's numeric slots, if any.
+    pub numeric_h: Option<Var<'t>>,
+}
+
+/// Mutable per-step environment shared by all active objectives.
+///
+/// Shared artifacts are computed on first request and cached for the rest
+/// of the step. The caches are keyed by construction order, so a step that
+/// activates no batch-consuming objective draws nothing from the RNG.
+pub struct StepEnv<'t, 'a> {
+    /// Autograd tape for this step.
+    pub tape: &'t Tape,
+    /// Parameter store (read-only during the forward pass).
+    pub store: &'a ParamStore,
+    /// The model being trained.
+    pub model: &'a TeleModel,
+    /// Data sources for the run.
+    pub data: &'a StepData<'a>,
+    /// The run's RNG (batch sampling, masking, dropout, negative sampling).
+    pub rng: &'a mut StdRng,
+    batch: Option<MaskedSample>,
+    generator: Option<GeneratorPass<'t>>,
+    encoded: Option<EncodedBatch<'t>>,
+}
+
+impl<'t, 'a> StepEnv<'t, 'a> {
+    /// Creates a fresh environment for one step.
+    pub fn new(
+        tape: &'t Tape,
+        store: &'a ParamStore,
+        model: &'a TeleModel,
+        data: &'a StepData<'a>,
+        rng: &'a mut StdRng,
+    ) -> Self {
+        StepEnv { tape, store, model, data, rng, batch: None, generator: None, encoded: None }
+    }
+
+    /// Samples and masks this step's batch (cached).
+    pub fn ensure_batch(&mut self) -> &MaskedSample {
+        if self.batch.is_none() {
+            let pool = self.data.pool;
+            let batch_size = self.data.batch_size;
+            let vocab = self.data.tokenizer.vocab_size();
+            let mask = self.data.mask;
+            let rng = &mut *self.rng;
+            let refs: Vec<&Encoding> =
+                (0..batch_size).map(|_| &pool[rng.gen_range(0..pool.len())]).collect();
+            let batch = Batch::collate(&refs);
+            let masked = apply_masking(&batch, vocab, &mask, rng);
+            self.batch = Some(MaskedSample { batch, masked });
+        }
+        self.batch.as_ref().unwrap()
+    }
+
+    /// Runs the ELECTRA generator on this step's masked batch (cached):
+    /// generator MLM loss plus the sampled corrupted sequence.
+    pub fn ensure_generator(&mut self, electra: &Electra) -> &GeneratorPass<'t> {
+        self.ensure_batch();
+        if self.generator.is_none() {
+            let sample = self.batch.as_ref().unwrap();
+            let pass = electra.generator_pass(
+                self.tape,
+                self.store,
+                &sample.batch,
+                &sample.masked,
+                self.rng,
+            );
+            self.generator = Some(pass);
+        }
+        self.generator.as_ref().unwrap()
+    }
+
+    /// Encodes this step's masked batch with the main model (cached),
+    /// splicing ANEnc numeric embeddings when a normalizer is available.
+    pub fn ensure_encoded(&mut self) -> &EncodedBatch<'t> {
+        self.ensure_batch();
+        if self.encoded.is_none() {
+            let sample = self.batch.as_ref().unwrap();
+            let out = self.model.encode(
+                self.tape,
+                self.store,
+                &sample.batch,
+                Some(&sample.masked.ids),
+                self.data.normalizer,
+                Some(self.rng),
+            );
+            self.encoded = Some(EncodedBatch { hidden: out.hidden, numeric_h: out.numeric_h });
+        }
+        self.encoded.as_ref().unwrap()
+    }
+}
+
+/// One pre-training loss: a name for telemetry, a static fusion weight, and
+/// the loss itself over the shared step environment.
+///
+/// Returning `None` means the objective abstains this step (e.g. SimCSE on
+/// a single-sequence batch, KE with no triples); the engine fuses whatever
+/// remains and skips the optimizer step only when every objective abstains.
+pub trait Objective {
+    /// Short stable name used in telemetry records.
+    fn name(&self) -> &'static str;
+
+    /// Static weight applied when fusing this loss into the step total.
+    fn weight(&self) -> f32 {
+        1.0
+    }
+
+    /// Computes the raw (unweighted) loss, or `None` to abstain.
+    fn loss<'t>(&mut self, env: &mut StepEnv<'t, '_>) -> Option<Var<'t>>;
+}
+
+/// ELECTRA generator MLM loss (stage 1).
+pub struct ElectraMlm {
+    electra: Rc<Electra>,
+}
+
+impl ElectraMlm {
+    /// Wraps a shared ELECTRA coupling.
+    pub fn new(electra: Rc<Electra>) -> Self {
+        ElectraMlm { electra }
+    }
+}
+
+impl Objective for ElectraMlm {
+    fn name(&self) -> &'static str {
+        "mlm"
+    }
+
+    fn loss<'t>(&mut self, env: &mut StepEnv<'t, '_>) -> Option<Var<'t>> {
+        let electra = Rc::clone(&self.electra);
+        Some(env.ensure_generator(&electra).mlm)
+    }
+}
+
+/// ELECTRA replaced-token-detection loss on the discriminator (stage 1).
+pub struct ReplacedTokenDetection {
+    electra: Rc<Electra>,
+    weight: f32,
+}
+
+impl ReplacedTokenDetection {
+    /// Wraps a shared ELECTRA coupling with the RTD fusion weight.
+    pub fn new(electra: Rc<Electra>, weight: f32) -> Self {
+        ReplacedTokenDetection { electra, weight }
+    }
+}
+
+impl Objective for ReplacedTokenDetection {
+    fn name(&self) -> &'static str {
+        "rtd"
+    }
+
+    fn weight(&self) -> f32 {
+        self.weight
+    }
+
+    fn loss<'t>(&mut self, env: &mut StepEnv<'t, '_>) -> Option<Var<'t>> {
+        let electra = Rc::clone(&self.electra);
+        env.ensure_generator(&electra);
+        let sample = env.batch.as_ref().unwrap();
+        let pass = env.generator.as_ref().unwrap();
+        let (rtd, _disc_hidden) =
+            electra.rtd_loss(env.tape, env.store, env.model, &sample.batch, pass, env.rng);
+        Some(rtd)
+    }
+}
+
+/// SimCSE contrastive sentence objective (stage 1). Abstains on batches of
+/// fewer than two sequences.
+pub struct SimCse {
+    tau: f32,
+    weight: f32,
+}
+
+impl SimCse {
+    /// Creates the objective with temperature `tau` and a fusion weight.
+    pub fn new(tau: f32, weight: f32) -> Self {
+        SimCse { tau, weight }
+    }
+}
+
+impl Objective for SimCse {
+    fn name(&self) -> &'static str {
+        "simcse"
+    }
+
+    fn weight(&self) -> f32 {
+        self.weight
+    }
+
+    fn loss<'t>(&mut self, env: &mut StepEnv<'t, '_>) -> Option<Var<'t>> {
+        env.ensure_batch();
+        let sample = env.batch.as_ref().unwrap();
+        if sample.batch.batch < 2 {
+            return None;
+        }
+        Some(crate::simcse::simcse_loss(
+            env.tape,
+            env.store,
+            env.model,
+            &sample.batch,
+            self.tau,
+            env.rng,
+        ))
+    }
+}
+
+/// Whole-word masked-LM reconstruction on the main model (stage 2).
+pub struct MaskedLm;
+
+impl Objective for MaskedLm {
+    fn name(&self) -> &'static str {
+        "mask"
+    }
+
+    fn loss<'t>(&mut self, env: &mut StepEnv<'t, '_>) -> Option<Var<'t>> {
+        env.ensure_encoded();
+        let encoded = env.encoded.as_ref().unwrap();
+        let logits = env.model.mlm_logits(env.tape, env.store, encoded.hidden);
+        let sample = env.batch.as_ref().unwrap();
+        Some(logits.cross_entropy_logits(&sample.masked.targets))
+    }
+}
+
+/// The ANEnc numeric bundle `L_num` (regression + tag classification +
+/// numeric contrastive, uncertainty-fused). Abstains when the model has no
+/// ANEnc, no normalizer is fitted, or the batch carries no numeric slots.
+pub struct NumericBundle;
+
+impl Objective for NumericBundle {
+    fn name(&self) -> &'static str {
+        "num"
+    }
+
+    fn loss<'t>(&mut self, env: &mut StepEnv<'t, '_>) -> Option<Var<'t>> {
+        env.ensure_encoded();
+        let anenc = env.model.anenc.as_ref()?;
+        let normalizer = env.data.normalizer?;
+        let encoded = env.encoded.as_ref().unwrap();
+        let h = encoded.numeric_h?;
+        let sample = env.batch.as_ref().unwrap();
+        let slot_hidden = env.model.slot_hidden(encoded.hidden, &sample.batch);
+        let values: Vec<f32> =
+            sample.batch.numerics.iter().map(|n| normalizer.normalize(&n.tag, n.value)).collect();
+        let labels: Vec<Option<usize>> =
+            sample.batch.numerics.iter().map(|n| normalizer.tag_id(&n.tag)).collect();
+        Some(anenc.numeric_loss(env.tape, env.store, h, slot_hidden, &values, &labels))
+    }
+}
+
+/// TransE knowledge-embedding objective over Tele-KG triples (stage 2).
+/// Abstains when the KG has no triples.
+pub struct KnowledgeEmbedding<'k> {
+    kg: &'k TeleKg,
+    triples: Vec<Triple>,
+    cfg: KeConfig,
+    batch: usize,
+    fallback: TagNormalizer,
+}
+
+impl<'k> KnowledgeEmbedding<'k> {
+    /// Creates the objective over `kg`'s triples, sampling `batch` positives
+    /// per active step.
+    pub fn new(kg: &'k TeleKg, cfg: KeConfig, batch: usize) -> Self {
+        KnowledgeEmbedding {
+            kg,
+            triples: kg.triples().to_vec(),
+            cfg,
+            batch,
+            fallback: TagNormalizer::new(),
+        }
+    }
+}
+
+impl Objective for KnowledgeEmbedding<'_> {
+    fn name(&self) -> &'static str {
+        "ke"
+    }
+
+    fn loss<'t>(&mut self, env: &mut StepEnv<'t, '_>) -> Option<Var<'t>> {
+        if self.triples.is_empty() {
+            return None;
+        }
+        let picks: Vec<Triple> = (0..self.batch)
+            .map(|_| self.triples[env.rng.gen_range(0..self.triples.len())])
+            .collect();
+        Some(ke_loss(
+            env.tape,
+            env.store,
+            env.model,
+            env.data.tokenizer,
+            env.data.normalizer.unwrap_or(&self.fallback),
+            self.kg,
+            &picks,
+            &self.cfg,
+            env.rng,
+        ))
+    }
+}

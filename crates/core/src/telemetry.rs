@@ -1,0 +1,242 @@
+//! Per-step training telemetry: structured records, callbacks, and sinks.
+//!
+//! Every [`TrainEngine`](crate::engine::TrainEngine) step produces a
+//! [`StepRecord`] carrying the step index, the learning rate, each active
+//! objective's raw loss and weight, the fused loss actually optimized, the
+//! current uncertainty weights (μ₁..μ₃ when an ANEnc is attached), and the
+//! step's wall-clock time. Records flow to [`TrainCallback`]s — e.g. a
+//! [`JsonlSink`] appending one JSON object per line — and accumulate in the
+//! returned [`TrainTrace`], which replaces the old lossy `TrainLog` while
+//! keeping its `mean_loss`/`final_loss`/`steps` fields.
+
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+/// One objective's contribution to a training step.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObjectiveRecord {
+    /// Objective name (`"mlm"`, `"rtd"`, `"simcse"`, `"mask"`, `"num"`, `"ke"`).
+    pub name: String,
+    /// Raw (unweighted) loss value.
+    pub loss: f32,
+    /// Static weight applied when fusing into the total.
+    pub weight: f32,
+}
+
+/// Telemetry for a single optimizer step.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Zero-based step index.
+    pub step: usize,
+    /// Learning rate used for this step.
+    pub lr: f32,
+    /// Losses of the objectives that were active and produced a loss.
+    pub objectives: Vec<ObjectiveRecord>,
+    /// The fused loss the optimizer stepped on; `None` when every active
+    /// objective abstained and the step was skipped.
+    pub fused: Option<f32>,
+    /// Uncertainty weights μ₁..μ₃ when an ANEnc is attached, else `None`.
+    pub uncertainty: Option<Vec<f32>>,
+    /// Wall-clock duration of the step in microseconds.
+    pub micros: u64,
+}
+
+impl StepRecord {
+    /// Parses a record from one JSONL line (as written by [`JsonlSink`]).
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line).map_err(|e| e.to_string())
+    }
+
+    /// Serializes the record as a single JSON line.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("StepRecord serializes")
+    }
+
+    /// Looks up an objective's raw loss by name.
+    pub fn objective_loss(&self, name: &str) -> Option<f32> {
+        self.objectives.iter().find(|o| o.name == name).map(|o| o.loss)
+    }
+}
+
+/// Aggregated statistics for one objective across a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObjectiveStats {
+    /// Objective name.
+    pub name: String,
+    /// Mean raw loss over the steps where the objective was active.
+    pub mean: f32,
+    /// Raw loss at the last step where the objective was active.
+    pub last: f32,
+    /// Number of steps the objective contributed to.
+    pub steps: usize,
+}
+
+/// Compact summary of a [`TrainTrace`], suitable for experiment JSON dumps.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Scheduled step count (including skipped steps).
+    pub steps: usize,
+    /// Mean fused loss over the scheduled steps.
+    pub mean_loss: f32,
+    /// Fused loss at the last non-skipped step.
+    pub final_loss: f32,
+    /// Per-objective aggregates.
+    pub objectives: Vec<ObjectiveStats>,
+    /// Mean wall-clock step time in microseconds.
+    pub mean_step_micros: u64,
+    /// Total wall-clock time across steps, in microseconds.
+    pub total_micros: u64,
+}
+
+/// Full record of a training run: the old `TrainLog` aggregates plus the
+/// per-step records they are derived from.
+#[derive(Clone, Debug, Default)]
+pub struct TrainTrace {
+    /// Mean fused loss over all scheduled steps.
+    pub mean_loss: f32,
+    /// Fused loss of the last non-skipped step.
+    pub final_loss: f32,
+    /// Number of scheduled steps.
+    pub steps: usize,
+    /// Per-step telemetry, one record per scheduled step.
+    pub records: Vec<StepRecord>,
+}
+
+impl TrainTrace {
+    /// Appends a step record and refreshes the running aggregates.
+    pub fn push(&mut self, record: StepRecord) {
+        if let Some(fused) = record.fused {
+            self.final_loss = fused;
+        }
+        self.records.push(record);
+        self.steps = self.records.len();
+        let sum: f32 = self.records.iter().filter_map(|r| r.fused).sum();
+        self.mean_loss = sum / self.steps.max(1) as f32;
+    }
+
+    /// Computes per-objective and timing aggregates.
+    pub fn summary(&self) -> TraceSummary {
+        let mut order: Vec<String> = Vec::new();
+        for r in &self.records {
+            for o in &r.objectives {
+                if !order.contains(&o.name) {
+                    order.push(o.name.clone());
+                }
+            }
+        }
+        let objectives = order
+            .into_iter()
+            .map(|name| {
+                let losses: Vec<f32> =
+                    self.records.iter().filter_map(|r| r.objective_loss(&name)).collect();
+                let steps = losses.len();
+                let mean = losses.iter().sum::<f32>() / steps.max(1) as f32;
+                let last = losses.last().copied().unwrap_or(0.0);
+                ObjectiveStats { name, mean, last, steps }
+            })
+            .collect();
+        let total_micros: u64 = self.records.iter().map(|r| r.micros).sum();
+        TraceSummary {
+            steps: self.steps,
+            mean_loss: self.mean_loss,
+            final_loss: self.final_loss,
+            objectives,
+            mean_step_micros: total_micros / self.records.len().max(1) as u64,
+            total_micros,
+        }
+    }
+}
+
+/// Observer hooks fired by the engine as training progresses.
+pub trait TrainCallback {
+    /// Called after every scheduled step with its telemetry record.
+    fn on_step(&mut self, record: &StepRecord);
+
+    /// Called once when the run finishes.
+    fn on_end(&mut self, _trace: &TrainTrace) {}
+}
+
+/// Callback writing one JSON object per step to a file (JSONL).
+pub struct JsonlSink {
+    out: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the sink file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink { out: BufWriter::new(File::create(path)?) })
+    }
+}
+
+impl TrainCallback for JsonlSink {
+    fn on_step(&mut self, record: &StepRecord) {
+        if writeln!(self.out, "{}", record.to_json()).is_err() {
+            eprintln!("telemetry: failed to write step record");
+        }
+    }
+
+    fn on_end(&mut self, _trace: &TrainTrace) {
+        if self.out.flush().is_err() {
+            eprintln!("telemetry: failed to flush JSONL sink");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(step: usize, fused: Option<f32>, losses: &[(&str, f32)]) -> StepRecord {
+        StepRecord {
+            step,
+            lr: 1e-3,
+            objectives: losses
+                .iter()
+                .map(|&(name, loss)| ObjectiveRecord { name: name.to_string(), loss, weight: 1.0 })
+                .collect(),
+            fused,
+            uncertainty: Some(vec![1.0, 1.0, 1.0]),
+            micros: 100,
+        }
+    }
+
+    #[test]
+    fn trace_aggregates_match_old_trainlog_semantics() {
+        let mut trace = TrainTrace::default();
+        trace.push(record(0, Some(4.0), &[("mlm", 4.0)]));
+        trace.push(record(1, None, &[])); // skipped step still divides the mean
+        trace.push(record(2, Some(2.0), &[("mlm", 2.0)]));
+        assert_eq!(trace.steps, 3);
+        assert!((trace.mean_loss - 2.0).abs() < 1e-6);
+        assert!((trace.final_loss - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_aggregates_per_objective() {
+        let mut trace = TrainTrace::default();
+        trace.push(record(0, Some(3.0), &[("mlm", 2.0), ("rtd", 1.0)]));
+        trace.push(record(1, Some(1.0), &[("mlm", 1.0)]));
+        let summary = trace.summary();
+        let mlm = summary.objectives.iter().find(|o| o.name == "mlm").unwrap();
+        assert_eq!(mlm.steps, 2);
+        assert!((mlm.mean - 1.5).abs() < 1e-6);
+        assert!((mlm.last - 1.0).abs() < 1e-6);
+        let rtd = summary.objectives.iter().find(|o| o.name == "rtd").unwrap();
+        assert_eq!(rtd.steps, 1);
+        assert_eq!(summary.total_micros, 200);
+    }
+
+    #[test]
+    fn step_record_round_trips_through_json() {
+        let rec = record(7, Some(1.25), &[("mlm", 1.0), ("ke", 0.25)]);
+        let line = rec.to_json();
+        let back = StepRecord::from_json(&line).unwrap();
+        assert_eq!(back.step, 7);
+        assert_eq!(back.objectives.len(), 2);
+        assert_eq!(back.objective_loss("ke"), Some(0.25));
+        assert_eq!(back.uncertainty, Some(vec![1.0, 1.0, 1.0]));
+        assert_eq!(back.fused, Some(1.25));
+    }
+}

@@ -1,27 +1,39 @@
 //! Training drivers: stage-1 TeleBERT pre-training (ELECTRA + SimCSE +
 //! WWM-MLM) and stage-2 KTeleBERT re-training (raised masking rate, numeric
 //! losses, knowledge embedding, STL/PMTL/IMTL strategies).
+//!
+//! Both drivers are thin shims over [`TrainEngine`]: they prepare data,
+//! build the model, register [`Objective`](crate::objective::Objective)s,
+//! compile the strategy to an [`ActivationSchedule`], and delegate every
+//! step to the engine. Neither owns a step loop.
+
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
 
 use rand::rngs::StdRng;
-use rand::Rng;
 use rand::SeedableRng;
 
 use tele_kg::TeleKg;
-use tele_tensor::{
-    nn::TransformerConfig,
-    optim::{AdamW, LinearWarmup},
-    ParamStore, Tape,
-};
+use tele_tensor::{nn::TransformerConfig, ParamStore};
 use tele_tokenizer::{patterns, Encoding, TeleTokenizer, TemplateField};
 
-use crate::batch::Batch;
 use crate::electra::Electra;
-use crate::ke::{ke_loss, KeConfig};
-use crate::masking::{apply_masking, MaskingConfig};
+use crate::engine::{ActivationSchedule, EngineConfig, TrainEngine};
+use crate::ke::KeConfig;
+use crate::masking::MaskingConfig;
 use crate::model::{ModelConfig, TeleBert, TeleModel};
 use crate::normalizer::TagNormalizer;
-use crate::simcse::simcse_loss;
-use crate::strategy::{StepTask, Strategy};
+use crate::objective::{
+    ElectraMlm, KnowledgeEmbedding, MaskedLm, NumericBundle, ReplacedTokenDetection, SimCse,
+    StepData,
+};
+use crate::strategy::Strategy;
+use crate::telemetry::{JsonlSink, TrainTrace};
+
+/// Per-run training telemetry. Alias of [`TrainTrace`]: the old aggregate
+/// fields (`mean_loss`, `final_loss`, `steps`) are still public fields, and
+/// per-step records are available in `records`.
+pub type TrainLog = TrainTrace;
 
 /// Stage-1 pre-training configuration.
 #[derive(Clone, Debug)]
@@ -46,6 +58,8 @@ pub struct PretrainConfig {
     pub rtd_weight: f32,
     /// RNG seed.
     pub seed: u64,
+    /// When set, per-step telemetry is appended to this file as JSONL.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for PretrainConfig {
@@ -61,25 +75,26 @@ impl Default for PretrainConfig {
             simcse_weight: 1.0,
             rtd_weight: 1.0,
             seed: 7,
+            telemetry: None,
         }
     }
 }
 
-/// Per-step telemetry from the trainers.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct TrainLog {
-    /// Mean total loss over the run.
-    pub mean_loss: f32,
-    /// Total loss at the final step.
-    pub final_loss: f32,
-    /// Steps executed.
-    pub steps: usize,
+/// Attaches a JSONL telemetry sink when a path is configured; IO failures
+/// degrade to a warning rather than aborting training.
+fn attach_telemetry(engine: &mut TrainEngine<'_>, path: Option<&Path>) {
+    if let Some(path) = path {
+        match JsonlSink::create(path) {
+            Ok(sink) => engine.add_callback(Box::new(sink)),
+            Err(e) => eprintln!("telemetry: cannot create {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Pre-trains a TeleBERT-style model on a sentence corpus (stage 1).
 ///
 /// The same driver trains the MacBERT stand-in: pass the generic corpus
-/// instead of the tele corpus. Returns the bundle plus a training log.
+/// instead of the tele corpus. Returns the bundle plus the training trace.
 pub fn pretrain(
     corpus: &[String],
     tokenizer: &TeleTokenizer,
@@ -98,48 +113,37 @@ pub fn pretrain(
         &ModelConfig { encoder: encoder_cfg.clone(), anenc: None },
         &mut rng,
     );
-    let electra = Electra::new(&mut store, "electra", &encoder_cfg, cfg.rtd_weight, &mut rng);
-    let mut opt = AdamW::new(cfg.lr, cfg.weight_decay);
-    opt.exclude_from_decay(&store, &["bias", "norm_", ".tok.", ".pos."]);
-    let schedule = LinearWarmup {
-        peak_lr: cfg.lr,
-        warmup_steps: ((cfg.steps as f32 * cfg.warmup_frac) as u64).max(1),
-        total_steps: cfg.steps as u64,
-    };
+    let electra =
+        Rc::new(Electra::new(&mut store, "electra", &encoder_cfg, cfg.rtd_weight, &mut rng));
 
-    let mut loss_sum = 0.0;
-    let mut last = 0.0;
-    for step in 0..cfg.steps {
-        store.zero_grads();
-        opt.lr = schedule.lr_at(step as u64);
-        let batch = sample_batch(&encodings, cfg.batch_size, &mut rng);
-        let masked = apply_masking(&batch, tokenizer.vocab_size(), &cfg.mask, &mut rng);
-        let tape = Tape::new();
-        let electra_losses = electra.step(&tape, &store, &model, &batch, &masked, &mut rng);
-        let total = if batch.batch >= 2 && cfg.simcse_weight > 0.0 {
-            let cse = simcse_loss(&tape, &store, &model, &batch, cfg.simcse_tau, &mut rng);
-            electra_losses.total.add(cse.scale(cfg.simcse_weight))
-        } else {
-            electra_losses.total
-        };
-        tape.backward(total).accumulate_into(&tape, &mut store);
-        store.clip_grad_norm(1.0);
-        opt.step(&mut store);
-        last = total.value().item();
-        loss_sum += last;
-    }
+    // Every stage-1 step activates the full objective group.
+    let schedule = ActivationSchedule::always(ActivationSchedule::group(&[0, 1, 2]), cfg.steps);
+    let mut engine = TrainEngine::new(
+        EngineConfig {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            warmup_frac: Some(cfg.warmup_frac),
+            ..EngineConfig::default()
+        },
+        schedule,
+    );
+    engine.add_objective(Box::new(ElectraMlm::new(Rc::clone(&electra))));
+    engine
+        .add_objective(Box::new(ReplacedTokenDetection::new(Rc::clone(&electra), cfg.rtd_weight)));
+    engine.add_objective(Box::new(SimCse::new(cfg.simcse_tau, cfg.simcse_weight)));
+    attach_telemetry(&mut engine, cfg.telemetry.as_deref());
 
-    let bundle = TeleBert {
-        store,
-        model,
-        tokenizer: tokenizer.clone(),
-        normalizer: TagNormalizer::new(),
+    let data = StepData {
+        pool: &encodings,
+        batch_size: cfg.batch_size,
+        mask: cfg.mask,
+        tokenizer,
+        normalizer: None,
     };
-    let log = TrainLog {
-        mean_loss: loss_sum / cfg.steps.max(1) as f32,
-        final_loss: last,
-        steps: cfg.steps,
-    };
+    let log = engine.run(&mut store, &model, &data, &mut rng);
+
+    let bundle =
+        TeleBert { store, model, tokenizer: tokenizer.clone(), normalizer: TagNormalizer::new() };
     (bundle, log)
 }
 
@@ -165,6 +169,8 @@ pub struct RetrainConfig {
     pub ke_batch: usize,
     /// RNG seed.
     pub seed: u64,
+    /// When set, per-step telemetry is appended to this file as JSONL.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for RetrainConfig {
@@ -179,6 +185,7 @@ impl Default for RetrainConfig {
             ke: KeConfig::default(),
             ke_batch: 4,
             seed: 13,
+            telemetry: None,
         }
     }
 }
@@ -194,19 +201,31 @@ pub struct RetrainData<'a> {
     pub kg: &'a TeleKg,
 }
 
-/// Re-trains a stage-1 bundle into KTeleBERT (stage 2).
-pub fn retrain(
-    mut bundle: TeleBert,
+/// Builds the stage-2 mask-reconstruction pool: causal sentences (wrapped
+/// as documents) + machine-log templates + serialized KG triples.
+fn retrain_pool(
     data: &RetrainData<'_>,
-    strategy: Strategy,
-    cfg: &RetrainConfig,
-) -> (TeleBert, TrainLog) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let max_len = bundle.model.encoder.cfg.max_len;
-    let tokenizer = bundle.tokenizer.clone();
+    tokenizer: &TeleTokenizer,
+    max_len: usize,
+) -> Vec<Encoding> {
+    let mut pool: Vec<Encoding> = data
+        .causal_sentences
+        .iter()
+        .map(|s| tokenizer.encode_template(&patterns::document(s), max_len))
+        .collect();
+    for fields in data.log_templates {
+        pool.push(tokenizer.encode_template(fields, max_len));
+    }
+    for t in data.kg.triples() {
+        let s = tele_kg::serialize::triple_sentence(data.kg, t);
+        pool.push(tokenizer.encode(&s, max_len));
+    }
+    pool
+}
 
-    // Fit the per-tag normalizer on every numeric observation (logs + KG
-    // attribute triples), which also fixes the TGC label space.
+/// Fits the per-tag normalizer on every numeric observation (logs + KG
+/// attribute triples), which also fixes the TGC label space.
+fn fit_normalizer(data: &RetrainData<'_>) -> TagNormalizer {
     let mut normalizer = TagNormalizer::new();
     let mut observations: Vec<(String, f32)> = Vec::new();
     for fields in data.log_templates {
@@ -224,7 +243,21 @@ pub fn retrain(
         }
     }
     normalizer.fit(observations.iter().map(|(t, v)| (t.as_str(), *v)));
-    bundle.normalizer = normalizer;
+    normalizer
+}
+
+/// Re-trains a stage-1 bundle into KTeleBERT (stage 2).
+pub fn retrain(
+    mut bundle: TeleBert,
+    data: &RetrainData<'_>,
+    strategy: Strategy,
+    cfg: &RetrainConfig,
+) -> (TeleBert, TrainLog) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let max_len = bundle.model.encoder.cfg.max_len;
+    let tokenizer = bundle.tokenizer.clone();
+
+    bundle.normalizer = fit_normalizer(data);
 
     // Attach ANEnc (full KTeleBERT) or leave it off (w/o ANEnc ablation).
     if cfg.use_anenc && bundle.model.anenc.is_none() {
@@ -240,109 +273,43 @@ pub fn retrain(
         ));
     }
 
-    // Pre-encode the mask-reconstruction pool: causal sentences (wrapped as
-    // documents) + machine-log templates + serialized KG triples.
-    let mut pool: Vec<Encoding> = data
-        .causal_sentences
-        .iter()
-        .map(|s| tokenizer.encode_template(&patterns::document(s), max_len))
-        .collect();
-    for fields in data.log_templates {
-        pool.push(tokenizer.encode_template(fields, max_len));
-    }
-    for t in data.kg.triples() {
-        let s = tele_kg::serialize::triple_sentence(data.kg, t);
-        pool.push(tokenizer.encode(&s, max_len));
-    }
+    let pool = retrain_pool(data, &tokenizer, max_len);
     assert!(!pool.is_empty(), "retrain needs data");
 
-    let triples: Vec<tele_kg::Triple> = data.kg.triples().to_vec();
-    let mut opt = AdamW::new(cfg.lr, cfg.weight_decay);
-    opt.exclude_from_decay(&bundle.store, &["bias", "norm_", ".tok.", ".pos.", ".mu_"]);
+    // Objectives 0+1 (mask reconstruction + numeric bundle) form the "Mask"
+    // group; objective 2 (TransE KE) the "Ke" group. The strategy is pure
+    // schedule data from here on.
+    let mask_group = ActivationSchedule::group(&[0, 1]);
+    let ke_group = ActivationSchedule::group(&[2]);
+    let schedule = ActivationSchedule::from_strategy(strategy, cfg.steps, mask_group, ke_group);
+    let mut engine = TrainEngine::new(
+        EngineConfig {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            warmup_frac: None,
+            clip_norm: 1.0,
+            no_decay: ["bias", "norm_", ".tok.", ".pos.", ".mu_"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        },
+        schedule,
+    );
+    engine.add_objective(Box::new(MaskedLm));
+    engine.add_objective(Box::new(NumericBundle));
+    engine.add_objective(Box::new(KnowledgeEmbedding::new(data.kg, cfg.ke, cfg.ke_batch)));
+    attach_telemetry(&mut engine, cfg.telemetry.as_deref());
 
-    let schedule = strategy.schedule(cfg.steps);
-    let mut loss_sum = 0.0;
-    let mut last = 0.0;
-    for task in schedule {
-        bundle.store.zero_grads();
-        let tape = Tape::new();
-        let mut total: Option<tele_tensor::Var<'_>> = None;
-
-        if matches!(task, StepTask::Mask | StepTask::Both) {
-            let batch = sample_batch(&pool, cfg.batch_size, &mut rng);
-            let masked = apply_masking(&batch, tokenizer.vocab_size(), &cfg.mask, &mut rng);
-            let out = bundle.model.encode(
-                &tape,
-                &bundle.store,
-                &batch,
-                Some(&masked.ids),
-                Some(&bundle.normalizer),
-                Some(&mut rng),
-            );
-            let logits = bundle.model.mlm_logits(&tape, &bundle.store, out.hidden);
-            let mut loss = logits.cross_entropy_logits(&masked.targets);
-            // L_num on batches that carry numeric slots.
-            if let (Some(anenc), Some(h)) = (&bundle.model.anenc, out.numeric_h) {
-                let slot_hidden = bundle.model.slot_hidden(out.hidden, &batch);
-                let values: Vec<f32> = batch
-                    .numerics
-                    .iter()
-                    .map(|n| bundle.normalizer.normalize(&n.tag, n.value))
-                    .collect();
-                let labels: Vec<Option<usize>> = batch
-                    .numerics
-                    .iter()
-                    .map(|n| bundle.normalizer.tag_id(&n.tag))
-                    .collect();
-                let lnum = anenc.numeric_loss(&tape, &bundle.store, h, slot_hidden, &values, &labels);
-                loss = loss.add(lnum);
-            }
-            total = Some(loss);
-        }
-
-        if matches!(task, StepTask::Ke | StepTask::Both) && !triples.is_empty() {
-            let picks: Vec<tele_kg::Triple> = (0..cfg.ke_batch)
-                .map(|_| triples[rng.gen_range(0..triples.len())])
-                .collect();
-            let lke = ke_loss(
-                &tape,
-                &bundle.store,
-                &bundle.model,
-                &tokenizer,
-                &bundle.normalizer,
-                data.kg,
-                &picks,
-                &cfg.ke,
-                &mut rng,
-            );
-            total = Some(match total {
-                Some(t) => t.add(lke),
-                None => lke,
-            });
-        }
-
-        let Some(total) = total else { continue };
-        tape.backward(total).accumulate_into(&tape, &mut bundle.store);
-        bundle.store.clip_grad_norm(1.0);
-        opt.step(&mut bundle.store);
-        last = total.value().item();
-        loss_sum += last;
-    }
-
-    let log = TrainLog {
-        mean_loss: loss_sum / cfg.steps.max(1) as f32,
-        final_loss: last,
-        steps: cfg.steps,
+    let step_data = StepData {
+        pool: &pool,
+        batch_size: cfg.batch_size,
+        mask: cfg.mask,
+        tokenizer: &tokenizer,
+        normalizer: Some(&bundle.normalizer),
     };
+    let log = engine.run(&mut bundle.store, &bundle.model, &step_data, &mut rng);
+    drop(engine);
     (bundle, log)
-}
-
-/// Samples a batch of encodings (with replacement).
-fn sample_batch(pool: &[Encoding], batch_size: usize, rng: &mut StdRng) -> Batch {
-    let refs: Vec<&Encoding> = (0..batch_size)
-        .map(|_| &pool[rng.gen_range(0..pool.len())])
-        .collect();
-    Batch::collate(&refs)
 }
 
 #[cfg(test)]
@@ -391,25 +358,36 @@ mod tests {
             },
         );
         let pre_cfg = PretrainConfig { steps: 10, batch_size: 4, ..Default::default() };
-        let (bundle, log) = pretrain(&sentences, &tokenizer, tiny_encoder(tokenizer.vocab_size()), &pre_cfg);
+        let (bundle, log) =
+            pretrain(&sentences, &tokenizer, tiny_encoder(tokenizer.vocab_size()), &pre_cfg);
         assert_eq!(log.steps, 10);
         assert!(log.final_loss.is_finite());
+        // Stage-1 telemetry carries all three objectives on every step.
+        assert_eq!(log.records.len(), 10);
+        for r in &log.records {
+            assert!(r.objective_loss("mlm").is_some());
+            assert!(r.objective_loss("rtd").is_some());
+            assert!(r.objective_loss("simcse").is_some());
+            assert!(r.fused.is_some());
+        }
 
         // Stage 2.
         let causal = corpus::extract_causal_sentences(&sentences, 5);
-        let episodes = logs::simulate(&world, &logs::LogSimConfig { seed: 2, episodes: 6, ..Default::default() });
+        let episodes = logs::simulate(
+            &world,
+            &logs::LogSimConfig { seed: 2, episodes: 6, ..Default::default() },
+        );
         let templates = logs::log_templates(&world, &episodes);
         let built = kg_build::build_kg(&world);
-        let data = RetrainData {
-            causal_sentences: &causal,
-            log_templates: &templates,
-            kg: &built.kg,
-        };
+        let data =
+            RetrainData { causal_sentences: &causal, log_templates: &templates, kg: &built.kg };
         let re_cfg = RetrainConfig { steps: 12, batch_size: 4, ke_batch: 2, ..Default::default() };
         let (kbundle, klog) = retrain(bundle, &data, Strategy::Imtl, &re_cfg);
         assert!(klog.final_loss.is_finite());
         assert!(kbundle.model.anenc.is_some(), "ANEnc should be attached");
         assert!(kbundle.normalizer.num_tags() > 0, "normalizer should be fitted");
+        // Stage-2 telemetry records uncertainty weights once ANEnc exists.
+        assert!(klog.records.iter().all(|r| r.uncertainty.as_ref().is_some_and(|u| u.len() == 3)));
 
         // The re-trained model still delivers embeddings.
         let embs = kbundle.encode_sentences(&[world.alarms[0].name.clone()]);
@@ -432,13 +410,26 @@ mod tests {
             &PretrainConfig { steps: 4, batch_size: 4, ..Default::default() },
         );
         let causal = corpus::extract_causal_sentences(&sentences, 5);
-        let episodes = logs::simulate(&world, &logs::LogSimConfig { seed: 2, episodes: 4, ..Default::default() });
+        let episodes = logs::simulate(
+            &world,
+            &logs::LogSimConfig { seed: 2, episodes: 4, ..Default::default() },
+        );
         let templates = logs::log_templates(&world, &episodes);
         let built = kg_build::build_kg(&world);
-        let data = RetrainData { causal_sentences: &causal, log_templates: &templates, kg: &built.kg };
-        let cfg = RetrainConfig { steps: 6, batch_size: 4, use_anenc: false, ke_batch: 2, ..Default::default() };
-        let (kbundle, _) = retrain(bundle, &data, Strategy::Stl, &cfg);
+        let data =
+            RetrainData { causal_sentences: &causal, log_templates: &templates, kg: &built.kg };
+        let cfg = RetrainConfig {
+            steps: 6,
+            batch_size: 4,
+            use_anenc: false,
+            ke_batch: 2,
+            ..Default::default()
+        };
+        let (kbundle, log) = retrain(bundle, &data, Strategy::Stl, &cfg);
         assert!(kbundle.model.anenc.is_none(), "ablation must not attach ANEnc");
+        // Without ANEnc the numeric bundle abstains on every step.
+        assert!(log.records.iter().all(|r| r.objective_loss("num").is_none()));
+        assert!(log.records.iter().all(|r| r.uncertainty.is_none()));
     }
 
     #[test]

@@ -45,13 +45,15 @@ pub fn tele_corpus(world: &TeleWorld, cfg: &CorpusConfig) -> Vec<String> {
                 let a = &world.alarms[rng.gen_range(0..world.alarms.len())];
                 let ne = &world.ne_types[a.ne_type];
                 out.push(match rng.gen_range(0..3) {
-                    0 => format!(
-                        "Alarm {} indicates that {} on the {} element.",
-                        a.code, a.name, ne
-                    ),
+                    0 => {
+                        format!("Alarm {} indicates that {} on the {} element.", a.code, a.name, ne)
+                    }
                     1 => format!(
                         "When {} the {} raises a {} severity alarm {}.",
-                        a.name, ne, a.severity.label(), a.code
+                        a.name,
+                        ne,
+                        a.severity.label(),
+                        a.code
                     ),
                     _ => format!(
                         "The product document for {} explains the handling procedure when {}.",
@@ -71,7 +73,7 @@ pub fn tele_corpus(world: &TeleWorld, cfg: &CorpusConfig) -> Vec<String> {
             }
             // Causal statement from the ground-truth DAG — this is the
             // signal domain pre-training can exploit and generic cannot.
-            3 | 4 | 5 => {
+            3..=5 => {
                 if world.causal_edges.is_empty() {
                     continue;
                 }
@@ -131,10 +133,13 @@ pub fn tele_corpus(world: &TeleWorld, cfg: &CorpusConfig) -> Vec<String> {
                 if a == b {
                     continue;
                 }
-                let conn = words::NEUTRAL_CONNECTIVES[rng.gen_range(0..words::NEUTRAL_CONNECTIVES.len())];
+                let conn =
+                    words::NEUTRAL_CONNECTIVES[rng.gen_range(0..words::NEUTRAL_CONNECTIVES.len())];
                 out.push(format!(
                     "The report notes that {} {} {} in the weekly summary.",
-                    world.event_name(a), conn, world.event_name(b)
+                    world.event_name(a),
+                    conn,
+                    world.event_name(b)
                 ));
             }
         }
@@ -237,9 +242,7 @@ mod tests {
         let mentioned = w
             .causal_edges
             .iter()
-            .filter(|e| {
-                text.contains(w.event_name(e.src)) && text.contains(w.event_name(e.dst))
-            })
+            .filter(|e| text.contains(w.event_name(e.src)) && text.contains(w.event_name(e.dst)))
             .count();
         assert!(mentioned as f32 >= 0.9 * w.causal_edges.len() as f32);
     }

@@ -76,7 +76,8 @@ impl FctDataset {
         let mut rel_names = Vec::new();
         let mut edge_counts: HashMap<(usize, usize, usize), u32> = HashMap::new();
 
-        let mut node_of = |event: EventId, inst: usize,
+        let mut node_of = |event: EventId,
+                           inst: usize,
                            names: &mut Vec<String>,
                            events: &mut Vec<EventId>,
                            insts: &mut Vec<usize>|
@@ -102,12 +103,22 @@ impl FctDataset {
                 if !world.is_alarm(a.event) || !world.is_alarm(parent.event) {
                     continue;
                 }
-                let h = node_of(parent.event, parent.instance, &mut node_names, &mut node_event, &mut node_instance);
-                let t = node_of(a.event, a.instance, &mut node_names, &mut node_event, &mut node_instance);
-                let tp = (
-                    world.instances[parent.instance].ne_type,
-                    world.instances[a.instance].ne_type,
+                let h = node_of(
+                    parent.event,
+                    parent.instance,
+                    &mut node_names,
+                    &mut node_event,
+                    &mut node_instance,
                 );
+                let t = node_of(
+                    a.event,
+                    a.instance,
+                    &mut node_names,
+                    &mut node_event,
+                    &mut node_instance,
+                );
+                let tp =
+                    (world.instances[parent.instance].ne_type, world.instances[a.instance].ne_type);
                 let r = *rel_index.entry(tp).or_insert_with(|| {
                     let id = rel_names.len();
                     rel_names.push(format!(
@@ -196,7 +207,7 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), n, "duplicate facts across splits");
-        assert!(ds.test.len() >= 1 && ds.valid.len() >= 1);
+        assert!(!ds.test.is_empty() && !ds.valid.is_empty());
     }
 
     #[test]

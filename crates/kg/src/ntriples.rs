@@ -129,11 +129,8 @@ impl std::fmt::Display for NtriplesError {
 impl std::error::Error for NtriplesError {}
 
 /// Parses a `<prefix:value>` token, returning the decoded value.
-fn parse_iri<'a>(tok: &'a str, prefix: &str) -> Option<String> {
-    tok.strip_prefix('<')?
-        .strip_suffix('>')?
-        .strip_prefix(prefix)
-        .map(decode)
+fn parse_iri(tok: &str, prefix: &str) -> Option<String> {
+    tok.strip_prefix('<')?.strip_suffix('>')?.strip_prefix(prefix).map(decode)
 }
 
 /// Rebuilds a KG from [`to_ntriples`] output.
@@ -212,9 +209,7 @@ pub fn from_ntriples(text: &str) -> Result<TeleKg, NtriplesError> {
                 let subj = parse_iri(s, "entity:").ok_or_else(malformed)?;
                 let attr = parse_iri(p, "attr:").ok_or_else(malformed)?;
                 let e = kg.entity(&subj).ok_or_else(malformed)?;
-                if let Some(num) = v
-                    .strip_prefix('"')
-                    .and_then(|v| v.strip_suffix("\"^^xsd:float"))
+                if let Some(num) = v.strip_prefix('"').and_then(|v| v.strip_suffix("\"^^xsd:float"))
                 {
                     let value: f32 = num.parse().map_err(|_| malformed())?;
                     kg.add_attribute(e, &attr, Literal::Number(value));
@@ -245,7 +240,9 @@ pub fn from_ntriples(text: &str) -> Result<TeleKg, NtriplesError> {
             let conf = pending_conf
                 .iter()
                 .find(|(s, rel, o, _)| {
-                    s == kg.surface(t.head) && rel == kg.relation_name(t.rel) && o == kg.surface(t.tail)
+                    s == kg.surface(t.head)
+                        && rel == kg.relation_name(t.rel)
+                        && o == kg.surface(t.tail)
                 })
                 .map(|&(_, _, _, c)| c)
                 .unwrap_or(1.0);
@@ -305,9 +302,7 @@ mod tests {
         assert!((found[0].conf - 0.75).abs() < 1e-6);
         // Classes survive under the right roots.
         let smf = back.entity("SMF-01").unwrap();
-        assert!(back
-            .schema
-            .is_subclass_of(back.class_of(smf), back.schema.resource_root()));
+        assert!(back.schema.is_subclass_of(back.class_of(smf), back.schema.resource_root()));
     }
 
     #[test]

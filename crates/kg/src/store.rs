@@ -118,7 +118,13 @@ impl TeleKg {
     }
 
     /// Adds a probabilistic fact with confidence `conf ∈ [0, 1]`.
-    pub fn add_weighted_triple(&mut self, head: EntityId, rel: RelationId, tail: EntityId, conf: f32) {
+    pub fn add_weighted_triple(
+        &mut self,
+        head: EntityId,
+        rel: RelationId,
+        tail: EntityId,
+        conf: f32,
+    ) {
         assert!((0.0..=1.0).contains(&conf), "confidence must be in [0,1], got {conf}");
         if !self.fact_set.insert((head, rel, tail)) {
             return;
@@ -229,9 +235,9 @@ impl TeleKg {
             .into_iter()
             .map(|i| &self.triples[i])
             .filter(|t| {
-                head.map_or(true, |h| t.head == h)
-                    && rel.map_or(true, |r| t.rel == r)
-                    && tail.map_or(true, |x| t.tail == x)
+                head.is_none_or(|h| t.head == h)
+                    && rel.is_none_or(|r| t.rel == r)
+                    && tail.is_none_or(|x| t.tail == x)
             })
             .collect()
     }
@@ -253,9 +259,7 @@ impl TeleKg {
 
     /// Entities of a class (including subclasses).
     pub fn entities_of_class(&self, class: ClassId) -> Vec<EntityId> {
-        self.entity_ids()
-            .filter(|&e| self.schema.is_subclass_of(self.class_of(e), class))
-            .collect()
+        self.entity_ids().filter(|&e| self.schema.is_subclass_of(self.class_of(e), class)).collect()
     }
 
     // ------------------------------------------------------------------

@@ -84,15 +84,13 @@ impl FctModel {
         rng: &mut StdRng,
     ) -> Self {
         assert!(
-            scorer != KgeScorer::Rotate || init.dim % 2 == 0,
+            scorer != KgeScorer::Rotate || init.dim.is_multiple_of(2),
             "RotatE needs an even embedding width"
         );
         let entities = store.create("fct.entities", init.tensor());
         let rel_width = if scorer == KgeScorer::TransH { 2 * init.dim } else { init.dim };
-        let relations = store.create(
-            "fct.relations",
-            xavier_uniform([num_relations, rel_width], rng).scale(0.5),
-        );
+        let relations = store
+            .create("fct.relations", xavier_uniform([num_relations, rel_width], rng).scale(0.5));
         FctModel { entities, relations, scorer, dim: init.dim }
     }
 
@@ -149,12 +147,9 @@ impl FctModel {
         let d = self.dim;
         let (hr, rr, tr) = (e.row(h), rel.row(r), e.row(t));
         match self.scorer {
-            KgeScorer::TransE => hr
-                .iter()
-                .zip(rr)
-                .zip(tr)
-                .map(|((&a, &b), &c)| (a + b - c).abs())
-                .sum(),
+            KgeScorer::TransE => {
+                hr.iter().zip(rr).zip(tr).map(|((&a, &b), &c)| (a + b - c).abs()).sum()
+            }
             KgeScorer::TransH => {
                 let w = &rr[..d];
                 let dv = &rr[d..];
@@ -169,12 +164,9 @@ impl FctModel {
                     })
                     .sum()
             }
-            KgeScorer::DistMult => -hr
-                .iter()
-                .zip(rr)
-                .zip(tr)
-                .map(|((&a, &b), &c)| a * b * c)
-                .sum::<f32>(),
+            KgeScorer::DistMult => {
+                -hr.iter().zip(rr).zip(tr).map(|((&a, &b), &c)| a * b * c).sum::<f32>()
+            }
             KgeScorer::Rotate => {
                 let half = d / 2;
                 (0..half)
@@ -239,6 +231,7 @@ pub fn run_fct(ds: &FctDataset, init: &EmbeddingTable, cfg: &FctTaskConfig) -> F
 
 /// The confidence-weighted margin loss for one positive fact and its
 /// sampled negatives (Eq. 24).
+#[allow(clippy::too_many_arguments)]
 fn gtranse_loss<'t>(
     tape: &'t Tape,
     store: &ParamStore,
@@ -267,13 +260,15 @@ fn gtranse_loss<'t>(
     }
 
     let k = negs.len();
-    let heads: Vec<usize> = std::iter::once(fact.head).chain(negs.iter().map(|&(h, _)| h)).collect();
-    let tails: Vec<usize> = std::iter::once(fact.tail).chain(negs.iter().map(|&(_, t)| t)).collect();
+    let heads: Vec<usize> =
+        std::iter::once(fact.head).chain(negs.iter().map(|&(h, _)| h)).collect();
+    let tails: Vec<usize> =
+        std::iter::once(fact.tail).chain(negs.iter().map(|&(_, t)| t)).collect();
     let rels = vec![fact.rel; k + 1];
     let dist = model.distance(tape, store, &heads, &rels, &tails); // [k+1]
     let d_pos = dist.narrow(0, 0, 1); // [1]
     let d_neg = dist.narrow(0, 1, k); // [k]
-    // [d_pos − d_neg + s^α M]+ summed over negatives.
+                                      // [d_pos − d_neg + s^α M]+ summed over negatives.
     let margin = fact.conf.powf(cfg.alpha) * cfg.margin;
     d_pos
         .sub(d_neg) // broadcast [1] - [k]
@@ -376,13 +371,15 @@ mod tests {
         let init = random_embeddings(&ds.node_names, 8, 2);
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
-        let model = FctModel::new(&mut store, &init, ds.num_relations(), KgeScorer::TransE, &mut rng);
-        let all: std::collections::HashSet<_> = ds.all_facts().map(|f| (f.head, f.rel, f.tail)).collect();
+        let model =
+            FctModel::new(&mut store, &init, ds.num_relations(), KgeScorer::TransE, &mut rng);
+        let all: std::collections::HashSet<_> =
+            ds.all_facts().map(|f| (f.head, f.rel, f.tail)).collect();
         let cfg = FctTaskConfig::default();
         let base = ds.train[0];
         let low = FctFact { conf: 0.1, ..base };
         let high = FctFact { conf: 1.0, ..base };
-        let mut loss_of = |f: &FctFact| {
+        let loss_of = |f: &FctFact| {
             let mut r = StdRng::seed_from_u64(42);
             let tape = Tape::new();
             gtranse_loss(&tape, &store, &model, f, &all, ds.num_nodes(), &cfg, &mut r)
@@ -396,7 +393,8 @@ mod tests {
     fn all_scorers_train_and_evaluate() {
         let ds = dataset();
         let init = random_embeddings(&ds.node_names, 16, 3);
-        for scorer in [KgeScorer::TransE, KgeScorer::TransH, KgeScorer::DistMult, KgeScorer::Rotate] {
+        for scorer in [KgeScorer::TransE, KgeScorer::TransH, KgeScorer::DistMult, KgeScorer::Rotate]
+        {
             let cfg = FctTaskConfig { epochs: 3, scorer, ..Default::default() };
             let res = run_fct(&ds, &init, &cfg);
             assert!(res.test.mrr > 0.0, "{scorer:?} produced zero MRR");
@@ -409,15 +407,14 @@ mod tests {
         let ds = dataset();
         let init = random_embeddings(&ds.node_names, 16, 4);
         let mut rng = StdRng::seed_from_u64(5);
-        for scorer in [KgeScorer::TransE, KgeScorer::TransH, KgeScorer::DistMult, KgeScorer::Rotate] {
+        for scorer in [KgeScorer::TransE, KgeScorer::TransH, KgeScorer::DistMult, KgeScorer::Rotate]
+        {
             let mut store = ParamStore::new();
             let model = FctModel::new(&mut store, &init, ds.num_relations(), scorer, &mut rng);
             let f = ds.train[0];
             let tape = Tape::new();
-            let tape_d = model
-                .distance(&tape, &store, &[f.head], &[f.rel], &[f.tail])
-                .value()
-                .item();
+            let tape_d =
+                model.distance(&tape, &store, &[f.head], &[f.rel], &[f.tail]).value().item();
             let raw_d = model.distance_raw(&store, f.head, f.rel, f.tail);
             assert!(
                 (tape_d - raw_d).abs() < 1e-3 * (1.0 + raw_d.abs()),

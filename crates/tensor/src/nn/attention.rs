@@ -79,7 +79,7 @@ impl MultiHeadAttention {
             scores = scores.add(tape.constant(m.clone()));
         }
         let mut probs = scores.softmax_last();
-        if let Some(r) = rng.as_deref_mut() {
+        if let Some(r) = rng.as_mut() {
             probs = probs.dropout(self.dropout, r);
         }
         // [b, h, s, dh] -> [b, s, d]

@@ -71,8 +71,22 @@ impl EncoderLayer {
         rng: &mut StdRng,
     ) -> Self {
         EncoderLayer {
-            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), cfg.dim, cfg.heads, cfg.dropout, rng),
-            ffn: FeedForward::new(store, &format!("{name}.ffn"), cfg.dim, cfg.ffn_hidden, cfg.dropout, rng),
+            attn: MultiHeadAttention::new(
+                store,
+                &format!("{name}.attn"),
+                cfg.dim,
+                cfg.heads,
+                cfg.dropout,
+                rng,
+            ),
+            ffn: FeedForward::new(
+                store,
+                &format!("{name}.ffn"),
+                cfg.dim,
+                cfg.ffn_hidden,
+                cfg.dropout,
+                rng,
+            ),
             norm1: LayerNorm::new(store, &format!("{name}.ln1"), cfg.dim),
             norm2: LayerNorm::new(store, &format!("{name}.ln2"), cfg.dim),
         }
@@ -179,6 +193,7 @@ impl TransformerEncoder {
 
     /// Full forward: ids `[b * s]` (row-major, right-padded) with per-row
     /// lengths, returning hidden states `[b, s, d]`.
+    #[allow(clippy::too_many_arguments)]
     pub fn forward<'t>(
         &self,
         tape: &'t Tape,
@@ -215,7 +230,15 @@ mod tests {
     fn tiny_encoder() -> (ParamStore, TransformerEncoder) {
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
-        let cfg = TransformerConfig { vocab: 20, dim: 8, layers: 2, heads: 2, ffn_hidden: 16, max_len: 10, dropout: 0.1 };
+        let cfg = TransformerConfig {
+            vocab: 20,
+            dim: 8,
+            layers: 2,
+            heads: 2,
+            ffn_hidden: 16,
+            max_len: 10,
+            dropout: 0.1,
+        };
         let enc = TransformerEncoder::new(&mut store, "enc", cfg, &mut rng);
         (store, enc)
     }

@@ -11,6 +11,10 @@ use crate::shape::Shape;
 use crate::tape::Var;
 use crate::tensor::Tensor;
 
+// The named `add`/`sub`/`mul`/`div`/`neg` methods are the primary API
+// (the operator impls below delegate to them), so the usual "implement
+// the std trait instead" lint does not apply.
+#[allow(clippy::should_implement_trait)]
 impl<'t> Var<'t> {
     /// The forward value of this node.
     pub fn value(self) -> Tensor {
@@ -58,9 +62,7 @@ impl<'t> Var<'t> {
         self.tape.push_op(
             out,
             vec![self.id, other.id],
-            Box::new(move |g| {
-                vec![g.mul(&b).reduce_to(&sa), g.mul(&a).reduce_to(&sb)]
-            }),
+            Box::new(move |g| vec![g.mul(&b).reduce_to(&sa), g.mul(&a).reduce_to(&sb)]),
         )
     }
 
@@ -92,15 +94,13 @@ impl<'t> Var<'t> {
     /// `self * s`.
     pub fn scale(self, s: f32) -> Var<'t> {
         let out = self.value().scale(s);
-        self.tape
-            .push_op(out, vec![self.id], Box::new(move |g| vec![g.scale(s)]))
+        self.tape.push_op(out, vec![self.id], Box::new(move |g| vec![g.scale(s)]))
     }
 
     /// `self + s` elementwise.
     pub fn add_scalar(self, s: f32) -> Var<'t> {
         let out = self.value().add_scalar(s);
-        self.tape
-            .push_op(out, vec![self.id], Box::new(move |g| vec![g.clone()]))
+        self.tape.push_op(out, vec![self.id], Box::new(move |g| vec![g.clone()]))
     }
 
     /// Rectified linear unit.
@@ -160,16 +160,14 @@ impl<'t> Var<'t> {
     pub fn exp(self) -> Var<'t> {
         let out = self.value().map(f32::exp);
         let y = out.clone();
-        self.tape
-            .push_op(out, vec![self.id], Box::new(move |g| vec![g.mul(&y)]))
+        self.tape.push_op(out, vec![self.id], Box::new(move |g| vec![g.mul(&y)]))
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(self) -> Var<'t> {
         let x = self.value();
         let out = x.map(f32::ln);
-        self.tape
-            .push_op(out, vec![self.id], Box::new(move |g| vec![g.div(&x)]))
+        self.tape.push_op(out, vec![self.id], Box::new(move |g| vec![g.div(&x)]))
     }
 
     /// Elementwise square root.
@@ -201,7 +199,9 @@ impl<'t> Var<'t> {
         self.tape.push_op(
             out,
             vec![self.id],
-            Box::new(move |g| vec![g.zip(&x, |gv, xv| gv * xv.signum() * (xv != 0.0) as u8 as f32)]),
+            Box::new(
+                move |g| vec![g.zip(&x, |gv, xv| gv * xv.signum() * (xv != 0.0) as u8 as f32)],
+            ),
         )
     }
 
@@ -220,13 +220,11 @@ impl<'t> Var<'t> {
         }
         let x = self.value();
         let keep = 1.0 / (1.0 - p);
-        let mask_data: Vec<f32> = (0..x.numel())
-            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep })
-            .collect();
+        let mask_data: Vec<f32> =
+            (0..x.numel()).map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep }).collect();
         let mask = Tensor::from_vec(mask_data, x.shape().clone());
         let out = x.mul(&mask);
-        self.tape
-            .push_op(out, vec![self.id], Box::new(move |g| vec![g.mul(&mask)]))
+        self.tape.push_op(out, vec![self.id], Box::new(move |g| vec![g.mul(&mask)]))
     }
 
     // ------------------------------------------------------------------
@@ -239,21 +237,13 @@ impl<'t> Var<'t> {
         let x = self.value();
         let orig = x.shape().clone();
         let out = x.reshape(shape);
-        self.tape.push_op(
-            out,
-            vec![self.id],
-            Box::new(move |g| vec![g.reshape(orig.clone())]),
-        )
+        self.tape.push_op(out, vec![self.id], Box::new(move |g| vec![g.reshape(orig.clone())]))
     }
 
     /// Swap two axes.
     pub fn transpose(self, ax0: usize, ax1: usize) -> Var<'t> {
         let out = self.value().transpose(ax0, ax1);
-        self.tape.push_op(
-            out,
-            vec![self.id],
-            Box::new(move |g| vec![g.transpose(ax0, ax1)]),
-        )
+        self.tape.push_op(out, vec![self.id], Box::new(move |g| vec![g.transpose(ax0, ax1)]))
     }
 
     /// Select `[start, start+len)` along `axis`.
@@ -402,11 +392,7 @@ impl<'t> Var<'t> {
         let x = self.value();
         let shape = x.shape().clone();
         let out = x.sum_axis(axis);
-        self.tape.push_op(
-            out,
-            vec![self.id],
-            Box::new(move |g| vec![g.broadcast_to(&shape)]),
-        )
+        self.tape.push_op(out, vec![self.id], Box::new(move |g| vec![g.broadcast_to(&shape)]))
     }
 
     /// Mean over `axis`, keeping the axis with extent 1.
@@ -677,7 +663,11 @@ mod tests {
 
     /// Finite-difference gradient check: compares the analytic gradient of
     /// `f(x).sum()` against central differences.
-    fn gradcheck(shape: &[usize], data: Vec<f32>, f: impl Fn(crate::tape::Var<'_>) -> crate::tape::Var<'_>) {
+    fn gradcheck(
+        shape: &[usize],
+        data: Vec<f32>,
+        f: impl Fn(crate::tape::Var<'_>) -> crate::tape::Var<'_>,
+    ) {
         let eps = 1e-3_f32;
         let tol = 2e-2_f32;
         let tape = Tape::new();
@@ -726,24 +716,19 @@ mod tests {
 
     #[test]
     fn gradcheck_softmax() {
-        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.0, -1.0], |x| {
-            x.softmax_last().square()
-        });
+        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.0, -1.0], |x| x.softmax_last().square());
     }
 
     #[test]
     fn gradcheck_log_softmax() {
-        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.0, -1.0], |x| {
-            x.log_softmax_last().square()
-        });
+        gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.0, -1.0], |x| x.log_softmax_last().square());
     }
 
     #[test]
     fn gradcheck_matmul() {
         gradcheck(&[2, 3], vec![0.1, 0.5, -0.3, 1.0, 0.2, -1.0], |x| {
-            let w = x
-                .tape
-                .constant(Tensor::from_vec(vec![0.3, -0.2, 0.8, 0.5, 0.1, -0.4], vec![3, 2]));
+            let w =
+                x.tape.constant(Tensor::from_vec(vec![0.3, -0.2, 0.8, 0.5, 0.1, -0.4], vec![3, 2]));
             x.matmul(w)
         });
     }

@@ -6,6 +6,8 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::tape::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -29,10 +31,8 @@ impl Sgd {
         for id in store.ids().collect::<Vec<_>>() {
             let grad = store.grad(id).clone();
             let update = if self.momentum > 0.0 {
-                let v = self
-                    .velocity
-                    .entry(id)
-                    .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+                let v =
+                    self.velocity.entry(id).or_insert_with(|| Tensor::zeros(grad.shape().clone()));
                 let mut nv = v.scale(self.momentum);
                 nv.axpy(1.0, &grad);
                 *v = nv.clone();
@@ -94,6 +94,46 @@ impl AdamW {
         self.step
     }
 
+    /// Exports the optimizer state (step counter, moment buffers, decay
+    /// exclusions), keyed by parameter *name* so it can be re-imported into
+    /// a freshly rebuilt [`ParamStore`] whose ids differ.
+    pub fn export_state(&self, store: &ParamStore) -> AdamWState {
+        let mut moments: Vec<(String, Vec<f32>, Vec<f32>)> = self
+            .moments
+            .iter()
+            .map(|(&id, (m, v))| {
+                (store.name(id).to_string(), m.as_slice().to_vec(), v.as_slice().to_vec())
+            })
+            .collect();
+        moments.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut no_decay: Vec<String> =
+            self.no_decay.iter().map(|&id| store.name(id).to_string()).collect();
+        no_decay.sort();
+        AdamWState { step: self.step, moments, no_decay }
+    }
+
+    /// Restores optimizer state exported by [`Self::export_state`]. Entries
+    /// whose parameter name no longer exists in `store` are dropped; moment
+    /// buffers whose length no longer matches the parameter are reset.
+    pub fn import_state(&mut self, store: &ParamStore, state: &AdamWState) {
+        let by_name: HashMap<&str, ParamId> = store.ids().map(|id| (store.name(id), id)).collect();
+        self.step = state.step;
+        self.moments.clear();
+        for (name, m, v) in &state.moments {
+            let Some(&id) = by_name.get(name.as_str()) else { continue };
+            let shape = store.value(id).shape().clone();
+            if m.len() != shape.numel() || v.len() != shape.numel() {
+                continue;
+            }
+            self.moments.insert(
+                id,
+                (Tensor::from_vec(m.clone(), shape.clone()), Tensor::from_vec(v.clone(), shape)),
+            );
+        }
+        self.no_decay =
+            state.no_decay.iter().filter_map(|name| by_name.get(name.as_str()).copied()).collect();
+    }
+
     /// Applies one AdamW step from the store's accumulated gradients.
     pub fn step(&mut self, store: &mut ParamStore) {
         self.step += 1;
@@ -102,10 +142,9 @@ impl AdamW {
         let bc2 = 1.0 - self.beta2.powf(t);
         for id in store.ids().collect::<Vec<_>>() {
             let grad = store.grad(id).clone();
-            let (m, v) = self
-                .moments
-                .entry(id)
-                .or_insert_with(|| (Tensor::zeros(grad.shape().clone()), Tensor::zeros(grad.shape().clone())));
+            let (m, v) = self.moments.entry(id).or_insert_with(|| {
+                (Tensor::zeros(grad.shape().clone()), Tensor::zeros(grad.shape().clone()))
+            });
             // m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2
             let mut nm = m.scale(self.beta1);
             nm.axpy(1.0 - self.beta1, &grad);
@@ -130,6 +169,18 @@ impl AdamW {
             }
         }
     }
+}
+
+/// Serializable AdamW state: step counter, per-parameter moment buffers,
+/// and decay exclusions, keyed by parameter name (portable across stores).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdamWState {
+    /// Steps taken so far (drives bias correction).
+    pub step: u64,
+    /// `(param name, first moment, second moment)` per tracked parameter.
+    pub moments: Vec<(String, Vec<f32>, Vec<f32>)>,
+    /// Names of parameters excluded from weight decay.
+    pub no_decay: Vec<String>,
 }
 
 /// Linear warmup followed by linear decay to zero — the BERT schedule.
@@ -223,6 +274,48 @@ mod tests {
             opt.step(&mut store);
         }
         assert_eq!(store.value(b).item(), 10.0);
+    }
+
+    #[test]
+    fn adamw_state_round_trips_and_resumes_identically() {
+        // Train a few steps, export, keep training; a fresh optimizer that
+        // imports the snapshot must produce identical parameters.
+        let run = |resume: bool| -> f32 {
+            let mut store = ParamStore::new();
+            let w = store.create("w", Tensor::from_vec(vec![0.0], [1]));
+            let b = store.create("layer.bias", Tensor::from_vec(vec![5.0], [1]));
+            let mut opt = AdamW::new(0.05, 0.1);
+            opt.exclude_from_decay(&store, &["bias"]);
+            let do_step = |store: &mut ParamStore, opt: &mut AdamW| {
+                store.zero_grads();
+                let tape = Tape::new();
+                let wv = tape.param(store, w);
+                let loss = wv.add_scalar(-3.0).square().sum_all();
+                tape.backward(loss).accumulate_into(&tape, store);
+                opt.step(store);
+            };
+            for _ in 0..5 {
+                do_step(&mut store, &mut opt);
+            }
+            if resume {
+                let state = opt.export_state(&store);
+                let json = serde_json::to_string(&state).unwrap();
+                let state: AdamWState = serde_json::from_str(&json).unwrap();
+                let mut opt2 = AdamW::new(0.05, 0.1);
+                opt2.import_state(&store, &state);
+                assert_eq!(opt2.steps(), 5);
+                for _ in 0..5 {
+                    do_step(&mut store, &mut opt2);
+                }
+            } else {
+                for _ in 0..5 {
+                    do_step(&mut store, &mut opt);
+                }
+            }
+            assert_eq!(store.value(b).item(), 5.0, "bias must stay decay-free");
+            store.value(w).item()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -150,12 +150,7 @@ impl Tensor {
     /// Reinterprets the data under a new shape with the same element count.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
-        assert_eq!(
-            self.numel(),
-            shape.numel(),
-            "cannot reshape {} to {shape}",
-            self.shape
-        );
+        assert_eq!(self.numel(), shape.numel(), "cannot reshape {} to {shape}", self.shape);
         Tensor { data: Arc::clone(&self.data), shape }
     }
 
@@ -202,9 +197,9 @@ impl Tensor {
         let mut total = 0;
         for t in tensors {
             assert_eq!(t.rank(), rank, "concat rank mismatch");
-            for ax in 0..rank {
+            for (ax, &dim) in out_dims.iter().enumerate() {
                 if ax != axis {
-                    assert_eq!(t.shape.dim(ax), out_dims[ax], "concat dim mismatch on axis {ax}");
+                    assert_eq!(t.shape.dim(ax), dim, "concat dim mismatch on axis {ax}");
                 }
             }
             total += t.shape.dim(axis);
@@ -298,18 +293,12 @@ impl Tensor {
     /// Combines two tensors elementwise with broadcasting.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == other.shape {
-            let data = self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
             return Tensor { data: Arc::new(data), shape: self.shape.clone() };
         }
-        let out_shape = self
-            .shape
-            .broadcast(&other.shape)
-            .unwrap_or_else(|| panic!("shapes {} and {} do not broadcast", self.shape, other.shape));
+        let out_shape = self.shape.broadcast(&other.shape).unwrap_or_else(|| {
+            panic!("shapes {} and {} do not broadcast", self.shape, other.shape)
+        });
         let mut out = Vec::with_capacity(out_shape.numel());
         let it_a = BroadcastIter::new(&out_shape, &self.shape);
         let it_b = BroadcastIter::new(&out_shape, &other.shape);
@@ -483,9 +472,8 @@ impl Tensor {
         let (a_batch, m, k) = self.shape.split_matrix();
         let (b_batch, k2, n) = other.shape.split_matrix();
         assert_eq!(k, k2, "matmul inner dims mismatch: {} vs {}", self.shape, other.shape);
-        let batch_shape = Shape(a_batch.to_vec())
-            .broadcast(&Shape(b_batch.to_vec()))
-            .unwrap_or_else(|| {
+        let batch_shape =
+            Shape(a_batch.to_vec()).broadcast(&Shape(b_batch.to_vec())).unwrap_or_else(|| {
                 panic!("matmul batch dims do not broadcast: {} vs {}", self.shape, other.shape)
             });
         let batches = batch_shape.numel();
@@ -500,16 +488,12 @@ impl Tensor {
         let a_offsets: Vec<usize> = if a_batch.is_empty() {
             vec![0; batches]
         } else {
-            BroadcastIter::new(&batch_shape, &Shape(a_batch.to_vec()))
-                .map(|o| o * a_mat)
-                .collect()
+            BroadcastIter::new(&batch_shape, &Shape(a_batch.to_vec())).map(|o| o * a_mat).collect()
         };
         let b_offsets: Vec<usize> = if b_batch.is_empty() {
             vec![0; batches]
         } else {
-            BroadcastIter::new(&batch_shape, &Shape(b_batch.to_vec()))
-                .map(|o| o * b_mat)
-                .collect()
+            BroadcastIter::new(&batch_shape, &Shape(b_batch.to_vec())).map(|o| o * b_mat).collect()
         };
 
         let mut out = vec![0.0; out_shape.numel()];
@@ -518,7 +502,14 @@ impl Tensor {
         let work = batches * m * n;
         if work >= PAR_MATMUL_THRESHOLD {
             out.par_chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
-                matmul_kernel(&a[a_offsets[bi]..a_offsets[bi] + a_mat], &b[b_offsets[bi]..b_offsets[bi] + b_mat], chunk, m, k, n);
+                matmul_kernel(
+                    &a[a_offsets[bi]..a_offsets[bi] + a_mat],
+                    &b[b_offsets[bi]..b_offsets[bi] + b_mat],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                );
             });
         } else {
             for bi in 0..batches {

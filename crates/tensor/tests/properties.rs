@@ -23,7 +23,7 @@ proptest! {
     #[test]
     fn reduce_is_adjoint_of_broadcast(rows in 1usize..6, cols in 1usize..6, vals in small_vals(6)) {
         // <broadcast(x), y> == <x, reduce(y)> for x: [cols], y: [rows, cols].
-        let x = Tensor::from_vec(vals[..cols.min(vals.len())].to_vec().into_iter().chain(std::iter::repeat(0.5)).take(cols).collect(), [cols]);
+        let x = Tensor::from_vec(vals[..cols.min(vals.len())].iter().copied().chain(std::iter::repeat(0.5)).take(cols).collect(), [cols]);
         let mut ydata = Vec::with_capacity(rows * cols);
         for i in 0..rows * cols {
             ydata.push(((i as f32) * 0.7).sin());
@@ -127,5 +127,126 @@ proptest! {
         let picked = x.index_select0(&[0]);
         let y = x.scatter_rows_replace(&[0], picked);
         prop_assert_eq!(y.value().to_vec(), data);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference gradient checks: the backward pass of each compound op
+// must agree with a central-difference estimate of the same scalar loss.
+// ---------------------------------------------------------------------------
+
+/// Values bounded away from the extremes so f32 central differences at
+/// `eps = 1e-2` stay well-conditioned.
+fn grad_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, n)
+}
+
+/// Central-difference gradient of `f` at `x`, element by element.
+fn numeric_grad(x: &Tensor, mut f: impl FnMut(&Tensor) -> f32, eps: f32) -> Vec<f32> {
+    let base = x.to_vec();
+    let shape = x.shape().clone();
+    (0..base.len())
+        .map(|i| {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let fp = f(&Tensor::from_vec(plus, shape.clone()));
+            let fm = f(&Tensor::from_vec(minus, shape.clone()));
+            (fp - fm) / (2.0 * eps)
+        })
+        .collect()
+}
+
+/// Absolute-or-relative closeness, tolerant of f32 finite-difference noise.
+fn grads_close(analytic: &[f32], numeric: &[f32]) -> Result<(), String> {
+    for (i, (&a, &n)) in analytic.iter().zip(numeric).enumerate() {
+        let abs = (a - n).abs();
+        let rel = abs / a.abs().max(n.abs()).max(1e-3);
+        if abs > 1e-2 && rel > 5e-2 {
+            return Err(format!("grad[{i}]: analytic {a} vs numeric {n}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_gradient_matches_finite_difference(av in grad_vals(6), bv in grad_vals(6)) {
+        // L(A) = Σ (A·B)² with A: [2,3], B: [3,2].
+        let a0 = Tensor::from_vec(av, [2, 3]);
+        let b = Tensor::from_vec(bv, [3, 2]);
+        let loss = |at: &Tensor| {
+            let tape = Tape::new();
+            let a = tape.constant(at.clone());
+            let bb = tape.constant(b.clone());
+            a.matmul(bb).square().sum_all().value().item()
+        };
+        let tape = Tape::new();
+        let a = tape.leaf(a0.clone());
+        let bb = tape.constant(b.clone());
+        let y = a.matmul(bb).square().sum_all();
+        let grads = tape.backward(y);
+        let analytic = grads.get(a).unwrap().as_slice().to_vec();
+        let numeric = numeric_grad(&a0, loss, 1e-2);
+        prop_assert!(grads_close(&analytic, &numeric).is_ok(), "{:?}", grads_close(&analytic, &numeric));
+    }
+
+    #[test]
+    fn layer_norm_gradient_matches_finite_difference(xv in grad_vals(4), gv in grad_vals(4)) {
+        // Spread the row so its variance is bounded away from zero — the
+        // normalizer's 1/σ makes near-constant rows ill-conditioned for FD.
+        let xd: Vec<f32> = xv.iter().enumerate().map(|(i, v)| v + i as f32 * 0.5).collect();
+        let gd: Vec<f32> = gv.iter().map(|v| v + 2.5).collect();
+        let x0 = Tensor::from_vec(xd, [1, 4]);
+        let g0 = Tensor::from_vec(gd, [4]);
+        let beta = Tensor::from_vec(vec![0.1, -0.2, 0.3, -0.4], [4]);
+        let loss = |xt: &Tensor, gt: &Tensor| {
+            let tape = Tape::new();
+            let x = tape.constant(xt.clone());
+            let gamma = tape.constant(gt.clone());
+            let b = tape.constant(beta.clone());
+            x.layer_norm(gamma, b, 1e-5).square().sum_all().value().item()
+        };
+
+        let tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let gamma = tape.leaf(g0.clone());
+        let b = tape.constant(beta.clone());
+        let y = x.layer_norm(gamma, b, 1e-5).square().sum_all();
+        let grads = tape.backward(y);
+
+        let analytic_x = grads.get(x).unwrap().as_slice().to_vec();
+        let numeric_x = numeric_grad(&x0, |xt| loss(xt, &g0), 1e-2);
+        prop_assert!(grads_close(&analytic_x, &numeric_x).is_ok(),
+            "d/dx {:?}", grads_close(&analytic_x, &numeric_x));
+
+        let analytic_g = grads.get(gamma).unwrap().as_slice().to_vec();
+        let numeric_g = numeric_grad(&g0, |gt| loss(&x0, gt), 1e-2);
+        prop_assert!(grads_close(&analytic_g, &numeric_g).is_ok(),
+            "d/dγ {:?}", grads_close(&analytic_g, &numeric_g));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference(lv in grad_vals(8), t0 in 0usize..4, t1 in 0usize..4) {
+        // Softmax cross-entropy over [2,4] logits, one masked-out row among
+        // three so the None path is exercised too.
+        let logits0 = Tensor::from_vec(lv.clone().into_iter().chain(lv).take(12).collect(), [3, 4]);
+        let targets = [Some(t0), None, Some(t1)];
+        let loss = |lt: &Tensor| {
+            let tape = Tape::new();
+            tape.constant(lt.clone()).cross_entropy_logits(&targets).value().item()
+        };
+        let tape = Tape::new();
+        let l = tape.leaf(logits0.clone());
+        let y = l.cross_entropy_logits(&targets);
+        let grads = tape.backward(y);
+        let analytic = grads.get(l).unwrap().as_slice().to_vec();
+        let numeric = numeric_grad(&logits0, loss, 1e-2);
+        prop_assert!(grads_close(&analytic, &numeric).is_ok(), "{:?}", grads_close(&analytic, &numeric));
+        // The masked row must receive exactly zero gradient.
+        prop_assert!(analytic[4..8].iter().all(|&g| g == 0.0));
     }
 }

@@ -30,12 +30,7 @@ struct BpeSerde {
 
 impl From<BpeSerde> for Bpe {
     fn from(s: BpeSerde) -> Self {
-        let ranks = s
-            .merges
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), i))
-            .collect();
+        let ranks = s.merges.iter().enumerate().map(|(i, p)| (p.clone(), i)).collect();
         Bpe { merges: s.merges, ranks }
     }
 }
@@ -50,10 +45,8 @@ impl Bpe {
     /// Learns `num_merges` merges from a word-frequency table.
     pub fn learn(word_freqs: &HashMap<String, usize>, num_merges: usize) -> Self {
         // Each word as its current symbol sequence.
-        let mut words: Vec<(Vec<String>, usize)> = word_freqs
-            .iter()
-            .map(|(w, &f)| (word_symbols(w), f))
-            .collect();
+        let mut words: Vec<(Vec<String>, usize)> =
+            word_freqs.iter().map(|(w, &f)| (word_symbols(w), f)).collect();
         // Sort for determinism (HashMap iteration order is random).
         words.sort_by(|a, b| a.0.cmp(&b.0));
 
@@ -78,11 +71,7 @@ impl Bpe {
             }
             merges.push(pair);
         }
-        let ranks = merges
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), i))
-            .collect();
+        let ranks = merges.iter().enumerate().map(|(i, p)| (p.clone(), i)).collect();
         Bpe { merges, ranks }
     }
 
@@ -99,7 +88,7 @@ impl Bpe {
             let mut best: Option<(usize, usize)> = None; // (rank, position)
             for (i, w) in syms.windows(2).enumerate() {
                 if let Some(&r) = self.ranks.get(&(w[0].clone(), w[1].clone())) {
-                    if best.map_or(true, |(br, _)| r < br) {
+                    if best.is_none_or(|(br, _)| r < br) {
                         best = Some((r, i));
                     }
                 }
@@ -135,13 +124,7 @@ fn word_symbols(word: &str) -> Vec<String> {
     chars
         .iter()
         .enumerate()
-        .map(|(i, c)| {
-            if i == n - 1 {
-                format!("{c}{EOW}")
-            } else {
-                c.to_string()
-            }
-        })
+        .map(|(i, c)| if i == n - 1 { format!("{c}{EOW}") } else { c.to_string() })
         .collect()
 }
 

@@ -130,11 +130,7 @@ impl TeleTokenizer {
         if let Some(id) = self.vocab.id(word) {
             return vec![id];
         }
-        self.bpe
-            .segment(word)
-            .iter()
-            .map(|s| self.vocab.id_or_unk(s))
-            .collect()
+        self.bpe.segment(word).iter().map(|s| self.vocab.id_or_unk(s)).collect()
     }
 
     /// Encodes a plain sentence: `[CLS] tokens… [SEP]`, truncated to
@@ -237,8 +233,8 @@ impl TeleTokenizer {
             if tok == "[PAD]" {
                 continue;
             }
-            if tok.ends_with(crate::bpe::EOW) {
-                out.push_str(&tok[..tok.len() - crate::bpe::EOW.len()]);
+            if let Some(stem) = tok.strip_suffix(crate::bpe::EOW) {
+                out.push_str(stem);
                 out.push(' ');
             } else if self.vocab.is_reserved(id) {
                 out.push_str(tok);
@@ -356,7 +352,7 @@ mod tests {
         let e = t.encode("service unreachable", 32);
         for (start, len) in &e.words {
             assert!(*start >= 1);
-            assert!(start + len <= e.ids.len() - 1);
+            assert!(start + len < e.ids.len());
         }
         // Spans tile the interior tokens.
         let covered: usize = e.words.iter().map(|w| w.1).sum();
@@ -412,10 +408,7 @@ mod tests {
         let e = t.encode_template(&fields, 64);
         for (start, len) in &e.words {
             for p in *start..start + len {
-                assert!(
-                    !t.vocab().is_reserved(e.ids[p]),
-                    "WWM span covers reserved token at {p}"
-                );
+                assert!(!t.vocab().is_reserved(e.ids[p]), "WWM span covers reserved token at {p}");
             }
         }
     }

@@ -2,9 +2,7 @@
 //! text and configurations.
 
 use proptest::prelude::*;
-use tele_tokenizer::{
-    patterns, special_ids, PromptToken, TeleTokenizer, TokenizerConfig,
-};
+use tele_tokenizer::{patterns, special_ids, PromptToken, TeleTokenizer, TokenizerConfig};
 
 fn trained() -> TeleTokenizer {
     let corpus: Vec<String> = (0..40)
@@ -40,7 +38,7 @@ proptest! {
         let e = tok.encode(&text, 48);
         for (start, len) in &e.words {
             prop_assert!(*start >= 1, "span covers [CLS]");
-            prop_assert!(start + len <= e.ids.len() - 1, "span covers [SEP]");
+            prop_assert!(start + len < e.ids.len(), "span covers [SEP]");
             prop_assert!(*len > 0);
         }
     }

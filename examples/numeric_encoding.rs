@@ -36,9 +36,12 @@ fn main() {
     // paper's setting where each KPI has its own scale.
     let mut normalizer = TagNormalizer::new();
     normalizer.fit([
-        ("cpu load", 0.0), ("cpu load", 100.0),
-        ("latency ms", 1.0), ("latency ms", 500.0),
-        ("success rate", 0.0), ("success rate", 1.0),
+        ("cpu load", 0.0),
+        ("cpu load", 100.0),
+        ("latency ms", 1.0),
+        ("latency ms", 500.0),
+        ("success rate", 0.0),
+        ("success rate", 1.0),
     ]);
     let tags = ["cpu load", "latency ms", "success rate"];
     let ranges = [(0.0f32, 100.0f32), (1.0, 500.0), (0.0, 1.0)];
@@ -64,7 +67,11 @@ fn main() {
         tape.backward(loss).accumulate_into(&tape, &mut store);
         opt.step(&mut store);
         if step % 100 == 0 {
-            println!("  step {step}: loss {:.4}, μ = {:?}", loss.value().item(), anenc.uncertainties(&store));
+            println!(
+                "  step {step}: loss {:.4}, μ = {:?}",
+                loss.value().item(),
+                anenc.uncertainties(&store)
+            );
         }
     }
 
@@ -84,15 +91,10 @@ fn main() {
     let tape = Tape::new();
     let tv = tags_tensor(&tape, &vec![0; sweep.len()]);
     let hs = anenc.encode(&tape, &store, &sweep, tv).value();
-    for i in 1..sweep.len() {
-        let d: f32 = hs
-            .row(0)
-            .iter()
-            .zip(hs.row(i))
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
-            .sqrt();
-        println!("  |0.00 - {:.2}| -> embedding distance {d:.3}", sweep[i]);
+    for (i, v) in sweep.iter().enumerate().skip(1) {
+        let d: f32 =
+            hs.row(0).iter().zip(hs.row(i)).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        println!("  |0.00 - {v:.2}| -> embedding distance {d:.3}");
     }
 
     // Tag separation: same value, different tag.

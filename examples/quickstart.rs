@@ -20,7 +20,11 @@ fn main() {
     // 1. A deterministic synthetic tele-world.
     let suite = Suite::generate(Scale::Smoke, 42);
     println!("world: {:?}", suite.world);
-    println!("corpus: {} sentences ({} causal)", suite.tele_corpus.len(), suite.causal_sentences.len());
+    println!(
+        "corpus: {} sentences ({} causal)",
+        suite.tele_corpus.len(),
+        suite.causal_sentences.len()
+    );
     println!("kg: {:?}", suite.built_kg.kg);
 
     // 2. Tokenizer + stage-1 pre-training (TeleBERT).
@@ -53,6 +57,10 @@ fn main() {
         &PretrainConfig { steps: 120, batch_size: 8, ..Default::default() },
     );
     println!("TeleBERT pre-trained: mean loss {:.3}, final {:.3}", log.mean_loss, log.final_loss);
+    // The trace records every objective at every step; print the aggregates.
+    for o in log.summary().objectives {
+        println!("  {:>6}: final {:.3}, mean {:.3} over {} steps", o.name, o.last, o.mean, o.steps);
+    }
 
     // 3. Stage-2 re-training (KTeleBERT, iterative multi-task).
     let templates = logs::log_templates(&suite.world, &suite.episodes);
@@ -73,6 +81,12 @@ fn main() {
         klog.final_loss,
         ktelebert.normalizer.num_tags()
     );
+    for o in klog.summary().objectives {
+        println!("  {:>6}: final {:.3}, mean {:.3} over {} steps", o.name, o.last, o.mean, o.steps);
+    }
+    if let Some(mu) = klog.records.last().and_then(|r| r.uncertainty.clone()) {
+        println!("  uncertainty weights μ = [{:.3}, {:.3}, {:.3}]", mu[0], mu[1], mu[2]);
+    }
 
     // 4. Service embeddings: a ground-truth causal pair should be closer
     //    than an unrelated pair.
@@ -80,32 +94,29 @@ fn main() {
     let src = suite.world.event_name(edge.src).to_string();
     let dst = suite.world.event_name(edge.dst).to_string();
     // An event with no causal link to `src`.
-    let unrelated = (0..suite.world.num_events())
-        .find(|&e| {
-            e != edge.src
-                && e != edge.dst
-                && !suite.world.causal_edges.iter().any(|c| {
-                    (c.src == edge.src && c.dst == e) || (c.src == e && c.dst == edge.src)
-                })
-        })
-        .expect("an unrelated event exists");
+    let unrelated =
+        (0..suite.world.num_events())
+            .find(|&e| {
+                e != edge.src
+                    && e != edge.dst
+                    && !suite.world.causal_edges.iter().any(|c| {
+                        (c.src == edge.src && c.dst == e) || (c.src == e && c.dst == edge.src)
+                    })
+            })
+            .expect("an unrelated event exists");
     let unrelated = suite.world.event_name(unrelated).to_string();
 
     // Encode every event name, then mean-center: raw transformer [CLS]
     // embeddings share a large common component (anisotropy) that hides
     // the relative structure; all downstream tasks center the same way.
-    let all_names: Vec<String> = (0..suite.world.num_events())
-        .map(|e| suite.world.event_name(e).to_string())
-        .collect();
+    let all_names: Vec<String> =
+        (0..suite.world.num_events()).map(|e| suite.world.event_name(e).to_string()).collect();
     let raw = ktelebert.encode_sentences(&all_names);
     let dim = raw[0].len();
-    let mean: Vec<f32> = (0..dim)
-        .map(|k| raw.iter().map(|r| r[k]).sum::<f32>() / raw.len() as f32)
-        .collect();
-    let centered: Vec<Vec<f32>> = raw
-        .iter()
-        .map(|r| r.iter().zip(&mean).map(|(v, m)| v - m).collect())
-        .collect();
+    let mean: Vec<f32> =
+        (0..dim).map(|k| raw.iter().map(|r| r[k]).sum::<f32>() / raw.len() as f32).collect();
+    let centered: Vec<Vec<f32>> =
+        raw.iter().map(|r| r.iter().zip(&mean).map(|(v, m)| v - m).collect()).collect();
     let idx = |name: &str| all_names.iter().position(|n| n == name).expect("known event");
     let related_sim = cosine(&centered[idx(&src)], &centered[idx(&dst)]);
     let unrelated_sim = cosine(&centered[idx(&src)], &centered[idx(&unrelated)]);
@@ -116,9 +127,11 @@ fn main() {
     // The robust statistic: mean similarity over ALL ground-truth causal
     // pairs vs. all non-pairs (single pairs are noisy at this tiny scale).
     let is_pair = |a: usize, b: usize| {
-        suite.world.causal_edges.iter().any(|e| {
-            (e.src == a && e.dst == b) || (e.src == b && e.dst == a)
-        })
+        suite
+            .world
+            .causal_edges
+            .iter()
+            .any(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
     };
     let (mut pos, mut npos, mut neg, mut nneg) = (0.0f32, 0, 0.0f32, 0);
     for a in 0..suite.world.num_events() {

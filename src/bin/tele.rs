@@ -5,8 +5,8 @@
 //! tele corpus   [--seed N] [--count N]                    sample corpus sentences
 //! tele simulate [--seed N] [--episodes N]                 fault-episode summaries
 //! tele query    [--seed N] <SPARQL-like query>            query the Tele-KG
-//! tele train    [--seed N] [--steps N] [--retrain N] --out FILE
-//!                                                         train and checkpoint
+//! tele train    [--seed N] [--steps N] [--retrain N] [--telemetry FILE]
+//!               --out FILE                                train and checkpoint
 //! tele encode   --ckpt FILE <sentence> [<sentence> ...]   embed + similarities
 //! ```
 
@@ -33,9 +33,7 @@ impl Args {
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
                 flags.insert(name.to_string(), value.clone());
             } else {
                 positional.push(a.clone());
@@ -105,7 +103,7 @@ const USAGE: &str = "tele — tele-knowledge CLI
   tele corpus   [--seed N] [--count N]
   tele simulate [--seed N] [--episodes N]
   tele query    [--seed N] <query>      e.g. 'SELECT ?a WHERE { ?a type Alarm }'
-  tele train    [--seed N] [--steps N] [--retrain N] --out FILE
+  tele train    [--seed N] [--steps N] [--retrain N] [--telemetry FILE] --out FILE
   tele encode   --ckpt FILE <sentence> [<sentence> ...]";
 
 fn cmd_world(args: &Args) -> Result<(), String> {
@@ -186,10 +184,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let solutions = kg::query(&suite.built_kg.kg, q).map_err(|e| e.to_string())?;
     println!("{} solution(s)", solutions.len());
     for b in solutions.iter().take(25) {
-        let mut parts: Vec<String> = b
-            .iter()
-            .map(|(v, &e)| format!("?{v} = {:?}", suite.built_kg.kg.surface(e)))
-            .collect();
+        let mut parts: Vec<String> =
+            b.iter().map(|(v, &e)| format!("?{v} = {:?}", suite.built_kg.kg.surface(e))).collect();
         parts.sort();
         println!("  {}", parts.join("  "));
     }
@@ -201,6 +197,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let seed = args.u64_flag("seed", 17)?;
     let steps = args.usize_flag("steps", 200)?;
     let retrain_steps = args.usize_flag("retrain", 120)?;
+    // Per-step JSONL telemetry: `FILE` gets stage-1 records, `FILE.retrain`
+    // the stage-2 records.
+    let telemetry = args.flags.get("telemetry").map(std::path::PathBuf::from);
     let suite = Suite::generate(args.scale()?, seed);
 
     let tokenizer = TeleTokenizer::train(
@@ -228,9 +227,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         &suite.tele_corpus,
         &tokenizer,
         encoder,
-        &PretrainConfig { steps, seed, ..Default::default() },
+        &PretrainConfig { steps, seed, telemetry: telemetry.clone(), ..Default::default() },
     );
     eprintln!("  final loss {:.3}", log.final_loss);
+    for o in log.summary().objectives {
+        eprintln!("    {}: final {:.3}, mean {:.3}", o.name, o.last, o.mean);
+    }
 
     eprintln!("re-training KTeleBERT (IMTL): {retrain_steps} steps");
     let templates = logs::log_templates(&suite.world, &suite.episodes);
@@ -239,13 +241,22 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         log_templates: &templates,
         kg: &suite.built_kg.kg,
     };
+    let retrain_telemetry = telemetry.as_ref().map(|p| p.with_extension("retrain.jsonl"));
     let (bundle, klog) = retrain(
         telebert,
         &data,
         Strategy::Imtl,
-        &RetrainConfig { steps: retrain_steps, seed, ..Default::default() },
+        &RetrainConfig {
+            steps: retrain_steps,
+            seed,
+            telemetry: retrain_telemetry,
+            ..Default::default()
+        },
     );
     eprintln!("  final loss {:.3}", klog.final_loss);
+    for o in klog.summary().objectives {
+        eprintln!("    {}: final {:.3}, mean {:.3}", o.name, o.last, o.mean);
+    }
 
     std::fs::write(out, save_bundle(&bundle)).map_err(|e| e.to_string())?;
     println!("checkpoint written to {out}");
@@ -268,10 +279,7 @@ fn cmd_encode(args: &Args) -> Result<(), String> {
         println!("\ncosine similarities:");
         for i in 0..embs.len() {
             for j in i + 1..embs.len() {
-                println!(
-                    "  ({i}, {j}): {:+.4}",
-                    cosine(&embs[i], &embs[j])
-                );
+                println!("  ({i}, {j}): {:+.4}", cosine(&embs[i], &embs[j]));
             }
         }
     }

@@ -8,8 +8,8 @@ use tele_knowledge::model::{
     pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, ServiceFormat, Strategy,
 };
 use tele_knowledge::tasks::{
-    random_embeddings, run_eap, run_fct, run_rca, service_embeddings, EapTaskConfig,
-    FctTaskConfig, RcaTaskConfig,
+    random_embeddings, run_eap, run_fct, run_rca, service_embeddings, EapTaskConfig, FctTaskConfig,
+    RcaTaskConfig,
 };
 use tele_knowledge::tensor::nn::TransformerConfig;
 use tele_knowledge::tokenizer::{TeleTokenizer, TokenizerConfig};
@@ -55,9 +55,8 @@ fn full_pipeline_smoke() {
     assert!(ktelebert.model.anenc.is_some());
 
     // Service embeddings for event names.
-    let names: Vec<String> = (0..suite.world.num_events())
-        .map(|e| suite.world.event_name(e).to_string())
-        .collect();
+    let names: Vec<String> =
+        (0..suite.world.num_events()).map(|e| suite.world.event_name(e).to_string()).collect();
     let emb = service_embeddings(
         &ktelebert,
         Some(&suite.built_kg.kg),
@@ -72,23 +71,131 @@ fn full_pipeline_smoke() {
     assert!(rca.mean.mr >= 1.0);
     assert!(rca.mean.hits1 >= 0.0 && rca.mean.hits1 <= 100.0);
 
-    let neighbors: Vec<Vec<usize>> = (0..suite.world.instances.len())
-        .map(|i| suite.world.instance_neighbors(i))
-        .collect();
-    let eap = run_eap(&suite.eap, &emb, &neighbors, &EapTaskConfig { epochs: 2, ..Default::default() });
+    let neighbors: Vec<Vec<usize>> =
+        (0..suite.world.instances.len()).map(|i| suite.world.instance_neighbors(i)).collect();
+    let eap =
+        run_eap(&suite.eap, &emb, &neighbors, &EapTaskConfig { epochs: 2, ..Default::default() });
     assert!(eap.mean.accuracy > 0.0);
 
-    let node_emb = service_embeddings(&ktelebert, None, &suite.fct.node_names, ServiceFormat::OnlyName);
+    let node_emb =
+        service_embeddings(&ktelebert, None, &suite.fct.node_names, ServiceFormat::OnlyName);
     let fct = run_fct(&suite.fct, &node_emb, &FctTaskConfig { epochs: 3, ..Default::default() });
     assert!(fct.test.mrr > 0.0);
 }
 
 #[test]
+fn jsonl_telemetry_records_every_objective() {
+    use tele_knowledge::model::StepRecord;
+
+    let suite = Suite::generate(Scale::Smoke, 103);
+    let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
+    let encoder = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 32,
+        layers: 1,
+        heads: 2,
+        ffn_hidden: 64,
+        max_len: 48,
+        dropout: 0.1,
+    };
+
+    let dir = std::env::temp_dir().join(format!("tele-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pre_path = dir.join("pretrain.jsonl");
+    let re_path = dir.join("retrain.jsonl");
+
+    let (telebert, plog) = pretrain(
+        &suite.tele_corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig {
+            steps: 8,
+            batch_size: 4,
+            telemetry: Some(pre_path.clone()),
+            ..Default::default()
+        },
+    );
+
+    // Stage 1: one JSONL line per step; every record carries all three
+    // objectives and the fused loss equals the weighted sum.
+    let lines: Vec<StepRecord> = std::fs::read_to_string(&pre_path)
+        .unwrap()
+        .lines()
+        .map(|l| StepRecord::from_json(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 8);
+    for (i, r) in lines.iter().enumerate() {
+        assert_eq!(r.step, i, "step indices must be sequential");
+        assert!(r.lr > 0.0);
+        let names: Vec<&str> = r.objectives.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, ["mlm", "rtd", "simcse"]);
+        assert!(r.objectives.iter().all(|o| o.loss.is_finite()));
+        let weighted: f32 = r.objectives.iter().map(|o| o.weight * o.loss).sum();
+        let fused = r.fused.expect("stage-1 steps never abstain");
+        assert!(
+            (fused - weighted).abs() <= 1e-3 * fused.abs().max(1.0),
+            "fused {fused} != weighted sum {weighted} at step {i}"
+        );
+        assert!(r.uncertainty.is_none(), "no ANEnc in stage 1");
+    }
+    // In-memory trace and JSONL sink see the same records.
+    assert_eq!(plog.records.len(), lines.len());
+    assert_eq!(plog.records[3].fused, lines[3].fused);
+
+    // Stage 2 (IMTL): records carry the active objective subset and μ₁–μ₃.
+    let templates = logs::log_templates(&suite.world, &suite.episodes);
+    let data = RetrainData {
+        causal_sentences: &suite.causal_sentences,
+        log_templates: &templates,
+        kg: &suite.built_kg.kg,
+    };
+    let (ktelebert, _) = retrain(
+        telebert,
+        &data,
+        Strategy::Imtl,
+        &RetrainConfig {
+            steps: 12,
+            batch_size: 4,
+            ke_batch: 2,
+            telemetry: Some(re_path.clone()),
+            ..Default::default()
+        },
+    );
+    assert!(ktelebert.model.anenc.is_some());
+    let lines: Vec<StepRecord> = std::fs::read_to_string(&re_path)
+        .unwrap()
+        .lines()
+        .map(|l| StepRecord::from_json(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 12);
+    let mut saw_mask = false;
+    let mut saw_ke = false;
+    for r in &lines {
+        let mu = r.uncertainty.as_ref().expect("ANEnc attached -> μ recorded");
+        assert_eq!(mu.len(), 3, "μ₁–μ₃");
+        assert!(mu.iter().all(|v| v.is_finite()));
+        for o in &r.objectives {
+            assert!(["mask", "num", "ke"].contains(&o.name.as_str()));
+            assert!(o.loss.is_finite());
+            saw_mask |= o.name == "mask";
+            saw_ke |= o.name == "ke";
+        }
+        if let Some(fused) = r.fused {
+            let weighted: f32 = r.objectives.iter().map(|o| o.weight * o.loss).sum();
+            assert!((fused - weighted).abs() <= 1e-3 * fused.abs().max(1.0));
+        }
+    }
+    assert!(saw_mask, "IMTL schedules mask-reconstruction steps");
+    assert!(saw_ke, "IMTL schedules KE steps");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn random_embeddings_flow_through_all_tasks() {
     let suite = Suite::generate(Scale::Smoke, 102);
-    let names: Vec<String> = (0..suite.world.num_events())
-        .map(|e| suite.world.event_name(e).to_string())
-        .collect();
+    let names: Vec<String> =
+        (0..suite.world.num_events()).map(|e| suite.world.event_name(e).to_string()).collect();
     let emb = random_embeddings(&names, 32, 0);
     let rca = run_rca(&suite.rca, &emb, &RcaTaskConfig { epochs: 2, ..Default::default() });
     assert!(rca.folds.len() == 5);

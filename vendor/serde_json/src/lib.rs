@@ -279,9 +279,7 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    let esc = self.peek().ok_or_else(|| Error("unterminated escape".into()))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -320,14 +318,10 @@ impl Parser<'_> {
 
     fn parse_hex4(&mut self) -> Result<u32> {
         let end = self.pos + 4;
-        let slice = self
-            .bytes
-            .get(self.pos..end)
-            .ok_or_else(|| Error("truncated \\u escape".into()))?;
-        let text =
-            core::str::from_utf8(slice).map_err(|_| Error("invalid \\u escape".into()))?;
-        let code =
-            u32::from_str_radix(text, 16).map_err(|_| Error("invalid \\u escape".into()))?;
+        let slice =
+            self.bytes.get(self.pos..end).ok_or_else(|| Error("truncated \\u escape".into()))?;
+        let text = core::str::from_utf8(slice).map_err(|_| Error("invalid \\u escape".into()))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| Error("invalid \\u escape".into()))?;
         self.pos = end;
         Ok(code)
     }
@@ -365,9 +359,7 @@ impl Parser<'_> {
                 return Ok(Value::U64(n));
             }
         }
-        text.parse::<f64>()
-            .map(Value::F64)
-            .map_err(|_| Error(format!("invalid number `{text}`")))
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error(format!("invalid number `{text}`")))
     }
 }
 
@@ -394,7 +386,7 @@ mod tests {
             1.0 / 3.0,
             f32::MIN_POSITIVE,
             f32::MAX,
-            -1.23456789e-30,
+            -1.234_568e-30,
             core::f32::consts::PI,
         ];
         for x in cases {
