@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Serialize;
 
 use ktelebert::masking::apply_masking;
 use ktelebert::objective::{MaskedLm, StepData};
@@ -96,9 +97,25 @@ fn bench_anenc(c: &mut Criterion) {
     });
 }
 
+/// Overhead report for `results/bench_trace_overhead.json`: the same 8-step
+/// engine run timed with instrumentation disabled (the default: every span
+/// macro is a thread-local flag check) and enabled (spans, metrics and
+/// memory gauges recording).
+#[derive(Serialize)]
+struct TraceOverhead {
+    bench: String,
+    reps: u64,
+    disabled_min_ns: u64,
+    enabled_min_ns: u64,
+    enabled_overhead_pct: f64,
+    disabled_span_check_ns: f64,
+}
+
 /// Engine dispatch overhead: 8 identical masked-LM steps run through a
 /// hand-written inline loop vs. `TrainEngine` (schedule lookup, objective
 /// dispatch, telemetry records). The two must stay within a few percent.
+/// A third variant runs the engine with the trace layer enabled; the
+/// disabled-vs-enabled gap is recorded in `results/bench_trace_overhead.json`.
 fn bench_train_engine(c: &mut Criterion) {
     use tele_tensor::optim::AdamW;
     use tele_tokenizer::Encoding;
@@ -180,6 +197,78 @@ fn bench_train_engine(c: &mut Criterion) {
             )
         })
     });
+
+    // Same run with the trace layer recording. Events are drained every
+    // iteration (draining is part of the instrumented cost) so the buffer
+    // cannot grow across the measurement.
+    c.bench_function("train/engine_8_steps_traced", |bench| {
+        tele_trace::enable();
+        tele_trace::reset();
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut engine = TrainEngine::new(
+                EngineConfig { warmup_frac: None, ..Default::default() },
+                ActivationSchedule::always(ActivationSchedule::group(&[0]), 8),
+            );
+            engine.add_objective(Box::new(MaskedLm));
+            let steps = engine.run(&mut bundle.store, &bundle.model, &data, &mut rng).steps;
+            std::hint::black_box((steps, tele_trace::take_events().len()))
+        });
+        tele_trace::disable();
+        tele_trace::reset();
+    });
+
+    // The vendored criterion shim prints human-readable timings only, so the
+    // disabled-vs-enabled overhead is measured directly here and dumped as
+    // JSON for EXPERIMENTS.md / CI to pick up.
+    let time_engine = |store: &mut ParamStore| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut engine = TrainEngine::new(
+            EngineConfig { warmup_frac: None, ..Default::default() },
+            ActivationSchedule::always(ActivationSchedule::group(&[0]), 8),
+        );
+        engine.add_objective(Box::new(MaskedLm));
+        let start = std::time::Instant::now();
+        std::hint::black_box(engine.run(store, &bundle.model, &data, &mut rng).steps);
+        start.elapsed().as_nanos() as u64
+    };
+    // Interleave the two modes so drift (thermal, cache, scheduler) hits
+    // both equally, and keep the per-mode minimum: the cleanest observation
+    // of each path.
+    let reps = 11u64;
+    let (mut disabled, mut enabled) = (u64::MAX, u64::MAX);
+    tele_trace::disable();
+    time_engine(&mut bundle.store);
+    for _ in 0..reps {
+        tele_trace::disable();
+        disabled = disabled.min(time_engine(&mut bundle.store));
+        tele_trace::enable();
+        let ns = time_engine(&mut bundle.store);
+        tele_trace::clear();
+        enabled = enabled.min(ns);
+    }
+    tele_trace::disable();
+    tele_trace::reset();
+
+    // Cost of one disabled `span!` check (a thread-local flag load).
+    let span_reps = 1_000_000u64;
+    let start = std::time::Instant::now();
+    for _ in 0..span_reps {
+        let _g = tele_trace::span!("bench.noop");
+    }
+    let disabled_span_check_ns = start.elapsed().as_nanos() as f64 / span_reps as f64;
+
+    tele_bench::report::dump_json(
+        "bench_trace_overhead.json",
+        &TraceOverhead {
+            bench: "train/engine_8_steps".to_string(),
+            reps,
+            disabled_min_ns: disabled,
+            enabled_min_ns: enabled,
+            enabled_overhead_pct: 100.0 * (enabled as f64 - disabled as f64) / disabled as f64,
+            disabled_span_check_ns,
+        },
+    );
 }
 
 criterion_group! {

@@ -106,6 +106,26 @@ pub fn training_table(telemetry: &[crate::zoo::VariantTrace]) -> Table {
     table
 }
 
+/// Renders a per-op span profile (calls, total/self time, share of root
+/// wall-clock) as a table. Pairs with the Chrome trace the zoo writes when
+/// `TELE_PROFILE` is set.
+pub fn profile_table(report: &tele_trace::export::ProfileReport) -> Table {
+    let mut table = Table::new(
+        "Span profile (self-time share of root wall-clock)",
+        &["span", "calls", "total ms", "self ms", "self%"],
+    );
+    for r in &report.rows {
+        table.row(vec![
+            r.name.clone(),
+            r.calls.to_string(),
+            format!("{:.3}", r.total_ns as f64 / 1e6),
+            format!("{:.3}", r.self_ns as f64 / 1e6),
+            format!("{:.1}%", 100.0 * report.share(r)),
+        ]);
+    }
+    table
+}
+
 /// The repository's `results/` directory.
 pub fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")

@@ -105,7 +105,17 @@ pub fn encoder_config(vocab: usize) -> TransformerConfig {
 
 impl Zoo {
     /// Trains the full zoo (no cache).
+    ///
+    /// Setting `TELE_PROFILE=1` enables span instrumentation for the run:
+    /// the zoo prints a per-op profile table and writes the Chrome trace to
+    /// `results/zoo_profile.trace.json` (off by default — full-scale traces
+    /// are large).
     pub fn train(scale: Scale, seed: u64) -> Zoo {
+        let profiling = std::env::var("TELE_PROFILE").is_ok_and(|v| v != "0");
+        if profiling {
+            tele_trace::enable();
+            tele_trace::reset();
+        }
         let budget = ZooBudget::for_scale(scale);
         let suite = Suite::generate(scale, seed);
         eprintln!("[zoo] suite: {:?}", suite.world);
@@ -192,6 +202,18 @@ impl Zoo {
 
         report::training_table(&telemetry).print();
         report::dump_json("training_telemetry.json", &telemetry);
+
+        if profiling {
+            let events = tele_trace::take_events();
+            tele_trace::disable();
+            let profile = tele_trace::export::ProfileReport::from_events(&events);
+            report::profile_table(&profile).print();
+            let path = report::results_dir().join("zoo_profile.trace.json");
+            match tele_trace::export::write_chrome_trace(&path, &events) {
+                Ok(()) => eprintln!("[zoo] wrote {} ({} events)", path.display(), events.len()),
+                Err(e) => eprintln!("[zoo] trace write failed: {e}"),
+            }
+        }
 
         Zoo { suite, tokenizer, macbert, telebert, kstl, kstl_wo_anenc, kpmtl, kimtl, telemetry }
     }

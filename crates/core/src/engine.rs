@@ -21,7 +21,7 @@ use tele_tensor::{
 use crate::model::TeleModel;
 use crate::objective::{Objective, StepData, StepEnv};
 use crate::strategy::{StepTask, Strategy};
-use crate::telemetry::{ObjectiveRecord, StepRecord, TrainCallback, TrainTrace};
+use crate::telemetry::{ObjectiveRecord, StepPhases, StepRecord, TrainCallback, TrainTrace};
 
 /// Which objectives are active at each step, as one bitmask per step
 /// (bit `i` = objective `i` in engine registration order).
@@ -214,7 +214,9 @@ impl<'a> TrainEngine<'a> {
         });
 
         let mut trace = TrainTrace::default();
+        let run_started = Instant::now();
         for step in self.completed..total {
+            let step_span = tele_trace::span!("engine.step");
             store.zero_grads();
             let lr = match warmup {
                 Some(schedule) => schedule.lr_at(step as u64),
@@ -228,21 +230,27 @@ impl<'a> TrainEngine<'a> {
             let mut env = StepEnv::new(&tape, store, model, data, rng);
             let mut contributions: Vec<(Var<'_>, f32)> = Vec::new();
             let mut records: Vec<ObjectiveRecord> = Vec::new();
-            for (i, objective) in self.objectives.iter_mut().enumerate() {
-                if active & (1 << i) == 0 {
-                    continue;
+            {
+                let _forward_span = tele_trace::span!("engine.forward");
+                for (i, objective) in self.objectives.iter_mut().enumerate() {
+                    if active & (1 << i) == 0 {
+                        continue;
+                    }
+                    let weight = objective.weight();
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let name = objective.name();
+                    let _obj_span = tele_trace::span!(format!("objective.{name}"));
+                    let Some(loss) = objective.loss(&mut env) else { continue };
+                    tele_trace::metrics::counter_add(format!("objective.{name}.active"), 1);
+                    records.push(ObjectiveRecord {
+                        name: name.to_string(),
+                        loss: loss.value().item(),
+                        weight,
+                    });
+                    contributions.push((loss, weight));
                 }
-                let weight = objective.weight();
-                if weight == 0.0 {
-                    continue;
-                }
-                let Some(loss) = objective.loss(&mut env) else { continue };
-                records.push(ObjectiveRecord {
-                    name: objective.name().to_string(),
-                    loss: loss.value().item(),
-                    weight,
-                });
-                contributions.push((loss, weight));
             }
             drop(env);
 
@@ -254,27 +262,56 @@ impl<'a> TrainEngine<'a> {
                     None => term,
                 });
             }
+            let forward_micros = started.elapsed().as_micros() as u64;
 
+            let mut backward_micros = 0u64;
+            let mut optim_micros = 0u64;
             let fused_value = fused.map(|total| {
-                tape.backward(total).accumulate_into(&tape, store);
-                store.clip_grad_norm(self.cfg.clip_norm);
+                let backward_started = Instant::now();
+                {
+                    let _backward_span = tele_trace::span!("engine.backward");
+                    tape.backward(total).accumulate_into(&tape, store);
+                    store.clip_grad_norm(self.cfg.clip_norm);
+                }
+                backward_micros = backward_started.elapsed().as_micros() as u64;
+                let optim_started = Instant::now();
                 self.opt.step(store);
+                optim_micros = optim_started.elapsed().as_micros() as u64;
                 total.value().item()
             });
 
+            let micros = started.elapsed().as_micros() as u64;
+            tele_trace::metrics::counter_add("train.steps", 1);
+            tele_trace::metrics::histogram_record("engine.step_us", micros);
             let record = StepRecord {
                 step,
                 lr,
                 objectives: records,
                 fused: fused_value,
                 uncertainty: model.anenc.as_ref().map(|a| a.uncertainties(store).to_vec()),
-                micros: started.elapsed().as_micros() as u64,
+                micros,
+                phases: Some(StepPhases { forward_micros, backward_micros, optim_micros }),
             };
             for callback in &mut self.callbacks {
                 callback.on_step(&record);
             }
             trace.push(record);
             self.completed = step + 1;
+            drop(step_span);
+        }
+        if tele_trace::is_enabled() {
+            let elapsed = run_started.elapsed().as_secs_f64();
+            if elapsed > 0.0 {
+                let steps = trace.steps as f64;
+                tele_trace::metrics::gauge_set("train.steps_per_sec", steps / elapsed);
+                let tokens = tele_trace::metrics::counter("train.tokens") as f64;
+                tele_trace::metrics::gauge_set("train.tokens_per_sec", tokens / elapsed);
+            }
+            tele_trace::metrics::gauge_set(
+                "mem.peak_live_bytes",
+                tele_trace::mem::peak_live_bytes() as f64,
+            );
+            tele_trace::metrics::gauge_set("mem.live_bytes", tele_trace::mem::live_bytes() as f64);
         }
         for callback in &mut self.callbacks {
             callback.on_end(&trace);

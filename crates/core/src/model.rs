@@ -90,6 +90,7 @@ impl TeleModel {
         normalizer: Option<&TagNormalizer>,
         mut rng: Option<&mut StdRng>,
     ) -> EncodeOutput<'t> {
+        let _span = tele_trace::span!("model.encode");
         let ids = ids_override.unwrap_or(&batch.ids);
         assert_eq!(ids.len(), batch.batch * batch.seq, "id override length mismatch");
         let d = self.dim();

@@ -97,6 +97,7 @@ impl<'t, 'a> StepEnv<'t, 'a> {
     /// Samples and masks this step's batch (cached).
     pub fn ensure_batch(&mut self) -> &MaskedSample {
         if self.batch.is_none() {
+            let _span = tele_trace::span!("engine.batch");
             let pool = self.data.pool;
             let batch_size = self.data.batch_size;
             let vocab = self.data.tokenizer.vocab_size();
@@ -106,6 +107,7 @@ impl<'t, 'a> StepEnv<'t, 'a> {
                 (0..batch_size).map(|_| &pool[rng.gen_range(0..pool.len())]).collect();
             let batch = Batch::collate(&refs);
             let masked = apply_masking(&batch, vocab, &mask, rng);
+            tele_trace::metrics::counter_add("train.tokens", batch.ids.len() as u64);
             self.batch = Some(MaskedSample { batch, masked });
         }
         self.batch.as_ref().unwrap()
@@ -116,6 +118,7 @@ impl<'t, 'a> StepEnv<'t, 'a> {
     pub fn ensure_generator(&mut self, electra: &Electra) -> &GeneratorPass<'t> {
         self.ensure_batch();
         if self.generator.is_none() {
+            let _span = tele_trace::span!("electra.generator");
             let sample = self.batch.as_ref().unwrap();
             let pass = electra.generator_pass(
                 self.tape,

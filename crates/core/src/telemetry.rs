@@ -25,6 +25,22 @@ pub struct ObjectiveRecord {
     pub weight: f32,
 }
 
+/// Wall-clock breakdown of one step's engine phases, in microseconds.
+///
+/// `forward` covers batch assembly and every active objective's loss
+/// computation; `backward` the tape sweep, gradient accumulation, and norm
+/// clipping; `optim` the optimizer update. Skipped steps (no fused loss)
+/// report zero backward/optim time.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepPhases {
+    /// Batch assembly + objective forward passes, µs.
+    pub forward_micros: u64,
+    /// Backward sweep + gradient clipping, µs.
+    pub backward_micros: u64,
+    /// Optimizer update, µs.
+    pub optim_micros: u64,
+}
+
 /// Telemetry for a single optimizer step.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StepRecord {
@@ -41,6 +57,9 @@ pub struct StepRecord {
     pub uncertainty: Option<Vec<f32>>,
     /// Wall-clock duration of the step in microseconds.
     pub micros: u64,
+    /// Per-phase timing breakdown; `None` in records written before the
+    /// breakdown existed.
+    pub phases: Option<StepPhases>,
 }
 
 impl StepRecord {
@@ -88,6 +107,9 @@ pub struct TraceSummary {
     pub mean_step_micros: u64,
     /// Total wall-clock time across steps, in microseconds.
     pub total_micros: u64,
+    /// Mean per-phase timings over the steps that carried a breakdown;
+    /// `None` when no record did.
+    pub mean_phases: Option<StepPhases>,
 }
 
 /// Full record of a training run: the old `TrainLog` aggregates plus the
@@ -102,18 +124,20 @@ pub struct TrainTrace {
     pub steps: usize,
     /// Per-step telemetry, one record per scheduled step.
     pub records: Vec<StepRecord>,
+    /// Running sum of fused losses, so `push` stays O(1) per step.
+    fused_sum: f32,
 }
 
 impl TrainTrace {
-    /// Appends a step record and refreshes the running aggregates.
+    /// Appends a step record and refreshes the running aggregates in O(1).
     pub fn push(&mut self, record: StepRecord) {
         if let Some(fused) = record.fused {
             self.final_loss = fused;
+            self.fused_sum += fused;
         }
         self.records.push(record);
         self.steps = self.records.len();
-        let sum: f32 = self.records.iter().filter_map(|r| r.fused).sum();
-        self.mean_loss = sum / self.steps.max(1) as f32;
+        self.mean_loss = self.fused_sum / self.steps.max(1) as f32;
     }
 
     /// Computes per-objective and timing aggregates.
@@ -138,6 +162,16 @@ impl TrainTrace {
             })
             .collect();
         let total_micros: u64 = self.records.iter().map(|r| r.micros).sum();
+        let phased: Vec<&StepPhases> =
+            self.records.iter().filter_map(|r| r.phases.as_ref()).collect();
+        let mean_phases = (!phased.is_empty()).then(|| {
+            let n = phased.len() as u64;
+            StepPhases {
+                forward_micros: phased.iter().map(|p| p.forward_micros).sum::<u64>() / n,
+                backward_micros: phased.iter().map(|p| p.backward_micros).sum::<u64>() / n,
+                optim_micros: phased.iter().map(|p| p.optim_micros).sum::<u64>() / n,
+            }
+        });
         TraceSummary {
             steps: self.steps,
             mean_loss: self.mean_loss,
@@ -145,6 +179,7 @@ impl TrainTrace {
             objectives,
             mean_step_micros: total_micros / self.records.len().max(1) as u64,
             total_micros,
+            mean_phases,
         }
     }
 }
@@ -159,27 +194,61 @@ pub trait TrainCallback {
 }
 
 /// Callback writing one JSON object per step to a file (JSONL).
+///
+/// Write failures are reported once (the first error) and silence the sink
+/// for the rest of the run instead of spamming stderr every step. The
+/// buffer is flushed on `Drop`, so records survive even when a run aborts
+/// before `on_end` fires.
 pub struct JsonlSink {
     out: BufWriter<File>,
+    failed: bool,
 }
 
 impl JsonlSink {
     /// Creates (truncating) the sink file.
     pub fn create(path: &Path) -> std::io::Result<Self> {
-        Ok(JsonlSink { out: BufWriter::new(File::create(path)?) })
+        Ok(JsonlSink { out: BufWriter::new(File::create(path)?), failed: false })
+    }
+
+    /// Whether a write error has disabled the sink.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    fn report(&mut self, what: &str, err: &std::io::Error) {
+        if !self.failed {
+            eprintln!("telemetry: {what}: {err} (suppressing further telemetry errors)");
+            self.failed = true;
+        }
     }
 }
 
 impl TrainCallback for JsonlSink {
     fn on_step(&mut self, record: &StepRecord) {
-        if writeln!(self.out, "{}", record.to_json()).is_err() {
-            eprintln!("telemetry: failed to write step record");
+        if self.failed {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{}", record.to_json()) {
+            self.report("failed to write step record", &e);
         }
     }
 
     fn on_end(&mut self, _trace: &TrainTrace) {
-        if self.out.flush().is_err() {
-            eprintln!("telemetry: failed to flush JSONL sink");
+        if self.failed {
+            return;
+        }
+        if let Err(e) = self.out.flush() {
+            self.report("failed to flush JSONL sink", &e);
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if !self.failed {
+            if let Err(e) = self.out.flush() {
+                self.report("failed to flush JSONL sink", &e);
+            }
         }
     }
 }
@@ -199,6 +268,7 @@ mod tests {
             fused,
             uncertainty: Some(vec![1.0, 1.0, 1.0]),
             micros: 100,
+            phases: Some(StepPhases { forward_micros: 60, backward_micros: 30, optim_micros: 10 }),
         }
     }
 
@@ -226,6 +296,64 @@ mod tests {
         let rtd = summary.objectives.iter().find(|o| o.name == "rtd").unwrap();
         assert_eq!(rtd.steps, 1);
         assert_eq!(summary.total_micros, 200);
+    }
+
+    #[test]
+    fn summary_reports_mean_phases() {
+        let mut trace = TrainTrace::default();
+        trace.push(record(0, Some(2.0), &[("mlm", 2.0)]));
+        trace.push(record(1, Some(1.0), &[("mlm", 1.0)]));
+        let summary = trace.summary();
+        let phases = summary.mean_phases.expect("phases present");
+        assert_eq!(
+            phases,
+            StepPhases { forward_micros: 60, backward_micros: 30, optim_micros: 10 }
+        );
+    }
+
+    #[test]
+    fn step_record_without_phases_still_parses() {
+        // Records written before the phase breakdown existed lack the field.
+        let line =
+            r#"{"step":0,"lr":0.001,"objectives":[],"fused":null,"uncertainty":null,"micros":5}"#;
+        let back = StepRecord::from_json(line).unwrap();
+        assert!(back.phases.is_none());
+        let mut trace = TrainTrace::default();
+        trace.push(back);
+        assert!(trace.summary().mean_phases.is_none());
+    }
+
+    #[test]
+    fn push_mean_matches_full_recompute() {
+        let mut trace = TrainTrace::default();
+        let mut expect_sum = 0.0f32;
+        for step in 0..50 {
+            let fused = if step % 7 == 3 { None } else { Some(step as f32 * 0.5) };
+            if let Some(f) = fused {
+                expect_sum += f;
+            }
+            trace.push(record(step, fused, &[]));
+            let full: f32 = trace.records.iter().filter_map(|r| r.fused).sum();
+            assert!((full - expect_sum).abs() < 1e-4);
+            assert!((trace.mean_loss - expect_sum / trace.steps as f32).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("tele-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.on_step(&record(0, Some(1.0), &[("mlm", 1.0)]));
+            // No on_end: the Drop impl must flush the buffered line.
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 1);
+        let back = StepRecord::from_json(contents.lines().next().unwrap()).unwrap();
+        assert_eq!(back.fused, Some(1.0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -139,6 +139,7 @@ pub fn run_eap(
     neighbors: &[Vec<usize>],
     cfg: &EapTaskConfig,
 ) -> EapResult {
+    let _span = tele_trace::span!("task.eap");
     let emb_t = emb.tensor();
     // Unique type pairs, in first-appearance order, tracked separately per
     // label so folds can be stratified (positive types are much fewer than

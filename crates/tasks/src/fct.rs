@@ -195,6 +195,7 @@ pub struct FctResultMetrics {
 /// Runs the FCT evaluation: train GTransE from the given initialization,
 /// early-stop on validation MRR, report filtered test metrics.
 pub fn run_fct(ds: &FctDataset, init: &EmbeddingTable, cfg: &FctTaskConfig) -> FctResultMetrics {
+    let _span = tele_trace::span!("task.fct");
     assert_eq!(init.len(), ds.num_nodes(), "one embedding per node required");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = ParamStore::new();

@@ -154,6 +154,7 @@ pub struct RcaResult {
 /// Runs the full RCA evaluation: k-fold CV, training a fresh GCN per fold
 /// on the frozen event embeddings, early-stopped on validation Hits@1.
 pub fn run_rca(dataset: &RcaDataset, emb: &EmbeddingTable, cfg: &RcaTaskConfig) -> RcaResult {
+    let _span = tele_trace::span!("task.rca");
     assert_eq!(emb.len(), dataset.num_features, "one embedding per event type required");
     // Precompute constants per graph.
     let adjs: Vec<Tensor> = dataset.graphs.iter().map(normalized_adjacency).collect();

@@ -55,6 +55,7 @@ impl MultiHeadAttention {
         mask: Option<&Tensor>,
         mut rng: Option<&mut StdRng>,
     ) -> Var<'t> {
+        let _span = tele_trace::span!("attention.forward");
         let shape = x.shape();
         assert_eq!(shape.rank(), 3, "attention expects [batch, seq, dim]");
         let (b, s, d) = (shape.dim(0), shape.dim(1), shape.dim(2));

@@ -101,6 +101,7 @@ impl EncoderLayer {
         mask: Option<&Tensor>,
         mut rng: Option<&mut StdRng>,
     ) -> Var<'t> {
+        let _span = tele_trace::span!("transformer.layer");
         let a = self.attn.forward(tape, store, x, mask, rng.as_deref_mut());
         let x = self.norm1.forward(tape, store, x.add(a));
         let f = self.ffn.forward(tape, store, x, rng);
@@ -163,6 +164,7 @@ impl TransformerEncoder {
         seq: usize,
         rng: Option<&mut StdRng>,
     ) -> Var<'t> {
+        let _span = tele_trace::span!("transformer.embed");
         assert_eq!(ids.len(), batch * seq, "id count must be batch * seq");
         assert!(seq <= self.cfg.max_len, "sequence length {seq} exceeds max_len");
         let tok = self.tok.forward(tape, store, ids);
@@ -185,6 +187,7 @@ impl TransformerEncoder {
         mask: Option<&Tensor>,
         mut rng: Option<&mut StdRng>,
     ) -> Var<'t> {
+        let _span = tele_trace::span!("transformer.forward");
         for layer in &self.layers {
             x = layer.forward(tape, store, x, mask, rng.as_deref_mut());
         }

@@ -476,6 +476,7 @@ impl<'t> Var<'t> {
     /// Fused layer normalization over the last axis:
     /// `y = (x - mean) / sqrt(var + eps) * gamma + beta`.
     pub fn layer_norm(self, gamma: Var<'t>, beta: Var<'t>, eps: f32) -> Var<'t> {
+        let _span = tele_trace::span!("tensor.layer_norm");
         let x = self.value();
         let gm = gamma.value();
         let bt = beta.value();
@@ -549,6 +550,7 @@ impl<'t> Var<'t> {
     /// (the MLM convention for unmasked positions). Returns a scalar; if no
     /// row has a target the loss is 0 with zero gradient.
     pub fn cross_entropy_logits(self, targets: &[Option<usize>]) -> Var<'t> {
+        let _span = tele_trace::span!("tensor.cross_entropy");
         let x = self.value();
         assert_eq!(x.rank(), 2, "cross_entropy expects [n, C] logits");
         let (n, c) = (x.shape().dim(0), x.shape().dim(1));
@@ -590,6 +592,7 @@ impl<'t> Var<'t> {
     /// Fused mean binary cross-entropy with logits. `targets` are 0/1 floats
     /// with the same element count as `self`.
     pub fn bce_with_logits(self, targets: &Tensor) -> Var<'t> {
+        let _span = tele_trace::span!("tensor.bce");
         let x = self.value();
         assert_eq!(x.numel(), targets.numel(), "bce target size mismatch");
         let n = x.numel() as f32;

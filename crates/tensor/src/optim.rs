@@ -136,6 +136,7 @@ impl AdamW {
 
     /// Applies one AdamW step from the store's accumulated gradients.
     pub fn step(&mut self, store: &mut ParamStore) {
+        let _span = tele_trace::span!("optim.step");
         self.step += 1;
         let t = self.step as f32;
         let bc1 = 1.0 - self.beta1.powf(t);

@@ -144,6 +144,7 @@ impl Tape {
     /// The root gradient is seeded with ones, so a non-scalar root computes
     /// the gradient of `root.sum_all()`.
     pub fn backward(&self, root: Var<'_>) -> Grads {
+        let _span = tele_trace::span!("tape.backward");
         let inner = self.inner.borrow();
         let n = inner.nodes.len();
         let mut grads: Vec<Option<Tensor>> = vec![None; n];

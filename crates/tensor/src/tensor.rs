@@ -14,6 +14,13 @@ use crate::shape::{BroadcastIter, Shape};
 /// Minimum number of output elements before matmul parallelizes with rayon.
 const PAR_MATMUL_THRESHOLD: usize = 64 * 64;
 
+/// Wraps freshly allocated backing storage, reporting it to the
+/// instrumentation layer (no-op unless tracing is enabled on this thread).
+fn alloc_storage(data: Vec<f32>) -> Arc<Vec<f32>> {
+    tele_trace::mem::record_alloc(data.capacity() * std::mem::size_of::<f32>());
+    Arc::new(data)
+}
+
 /// A dense, contiguous, row-major tensor of `f32` values.
 #[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct Tensor {
@@ -35,7 +42,7 @@ impl Tensor {
             "data length {} does not match shape {shape}",
             data.len()
         );
-        Tensor { data: Arc::new(data), shape }
+        Tensor { data: alloc_storage(data), shape }
     }
 
     /// A scalar tensor.
@@ -46,7 +53,7 @@ impl Tensor {
     /// All zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: Arc::new(vec![0.0; shape.numel()]), shape }
+        Tensor { data: alloc_storage(vec![0.0; shape.numel()]), shape }
     }
 
     /// All ones.
@@ -57,14 +64,14 @@ impl Tensor {
     /// Every element equal to `v`.
     pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
         let shape = shape.into();
-        Tensor { data: Arc::new(vec![v; shape.numel()]), shape }
+        Tensor { data: alloc_storage(vec![v; shape.numel()]), shape }
     }
 
     /// I.i.d. uniform samples from `[lo, hi)`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
         let shape = shape.into();
         let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
-        Tensor { data: Arc::new(data), shape }
+        Tensor { data: alloc_storage(data), shape }
     }
 
     /// I.i.d. normal samples with the given mean and standard deviation.
@@ -73,7 +80,7 @@ impl Tensor {
         let shape = shape.into();
         let dist = Normal::new(mean, std).expect("std must be finite and positive");
         let data = (0..shape.numel()).map(|_| dist.sample(rng)).collect();
-        Tensor { data: Arc::new(data), shape }
+        Tensor { data: alloc_storage(data), shape }
     }
 
     /// The identity matrix of size `n`.
@@ -111,6 +118,10 @@ impl Tensor {
 
     /// Mutable access to the underlying data; copies if the storage is shared.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        if Arc::strong_count(&self.data) > 1 {
+            // `make_mut` is about to copy the storage for this owner.
+            tele_trace::mem::record_alloc(self.data.capacity() * std::mem::size_of::<f32>());
+        }
         let v: &mut Vec<f32> = Arc::make_mut(&mut self.data);
         v
     }
@@ -287,14 +298,14 @@ impl Tensor {
     /// Applies `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.data.iter().map(|&v| f(v)).collect();
-        Tensor { data: Arc::new(data), shape: self.shape.clone() }
+        Tensor { data: alloc_storage(data), shape: self.shape.clone() }
     }
 
     /// Combines two tensors elementwise with broadcasting.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == other.shape {
             let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-            return Tensor { data: Arc::new(data), shape: self.shape.clone() };
+            return Tensor { data: alloc_storage(data), shape: self.shape.clone() };
         }
         let out_shape = self.shape.broadcast(&other.shape).unwrap_or_else(|| {
             panic!("shapes {} and {} do not broadcast", self.shape, other.shape)
@@ -432,6 +443,7 @@ impl Tensor {
 
     /// Numerically stable softmax over the last axis.
     pub fn softmax_last(&self) -> Tensor {
+        let _span = tele_trace::span!("tensor.softmax");
         assert!(self.rank() >= 1, "softmax requires rank >= 1");
         let n = self.shape.dim(self.rank() - 1);
         let rows = self.numel() / n;
@@ -446,6 +458,7 @@ impl Tensor {
 
     /// Log-softmax over the last axis.
     pub fn log_softmax_last(&self) -> Tensor {
+        let _span = tele_trace::span!("tensor.log_softmax");
         let n = self.shape.dim(self.rank() - 1);
         let rows = self.numel() / n;
         let mut out = vec![0.0; self.numel()];
@@ -469,6 +482,7 @@ impl Tensor {
     /// `[..., m, k] x [..., k, n] -> [..., m, n]`; rank-2 inputs are the plain
     /// matrix product. Rank-1 inputs are not supported — reshape first.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let _span = tele_trace::span!("tensor.matmul");
         let (a_batch, m, k) = self.shape.split_matrix();
         let (b_batch, k2, n) = other.shape.split_matrix();
         assert_eq!(k, k2, "matmul inner dims mismatch: {} vs {}", self.shape, other.shape);
@@ -574,6 +588,16 @@ pub(crate) fn softmax_row(src: &[f32], dst: &mut [f32]) {
     let inv = 1.0 / sum;
     for d in dst.iter_mut() {
         *d *= inv;
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Only the last owner of the storage reports the free; clones and
+        // reshapes share the same allocation.
+        if Arc::strong_count(&self.data) == 1 {
+            tele_trace::mem::record_free(self.data.capacity() * std::mem::size_of::<f32>());
+        }
     }
 }
 

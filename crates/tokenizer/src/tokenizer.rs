@@ -136,6 +136,7 @@ impl TeleTokenizer {
     /// Encodes a plain sentence: `[CLS] tokens… [SEP]`, truncated to
     /// `max_len`, with whole-word (phrase-merged) spans for WWM.
     pub fn encode(&self, text: &str, max_len: usize) -> Encoding {
+        let _span = tele_trace::span!("tokenizer.encode");
         let words = pre_tokenize(text);
         let mut ids = vec![special::CLS];
         let mut spans = Vec::new();
@@ -163,6 +164,7 @@ impl TeleTokenizer {
     /// prompt token, its content, and `|` separators inside name/value
     /// fields; numeric values become `[NUM]` slots.
     pub fn encode_template(&self, fields: &[TemplateField], max_len: usize) -> Encoding {
+        let _span = tele_trace::span!("tokenizer.encode_template");
         let bar = self.vocab.prompt(PromptToken::Bar);
         let num = self.vocab.prompt(PromptToken::Num);
         let mut ids = vec![special::CLS];

@@ -1,0 +1,160 @@
+//! Exporters: Chrome/Perfetto trace-event JSON and a per-op profile table.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::span::SpanEvent;
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders span events as Chrome trace-event JSON (`chrome://tracing` /
+/// Perfetto "JSON trace" format).
+///
+/// Each span becomes one complete (`"ph":"X"`) event. Timestamps and
+/// durations are microseconds with nanosecond precision preserved as the
+/// fractional part, so sub-microsecond spans still nest correctly in the
+/// viewer.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"tele\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":{}}}",
+            json_escape(&e.name),
+            e.ts_ns as f64 / 1_000.0,
+            e.dur_ns as f64 / 1_000.0,
+            e.tid
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Writes [`chrome_trace_json`] output to `path`.
+pub fn write_chrome_trace(path: &Path, events: &[SpanEvent]) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(events))
+}
+
+/// Aggregated timing for one span name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileRow {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub calls: u64,
+    /// Total (inclusive) time across all calls, nanoseconds.
+    pub total_ns: u64,
+    /// Self (exclusive) time: total minus time spent in child spans.
+    pub self_ns: u64,
+}
+
+/// Per-op profile aggregated from a completion-ordered event stream.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileReport {
+    /// One row per span name, sorted by self time descending.
+    pub rows: Vec<ProfileRow>,
+    /// Wall-clock attributed to root spans (sum of depth-0 durations across
+    /// threads). Self times of all rows sum to exactly this value.
+    pub wall_ns: u64,
+}
+
+impl ProfileReport {
+    /// Builds a profile from span events.
+    ///
+    /// Relies on the per-thread completion order guaranteed by the recorder:
+    /// when a span at depth `d` completes, all of its children (depth `d+1`)
+    /// have already completed, so self time is its duration minus the child
+    /// durations accumulated at `d+1` since the previous depth-`d`
+    /// completion. Recursive spans that reuse their own name would be
+    /// double-counted in `total_ns`; the instrumented call sites do not
+    /// self-nest.
+    pub fn from_events(events: &[SpanEvent]) -> ProfileReport {
+        use std::collections::BTreeMap;
+        let mut rows: BTreeMap<&str, ProfileRow> = BTreeMap::new();
+        let mut wall_ns = 0u64;
+        // Per-thread accumulator of completed child durations, indexed by
+        // depth. Events interleave across threads but stay ordered within
+        // one, so keep one accumulator per tid.
+        let mut child_dur: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for e in events {
+            let acc = child_dur.entry(e.tid).or_default();
+            let d = e.depth as usize;
+            if acc.len() < d + 2 {
+                acc.resize(d + 2, 0);
+            }
+            let children = std::mem::take(&mut acc[d + 1]);
+            acc[d] += e.dur_ns;
+            if d == 0 {
+                wall_ns += e.dur_ns;
+            }
+            let row = rows.entry(e.name.as_ref()).or_insert_with(|| ProfileRow {
+                name: e.name.to_string(),
+                calls: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            row.calls += 1;
+            row.total_ns += e.dur_ns;
+            row.self_ns += e.dur_ns.saturating_sub(children);
+        }
+        let mut rows: Vec<ProfileRow> = rows.into_values().collect();
+        rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+        ProfileReport { rows, wall_ns }
+    }
+
+    /// Fraction of wall-clock attributed to a named span's self time.
+    pub fn share(&self, row: &ProfileRow) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            row.self_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Renders the profile as an aligned text table, sorted by self time.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_w = self.rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>7}  {:>12}  {:>12}  {:>6}",
+            "span", "calls", "total ms", "self ms", "self%"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>7}  {:>12.3}  {:>12.3}  {:>5.1}%",
+                r.name,
+                r.calls,
+                r.total_ns as f64 / 1e6,
+                r.self_ns as f64 / 1e6,
+                100.0 * self.share(r)
+            );
+        }
+        let _ = writeln!(out, "wall-clock in root spans: {:.3} ms", self.wall_ns as f64 / 1e6);
+        out
+    }
+}

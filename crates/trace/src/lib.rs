@@ -1,0 +1,62 @@
+//! Zero-dependency instrumentation layer: spans, metrics, memory, exporters.
+//!
+//! The layer is **disabled by default** and **per-thread**: [`enable`] turns
+//! instrumentation on for the *current* thread only, so tests running in
+//! parallel inside one binary never observe each other's spans, counters, or
+//! memory gauges. Training and inference are single-threaded at the span
+//! granularity we instrument (rayon worker threads only run inside leaf
+//! kernels), so enabling on the driving thread captures the whole pipeline.
+//!
+//! Three pillars:
+//!
+//! * **Hierarchical spans** — `let _g = span!("transformer.forward");`
+//!   records a timed, depth-annotated event when the guard drops. Events are
+//!   buffered per thread in completion order and drained with
+//!   [`take_events`].
+//! * **Metrics registry** ([`metrics`]) — named counters, gauges, and
+//!   log-bucketed histograms with p50/p90/p99 quantiles, plus tensor memory
+//!   accounting ([`mem`]) hooked into `Tensor` alloc/free.
+//! * **Exporters** ([`export`]) — Chrome/Perfetto trace-event JSON and a
+//!   per-op profile table (calls, self/total time, share of wall-clock).
+//!
+//! When disabled, `span!` evaluates neither its name expression nor a
+//! timestamp; the only cost is one thread-local flag read, which keeps the
+//! instrumented hot paths within noise of the uninstrumented build.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod mem;
+pub mod metrics;
+mod span;
+
+pub use span::{
+    clear, disable, enable, is_enabled, now_ns, set_enabled, take_events, SpanEvent, SpanGuard,
+};
+
+/// Opens a hierarchical span that closes (and records its duration) when the
+/// returned guard is dropped.
+///
+/// The name expression is evaluated only when instrumentation is enabled on
+/// the current thread, so dynamic names (`span!(format!("objective.{n}"))`)
+/// cost nothing in the disabled fast path. Bind the guard — `let _g =
+/// span!(..)` — or it closes immediately (`let _ = ..` drops at once).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::is_enabled() {
+            $crate::SpanGuard::new($name)
+        } else {
+            $crate::SpanGuard::noop()
+        }
+    };
+}
+
+/// Resets every piece of thread-local instrumentation state: buffered span
+/// events, the metrics registry, and the memory gauges. The enabled flag is
+/// left untouched.
+pub fn reset() {
+    span::clear();
+    metrics::reset();
+    mem::reset();
+}

@@ -1,0 +1,87 @@
+//! Thread-local tensor memory accounting.
+//!
+//! `tele-tensor` calls [`record_alloc`] when it allocates backing storage and
+//! [`record_free`] when the last owner drops it. Both are no-ops while
+//! instrumentation is disabled; a free of storage allocated before enabling
+//! saturates at zero instead of underflowing.
+
+use std::cell::Cell;
+
+struct MemState {
+    live: Cell<u64>,
+    peak: Cell<u64>,
+    allocs: Cell<u64>,
+    frees: Cell<u64>,
+}
+
+thread_local! {
+    static MEM: MemState = const {
+        MemState {
+            live: Cell::new(0),
+            peak: Cell::new(0),
+            allocs: Cell::new(0),
+            frees: Cell::new(0),
+        }
+    };
+}
+
+/// Records an allocation of `bytes` backing bytes (no-op while disabled).
+pub fn record_alloc(bytes: usize) {
+    if !crate::is_enabled() {
+        return;
+    }
+    MEM.with(|m| {
+        let live = m.live.get() + bytes as u64;
+        m.live.set(live);
+        if live > m.peak.get() {
+            m.peak.set(live);
+        }
+        m.allocs.set(m.allocs.get() + 1);
+    });
+}
+
+/// Records a free of `bytes` backing bytes (no-op while disabled).
+pub fn record_free(bytes: usize) {
+    if !crate::is_enabled() {
+        return;
+    }
+    MEM.with(|m| {
+        m.live.set(m.live.get().saturating_sub(bytes as u64));
+        m.frees.set(m.frees.get() + 1);
+    });
+}
+
+/// Bytes currently live (allocated minus freed) on this thread.
+pub fn live_bytes() -> u64 {
+    MEM.with(|m| m.live.get())
+}
+
+/// High-water mark of [`live_bytes`] since the last [`reset`]/[`reset_peak`].
+pub fn peak_live_bytes() -> u64 {
+    MEM.with(|m| m.peak.get())
+}
+
+/// Number of recorded allocations on this thread.
+pub fn alloc_count() -> u64 {
+    MEM.with(|m| m.allocs.get())
+}
+
+/// Number of recorded frees on this thread.
+pub fn free_count() -> u64 {
+    MEM.with(|m| m.frees.get())
+}
+
+/// Resets the peak to the current live level (keeps live/counters).
+pub fn reset_peak() {
+    MEM.with(|m| m.peak.set(m.live.get()));
+}
+
+/// Zeroes all memory gauges and counters on this thread.
+pub fn reset() {
+    MEM.with(|m| {
+        m.live.set(0);
+        m.peak.set(0);
+        m.allocs.set(0);
+        m.frees.set(0);
+    });
+}

@@ -1,0 +1,253 @@
+//! Thread-local metrics registry: counters, gauges, log-bucketed histograms.
+//!
+//! All recording functions are gated on the thread's enabled flag (see
+//! [`crate::is_enabled`]) and are no-ops while instrumentation is off.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+type Name = Cow<'static, str>;
+
+/// Log-bucketed histogram over `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. Quantiles interpolate linearly inside the bucket that
+/// contains the requested rank, so the estimate is always within the bucket
+/// bounds (relative error bounded by the 2× bucket width). Exact count, sum,
+/// min, and max are tracked alongside.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket holding `v`: 0 for 0, else bit length of `v`.
+    fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Upper bound (inclusive) of bucket `i`.
+    fn bucket_hi(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// inside the log bucket containing rank `q * (count - 1)`. Returns 0 for
+    /// an empty histogram. The estimate is clamped to the observed
+    /// `[min, max]` range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            // Ranks [below, below + n) fall in bucket i.
+            if rank < (below + n) as f64 {
+                let frac = if n == 1 { 0.5 } else { (rank - below as f64) / (n - 1) as f64 };
+                let lo = Self::bucket_lo(i) as f64;
+                let hi = Self::bucket_hi(i) as f64;
+                let est = lo + frac * (hi - lo);
+                return est.clamp(self.min() as f64, self.max as f64);
+            }
+            below += n;
+        }
+        self.max as f64
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl Histogram {
+    /// Summarises the histogram (count/sum/min/max/mean and p50/p90/p99).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<Name, u64>,
+    gauges: BTreeMap<Name, f64>,
+    histograms: BTreeMap<Name, Histogram>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// Adds `n` to the named counter (no-op while disabled).
+pub fn counter_add(name: impl Into<Name>, n: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    REGISTRY.with(|r| *r.borrow_mut().counters.entry(name.into()).or_insert(0) += n);
+}
+
+/// Reads the named counter (0 if never written).
+pub fn counter(name: &str) -> u64 {
+    REGISTRY.with(|r| r.borrow().counters.get(name).copied().unwrap_or(0))
+}
+
+/// Sets the named gauge (no-op while disabled).
+pub fn gauge_set(name: impl Into<Name>, v: f64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    REGISTRY.with(|r| {
+        r.borrow_mut().gauges.insert(name.into(), v);
+    });
+}
+
+/// Adds `dv` to the named gauge (no-op while disabled).
+pub fn gauge_add(name: impl Into<Name>, dv: f64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    REGISTRY.with(|r| *r.borrow_mut().gauges.entry(name.into()).or_insert(0.0) += dv);
+}
+
+/// Reads the named gauge (0 if never written).
+pub fn gauge(name: &str) -> f64 {
+    REGISTRY.with(|r| r.borrow().gauges.get(name).copied().unwrap_or(0.0))
+}
+
+/// Records a sample into the named histogram (no-op while disabled).
+pub fn histogram_record(name: impl Into<Name>, v: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    REGISTRY.with(|r| r.borrow_mut().histograms.entry(name.into()).or_default().record(v));
+}
+
+/// Summarises the named histogram, if it has any samples.
+pub fn histogram_summary(name: &str) -> Option<HistogramSummary> {
+    REGISTRY.with(|r| r.borrow().histograms.get(name).map(Histogram::summary))
+}
+
+/// Point-in-time snapshot of the whole registry, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// All counters as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// All gauges as `(name, value)`.
+    pub gauges: Vec<(String, f64)>,
+    /// All histograms as `(name, summary)`.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// Snapshots the current thread's registry.
+pub fn snapshot() -> MetricsSnapshot {
+    REGISTRY.with(|r| {
+        let r = r.borrow();
+        MetricsSnapshot {
+            counters: r.counters.iter().map(|(k, &v)| (k.to_string(), v)).collect(),
+            gauges: r.gauges.iter().map(|(k, &v)| (k.to_string(), v)).collect(),
+            histograms: r.histograms.iter().map(|(k, h)| (k.to_string(), h.summary())).collect(),
+        }
+    })
+}
+
+/// Clears every counter, gauge, and histogram on the current thread.
+pub fn reset() {
+    REGISTRY.with(|r| *r.borrow_mut() = Registry::default());
+}

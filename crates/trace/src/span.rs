@@ -1,0 +1,132 @@
+//! Per-thread hierarchical span recording.
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide monotonic epoch; every thread's timestamps share it so spans
+/// from different threads line up on one timeline.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonically increasing ids handed to threads on first use, stable for
+/// the thread's lifetime and compact enough for trace viewers.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Nanoseconds elapsed since the process-wide trace epoch.
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One completed span: a named, timed interval at a nesting depth.
+///
+/// Events are recorded in *completion order* per thread (a parent appears
+/// after all of its children), which is what the self-time computation in
+/// [`crate::export`] relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name, e.g. `"transformer.forward"`.
+    pub name: Cow<'static, str>,
+    /// Start time in nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at open time (0 = root span on its thread).
+    pub depth: u16,
+    /// Id of the thread the span ran on.
+    pub tid: u64,
+}
+
+struct ThreadState {
+    enabled: Cell<bool>,
+    depth: Cell<u16>,
+    events: RefCell<Vec<SpanEvent>>,
+    tid: u64,
+}
+
+thread_local! {
+    static STATE: ThreadState = ThreadState {
+        enabled: Cell::new(false),
+        depth: Cell::new(0),
+        events: RefCell::new(Vec::new()),
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+/// Turns instrumentation on or off for the current thread.
+pub fn set_enabled(on: bool) {
+    STATE.with(|s| s.enabled.set(on));
+}
+
+/// Enables instrumentation on the current thread.
+pub fn enable() {
+    set_enabled(true);
+}
+
+/// Disables instrumentation on the current thread.
+pub fn disable() {
+    set_enabled(false);
+}
+
+/// Whether instrumentation is enabled on the current thread.
+pub fn is_enabled() -> bool {
+    STATE.with(|s| s.enabled.get())
+}
+
+/// Drains and returns the current thread's buffered span events
+/// (completion-ordered).
+pub fn take_events() -> Vec<SpanEvent> {
+    STATE.with(|s| std::mem::take(&mut *s.events.borrow_mut()))
+}
+
+/// Discards the current thread's buffered span events.
+pub fn clear() {
+    STATE.with(|s| s.events.borrow_mut().clear());
+}
+
+/// RAII guard created by the [`crate::span!`] macro; records a [`SpanEvent`]
+/// on drop. A disabled guard carries no name and records nothing.
+pub struct SpanGuard {
+    name: Option<Cow<'static, str>>,
+    start_ns: u64,
+    depth: u16,
+}
+
+impl SpanGuard {
+    /// Opens a span on the current thread (no-op if instrumentation is
+    /// disabled there). Prefer the [`crate::span!`] macro, which also skips
+    /// evaluating the name when disabled.
+    pub fn new(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+        STATE.with(|s| {
+            if !s.enabled.get() {
+                return SpanGuard::noop();
+            }
+            let depth = s.depth.get();
+            s.depth.set(depth + 1);
+            SpanGuard { name: Some(name.into()), start_ns: now_ns(), depth }
+        })
+    }
+
+    /// A guard that records nothing on drop.
+    pub fn noop() -> SpanGuard {
+        SpanGuard { name: None, start_ns: 0, depth: 0 }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else { return };
+        let end = now_ns();
+        STATE.with(|s| {
+            s.depth.set(self.depth);
+            s.events.borrow_mut().push(SpanEvent {
+                name,
+                ts_ns: self.start_ns,
+                dur_ns: end.saturating_sub(self.start_ns),
+                depth: self.depth,
+                tid: s.tid,
+            });
+        });
+    }
+}

@@ -1,0 +1,279 @@
+//! Integration tests for the instrumentation layer: span nesting, self-time
+//! attribution, Chrome trace export (parsed back), histogram quantiles
+//! against a reference computation, and memory accounting.
+
+use serde_json::Value;
+use tele_trace::export::{chrome_trace_json, ProfileReport};
+use tele_trace::metrics::Histogram;
+use tele_trace::{mem, metrics, span, SpanEvent};
+
+/// Everything in the layer is thread-local; run each test on a fresh thread
+/// so parallel tests (and shared thread reuse) cannot interfere.
+fn isolated<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    std::thread::scope(|s| s.spawn(f).join().unwrap())
+}
+
+fn spin_ns(ns: u64) {
+    let start = std::time::Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::black_box(0);
+    }
+}
+
+#[test]
+fn spans_record_nothing_while_disabled() {
+    isolated(|| {
+        let _g = span!("disabled.root");
+        drop(_g);
+        assert!(tele_trace::take_events().is_empty());
+        metrics::counter_add("c", 3);
+        assert_eq!(metrics::counter("c"), 0);
+        mem::record_alloc(128);
+        assert_eq!(mem::live_bytes(), 0);
+    });
+}
+
+#[test]
+fn spans_nest_and_complete_in_order() {
+    isolated(|| {
+        tele_trace::enable();
+        {
+            let _root = span!("root");
+            {
+                let _a = span!("child.a");
+                let _aa = span!("grand.aa");
+            }
+            let _b = span!("child.b");
+        }
+        let events = tele_trace::take_events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+        // Completion order: innermost first, root last.
+        assert_eq!(names, ["grand.aa", "child.a", "child.b", "root"]);
+        let depth: Vec<u16> = events.iter().map(|e| e.depth).collect();
+        assert_eq!(depth, [2, 1, 1, 0]);
+        // Children are contained within the root interval.
+        let root = &events[3];
+        for child in &events[..3] {
+            assert!(child.ts_ns >= root.ts_ns);
+            assert!(child.ts_ns + child.dur_ns <= root.ts_ns + root.dur_ns);
+        }
+    });
+}
+
+#[test]
+fn profile_self_time_attribution() {
+    isolated(|| {
+        tele_trace::enable();
+        {
+            let _root = span!("step");
+            {
+                let _f = span!("forward");
+                spin_ns(2_000_000);
+            }
+            {
+                let _b = span!("backward");
+                spin_ns(1_000_000);
+            }
+            spin_ns(500_000);
+        }
+        let events = tele_trace::take_events();
+        let report = ProfileReport::from_events(&events);
+        let row = |name: &str| report.rows.iter().find(|r| r.name == name).unwrap().clone();
+        let (step, fwd, bwd) = (row("step"), row("forward"), row("backward"));
+        assert_eq!(step.calls, 1);
+        // Root total = wall; self excludes both children.
+        assert_eq!(report.wall_ns, step.total_ns);
+        assert_eq!(step.self_ns, step.total_ns - fwd.total_ns - bwd.total_ns);
+        // Self times across all rows partition the root duration exactly.
+        let self_sum: u64 = report.rows.iter().map(|r| r.self_ns).sum();
+        assert_eq!(self_sum, report.wall_ns);
+        // Leaves have self == total.
+        assert_eq!(fwd.self_ns, fwd.total_ns);
+        assert!(fwd.total_ns >= 2_000_000);
+        assert!(bwd.total_ns >= 1_000_000);
+    });
+}
+
+#[test]
+fn chrome_trace_round_trips_and_nests() {
+    let events = isolated(|| {
+        tele_trace::enable();
+        {
+            let _root = span!("engine.step");
+            {
+                let _f = span!("model.\"fwd\"\n");
+                let _m = span!("tensor.matmul");
+                spin_ns(10_000);
+            }
+            let _o = span!("optim.step");
+            spin_ns(5_000);
+        }
+        tele_trace::take_events()
+    });
+    let json = chrome_trace_json(&events);
+    let parsed: Value = serde_json::from_str(&json).expect("trace must be valid JSON");
+    let list = parsed.field("traceEvents").as_arr().expect("traceEvents array");
+    assert_eq!(list.len(), events.len());
+
+    // Reconstruct intervals and verify begin/end structure: every event is a
+    // complete event, and for any two events on one tid they either nest or
+    // are disjoint — never partially overlapping.
+    let mut iv: Vec<(u64, f64, f64, String)> = Vec::new();
+    for e in list {
+        assert_eq!(e.field("ph").as_str(), Some("X"));
+        assert_eq!(e.field("pid").as_f64(), Some(1.0));
+        let ts = e.field("ts").as_f64().unwrap();
+        let dur = e.field("dur").as_f64().unwrap();
+        assert!(dur >= 0.0);
+        iv.push((
+            e.field("tid").as_f64().unwrap() as u64,
+            ts,
+            ts + dur,
+            e.field("name").as_str().unwrap().into(),
+        ));
+    }
+    for (i, a) in iv.iter().enumerate() {
+        for b in iv.iter().skip(i + 1) {
+            if a.0 != b.0 {
+                continue;
+            }
+            let disjoint = a.2 <= b.1 || b.2 <= a.1;
+            let a_in_b = b.1 <= a.1 && a.2 <= b.2;
+            let b_in_a = a.1 <= b.1 && b.2 <= a.2;
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "events {:?} and {:?} partially overlap",
+                a.3,
+                b.3
+            );
+        }
+    }
+    // The escaped name survived the round trip.
+    assert!(iv.iter().any(|e| e.3 == "model.\"fwd\"\n"));
+    // Root span contains the matmul span.
+    let root = iv.iter().find(|e| e.3 == "engine.step").unwrap();
+    let mm = iv.iter().find(|e| e.3 == "tensor.matmul").unwrap();
+    assert!(root.1 <= mm.1 && mm.2 <= root.2);
+}
+
+#[test]
+fn histogram_quantiles_match_reference() {
+    // Deterministic pseudo-random samples (LCG).
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let mut samples: Vec<u64> = (0..10_000)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) % 1_000_000
+        })
+        .collect();
+    let mut h = Histogram::default();
+    for &s in &samples {
+        h.record(s);
+    }
+    samples.sort_unstable();
+
+    assert_eq!(h.count(), 10_000);
+    assert_eq!(h.sum(), samples.iter().sum::<u64>());
+    assert_eq!(h.min(), samples[0]);
+    assert_eq!(h.max(), *samples.last().unwrap());
+
+    // Log-bucketed estimates land in the same power-of-two bucket as the
+    // exact reference quantile: within a factor of 2, and never outside the
+    // observed range.
+    for &q in &[0.50, 0.90, 0.99] {
+        let exact = samples[(q * (samples.len() - 1) as f64).round() as usize] as f64;
+        let est = h.quantile(q);
+        assert!(est >= samples[0] as f64 && est <= *samples.last().unwrap() as f64);
+        let ratio = est.max(1.0) / exact.max(1.0);
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "q={q}: estimate {est} vs exact {exact} (ratio {ratio})"
+        );
+    }
+    // Monotone in q.
+    assert!(h.quantile(0.5) <= h.quantile(0.9));
+    assert!(h.quantile(0.9) <= h.quantile(0.99));
+
+    // Degenerate cases are exact.
+    let mut one = Histogram::default();
+    one.record(42);
+    assert_eq!(one.quantile(0.5), 42.0);
+    let mut same = Histogram::default();
+    for _ in 0..100 {
+        same.record(1024);
+    }
+    for &q in &[0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(same.quantile(q), 1024.0);
+    }
+    assert_eq!(Histogram::default().quantile(0.5), 0.0);
+}
+
+#[test]
+fn metrics_registry_counters_gauges_histograms() {
+    isolated(|| {
+        tele_trace::enable();
+        metrics::counter_add("train.tokens", 100);
+        metrics::counter_add("train.tokens", 28);
+        metrics::gauge_set("lr", 3e-4);
+        metrics::gauge_add("lr", 1e-4);
+        for v in [10u64, 20, 30] {
+            metrics::histogram_record("step.ns", v);
+        }
+        assert_eq!(metrics::counter("train.tokens"), 128);
+        assert!((metrics::gauge("lr") - 4e-4).abs() < 1e-9);
+        let snap = metrics::snapshot();
+        assert_eq!(snap.counters, vec![("train.tokens".to_string(), 128)]);
+        let (name, hist) = &snap.histograms[0];
+        assert_eq!(name, "step.ns");
+        assert_eq!(hist.count, 3);
+        assert_eq!(hist.sum, 60);
+        metrics::reset();
+        assert_eq!(metrics::counter("train.tokens"), 0);
+    });
+}
+
+#[test]
+fn memory_accounting_tracks_live_and_peak() {
+    isolated(|| {
+        tele_trace::enable();
+        mem::record_alloc(1000);
+        mem::record_alloc(500);
+        assert_eq!(mem::live_bytes(), 1500);
+        assert_eq!(mem::peak_live_bytes(), 1500);
+        mem::record_free(500);
+        assert_eq!(mem::live_bytes(), 1000);
+        assert_eq!(mem::peak_live_bytes(), 1500);
+        mem::reset_peak();
+        assert_eq!(mem::peak_live_bytes(), 1000);
+        // Frees of pre-enable storage saturate instead of underflowing.
+        mem::record_free(10_000);
+        assert_eq!(mem::live_bytes(), 0);
+        assert_eq!(mem::alloc_count(), 2);
+        assert_eq!(mem::free_count(), 2);
+    });
+}
+
+#[test]
+fn multi_thread_events_keep_distinct_tids() {
+    let (a, b) = std::thread::scope(|s| {
+        let run = |name: &'static str| {
+            move || {
+                tele_trace::enable();
+                let _g = span!(name);
+                drop(_g);
+                tele_trace::take_events()
+            }
+        };
+        let ha = s.spawn(run("thread.a"));
+        let hb = s.spawn(run("thread.b"));
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    assert_eq!(a.len(), 1);
+    assert_eq!(b.len(), 1);
+    assert_ne!(a[0].tid, b[0].tid);
+    // Merged streams still profile cleanly: two roots, wall = sum.
+    let merged: Vec<SpanEvent> = a.into_iter().chain(b).collect();
+    let report = ProfileReport::from_events(&merged);
+    assert_eq!(report.rows.iter().map(|r| r.calls).sum::<u64>(), 2);
+    assert_eq!(report.wall_ns, report.rows.iter().map(|r| r.total_ns).sum::<u64>());
+}

@@ -6,8 +6,10 @@
 //! tele simulate [--seed N] [--episodes N]                 fault-episode summaries
 //! tele query    [--seed N] <SPARQL-like query>            query the Tele-KG
 //! tele train    [--seed N] [--steps N] [--retrain N] [--telemetry FILE]
-//!               --out FILE                                train and checkpoint
+//!               [--profile FILE] --out FILE               train and checkpoint
 //! tele encode   --ckpt FILE <sentence> [<sentence> ...]   embed + similarities
+//! tele profile  [--seed N] [--steps N] [--out FILE]       profile a short run
+//! tele profile  --check FILE                              validate a trace file
 //! ```
 
 use std::process::ExitCode;
@@ -20,6 +22,7 @@ use tele_knowledge::model::{
 };
 use tele_knowledge::tensor::nn::TransformerConfig;
 use tele_knowledge::tokenizer::{SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
+use tele_knowledge::trace::{self, export::ProfileReport};
 
 struct Args {
     positional: Vec<String>,
@@ -83,6 +86,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "train" => cmd_train(&args),
         "encode" => cmd_encode(&args),
+        "profile" => cmd_profile(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -103,8 +107,11 @@ const USAGE: &str = "tele — tele-knowledge CLI
   tele corpus   [--seed N] [--count N]
   tele simulate [--seed N] [--episodes N]
   tele query    [--seed N] <query>      e.g. 'SELECT ?a WHERE { ?a type Alarm }'
-  tele train    [--seed N] [--steps N] [--retrain N] [--telemetry FILE] --out FILE
-  tele encode   --ckpt FILE <sentence> [<sentence> ...]";
+  tele train    [--seed N] [--steps N] [--retrain N] [--telemetry FILE]
+                [--profile FILE] --out FILE
+  tele encode   --ckpt FILE <sentence> [<sentence> ...]
+  tele profile  [--seed N] [--steps N] [--out FILE]   profile a short training run
+  tele profile  --check FILE                          validate a Chrome trace file";
 
 fn cmd_world(args: &Args) -> Result<(), String> {
     let suite = Suite::generate(args.scale()?, args.u64_flag("seed", 17)?);
@@ -200,6 +207,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     // Per-step JSONL telemetry: `FILE` gets stage-1 records, `FILE.retrain`
     // the stage-2 records.
     let telemetry = args.flags.get("telemetry").map(std::path::PathBuf::from);
+    // Span profiling: collect a Chrome/Perfetto trace of the whole run.
+    let profile = args.flags.get("profile").map(std::path::PathBuf::from);
+    if profile.is_some() {
+        trace::enable();
+        trace::reset();
+    }
     let suite = Suite::generate(args.scale()?, seed);
 
     let tokenizer = TeleTokenizer::train(
@@ -260,6 +273,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 
     std::fs::write(out, save_bundle(&bundle)).map_err(|e| e.to_string())?;
     println!("checkpoint written to {out}");
+
+    if let Some(path) = profile {
+        write_profile(&path)?;
+    }
     Ok(())
 }
 
@@ -283,5 +300,131 @@ fn cmd_encode(args: &Args) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+/// Drains the collected span events, writes the Chrome trace to `path`, and
+/// prints the per-op profile table and throughput metrics to stderr.
+fn write_profile(path: &std::path::Path) -> Result<(), String> {
+    let events = trace::take_events();
+    trace::disable();
+    if events.is_empty() {
+        return Err("profiling produced no span events".into());
+    }
+    trace::export::write_chrome_trace(path, &events)
+        .map_err(|e| format!("failed to write trace {}: {e}", path.display()))?;
+    let report = ProfileReport::from_events(&events);
+    eprintln!("\nper-op profile ({} spans):", events.len());
+    eprint!("{}", report.render());
+    let snapshot = trace::metrics::snapshot();
+    let gauge = |name: &str| {
+        snapshot.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0.0)
+    };
+    eprintln!(
+        "throughput: {:.1} steps/s, {:.0} tokens/s; peak tensor memory {:.2} MiB",
+        gauge("train.steps_per_sec"),
+        gauge("train.tokens_per_sec"),
+        gauge("mem.peak_live_bytes") / (1024.0 * 1024.0),
+    );
+    println!("trace written to {}", path.display());
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.flags.get("check") {
+        return check_trace(std::path::Path::new(path));
+    }
+    let seed = args.u64_flag("seed", 17)?;
+    let steps = args.usize_flag("steps", 5)?;
+    let out = args
+        .flags
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("profile.trace.json"));
+
+    trace::enable();
+    trace::reset();
+    let suite = Suite::generate(args.scale()?, seed);
+    let tokenizer = TeleTokenizer::train(
+        suite.tele_corpus.iter(),
+        &TokenizerConfig {
+            bpe_merges: 200,
+            special: SpecialTokenConfig::default(),
+            phrases: tele_knowledge::datagen::words::DOMAIN_PHRASES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        },
+    );
+    let encoder = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 64,
+        layers: 3,
+        heads: 4,
+        ffn_hidden: 128,
+        max_len: 48,
+        dropout: 0.1,
+    };
+    eprintln!("profiling {steps} pre-training steps (vocab {})", tokenizer.vocab_size());
+    let (_telebert, log) = pretrain(
+        &suite.tele_corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig { steps, seed, ..Default::default() },
+    );
+    eprintln!("  final loss {:.3}", log.final_loss);
+    if let Some(phases) = log.summary().mean_phases {
+        eprintln!(
+            "  mean step phases: forward {} us, backward {} us, optim {} us",
+            phases.forward_micros, phases.backward_micros, phases.optim_micros
+        );
+    }
+    write_profile(&out)
+}
+
+/// Validates a Chrome trace file: parseable JSON, a non-empty `traceEvents`
+/// array of complete events, and per-tid intervals that nest or are
+/// disjoint (never partially overlapping).
+fn check_trace(path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = parsed.field("traceEvents").as_arr().ok_or("trace has no traceEvents array")?;
+    if events.is_empty() {
+        return Err("trace contains no events".into());
+    }
+    let mut intervals: Vec<(u64, f64, f64)> = Vec::with_capacity(events.len());
+    for (i, e) in events.iter().enumerate() {
+        if e.field("name").as_str().is_none() {
+            return Err(format!("event {i} has no name"));
+        }
+        if e.field("ph").as_str() != Some("X") {
+            return Err(format!("event {i} is not a complete event"));
+        }
+        let ts = e.field("ts").as_f64().ok_or_else(|| format!("event {i} has no ts"))?;
+        let dur = e.field("dur").as_f64().ok_or_else(|| format!("event {i} has no dur"))?;
+        if dur < 0.0 {
+            return Err(format!("event {i} has negative duration"));
+        }
+        let tid = e.field("tid").as_f64().unwrap_or(0.0) as u64;
+        intervals.push((tid, ts, ts + dur));
+    }
+    for (i, a) in intervals.iter().enumerate() {
+        for b in intervals.iter().skip(i + 1) {
+            if a.0 != b.0 {
+                continue;
+            }
+            let disjoint = a.2 <= b.1 || b.2 <= a.1;
+            let nested = (b.1 <= a.1 && a.2 <= b.2) || (a.1 <= b.1 && b.2 <= a.2);
+            if !disjoint && !nested {
+                return Err(format!(
+                    "events on tid {} partially overlap: [{}, {}] vs [{}, {}]",
+                    a.0, a.1, a.2, b.1, b.2
+                ));
+            }
+        }
+    }
+    println!("{}: {} events, well-nested", path.display(), events.len());
     Ok(())
 }

@@ -10,7 +10,8 @@
 //! - [`kg`] — the Tele-product Knowledge Graph,
 //! - [`datagen`] — the synthetic tele-world (corpora, logs, datasets),
 //! - [`model`] — TeleBERT / KTeleBERT pre-training and service embeddings,
-//! - [`tasks`] — the three downstream fault-analysis tasks.
+//! - [`tasks`] — the three downstream fault-analysis tasks,
+//! - [`trace`] — spans, metrics, and Chrome-trace/profile exporters.
 //!
 //! ## Quickstart
 //!
@@ -37,3 +38,6 @@ pub use ktelebert as model;
 
 /// The downstream fault-analysis tasks (`tele-tasks`).
 pub use tele_tasks as tasks;
+
+/// The instrumentation layer (`tele-trace`): spans, metrics, exporters.
+pub use tele_trace as trace;

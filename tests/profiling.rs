@@ -1,0 +1,165 @@
+//! Integration tests for the instrumentation layer over the real training
+//! stack: span coverage of a pre-training run, wall-clock attribution, and
+//! memory-gauge balance (no leak in tape retention).
+
+use tele_knowledge::datagen::{Scale, Suite};
+use tele_knowledge::model::{pretrain, PretrainConfig};
+use tele_knowledge::tensor::nn::TransformerConfig;
+use tele_knowledge::tokenizer::{TeleTokenizer, TokenizerConfig};
+use tele_knowledge::trace::{self, export::ProfileReport};
+
+fn tiny_encoder(vocab: usize) -> TransformerConfig {
+    TransformerConfig {
+        vocab,
+        dim: 32,
+        layers: 1,
+        heads: 2,
+        ffn_hidden: 64,
+        max_len: 48,
+        dropout: 0.1,
+    }
+}
+
+/// All instrumentation state is thread-local; run on a dedicated thread so
+/// parallel tests can't interleave spans or memory events.
+fn isolated<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    std::thread::scope(|s| s.spawn(f).join().unwrap())
+}
+
+#[test]
+fn pretrain_spans_cover_the_stack_and_attribute_wall_clock() {
+    isolated(|| {
+        let suite = Suite::generate(Scale::Smoke, 104);
+        let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
+        trace::enable();
+        trace::reset();
+        let (_telebert, log) = pretrain(
+            &suite.tele_corpus,
+            &tokenizer,
+            tiny_encoder(tokenizer.vocab_size()),
+            &PretrainConfig { steps: 3, batch_size: 4, ..Default::default() },
+        );
+        let events = trace::take_events();
+        let snapshot = trace::metrics::snapshot();
+        trace::disable();
+
+        let report = ProfileReport::from_events(&events);
+        let row = |name: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("span {name:?} missing from profile"))
+        };
+
+        // The whole stack shows up: tokenizer encode (corpus pool), engine
+        // phases, model/transformer forward, backward, optimizer, and every
+        // stage-1 objective.
+        for name in [
+            "tokenizer.encode",
+            "engine.step",
+            "engine.batch",
+            "engine.forward",
+            "engine.backward",
+            "model.encode",
+            "transformer.forward",
+            "transformer.embed",
+            "attention.forward",
+            "tensor.matmul",
+            "tape.backward",
+            "optim.step",
+            "objective.mlm",
+            "objective.rtd",
+            "objective.simcse",
+        ] {
+            assert!(row(name).calls > 0);
+        }
+        assert_eq!(row("engine.step").calls, 3);
+        assert_eq!(row("optim.step").calls, 3);
+
+        // Self times partition the root durations exactly, so the profile
+        // table attributes 100% of root wall-clock to named spans.
+        let self_sum: u64 = report.rows.iter().map(|r| r.self_ns).sum();
+        assert_eq!(self_sum, report.wall_ns);
+
+        // The engine.step spans cover >= 90% of the wall-clock the trace
+        // records attribute to training steps.
+        let step_micros: u64 = log.records.iter().map(|r| r.micros).sum();
+        let step_span_ns = row("engine.step").total_ns;
+        assert!(
+            step_span_ns as f64 >= 0.9 * (step_micros as f64 * 1_000.0),
+            "engine.step spans ({step_span_ns} ns) must cover the recorded \
+             step time ({step_micros} us)"
+        );
+
+        // Phase breakdown lands in the step records and roughly fills each
+        // step (forward + backward + optim within the recorded duration).
+        for r in &log.records {
+            let p = r.phases.as_ref().expect("engine writes phase timings");
+            assert!(p.forward_micros + p.backward_micros + p.optim_micros <= r.micros + 1);
+            assert!(p.forward_micros > 0);
+        }
+
+        // Metrics registry: throughput counters and per-objective activity.
+        let counter = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("counter {name:?} missing"))
+        };
+        assert_eq!(counter("train.steps"), 3);
+        assert!(counter("train.tokens") > 0);
+        assert_eq!(counter("objective.mlm.active"), 3);
+        assert!(snapshot.gauges.iter().any(|(n, v)| n == "train.steps_per_sec" && *v > 0.0));
+        assert!(snapshot.gauges.iter().any(|(n, v)| n == "mem.peak_live_bytes" && *v > 0.0));
+        let (_, hist) = snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "engine.step_us")
+            .expect("step histogram");
+        assert_eq!(hist.count, 3);
+        assert!(hist.p50 <= hist.p99);
+    });
+}
+
+#[test]
+fn memory_gauge_returns_to_baseline_after_training() {
+    isolated(|| {
+        let suite = Suite::generate(Scale::Smoke, 105);
+        let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
+        trace::enable();
+        trace::reset();
+
+        // Warm-up run: model construction, lazily created optimizer moments,
+        // and every train-step allocation, all dropped before the baseline
+        // reading.
+        let warmup = pretrain(
+            &suite.tele_corpus,
+            &tokenizer,
+            tiny_encoder(tokenizer.vocab_size()),
+            &PretrainConfig { steps: 1, batch_size: 4, ..Default::default() },
+        );
+        drop(warmup);
+        let baseline = trace::mem::live_bytes();
+        trace::mem::reset_peak();
+
+        // Real run: training must not retain tensors once its artifacts are
+        // dropped — the tape, gradients, moments, and model all free.
+        let run = pretrain(
+            &suite.tele_corpus,
+            &tokenizer,
+            tiny_encoder(tokenizer.vocab_size()),
+            &PretrainConfig { steps: 3, batch_size: 4, ..Default::default() },
+        );
+        let during = trace::mem::live_bytes();
+        assert!(during > baseline, "a live model must hold tensor memory");
+        assert!(trace::mem::peak_live_bytes() >= during);
+        drop(run);
+        let after = trace::mem::live_bytes();
+        trace::disable();
+
+        assert_eq!(after, baseline, "memory gauge must return to baseline: {after} != {baseline}");
+    });
+}

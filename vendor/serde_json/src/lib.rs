@@ -6,7 +6,8 @@
 //! `f32`/`f64` value (including subnormals) survives a serialize →
 //! parse cycle bit-exactly.
 
-use serde::{DeError, Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
 
 /// Error produced by JSON printing or parsing.
 #[derive(Clone, Debug)]
