@@ -9,8 +9,8 @@ use serde::Serialize;
 use ktelebert::masking::apply_masking;
 use ktelebert::objective::{MaskedLm, StepData};
 use ktelebert::{
-    pretrain, ActivationSchedule, Anenc, AnencConfig, Batch, EngineConfig, MaskingConfig,
-    PretrainConfig, TrainEngine,
+    pretrain, ActivationSchedule, Anenc, AnencConfig, Batch, EngineConfig, GuardConfig,
+    GuardPolicy, MaskingConfig, PretrainConfig, TrainEngine,
 };
 use tele_datagen::{corpus, TeleWorld, WorldConfig};
 use tele_kg::TeleKg;
@@ -111,6 +111,20 @@ struct TraceOverhead {
     disabled_span_check_ns: f64,
 }
 
+/// Overhead report for `results/bench_guard_overhead.json`: the same 8-step
+/// engine run timed with guardrails off (no anomaly checks) and on
+/// (`GuardPolicy::Skip`: per-step finite checks on the fused loss and the
+/// gradient norm, plus the rolling-window spike detector). Mirrors
+/// `TraceOverhead`.
+#[derive(Serialize)]
+struct GuardOverhead {
+    bench: String,
+    reps: u64,
+    guards_off_min_ns: u64,
+    guards_on_min_ns: u64,
+    guards_on_overhead_pct: f64,
+}
+
 /// Engine dispatch overhead: 8 identical masked-LM steps run through a
 /// hand-written inline loop vs. `TrainEngine` (schedule lookup, objective
 /// dispatch, telemetry records). The two must stay within a few percent.
@@ -186,15 +200,12 @@ fn bench_train_engine(c: &mut Criterion) {
     };
     c.bench_function("train/engine_8_steps", |bench| {
         bench.iter(|| {
-            let mut rng = StdRng::seed_from_u64(7);
             let mut engine = TrainEngine::new(
                 EngineConfig { warmup_frac: None, ..Default::default() },
                 ActivationSchedule::always(ActivationSchedule::group(&[0]), 8),
             );
             engine.add_objective(Box::new(MaskedLm));
-            std::hint::black_box(
-                engine.run(&mut bundle.store, &bundle.model, &data, &mut rng).steps,
-            )
+            std::hint::black_box(engine.run(&mut bundle.store, &bundle.model, &data).steps)
         })
     });
 
@@ -205,13 +216,12 @@ fn bench_train_engine(c: &mut Criterion) {
         tele_trace::enable();
         tele_trace::reset();
         bench.iter(|| {
-            let mut rng = StdRng::seed_from_u64(7);
             let mut engine = TrainEngine::new(
                 EngineConfig { warmup_frac: None, ..Default::default() },
                 ActivationSchedule::always(ActivationSchedule::group(&[0]), 8),
             );
             engine.add_objective(Box::new(MaskedLm));
-            let steps = engine.run(&mut bundle.store, &bundle.model, &data, &mut rng).steps;
+            let steps = engine.run(&mut bundle.store, &bundle.model, &data).steps;
             std::hint::black_box((steps, tele_trace::take_events().len()))
         });
         tele_trace::disable();
@@ -222,14 +232,13 @@ fn bench_train_engine(c: &mut Criterion) {
     // disabled-vs-enabled overhead is measured directly here and dumped as
     // JSON for EXPERIMENTS.md / CI to pick up.
     let time_engine = |store: &mut ParamStore| {
-        let mut rng = StdRng::seed_from_u64(7);
         let mut engine = TrainEngine::new(
             EngineConfig { warmup_frac: None, ..Default::default() },
             ActivationSchedule::always(ActivationSchedule::group(&[0]), 8),
         );
         engine.add_objective(Box::new(MaskedLm));
         let start = std::time::Instant::now();
-        std::hint::black_box(engine.run(store, &bundle.model, &data, &mut rng).steps);
+        std::hint::black_box(engine.run(store, &bundle.model, &data).steps);
         start.elapsed().as_nanos() as u64
     };
     // Interleave the two modes so drift (thermal, cache, scheduler) hits
@@ -267,6 +276,39 @@ fn bench_train_engine(c: &mut Criterion) {
             enabled_min_ns: enabled,
             enabled_overhead_pct: 100.0 * (enabled as f64 - disabled as f64) / disabled as f64,
             disabled_span_check_ns,
+        },
+    );
+
+    // Guardrail overhead, measured the same interleaved way (trace layer
+    // disabled throughout so only the guard checks differ between modes).
+    let time_guarded = |store: &mut ParamStore, policy: GuardPolicy| {
+        let mut engine = TrainEngine::new(
+            EngineConfig {
+                warmup_frac: None,
+                guard: GuardConfig::with_policy(policy),
+                ..Default::default()
+            },
+            ActivationSchedule::always(ActivationSchedule::group(&[0]), 8),
+        );
+        engine.add_objective(Box::new(MaskedLm));
+        let start = std::time::Instant::now();
+        std::hint::black_box(engine.run(store, &bundle.model, &data).steps);
+        start.elapsed().as_nanos() as u64
+    };
+    let (mut off, mut on) = (u64::MAX, u64::MAX);
+    time_guarded(&mut bundle.store, GuardPolicy::Off);
+    for _ in 0..reps {
+        off = off.min(time_guarded(&mut bundle.store, GuardPolicy::Off));
+        on = on.min(time_guarded(&mut bundle.store, GuardPolicy::Skip));
+    }
+    tele_bench::report::dump_json(
+        "bench_guard_overhead.json",
+        &GuardOverhead {
+            bench: "train/engine_8_steps".to_string(),
+            reps,
+            guards_off_min_ns: off,
+            guards_on_min_ns: on,
+            guards_on_overhead_pct: 100.0 * (on as f64 - off as f64) / off as f64,
         },
     );
 }

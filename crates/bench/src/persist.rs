@@ -7,10 +7,12 @@ use std::path::Path;
 
 pub use ktelebert::checkpoint::{clone_bundle, load_bundle, save_bundle, SavedBundle};
 
-/// Writes a string to a file, creating parent directories.
+/// Writes a string to a file atomically, creating parent directories. Zoo
+/// cache entries and result JSON are loaded by later runs and CI, so a
+/// crash mid-write must not leave a torn file they would trip over.
 pub fn write_file(path: &Path, content: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    std::fs::write(path, content)
+    tele_trace::export::write_atomic(path, content.as_bytes())
 }

@@ -139,7 +139,7 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) {
     }
     match serde_json::to_string_pretty(value) {
         Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
+            if let Err(e) = tele_trace::export::write_atomic(&path, json.as_bytes()) {
                 eprintln!("[report] failed to write {}: {e}", path.display());
             } else {
                 eprintln!("[report] wrote {}", path.display());

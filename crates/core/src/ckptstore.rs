@@ -1,0 +1,512 @@
+//! Crash-safe checkpoint storage.
+//!
+//! A [`CheckpointStore`] keeps the last K training snapshots in a directory
+//! as versioned, CRC-checksummed files written atomically (temp file →
+//! fsync → rename), plus a `LATEST` pointer. Loading detects corruption —
+//! bad magic, truncation, version drift, checksum mismatch — and falls back
+//! to the newest intact snapshot instead of panicking, reporting everything
+//! through the typed [`CheckpointError`].
+//!
+//! Filesystem access goes through the [`StoreIo`] trait so the chaos
+//! harness ([`crate::faults`]) can inject failing or torn writers
+//! underneath the store without touching its logic.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// On-disk envelope magic: identifies a tele-knowledge checkpoint file.
+pub const MAGIC: [u8; 4] = *b"TKPT";
+
+/// Current envelope format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Envelope header size: magic + version + payload length + CRC32.
+const HEADER_LEN: usize = 4 + 4 + 8 + 4;
+
+/// Everything that can go wrong saving or loading a checkpoint.
+///
+/// Every load path returns this instead of panicking, so arbitrary bytes —
+/// truncated files, bit flips, stale formats, plain garbage — degrade to a
+/// recoverable error.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file is shorter than its header claims the payload to be.
+    Truncated {
+        /// Payload length the header promised.
+        expected: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// The envelope was written by an unsupported format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The payload bytes do not match the recorded checksum.
+    ChecksumMismatch {
+        /// CRC32 recorded in the header.
+        expected: u32,
+        /// CRC32 of the payload as read.
+        actual: u32,
+    },
+    /// The payload decoded but its contents failed to parse.
+    Parse(String),
+    /// A parameter checkpoint matched zero parameters in the target store.
+    NoParamsLoaded,
+    /// Saved optimizer/engine state names parameters the store lacks.
+    StateMismatch {
+        /// Parameter names present in the snapshot but absent in the store.
+        missing: Vec<String>,
+    },
+    /// The snapshot is structurally valid but inconsistent with the run
+    /// configuration (e.g. resuming past the schedule end).
+    Invalid(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::Truncated { expected, actual } => {
+                write!(f, "checkpoint truncated: payload {actual} of {expected} bytes")
+            }
+            CheckpointError::VersionMismatch { found, supported } => {
+                write!(f, "checkpoint format v{found} unsupported (this build reads v{supported})")
+            }
+            CheckpointError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checkpoint corrupt: crc {actual:08x} != recorded {expected:08x}")
+            }
+            CheckpointError::Parse(e) => write!(f, "checkpoint payload unparseable: {e}"),
+            CheckpointError::NoParamsLoaded => {
+                write!(f, "checkpoint matched no parameters in the target store")
+            }
+            CheckpointError::StateMismatch { missing } => {
+                write!(f, "checkpoint state names unknown parameters: {}", missing.join(", "))
+            }
+            CheckpointError::Invalid(why) => write!(f, "checkpoint inconsistent with run: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Parse(e.to_string())
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), bitwise implementation.
+/// Checkpoint payloads are megabytes at most and saves are rare, so the
+/// simple loop beats carrying a table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Wraps a payload in the checkpoint envelope: magic, version, length,
+/// CRC32, payload bytes.
+pub fn encode_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates an envelope and returns its payload. Detects bad magic,
+/// version drift, truncation, and checksum mismatches.
+pub fn decode_envelope(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(if bytes.get(..4).is_some_and(|m| m == MAGIC) || bytes.len() < 4 {
+            CheckpointError::Truncated { expected: HEADER_LEN as u64, actual: bytes.len() as u64 }
+        } else {
+            CheckpointError::BadMagic
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::VersionMismatch { found: version, supported: FORMAT_VERSION });
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let expected_crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    if (payload.len() as u64) < len {
+        return Err(CheckpointError::Truncated { expected: len, actual: payload.len() as u64 });
+    }
+    let payload = &payload[..len as usize];
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(CheckpointError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    Ok(payload)
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the target, fsync the directory. A reader (or a
+/// crash) can observe the old contents or the new contents, never a
+/// half-written file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Persist the rename itself; not all filesystems support opening a
+    // directory for sync, so failures here are non-fatal.
+    if let Some(dir) = dir {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Filesystem access used by [`CheckpointStore`]. The production
+/// implementation is [`FsIo`]; the chaos harness swaps in failing or torn
+/// writers to prove the recovery paths.
+pub trait StoreIo {
+    /// Writes a whole file so readers never observe a partial write.
+    fn write_atomic(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Removes a file.
+    fn remove(&mut self, path: &Path) -> io::Result<()>;
+
+    /// Lists the files in a directory.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The real filesystem: atomic writes via temp + fsync + rename.
+#[derive(Default, Debug, Clone)]
+pub struct FsIo;
+
+impl StoreIo for FsIo {
+    fn write_atomic(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        write_atomic(path, bytes)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+}
+
+/// A rotating directory of checkpoint snapshots.
+///
+/// Layout: `ckpt-<step:010>.tkpt` envelope files plus a `LATEST` pointer
+/// (itself written atomically) naming the newest snapshot. `save` writes a
+/// new snapshot, updates the pointer, and prunes beyond the rotation depth;
+/// `load_latest` follows the pointer and walks backwards through older
+/// snapshots when the newest turns out corrupt or truncated.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+    io: Box<dyn StoreIo>,
+}
+
+/// Name of the pointer file inside a checkpoint directory.
+const LATEST: &str = "LATEST";
+
+fn snapshot_name(step: u64) -> String {
+    format!("ckpt-{step:010}.tkpt")
+}
+
+fn parse_snapshot_step(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name.strip_prefix("ckpt-")?.strip_suffix(".tkpt")?;
+    stem.parse().ok()
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory keeping the last
+    /// `keep` snapshots.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, CheckpointError> {
+        Self::with_io(dir, keep, Box::new(FsIo))
+    }
+
+    /// Opens a store over custom IO (fault injection).
+    pub fn with_io(
+        dir: impl Into<PathBuf>,
+        keep: usize,
+        io: Box<dyn StoreIo>,
+    ) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, keep: keep.max(1), io })
+    }
+
+    /// The directory this store rotates snapshots in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Steps with an on-disk snapshot file, newest first.
+    pub fn snapshots(&self) -> Vec<(u64, PathBuf)> {
+        let mut found: Vec<(u64, PathBuf)> = self
+            .io
+            .list(&self.dir)
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|p| parse_snapshot_step(&p).map(|s| (s, p)))
+            .collect();
+        found.sort_by_key(|(step, _)| std::cmp::Reverse(*step));
+        found
+    }
+
+    /// Writes a snapshot for `step` atomically, updates `LATEST`, and
+    /// prunes snapshots beyond the rotation depth. On failure the previous
+    /// snapshots and pointer are untouched.
+    pub fn save(&mut self, step: u64, payload: &[u8]) -> Result<PathBuf, CheckpointError> {
+        let name = snapshot_name(step);
+        let path = self.dir.join(&name);
+        let bytes = encode_envelope(payload);
+        self.io.write_atomic(&path, &bytes)?;
+        self.io.write_atomic(&self.dir.join(LATEST), name.as_bytes())?;
+        tele_trace::metrics::counter_add("ckpt.saves", 1);
+        for (_, old) in self.snapshots().into_iter().skip(self.keep) {
+            let _ = self.io.remove(&old);
+        }
+        Ok(path)
+    }
+
+    /// Loads one snapshot file, validating its envelope.
+    pub fn load_path(&self, path: &Path) -> Result<Vec<u8>, CheckpointError> {
+        let bytes = self.io.read(path)?;
+        decode_envelope(&bytes).map(<[u8]>::to_vec)
+    }
+
+    /// Loads the newest intact snapshot: the `LATEST` pointer first, then
+    /// older snapshots in descending step order when newer ones are corrupt
+    /// or unreadable. Returns `Ok(None)` when the directory holds no
+    /// snapshots at all, and the last decode error when none are intact.
+    pub fn load_latest(&self) -> Result<Option<(u64, Vec<u8>)>, CheckpointError> {
+        let mut candidates = self.snapshots();
+        // Prefer the pointer's target when it names a file we also listed.
+        if let Ok(pointer) = self.io.read(&self.dir.join(LATEST)) {
+            if let Ok(name) = String::from_utf8(pointer) {
+                let target = self.dir.join(name.trim());
+                if let Some(pos) = candidates.iter().position(|(_, p)| *p == target) {
+                    let hit = candidates.remove(pos);
+                    candidates.insert(0, hit);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        let mut last_err = None;
+        for (step, path) in candidates {
+            match self.load_path(&path) {
+                Ok(payload) => {
+                    if last_err.is_some() {
+                        tele_trace::metrics::counter_add("ckpt.fallbacks", 1);
+                        eprintln!(
+                            "checkpoint: newest snapshot corrupt, fell back to step {step} \
+                             ({})",
+                            path.display()
+                        );
+                    }
+                    return Ok(Some((step, payload)));
+                }
+                Err(e) => {
+                    tele_trace::metrics::counter_add("ckpt.corrupt", 1);
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("non-empty candidates yield an error"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tele-ckptstore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let payload = b"hello checkpoint".to_vec();
+        let bytes = encode_envelope(&payload);
+        assert_eq!(decode_envelope(&bytes).unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn envelope_detects_every_corruption_class() {
+        let bytes = encode_envelope(b"payload bytes here");
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_envelope(&bad), Err(CheckpointError::BadMagic)));
+        // Version drift.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            decode_envelope(&bad),
+            Err(CheckpointError::VersionMismatch { found: 99, .. })
+        ));
+        // Truncation.
+        let cut = &bytes[..bytes.len() - 5];
+        assert!(matches!(decode_envelope(cut), Err(CheckpointError::Truncated { .. })));
+        // Payload bit flip.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x10;
+        assert!(matches!(decode_envelope(&bad), Err(CheckpointError::ChecksumMismatch { .. })));
+        // Header-length bit flip reads as truncation or checksum failure,
+        // never a panic.
+        let mut bad = bytes.clone();
+        bad[8] ^= 0x01;
+        assert!(decode_envelope(&bad).is_err());
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        for len in [0usize, 1, 3, 19, 20, 64, 257] {
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                bytes.push((state >> 33) as u8);
+            }
+            assert!(decode_envelope(&bytes).is_err(), "garbage of len {len} must not decode");
+        }
+    }
+
+    #[test]
+    fn store_saves_rotates_and_loads_latest() {
+        let dir = tmp_dir("rotate");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        for step in [10u64, 20, 30] {
+            store.save(step, format!("payload-{step}").as_bytes()).unwrap();
+        }
+        // Rotation keeps the newest two.
+        let steps: Vec<u64> = store.snapshots().iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![30, 20]);
+        let (step, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(step, 30);
+        assert_eq!(payload, b"payload-30");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous() {
+        let dir = tmp_dir("fallback");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        store.save(1, b"one").unwrap();
+        store.save(2, b"two").unwrap();
+        // Flip a payload bit in the newest snapshot on disk.
+        let newest = dir.join(snapshot_name(2));
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        fs::write(&newest, bytes).unwrap();
+        let (step, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(step, 1);
+        assert_eq!(payload, b"one");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_store_loads_none_and_all_corrupt_errors() {
+        let dir = tmp_dir("empty");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        store.save(5, b"five").unwrap();
+        fs::write(dir.join(snapshot_name(5)), b"trash").unwrap();
+        assert!(store.load_latest().is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_latest_pointer_is_survivable() {
+        let dir = tmp_dir("stale-pointer");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        store.save(7, b"seven").unwrap();
+        fs::write(dir.join(LATEST), "ckpt-9999999999.tkpt").unwrap();
+        let (step, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(step, 7);
+        assert_eq!(payload, b"seven");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_not_appends() {
+        let dir = tmp_dir("atomic");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first version, long contents").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No temp litter left behind.
+        let litter: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path() != path)
+            .collect();
+        assert!(litter.is_empty(), "temp files left behind: {litter:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,20 +8,28 @@
 //! returned [`TrainTrace`]. `pretrain`/`retrain` are thin shims over this
 //! engine; neither owns a step loop of its own.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use tele_tensor::{
     optim::{AdamW, AdamWState, LinearWarmup},
-    ParamStore, Tape, Var,
+    ParamStore, Tape, Tensor, Var,
 };
 
+use crate::ckptstore::CheckpointError;
 use crate::model::TeleModel;
 use crate::objective::{Objective, StepData, StepEnv};
 use crate::strategy::{StepTask, Strategy};
-use crate::telemetry::{ObjectiveRecord, StepPhases, StepRecord, TrainCallback, TrainTrace};
+use crate::telemetry::{
+    GuardAction, GuardEvent, GuardKind, ObjectiveRecord, StepPhases, StepRecord, TrainCallback,
+    TrainTrace,
+};
 
 /// Which objectives are active at each step, as one bitmask per step
 /// (bit `i` = objective `i` in engine registration order).
@@ -85,6 +93,74 @@ impl ActivationSchedule {
     }
 }
 
+/// What the engine does when a guardrail trips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuardPolicy {
+    /// No anomaly checks at all (the pre-guardrail engine behavior; a NaN
+    /// loss poisons the parameters on the same step it appears).
+    Off,
+    /// Skip the optimizer update for the offending step and keep going.
+    Skip,
+    /// Restore parameters and optimizer state from the last restore point,
+    /// back the learning rate off, and replay from there. Escalates to
+    /// abort after `max_recoveries` rollbacks.
+    Rollback,
+    /// Stop the run immediately (parameters are left at their last good
+    /// values — detection happens before the optimizer applies a poisoned
+    /// update).
+    Abort,
+}
+
+impl GuardPolicy {
+    /// Parses a CLI-style policy name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "off" => Ok(GuardPolicy::Off),
+            "skip" => Ok(GuardPolicy::Skip),
+            "rollback" => Ok(GuardPolicy::Rollback),
+            "abort" => Ok(GuardPolicy::Abort),
+            other => Err(format!("unknown guard policy {other:?} (off|skip|rollback|abort)")),
+        }
+    }
+}
+
+/// Guardrail configuration: what to check each step and how to react.
+#[derive(Clone, Debug)]
+pub struct GuardConfig {
+    /// Reaction to a tripped guard.
+    pub policy: GuardPolicy,
+    /// Rolling window of recent finite fused losses used by the spike
+    /// detector; `0` disables spike detection (finite checks stay on).
+    pub spike_window: usize,
+    /// A fused loss above `spike_factor ×` the window mean trips the spike
+    /// guard (once the window is full).
+    pub spike_factor: f32,
+    /// Rollbacks allowed before the engine escalates to abort.
+    pub max_recoveries: usize,
+    /// Multiplier applied to the learning rate on every rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            policy: GuardPolicy::Off,
+            spike_window: 16,
+            spike_factor: 4.0,
+            max_recoveries: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A guard configuration with the given policy and the default
+    /// thresholds.
+    pub fn with_policy(policy: GuardPolicy) -> Self {
+        GuardConfig { policy, ..GuardConfig::default() }
+    }
+}
+
 /// Optimizer/schedule hyperparameters for an engine run.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -98,6 +174,13 @@ pub struct EngineConfig {
     pub clip_norm: f32,
     /// Name substrings of parameters excluded from weight decay.
     pub no_decay: Vec<String>,
+    /// Base seed for the per-step RNG stream (see [`step_seed`]). Every
+    /// step draws from `StdRng::seed_from_u64(step_seed(seed, step))`, so a
+    /// killed-and-resumed run replays the exact randomness of an
+    /// uninterrupted one without serializing RNG state.
+    pub seed: u64,
+    /// Anomaly guardrails.
+    pub guard: GuardConfig,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +191,8 @@ impl Default for EngineConfig {
             warmup_frac: None,
             clip_norm: 1.0,
             no_decay: vec!["bias".into(), "norm_".into(), ".tok.".into(), ".pos.".into()],
+            seed: 7,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -120,6 +205,59 @@ pub struct EngineState {
     pub completed: usize,
     /// Optimizer moments and step counter, keyed by parameter name.
     pub optimizer: AdamWState,
+    /// Scheduled step count of the run that took the snapshot; resuming
+    /// into a schedule of a different length is an error (the LR schedule
+    /// would silently diverge).
+    pub total_steps: usize,
+}
+
+/// SplitMix64 finalizer: decorrelates nearby integers into independent
+/// 64-bit streams.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed for `step` of a run seeded with `seed`.
+///
+/// Deriving each step's randomness from `(seed, step)` — instead of
+/// threading one RNG through the loop — is what makes kill-and-resume
+/// bit-identical: step k draws the same stream whether or not steps
+/// `0..k` ran in this process.
+pub fn step_seed(seed: u64, step: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(step.wrapping_add(0x517C_C1B7_2722_0A95)))
+}
+
+/// Receiver for the engine's periodic/final checkpoint flushes. The
+/// implementation persists the full parameter store plus the engine state
+/// (see [`encode_stage_checkpoint`](crate::checkpoint::encode_stage_checkpoint)).
+pub trait CheckpointSink {
+    /// Persists a snapshot taken after `step` steps completed. Failures are
+    /// reported (stderr + `ckpt.save_failures` counter) but never stop
+    /// training — a broken disk must not kill a good run.
+    fn save(
+        &mut self,
+        step: usize,
+        store: &ParamStore,
+        state: &EngineState,
+    ) -> Result<(), CheckpointError>;
+}
+
+/// In-memory rollback target: parameters (COW tensor handles, cheap),
+/// optimizer state, and the step they correspond to.
+struct RestorePoint {
+    completed: usize,
+    params: Vec<Tensor>,
+    optimizer: AdamWState,
+}
+
+/// Periodic checkpointing attached to an engine.
+struct Checkpointer<'a> {
+    every: usize,
+    sink: Box<dyn CheckpointSink + 'a>,
+    last_saved: Option<usize>,
 }
 
 /// The single training loop behind both pre-training stages.
@@ -136,6 +274,12 @@ pub struct TrainEngine<'a> {
     callbacks: Vec<Box<dyn TrainCallback + 'a>>,
     completed: usize,
     decay_configured: bool,
+    stop: Option<Arc<AtomicBool>>,
+    checkpointer: Option<Checkpointer<'a>>,
+    restore: Option<RestorePoint>,
+    lr_scale: f32,
+    recoveries: usize,
+    window: VecDeque<f32>,
 }
 
 impl<'a> TrainEngine<'a> {
@@ -150,6 +294,12 @@ impl<'a> TrainEngine<'a> {
             callbacks: Vec::new(),
             completed: 0,
             decay_configured: false,
+            stop: None,
+            checkpointer: None,
+            restore: None,
+            lr_scale: 1.0,
+            recoveries: 0,
+            window: VecDeque::new(),
         }
     }
 
@@ -166,6 +316,20 @@ impl<'a> TrainEngine<'a> {
         self.callbacks.push(callback);
     }
 
+    /// Attaches periodic checkpointing: the sink receives a snapshot every
+    /// `every` completed steps (`0` = only the final/stop flush), when the
+    /// stop flag interrupts the run, and when the run completes.
+    pub fn set_checkpointing(&mut self, every: usize, sink: Box<dyn CheckpointSink + 'a>) {
+        self.checkpointer = Some(Checkpointer { every, sink, last_saved: None });
+    }
+
+    /// Installs a cooperative cancellation flag. When it turns true the
+    /// engine finishes the step in flight, flushes a final checkpoint (if a
+    /// sink is attached), and returns with `trace.stopped = true`.
+    pub fn set_stop_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.stop = Some(flag);
+    }
+
     /// Steps already completed (non-zero after [`Self::resume`] or a
     /// partial [`Self::run`]).
     pub fn completed(&self) -> usize {
@@ -174,32 +338,110 @@ impl<'a> TrainEngine<'a> {
 
     /// Snapshots progress and optimizer state for checkpointing.
     pub fn state(&self, store: &ParamStore) -> EngineState {
-        EngineState { completed: self.completed, optimizer: self.opt.export_state(store) }
+        EngineState {
+            completed: self.completed,
+            optimizer: self.opt.export_state(store),
+            total_steps: self.schedule.len(),
+        }
     }
 
     /// Restores a snapshot taken by [`Self::state`]; the next [`Self::run`]
     /// continues from the recorded step.
-    pub fn resume(&mut self, store: &ParamStore, state: &EngineState) {
+    ///
+    /// Validates the snapshot against this engine before touching any
+    /// state: every parameter named by the optimizer moments must exist in
+    /// `store` (a mismatch means the checkpoint belongs to a different
+    /// model — silent drift, not resumption), and the recorded schedule
+    /// length must match this engine's (the LR schedule would otherwise
+    /// diverge from the interrupted run).
+    pub fn resume(
+        &mut self,
+        store: &ParamStore,
+        state: &EngineState,
+    ) -> Result<(), CheckpointError> {
+        let missing: Vec<String> = state
+            .optimizer
+            .moments
+            .iter()
+            .map(|(name, _, _)| name)
+            .chain(state.optimizer.no_decay.iter())
+            .filter(|name| store.id(name).is_none())
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            return Err(CheckpointError::StateMismatch { missing });
+        }
+        // A snapshot may legitimately resume into a longer (or re-scoped)
+        // schedule, so `total_steps` is informational; only an impossible
+        // progress marker is rejected.
+        if state.completed > self.schedule.len() {
+            return Err(CheckpointError::Invalid(format!(
+                "snapshot completed {} steps of a {}-step schedule",
+                state.completed,
+                self.schedule.len()
+            )));
+        }
         self.opt.import_state(store, &state.optimizer);
         self.completed = state.completed;
         // The snapshot carries the decay exclusions; don't re-derive them.
         self.decay_configured = true;
+        Ok(())
+    }
+
+    /// Saves a snapshot through the attached sink (no-op without one),
+    /// deduplicating consecutive flushes of the same step. On success the
+    /// rollback restore point is refreshed; on failure training continues
+    /// (the previous snapshots are untouched by a failed atomic write).
+    fn flush_checkpoint(&mut self, store: &ParamStore) {
+        let completed = self.completed;
+        let total = self.schedule.len();
+        if self.checkpointer.as_ref().is_none_or(|ck| ck.last_saved == Some(completed)) {
+            return;
+        }
+        let state =
+            EngineState { completed, optimizer: self.opt.export_state(store), total_steps: total };
+        let ck = self.checkpointer.as_mut().expect("checked above");
+        match ck.sink.save(completed, store, &state) {
+            Ok(()) => {
+                ck.last_saved = Some(completed);
+                if self.cfg.guard.policy == GuardPolicy::Rollback {
+                    self.restore = Some(RestorePoint {
+                        completed,
+                        params: store.snapshot(),
+                        optimizer: state.optimizer,
+                    });
+                }
+            }
+            Err(e) => {
+                tele_trace::metrics::counter_add("ckpt.save_failures", 1);
+                eprintln!("checkpoint: save at step {completed} failed: {e} (continuing)");
+            }
+        }
     }
 
     /// Runs every remaining scheduled step, mutating `store` in place, and
     /// returns the telemetry trace for the steps executed by this call.
     ///
-    /// Each step: zero grads → set LR → compute each active objective's
-    /// loss over a shared [`StepEnv`] → fuse (`Σ wᵢ·Lᵢ`) → backward, clip,
+    /// Each step: zero grads → set LR → derive the step RNG from
+    /// `(seed, step)` → compute each active objective's loss over a shared
+    /// [`StepEnv`] → fuse (`Σ wᵢ·Lᵢ`) → guard checks → backward, clip,
     /// optimizer step → emit a [`StepRecord`]. A step where every active
     /// objective abstains skips the optimizer but still emits a record with
     /// `fused: None`.
+    ///
+    /// Guardrails (when the policy is not [`GuardPolicy::Off`]): a
+    /// non-finite fused loss or a rolling-window loss spike is caught
+    /// *before* the backward sweep, and a non-finite post-backward gradient
+    /// norm *before* the optimizer update, so a poisoned step never touches
+    /// the parameters. The policy then skips the step, rolls back to the
+    /// last restore point with an LR backoff, or aborts the run. Rolled-back
+    /// steps re-enter the trace when replayed, so records can repeat step
+    /// indices around a rollback.
     pub fn run(
         &mut self,
         store: &mut ParamStore,
         model: &TeleModel,
         data: &StepData<'_>,
-        rng: &mut StdRng,
     ) -> TrainTrace {
         if !self.decay_configured {
             let patterns: Vec<&str> = self.cfg.no_decay.iter().map(String::as_str).collect();
@@ -212,22 +454,38 @@ impl<'a> TrainEngine<'a> {
             warmup_steps: ((total as f32 * frac) as u64).max(1),
             total_steps: total as u64,
         });
+        let guard = self.cfg.guard.clone();
+        let guard_on = guard.policy != GuardPolicy::Off;
+        if guard.policy == GuardPolicy::Rollback && self.restore.is_none() {
+            self.restore = Some(RestorePoint {
+                completed: self.completed,
+                params: store.snapshot(),
+                optimizer: self.opt.export_state(store),
+            });
+        }
 
         let mut trace = TrainTrace::default();
         let run_started = Instant::now();
-        for step in self.completed..total {
+        while self.completed < total {
+            if self.stop.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) {
+                trace.stopped = true;
+                tele_trace::metrics::counter_add("train.stops", 1);
+                break;
+            }
+            let step = self.completed;
             let step_span = tele_trace::span!("engine.step");
             store.zero_grads();
             let lr = match warmup {
                 Some(schedule) => schedule.lr_at(step as u64),
                 None => self.cfg.lr,
-            };
+            } * self.lr_scale;
             self.opt.lr = lr;
             let started = Instant::now();
             let active = self.schedule.active(step);
+            let mut rng = StdRng::seed_from_u64(step_seed(self.cfg.seed, step as u64));
 
             let tape = Tape::new();
-            let mut env = StepEnv::new(&tape, store, model, data, rng);
+            let mut env = StepEnv::new(&tape, store, model, data, &mut rng, step);
             let mut contributions: Vec<(Var<'_>, f32)> = Vec::new();
             let mut records: Vec<ObjectiveRecord> = Vec::new();
             {
@@ -262,22 +520,81 @@ impl<'a> TrainEngine<'a> {
                     None => term,
                 });
             }
+            let fused_raw = fused.as_ref().map(|t| t.value().item());
             let forward_micros = started.elapsed().as_micros() as u64;
+
+            // Guard checks that must run BEFORE the backward sweep: a
+            // non-finite or spiking loss would poison gradients and, one
+            // optimizer step later, the parameters.
+            let mut trip: Option<(GuardKind, String)> = None;
+            if guard_on {
+                if let Some(v) = fused_raw {
+                    if !v.is_finite() {
+                        trip = Some((GuardKind::NanLoss, format!("fused loss {v} not finite")));
+                    } else if guard.spike_window > 0 && self.window.len() >= guard.spike_window {
+                        let mean = self.window.iter().sum::<f32>() / self.window.len() as f32;
+                        if v > guard.spike_factor * mean.max(f32::MIN_POSITIVE) {
+                            trip = Some((
+                                GuardKind::LossSpike,
+                                format!(
+                                    "fused loss {v:.4} > {}x rolling mean {mean:.4}",
+                                    guard.spike_factor
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
 
             let mut backward_micros = 0u64;
             let mut optim_micros = 0u64;
-            let fused_value = fused.map(|total| {
-                let backward_started = Instant::now();
-                {
-                    let _backward_span = tele_trace::span!("engine.backward");
-                    tape.backward(total).accumulate_into(&tape, store);
-                    store.clip_grad_norm(self.cfg.clip_norm);
+            let mut grad_norm: Option<f32> = None;
+            if trip.is_none() {
+                if let Some(total_loss) = &fused {
+                    let backward_started = Instant::now();
+                    let norm;
+                    {
+                        let _backward_span = tele_trace::span!("engine.backward");
+                        tape.backward(*total_loss).accumulate_into(&tape, store);
+                        norm = store.clip_grad_norm(self.cfg.clip_norm);
+                    }
+                    grad_norm = Some(norm);
+                    backward_micros = backward_started.elapsed().as_micros() as u64;
+                    if guard_on && !norm.is_finite() {
+                        trip =
+                            Some((GuardKind::NanGrad, format!("gradient norm {norm} not finite")));
+                    } else {
+                        let optim_started = Instant::now();
+                        self.opt.step(store);
+                        optim_micros = optim_started.elapsed().as_micros() as u64;
+                    }
                 }
-                backward_micros = backward_started.elapsed().as_micros() as u64;
-                let optim_started = Instant::now();
-                self.opt.step(store);
-                optim_micros = optim_started.elapsed().as_micros() as u64;
-                total.value().item()
+            }
+
+            // Resolve the tripped guard into an action under the policy.
+            let event = trip.map(|(kind, detail)| {
+                let action = match guard.policy {
+                    GuardPolicy::Off => GuardAction::Observed,
+                    GuardPolicy::Skip => GuardAction::Skipped,
+                    GuardPolicy::Abort => GuardAction::Aborted,
+                    GuardPolicy::Rollback => {
+                        if self.restore.is_some() && self.recoveries < guard.max_recoveries {
+                            GuardAction::RolledBack
+                        } else {
+                            GuardAction::Aborted
+                        }
+                    }
+                };
+                tele_trace::metrics::counter_add("guard.trips", 1);
+                tele_trace::metrics::counter_add(
+                    match kind {
+                        GuardKind::NanLoss => "guard.nan_loss",
+                        GuardKind::NanGrad => "guard.nan_grad",
+                        GuardKind::LossSpike => "guard.loss_spike",
+                    },
+                    1,
+                );
+                GuardEvent { kind, action, detail }
             });
 
             let micros = started.elapsed().as_micros() as u64;
@@ -287,17 +604,69 @@ impl<'a> TrainEngine<'a> {
                 step,
                 lr,
                 objectives: records,
-                fused: fused_value,
+                fused: if event.is_none() { fused_raw } else { None },
                 uncertainty: model.anenc.as_ref().map(|a| a.uncertainties(store).to_vec()),
                 micros,
                 phases: Some(StepPhases { forward_micros, backward_micros, optim_micros }),
+                grad_norm,
+                guard: event.clone(),
             };
             for callback in &mut self.callbacks {
                 callback.on_step(&record);
             }
             trace.push(record);
-            self.completed = step + 1;
             drop(step_span);
+
+            match event.map(|e| e.action) {
+                Some(GuardAction::Aborted) => {
+                    tele_trace::metrics::counter_add("guard.aborts", 1);
+                    trace.aborted = true;
+                    break;
+                }
+                Some(GuardAction::RolledBack) => {
+                    tele_trace::metrics::counter_add("guard.rollbacks", 1);
+                    let rp = self.restore.as_ref().expect("rollback requires a restore point");
+                    store.restore(&rp.params);
+                    self.opt.import_state(store, &rp.optimizer);
+                    self.completed = rp.completed;
+                    self.lr_scale *= guard.lr_backoff;
+                    self.recoveries += 1;
+                    self.window.clear();
+                    eprintln!(
+                        "guard: rolled back step {step} to step {} (lr scale now {:.3})",
+                        rp.completed, self.lr_scale
+                    );
+                }
+                Some(GuardAction::Skipped) => {
+                    tele_trace::metrics::counter_add("guard.skips", 1);
+                    self.completed = step + 1;
+                }
+                Some(GuardAction::Observed) | None => {
+                    if guard_on && guard.spike_window > 0 {
+                        if let Some(v) = fused_raw {
+                            if v.is_finite() {
+                                self.window.push_back(v);
+                                while self.window.len() > guard.spike_window {
+                                    self.window.pop_front();
+                                }
+                            }
+                        }
+                    }
+                    self.completed = step + 1;
+                }
+            }
+            let due = self
+                .checkpointer
+                .as_ref()
+                .is_some_and(|ck| ck.every > 0 && self.completed.is_multiple_of(ck.every));
+            if due && !trace.aborted {
+                self.flush_checkpoint(store);
+            }
+        }
+        if !trace.aborted {
+            // Final (or stop-triggered) flush so the on-disk state always
+            // reflects the last completed step.
+            self.flush_checkpoint(store);
         }
         if tele_trace::is_enabled() {
             let elapsed = run_started.elapsed().as_secs_f64();

@@ -1,0 +1,226 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! Every injector here is driven by explicit step/byte coordinates rather
+//! than wall-clock or probability, so a chaos test that provokes a NaN at
+//! step 3 provokes it at step 3 on every run and every machine. Three
+//! fault families cover the recovery paths:
+//!
+//! - [`FaultyObjective`] wraps a real [`Objective`] and poisons its loss at
+//!   chosen steps (NaN, exploding scale, finite spike) — exercising the
+//!   engine guardrails,
+//! - [`flip_bit`] / [`truncate`] damage checkpoint bytes on disk —
+//!   exercising envelope validation and snapshot fallback,
+//! - [`FailingIo`] / [`TornIo`] sit under the
+//!   [`CheckpointStore`](crate::ckptstore::CheckpointStore) as
+//!   [`StoreIo`] implementations that fail or tear writes — exercising
+//!   save-failure tolerance and torn-write detection.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tele_tensor::Var;
+
+use crate::ckptstore::{FsIo, StoreIo};
+use crate::objective::{Objective, StepEnv};
+
+/// How a [`FaultyObjective`] poisons a step's loss.
+#[derive(Clone, Copy, Debug)]
+pub enum LossFault {
+    /// Replace the loss with NaN (trips the finite-loss guard).
+    Nan,
+    /// Scale the loss by a huge factor so the backward sweep overflows
+    /// (trips the finite-gradient-norm guard when the factor is large
+    /// enough, e.g. `1e20`).
+    Explode(f32),
+    /// Scale the loss by a finite factor, leaving it finite but far above
+    /// the rolling mean (trips the spike detector).
+    Spike(f32),
+}
+
+/// Wraps an objective and injects a [`LossFault`] at chosen steps.
+///
+/// With `once_per_step` (the default) each scheduled fault fires only the
+/// first time its step runs. The distinction matters under the rollback
+/// policy: per-step RNG makes a replayed step *identical* to its first
+/// execution, so a fault that re-fired on replay would force every rollback
+/// to re-trip until the engine escalates to abort. One-shot faults model
+/// the transient failures rollback exists to absorb; set
+/// [`Self::persistent`] to model a deterministic (data-caused) failure that
+/// no rollback can clear.
+pub struct FaultyObjective<'a> {
+    inner: Box<dyn Objective + 'a>,
+    faults: Vec<(usize, LossFault)>,
+    once_per_step: bool,
+    fired: HashSet<usize>,
+}
+
+impl<'a> FaultyObjective<'a> {
+    /// Wraps `inner`, injecting each `(step, fault)` the first time that
+    /// step runs.
+    pub fn new(inner: Box<dyn Objective + 'a>, faults: Vec<(usize, LossFault)>) -> Self {
+        FaultyObjective { inner, faults, once_per_step: true, fired: HashSet::new() }
+    }
+
+    /// Makes every scheduled fault fire on *every* execution of its step,
+    /// including rollback replays.
+    pub fn persistent(mut self) -> Self {
+        self.once_per_step = false;
+        self
+    }
+}
+
+impl Objective for FaultyObjective<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn weight(&self) -> f32 {
+        self.inner.weight()
+    }
+
+    fn loss<'t>(&mut self, env: &mut StepEnv<'t, '_>) -> Option<Var<'t>> {
+        let loss = self.inner.loss(env)?;
+        let step = env.step;
+        let due = self.faults.iter().find(|(s, _)| *s == step).map(|(_, f)| *f);
+        let Some(fault) = due else { return Some(loss) };
+        if self.once_per_step && !self.fired.insert(step) {
+            return Some(loss);
+        }
+        Some(match fault {
+            LossFault::Nan => loss.scale(f32::NAN),
+            LossFault::Explode(factor) | LossFault::Spike(factor) => loss.scale(factor),
+        })
+    }
+}
+
+/// Flips one bit of `bytes` (`bit` counts from the start of the buffer).
+pub fn flip_bit(bytes: &mut [u8], bit: usize) {
+    bytes[bit / 8] ^= 1 << (bit % 8);
+}
+
+/// Truncates `bytes` to its first `keep` bytes (no-op when already shorter).
+pub fn truncate(bytes: &mut Vec<u8>, keep: usize) {
+    bytes.truncate(keep);
+}
+
+/// [`StoreIo`] whose writes start failing after a budget of successes;
+/// reads keep working. Models a disk that fills up or loses its mount
+/// mid-run: the engine must keep training and older snapshots must stay
+/// loadable.
+pub struct FailingIo {
+    inner: FsIo,
+    writes_before_failure: usize,
+    writes: usize,
+}
+
+impl FailingIo {
+    /// Allows `writes_before_failure` successful writes, then fails every
+    /// subsequent one. Note each [`CheckpointStore::save`]
+    /// (crate::ckptstore::CheckpointStore::save) issues *two* writes
+    /// (snapshot + `LATEST` pointer).
+    pub fn after(writes_before_failure: usize) -> Self {
+        FailingIo { inner: FsIo, writes_before_failure, writes: 0 }
+    }
+}
+
+impl StoreIo for FailingIo {
+    fn write_atomic(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if self.writes >= self.writes_before_failure {
+            return Err(io::Error::other("injected write failure"));
+        }
+        self.writes += 1;
+        self.inner.write_atomic(path, bytes)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+}
+
+/// [`StoreIo`] that tears every Nth write: only the first half of the bytes
+/// reach disk, and no error is reported. Models the non-atomic writer the
+/// store exists to replace — the envelope checksum/length must catch the
+/// torn file on load.
+pub struct TornIo {
+    inner: FsIo,
+    tear_every: usize,
+    writes: usize,
+}
+
+impl TornIo {
+    /// Tears write number `tear_every`, `2*tear_every`, … (1 = every write).
+    pub fn every(tear_every: usize) -> Self {
+        TornIo { inner: FsIo, tear_every: tear_every.max(1), writes: 0 }
+    }
+}
+
+impl StoreIo for TornIo {
+    fn write_atomic(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.writes += 1;
+        let torn = self.writes.is_multiple_of(self.tear_every);
+        let bytes = if torn { &bytes[..bytes.len() / 2] } else { bytes };
+        self.inner.write_atomic(path, bytes)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckptstore::{decode_envelope, encode_envelope, CheckpointError};
+
+    #[test]
+    fn flip_bit_and_truncate_damage_envelopes_detectably() {
+        let mut bytes = encode_envelope(b"some payload");
+        // Flip a payload bit.
+        let bit = (bytes.len() - 2) * 8 + 3;
+        flip_bit(&mut bytes, bit);
+        assert!(matches!(decode_envelope(&bytes), Err(CheckpointError::ChecksumMismatch { .. })));
+        // Undamage, then truncate.
+        flip_bit(&mut bytes, bit);
+        let keep = bytes.len() - 4;
+        truncate(&mut bytes, keep);
+        assert!(matches!(decode_envelope(&bytes), Err(CheckpointError::Truncated { .. })));
+    }
+
+    #[test]
+    fn failing_io_counts_whole_writes() {
+        let dir = std::env::temp_dir().join(format!("tele-faults-failio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut io = FailingIo::after(1);
+        io.write_atomic(&dir.join("a"), b"ok").unwrap();
+        assert!(io.write_atomic(&dir.join("b"), b"fails").is_err());
+        assert!(io.read(&dir.join("a")).is_ok(), "reads survive write failures");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_io_halves_the_bytes() {
+        let dir = std::env::temp_dir().join(format!("tele-faults-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut io = TornIo::every(1);
+        io.write_atomic(&dir.join("t"), b"0123456789").unwrap();
+        assert_eq!(io.read(&dir.join("t")).unwrap(), b"01234");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

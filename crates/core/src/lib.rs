@@ -26,8 +26,10 @@
 pub mod anenc;
 pub mod batch;
 pub mod checkpoint;
+pub mod ckptstore;
 pub mod electra;
 pub mod engine;
+pub mod faults;
 pub mod fusion;
 pub mod ke;
 pub mod masking;
@@ -43,10 +45,17 @@ pub mod trainer;
 pub use anenc::{Anenc, AnencConfig};
 pub use batch::Batch;
 pub use checkpoint::{
-    clone_bundle, load_bundle, load_checkpoint, save_bundle, save_checkpoint, SavedBundle,
-    SavedCheckpoint,
+    clone_bundle, decode_stage_checkpoint, encode_stage_checkpoint, load_bundle, load_checkpoint,
+    restore_stage_checkpoint, save_bundle, save_checkpoint, SavedBundle, SavedCheckpoint,
+    StageCheckpoint,
 };
-pub use engine::{ActivationSchedule, EngineConfig, EngineState, TrainEngine};
+pub use ckptstore::{write_atomic, CheckpointError, CheckpointStore, FsIo, StoreIo};
+pub use faults::{flip_bit, truncate, FailingIo, FaultyObjective, LossFault, TornIo};
+
+pub use engine::{
+    step_seed, ActivationSchedule, CheckpointSink, EngineConfig, EngineState, GuardConfig,
+    GuardPolicy, TrainEngine,
+};
 pub use fusion::MultiTaskFusion;
 pub use masking::MaskingConfig;
 pub use model::{ModelConfig, Pooling, TeleBert, TeleModel};
@@ -55,6 +64,10 @@ pub use objective::{Objective, StepData, StepEnv};
 pub use service::{cosine, ServiceEncoder, ServiceFormat};
 pub use strategy::{StepTask, Strategy};
 pub use telemetry::{
-    JsonlSink, ObjectiveRecord, ObjectiveStats, StepRecord, TraceSummary, TrainCallback, TrainTrace,
+    GuardAction, GuardEvent, GuardKind, JsonlSink, ObjectiveRecord, ObjectiveStats, StepRecord,
+    TraceSummary, TrainCallback, TrainTrace,
 };
-pub use trainer::{pretrain, retrain, PretrainConfig, RetrainConfig, RetrainData, TrainLog};
+pub use trainer::{
+    pretrain, retrain, Checkpointing, FaultTolerance, PretrainConfig, RetrainConfig, RetrainData,
+    TrainLog,
+};

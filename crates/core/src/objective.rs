@@ -77,6 +77,9 @@ pub struct StepEnv<'t, 'a> {
     pub data: &'a StepData<'a>,
     /// The run's RNG (batch sampling, masking, dropout, negative sampling).
     pub rng: &'a mut StdRng,
+    /// Global schedule index of this step (used by fault injectors and
+    /// step-keyed objectives).
+    pub step: usize,
     batch: Option<MaskedSample>,
     generator: Option<GeneratorPass<'t>>,
     encoded: Option<EncodedBatch<'t>>,
@@ -90,8 +93,9 @@ impl<'t, 'a> StepEnv<'t, 'a> {
         model: &'a TeleModel,
         data: &'a StepData<'a>,
         rng: &'a mut StdRng,
+        step: usize,
     ) -> Self {
-        StepEnv { tape, store, model, data, rng, batch: None, generator: None, encoded: None }
+        StepEnv { tape, store, model, data, rng, step, batch: None, generator: None, encoded: None }
     }
 
     /// Samples and masks this step's batch (cached).

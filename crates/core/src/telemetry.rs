@@ -41,6 +41,44 @@ pub struct StepPhases {
     pub optim_micros: u64,
 }
 
+/// What a guardrail observed on a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardKind {
+    /// The fused loss was NaN or infinite.
+    NanLoss,
+    /// The gradient norm after the backward sweep was NaN or infinite.
+    NanGrad,
+    /// The fused loss jumped past the rolling-window spike threshold.
+    LossSpike,
+}
+
+/// What the engine did about a guard trip (driven by the configured
+/// [`GuardPolicy`](crate::engine::GuardPolicy)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardAction {
+    /// Recorded only; the step proceeded (policy `Off` never records, so
+    /// this marks a trip seen while a stop was already pending).
+    Observed,
+    /// The optimizer update was skipped; training continued.
+    Skipped,
+    /// Parameters and optimizer state were rolled back to the last restore
+    /// point and the learning rate was backed off.
+    RolledBack,
+    /// The run was aborted.
+    Aborted,
+}
+
+/// A guardrail trip attached to the step where it fired.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GuardEvent {
+    /// What was detected.
+    pub kind: GuardKind,
+    /// What the engine did about it.
+    pub action: GuardAction,
+    /// Human-readable context (offending value, thresholds).
+    pub detail: String,
+}
+
 /// Telemetry for a single optimizer step.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StepRecord {
@@ -60,6 +98,12 @@ pub struct StepRecord {
     /// Per-phase timing breakdown; `None` in records written before the
     /// breakdown existed.
     pub phases: Option<StepPhases>,
+    /// Pre-clip global gradient norm; `None` when the step never reached
+    /// the backward sweep (skipped or guarded before it). Non-finite norms
+    /// serialize as JSON `null`.
+    pub grad_norm: Option<f32>,
+    /// Guardrail trip on this step, if any.
+    pub guard: Option<GuardEvent>,
 }
 
 impl StepRecord {
@@ -124,6 +168,13 @@ pub struct TrainTrace {
     pub steps: usize,
     /// Per-step telemetry, one record per scheduled step.
     pub records: Vec<StepRecord>,
+    /// Number of records carrying a guardrail trip.
+    pub guard_events: usize,
+    /// True when the run ended early because the cooperative stop flag was
+    /// raised (a final checkpoint was flushed first).
+    pub stopped: bool,
+    /// True when a guardrail aborted the run.
+    pub aborted: bool,
     /// Running sum of fused losses, so `push` stays O(1) per step.
     fused_sum: f32,
 }
@@ -134,6 +185,9 @@ impl TrainTrace {
         if let Some(fused) = record.fused {
             self.final_loss = fused;
             self.fused_sum += fused;
+        }
+        if record.guard.is_some() {
+            self.guard_events += 1;
         }
         self.records.push(record);
         self.steps = self.records.len();
@@ -269,6 +323,8 @@ mod tests {
             uncertainty: Some(vec![1.0, 1.0, 1.0]),
             micros: 100,
             phases: Some(StepPhases { forward_micros: 60, backward_micros: 30, optim_micros: 10 }),
+            grad_norm: Some(0.5),
+            guard: None,
         }
     }
 
@@ -354,6 +410,28 @@ mod tests {
         let back = StepRecord::from_json(contents.lines().next().unwrap()).unwrap();
         assert_eq!(back.fused, Some(1.0));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn guard_event_round_trips_and_counts() {
+        let mut rec = record(3, None, &[("mlm", 1.0)]);
+        rec.guard = Some(GuardEvent {
+            kind: GuardKind::NanLoss,
+            action: GuardAction::Skipped,
+            detail: "fused loss non-finite".into(),
+        });
+        // Non-finite floats must serialize as null, keeping the JSONL valid.
+        rec.grad_norm = Some(f32::NAN);
+        let line = rec.to_json();
+        let back = StepRecord::from_json(&line).unwrap();
+        assert_eq!(back.guard, rec.guard);
+        assert_eq!(back.grad_norm, None, "NaN grad norm degrades to null");
+        let mut trace = TrainTrace::default();
+        trace.push(back);
+        trace.push(record(4, Some(1.0), &[]));
+        assert_eq!(trace.guard_events, 1);
+        assert!(!trace.aborted);
+        assert!(!trace.stopped);
     }
 
     #[test]

@@ -53,9 +53,35 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
     out
 }
 
-/// Writes [`chrome_trace_json`] output to `path`.
+/// Writes [`chrome_trace_json`] output to `path` atomically (temp file in
+/// the same directory, fsync, rename), so a crash mid-export can never
+/// leave a half-written trace behind.
 pub fn write_chrome_trace(path: &Path, events: &[SpanEvent]) -> io::Result<()> {
-    std::fs::write(path, chrome_trace_json(events))
+    write_atomic(path, chrome_trace_json(events).as_bytes())
+}
+
+/// Atomic whole-file write: temp + fsync + rename, with the temp file
+/// removed on a failed rename. Readers observe either the old contents or
+/// the new, never a partial file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut f =
+            std::fs::OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Aggregated timing for one span name.

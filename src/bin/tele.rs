@@ -6,7 +6,10 @@
 //! tele simulate [--seed N] [--episodes N]                 fault-episode summaries
 //! tele query    [--seed N] <SPARQL-like query>            query the Tele-KG
 //! tele train    [--seed N] [--steps N] [--retrain N] [--telemetry FILE]
-//!               [--profile FILE] --out FILE               train and checkpoint
+//!               [--profile FILE] [--checkpoint-dir DIR] [--checkpoint-every N]
+//!               [--checkpoint-keep N] [--resume auto|never]
+//!               [--guard off|skip|rollback|abort] [--stop-after N]
+//!               [--die-at-step N] --out FILE              train and checkpoint
 //! tele encode   --ckpt FILE <sentence> [<sentence> ...]   embed + similarities
 //! tele profile  [--seed N] [--steps N] [--out FILE]       profile a short run
 //! tele profile  --check FILE                              validate a trace file
@@ -17,8 +20,8 @@ use std::process::ExitCode;
 use tele_knowledge::datagen::{logs, Scale, Suite};
 use tele_knowledge::kg;
 use tele_knowledge::model::{
-    cosine, load_bundle, pretrain, retrain, save_bundle, PretrainConfig, RetrainConfig,
-    RetrainData, Strategy,
+    cosine, load_bundle, pretrain, retrain, save_bundle, write_atomic, Checkpointing,
+    FaultTolerance, GuardConfig, GuardPolicy, PretrainConfig, RetrainConfig, RetrainData, Strategy,
 };
 use tele_knowledge::tensor::nn::TransformerConfig;
 use tele_knowledge::tokenizer::{SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
@@ -108,7 +111,10 @@ const USAGE: &str = "tele — tele-knowledge CLI
   tele simulate [--seed N] [--episodes N]
   tele query    [--seed N] <query>      e.g. 'SELECT ?a WHERE { ?a type Alarm }'
   tele train    [--seed N] [--steps N] [--retrain N] [--telemetry FILE]
-                [--profile FILE] --out FILE
+                [--profile FILE] [--checkpoint-dir DIR] [--checkpoint-every N]
+                [--checkpoint-keep N] [--resume auto|never]
+                [--guard off|skip|rollback|abort] [--stop-after N]
+                [--die-at-step N] --out FILE
   tele encode   --ckpt FILE <sentence> [<sentence> ...]
   tele profile  [--seed N] [--steps N] [--out FILE]   profile a short training run
   tele profile  --check FILE                          validate a Chrome trace file";
@@ -199,6 +205,47 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the fault-tolerance flags shared by both training stages; `stage`
+/// names the per-stage snapshot subdirectory under `--checkpoint-dir`.
+fn fault_tolerance_flags(args: &Args, stage: &str) -> Result<FaultTolerance, String> {
+    let guard_policy =
+        GuardPolicy::parse(args.flags.get("guard").map(String::as_str).unwrap_or("off"))?;
+    let resume = match args.flags.get("resume").map(String::as_str) {
+        None | Some("never") => false,
+        Some("auto") => true,
+        Some(other) => return Err(format!("unknown resume mode {other:?} (auto|never)")),
+    };
+    let checkpointing = match args.flags.get("checkpoint-dir") {
+        Some(dir) => Some(Checkpointing {
+            dir: std::path::Path::new(dir).join(stage),
+            every: args.usize_flag("checkpoint-every", 25)?,
+            keep: args.usize_flag("checkpoint-keep", 3)?,
+            resume,
+        }),
+        None => {
+            if resume {
+                return Err("--resume auto needs --checkpoint-dir".into());
+            }
+            None
+        }
+    };
+    let stop_after = match args.flags.get("stop-after") {
+        Some(_) => Some(args.usize_flag("stop-after", 0)?),
+        None => None,
+    };
+    let die_at_step = match args.flags.get("die-at-step") {
+        Some(_) => Some(args.usize_flag("die-at-step", 0)?),
+        None => None,
+    };
+    Ok(FaultTolerance {
+        guard: GuardConfig::with_policy(guard_policy),
+        checkpointing,
+        stop: None,
+        stop_after,
+        die_at_step,
+    })
+}
+
 fn cmd_train(args: &Args) -> Result<(), String> {
     let out = args.flags.get("out").ok_or("--out FILE required")?;
     let seed = args.u64_flag("seed", 17)?;
@@ -240,11 +287,24 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         &suite.tele_corpus,
         &tokenizer,
         encoder,
-        &PretrainConfig { steps, seed, telemetry: telemetry.clone(), ..Default::default() },
+        &PretrainConfig {
+            steps,
+            seed,
+            telemetry: telemetry.clone(),
+            fault: fault_tolerance_flags(args, "stage1")?,
+            ..Default::default()
+        },
     );
     eprintln!("  final loss {:.3}", log.final_loss);
     for o in log.summary().objectives {
         eprintln!("    {}: final {:.3}, mean {:.3}", o.name, o.last, o.mean);
+    }
+    if log.aborted {
+        return Err("stage 1 aborted by a guardrail; checkpoint not written".into());
+    }
+    if log.stopped {
+        println!("stage 1 stopped cooperatively; resume with --resume auto");
+        return Ok(());
     }
 
     eprintln!("re-training KTeleBERT (IMTL): {retrain_steps} steps");
@@ -263,6 +323,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             steps: retrain_steps,
             seed,
             telemetry: retrain_telemetry,
+            fault: fault_tolerance_flags(args, "stage2")?,
             ..Default::default()
         },
     );
@@ -270,8 +331,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     for o in klog.summary().objectives {
         eprintln!("    {}: final {:.3}, mean {:.3}", o.name, o.last, o.mean);
     }
+    if klog.aborted {
+        return Err("stage 2 aborted by a guardrail; checkpoint not written".into());
+    }
+    if klog.stopped {
+        println!("stage 2 stopped cooperatively; resume with --resume auto");
+        return Ok(());
+    }
 
-    std::fs::write(out, save_bundle(&bundle)).map_err(|e| e.to_string())?;
+    write_atomic(std::path::Path::new(out), save_bundle(&bundle).as_bytes())
+        .map_err(|e| e.to_string())?;
     println!("checkpoint written to {out}");
 
     if let Some(path) = profile {

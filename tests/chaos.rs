@@ -1,0 +1,485 @@
+//! Chaos tests for the fault-tolerant training runtime.
+//!
+//! Every fault class the harness can inject is exercised here against the
+//! recovery path that must absorb it:
+//!
+//! - poisoned losses / exploding gradients / finite spikes → engine
+//!   guardrails under each policy (skip, rollback + LR backoff + escalation,
+//!   abort),
+//! - bit flips, truncation, torn writes, failing writers → checkpoint-store
+//!   envelope validation and snapshot fallback,
+//! - killed runs → `--resume auto` continuing **bit-identically** with an
+//!   uninterrupted run (per-step RNG + exact f32 round-trip),
+//! - arbitrary garbage fed to every load path → typed errors, never panics.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tele_knowledge::datagen::{corpus, TeleWorld, WorldConfig};
+use tele_knowledge::model::objective::SimCse;
+use tele_knowledge::model::{
+    encode_stage_checkpoint, load_bundle, load_checkpoint, pretrain, restore_stage_checkpoint,
+    ActivationSchedule, CheckpointError, CheckpointSink, CheckpointStore, Checkpointing,
+    EngineConfig, EngineState, FailingIo, FaultTolerance, FaultyObjective, GuardAction,
+    GuardConfig, GuardKind, GuardPolicy, LossFault, MaskingConfig, ModelConfig, PretrainConfig,
+    StepData, TeleModel, TornIo, TrainEngine, TrainTrace,
+};
+use tele_knowledge::tensor::optim::AdamWState;
+use tele_knowledge::tensor::{nn::TransformerConfig, ParamStore};
+use tele_knowledge::tokenizer::{Encoding, TeleTokenizer, TokenizerConfig};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tele-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_world() -> TeleWorld {
+    TeleWorld::generate(WorldConfig {
+        seed: 3,
+        ne_types: 4,
+        instances_per_type: 2,
+        alarms: 10,
+        kpis: 4,
+        avg_out_degree: 1.5,
+        expert_coverage: 0.8,
+    })
+}
+
+/// Shared corpus + tokenizer (tokenizer training is the expensive part of
+/// each harness run, so build it once for the whole suite).
+fn corpus_pool() -> &'static (Vec<String>, TeleTokenizer) {
+    static POOL: OnceLock<(Vec<String>, TeleTokenizer)> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let world = tiny_world();
+        let sentences = corpus::tele_corpus(
+            &world,
+            &corpus::CorpusConfig { seed: 1, sentences: 120, splice_fraction: 0.0 },
+        );
+        let tokenizer = TeleTokenizer::train(sentences.iter(), &TokenizerConfig::default());
+        (sentences, tokenizer)
+    })
+}
+
+fn tiny_encoder(vocab: usize) -> TransformerConfig {
+    TransformerConfig {
+        vocab,
+        dim: 16,
+        layers: 1,
+        heads: 2,
+        ffn_hidden: 32,
+        max_len: 32,
+        dropout: 0.1,
+    }
+}
+
+/// Runs a single-objective engine with faults injected into its loss and
+/// returns the trace. The SimCSE objective is self-supervised, so the rig
+/// needs no labels — just the shared corpus.
+fn guarded_run(
+    guard: GuardConfig,
+    faults: Vec<(usize, LossFault)>,
+    persistent: bool,
+    steps: usize,
+) -> TrainTrace {
+    let (sentences, tokenizer) = corpus_pool();
+    let encodings: Vec<Encoding> = sentences.iter().map(|s| tokenizer.encode(s, 32)).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let model = TeleModel::new(
+        &mut store,
+        "m",
+        &ModelConfig { encoder: tiny_encoder(tokenizer.vocab_size()), anenc: None },
+        &mut rng,
+    );
+    let schedule = ActivationSchedule::always(ActivationSchedule::group(&[0]), steps);
+    let mut engine =
+        TrainEngine::new(EngineConfig { seed: 5, guard, ..EngineConfig::default() }, schedule);
+    let mut faulty = FaultyObjective::new(Box::new(SimCse::new(0.05, 1.0)), faults);
+    if persistent {
+        faulty = faulty.persistent();
+    }
+    engine.add_objective(Box::new(faulty));
+    let data = StepData {
+        pool: &encodings,
+        batch_size: 4,
+        mask: MaskingConfig::stage1(),
+        tokenizer,
+        normalizer: None,
+    };
+    engine.run(&mut store, &model, &data)
+}
+
+/// Guard config with spike detection off, isolating the finite checks.
+fn finite_only(policy: GuardPolicy) -> GuardConfig {
+    GuardConfig { spike_window: 0, ..GuardConfig::with_policy(policy) }
+}
+
+#[test]
+fn guard_skip_rides_through_injected_nan() {
+    let trace = guarded_run(finite_only(GuardPolicy::Skip), vec![(3, LossFault::Nan)], true, 8);
+    assert!(!trace.aborted && !trace.stopped);
+    assert_eq!(trace.records.len(), 8, "skip must not shorten the run");
+    assert_eq!(trace.guard_events, 1);
+    let hit = &trace.records[3];
+    let event = hit.guard.as_ref().expect("step 3 must trip the guard");
+    assert_eq!(event.kind, GuardKind::NanLoss);
+    assert_eq!(event.action, GuardAction::Skipped);
+    assert!(hit.fused.is_none(), "a poisoned fused loss must not be reported as a value");
+    for (i, r) in trace.records.iter().enumerate() {
+        if i != 3 {
+            assert!(r.guard.is_none());
+            assert!(r.fused.is_some_and(f32::is_finite), "step {i} should be clean");
+        }
+    }
+}
+
+#[test]
+fn guard_abort_stops_run_before_poisoning_params() {
+    let trace = guarded_run(finite_only(GuardPolicy::Abort), vec![(2, LossFault::Nan)], true, 8);
+    assert!(trace.aborted);
+    assert_eq!(trace.records.len(), 3, "abort stops at the poisoned step");
+    let last = trace.records.last().unwrap();
+    assert_eq!(last.step, 2);
+    assert_eq!(last.guard.as_ref().unwrap().action, GuardAction::Aborted);
+}
+
+#[test]
+fn guard_rollback_recovers_and_backs_off_lr() {
+    let trace =
+        guarded_run(finite_only(GuardPolicy::Rollback), vec![(3, LossFault::Nan)], false, 8);
+    assert!(!trace.aborted);
+    // 0,1,2,3(trip) then a full replay 0..8 from the run-start restore point.
+    assert_eq!(trace.records.len(), 12);
+    let event = trace.records[3].guard.as_ref().unwrap();
+    assert_eq!(event.kind, GuardKind::NanLoss);
+    assert_eq!(event.action, GuardAction::RolledBack);
+    assert_eq!(trace.records[4].step, 0, "replay restarts at the restore point");
+    assert_eq!(trace.records.last().unwrap().step, 7, "replay completes the schedule");
+    // The transient fault fires once, so its step is clean on replay.
+    assert!(trace.records[7].guard.is_none());
+    assert!(trace.records[7].fused.is_some_and(f32::is_finite));
+    // LR backoff: every replayed step runs at half the original rate.
+    let before = trace.records[0].lr;
+    let after = trace.records[4].lr;
+    assert!((after - before * 0.5).abs() < 1e-9, "lr {after} should be half of {before}");
+}
+
+#[test]
+fn guard_rollback_escalates_to_abort_on_persistent_fault() {
+    let guard = GuardConfig { max_recoveries: 2, ..finite_only(GuardPolicy::Rollback) };
+    let trace = guarded_run(guard, vec![(2, LossFault::Nan)], true, 6);
+    // A fault that replays identically can never be rolled away: two
+    // rollbacks, then escalation.
+    assert!(trace.aborted);
+    assert_eq!(trace.records.len(), 9, "three attempts of steps 0..=2");
+    let actions: Vec<GuardAction> =
+        trace.records.iter().filter_map(|r| r.guard.as_ref()).map(|e| e.action).collect();
+    assert_eq!(actions, [GuardAction::RolledBack, GuardAction::RolledBack, GuardAction::Aborted]);
+}
+
+#[test]
+fn guard_catches_exploding_gradients_post_backward() {
+    let trace =
+        guarded_run(finite_only(GuardPolicy::Skip), vec![(2, LossFault::Explode(1e30))], true, 6);
+    assert!(!trace.aborted);
+    assert_eq!(trace.records.len(), 6);
+    let hit = &trace.records[2];
+    let event = hit.guard.as_ref().expect("overflowing backward must trip the gradient guard");
+    assert_eq!(event.kind, GuardKind::NanGrad, "loss stays finite; the gradient norm does not");
+    assert_eq!(event.action, GuardAction::Skipped);
+    assert!(hit.grad_norm.is_some_and(|n| !n.is_finite()));
+    // Skipping the poisoned update keeps the rest of the run clean.
+    assert!(trace.records[3..].iter().all(|r| r.fused.is_some_and(f32::is_finite)));
+}
+
+#[test]
+fn guard_spike_detector_flags_finite_jumps() {
+    let guard = GuardConfig { spike_window: 3, ..GuardConfig::with_policy(GuardPolicy::Skip) };
+    let trace = guarded_run(guard, vec![(5, LossFault::Spike(40.0))], true, 8);
+    assert!(!trace.aborted);
+    assert_eq!(trace.records.len(), 8);
+    let event = trace.records[5].guard.as_ref().expect("40x the rolling mean must trip");
+    assert_eq!(event.kind, GuardKind::LossSpike);
+    assert_eq!(event.action, GuardAction::Skipped);
+    assert_eq!(trace.guard_events, 1, "ordinary steps must not trip the detector");
+}
+
+/// Test-local sink mirroring the trainer's: full-store stage checkpoints
+/// into a [`CheckpointStore`] (here one with fault-injected IO).
+struct Saver {
+    cs: CheckpointStore,
+}
+
+impl CheckpointSink for Saver {
+    fn save(
+        &mut self,
+        step: usize,
+        store: &ParamStore,
+        state: &EngineState,
+    ) -> Result<(), CheckpointError> {
+        self.cs.save(step as u64, &encode_stage_checkpoint(store, state)).map(|_| ())
+    }
+}
+
+#[test]
+fn failing_writer_never_kills_training_and_keeps_old_snapshots() {
+    let dir = tmp_dir("failing-writer");
+    let (sentences, tokenizer) = corpus_pool();
+    let encodings: Vec<Encoding> = sentences.iter().map(|s| tokenizer.encode(s, 32)).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let model = TeleModel::new(
+        &mut store,
+        "m",
+        &ModelConfig { encoder: tiny_encoder(tokenizer.vocab_size()), anenc: None },
+        &mut rng,
+    );
+    let schedule = ActivationSchedule::always(ActivationSchedule::group(&[0]), 6);
+    let mut engine =
+        TrainEngine::new(EngineConfig { seed: 5, ..EngineConfig::default() }, schedule);
+    engine.add_objective(Box::new(SimCse::new(0.05, 1.0)));
+    // Each store save issues two writes (snapshot + LATEST): the step-2
+    // flush succeeds, every later one hits the injected failure.
+    let cs = CheckpointStore::with_io(&dir, 3, Box::new(FailingIo::after(2))).unwrap();
+    engine.set_checkpointing(2, Box::new(Saver { cs }));
+    let data = StepData {
+        pool: &encodings,
+        batch_size: 4,
+        mask: MaskingConfig::stage1(),
+        tokenizer,
+        normalizer: None,
+    };
+    let trace = engine.run(&mut store, &model, &data);
+    assert!(!trace.aborted, "a broken disk must not kill a good run");
+    assert_eq!(trace.records.len(), 6, "training continues through failed saves");
+
+    // The surviving snapshot is intact and restores into a fresh model.
+    let reopened = CheckpointStore::open(&dir, 3).unwrap();
+    let (step, payload) = reopened.load_latest().unwrap().expect("step-2 snapshot survived");
+    assert_eq!(step, 2);
+    let mut rng2 = StdRng::seed_from_u64(5);
+    let mut store2 = ParamStore::new();
+    let _model2 = TeleModel::new(
+        &mut store2,
+        "m",
+        &ModelConfig { encoder: tiny_encoder(tokenizer.vocab_size()), anenc: None },
+        &mut rng2,
+    );
+    let state = restore_stage_checkpoint(&mut store2, &payload).unwrap();
+    assert_eq!(state.completed, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_write_is_detected_and_falls_back_to_intact_snapshot() {
+    let dir = tmp_dir("torn");
+    // Writes per save: snapshot, LATEST. Tearing write #3 leaves snapshot 1
+    // and both pointers intact but halves snapshot 2 on disk.
+    let mut store = CheckpointStore::with_io(&dir, 3, Box::new(TornIo::every(3))).unwrap();
+    store.save(1, b"good-one").unwrap();
+    store.save(2, b"newer-but-torn").unwrap();
+    let (step, payload) = store.load_latest().unwrap().expect("an intact snapshot exists");
+    assert_eq!(step, 1, "the torn newest snapshot must be rejected");
+    assert_eq!(payload, b"good-one");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_inputs_error_instead_of_panicking() {
+    for junk in ["", "{", "{}", "[1,2,3]", "null", "\"checkpoint\"", "{\"params\": 3}"] {
+        assert!(load_bundle(junk).is_err(), "load_bundle({junk:?}) must fail cleanly");
+        assert!(load_checkpoint(junk).is_err(), "load_checkpoint({junk:?}) must fail cleanly");
+    }
+    use tele_knowledge::model::decode_stage_checkpoint;
+    assert!(decode_stage_checkpoint(&[0xFF, 0xFE, 0x01]).is_err(), "non-UTF-8 payload");
+    assert!(decode_stage_checkpoint(b"{}").is_err(), "missing fields");
+
+    // A structurally valid stage checkpoint whose parameters match nothing
+    // in the target store is a typed error, not silent acceptance.
+    let empty = ParamStore::new();
+    let state = EngineState {
+        completed: 0,
+        optimizer: AdamWState { step: 0, moments: vec![], no_decay: vec![] },
+        total_steps: 4,
+    };
+    let payload = encode_stage_checkpoint(&empty, &state);
+    let mut target = ParamStore::new();
+    assert!(matches!(
+        restore_stage_checkpoint(&mut target, &payload),
+        Err(CheckpointError::NoParamsLoaded)
+    ));
+}
+
+#[test]
+fn resume_rejects_checkpoints_from_a_different_model() {
+    let (_, tokenizer) = corpus_pool();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let _model = TeleModel::new(
+        &mut store,
+        "m",
+        &ModelConfig { encoder: tiny_encoder(tokenizer.vocab_size()), anenc: None },
+        &mut rng,
+    );
+    let schedule = ActivationSchedule::always(ActivationSchedule::group(&[0]), 8);
+    let mut engine = TrainEngine::new(EngineConfig::default(), schedule);
+
+    // Optimizer moments naming a parameter this store has never seen: the
+    // snapshot belongs to another model, and importing it would silently
+    // drop the moments (drift). Resume must refuse instead.
+    let alien = EngineState {
+        completed: 1,
+        optimizer: AdamWState {
+            step: 1,
+            moments: vec![("ghost.weight".to_string(), vec![0.0], vec![0.0])],
+            no_decay: vec![],
+        },
+        total_steps: 8,
+    };
+    match engine.resume(&store, &alien) {
+        Err(CheckpointError::StateMismatch { missing }) => {
+            assert_eq!(missing, ["ghost.weight"]);
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
+
+    // A progress marker past the schedule end is impossible, not resumable.
+    let overrun = EngineState {
+        completed: 99,
+        optimizer: AdamWState { step: 99, moments: vec![], no_decay: vec![] },
+        total_steps: 8,
+    };
+    assert!(matches!(engine.resume(&store, &overrun), Err(CheckpointError::Invalid(_))));
+}
+
+#[test]
+fn stop_and_resume_matches_uninterrupted_run_bit_for_bit() {
+    let dir = tmp_dir("stop-resume");
+    let (sentences, tokenizer) = corpus_pool();
+    let encoder = tiny_encoder(tokenizer.vocab_size());
+    let base = PretrainConfig { steps: 12, batch_size: 4, seed: 11, ..Default::default() };
+
+    // Reference: the uninterrupted run.
+    let (_, full) = pretrain(sentences, tokenizer, encoder.clone(), &base);
+    assert_eq!(full.records.len(), 12);
+
+    // Chaos: the same run stopped cooperatively after 5 steps (the stop
+    // flag is the in-process stand-in for SIGTERM), flushing a final
+    // checkpoint on the way out.
+    let stopped_cfg = PretrainConfig {
+        fault: FaultTolerance {
+            checkpointing: Some(Checkpointing {
+                dir: dir.clone(),
+                every: 0,
+                keep: 3,
+                resume: true,
+            }),
+            stop_after: Some(5),
+            ..Default::default()
+        },
+        ..base.clone()
+    };
+    let (_, part1) = pretrain(sentences, tokenizer, encoder.clone(), &stopped_cfg);
+    assert!(part1.stopped, "the stop flag must interrupt the run");
+    assert!(!part1.aborted);
+    assert_eq!(part1.records.len(), 5);
+
+    // Resume: picks up from the flushed snapshot and finishes the schedule.
+    let resumed_cfg = PretrainConfig {
+        fault: FaultTolerance {
+            checkpointing: Some(Checkpointing::auto(dir.clone(), 0)),
+            ..Default::default()
+        },
+        ..base.clone()
+    };
+    let (_, part2) = pretrain(sentences, tokenizer, encoder, &resumed_cfg);
+    assert!(!part2.stopped);
+    assert_eq!(part2.records.first().unwrap().step, 5, "resume continues at the stopped step");
+    assert_eq!(part2.records.len(), 7);
+
+    // Bit-identical telemetry: the interrupted prefix and the resumed tail
+    // together reproduce the uninterrupted run exactly — f32 bit patterns,
+    // not approximate equality.
+    for (a, b) in part1.records.iter().zip(&full.records[..5]) {
+        assert_eq!(a.step, b.step);
+        assert_eq!(a.fused.unwrap().to_bits(), b.fused.unwrap().to_bits());
+    }
+    for (a, b) in part2.records.iter().zip(&full.records[5..]) {
+        assert_eq!(a.step, b.step);
+        assert_eq!(a.lr.to_bits(), b.lr.to_bits(), "LR schedule must not drift across resume");
+        assert_eq!(
+            a.fused.unwrap().to_bits(),
+            b.fused.unwrap().to_bits(),
+            "step {} diverged after resume",
+            a.step
+        );
+    }
+    assert_eq!(part2.final_loss.to_bits(), full.final_loss.to_bits());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_falls_back_past_a_corrupted_snapshot() {
+    let dir = tmp_dir("resume-fallback");
+    let (sentences, tokenizer) = corpus_pool();
+    let encoder = tiny_encoder(tokenizer.vocab_size());
+    let base = PretrainConfig { steps: 12, batch_size: 4, seed: 19, ..Default::default() };
+
+    // Produce snapshots at steps 2, 4, 6, then stop.
+    let cfg = PretrainConfig {
+        fault: FaultTolerance {
+            checkpointing: Some(Checkpointing {
+                dir: dir.clone(),
+                every: 2,
+                keep: 10,
+                resume: true,
+            }),
+            stop_after: Some(6),
+            ..Default::default()
+        },
+        ..base.clone()
+    };
+    let (_, part1) = pretrain(sentences, tokenizer, encoder.clone(), &cfg);
+    assert!(part1.stopped);
+
+    // Corrupt the newest snapshot on disk with a payload bit flip.
+    let snapshots = CheckpointStore::open(&dir, 10).unwrap().snapshots();
+    assert_eq!(snapshots.first().map(|(s, _)| *s), Some(6));
+    let newest = snapshots[0].1.clone();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x20;
+    std::fs::write(&newest, bytes).unwrap();
+
+    // Resume detects the corruption and continues from the step-4 snapshot.
+    let resume_cfg = PretrainConfig {
+        fault: FaultTolerance {
+            checkpointing: Some(Checkpointing {
+                dir: dir.clone(),
+                every: 2,
+                keep: 10,
+                resume: true,
+            }),
+            ..Default::default()
+        },
+        ..base.clone()
+    };
+    let (_, part2) = pretrain(sentences, tokenizer, encoder.clone(), &resume_cfg);
+    assert_eq!(part2.records.first().unwrap().step, 4, "fell back to the older intact snapshot");
+    assert_eq!(part2.records.last().unwrap().step, 11);
+    assert!(part2.final_loss.is_finite());
+
+    // With every snapshot destroyed, resume degrades to a fresh start — a
+    // damaged checkpoint directory must never be fatal.
+    for (_, path) in CheckpointStore::open(&dir, 10).unwrap().snapshots() {
+        std::fs::write(&path, b"total garbage").unwrap();
+    }
+    let (_, part3) = pretrain(sentences, tokenizer, encoder, &resume_cfg);
+    assert_eq!(part3.records.first().unwrap().step, 0, "all-corrupt store restarts from scratch");
+    assert_eq!(part3.records.len(), 12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
