@@ -13,6 +13,7 @@
 //! in `results/*.json` and are summarized in EXPERIMENTS.md.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod analysis;
 pub mod experiments;

@@ -1,0 +1,413 @@
+//! The run-config format `tele check` verifies, plus the config-validation
+//! pass (masking rate, schedule coverage, fusion arity, encoder arithmetic).
+
+use ktelebert::engine::ActivationSchedule;
+use ktelebert::{AnencConfig, Strategy};
+use serde::{Deserialize, Serialize};
+use tele_tensor::nn::TransformerConfig;
+
+use crate::diag::Diagnostic;
+
+/// Which training driver the config describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// Stage-1 TeleBERT pre-training (ELECTRA + RTD + SimCSE).
+    Pretrain,
+    /// Stage-2 KTeleBERT re-training (mask + numeric bundle + KE).
+    Retrain,
+}
+
+// Hand-rolled lowercase tags ("pretrain"/"retrain"): the vendored serde
+// derive serializes enum variants by their Rust identifier.
+impl Serialize for Stage {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Stage::Pretrain => serde::Value::Str("pretrain".to_string()),
+            Stage::Retrain => serde::Value::Str("retrain".to_string()),
+        }
+    }
+}
+
+impl Deserialize for Stage {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v.as_str() {
+            Some("pretrain") => Ok(Stage::Pretrain),
+            Some("retrain") => Ok(Stage::Retrain),
+            _ => Err(serde::DeError::expected("stage (pretrain|retrain)", v)),
+        }
+    }
+}
+
+/// Masking spec mirrored from `ktelebert::MaskingConfig` (which does not
+/// serialize itself).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MaskingSpec {
+    /// Fraction of candidate tokens to mask; must lie in `(0, 1]`.
+    pub rate: f32,
+    /// Whole-word masking.
+    pub whole_word: bool,
+}
+
+/// A statically-checkable training-run description.
+///
+/// This is what zoo entries and CLI runs are validated against before any
+/// tensor is allocated: `tele check configs/ktelebert_lab.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckConfig {
+    /// Run name (reports and telemetry).
+    pub name: String,
+    /// Which trainer the config drives.
+    pub stage: Stage,
+    /// Encoder hyper-parameters.
+    pub encoder: TransformerConfig,
+    /// ANEnc hyper-parameters, when the adaptive numeric encoder is attached.
+    pub anenc: Option<AnencConfig>,
+    /// Multi-task strategy (`stl` / `pmtl` / `imtl`); retrain only.
+    pub strategy: Option<String>,
+    /// Optimizer steps.
+    pub steps: usize,
+    /// Sequences per batch.
+    pub batch_size: usize,
+    /// Masking strategy.
+    pub masking: MaskingSpec,
+    /// Slots of the uncertainty fusion head over task losses; must cover the
+    /// active objectives.
+    pub fusion_tasks: usize,
+    /// Active objectives, by engine name (`mlm`/`rtd`/`simcse` for
+    /// pretrain, `mask`/`num`/`ke` for retrain). Order is the engine's
+    /// objective index order.
+    pub objectives: Vec<String>,
+    /// Parameter-name prefixes that are *allowed* to be unreachable by
+    /// backward under every schedule stage (documented exceptions, e.g.
+    /// `telebert.mlm_bias` during stage 1 where MLM runs on the ELECTRA
+    /// generator instead).
+    #[serde(default)]
+    pub expected_dead: Vec<String>,
+}
+
+impl CheckConfig {
+    /// Parses a config from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("config parse error: {e}"))
+    }
+
+    /// The parsed strategy, defaulting to PMTL when unset.
+    pub fn parsed_strategy(&self) -> Option<Strategy> {
+        match self.strategy.as_deref() {
+            None => Some(Strategy::Pmtl),
+            Some(s) => match s.to_ascii_lowercase().as_str() {
+                "stl" => Some(Strategy::Stl),
+                "pmtl" => Some(Strategy::Pmtl),
+                "imtl" => Some(Strategy::Imtl),
+                _ => None,
+            },
+        }
+    }
+
+    /// Objective names valid for the configured stage, in engine order.
+    pub fn known_objectives(&self) -> &'static [&'static str] {
+        match self.stage {
+            Stage::Pretrain => &["mlm", "rtd", "simcse"],
+            Stage::Retrain => &["mask", "num", "ke"],
+        }
+    }
+
+    /// Compiles the activation schedule exactly the way the trainers do:
+    /// pretrain activates every objective each step; retrain splits
+    /// objectives into the mask-reconstruction group and the KE group and
+    /// compiles the strategy.
+    pub fn schedule(&self) -> Option<ActivationSchedule> {
+        if self.objectives.len() >= 32 {
+            return None;
+        }
+        match self.stage {
+            Stage::Pretrain => {
+                let all: Vec<usize> = (0..self.objectives.len()).collect();
+                Some(ActivationSchedule::always(ActivationSchedule::group(&all), self.steps))
+            }
+            Stage::Retrain => {
+                let mask_idx: Vec<usize> = self
+                    .objectives
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.as_str() != "ke")
+                    .map(|(i, _)| i)
+                    .collect();
+                let ke_idx: Vec<usize> = self
+                    .objectives
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.as_str() == "ke")
+                    .map(|(i, _)| i)
+                    .collect();
+                Some(ActivationSchedule::from_strategy(
+                    self.parsed_strategy()?,
+                    self.steps,
+                    ActivationSchedule::group(&mask_idx),
+                    ActivationSchedule::group(&ke_idx),
+                ))
+            }
+        }
+    }
+}
+
+/// The config-validation pass: pure arithmetic over the parsed config, no
+/// tensors, no model.
+pub fn validate(cfg: &CheckConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let err = |code: &str, site: &str, msg: String| Diagnostic::error("config", code, site, msg);
+
+    if cfg.steps == 0 {
+        out.push(err("steps", "", "steps must be > 0".into()));
+    }
+    if cfg.batch_size == 0 {
+        out.push(err("batch-size", "", "batch_size must be > 0".into()));
+    }
+    if !(cfg.masking.rate > 0.0 && cfg.masking.rate <= 1.0) {
+        out.push(err(
+            "masking-rate",
+            "",
+            format!("masking rate {} outside (0, 1]", cfg.masking.rate),
+        ));
+    }
+
+    let e = &cfg.encoder;
+    let esite = "encoder";
+    if e.vocab == 0 {
+        out.push(err("vocab", esite, "vocab must be > 0".into()));
+    }
+    if e.dim == 0 || e.layers == 0 || e.heads == 0 || e.ffn_hidden == 0 {
+        out.push(err("encoder-dims", esite, "dim/layers/heads/ffn_hidden must be > 0".into()));
+    }
+    if e.heads != 0 && !e.dim.is_multiple_of(e.heads) {
+        out.push(err(
+            "heads-divide-dim",
+            esite,
+            format!("dim {} not divisible by heads {}", e.dim, e.heads),
+        ));
+    }
+    if e.max_len < 2 {
+        out.push(err("max-len", esite, format!("max_len {} too small", e.max_len)));
+    }
+    if !(0.0..1.0).contains(&e.dropout) {
+        out.push(err("dropout", esite, format!("dropout {} outside [0, 1)", e.dropout)));
+    }
+
+    if let Some(a) = &cfg.anenc {
+        let asite = "anenc";
+        if a.metas == 0 || a.dim % a.metas.max(1) != 0 {
+            out.push(err(
+                "metas-divide-dim",
+                asite,
+                format!("metas {} must divide dim {}", a.metas, a.dim),
+            ));
+        }
+        if a.lora_rank == 0 || a.lora_rank > a.dim {
+            out.push(err(
+                "lora-rank",
+                asite,
+                format!("LoRA rank {} outside [1, {}]", a.lora_rank, a.dim),
+            ));
+        }
+        if a.alpha < 1.0 {
+            out.push(err("lora-alpha", asite, format!("alpha {} must be >= 1", a.alpha)));
+        }
+        // Note: a.dim vs encoder.dim is deliberately NOT checked here — the
+        // graph pass catches it symbolically at the exact op that fails
+        // (the scatter of numeric embeddings into the hidden sequence).
+    }
+
+    // Objectives: known names for the stage, no duplicates.
+    let known = cfg.known_objectives();
+    if cfg.objectives.is_empty() {
+        out.push(err("objectives", "", "at least one objective required".into()));
+    }
+    for (i, name) in cfg.objectives.iter().enumerate() {
+        if !known.contains(&name.as_str()) {
+            out.push(err(
+                "unknown-objective",
+                &format!("objectives[{i}]"),
+                format!("unknown objective {name:?} for stage {:?} (known: {known:?})", cfg.stage),
+            ));
+        }
+        if cfg.objectives[..i].contains(name) {
+            out.push(err(
+                "duplicate-objective",
+                &format!("objectives[{i}]"),
+                format!("objective {name:?} listed twice"),
+            ));
+        }
+    }
+    if cfg.stage == Stage::Retrain
+        && cfg.objectives.iter().any(|n| n == "num")
+        && cfg.anenc.is_none()
+    {
+        out.push(Diagnostic::warning(
+            "config",
+            "num-without-anenc",
+            "objectives",
+            "objective \"num\" abstains every step without an attached ANEnc (w/o-ANEnc ablation)",
+        ));
+    }
+
+    // Fusion arity: the uncertainty head must have one slot per active
+    // objective. Fewer slots is the runtime panic "more losses than fusion
+    // slots"; extra slots are untrained parameters.
+    if cfg.fusion_tasks < cfg.objectives.len() {
+        out.push(err(
+            "fusion-arity",
+            "fusion",
+            format!(
+                "fusion head has {} slot(s) for {} active objective(s): more losses than fusion slots",
+                cfg.fusion_tasks,
+                cfg.objectives.len()
+            ),
+        ));
+    } else if cfg.fusion_tasks > cfg.objectives.len() {
+        out.push(err(
+            "fusion-arity",
+            "fusion",
+            format!(
+                "fusion head has {} slot(s) but only {} active objective(s): surplus slots never train",
+                cfg.fusion_tasks,
+                cfg.objectives.len()
+            ),
+        ));
+    }
+
+    // Strategy + schedule coverage.
+    if cfg.stage == Stage::Pretrain && cfg.strategy.is_some() {
+        out.push(Diagnostic::warning(
+            "config",
+            "strategy-ignored",
+            "strategy",
+            "pretrain always activates every objective; strategy is ignored",
+        ));
+    }
+    if cfg.parsed_strategy().is_none() {
+        out.push(err(
+            "strategy",
+            "strategy",
+            format!("unknown strategy {:?} (expected stl/pmtl/imtl)", cfg.strategy),
+        ));
+    } else if cfg.steps > 0 && !cfg.objectives.is_empty() {
+        if let Some(schedule) = cfg.schedule() {
+            let mut union = 0u32;
+            let mut idle_steps = 0usize;
+            for step in 0..schedule.len() {
+                let m = schedule.active(step);
+                union |= m;
+                if m == 0 {
+                    idle_steps += 1;
+                }
+            }
+            for (i, name) in cfg.objectives.iter().enumerate() {
+                if union & (1 << i) == 0 {
+                    out.push(err(
+                        "schedule-coverage",
+                        "strategy",
+                        format!(
+                            "objective {name:?} (index {i}) is never activated by the {:?}-step schedule",
+                            schedule.len()
+                        ),
+                    ));
+                }
+            }
+            if idle_steps > 0 {
+                out.push(err(
+                    "schedule-idle",
+                    "strategy",
+                    format!("{idle_steps} step(s) activate no objective at all"),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn tiny_retrain() -> CheckConfig {
+        CheckConfig {
+            name: "tiny".into(),
+            stage: Stage::Retrain,
+            encoder: TransformerConfig {
+                vocab: 64,
+                dim: 16,
+                layers: 1,
+                heads: 2,
+                ffn_hidden: 32,
+                max_len: 32,
+                dropout: 0.1,
+            },
+            anenc: Some(AnencConfig::for_dim(16, 3)),
+            strategy: Some("imtl".into()),
+            steps: 24,
+            batch_size: 4,
+            masking: MaskingSpec { rate: 0.4, whole_word: true },
+            fusion_tasks: 3,
+            objectives: vec!["mask".into(), "num".into(), "ke".into()],
+            expected_dead: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_config_is_clean() {
+        let diags = validate(&tiny_retrain());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn masking_rate_bounds() {
+        let mut cfg = tiny_retrain();
+        cfg.masking.rate = 0.0;
+        assert!(validate(&cfg).iter().any(|d| d.code == "masking-rate"));
+        cfg.masking.rate = 1.0;
+        assert!(!validate(&cfg).iter().any(|d| d.code == "masking-rate"));
+        cfg.masking.rate = 1.01;
+        assert!(validate(&cfg).iter().any(|d| d.code == "masking-rate"));
+    }
+
+    #[test]
+    fn fusion_arity_must_match() {
+        let mut cfg = tiny_retrain();
+        cfg.fusion_tasks = 2;
+        let diags = validate(&cfg);
+        let d = diags.iter().find(|d| d.code == "fusion-arity").expect("fusion-arity");
+        assert!(d.message.contains("more losses than fusion slots"), "{}", d.message);
+        cfg.fusion_tasks = 5;
+        assert!(validate(&cfg).iter().any(|d| d.code == "fusion-arity"));
+    }
+
+    #[test]
+    fn schedule_must_cover_every_objective() {
+        // STL never activates the KE group: objective "ke" is uncovered.
+        let mut cfg = tiny_retrain();
+        cfg.strategy = Some("stl".into());
+        let diags = validate(&cfg);
+        assert!(
+            diags.iter().any(|d| d.code == "schedule-coverage" && d.message.contains("\"ke\"")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_objective_rejected() {
+        let mut cfg = tiny_retrain();
+        cfg.objectives = vec!["mask".into(), "rtd".into()];
+        cfg.fusion_tasks = 2;
+        assert!(validate(&cfg).iter().any(|d| d.code == "unknown-objective"));
+    }
+
+    #[test]
+    fn config_roundtrips_json() {
+        let cfg = tiny_retrain();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back = CheckConfig::from_json(&json).unwrap();
+        assert_eq!(back.objectives, cfg.objectives);
+        assert_eq!(back.stage, Stage::Retrain);
+    }
+}

@@ -1,0 +1,380 @@
+//! The coverage pass: a dry tape walk proving every registered parameter is
+//! reachable by backward under each [`ActivationSchedule`] stage.
+//!
+//! The pass builds a *structural probe* of the configured model — the same
+//! parameter set (names, module structure, layer/meta/head counts) at
+//! shrunken widths — runs one real forward pass per distinct schedule
+//! stage with the actual [`Objective`] implementations, and asks the tape
+//! which parameter leaves the backward sweep can reach
+//! ([`Tape::reachable_params`]). Widths do not change connectivity, so the
+//! probe's reachability is the full model's, at a fraction of the cost.
+//!
+//! A parameter dead under *every* stage is an error (it would silently
+//! never train) unless the config declares it in `expected_dead`; a
+//! parameter dead under *some* stage but trained by another is a per-stage
+//! warning (IMTL stages do this by design).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ktelebert::{
+    electra::Electra,
+    ke::KeConfig,
+    objective::{
+        ElectraMlm, KnowledgeEmbedding, MaskedLm, NumericBundle, Objective, ReplacedTokenDetection,
+        SimCse, StepData, StepEnv,
+    },
+    AnencConfig, MaskingConfig, ModelConfig, TagNormalizer, TeleModel,
+};
+use tele_kg::{Literal, Schema, TeleKg};
+use tele_tensor::{nn::TransformerConfig, ParamStore, Tape};
+use tele_tokenizer::{patterns, Encoding, SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
+
+use crate::config::{CheckConfig, Stage};
+use crate::diag::Diagnostic;
+
+const PROBE_BATCH: usize = 4;
+
+/// Shrinks the configured widths to probe size while preserving everything
+/// that determines the parameter *set*: layer counts, head counts, meta
+/// counts, TGC presence. Divisibility (`dim % heads`, `dim % metas`) is
+/// preserved by construction.
+fn probe_dims(cfg: &CheckConfig, vocab: usize, num_tags: usize) -> ModelConfig {
+    let heads = cfg.encoder.heads.max(1);
+    let metas = cfg.anenc.as_ref().map(|a| a.metas.max(1)).unwrap_or(1);
+    let mut dim = heads * metas;
+    while dim < 8 {
+        dim *= 2;
+    }
+    let encoder = TransformerConfig {
+        vocab,
+        dim,
+        layers: cfg.encoder.layers,
+        heads,
+        ffn_hidden: 2 * dim,
+        max_len: 48,
+        dropout: cfg.encoder.dropout,
+    };
+    let anenc = cfg.anenc.as_ref().map(|a| AnencConfig {
+        dim,
+        metas,
+        layers: a.layers,
+        lora_rank: a.lora_rank.clamp(1, dim),
+        alpha: a.alpha.max(1.0),
+        num_tags: if a.num_tags > 0 { num_tags } else { 0 },
+        tau: a.tau,
+        lambda: a.lambda,
+    });
+    ModelConfig { encoder, anenc }
+}
+
+/// A tiny Tele-KG for the KE objective probe.
+fn probe_kg() -> TeleKg {
+    let mut schema = Schema::with_roots();
+    let ev = schema.event_root();
+    let alarm = schema.add_class("Alarm", ev);
+    let mut kg = TeleKg::new(schema);
+    let names = [
+        "control plane congested",
+        "registration surge detected",
+        "session reject increases",
+        "heartbeat link failed",
+    ];
+    let entities: Vec<_> = names.iter().map(|n| kg.add_entity(n, alarm)).collect();
+    for (i, &e) in entities.iter().enumerate() {
+        kg.add_attribute(e, "impact", Literal::Number(i as f32 / 3.0));
+    }
+    let trigger = kg.add_relation("trigger");
+    kg.add_triple(entities[0], trigger, entities[1]);
+    kg.add_triple(entities[1], trigger, entities[2]);
+    kg.add_triple(entities[2], trigger, entities[3]);
+    kg
+}
+
+const PROBE_TAGS: [&str; 3] = ["success rate", "packet loss", "cpu load"];
+
+struct Fixtures {
+    tokenizer: TeleTokenizer,
+    pool: Vec<Encoding>,
+    normalizer: TagNormalizer,
+    kg: TeleKg,
+}
+
+fn probe_fixtures() -> Fixtures {
+    let kg = probe_kg();
+    let mut corpus: Vec<String> = kg.entity_ids().map(|e| kg.surface(e).to_string()).collect();
+    for tag in PROBE_TAGS {
+        corpus.push(format!("{tag} of the SMF node drops sharply"));
+    }
+    let corpus: Vec<String> = (0..6).flat_map(|_| corpus.clone()).collect();
+    let tokenizer = TeleTokenizer::train(
+        corpus,
+        &TokenizerConfig {
+            bpe_merges: 40,
+            special: SpecialTokenConfig { min_len: 2, max_len: 4, min_freq: 100 },
+            phrases: vec![],
+        },
+    );
+    let mut pool = Vec::new();
+    for (i, tag) in PROBE_TAGS.iter().cycle().take(8).enumerate() {
+        let value = 0.1 + 0.1 * i as f32;
+        pool.push(tokenizer.encode_template(&patterns::kpi(tag, "SMF", value), 48));
+    }
+    let mut normalizer = TagNormalizer::new();
+    normalizer.fit(PROBE_TAGS.iter().flat_map(|t| [(*t, 0.0), (*t, 1.0)]));
+    Fixtures { tokenizer, pool, normalizer, kg }
+}
+
+/// One distinct schedule stage: its activation mask and a readable label.
+struct StageProbe {
+    mask: u32,
+    label: String,
+}
+
+fn distinct_stages(cfg: &CheckConfig) -> Vec<StageProbe> {
+    let Some(schedule) = cfg.schedule() else { return Vec::new() };
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for step in 0..schedule.len() {
+        let mask = schedule.active(step);
+        if mask == 0 || !seen.insert(mask) {
+            continue;
+        }
+        let active: Vec<&str> = cfg
+            .objectives
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, n)| n.as_str())
+            .collect();
+        out.push(StageProbe { mask, label: format!("stage[{}]", active.join("+")) });
+    }
+    out
+}
+
+/// Runs the coverage pass. Assumes the config and graph passes ran clean
+/// (the probe constructs a real model, so config-level violations would
+/// panic here instead of reporting).
+pub fn verify_coverage(cfg: &CheckConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let fx = probe_fixtures();
+    let stages = distinct_stages(cfg);
+    if stages.is_empty() {
+        return out;
+    }
+
+    let probe = probe_dims(cfg, fx.tokenizer.vocab_size(), fx.normalizer.num_tags());
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut store = ParamStore::new();
+    let model = TeleModel::new(&mut store, "telebert", &probe, &mut rng);
+    let electra = (cfg.stage == Stage::Pretrain)
+        .then(|| Rc::new(Electra::new(&mut store, "electra", &probe.encoder, 1.0, &mut rng)));
+
+    let all_names: Vec<String> = store.ids().map(|id| store.name(id).to_string()).collect();
+    let data = StepData {
+        pool: &fx.pool,
+        batch_size: PROBE_BATCH,
+        mask: MaskingConfig { rate: cfg.masking.rate, whole_word: cfg.masking.whole_word },
+        tokenizer: &fx.tokenizer,
+        normalizer: (cfg.stage == Stage::Retrain).then_some(&fx.normalizer),
+    };
+
+    // Per-stage reachability via a real forward pass + dry tape walk.
+    let mut reach_per_stage: Vec<BTreeSet<String>> = Vec::new();
+    for (stage_idx, stage) in stages.iter().enumerate() {
+        let mut objectives: Vec<Box<dyn Objective + '_>> = Vec::new();
+        for name in &cfg.objectives {
+            objectives.push(match name.as_str() {
+                "mlm" => Box::new(ElectraMlm::new(Rc::clone(electra.as_ref().unwrap()))),
+                "rtd" => {
+                    Box::new(ReplacedTokenDetection::new(Rc::clone(electra.as_ref().unwrap()), 1.0))
+                }
+                "simcse" => Box::new(SimCse::new(0.05, 1.0)),
+                "mask" => Box::new(MaskedLm),
+                "num" => Box::new(NumericBundle),
+                "ke" => Box::new(KnowledgeEmbedding::new(&fx.kg, KeConfig::default(), 2)),
+                other => unreachable!("config pass admits no objective named {other:?}"),
+            });
+        }
+
+        let tape = Tape::new();
+        let mut step_rng = StdRng::seed_from_u64(23 + stage_idx as u64);
+        let mut env = StepEnv::new(&tape, &store, &model, &data, &mut step_rng, stage_idx);
+        let mut fused = None;
+        for (i, objective) in objectives.iter_mut().enumerate() {
+            if stage.mask & (1 << i) == 0 {
+                continue;
+            }
+            let Some(loss) = objective.loss(&mut env) else {
+                out.push(Diagnostic::warning(
+                    "coverage",
+                    "objective-abstained",
+                    &stage.label,
+                    format!(
+                        "objective {:?} abstained on the probe batch; its exclusive \
+                         parameters cannot be proven reachable",
+                        cfg.objectives[i]
+                    ),
+                ));
+                continue;
+            };
+            let weighted = loss.scale(objective.weight());
+            fused = Some(match fused {
+                Some(acc) => weighted.add(acc),
+                None => weighted,
+            });
+        }
+        let reached: BTreeSet<String> = match fused {
+            Some(root) => tape
+                .reachable_params(root)
+                .into_iter()
+                .map(|id| store.name(id).to_string())
+                .collect(),
+            None => BTreeSet::new(),
+        };
+        reach_per_stage.push(reached);
+    }
+
+    // Union across stages → dead-everywhere errors (grouped per module).
+    let union: BTreeSet<&String> = reach_per_stage.iter().flatten().collect();
+    let mut dead_groups: BTreeMap<String, Vec<&str>> = BTreeMap::new();
+    for name in &all_names {
+        if union.contains(name) {
+            continue;
+        }
+        if cfg.expected_dead.iter().any(|p| name.starts_with(p.as_str())) {
+            out.push(Diagnostic::note(
+                "coverage",
+                "expected-dead",
+                name.as_str(),
+                "unreachable by backward under every stage (declared in expected_dead)",
+            ));
+            continue;
+        }
+        let module = match name.rfind('.') {
+            Some(i) => &name[..i],
+            None => name.as_str(),
+        };
+        dead_groups.entry(module.to_string()).or_default().push(name);
+    }
+    for (module, names) in &dead_groups {
+        out.push(Diagnostic::error(
+            "coverage",
+            "dead-param",
+            module.as_str(),
+            format!(
+                "{} parameter(s) unreachable by backward under every schedule stage \
+                 (e.g. {}); they would never train",
+                names.len(),
+                names[0]
+            ),
+        ));
+    }
+
+    // Per-stage detail: parameters another stage trains but this one idles.
+    if stages.len() > 1 {
+        for (stage, reached) in stages.iter().zip(&reach_per_stage) {
+            let idle: Vec<&&String> =
+                union.iter().filter(|n| !reached.contains(n.as_str())).collect();
+            if !idle.is_empty() {
+                out.push(Diagnostic::warning(
+                    "coverage",
+                    "stage-dead",
+                    &stage.label,
+                    format!(
+                        "{} parameter(s) idle in this stage but trained by another \
+                         (e.g. {}); expected under IMTL-style staging",
+                        idle.len(),
+                        idle[0]
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MaskingSpec;
+
+    fn retrain_cfg() -> CheckConfig {
+        CheckConfig {
+            name: "t".into(),
+            stage: Stage::Retrain,
+            encoder: TransformerConfig {
+                vocab: 600,
+                dim: 64,
+                layers: 2,
+                heads: 4,
+                ffn_hidden: 128,
+                max_len: 64,
+                dropout: 0.1,
+            },
+            anenc: Some(AnencConfig::for_dim(64, 8)),
+            strategy: Some("pmtl".into()),
+            steps: 24,
+            batch_size: 8,
+            masking: MaskingSpec { rate: 0.4, whole_word: true },
+            fusion_tasks: 3,
+            objectives: vec!["mask".into(), "num".into(), "ke".into()],
+            expected_dead: vec![],
+        }
+    }
+
+    #[test]
+    fn full_retrain_schedule_reaches_every_param() {
+        let diags = verify_coverage(&retrain_cfg());
+        let errors: Vec<_> =
+            diags.iter().filter(|d| d.severity == crate::diag::Severity::Error).collect();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn dropping_num_objective_kills_anenc_heads() {
+        let mut cfg = retrain_cfg();
+        cfg.objectives = vec!["mask".into(), "ke".into()];
+        cfg.fusion_tasks = 2;
+        let diags = verify_coverage(&cfg);
+        let dead: Vec<_> = diags.iter().filter(|d| d.code == "dead-param").collect();
+        assert!(!dead.is_empty(), "{diags:?}");
+        // The ANEnc *encoder* stays alive through the splice; only the
+        // auxiliary heads (NDec, TGC, fusion mus) die.
+        assert!(
+            dead.iter().any(|d| d.site.contains("anenc")),
+            "expected anenc head modules among {dead:?}"
+        );
+        assert!(!dead.iter().any(|d| d.site.contains("w_fc")), "{dead:?}");
+    }
+
+    #[test]
+    fn imtl_stages_report_idle_params_as_warnings() {
+        let mut cfg = retrain_cfg();
+        cfg.strategy = Some("imtl".into());
+        cfg.steps = 120;
+        let diags = verify_coverage(&cfg);
+        assert!(diags.iter().any(|d| d.code == "stage-dead"), "{diags:?}");
+        assert!(!diags.iter().any(|d| d.code == "dead-param"), "{diags:?}");
+    }
+
+    #[test]
+    fn pretrain_mlm_bias_is_dead_unless_declared() {
+        let mut cfg = retrain_cfg();
+        cfg.stage = Stage::Pretrain;
+        cfg.anenc = None;
+        cfg.strategy = None;
+        cfg.objectives = vec!["mlm".into(), "rtd".into(), "simcse".into()];
+        let diags = verify_coverage(&cfg);
+        assert!(
+            diags.iter().any(|d| d.code == "dead-param" && d.message.contains("telebert.mlm_bias")),
+            "{diags:?}"
+        );
+        cfg.expected_dead = vec!["telebert.mlm_bias".into()];
+        let diags = verify_coverage(&cfg);
+        assert!(!diags.iter().any(|d| d.code == "dead-param"), "{diags:?}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Machine-readable diagnostics shared by `tele check` and `tele lint`.
+
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is. Only [`Severity::Error`] findings fail a run;
+/// warnings and notes inform (e.g. per-stage dead parameters that another
+/// stage trains).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational (per-stage coverage detail, suppressed lint findings).
+    Note,
+    /// Suspicious but not rejecting.
+    Warning,
+    /// The run/workspace is rejected.
+    Error,
+}
+
+/// One finding from a verifier pass or lint rule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The pass or lint rule that produced the finding
+    /// (`config`, `graph`, `coverage`, `preflight`, `no-unwrap`, …).
+    pub pass: String,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Stable short code for grouping/allowlisting (`anenc-width`,
+    /// `dead-param`, `shape-mismatch`, …).
+    pub code: String,
+    /// Human-readable message (kernel-compatible formatting for shape
+    /// findings — see `tele_tensor::shape_mismatch`).
+    pub message: String,
+    /// Where the finding anchors: a graph site (`encoder.layer0.attn`), a
+    /// `file:line` for lint findings, or empty.
+    pub site: String,
+}
+
+impl Diagnostic {
+    /// An error finding.
+    pub fn error(
+        pass: &str,
+        code: &str,
+        site: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            pass: pass.to_string(),
+            severity: Severity::Error,
+            code: code.to_string(),
+            message: message.into(),
+            site: site.into(),
+        }
+    }
+
+    /// A warning finding.
+    pub fn warning(
+        pass: &str,
+        code: &str,
+        site: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic { severity: Severity::Warning, ..Diagnostic::error(pass, code, site, message) }
+    }
+
+    /// A note finding.
+    pub fn note(
+        pass: &str,
+        code: &str,
+        site: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic { severity: Severity::Note, ..Diagnostic::error(pass, code, site, message) }
+    }
+
+    /// One-line human rendering: `error[config/masking-rate] site: message`.
+    pub fn render(&self) -> String {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        };
+        if self.site.is_empty() {
+            format!("{sev}[{}/{}] {}", self.pass, self.code, self.message)
+        } else {
+            format!("{sev}[{}/{}] {}: {}", self.pass, self.code, self.site, self.message)
+        }
+    }
+}
+
+/// A full report: every finding from every pass, plus the subject it was
+/// produced for (a config path or a workspace root).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// What was analyzed.
+    pub subject: String,
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report for `subject`.
+    pub fn new(subject: impl Into<String>) -> Self {
+        Report { subject: subject.into(), diagnostics: Vec::new() }
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Adds every finding from `batch`.
+    pub fn extend(&mut self, batch: Vec<Diagnostic>) {
+        self.diagnostics.extend(batch);
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// `true` when no error-severity finding is present.
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Serializes the report to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialization cannot fail")
+    }
+
+    /// Human rendering, one line per finding plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        let errors = self.error_count();
+        let warnings = self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count();
+        out.push_str(&format!("{}: {} error(s), {} warning(s)\n", self.subject, errors, warnings));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_renders() {
+        let mut r = Report::new("cfg.json");
+        r.push(Diagnostic::error("config", "masking-rate", "", "rate 1.5 outside (0, 1]"));
+        r.push(Diagnostic::warning("coverage", "stage-dead", "stage KE", "3 params idle"));
+        assert_eq!(r.error_count(), 1);
+        assert!(!r.is_clean());
+        let text = r.render();
+        assert!(text.contains("error[config/masking-rate]"), "{text}");
+        assert!(text.contains("1 error(s), 1 warning(s)"), "{text}");
+    }
+
+    #[test]
+    fn report_roundtrips_json() {
+        let mut r = Report::new("x");
+        r.push(Diagnostic::note("lint", "suppressed", "a.rs:3", "allowlisted"));
+        let back: Report = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back.diagnostics.len(), 1);
+        assert_eq!(back.diagnostics[0].severity, Severity::Note);
+    }
+}

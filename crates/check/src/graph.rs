@@ -1,0 +1,474 @@
+//! The graph pass: abstract interpretation of the model graph over
+//! [`SymShape`] facts.
+//!
+//! The trace mirrors, op for op, the forward pass the trainers run —
+//! embedding → ANEnc splice → transformer stack → every objective head —
+//! but with symbolic dims (`B` batch, `L` sequence, `K` numeric slots, `M`
+//! masked positions, `P` unpadded positions, `T` KE triples) instead of
+//! real tensors. Every inference step uses the same compatibility rule as
+//! the runtime kernel and reports failures with the kernel's own
+//! [`shape_mismatch`](tele_tensor::shape_mismatch) formatting, so the
+//! static diagnostic for a mistake reads identically to the panic it
+//! prevents.
+//!
+//! The pass assumes the config-validation pass already ran clean (the
+//! runner enforces this): divisibility arithmetic such as `dim % heads`
+//! is taken as given.
+
+use tele_tensor::nn::TransformerConfig;
+use tele_tensor::{SymDim, SymResult, SymShape};
+
+use crate::config::{CheckConfig, Stage};
+use crate::diag::Diagnostic;
+
+/// A derived shape fact: the symbolic shape the trace proved for a graph
+/// site. Exposed so tests can bind the variables and compare against
+/// concrete execution.
+#[derive(Clone, Debug)]
+pub struct Fact {
+    /// The graph site (`encoder.hidden`, `anenc.h`, …).
+    pub site: String,
+    /// The proven shape.
+    pub shape: SymShape,
+}
+
+/// The outcome of the graph pass: diagnostics plus every proven fact.
+#[derive(Default)]
+pub struct GraphTrace {
+    /// Shape-mismatch findings, empty when the graph checks out.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Proven facts, for reporting and for the shape-agreement tests.
+    pub facts: Vec<Fact>,
+}
+
+struct Tracer {
+    out: GraphTrace,
+}
+
+impl Tracer {
+    fn check(&mut self, site: &str, r: SymResult) -> Option<SymShape> {
+        match r {
+            Ok(s) => Some(s),
+            Err(msg) => {
+                self.out.diagnostics.push(Diagnostic::error("graph", "shape-mismatch", site, msg));
+                None
+            }
+        }
+    }
+
+    fn fact(&mut self, site: &str, s: &SymShape) {
+        self.out.facts.push(Fact { site: site.to_string(), shape: s.clone() });
+    }
+}
+
+fn b() -> SymDim {
+    SymDim::var("B")
+}
+
+fn l() -> SymDim {
+    SymDim::var("L")
+}
+
+fn k() -> SymDim {
+    SymDim::var("K")
+}
+
+/// The generator configuration ELECTRA derives from the discriminator's
+/// (mirrors `Electra::new` exactly).
+pub fn electra_generator_config(disc: &TransformerConfig) -> TransformerConfig {
+    let mut gen = disc.clone();
+    gen.dim = (disc.dim / 2).max(8);
+    gen.ffn_hidden = (disc.ffn_hidden / 2).max(16);
+    gen.heads = (disc.heads / 2).max(1);
+    gen.layers = (disc.layers / 2).max(1);
+    gen
+}
+
+/// Token + positional embedding: ids `[B·L]` → `[B, L, d]`, layer-normed.
+fn trace_embed(t: &mut Tracer, site: &str, cfg: &TransformerConfig) -> Option<SymShape> {
+    let d = SymDim::lit(cfg.dim);
+    let rows = b().mul(&l());
+    let tok = SymShape(vec![SymDim::lit(cfg.vocab), d.clone()]);
+    let e = t.check(&format!("{site}.tok"), tok.index_select0(rows.clone()))?;
+    let pos = SymShape(vec![SymDim::lit(cfg.max_len), d.clone()]);
+    let p = t.check(&format!("{site}.pos"), pos.index_select0(rows))?;
+    let x = t.check(&format!("{site}.embed"), e.broadcast(&p, "elementwise"))?;
+    let x = t.check(&format!("{site}.embed"), x.reshape(SymShape(vec![b(), l(), d.clone()])))?;
+    t.check(&format!("{site}.emb_ln"), x.layer_norm(&d))
+}
+
+/// The transformer stack over embedded input `x: [B, L, d]` with the
+/// padding mask `[B, 1, 1, L]`.
+fn trace_stack(
+    t: &mut Tracer,
+    site: &str,
+    cfg: &TransformerConfig,
+    x: SymShape,
+) -> Option<SymShape> {
+    let d = SymDim::lit(cfg.dim);
+    let dh = SymDim::lit(cfg.dim / cfg.heads.max(1));
+    let h = SymDim::lit(cfg.heads);
+    let f = SymDim::lit(cfg.ffn_hidden);
+    let w_attn = SymShape(vec![d.clone(), d.clone()]);
+    let mask = SymShape(vec![b(), SymDim::lit(1), SymDim::lit(1), l()]);
+    let heads_shape = SymShape(vec![b(), l(), h.clone(), dh.clone()]);
+
+    let mut x = x;
+    for layer in 0..cfg.layers {
+        let s = format!("{site}.layer{layer}");
+        // Attention: project, split heads, score, mask, mix, merge.
+        let split = |t: &mut Tracer, name: &str| -> Option<SymShape> {
+            let proj = t.check(&format!("{s}.attn.{name}"), x.matmul(&w_attn))?;
+            let proj = t.check(&format!("{s}.attn.{name}"), proj.reshape(heads_shape.clone()))?;
+            t.check(&format!("{s}.attn.{name}"), proj.transpose(1, 2))
+        };
+        let q = split(t, "wq")?;
+        let key = split(t, "wk")?;
+        let v = split(t, "wv")?;
+        let kt = t.check(&format!("{s}.attn.scores"), key.transpose(2, 3))?;
+        let scores = t.check(&format!("{s}.attn.scores"), q.matmul(&kt))?;
+        let scores = t.check(&format!("{s}.attn.mask"), scores.broadcast(&mask, "elementwise"))?;
+        let probs = t.check(&format!("{s}.attn.softmax"), scores.softmax_last())?;
+        let ctx = t.check(&format!("{s}.attn.mix"), probs.matmul(&v))?;
+        let ctx = t.check(&format!("{s}.attn.merge"), ctx.transpose(1, 2))?;
+        let ctx =
+            t.check(&format!("{s}.attn.merge"), ctx.reshape(SymShape(vec![b(), l(), d.clone()])))?;
+        let ctx = t.check(&format!("{s}.attn.wo"), ctx.matmul(&w_attn))?;
+        let res = t.check(&format!("{s}.ln1"), x.broadcast(&ctx, "elementwise"))?;
+        x = t.check(&format!("{s}.ln1"), res.layer_norm(&d))?;
+        // FFN with residual.
+        let up =
+            t.check(&format!("{s}.ffn.up"), x.matmul(&SymShape(vec![d.clone(), f.clone()])))?;
+        let down =
+            t.check(&format!("{s}.ffn.down"), up.matmul(&SymShape(vec![f.clone(), d.clone()])))?;
+        let res = t.check(&format!("{s}.ln2"), x.broadcast(&down, "elementwise"))?;
+        x = t.check(&format!("{s}.ln2"), res.layer_norm(&d))?;
+    }
+    Some(x)
+}
+
+/// `[CLS]` pooling: `[B, L, d]` → `[B, d]`.
+fn trace_cls(
+    t: &mut Tracer,
+    site: &str,
+    cfg: &TransformerConfig,
+    hidden: &SymShape,
+) -> Option<SymShape> {
+    let first = t.check(site, hidden.narrow(1, 0, SymDim::lit(1)))?;
+    t.check(site, first.reshape(SymShape(vec![b(), SymDim::lit(cfg.dim)])))
+}
+
+/// Weight-tied MLM head over masked positions: `[B, L, d]` → scalar loss.
+fn trace_mlm(t: &mut Tracer, site: &str, cfg: &TransformerConfig, hidden: &SymShape) -> Option<()> {
+    let d = SymDim::lit(cfg.dim);
+    let flat = t.check(site, hidden.reshape(SymShape(vec![b().mul(&l()), d.clone()])))?;
+    let tok_t = SymShape(vec![d, SymDim::lit(cfg.vocab)]);
+    let logits = t.check(site, flat.matmul(&tok_t))?;
+    let logits =
+        t.check(site, logits.broadcast(&SymShape(vec![SymDim::lit(cfg.vocab)]), "elementwise"))?;
+    t.fact(&format!("{site}.logits"), &logits);
+    let m = SymDim::var("M");
+    let masked = t.check(site, logits.index_select0(m.clone()))?;
+    t.check(site, masked.cross_entropy(&m))?;
+    Some(())
+}
+
+/// The ANEnc encode: normalized values + tag embeddings `[K, D_enc]` →
+/// numeric embeddings `[K, d_anenc]`. The tag embeddings come from the
+/// *encoder's* token table, so this is where an encoder/ANEnc width
+/// mismatch surfaces — at the exact op the runtime would panic on.
+fn trace_anenc(t: &mut Tracer, site: &str, cfg: &CheckConfig) -> Option<SymShape> {
+    let a = cfg.anenc.as_ref()?;
+    let enc_d = SymDim::lit(cfg.encoder.dim);
+    let da = SymDim::lit(a.dim);
+    let dn = SymDim::lit(a.dim / a.metas.max(1));
+    let n = SymDim::lit(a.metas);
+    let r = SymDim::lit(a.lora_rank);
+
+    // Tag embeddings: averaging matrix [K, vocab] × token table [vocab, D].
+    let avg = SymShape(vec![k(), SymDim::lit(cfg.encoder.vocab)]);
+    let tok = SymShape(vec![SymDim::lit(cfg.encoder.vocab), enc_d]);
+    let tags = t.check(&format!("{site}.tags"), avg.matmul(&tok))?;
+    t.fact(&format!("{site}.tags"), &tags);
+
+    // x = gelu(v · W_fc): [K, 1] × [1, d] → [K, d].
+    let v = SymShape(vec![k(), SymDim::lit(1)]);
+    let w_fc = SymShape(vec![SymDim::lit(1), da.clone()]);
+    let mut x = t.check(&format!("{site}.w_fc"), v.matmul(&w_fc))?;
+
+    for layer in 0..a.layers {
+        let s = format!("{site}.layer{layer}");
+        // Attention over meta domains: q = tags · W_q, scores = q · Eᵀ.
+        let w_q = SymShape(vec![da.clone(), dn.clone()]);
+        let q = t.check(&format!("{s}.w_q"), tags.matmul(&w_q))?;
+        let meta_t = SymShape(vec![dn.clone(), n.clone()]);
+        let scores = t.check(&format!("{s}.meta"), q.matmul(&meta_t))?;
+        let attn = t.check(&format!("{s}.softmax"), scores.softmax_last())?;
+        // ĥ = Σᵢ sᵢ · (x W_v⁽ⁱ⁾), each term [K, d] scaled by [K, 1].
+        let w_v = SymShape(vec![da.clone(), da.clone()]);
+        let vi = t.check(&format!("{s}.w_v"), x.matmul(&w_v))?;
+        let wi = t.check(&format!("{s}.w_v"), attn.narrow(1, 0, SymDim::lit(1)))?;
+        let hhat = t.check(&format!("{s}.w_v"), vi.broadcast(&wi, "elementwise"))?;
+        // FFN d → 2d → d, plus the LoRA low-rank residual.
+        let up = t.check(
+            &format!("{s}.ffn_up"),
+            hhat.matmul(&SymShape(vec![da.clone(), SymDim::lit(2 * a.dim)])),
+        )?;
+        let down = t.check(
+            &format!("{s}.ffn_down"),
+            up.matmul(&SymShape(vec![SymDim::lit(2 * a.dim), da.clone()])),
+        )?;
+        let lora =
+            t.check(&format!("{s}.lora"), x.matmul(&SymShape(vec![da.clone(), r.clone()])))?;
+        let lora =
+            t.check(&format!("{s}.lora"), lora.matmul(&SymShape(vec![r.clone(), da.clone()])))?;
+        let sum = t.check(&format!("{s}.ln"), down.broadcast(&lora, "elementwise"))?;
+        x = t.check(&format!("{s}.ln"), sum.layer_norm(&da))?;
+    }
+    t.fact(&format!("{site}.h"), &x);
+    Some(x)
+}
+
+/// The ANEnc auxiliary heads: NDec regression, tag classification,
+/// in-batch numerical contrastive.
+fn trace_numeric_heads(
+    t: &mut Tracer,
+    site: &str,
+    cfg: &CheckConfig,
+    hidden: &SymShape,
+    h: &SymShape,
+) -> Option<()> {
+    let a = cfg.anenc.as_ref()?;
+    let enc_d = SymDim::lit(cfg.encoder.dim);
+    let da = SymDim::lit(a.dim);
+
+    // slot_hidden: rows of the transformer output at the [NUM] slots.
+    let flat =
+        t.check(&format!("{site}.slots"), hidden.reshape(SymShape(vec![b().mul(&l()), enc_d])))?;
+    let slots = t.check(&format!("{site}.slots"), flat.index_select0(k()))?;
+
+    // NDec: [K, d] → [K, d] → [K, 1], MSE against [K, 1] targets.
+    let p1 =
+        t.check(&format!("{site}.ndec"), slots.matmul(&SymShape(vec![da.clone(), da.clone()])))?;
+    let pred =
+        t.check(&format!("{site}.ndec"), p1.matmul(&SymShape(vec![da.clone(), SymDim::lit(1)])))?;
+    t.fact(&format!("{site}.ndec.pred"), &pred);
+    let targets = SymShape(vec![k(), SymDim::lit(1)]);
+    t.check(&format!("{site}.ndec"), pred.broadcast(&targets, "elementwise"))?;
+
+    // TGC: [K, d] → [K, num_tags], cross-entropy over K labels.
+    if a.num_tags > 0 {
+        let logits = t.check(
+            &format!("{site}.tgc"),
+            h.matmul(&SymShape(vec![da.clone(), SymDim::lit(a.num_tags)])),
+        )?;
+        t.check(&format!("{site}.tgc"), logits.cross_entropy(&k()))?;
+    }
+
+    // Contrastive: normalized h against itself, [K, K] log-softmax masked
+    // by the in-batch positives.
+    let ht = t.check(&format!("{site}.nc"), h.transpose(0, 1))?;
+    let sim = t.check(&format!("{site}.nc"), h.matmul(&ht))?;
+    let mask = SymShape(vec![k(), k()]);
+    t.check(&format!("{site}.nc"), sim.broadcast(&mask, "elementwise"))?;
+    Some(())
+}
+
+/// SimCSE: two dropout views of `[CLS]`, in-batch similarity matrix,
+/// cross-entropy against the diagonal.
+fn trace_simcse(t: &mut Tracer, site: &str, cls: &SymShape) -> Option<()> {
+    let zt = t.check(site, cls.transpose(0, 1))?;
+    let sim = t.check(site, cls.matmul(&zt))?;
+    t.fact(&format!("{site}.sim"), &sim);
+    t.check(site, sim.cross_entropy(&b()))?;
+    Some(())
+}
+
+/// KE scoring: `[CLS]` embeddings of head/relation/tail templates combined
+/// by a TransE-style translation `h + r − t`.
+fn trace_ke(t: &mut Tracer, site: &str, cfg: &TransformerConfig) -> Option<()> {
+    let d = SymDim::lit(cfg.dim);
+    let triples = SymDim::var("T");
+    let e = SymShape(vec![triples.clone(), d]);
+    let hr = t.check(site, e.broadcast(&e, "elementwise"))?;
+    let score = t.check(site, hr.broadcast(&e, "elementwise"))?;
+    t.fact(&format!("{site}.score"), &score);
+    Some(())
+}
+
+/// Runs the graph pass for a validated config.
+pub fn verify_graph(cfg: &CheckConfig) -> GraphTrace {
+    let mut t = Tracer { out: GraphTrace::default() };
+    let enc = &cfg.encoder;
+
+    // Main encoder: embed → (ANEnc splice) → stack.
+    let embedded = trace_embed(&mut t, "encoder", enc);
+    let mut spliced = embedded.clone();
+    let mut numeric_h = None;
+    if cfg.anenc.is_some() {
+        if let Some(h) = trace_anenc(&mut t, "anenc", cfg) {
+            // The splice: flatten [B, L, d] → [B·L, d], replace the [NUM]
+            // rows with the ANEnc output [K, d_anenc], restore.
+            if let Some(x) = embedded.clone() {
+                let d = SymDim::lit(enc.dim);
+                spliced = t
+                    .check("encoder.splice", x.reshape(SymShape(vec![b().mul(&l()), d.clone()])))
+                    .and_then(|flat| t.check("encoder.splice", flat.scatter_rows_replace(&h)))
+                    .and_then(|flat| {
+                        t.check("encoder.splice", flat.reshape(SymShape(vec![b(), l(), d])))
+                    });
+            }
+            numeric_h = Some(h);
+        } else {
+            // The ANEnc trace already failed with a pointed diagnostic;
+            // the splice cannot be formed.
+            spliced = None;
+        }
+    }
+    let hidden = spliced.and_then(|x| trace_stack(&mut t, "encoder", enc, x));
+    let Some(hidden) = hidden else {
+        return t.out;
+    };
+    t.fact("encoder.hidden", &hidden);
+    let cls = trace_cls(&mut t, "encoder.cls", enc, &hidden);
+    if let Some(cls) = &cls {
+        t.fact("encoder.cls", cls);
+    }
+
+    match cfg.stage {
+        Stage::Pretrain => {
+            for name in &cfg.objectives {
+                match name.as_str() {
+                    "mlm" => {
+                        // ELECTRA: the MLM loss runs on the narrow generator.
+                        let gen = electra_generator_config(enc);
+                        if let Some(gx) = trace_embed(&mut t, "electra.gen", &gen) {
+                            if let Some(gh) = trace_stack(&mut t, "electra.gen", &gen, gx) {
+                                t.fact("electra.gen.hidden", &gh);
+                                let _ = trace_mlm(&mut t, "electra.gen.mlm", &gen, &gh);
+                            }
+                        }
+                    }
+                    "rtd" => {
+                        // Discriminator head over unpadded positions.
+                        let d = SymDim::lit(enc.dim);
+                        let p = SymDim::var("P");
+                        if let Some(flat) = t.check(
+                            "electra.rtd",
+                            hidden.reshape(SymShape(vec![b().mul(&l()), d.clone()])),
+                        ) {
+                            let logits = t
+                                .check("electra.rtd", flat.index_select0(p.clone()))
+                                .and_then(|sel| {
+                                    t.check(
+                                        "electra.rtd",
+                                        sel.matmul(&SymShape(vec![d.clone(), SymDim::lit(1)])),
+                                    )
+                                })
+                                .and_then(|lg| {
+                                    t.check("electra.rtd", lg.reshape(SymShape(vec![p.clone()])))
+                                });
+                            if let Some(lg) = logits {
+                                let _ = t.check(
+                                    "electra.rtd",
+                                    lg.broadcast(&SymShape(vec![p.clone()]), "elementwise"),
+                                );
+                            }
+                        }
+                    }
+                    "simcse" => {
+                        if let Some(cls) = &cls {
+                            let _ = trace_simcse(&mut t, "simcse", cls);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Stage::Retrain => {
+            for name in &cfg.objectives {
+                match name.as_str() {
+                    "mask" => {
+                        let _ = trace_mlm(&mut t, "mask.mlm", enc, &hidden);
+                    }
+                    "num" => {
+                        if let Some(h) = &numeric_h {
+                            let _ = trace_numeric_heads(&mut t, "anenc", cfg, &hidden, h);
+                        }
+                    }
+                    "ke" => {
+                        let _ = trace_ke(&mut t, "ke", enc);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    t.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CheckConfig, MaskingSpec, Stage};
+    use ktelebert::AnencConfig;
+
+    fn retrain_cfg(anenc_dim: usize) -> CheckConfig {
+        CheckConfig {
+            name: "t".into(),
+            stage: Stage::Retrain,
+            encoder: TransformerConfig {
+                vocab: 64,
+                dim: 16,
+                layers: 2,
+                heads: 2,
+                ffn_hidden: 32,
+                max_len: 32,
+                dropout: 0.1,
+            },
+            anenc: Some(AnencConfig::for_dim(anenc_dim, 3)),
+            strategy: Some("pmtl".into()),
+            steps: 8,
+            batch_size: 4,
+            masking: MaskingSpec { rate: 0.4, whole_word: true },
+            fusion_tasks: 3,
+            objectives: vec!["mask".into(), "num".into(), "ke".into()],
+            expected_dead: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_retrain_graph_verifies() {
+        let trace = verify_graph(&retrain_cfg(16));
+        assert!(trace.diagnostics.is_empty(), "{:?}", trace.diagnostics);
+        let hidden = trace.facts.iter().find(|f| f.site == "encoder.hidden").unwrap();
+        assert_eq!(hidden.shape.to_string(), "[B, L, 16]");
+        assert!(trace.facts.iter().any(|f| f.site == "anenc.h"));
+    }
+
+    #[test]
+    fn anenc_width_mismatch_is_caught_at_the_failing_op() {
+        let trace = verify_graph(&retrain_cfg(32));
+        let d = trace
+            .diagnostics
+            .iter()
+            .find(|d| d.site.contains("anenc"))
+            .expect("width mismatch diagnostic");
+        // Same op, same formatting as the runtime panic would produce.
+        assert!(d.message.contains("matmul: inner dims mismatch"), "{}", d.message);
+        assert!(d.message.contains("[K, 16]") && d.message.contains("[32, 8]"), "{}", d.message);
+    }
+
+    #[test]
+    fn clean_pretrain_graph_verifies() {
+        let mut cfg = retrain_cfg(16);
+        cfg.stage = Stage::Pretrain;
+        cfg.anenc = None;
+        cfg.strategy = None;
+        cfg.objectives = vec!["mlm".into(), "rtd".into(), "simcse".into()];
+        let trace = verify_graph(&cfg);
+        assert!(trace.diagnostics.is_empty(), "{:?}", trace.diagnostics);
+        assert!(trace.facts.iter().any(|f| f.site == "electra.gen.hidden"));
+        assert!(trace.facts.iter().any(|f| f.site == "simcse.sim"));
+    }
+}

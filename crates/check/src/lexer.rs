@@ -1,0 +1,288 @@
+//! A minimal hand-rolled Rust lexer for `tele lint`.
+//!
+//! The linter needs exactly one guarantee from its lexer: that token-level
+//! pattern matching never fires inside comments, string/char literals, or
+//! doc text. That rules out regex-over-lines and rules in `syn` (not
+//! vendored); this lexer handles the hard cases — nested block comments,
+//! escaped strings, raw strings with arbitrary `#` fences, byte strings,
+//! and the char-literal/lifetime ambiguity — and flattens everything else
+//! to identifier/punctuation/literal tokens with line numbers.
+
+/// Token classes the lint rules distinguish.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// Number, string, char, or byte literal (contents dropped).
+    Literal,
+    /// A lifetime (`'a`); distinguished from char literals.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text for identifiers and punctuation; `""` for literals.
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// `true` when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes a line comment (`//...`) up to (not including) the newline.
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes a block comment, honoring nesting.
+    fn block_comment(&mut self) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a quoted string with backslash escapes. The opening quote
+    /// is already consumed.
+    fn quoted(&mut self, quote: u8) {
+        while let Some(c) = self.bump() {
+            if c == b'\\' {
+                self.bump();
+            } else if c == quote {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a raw string `r##"..."##`. `self.pos` is at the first `#`
+    /// or the opening quote.
+    fn raw_string(&mut self) {
+        let mut fences = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fences += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string (e.g. `r#ident`)
+        }
+        self.bump();
+        'outer: while let Some(c) = self.bump() {
+            if c == b'"' {
+                for i in 0..fences {
+                    if self.peek(i) != Some(b'#') {
+                        continue 'outer;
+                    }
+                }
+                self.pos += fences;
+                break;
+            }
+        }
+    }
+
+    /// Disambiguates `'` between a char literal and a lifetime.
+    fn char_or_lifetime(&mut self, out: &mut Vec<Tok>) {
+        let line = self.line;
+        match (self.peek(0), self.peek(1)) {
+            // `'a`, `'static`, `'_` not closed by a quote → lifetime.
+            (Some(c), next) if (c.is_ascii_alphabetic() || c == b'_') && next != Some(b'\'') => {
+                let start = self.pos;
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                out.push(Tok { kind: TokKind::Lifetime, text, line });
+            }
+            _ => {
+                // Char literal: consume up to the closing quote.
+                self.quoted(b'\'');
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+            }
+        }
+    }
+}
+
+/// Lexes Rust source into lint tokens. Comments and literal *contents*
+/// are dropped; everything else keeps its text and line.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let line = lx.line;
+        match c {
+            b'/' if lx.peek(1) == Some(b'/') => {
+                lx.pos += 2;
+                lx.line_comment();
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.pos += 2;
+                lx.block_comment();
+            }
+            b'"' => {
+                lx.bump();
+                lx.quoted(b'"');
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+            }
+            b'r' if matches!(lx.peek(1), Some(b'"') | Some(b'#')) => {
+                lx.pos += 1;
+                lx.raw_string();
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+            }
+            b'b' if lx.peek(1) == Some(b'"') => {
+                lx.pos += 2;
+                lx.quoted(b'"');
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+            }
+            b'b' if lx.peek(1) == Some(b'r') && matches!(lx.peek(2), Some(b'"') | Some(b'#')) => {
+                lx.pos += 2;
+                lx.raw_string();
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+            }
+            b'b' if lx.peek(1) == Some(b'\'') => {
+                lx.pos += 2;
+                lx.quoted(b'\'');
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+            }
+            b'\'' => {
+                lx.bump();
+                lx.char_or_lifetime(&mut out);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = lx.pos;
+                while let Some(c) = lx.peek(0) {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        lx.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&lx.src[start..lx.pos]).into_owned();
+                out.push(Tok { kind: TokKind::Ident, text, line });
+            }
+            c if c.is_ascii_digit() => {
+                while let Some(c) = lx.peek(0) {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        lx.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+            }
+            c if c.is_ascii_whitespace() => {
+                lx.bump();
+            }
+            _ => {
+                lx.bump();
+                out.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // x.unwrap() in a line comment
+            /* panic!("x") /* nested */ still comment */
+            let s = "x.unwrap()";
+            let r = r#"panic!("y")"#;
+            real_ident
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "r", "real_ident"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/* two\nlines */\n\"str\nwith newline\"\nb";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn unwrap_pattern_is_visible_in_tokens() {
+        let toks = lex("value.unwrap();");
+        let dot = toks.iter().position(|t| t.is_punct('.')).unwrap();
+        assert!(toks[dot + 1].is_ident("unwrap"));
+        assert!(toks[dot + 2].is_punct('('));
+    }
+}

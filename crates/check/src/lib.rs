@@ -1,0 +1,91 @@
+//! # tele-check
+//!
+//! Ahead-of-time static analysis for the KTeleBERT workspace, in two
+//! layers:
+//!
+//! * **`tele check <config>`** — an abstract interpreter over the model
+//!   graph. Tensor shapes are tracked as *symbolic* dimensions
+//!   (`B`, `L`, `K`, …) through the same op signatures the runtime kernels
+//!   enforce ([`tele_tensor::sym`]), so a hidden-width mismatch or a
+//!   mis-sized head is rejected in milliseconds, with the kernel's own
+//!   error message, before any tensor is allocated. Three further passes
+//!   ride on the same config: schedule/fusion validation
+//!   ([`config::validate`]), gradient-coverage (a dry tape walk proving
+//!   every registered parameter is reachable by backward under every
+//!   [`ActivationSchedule`](ktelebert::ActivationSchedule) stage —
+//!   [`coverage::verify_coverage`]), and a checkpoint pre-flight that
+//!   diffs a `--resume` envelope against the configured model
+//!   ([`preflight::verify_preflight`]).
+//!
+//! * **`tele lint`** — a token-level linter ([`lint`]) enforcing
+//!   workspace invariants (no `unwrap` in library code, no wall-clock
+//!   reads outside the trace crate, instrumented tensor kernels) with
+//!   machine-readable JSON diagnostics and an explicit allowlist.
+//!
+//! Both layers emit the same [`Report`]/[`Diagnostic`] structures and are
+//! wired into the `tele` CLI and CI.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod coverage;
+pub mod diag;
+pub mod graph;
+pub mod lexer;
+pub mod lint;
+pub mod preflight;
+
+pub use config::{validate, CheckConfig, MaskingSpec, Stage};
+pub use coverage::verify_coverage;
+pub use diag::{Diagnostic, Report, Severity};
+pub use graph::{verify_graph, Fact, GraphTrace};
+pub use lint::{apply_allowlist, lint_source, lint_workspace, parse_allowlist, AllowEntry};
+pub use preflight::verify_preflight;
+
+/// Runs the full `tele check` pipeline for one config and returns the
+/// combined report.
+///
+/// Passes are staged: the graph pass only runs on a config that validates
+/// (symbolic tracing assumes well-formed dims), the coverage pass only runs
+/// on a clean graph (its probe instantiates a real miniature model), and
+/// the pre-flight pass runs when `resume` carries checkpoint-envelope
+/// bytes. `subject` labels the report (normally the config path).
+pub fn run_check(subject: &str, cfg: &CheckConfig, resume: Option<&[u8]>) -> Report {
+    let mut report = Report::new(subject);
+    report.extend(config::validate(cfg));
+    if report.is_clean() {
+        report.extend(graph::verify_graph(cfg).diagnostics);
+    }
+    if report.is_clean() {
+        report.extend(coverage::verify_coverage(cfg));
+    }
+    if let Some(bytes) = resume {
+        if report.is_clean() {
+            report.extend(preflight::verify_preflight(cfg, bytes));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn later_passes_are_gated_on_earlier_ones() {
+        let mut cfg = config::tests::tiny_retrain();
+        cfg.masking.rate = 0.0; // config error
+        cfg.encoder.dim = 7; // would also break the graph pass
+        let report = run_check("bad.json", &cfg, None);
+        assert!(!report.is_clean());
+        assert!(report.diagnostics.iter().all(|d| d.pass == "config"), "{report:?}");
+    }
+
+    #[test]
+    fn clean_config_runs_graph_and_coverage() {
+        let cfg = config::tests::tiny_retrain();
+        let report = run_check("good.json", &cfg, None);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+}

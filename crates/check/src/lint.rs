@@ -1,0 +1,485 @@
+//! `tele lint`: token-level invariant linter for the workspace.
+//!
+//! Four rules, each encoding a workspace convention that rustc/clippy do
+//! not enforce:
+//!
+//! | rule          | scope                         | invariant                                            |
+//! |---------------|-------------------------------|------------------------------------------------------|
+//! | `no-unwrap`   | `crates/*/src` outside tests  | no `.unwrap()` / `.expect()` / `panic!` in lib code  |
+//! | `instant-now` | everywhere except `crates/trace` | no raw `Instant::now`; timing goes through spans  |
+//! | `date-now`    | everywhere                    | no `SystemTime::now` / `thread_rng` nondeterminism   |
+//! | `kernel-span` | `crates/tensor/src`           | pub kernels with nested loops open a `span!`         |
+//!
+//! Findings suppressed by the allowlist are downgraded to notes (still
+//! visible in the JSON report) rather than dropped, so CI artifacts show
+//! what the allowlist is carrying.
+
+use std::fs;
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Report};
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One allowlist entry: `<rule> <path-substring> <line-substring...>`.
+///
+/// `*` matches anything in any field; `#` starts a comment. The line
+/// substring is matched against the source text of the flagged line, so an
+/// entry can pin a specific call site without hard-coding line numbers.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule code the entry suppresses (`*` for any).
+    pub rule: String,
+    /// Substring of the workspace-relative path (`*` for any).
+    pub path: String,
+    /// Substring of the flagged source line (`*` for any).
+    pub code: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        (self.rule == "*" || self.rule == rule)
+            && (self.path == "*" || path.contains(&self.path))
+            && (self.code == "*" || line_text.contains(&self.code))
+    }
+}
+
+/// Parses an allowlist file. Blank lines and `#` comments are skipped;
+/// malformed lines (fewer than three fields) are reported as errors so a
+/// typo cannot silently disable a suppression.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(path), Some(code)) => out.push(AllowEntry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                code: code.trim().to_string(),
+            }),
+            _ => {
+                return Err(format!(
+                    "allowlist line {}: expected `<rule> <path> <line-substring>`, got `{line}`",
+                    i + 1
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Marks tokens covered by `#[cfg(test)]` / `#[test]` items: the attribute
+/// itself plus the next balanced `{...}` block after it.
+fn test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            // Scan the attribute body for a `test` identifier.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut is_test_attr = false;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                } else if toks[j].is_ident("test") {
+                    is_test_attr = true;
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // Mark through the end of the next balanced brace block.
+                let mut k = j;
+                while k < toks.len() && !toks[k].is_punct('{') {
+                    k += 1;
+                }
+                let mut braces = 0usize;
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        braces += 1;
+                    } else if toks[k].is_punct('}') {
+                        braces -= 1;
+                        if braces == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                for slot in in_test.iter_mut().take(k).skip(i) {
+                    *slot = true;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+fn finding(rule: &str, path: &str, line: u32, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::error("lint", rule, format!("{path}:{line}"), message)
+}
+
+/// `no-unwrap`: `.unwrap()`, `.expect()`, and `panic!` in library crates.
+fn rule_no_unwrap(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    if !path.starts_with("crates/") || !path.contains("/src/") {
+        return;
+    }
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        if toks[i].is_punct('.')
+            && i + 2 < toks.len()
+            && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
+            && toks[i + 2].is_punct('(')
+        {
+            out.push(finding(
+                "no-unwrap",
+                path,
+                toks[i + 1].line,
+                format!(
+                    "`.{}()` in library code: return a Result or encode the invariant in types",
+                    toks[i + 1].text
+                ),
+            ));
+        }
+        if toks[i].is_ident("panic") && i + 1 < toks.len() && toks[i + 1].is_punct('!') {
+            out.push(finding(
+                "no-unwrap",
+                path,
+                toks[i].line,
+                "`panic!` in library code: surface the failure as an error value",
+            ));
+        }
+    }
+}
+
+/// `instant-now`: raw wall-clock timing outside the trace crate.
+fn rule_instant_now(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    if path.starts_with("crates/trace/") {
+        return;
+    }
+    for i in 0..toks.len().saturating_sub(3) {
+        if in_test[i] {
+            continue;
+        }
+        if toks[i].is_ident("Instant")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("now")
+        {
+            out.push(finding(
+                "instant-now",
+                path,
+                toks[i].line,
+                "`Instant::now` outside crates/trace: route timing through trace spans",
+            ));
+        }
+    }
+}
+
+/// `date-now`: wall-clock dates and OS-entropy randomness, which break
+/// replayable workflows (seeded runs, resumable checkpoints).
+fn rule_date_now(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        if toks[i].is_ident("SystemTime")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("now")
+        {
+            out.push(finding(
+                "date-now",
+                path,
+                toks[i].line,
+                "`SystemTime::now` is nondeterministic: thread a timestamp in from the caller",
+            ));
+        }
+        if toks[i].is_ident("thread_rng") && i + 1 < toks.len() && toks[i + 1].is_punct('(') {
+            out.push(finding(
+                "date-now",
+                path,
+                toks[i].line,
+                "`thread_rng()` seeds from OS entropy: use a seeded StdRng for replayability",
+            ));
+        }
+    }
+}
+
+/// `kernel-span`: public tensor kernels with nested loops must open a
+/// trace span so the profiler sees them.
+fn rule_kernel_span(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    if !path.starts_with("crates/tensor/src") {
+        return;
+    }
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") || in_test[i] {
+            i += 1;
+            continue;
+        }
+        // A kernel is `pub` (possibly `pub(crate)`): look back a few tokens.
+        let lookback = toks[i.saturating_sub(5)..i].iter().rev();
+        let mut is_pub = false;
+        for t in lookback {
+            if t.is_ident("pub") {
+                is_pub = true;
+                break;
+            }
+            let scoped = t.is_punct('(')
+                || t.is_punct(')')
+                || t.is_ident("crate")
+                || t.is_ident("super")
+                || t.is_ident("in");
+            if !scoped {
+                break;
+            }
+        }
+        let name = match toks.get(i + 1) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let fn_line = toks[i].line;
+        // Find the body's opening brace; `;` at bracket depth 0 means a
+        // bodiless declaration (trait method signature).
+        let mut j = i + 1;
+        let mut bracket_depth = 0i32;
+        let body_start = loop {
+            match toks.get(j) {
+                None => break None,
+                Some(t) if t.is_punct('(') || t.is_punct('[') => bracket_depth += 1,
+                Some(t) if t.is_punct(')') || t.is_punct(']') => bracket_depth -= 1,
+                Some(t) if t.is_punct('{') => break Some(j),
+                Some(t) if t.is_punct(';') && bracket_depth == 0 => break None,
+                Some(_) => {}
+            }
+            j += 1;
+        };
+        let Some(start) = body_start else {
+            i += 1;
+            continue;
+        };
+        // Walk the body: track brace depth, loop nesting, and span! use.
+        let mut depth = 0i32;
+        let mut loop_stack: Vec<i32> = Vec::new();
+        let mut pending_loop = false;
+        let mut max_nest = 0usize;
+        let mut has_span = false;
+        let mut k = start;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('{') {
+                depth += 1;
+                if pending_loop {
+                    pending_loop = false;
+                    loop_stack.push(depth);
+                    max_nest = max_nest.max(loop_stack.len());
+                }
+            } else if t.is_punct('}') {
+                if loop_stack.last() == Some(&depth) {
+                    loop_stack.pop();
+                }
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            } else if t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+                pending_loop = true;
+            } else if t.is_ident("span") && toks.get(k + 1).is_some_and(|n| n.is_punct('!')) {
+                has_span = true;
+            }
+            k += 1;
+        }
+        if is_pub && !in_test[i] && max_nest >= 2 && !has_span {
+            out.push(finding(
+                "kernel-span",
+                path,
+                fn_line,
+                format!("pub tensor kernel `{name}` has nested loops but opens no `span!`"),
+            ));
+        }
+        i = k.max(i + 1);
+    }
+}
+
+/// Lints one source file. `path` is the workspace-relative path with `/`
+/// separators; findings are raw (no allowlist applied).
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let toks = lex(src);
+    let in_test = test_regions(&toks);
+    let mut out = Vec::new();
+    rule_no_unwrap(path, &toks, &in_test, &mut out);
+    rule_instant_now(path, &toks, &in_test, &mut out);
+    rule_date_now(path, &toks, &in_test, &mut out);
+    rule_kernel_span(path, &toks, &in_test, &mut out);
+    out
+}
+
+/// Downgrades findings matched by the allowlist to notes, keeping them
+/// visible in reports.
+pub fn apply_allowlist(
+    findings: Vec<Diagnostic>,
+    path: &str,
+    src: &str,
+    allow: &[AllowEntry],
+) -> Vec<Diagnostic> {
+    let lines: Vec<&str> = src.lines().collect();
+    findings
+        .into_iter()
+        .map(|d| {
+            let line_no: usize =
+                d.site.rsplit(':').next().and_then(|n| n.parse().ok()).unwrap_or(0);
+            let line_text = lines.get(line_no.saturating_sub(1)).copied().unwrap_or("");
+            if allow.iter().any(|e| e.matches(&d.code, path, line_text)) {
+                Diagnostic::note("lint", &d.code, &d.site, format!("{} (allowlisted)", d.message))
+            } else {
+                d
+            }
+        })
+        .collect()
+}
+
+fn walk(dir: &Path, root: &Path, files: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | ".git" | "results") {
+                continue;
+            }
+            walk(&path, root, files)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            // Only library/binary sources; tests/ and benches/ trees are
+            // out of scope for the invariants.
+            if rel.contains("/src/") || rel.starts_with("src/") {
+                files.push((rel, fs::read_to_string(&path)?));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `src/` Rust file under `root` (skipping `target`, `vendor`,
+/// `.git`, `results`) and returns one report. Findings matched by `allow`
+/// are downgraded to notes.
+pub fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<Report, String> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut report = Report::new("tele lint");
+    for (path, src) in &files {
+        let raw = lint_source(path, src);
+        report.extend(apply_allowlist(raw, path, src, allow));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn no_unwrap_flags_lib_code_but_not_tests_or_cli() {
+        let src = r#"
+            pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+            pub fn g(x: Option<u32>) -> u32 { x.expect("msg") }
+            pub fn h() { panic!("boom"); }
+            #[cfg(test)]
+            mod tests {
+                fn t(x: Option<u32>) -> u32 { x.unwrap() }
+            }
+        "#;
+        let diags = lint_source("crates/core/src/lib.rs", src);
+        assert_eq!(codes(&diags), vec!["no-unwrap"; 3], "{diags:?}");
+        // CLI and non-crate sources are out of scope.
+        assert!(lint_source("src/bin/tele.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_now_allowed_only_in_trace() {
+        let src = "pub fn t() { let s = Instant::now(); }";
+        assert_eq!(codes(&lint_source("crates/core/src/engine.rs", src)), vec!["instant-now"]);
+        assert!(lint_source("crates/trace/src/span.rs", src).is_empty());
+    }
+
+    #[test]
+    fn date_now_flags_wall_clock_and_os_entropy() {
+        let src = "fn f() { let t = SystemTime::now(); let r = thread_rng(); }";
+        assert_eq!(
+            codes(&lint_source("crates/datagen/src/lib.rs", src)),
+            vec!["date-now", "date-now"]
+        );
+    }
+
+    #[test]
+    fn kernel_span_wants_nested_loops_instrumented() {
+        let nested = r#"
+            pub fn matmul2(n: usize) {
+                for i in 0..n { for j in 0..n { work(i, j); } }
+            }
+        "#;
+        let diags = lint_source("crates/tensor/src/ops.rs", nested);
+        assert_eq!(codes(&diags), vec!["kernel-span"]);
+        assert!(diags[0].message.contains("matmul2"));
+
+        let spanned = r#"
+            pub fn matmul2(n: usize) {
+                let _g = span!("matmul2");
+                for i in 0..n { for j in 0..n { work(i, j); } }
+            }
+        "#;
+        assert!(lint_source("crates/tensor/src/ops.rs", spanned).is_empty());
+
+        // Single loops and private fns are not kernels for this rule.
+        let single = "pub fn scale(n: usize) { for i in 0..n { work(i, 0); } }";
+        assert!(lint_source("crates/tensor/src/ops.rs", single).is_empty());
+        let private = "fn inner(n: usize) { for i in 0..n { for j in 0..n { work(i, j); } } }";
+        assert!(lint_source("crates/tensor/src/ops.rs", private).is_empty());
+    }
+
+    #[test]
+    fn allowlist_downgrades_matched_findings_to_notes() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let path = "crates/core/src/lib.rs";
+        let allow =
+            parse_allowlist("# comment\nno-unwrap crates/core/src/lib.rs x.unwrap()\n").unwrap();
+        let diags = apply_allowlist(lint_source(path, src), path, src, &allow);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Note);
+        assert!(diags[0].message.ends_with("(allowlisted)"));
+
+        // A non-matching entry leaves the error intact.
+        let other = parse_allowlist("no-unwrap crates/tensor *\n").unwrap();
+        let diags = apply_allowlist(lint_source(path, src), path, src, &other);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn malformed_allowlist_line_is_an_error() {
+        assert!(parse_allowlist("no-unwrap onlytwo\n").is_err());
+        assert!(parse_allowlist("* * *\n").unwrap().len() == 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! The checkpoint pre-flight pass: statically diff a checkpoint envelope
+//! against the configured model *before* `--resume` commits to it.
+//!
+//! Everything the runtime restore path would reject mid-startup —
+//! envelope corruption ([`CheckpointError`]), parameter names or shapes
+//! that do not match the configured model, optimizer moments naming
+//! parameters the model does not have (the runtime `StateMismatch`), an
+//! impossible progress marker — surfaces here as a pre-run report instead.
+//!
+//! The pass assumes the config and graph passes ran clean: it constructs
+//! the real parameter set of the configured model to diff names and shapes
+//! exactly as the trainers register them.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ktelebert::ckptstore::{decode_envelope, MAGIC};
+use ktelebert::{decode_stage_checkpoint, electra::Electra, ModelConfig, TeleModel};
+use tele_tensor::{shape_mismatch, ParamStore, Shape};
+
+use crate::config::{CheckConfig, Stage};
+use crate::diag::Diagnostic;
+
+/// How many per-parameter findings to list before summarizing the rest.
+const DETAIL_CAP: usize = 10;
+
+/// Parameter entry of the checkpoint's `ParamStore` JSON (the store's own
+/// serialization format).
+#[derive(serde::Deserialize)]
+struct CkptParam {
+    name: String,
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+/// The parameter set (name → shape) the trainers register for a config:
+/// the model under `telebert`, plus the ELECTRA coupling under `electra`
+/// during pre-training.
+pub fn expected_params(cfg: &CheckConfig) -> Vec<(String, Vec<usize>)> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let model_cfg = ModelConfig { encoder: cfg.encoder.clone(), anenc: cfg.anenc.clone() };
+    let _model = TeleModel::new(&mut store, "telebert", &model_cfg, &mut rng);
+    if cfg.stage == Stage::Pretrain {
+        let _electra = Electra::new(&mut store, "electra", &cfg.encoder, 1.0, &mut rng);
+    }
+    store
+        .ids()
+        .map(|id| (store.name(id).to_string(), store.value(id).shape().dims().to_vec()))
+        .collect()
+}
+
+fn capped(
+    out: &mut Vec<Diagnostic>,
+    findings: impl IntoIterator<Item = Diagnostic>,
+    code: &str,
+    what: &str,
+) {
+    let findings: Vec<Diagnostic> = findings.into_iter().collect();
+    let total = findings.len();
+    out.extend(findings.into_iter().take(DETAIL_CAP));
+    if total > DETAIL_CAP {
+        out.push(Diagnostic::error(
+            "preflight",
+            code,
+            "",
+            format!("... and {} more {what}", total - DETAIL_CAP),
+        ));
+    }
+}
+
+/// Runs the pre-flight pass over raw checkpoint-envelope bytes.
+pub fn verify_preflight(cfg: &CheckConfig, bytes: &[u8]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // 1. Envelope + payload decode: every runtime CheckpointError becomes a
+    //    pre-run diagnostic. On-disk snapshots are envelope-framed
+    //    (magic/version/length/CRC); a bare stage payload is accepted too.
+    let payload: &[u8] = if bytes.get(..4) == Some(MAGIC.as_slice()) {
+        match decode_envelope(bytes) {
+            Ok(p) => p,
+            Err(e) => {
+                out.push(Diagnostic::error(
+                    "preflight",
+                    "envelope",
+                    "",
+                    format!("checkpoint unusable before any restore attempt: {e}"),
+                ));
+                return out;
+            }
+        }
+    } else {
+        bytes
+    };
+    let stage = match decode_stage_checkpoint(payload) {
+        Ok(s) => s,
+        Err(e) => {
+            out.push(Diagnostic::error(
+                "preflight",
+                "envelope",
+                "",
+                format!("checkpoint unusable before any restore attempt: {e}"),
+            ));
+            return out;
+        }
+    };
+
+    // 2. Parameter diff against the configured model.
+    let params: Vec<CkptParam> = match serde_json::from_str(&stage.params) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(Diagnostic::error(
+                "preflight",
+                "params",
+                "",
+                format!("parameter payload does not parse: {e}"),
+            ));
+            return out;
+        }
+    };
+    let expected: BTreeMap<String, Vec<usize>> = expected_params(cfg).into_iter().collect();
+    let got: BTreeMap<&str, &CkptParam> = params.iter().map(|p| (p.name.as_str(), p)).collect();
+
+    capped(
+        &mut out,
+        expected.iter().filter(|(name, _)| !got.contains_key(name.as_str())).map(
+            |(name, shape)| {
+                Diagnostic::error(
+                    "preflight",
+                    "missing-param",
+                    name.as_str(),
+                    format!(
+                        "configured model registers this parameter (shape {}) but the \
+                         checkpoint does not carry it; restore would silently skip it",
+                        Shape(shape.clone())
+                    ),
+                )
+            },
+        ),
+        "missing-param",
+        "model parameters absent from the checkpoint",
+    );
+    for p in &params {
+        match expected.get(&p.name) {
+            None => out.push(Diagnostic::warning(
+                "preflight",
+                "extra-param",
+                p.name.as_str(),
+                "checkpoint parameter unknown to the configured model; restore would drop it",
+            )),
+            Some(shape) if shape != &p.shape => out.push(Diagnostic::error(
+                "preflight",
+                "shape-mismatch",
+                p.name.as_str(),
+                shape_mismatch(
+                    "restore",
+                    "checkpoint shape differs from configured model",
+                    &Shape(p.shape.clone()),
+                    &Shape(shape.clone()),
+                ),
+            )),
+            Some(shape) => {
+                let numel: usize = shape.iter().product();
+                if p.data.len() != numel {
+                    out.push(Diagnostic::error(
+                        "preflight",
+                        "data-length",
+                        p.name.as_str(),
+                        format!(
+                            "payload carries {} value(s) for shape {} ({numel} expected)",
+                            p.data.len(),
+                            Shape(shape.clone())
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // 3. Optimizer state: mirror TrainEngine::resume's StateMismatch check.
+    let opt = &stage.engine.optimizer;
+    capped(
+        &mut out,
+        opt.moments
+            .iter()
+            .map(|(name, _, _)| name)
+            .chain(opt.no_decay.iter())
+            .filter(|name| !expected.contains_key(name.as_str()))
+            .map(|name| {
+                Diagnostic::error(
+                    "preflight",
+                    "state-mismatch",
+                    name.as_str(),
+                    "optimizer state names a parameter the configured model does not \
+                     register; resume would fail with StateMismatch",
+                )
+            }),
+        "state-mismatch",
+        "optimizer entries naming unknown parameters",
+    );
+    for (name, m, v) in &opt.moments {
+        if let Some(shape) = expected.get(name) {
+            let numel: usize = shape.iter().product();
+            if m.len() != numel || v.len() != numel {
+                out.push(Diagnostic::error(
+                    "preflight",
+                    "moment-length",
+                    name.as_str(),
+                    format!(
+                        "optimizer moments carry {}/{} value(s) for shape {} ({numel} expected)",
+                        m.len(),
+                        v.len(),
+                        Shape(shape.clone())
+                    ),
+                ));
+            }
+        }
+    }
+
+    // 4. Progress marker: mirror TrainEngine::resume's Invalid check.
+    if stage.engine.completed > cfg.steps {
+        out.push(Diagnostic::error(
+            "preflight",
+            "progress",
+            "",
+            format!(
+                "snapshot completed {} steps of a {}-step schedule; resume would reject it",
+                stage.engine.completed, cfg.steps
+            ),
+        ));
+    } else if stage.engine.completed == cfg.steps {
+        out.push(Diagnostic::warning(
+            "preflight",
+            "progress",
+            "",
+            "snapshot already completed the configured schedule; resume would be a no-op",
+        ));
+    }
+    if stage.engine.total_steps != cfg.steps {
+        out.push(Diagnostic::note(
+            "preflight",
+            "schedule-length",
+            "",
+            format!(
+                "snapshot was taken under a {}-step schedule, config specifies {}",
+                stage.engine.total_steps, cfg.steps
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MaskingSpec;
+    use ktelebert::{encode_stage_checkpoint, engine::EngineState, truncate, AnencConfig};
+    use tele_tensor::nn::TransformerConfig;
+    use tele_tensor::optim::AdamWState;
+
+    fn cfg() -> CheckConfig {
+        CheckConfig {
+            name: "t".into(),
+            stage: Stage::Retrain,
+            encoder: TransformerConfig {
+                vocab: 64,
+                dim: 16,
+                layers: 1,
+                heads: 2,
+                ffn_hidden: 32,
+                max_len: 32,
+                dropout: 0.1,
+            },
+            anenc: Some(AnencConfig::for_dim(16, 3)),
+            strategy: Some("pmtl".into()),
+            steps: 24,
+            batch_size: 4,
+            masking: MaskingSpec { rate: 0.4, whole_word: true },
+            fusion_tasks: 3,
+            objectives: vec!["mask".into(), "num".into(), "ke".into()],
+            expected_dead: vec![],
+        }
+    }
+
+    fn good_envelope(cfg: &CheckConfig) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let model_cfg = ModelConfig { encoder: cfg.encoder.clone(), anenc: cfg.anenc.clone() };
+        let _model = TeleModel::new(&mut store, "telebert", &model_cfg, &mut rng);
+        let engine = EngineState {
+            completed: 8,
+            optimizer: AdamWState { step: 8, moments: Vec::new(), no_decay: Vec::new() },
+            total_steps: cfg.steps,
+        };
+        encode_stage_checkpoint(&store, &engine)
+    }
+
+    #[test]
+    fn matching_checkpoint_is_clean() {
+        let cfg = cfg();
+        let diags = verify_preflight(&cfg, &good_envelope(&cfg));
+        let errors: Vec<_> =
+            diags.iter().filter(|d| d.severity == crate::diag::Severity::Error).collect();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn truncated_envelope_is_rejected_at_decode() {
+        let cfg = cfg();
+        let mut bytes = good_envelope(&cfg);
+        let keep = bytes.len() - 4;
+        truncate(&mut bytes, keep);
+        let diags = verify_preflight(&cfg, &bytes);
+        assert!(diags.iter().any(|d| d.code == "envelope"), "{diags:?}");
+    }
+
+    #[test]
+    fn renamed_param_reports_both_sides() {
+        let cfg = cfg();
+        let json = String::from_utf8(good_envelope(&cfg)).unwrap();
+        let renamed = json.replace("telebert.mlm_bias", "telebert.mlm_bias_v2");
+        let diags = verify_preflight(&cfg, renamed.as_bytes());
+        assert!(
+            diags.iter().any(|d| d.code == "missing-param" && d.site == "telebert.mlm_bias"),
+            "{diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.code == "extra-param" && d.site == "telebert.mlm_bias_v2"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn optimizer_naming_foreign_params_mirrors_state_mismatch() {
+        let cfg = cfg();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let model_cfg = ModelConfig { encoder: cfg.encoder.clone(), anenc: cfg.anenc.clone() };
+        let _model = TeleModel::new(&mut store, "telebert", &model_cfg, &mut rng);
+        let engine = EngineState {
+            completed: 99,
+            optimizer: AdamWState {
+                step: 8,
+                moments: vec![("other.model.w".into(), vec![0.0], vec![0.0])],
+                no_decay: Vec::new(),
+            },
+            total_steps: cfg.steps,
+        };
+        let bytes = encode_stage_checkpoint(&store, &engine);
+        let diags = verify_preflight(&cfg, &bytes);
+        assert!(
+            diags.iter().any(|d| d.code == "state-mismatch" && d.site == "other.model.w"),
+            "{diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.code == "progress"), "{diags:?}");
+    }
+}

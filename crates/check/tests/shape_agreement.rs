@@ -1,0 +1,127 @@
+//! Property test: the symbolic shapes the graph verifier infers agree with
+//! the concrete shapes the runtime kernels produce, over randomized
+//! `(B, L, heads, metas, vocab)` configurations.
+//!
+//! The verifier's facts are polynomials in the symbolic dims `B`/`L`/`K`;
+//! binding them to the concrete batch and evaluating must reproduce the
+//! exact `Shape` of every tensor the real forward pass builds.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ktelebert::batch::{Batch, BatchNumeric};
+use ktelebert::{AnencConfig, ModelConfig, TeleModel};
+use tele_check::config::MaskingSpec;
+use tele_check::{verify_graph, CheckConfig, Stage};
+use tele_tensor::nn::TransformerConfig;
+use tele_tensor::{ParamStore, Shape, Tape};
+
+fn check_config(encoder: TransformerConfig, anenc: AnencConfig, batch: usize) -> CheckConfig {
+    CheckConfig {
+        name: "prop".into(),
+        stage: Stage::Retrain,
+        encoder,
+        anenc: Some(anenc),
+        strategy: Some("pmtl".into()),
+        steps: 8,
+        batch_size: batch,
+        masking: MaskingSpec { rate: 0.4, whole_word: true },
+        fusion_tasks: 3,
+        objectives: vec!["mask".into(), "num".into(), "ke".into()],
+        expected_dead: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn symbolic_facts_match_concrete_shapes(
+        b in 2usize..5,
+        l in 5usize..10,
+        heads in 1usize..4,
+        metas in 1usize..4,
+        mult in 1usize..4,
+        vocab in 60usize..200,
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let dim = heads * metas * mult;
+        let k = k.min(b); // distinct splice positions, one per row
+        let encoder = TransformerConfig {
+            vocab,
+            dim,
+            layers: 1,
+            heads,
+            ffn_hidden: 2 * dim,
+            max_len: 16,
+            dropout: 0.1,
+        };
+        let anenc = AnencConfig {
+            dim,
+            metas,
+            layers: 1,
+            lora_rank: (dim / 2).max(1),
+            alpha: 1.0,
+            num_tags: 0,
+            tau: 0.05,
+            lambda: 1e-4,
+        };
+        let cfg = check_config(encoder.clone(), anenc.clone(), b);
+
+        // Symbolic side: the graph must verify, producing shape facts.
+        let trace = verify_graph(&cfg);
+        prop_assert!(trace.diagnostics.is_empty(), "{:?}", trace.diagnostics);
+        let fact = |site: &str| {
+            trace.facts.iter().find(|f| f.site == site)
+                .unwrap_or_else(|| panic!("no fact at {site}"))
+        };
+
+        // Concrete side: a real forward pass over a hand-built batch.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let model_cfg = ModelConfig { encoder: encoder.clone(), anenc: Some(anenc) };
+        let model = TeleModel::new(&mut store, "telebert", &model_cfg, &mut rng);
+
+        let ids: Vec<usize> = (0..b * l).map(|i| (i * 7 + seed as usize) % vocab).collect();
+        let numerics: Vec<BatchNumeric> = (0..k)
+            .map(|i| BatchNumeric {
+                flat_pos: i * l + 1,
+                value: 0.25 + 0.1 * i as f32,
+                tag_ids: vec![i % vocab, (i + 3) % vocab],
+                tag: format!("tag{i}"),
+            })
+            .collect();
+        let batch = Batch {
+            ids,
+            batch: b,
+            seq: l,
+            lens: vec![l; b],
+            word_spans: Vec::new(),
+            numerics,
+        };
+
+        let tape = Tape::new();
+        let out = model.encode(&tape, &store, &batch, None, None, None);
+        let logits = model.mlm_logits(&tape, &store, out.hidden);
+        let cls = TeleModel::cls(out.hidden);
+        let numeric_h = out.numeric_h.expect("k >= 1 splices through the ANEnc");
+
+        // Bind the symbolic dims to this batch and compare.
+        let bind: BTreeMap<String, usize> =
+            [("B".to_string(), b), ("L".to_string(), l), ("K".to_string(), k)].into();
+        let agree = |site: &str, concrete: Shape| -> Result<(), String> {
+            let sym = fact(site).shape.eval(&bind)
+                .unwrap_or_else(|| panic!("{site}: unbound symbol in {}", fact(site).shape));
+            prop_assert_eq!(sym, concrete, "{}", site);
+            Ok(())
+        };
+        agree("encoder.hidden", out.hidden.shape())?;
+        agree("encoder.cls", cls.shape())?;
+        agree("mask.mlm.logits", logits.shape())?;
+        agree("anenc.h", numeric_h.shape())?;
+    }
+}

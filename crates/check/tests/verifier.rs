@@ -1,0 +1,114 @@
+//! Acceptance tests for the `tele check` verifier: each misconfiguration
+//! the issue calls out is rejected with a pointed diagnostic, fast (every
+//! check completes in well under 100 ms — no tensors are allocated).
+
+use std::path::Path;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ktelebert::ckptstore::encode_envelope;
+use ktelebert::engine::EngineState;
+use ktelebert::{encode_stage_checkpoint, truncate, ModelConfig, TeleModel};
+use tele_check::{run_check, CheckConfig, Report, Severity};
+use tele_tensor::optim::AdamWState;
+use tele_tensor::ParamStore;
+
+fn load(name: &str) -> (String, CheckConfig) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../configs").join(name);
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    (path.display().to_string(), CheckConfig::from_json(&json).expect("config parses"))
+}
+
+/// Runs a check and asserts the sub-100ms budget the issue sets per config.
+fn timed_check(subject: &str, cfg: &CheckConfig, resume: Option<&[u8]>) -> Report {
+    let started = Instant::now();
+    let report = run_check(subject, cfg, resume);
+    let elapsed = started.elapsed();
+    assert!(elapsed.as_millis() < 100, "{subject}: check took {elapsed:?} (budget 100ms)");
+    report
+}
+
+fn errors(report: &Report) -> Vec<&tele_check::Diagnostic> {
+    report.diagnostics.iter().filter(|d| d.severity == Severity::Error).collect()
+}
+
+#[test]
+fn zoo_configs_verify_clean() {
+    for name in ["telebert_lab.json", "ktelebert_imtl.json", "ktelebert_stl.json"] {
+        let (path, cfg) = load(name);
+        let report = timed_check(&path, &cfg, None);
+        assert!(report.is_clean(), "{name}:\n{}", report.render());
+    }
+}
+
+#[test]
+fn hidden_dim_mismatch_between_encoder_and_anenc_is_rejected() {
+    let (path, cfg) = load("bad/anenc_width.json");
+    let report = timed_check(&path, &cfg, None);
+    let errs = errors(&report);
+    assert!(!errs.is_empty(), "{}", report.render());
+    // The diagnostic points at the failing op with both operand shapes,
+    // in the runtime kernels' own formatting.
+    let e = errs.iter().find(|d| d.site.contains("anenc")).expect("anenc-sited error");
+    assert_eq!(e.code, "shape-mismatch");
+    assert!(e.message.contains("matmul"), "{}", e.message);
+    assert!(e.message.contains("[K, 64]") && e.message.contains("[32, 8]"), "{}", e.message);
+}
+
+#[test]
+fn fusion_head_with_wrong_task_count_is_rejected() {
+    let (path, cfg) = load("bad/fusion_tasks.json");
+    let report = timed_check(&path, &cfg, None);
+    let errs = errors(&report);
+    assert!(!errs.is_empty(), "{}", report.render());
+    let e = errs.iter().find(|d| d.code == "fusion-arity").expect("fusion-arity error");
+    // Same phrasing the runtime fusion head asserts with.
+    assert!(e.message.contains("more losses than fusion slots"), "{}", e.message);
+    assert!(e.message.contains("2 slot(s)") && e.message.contains("3 active"), "{}", e.message);
+}
+
+#[test]
+fn schedule_with_unreachable_parameters_is_rejected() {
+    let (path, cfg) = load("bad/dead_params.json");
+    let report = timed_check(&path, &cfg, None);
+    let errs = errors(&report);
+    assert!(!errs.is_empty(), "{}", report.render());
+    // Dropping the numeric objective leaves the ANEnc heads untrained.
+    let e = errs.iter().find(|d| d.code == "dead-param").expect("dead-param error");
+    assert!(e.site.contains("anenc"), "{}", e.site);
+    assert!(e.message.contains("unreachable by backward"), "{}", e.message);
+}
+
+#[test]
+fn truncated_checkpoint_is_rejected_in_preflight() {
+    let (path, cfg) = load("ktelebert_imtl.json");
+    // A genuine on-disk snapshot for this config, then a torn write.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let model_cfg = ModelConfig { encoder: cfg.encoder.clone(), anenc: cfg.anenc.clone() };
+    let _model = TeleModel::new(&mut store, "telebert", &model_cfg, &mut rng);
+    let engine = EngineState {
+        completed: 100,
+        optimizer: AdamWState { step: 100, moments: Vec::new(), no_decay: Vec::new() },
+        total_steps: cfg.steps,
+    };
+    let mut bytes = encode_envelope(&encode_stage_checkpoint(&store, &engine));
+
+    // Intact snapshot pre-flights clean (untimed: diffing a full parameter
+    // payload parses megabytes of JSON, which the 100ms rejection budget
+    // does not cover).
+    let report = run_check(&path, &cfg, Some(&bytes));
+    assert!(report.is_clean(), "{}", report.render());
+
+    // Truncated snapshot is rejected before any restore attempt.
+    let keep = bytes.len() / 2;
+    truncate(&mut bytes, keep);
+    let report = timed_check(&path, &cfg, Some(&bytes));
+    let errs = errors(&report);
+    assert!(!errs.is_empty(), "{}", report.render());
+    let e = errs.iter().find(|d| d.code == "envelope").expect("envelope error");
+    assert!(e.message.contains("before any restore attempt"), "{}", e.message);
+}

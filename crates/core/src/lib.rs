@@ -22,6 +22,7 @@
 //!   [`TrainTrace`](telemetry::TrainTrace).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod anenc;
 pub mod batch;

@@ -15,6 +15,7 @@
 //! - [`Suite`]: a one-stop deterministic bundle at a chosen [`Scale`].
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod corpus;
 pub mod downstream;

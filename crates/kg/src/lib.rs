@@ -7,6 +7,7 @@
 //! training sentences or prompt templates ([`serialize`]).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod ntriples;
 pub mod query;

@@ -13,6 +13,7 @@
 //! [`kfold`] cross-validation and [`metrics`].
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod eap;
 pub mod embeddings;

@@ -38,16 +38,19 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 mod init;
 pub mod nn;
 mod ops;
 pub mod optim;
 mod shape;
+pub mod sym;
 mod tape;
 mod tensor;
 
 pub use init::{bert_normal, kaiming_uniform, xavier_uniform};
-pub use shape::{BroadcastIter, Shape};
+pub use shape::{shape_mismatch, BroadcastIter, Shape};
+pub use sym::{SymDim, SymResult, SymShape};
 pub use tape::{Grads, LoadSummary, ParamId, ParamStore, Tape, Var};
 pub use tensor::Tensor;

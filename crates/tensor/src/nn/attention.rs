@@ -59,7 +59,12 @@ impl MultiHeadAttention {
         let shape = x.shape();
         assert_eq!(shape.rank(), 3, "attention expects [batch, seq, dim]");
         let (b, s, d) = (shape.dim(0), shape.dim(1), shape.dim(2));
-        assert_eq!(d, self.dim, "attention width mismatch");
+        assert_eq!(
+            d,
+            self.dim,
+            "{}",
+            crate::shape::shape_mismatch("attention", "width mismatch", &shape, &self.dim)
+        );
         let h = self.heads;
         let dh = d / h;
 

@@ -7,7 +7,7 @@
 
 use rand::Rng;
 
-use crate::shape::Shape;
+use crate::shape::{shape_mismatch, Shape};
 use crate::tape::Var;
 use crate::tensor::Tensor;
 
@@ -337,7 +337,12 @@ impl<'t> Var<'t> {
         assert_eq!(x.rank(), 2, "scatter_rows_replace expects [n, d] input");
         assert_eq!(v.rank(), 2, "scatter_rows_replace expects [k, d] values");
         assert_eq!(v.shape().dim(0), rows.len(), "one value row per index required");
-        assert_eq!(v.shape().dim(1), x.shape().dim(1), "row width mismatch");
+        assert_eq!(
+            v.shape().dim(1),
+            x.shape().dim(1),
+            "{}",
+            shape_mismatch("scatter_rows_replace", "row width mismatch", x.shape(), v.shape())
+        );
         let d = x.shape().dim(1);
         let mut out = x.clone();
         {
@@ -481,8 +486,28 @@ impl<'t> Var<'t> {
         let gm = gamma.value();
         let bt = beta.value();
         let d = x.shape().dim(x.rank() - 1);
-        assert_eq!(gm.numel(), d, "layer_norm gamma size mismatch");
-        assert_eq!(bt.numel(), d, "layer_norm beta size mismatch");
+        assert_eq!(
+            gm.numel(),
+            d,
+            "{}",
+            shape_mismatch(
+                "layer_norm",
+                "gamma size must match trailing dim",
+                x.shape(),
+                gm.shape()
+            )
+        );
+        assert_eq!(
+            bt.numel(),
+            d,
+            "{}",
+            shape_mismatch(
+                "layer_norm",
+                "beta size must match trailing dim",
+                x.shape(),
+                bt.shape()
+            )
+        );
         let rows = x.numel() / d;
         let mut out = vec![0.0; x.numel()];
         let mut xhat = vec![0.0; x.numel()];
@@ -554,7 +579,12 @@ impl<'t> Var<'t> {
         let x = self.value();
         assert_eq!(x.rank(), 2, "cross_entropy expects [n, C] logits");
         let (n, c) = (x.shape().dim(0), x.shape().dim(1));
-        assert_eq!(targets.len(), n, "cross_entropy target count mismatch");
+        assert_eq!(
+            targets.len(),
+            n,
+            "{}",
+            shape_mismatch("cross_entropy", "target count mismatch", x.shape(), &targets.len())
+        );
         let logp = x.log_softmax_last();
         let valid = targets.iter().flatten().count();
         let mut loss = 0.0;
@@ -594,7 +624,12 @@ impl<'t> Var<'t> {
     pub fn bce_with_logits(self, targets: &Tensor) -> Var<'t> {
         let _span = tele_trace::span!("tensor.bce");
         let x = self.value();
-        assert_eq!(x.numel(), targets.numel(), "bce target size mismatch");
+        assert_eq!(
+            x.numel(),
+            targets.numel(),
+            "{}",
+            shape_mismatch("bce_with_logits", "target size mismatch", x.shape(), targets.shape())
+        );
         let n = x.numel() as f32;
         let xs = x.as_slice();
         let ts = targets.as_slice();

@@ -81,6 +81,21 @@ impl Shape {
     }
 }
 
+/// Formats a shape-mismatch message uniformly across kernels and the
+/// static verifier: `"{op}: {why}: lhs {lhs} vs rhs {rhs}"`.
+///
+/// Every kernel error that involves two operands goes through this, so a
+/// runtime panic and a `tele check` diagnostic for the same mistake read
+/// identically.
+pub fn shape_mismatch(
+    op: &str,
+    why: &str,
+    lhs: &dyn fmt::Display,
+    rhs: &dyn fmt::Display,
+) -> String {
+    format!("{op}: {why}: lhs {lhs} vs rhs {rhs}")
+}
+
 /// Extent of the axis `i` counted from the right, treating missing leading
 /// axes as extent 1 (the broadcast convention).
 fn axis_from_right(dims: &[usize], i: usize) -> usize {

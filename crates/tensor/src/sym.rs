@@ -1,0 +1,405 @@
+//! Symbolic shape inference for ahead-of-time graph verification.
+//!
+//! `tele check` walks the model graph without allocating real tensors: every
+//! dimension is a [`SymDim`] — a monomial `coeff · Π varᵉ` over named size
+//! variables (`B`, `L`, `H`, `N_meta`, vocab, …) — and every tensor a
+//! [`SymShape`]. Each inference method here mirrors the signature and the
+//! compatibility rules of the corresponding kernel in
+//! [`Tensor`](crate::Tensor) / [`Var`](crate::Var), and reports failures
+//! with the same [`shape_mismatch`] formatting the kernels panic with, so a
+//! static diagnostic and the runtime error for the same mistake read
+//! identically.
+//!
+//! The monomial domain is exact for everything the model graph does: sizes
+//! only ever combine by products (`reshape([b * s, d])`), equality
+//! (elementwise/matmul inner dims) and literal-1 broadcasting. Sums of
+//! distinct monomials (e.g. concat along a symbolic axis of two different
+//! variables) are representable only when the variable parts agree — the
+//! one case the graph needs (`B + B = 2·B`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::shape::{shape_mismatch, Shape};
+
+/// A symbolic dimension: the monomial `coeff · Π varᵉ`.
+///
+/// `SymDim` is normalized (zero exponents are never stored), so structural
+/// equality is semantic equality of monomials.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymDim {
+    coeff: usize,
+    vars: BTreeMap<String, u32>,
+}
+
+impl SymDim {
+    /// A literal dimension.
+    pub fn lit(n: usize) -> Self {
+        SymDim { coeff: n, vars: BTreeMap::new() }
+    }
+
+    /// A named size variable (`B`, `L`, …) with coefficient 1.
+    pub fn var(name: impl Into<String>) -> Self {
+        let mut vars = BTreeMap::new();
+        vars.insert(name.into(), 1);
+        SymDim { coeff: 1, vars }
+    }
+
+    /// `true` when the dimension is the literal 1 (the broadcast-stretchable
+    /// extent).
+    pub fn is_one(&self) -> bool {
+        self.coeff == 1 && self.vars.is_empty()
+    }
+
+    /// The literal value, when the monomial has no variable part.
+    pub fn as_lit(&self) -> Option<usize> {
+        self.vars.is_empty().then_some(self.coeff)
+    }
+
+    /// Product of two dimensions (always representable: monomials are closed
+    /// under multiplication).
+    pub fn mul(&self, other: &SymDim) -> SymDim {
+        let mut vars = self.vars.clone();
+        for (v, e) in &other.vars {
+            *vars.entry(v.clone()).or_insert(0) += e;
+        }
+        SymDim { coeff: self.coeff * other.coeff, vars }
+    }
+
+    /// Sum of two dimensions, representable only when the variable parts
+    /// agree (`3·B + B = 4·B`; `B + L` is not a monomial).
+    pub fn add(&self, other: &SymDim) -> Option<SymDim> {
+        (self.vars == other.vars)
+            .then(|| SymDim { coeff: self.coeff + other.coeff, vars: self.vars.clone() })
+    }
+
+    /// Evaluates the monomial under a binding of every variable it uses.
+    /// Returns `None` if a variable is unbound.
+    pub fn eval(&self, bind: &BTreeMap<String, usize>) -> Option<usize> {
+        let mut n = self.coeff;
+        for (v, e) in &self.vars {
+            let val = *bind.get(v)?;
+            for _ in 0..*e {
+                n *= val;
+            }
+        }
+        Some(n)
+    }
+}
+
+impl fmt::Display for SymDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.vars.is_empty() {
+            return write!(f, "{}", self.coeff);
+        }
+        let mut first = true;
+        if self.coeff != 1 {
+            write!(f, "{}", self.coeff)?;
+            first = false;
+        }
+        for (v, e) in &self.vars {
+            if !first {
+                write!(f, "*")?;
+            }
+            first = false;
+            if *e == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{v}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for SymDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// The symbolic shape of a tensor: one [`SymDim`] per axis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SymShape(pub Vec<SymDim>);
+
+/// Result of a symbolic inference step: the output fact, or a diagnostic
+/// message in the kernels' own [`shape_mismatch`] format.
+pub type SymResult = Result<SymShape, String>;
+
+impl SymShape {
+    /// A scalar (zero axes).
+    pub fn scalar() -> Self {
+        SymShape(Vec::new())
+    }
+
+    /// A shape of literal dims.
+    pub fn lits(dims: &[usize]) -> Self {
+        SymShape(dims.iter().map(|&d| SymDim::lit(d)).collect())
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimension of axis `ax`.
+    pub fn dim(&self, ax: usize) -> &SymDim {
+        &self.0[ax]
+    }
+
+    /// Product of all dims (the symbolic element count).
+    pub fn numel(&self) -> SymDim {
+        self.0.iter().fold(SymDim::lit(1), |acc, d| acc.mul(d))
+    }
+
+    /// Evaluates every axis under `bind` into a concrete [`Shape`].
+    pub fn eval(&self, bind: &BTreeMap<String, usize>) -> Option<Shape> {
+        self.0.iter().map(|d| d.eval(bind)).collect::<Option<Vec<_>>>().map(Shape)
+    }
+
+    /// Broadcast of two symbolic shapes (NumPy convention, right-aligned;
+    /// a literal 1 stretches). Two symbolic dims are compatible only when
+    /// structurally equal — the sound choice for verification: `B` vs `L`
+    /// *might* agree at runtime, but the graph cannot prove it.
+    pub fn broadcast(&self, other: &SymShape, op: &str) -> SymResult {
+        let rank = self.rank().max(other.rank());
+        let one = SymDim::lit(1);
+        let mut out = Vec::with_capacity(rank);
+        for i in (0..rank).rev() {
+            let a = self.axis_from_right(i).unwrap_or(&one);
+            let b = other.axis_from_right(i).unwrap_or(&one);
+            let d = if a == b || b.is_one() {
+                a
+            } else if a.is_one() {
+                b
+            } else {
+                return Err(shape_mismatch(op, "shapes do not broadcast", self, other));
+            };
+            out.push(d.clone());
+        }
+        Ok(SymShape(out))
+    }
+
+    fn axis_from_right(&self, i: usize) -> Option<&SymDim> {
+        (i < self.rank()).then(|| &self.0[self.rank() - 1 - i])
+    }
+
+    /// Batched matrix multiply `[.., m, k] × [.., k, n] → [.., m, n]`;
+    /// batch dims broadcast, inner dims must agree structurally.
+    pub fn matmul(&self, other: &SymShape) -> SymResult {
+        if self.rank() < 2 || other.rank() < 2 {
+            return Err(shape_mismatch("matmul", "operands must have rank >= 2", self, other));
+        }
+        let (m, ka) = (&self.0[self.rank() - 2], &self.0[self.rank() - 1]);
+        let (kb, n) = (&other.0[other.rank() - 2], &other.0[other.rank() - 1]);
+        if ka != kb {
+            return Err(shape_mismatch("matmul", "inner dims mismatch", self, other));
+        }
+        let batch_a = SymShape(self.0[..self.rank() - 2].to_vec());
+        let batch_b = SymShape(other.0[..other.rank() - 2].to_vec());
+        let batch = batch_a
+            .broadcast(&batch_b, "matmul")
+            .map_err(|_| shape_mismatch("matmul", "batch dims do not broadcast", self, other))?;
+        let mut out = batch.0;
+        out.push(m.clone());
+        out.push(n.clone());
+        Ok(SymShape(out))
+    }
+
+    /// Reshape: legal when the symbolic element counts are provably equal.
+    pub fn reshape(&self, target: SymShape) -> SymResult {
+        if self.numel() != target.numel() {
+            return Err(shape_mismatch("reshape", "element counts differ", self, &target));
+        }
+        Ok(target)
+    }
+
+    /// Swap two axes.
+    pub fn transpose(&self, a: usize, b: usize) -> SymResult {
+        if a >= self.rank() || b >= self.rank() {
+            return Err(format!("transpose: axes ({a}, {b}) out of range for {self}"));
+        }
+        let mut out = self.0.clone();
+        out.swap(a, b);
+        Ok(SymShape(out))
+    }
+
+    /// Narrow axis `ax` to `len` elements. Bounds are checked only when both
+    /// the axis extent and `start + len` are literals.
+    pub fn narrow(&self, ax: usize, start: usize, len: SymDim) -> SymResult {
+        if ax >= self.rank() {
+            return Err(format!("narrow: axis {ax} out of range for {self}"));
+        }
+        if let (Some(d), Some(l)) = (self.0[ax].as_lit(), len.as_lit()) {
+            if start + l > d {
+                return Err(format!(
+                    "narrow: range {start}..{} out of bounds for axis {ax} of {self}",
+                    start + l
+                ));
+            }
+        }
+        let mut out = self.0.clone();
+        out[ax] = len;
+        Ok(SymShape(out))
+    }
+
+    /// Row gather `[n, ..] → [k, ..]`.
+    pub fn index_select0(&self, k: SymDim) -> SymResult {
+        if self.rank() == 0 {
+            return Err(format!("index_select0: operand {self} must have rank >= 1"));
+        }
+        let mut out = self.0.clone();
+        out[0] = k;
+        Ok(SymShape(out))
+    }
+
+    /// Row scatter: `self [n, d]` with `values [k, d]` keeps shape `[n, d]`.
+    pub fn scatter_rows_replace(&self, values: &SymShape) -> SymResult {
+        if self.rank() != 2 || values.rank() != 2 {
+            return Err(shape_mismatch(
+                "scatter_rows_replace",
+                "expects [n, d] input and [k, d] values",
+                self,
+                values,
+            ));
+        }
+        if self.0[1] != values.0[1] {
+            return Err(shape_mismatch("scatter_rows_replace", "row width mismatch", self, values));
+        }
+        Ok(self.clone())
+    }
+
+    /// Softmax / log-softmax / normalize over the last axis: shape-preserving,
+    /// requires at least one axis.
+    pub fn softmax_last(&self) -> SymResult {
+        if self.rank() == 0 {
+            return Err(format!("softmax_last: operand {self} must have rank >= 1"));
+        }
+        Ok(self.clone())
+    }
+
+    /// Layer norm over the last axis with `gamma`/`beta` of `d` elements:
+    /// shape-preserving, requires the trailing dim to equal `d`.
+    pub fn layer_norm(&self, d: &SymDim) -> SymResult {
+        if self.rank() == 0 || &self.0[self.rank() - 1] != d {
+            return Err(shape_mismatch(
+                "layer_norm",
+                "gamma size must match trailing dim",
+                self,
+                d,
+            ));
+        }
+        Ok(self.clone())
+    }
+
+    /// Cross entropy over `[n, C]` logits with `n` targets: scalar output.
+    pub fn cross_entropy(&self, targets: &SymDim) -> SymResult {
+        if self.rank() != 2 {
+            return Err(shape_mismatch("cross_entropy", "expects [n, C] logits", self, targets));
+        }
+        if &self.0[0] != targets {
+            return Err(shape_mismatch("cross_entropy", "target count mismatch", self, targets));
+        }
+        Ok(SymShape::scalar())
+    }
+
+    /// Full reduction to a scalar.
+    pub fn sum_all(&self) -> SymShape {
+        SymShape::scalar()
+    }
+}
+
+impl fmt::Display for SymShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b() -> SymDim {
+        SymDim::var("B")
+    }
+
+    fn l() -> SymDim {
+        SymDim::var("L")
+    }
+
+    #[test]
+    fn monomial_normalization_and_display() {
+        let d = b().mul(&b()).mul(&SymDim::lit(3)).mul(&l());
+        assert_eq!(d.to_string(), "3*B^2*L");
+        assert_eq!(SymDim::lit(7).to_string(), "7");
+        assert_eq!(b().to_string(), "B");
+    }
+
+    #[test]
+    fn add_requires_equal_variable_parts() {
+        assert_eq!(b().add(&b()), Some(SymDim::lit(2).mul(&b())));
+        assert_eq!(b().add(&l()), None);
+        assert_eq!(SymDim::lit(2).add(&SymDim::lit(5)), Some(SymDim::lit(7)));
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let bind: BTreeMap<String, usize> = [("B".to_string(), 4), ("L".to_string(), 7)].into();
+        assert_eq!(b().mul(&l()).eval(&bind), Some(28));
+        assert_eq!(SymDim::var("missing").eval(&bind), None);
+    }
+
+    #[test]
+    fn broadcast_stretches_literal_one() {
+        let x = SymShape(vec![b(), l(), SymDim::lit(16)]);
+        let bias = SymShape(vec![SymDim::lit(16)]);
+        assert_eq!(x.broadcast(&bias, "add").unwrap(), x);
+        let col = SymShape(vec![b(), SymDim::lit(1)]);
+        let row = SymShape(vec![SymDim::lit(1), l()]);
+        assert_eq!(col.broadcast(&row, "add").unwrap(), SymShape(vec![b(), l()]));
+    }
+
+    #[test]
+    fn broadcast_rejects_distinct_symbols() {
+        let x = SymShape(vec![b()]);
+        let y = SymShape(vec![l()]);
+        let err = x.broadcast(&y, "mul").unwrap_err();
+        assert!(err.contains("mul: shapes do not broadcast"), "{err}");
+        assert!(err.contains("[B]") && err.contains("[L]"), "{err}");
+    }
+
+    #[test]
+    fn matmul_checks_inner_and_batches() {
+        let a = SymShape(vec![b(), l(), SymDim::lit(16)]);
+        let w = SymShape(vec![SymDim::lit(16), SymDim::lit(32)]);
+        let out = a.matmul(&w).unwrap();
+        assert_eq!(out, SymShape(vec![b(), l(), SymDim::lit(32)]));
+        let bad = SymShape(vec![SymDim::lit(8), SymDim::lit(32)]);
+        assert!(a.matmul(&bad).unwrap_err().contains("inner dims mismatch"));
+    }
+
+    #[test]
+    fn reshape_proves_numel_equality() {
+        let x = SymShape(vec![b(), l(), SymDim::lit(16)]);
+        let flat = SymShape(vec![b().mul(&l()), SymDim::lit(16)]);
+        assert_eq!(x.reshape(flat.clone()).unwrap(), flat);
+        let wrong = SymShape(vec![b(), SymDim::lit(16)]);
+        assert!(x.reshape(wrong).unwrap_err().contains("element counts differ"));
+    }
+
+    #[test]
+    fn scatter_checks_row_width() {
+        let base = SymShape(vec![b().mul(&l()), SymDim::lit(16)]);
+        let vals = SymShape(vec![SymDim::var("K"), SymDim::lit(16)]);
+        assert_eq!(base.scatter_rows_replace(&vals).unwrap(), base);
+        let bad = SymShape(vec![SymDim::var("K"), SymDim::lit(8)]);
+        assert!(base.scatter_rows_replace(&bad).unwrap_err().contains("row width mismatch"));
+    }
+}

@@ -172,6 +172,42 @@ impl Tape {
         }
         Grads { grads }
     }
+
+    /// Dry backward sweep: which parameters would receive a gradient from
+    /// `root`, without computing any values.
+    ///
+    /// Walks the same node range [`Self::backward`] walks, propagating
+    /// reachability instead of tensors: a node is reached when some reached
+    /// descendant still carries its backward closure and the node itself
+    /// needs a gradient. Deduplicated parameter ids are returned in
+    /// registration order. This is what `tele check`'s gradient-coverage
+    /// pass uses to prove every parameter trainable under a schedule stage.
+    pub fn reachable_params(&self, root: Var<'_>) -> Vec<ParamId> {
+        let inner = self.inner.borrow();
+        let mut reached = vec![false; inner.nodes.len()];
+        reached[root.id] = true;
+        for id in (0..=root.id).rev() {
+            if !reached[id] {
+                continue;
+            }
+            let node = &inner.nodes[id];
+            if node.backward.is_none() {
+                continue;
+            }
+            for &pid in &node.parents {
+                if inner.nodes[pid].needs_grad {
+                    reached[pid] = true;
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        inner
+            .param_leaves
+            .iter()
+            .filter(|&&(pid, node)| reached[node] && seen.insert(pid))
+            .map(|&(pid, _)| pid)
+            .collect()
+    }
 }
 
 /// Gradients produced by [`Tape::backward`].
@@ -408,6 +444,35 @@ mod tests {
         let grads = tape.backward(y);
         let gx = grads.get(x).unwrap();
         assert_eq!(gx.to_vec(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn reachable_params_matches_backward() {
+        let mut store = ParamStore::new();
+        let used = store.create("used", Tensor::ones([2]));
+        let unused = store.create("unused", Tensor::ones([2]));
+        let tape = Tape::new();
+        let u = tape.param(&store, used);
+        let _dead = tape.param(&store, unused); // on the tape, off the loss path
+        let loss = u.square().sum_all();
+        let reached = tape.reachable_params(loss);
+        assert_eq!(reached, vec![used]);
+        // Agreement with the real sweep: exactly the reached params get grads.
+        store.zero_grads();
+        tape.backward(loss).accumulate_into(&tape, &mut store);
+        assert!(store.grad(used).norm_l2() > 0.0);
+        assert_eq!(store.grad(unused).norm_l2(), 0.0);
+    }
+
+    #[test]
+    fn reachable_params_dedups_repeated_use() {
+        let mut store = ParamStore::new();
+        let w = store.create("w", Tensor::ones([2]));
+        let tape = Tape::new();
+        let a = tape.param(&store, w);
+        let b = tape.param(&store, w);
+        let loss = a.mul(b).sum_all();
+        assert_eq!(tape.reachable_params(loss), vec![w]);
     }
 
     #[test]

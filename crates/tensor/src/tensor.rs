@@ -9,7 +9,7 @@ use std::sync::Arc;
 use rand::Rng;
 use rayon::prelude::*;
 
-use crate::shape::{BroadcastIter, Shape};
+use crate::shape::{shape_mismatch, BroadcastIter, Shape};
 
 /// Minimum number of output elements before matmul parallelizes with rayon.
 const PAR_MATMUL_THRESHOLD: usize = 64 * 64;
@@ -308,7 +308,10 @@ impl Tensor {
             return Tensor { data: alloc_storage(data), shape: self.shape.clone() };
         }
         let out_shape = self.shape.broadcast(&other.shape).unwrap_or_else(|| {
-            panic!("shapes {} and {} do not broadcast", self.shape, other.shape)
+            panic!(
+                "{}",
+                shape_mismatch("elementwise", "shapes do not broadcast", &self.shape, &other.shape)
+            )
         });
         let mut out = Vec::with_capacity(out_shape.numel());
         let it_a = BroadcastIter::new(&out_shape, &self.shape);
@@ -351,7 +354,12 @@ impl Tensor {
 
     /// In-place `self += other * s` for same-shape tensors (axpy).
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        assert_eq!(
+            self.shape,
+            other.shape,
+            "{}",
+            shape_mismatch("axpy", "operand shapes must match", &self.shape, &other.shape)
+        );
         let dst = self.as_mut_slice();
         for (d, &o) in dst.iter_mut().zip(other.data.iter()) {
             *d += s * o;
@@ -433,7 +441,12 @@ impl Tensor {
 
     /// Frobenius inner product of two same-shape tensors.
     pub fn dot(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.shape, other.shape, "dot shape mismatch");
+        assert_eq!(
+            self.shape,
+            other.shape,
+            "{}",
+            shape_mismatch("dot", "operand shapes must match", &self.shape, &other.shape)
+        );
         self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).sum()
     }
 
@@ -485,10 +498,23 @@ impl Tensor {
         let _span = tele_trace::span!("tensor.matmul");
         let (a_batch, m, k) = self.shape.split_matrix();
         let (b_batch, k2, n) = other.shape.split_matrix();
-        assert_eq!(k, k2, "matmul inner dims mismatch: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            k,
+            k2,
+            "{}",
+            shape_mismatch("matmul", "inner dims mismatch", &self.shape, &other.shape)
+        );
         let batch_shape =
             Shape(a_batch.to_vec()).broadcast(&Shape(b_batch.to_vec())).unwrap_or_else(|| {
-                panic!("matmul batch dims do not broadcast: {} vs {}", self.shape, other.shape)
+                panic!(
+                    "{}",
+                    shape_mismatch(
+                        "matmul",
+                        "batch dims do not broadcast",
+                        &self.shape,
+                        &other.shape
+                    )
+                )
             });
         let batches = batch_shape.numel();
         let mut out_dims = batch_shape.0.clone();

@@ -14,6 +14,7 @@
 //!   encoding with `[NUM]` slots for the adaptive numeric encoder.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 mod bpe;
 mod matcher;

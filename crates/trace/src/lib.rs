@@ -24,6 +24,7 @@
 //! instrumented hot paths within noise of the uninstrumented build.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod export;
 pub mod mem;

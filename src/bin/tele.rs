@@ -13,6 +13,9 @@
 //! tele encode   --ckpt FILE <sentence> [<sentence> ...]   embed + similarities
 //! tele profile  [--seed N] [--steps N] [--out FILE]       profile a short run
 //! tele profile  --check FILE                              validate a trace file
+//! tele check    <config.json> [--resume FILE|DIR] [--json FILE]
+//!                                                         verify a model config
+//! tele lint     [--root DIR] [--allow FILE] [--json FILE] lint workspace sources
 //! ```
 
 use std::process::ExitCode;
@@ -90,6 +93,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "encode" => cmd_encode(&args),
         "profile" => cmd_profile(&args),
+        "check" => cmd_check(&args),
+        "lint" => cmd_lint(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -117,7 +122,11 @@ const USAGE: &str = "tele — tele-knowledge CLI
                 [--die-at-step N] --out FILE
   tele encode   --ckpt FILE <sentence> [<sentence> ...]
   tele profile  [--seed N] [--steps N] [--out FILE]   profile a short training run
-  tele profile  --check FILE                          validate a Chrome trace file";
+  tele profile  --check FILE                          validate a Chrome trace file
+  tele check    <config.json> [--resume FILE|DIR] [--json FILE]
+                verify graph shapes, gradient coverage, and checkpoint pre-flight
+  tele lint     [--root DIR] [--allow FILE] [--json FILE]
+                lint workspace sources against the tele invariants";
 
 fn cmd_world(args: &Args) -> Result<(), String> {
     let suite = Suite::generate(args.scale()?, args.u64_flag("seed", 17)?);
@@ -449,6 +458,69 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         );
     }
     write_profile(&out)
+}
+
+/// Writes a report to stdout (and optionally `--json FILE`), then fails the
+/// command when any error-severity finding is present.
+fn finish_report(args: &Args, report: &tele_knowledge::check::Report) -> Result<(), String> {
+    if let Some(path) = args.flags.get("json") {
+        write_atomic(std::path::Path::new(path), report.to_json().as_bytes())
+            .map_err(|e| e.to_string())?;
+        eprintln!("report written to {path}");
+    }
+    print!("{}", report.render());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} error(s)", report.error_count()))
+    }
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("config path required, e.g. configs/retrain.json")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cfg = tele_knowledge::check::CheckConfig::from_json(&json)?;
+    // `--resume` accepts a snapshot file or a checkpoint-store directory
+    // (the newest intact snapshot is pre-flighted, mirroring `--resume auto`).
+    let resume: Option<Vec<u8>> = match args.flags.get("resume") {
+        None => None,
+        Some(target) if std::path::Path::new(target).is_dir() => {
+            let store = tele_knowledge::model::CheckpointStore::open(target, usize::MAX)
+                .map_err(|e| format!("cannot open checkpoint store {target}: {e}"))?;
+            match store.load_latest().map_err(|e| format!("checkpoint store {target}: {e}"))? {
+                Some((step, payload)) => {
+                    eprintln!("pre-flighting snapshot at step {step} from {target}");
+                    Some(payload)
+                }
+                None => return Err(format!("checkpoint store {target} holds no snapshots")),
+            }
+        }
+        Some(file) => Some(std::fs::read(file).map_err(|e| format!("cannot read {file}: {e}"))?),
+    };
+    let report = tele_knowledge::check::run_check(path, &cfg, resume.as_deref());
+    finish_report(args, &report)
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let root = args.flags.get("root").map(String::as_str).unwrap_or(".");
+    // Default allowlist: `lint.allow` at the lint root, when present.
+    let allow_path = match args.flags.get("allow") {
+        Some(p) => Some(std::path::PathBuf::from(p)),
+        None => {
+            let default = std::path::Path::new(root).join("lint.allow");
+            default.exists().then_some(default)
+        }
+    };
+    let allow = match &allow_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read allowlist {}: {e}", p.display()))?;
+            tele_knowledge::check::parse_allowlist(&text)?
+        }
+        None => Vec::new(),
+    };
+    let report = tele_knowledge::check::lint_workspace(std::path::Path::new(root), &allow)?;
+    finish_report(args, &report)
 }
 
 /// Validates a Chrome trace file: parseable JSON, a non-empty `traceEvents`

@@ -11,7 +11,8 @@
 //! - [`datagen`] — the synthetic tele-world (corpora, logs, datasets),
 //! - [`model`] — TeleBERT / KTeleBERT pre-training and service embeddings,
 //! - [`tasks`] — the three downstream fault-analysis tasks,
-//! - [`trace`] — spans, metrics, and Chrome-trace/profile exporters.
+//! - [`trace`] — spans, metrics, and Chrome-trace/profile exporters,
+//! - [`check`] — ahead-of-time graph/shape verification and workspace lints.
 //!
 //! ## Quickstart
 //!
@@ -20,6 +21,7 @@
 //! embeddings to a fault-analysis task.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 /// The tensor / autograd substrate (`tele-tensor`).
 pub use tele_tensor as tensor;
@@ -41,3 +43,7 @@ pub use tele_tasks as tasks;
 
 /// The instrumentation layer (`tele-trace`): spans, metrics, exporters.
 pub use tele_trace as trace;
+
+/// Static analysis (`tele-check`): the `tele check` graph verifier and the
+/// `tele lint` workspace linter.
+pub use tele_check as check;
