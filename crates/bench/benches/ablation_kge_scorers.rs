@@ -18,7 +18,8 @@ fn main() {
         Some(&zoo.suite.built_kg.kg),
         &zoo.suite.fct.node_names,
         ktelebert::ServiceFormat::OnlyName,
-    );
+    )
+    .expect("encode");
 
     let mut table = Table::new(
         "Ablation: KGE scorer under confidence-weighted margin loss (FCT)",

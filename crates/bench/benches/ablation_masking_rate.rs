@@ -18,7 +18,9 @@ fn causal_auc(zoo: &Zoo, bundle: &ktelebert::TeleBert) -> f64 {
     let world = &zoo.suite.world;
     let names: Vec<String> =
         (0..world.num_events()).map(|e| world.event_name(e).to_string()).collect();
-    let embs = EmbeddingTable::normalized(bundle.encode_sentences(&names)).rows;
+    let embs = EmbeddingTable::try_normalized(bundle.encode_batch(&names).expect("encode"))
+        .expect("normalize")
+        .rows;
     let cos = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
     let pos: Vec<f32> =
         world.causal_edges.iter().map(|e| cos(&embs[e.src], &embs[e.dst])).collect();

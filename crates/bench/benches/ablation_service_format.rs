@@ -34,7 +34,7 @@ fn main() {
         for (fname, format) in formats {
             let mut per_seed = Vec::new();
             for seed in 0..3u64 {
-                let emb = service_embeddings(model, Some(kg), &names, format);
+                let emb = service_embeddings(model, Some(kg), &names, format).expect("encode");
                 let cfg = RcaTaskConfig { seed, ..Default::default() };
                 per_seed.push(run_rca(&zoo.suite.rca, &emb, &cfg).mean);
             }

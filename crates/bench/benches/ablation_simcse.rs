@@ -32,11 +32,11 @@ fn main() {
             encoder_config(zoo.tokenizer.vocab_size()),
             &cfg,
         );
-        let raw = bundle.encode_sentences(&names);
+        let raw = bundle.encode_batch(&names).expect("encode");
         let collapse = ktelebert::simcse::mean_pairwise_cosine(&raw);
 
         // Centered cosine gap between causal pairs and random non-pairs.
-        let centered = tele_tasks::EmbeddingTable::normalized(raw).rows;
+        let centered = tele_tasks::EmbeddingTable::try_normalized(raw).expect("normalize").rows;
         let cos = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
         let pos: f32 =
             world.causal_edges.iter().map(|e| cos(&centered[e.src], &centered[e.dst])).sum::<f32>()

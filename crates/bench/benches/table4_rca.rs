@@ -13,7 +13,7 @@ use tele_datagen::Scale;
 
 fn main() {
     let zoo = Zoo::load_or_train(Scale::from_env(), 17);
-    let rows = table4_rows(&zoo, 41);
+    let rows = table4_rows(&zoo, 41).expect("table4 rows");
 
     let mut table = Table::new(
         "Table IV: root-cause analysis — measured (paper)",

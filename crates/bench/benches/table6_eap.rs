@@ -7,7 +7,7 @@ use tele_datagen::Scale;
 
 fn main() {
     let zoo = Zoo::load_or_train(Scale::from_env(), 17);
-    let rows = table6_rows(&zoo, 43);
+    let rows = table6_rows(&zoo, 43).expect("table6 rows");
 
     let mut table = Table::new(
         "Table VI: event association prediction — measured (paper)",

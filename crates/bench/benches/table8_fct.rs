@@ -11,7 +11,7 @@ use tele_datagen::Scale;
 
 fn main() {
     let zoo = Zoo::load_or_train(Scale::from_env(), 17);
-    let rows = table8_rows(&zoo, 47);
+    let rows = table8_rows(&zoo, 47).expect("table8 rows");
 
     let mut table = Table::new(
         "Table VIII: fault chain tracing — measured (paper)",

@@ -9,14 +9,14 @@
 //!
 //! Run with: `cargo run --release -p tele-bench --bin probe`
 
-use ktelebert::{Pooling, TeleBert};
+use ktelebert::{EncodeError, Pooling, TeleBert};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tele_bench::zoo::Zoo;
 use tele_datagen::Scale;
 
-fn centered(rows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
-    tele_tasks::EmbeddingTable::normalized(rows).rows
+fn centered(rows: Vec<Vec<f32>>) -> Result<Vec<Vec<f32>>, EncodeError> {
+    Ok(tele_tasks::EmbeddingTable::try_normalized(rows)?.rows)
 }
 
 fn cosine(a: &[f32], b: &[f32]) -> f32 {
@@ -37,7 +37,7 @@ fn auc(pos: &[f32], neg: &[f32]) -> f64 {
     wins / (pos.len() * neg.len()) as f64
 }
 
-fn probe(zoo: &Zoo, name: &str, bundle: &TeleBert, pooling: Pooling) {
+fn probe(zoo: &Zoo, name: &str, bundle: &TeleBert, pooling: Pooling) -> Result<(), EncodeError> {
     let world = &zoo.suite.world;
     let names: Vec<String> =
         (0..world.num_events()).map(|e| world.event_name(e).to_string()).collect();
@@ -45,7 +45,7 @@ fn probe(zoo: &Zoo, name: &str, bundle: &TeleBert, pooling: Pooling) {
         .iter()
         .map(|n| bundle.tokenizer.encode(n, bundle.model.encoder.cfg.max_len))
         .collect();
-    let embs = centered(bundle.encode_encodings_pooled(&encs, pooling));
+    let embs = centered(bundle.encode_encodings_pooled(&encs, pooling)?)?;
 
     let mut rng = StdRng::seed_from_u64(1);
     let pos: Vec<f32> =
@@ -71,17 +71,19 @@ fn probe(zoo: &Zoo, name: &str, bundle: &TeleBert, pooling: Pooling) {
         auc(&pos, &neg),
         mp - mn
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), EncodeError> {
     let zoo = Zoo::load_or_train(Scale::from_env(), 17);
     for pooling in [Pooling::Cls, Pooling::Mean] {
-        probe(&zoo, "macbert", &zoo.macbert, pooling);
-        probe(&zoo, "telebert", &zoo.telebert, pooling);
-        probe(&zoo, "ktelebert-stl", &zoo.kstl, pooling);
-        probe(&zoo, "ktelebert-stl-woanenc", &zoo.kstl_wo_anenc, pooling);
-        probe(&zoo, "ktelebert-pmtl", &zoo.kpmtl, pooling);
-        probe(&zoo, "ktelebert-imtl", &zoo.kimtl, pooling);
+        probe(&zoo, "macbert", &zoo.macbert, pooling)?;
+        probe(&zoo, "telebert", &zoo.telebert, pooling)?;
+        probe(&zoo, "ktelebert-stl", &zoo.kstl, pooling)?;
+        probe(&zoo, "ktelebert-stl-woanenc", &zoo.kstl_wo_anenc, pooling)?;
+        probe(&zoo, "ktelebert-pmtl", &zoo.kpmtl, pooling)?;
+        probe(&zoo, "ktelebert-imtl", &zoo.kimtl, pooling)?;
         println!();
     }
+    Ok(())
 }

@@ -1,7 +1,7 @@
 //! Experiment drivers assembling the rows of Tables IV, VI and VIII from a
 //! trained [`Zoo`], plus the Fig. 10 numeric-embedding analysis.
 
-use ktelebert::{ServiceFormat, TeleBert};
+use ktelebert::{EncodeError, ServiceFormat, TeleBert};
 use serde::Serialize;
 use tele_tasks::{
     random_embeddings, run_eap, run_fct, run_rca, service_embeddings, word_avg_embeddings,
@@ -25,7 +25,12 @@ pub enum Provider<'a> {
 
 impl<'a> Provider<'a> {
     /// Builds the embedding table for the given names.
-    pub fn table(&self, zoo: &Zoo, names: &[String], seed: u64) -> EmbeddingTable {
+    pub fn table(
+        &self,
+        zoo: &Zoo,
+        names: &[String],
+        seed: u64,
+    ) -> Result<EmbeddingTable, EncodeError> {
         match self {
             Provider::Random => random_embeddings(names, EMB_DIM, seed),
             Provider::WordAvg => word_avg_embeddings(names, EMB_DIM, seed),
@@ -64,7 +69,7 @@ pub const TASK_SEEDS: u64 = 3;
 
 /// Runs Table IV (root-cause analysis) across all providers, averaging
 /// `TASK_SEEDS` task seeds per row.
-pub fn table4_rows(zoo: &Zoo, seed: u64) -> Vec<RankRow> {
+pub fn table4_rows(zoo: &Zoo, seed: u64) -> Result<Vec<RankRow>, EncodeError> {
     let names: Vec<String> = (0..zoo.suite.world.num_events())
         .map(|e| zoo.suite.world.event_name(e).to_string())
         .collect();
@@ -74,14 +79,14 @@ pub fn table4_rows(zoo: &Zoo, seed: u64) -> Vec<RankRow> {
             let per_seed: Vec<RankMetrics> = (0..TASK_SEEDS)
                 .map(|k| {
                     let s = seed.wrapping_add(k);
-                    let emb = provider.table(zoo, &names, s);
+                    let emb = provider.table(zoo, &names, s)?;
                     let cfg = RcaTaskConfig { seed: s, ..Default::default() };
-                    run_rca(&zoo.suite.rca, &emb, &cfg).mean
+                    Ok(run_rca(&zoo.suite.rca, &emb, &cfg).mean)
                 })
-                .collect();
+                .collect::<Result<_, EncodeError>>()?;
             let mean = RankMetrics::mean(&per_seed);
             eprintln!("[table4] {method}: MR {:.2} Hits@1 {:.2}", mean.mr, mean.hits1);
-            RankRow { method: method.to_string(), metrics: mean }
+            Ok(RankRow { method: method.to_string(), metrics: mean })
         })
         .collect()
 }
@@ -96,7 +101,7 @@ pub struct BinaryRow {
 }
 
 /// Runs Table VI (event association prediction) across all providers.
-pub fn table6_rows(zoo: &Zoo, seed: u64) -> Vec<BinaryRow> {
+pub fn table6_rows(zoo: &Zoo, seed: u64) -> Result<Vec<BinaryRow>, EncodeError> {
     let world = &zoo.suite.world;
     let names: Vec<String> =
         (0..world.num_events()).map(|e| world.event_name(e).to_string()).collect();
@@ -119,20 +124,20 @@ pub fn table6_rows(zoo: &Zoo, seed: u64) -> Vec<BinaryRow> {
             let per_seed: Vec<tele_tasks::BinaryMetrics> = (0..TASK_SEEDS)
                 .map(|k| {
                     let s = seed.wrapping_add(k);
-                    let emb = provider.table(zoo, &names, s);
+                    let emb = provider.table(zoo, &names, s)?;
                     let cfg = EapTaskConfig { seed: s, ..cfg.clone() };
-                    run_eap(&zoo.suite.eap, &emb, &neighbors, &cfg).mean
+                    Ok(run_eap(&zoo.suite.eap, &emb, &neighbors, &cfg).mean)
                 })
-                .collect();
+                .collect::<Result<_, EncodeError>>()?;
             let mean = tele_tasks::BinaryMetrics::mean(&per_seed);
             eprintln!("[table6] {method}: Acc {:.2} F1 {:.2}", mean.accuracy, mean.f1);
-            BinaryRow { method: method.to_string(), metrics: mean }
+            Ok(BinaryRow { method: method.to_string(), metrics: mean })
         })
         .collect()
 }
 
 /// Runs Table VIII (fault chain tracing) across all providers.
-pub fn table8_rows(zoo: &Zoo, seed: u64) -> Vec<RankRow> {
+pub fn table8_rows(zoo: &Zoo, seed: u64) -> Result<Vec<RankRow>, EncodeError> {
     let names = zoo.suite.fct.node_names.clone();
     rank_table_rows(zoo)
         .into_iter()
@@ -140,14 +145,14 @@ pub fn table8_rows(zoo: &Zoo, seed: u64) -> Vec<RankRow> {
             let per_seed: Vec<RankMetrics> = (0..TASK_SEEDS)
                 .map(|k| {
                     let s = seed.wrapping_add(k);
-                    let emb = provider.table(zoo, &names, s);
+                    let emb = provider.table(zoo, &names, s)?;
                     let cfg = FctTaskConfig { seed: s, ..Default::default() };
-                    run_fct(&zoo.suite.fct, &emb, &cfg).test
+                    Ok(run_fct(&zoo.suite.fct, &emb, &cfg).test)
                 })
-                .collect();
+                .collect::<Result<_, EncodeError>>()?;
             let mean = RankMetrics::mean(&per_seed);
             eprintln!("[table8] {method}: MRR {:.2} Hits@1 {:.2}", mean.mrr, mean.hits1);
-            RankRow { method: method.to_string(), metrics: mean }
+            Ok(RankRow { method: method.to_string(), metrics: mean })
         })
         .collect()
 }

@@ -461,6 +461,34 @@ mod tests {
     }
 
     #[test]
+    fn serve_crate_is_in_scope_for_unwrap_and_clock_rules() {
+        // The serving runtime is library code: panics would take down the
+        // whole server, and ad-hoc clocks would bypass the trace registry.
+        let src = r#"
+            pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+            pub fn g(x: Option<u32>) -> u32 { x.expect("msg") }
+        "#;
+        assert_eq!(
+            codes(&lint_source("crates/serve/src/session.rs", src)),
+            vec!["no-unwrap", "no-unwrap"]
+        );
+        let clock = "pub fn t() { let s = Instant::now(); }";
+        assert_eq!(codes(&lint_source("crates/serve/src/server.rs", clock)), vec!["instant-now"]);
+
+        // Poison recovery and test modules stay clean.
+        let ok = r#"
+            pub fn f(m: &std::sync::Mutex<u32>) -> u32 {
+                *m.lock().unwrap_or_else(|e| e.into_inner())
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t(x: Option<u32>) -> u32 { x.unwrap() }
+            }
+        "#;
+        assert!(lint_source("crates/serve/src/cache.rs", ok).is_empty());
+    }
+
+    #[test]
     fn allowlist_downgrades_matched_findings_to_notes() {
         let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
         let path = "crates/core/src/lib.rs";

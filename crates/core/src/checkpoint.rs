@@ -34,17 +34,23 @@ pub struct SavedBundle {
     pub anenc: Option<AnencConfig>,
     /// Parameter checkpoint (the `ParamStore` JSON).
     pub params: String,
+    /// CRC-32 of the `params` payload; `None` in bundles written before the
+    /// checksum was introduced (they load unverified).
+    pub params_crc: Option<u32>,
     /// The fitted normalizer.
     pub normalizer: TagNormalizer,
 }
 
 /// Serializes a bundle to a JSON string.
 pub fn save_bundle(bundle: &TeleBert) -> String {
+    let params = bundle.store.to_json();
+    let params_crc = Some(crate::ckptstore::crc32(params.as_bytes()));
     let saved = SavedBundle {
         tokenizer: bundle.tokenizer.clone(),
         encoder: bundle.model.encoder.cfg.clone(),
         anenc: bundle.model.anenc.as_ref().map(|a| a.cfg.clone()),
-        params: bundle.store.to_json(),
+        params,
+        params_crc,
         normalizer: bundle.normalizer.clone(),
     };
     serde_json::to_string(&saved).expect("bundle serialization cannot fail")
@@ -52,11 +58,20 @@ pub fn save_bundle(bundle: &TeleBert) -> String {
 
 /// Rebuilds a bundle from [`save_bundle`] output.
 ///
-/// No input can panic this path: malformed JSON, unparseable parameter
-/// payloads, and checkpoints matching zero parameters all surface as a
-/// typed [`CheckpointError`].
+/// No input can panic this path: malformed JSON, a parameter payload whose
+/// checksum disagrees with the recorded one, entries whose shapes drifted
+/// from the configured model, and models whose parameters the payload does
+/// not cover all surface as the matching typed [`CheckpointError`] variant
+/// ([`CheckpointError::ChecksumMismatch`], [`CheckpointError::ShapeMismatch`],
+/// [`CheckpointError::MissingParams`]).
 pub fn load_bundle(json: &str) -> Result<TeleBert, CheckpointError> {
     let saved: SavedBundle = serde_json::from_str(json)?;
+    if let Some(expected) = saved.params_crc {
+        let actual = crate::ckptstore::crc32(saved.params.as_bytes());
+        if actual != expected {
+            return Err(CheckpointError::ChecksumMismatch { expected, actual });
+        }
+    }
     let mut rng = StdRng::seed_from_u64(0);
     let mut store = ParamStore::new();
     let cfg = ModelConfig { encoder: saved.encoder, anenc: saved.anenc };
@@ -64,6 +79,16 @@ pub fn load_bundle(json: &str) -> Result<TeleBert, CheckpointError> {
     let summary = store.load_json(&saved.params)?;
     if summary.loaded == 0 {
         return Err(CheckpointError::NoParamsLoaded);
+    }
+    if let Some(diff) = summary.mismatched.into_iter().next() {
+        return Err(CheckpointError::ShapeMismatch {
+            name: diff.name,
+            expected: diff.expected,
+            found: diff.found,
+        });
+    }
+    if !summary.missing.is_empty() {
+        return Err(CheckpointError::MissingParams { names: summary.missing });
     }
     Ok(TeleBert { store, model, tokenizer: saved.tokenizer, normalizer: saved.normalizer })
 }
@@ -181,9 +206,9 @@ mod tests {
             &PretrainConfig { steps: 5, batch_size: 4, ..Default::default() },
         );
         let sentences = vec!["the control plane 1 is congested on SMF".to_string()];
-        let before = bundle.encode_sentences(&sentences);
+        let before = bundle.encode_batch(&sentences).unwrap();
         let restored = load_bundle(&save_bundle(&bundle)).unwrap();
-        let after = restored.encode_sentences(&sentences);
+        let after = restored.encode_batch(&sentences).unwrap();
         assert_eq!(before, after, "checkpoint round-trip changed embeddings");
     }
 

@@ -61,6 +61,21 @@ pub enum CheckpointError {
     Parse(String),
     /// A parameter checkpoint matched zero parameters in the target store.
     NoParamsLoaded,
+    /// The checkpoint carries no value for parameters the model requires.
+    MissingParams {
+        /// Names of the parameters the payload lacks.
+        names: Vec<String>,
+    },
+    /// A checkpoint entry's shape disagrees with the model parameter it
+    /// names.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape the model declares.
+        expected: Vec<usize>,
+        /// Shape recorded in the checkpoint.
+        found: Vec<usize>,
+    },
     /// Saved optimizer/engine state names parameters the store lacks.
     StateMismatch {
         /// Parameter names present in the snapshot but absent in the store.
@@ -88,6 +103,18 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Parse(e) => write!(f, "checkpoint payload unparseable: {e}"),
             CheckpointError::NoParamsLoaded => {
                 write!(f, "checkpoint matched no parameters in the target store")
+            }
+            CheckpointError::MissingParams { names } => {
+                let shown = names.iter().take(3).cloned().collect::<Vec<_>>().join(", ");
+                let more = names.len().saturating_sub(3);
+                write!(f, "checkpoint lacks {} model parameter(s): {shown}", names.len())?;
+                if more > 0 {
+                    write!(f, " (+{more} more)")?;
+                }
+                Ok(())
+            }
+            CheckpointError::ShapeMismatch { name, expected, found } => {
+                write!(f, "checkpoint shape mismatch for {name}: model {expected:?} vs checkpoint {found:?}")
             }
             CheckpointError::StateMismatch { missing } => {
                 write!(f, "checkpoint state names unknown parameters: {}", missing.join(", "))

@@ -59,7 +59,7 @@ pub use engine::{
 };
 pub use fusion::MultiTaskFusion;
 pub use masking::MaskingConfig;
-pub use model::{ModelConfig, Pooling, TeleBert, TeleModel};
+pub use model::{EncodeError, ModelConfig, Pooling, TeleBert, TeleModel};
 pub use normalizer::TagNormalizer;
 pub use objective::{Objective, StepData, StepEnv};
 pub use service::{cosine, ServiceEncoder, ServiceFormat};

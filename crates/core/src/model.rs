@@ -178,6 +178,47 @@ pub enum Pooling {
     Mean,
 }
 
+/// Everything that can go wrong turning sentences into embeddings.
+///
+/// The encode surface returns this instead of panicking, so serving paths
+/// can degrade a bad request to an error response without taking the
+/// process down.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An encode call was handed zero sentences.
+    EmptyBatch,
+    /// An embedding row's width disagrees with the first row's.
+    RaggedRows {
+        /// Index of the offending row.
+        row: usize,
+        /// Width of the first row.
+        expected: usize,
+        /// Width of the offending row.
+        found: usize,
+    },
+    /// An embedding row contains a non-finite value (NaN or ±inf).
+    NonFinite {
+        /// Index of the offending row.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::EmptyBatch => write!(f, "encode called with zero sentences"),
+            EncodeError::RaggedRows { row, expected, found } => {
+                write!(f, "embedding row {row} has {found} dims, expected {expected}")
+            }
+            EncodeError::NonFinite { row } => {
+                write!(f, "embedding row {row} contains a non-finite value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 /// A trained model bundle: parameters, model structure, tokenizer and the
 /// numeric normalizer, everything needed to deliver service embeddings.
 pub struct TeleBert {
@@ -192,18 +233,38 @@ pub struct TeleBert {
 }
 
 impl TeleBert {
-    /// Encodes raw sentences into `[CLS]` embeddings (eval mode), returning
-    /// one `dim`-sized vector per sentence.
-    pub fn encode_sentences(&self, sentences: &[String]) -> Vec<Vec<f32>> {
+    /// Encodes raw sentences into `[CLS]` embeddings (eval mode) with **one
+    /// padded forward pass** over the whole slice, returning one `dim`-sized
+    /// vector per sentence.
+    ///
+    /// The padded/masked forward path is bit-deterministic: a sentence
+    /// encoded inside any batch produces the same `f32` bits as the same
+    /// sentence encoded alone (padded key positions carry exactly-zero
+    /// attention weight and the kernels skip zero contributions), which is
+    /// what lets the serving layer coalesce concurrent requests freely.
+    /// Callers own the batch size; chunk large inputs to bound peak memory.
+    pub fn encode_batch(&self, sentences: &[String]) -> Result<Vec<Vec<f32>>, EncodeError> {
+        if sentences.is_empty() {
+            return Err(EncodeError::EmptyBatch);
+        }
         let encs: Vec<_> = sentences
             .iter()
             .map(|s| self.tokenizer.encode(s, self.model.encoder.cfg.max_len))
             .collect();
-        self.encode_encodings(&encs)
+        let refs: Vec<&tele_tokenizer::Encoding> = encs.iter().collect();
+        let batch = Batch::collate(&refs);
+        let tape = Tape::new();
+        let enc = self.model.encode(&tape, &self.store, &batch, None, Some(&self.normalizer), None);
+        let cls = TeleModel::cls(enc.hidden).value();
+        Ok((0..encs.len()).map(|r| cls.row(r).to_vec()).collect())
     }
 
-    /// Encodes pre-tokenized encodings into `[CLS]` embeddings (eval mode).
-    pub fn encode_encodings(&self, encs: &[tele_tokenizer::Encoding]) -> Vec<Vec<f32>> {
+    /// Encodes pre-tokenized encodings into `[CLS]` embeddings (eval mode),
+    /// chunking internally to keep peak memory flat.
+    pub fn encode_encodings(
+        &self,
+        encs: &[tele_tokenizer::Encoding],
+    ) -> Result<Vec<Vec<f32>>, EncodeError> {
         self.encode_encodings_pooled(encs, Pooling::Cls)
     }
 
@@ -212,7 +273,10 @@ impl TeleBert {
         &self,
         encs: &[tele_tokenizer::Encoding],
         pooling: Pooling,
-    ) -> Vec<Vec<f32>> {
+    ) -> Result<Vec<Vec<f32>>, EncodeError> {
+        if encs.is_empty() {
+            return Err(EncodeError::EmptyBatch);
+        }
         let mut out = Vec::with_capacity(encs.len());
         // Small batches keep peak memory flat regardless of input count.
         for chunk in encs.chunks(16) {
@@ -245,7 +309,7 @@ impl TeleBert {
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -364,15 +428,19 @@ mod tests {
         let mut store = ParamStore::new();
         let model = TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), false), &mut rng);
         let bundle = TeleBert { store, model, tokenizer: tok, normalizer: TagNormalizer::new() };
-        let embs = bundle.encode_sentences(&[
-            "the control plane is congested".to_string(),
-            "success rate of registration drops".to_string(),
-        ]);
+        let embs = bundle
+            .encode_batch(&[
+                "the control plane is congested".to_string(),
+                "success rate of registration drops".to_string(),
+            ])
+            .unwrap();
         assert_eq!(embs.len(), 2);
         assert_eq!(embs[0].len(), 16);
         assert_ne!(embs[0], embs[1]);
-        // Deterministic in eval mode.
-        let again = bundle.encode_sentences(&["the control plane is congested".to_string()]);
+        // Deterministic in eval mode, and bit-identical whether the sentence
+        // rides in a padded batch or is encoded alone.
+        let again = bundle.encode_batch(&["the control plane is congested".to_string()]).unwrap();
         assert_eq!(embs[0], again[0]);
+        assert!(bundle.encode_batch(&[]).is_err());
     }
 }

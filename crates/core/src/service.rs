@@ -34,7 +34,11 @@ impl<'a> ServiceEncoder<'a> {
     }
 
     /// Encodes target names into `[CLS]` service embeddings.
-    pub fn encode(&self, names: &[String], format: ServiceFormat) -> Vec<Vec<f32>> {
+    pub fn encode(
+        &self,
+        names: &[String],
+        format: ServiceFormat,
+    ) -> Result<Vec<Vec<f32>>, crate::model::EncodeError> {
         let max_len = self.bundle.model.encoder.cfg.max_len;
         let tok = &self.bundle.tokenizer;
         let encodings: Vec<Encoding> = names
@@ -113,9 +117,9 @@ mod tests {
         let (bundle, kg) = setup();
         let svc = ServiceEncoder::new(&bundle, Some(&kg));
         let names = vec!["control plane congested".to_string()];
-        let only = svc.encode(&names, ServiceFormat::OnlyName);
-        let no_attr = svc.encode(&names, ServiceFormat::EntityNoAttr);
-        let with_attr = svc.encode(&names, ServiceFormat::EntityWithAttr);
+        let only = svc.encode(&names, ServiceFormat::OnlyName).unwrap();
+        let no_attr = svc.encode(&names, ServiceFormat::EntityNoAttr).unwrap();
+        let with_attr = svc.encode(&names, ServiceFormat::EntityWithAttr).unwrap();
         assert_eq!(only[0].len(), 16);
         // Entity formats wrap with [ENT]/[ATTR] templates, so they differ
         // from the plain document wrapping.
@@ -128,8 +132,8 @@ mod tests {
         let (bundle, kg) = setup();
         let svc = ServiceEncoder::new(&bundle, Some(&kg));
         let names = vec!["completely unknown event".to_string()];
-        let a = svc.encode(&names, ServiceFormat::EntityWithAttr);
-        let b = svc.encode(&names, ServiceFormat::OnlyName);
+        let a = svc.encode(&names, ServiceFormat::EntityWithAttr).unwrap();
+        let b = svc.encode(&names, ServiceFormat::OnlyName).unwrap();
         assert_eq!(a[0], b[0], "unmapped names should degrade to OnlyName");
     }
 

@@ -557,7 +557,7 @@ mod tests {
         assert!(klog.records.iter().all(|r| r.uncertainty.as_ref().is_some_and(|u| u.len() == 3)));
 
         // The re-trained model still delivers embeddings.
-        let embs = kbundle.encode_sentences(&[world.alarms[0].name.clone()]);
+        let embs = kbundle.encode_batch(&[world.alarms[0].name.clone()]).unwrap();
         assert_eq!(embs[0].len(), 16);
         assert!(embs[0].iter().all(|v| v.is_finite()));
     }

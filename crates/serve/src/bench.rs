@@ -1,0 +1,200 @@
+//! The serving load generator behind `tele serve-bench`.
+//!
+//! Measures one workload two ways and reports the ratio:
+//!
+//! * **sequential baseline** — every request is its own forward pass through
+//!   [`TeleBert::encode_batch`] with a single sentence: the cost profile of
+//!   the pre-serving encode path (no batching, no cache);
+//! * **batched runtime** — the same requests submitted concurrently from
+//!   `client_threads` threads through one [`InferenceSession`], so the
+//!   batcher coalesces them into padded micro-batches and the LRU cache
+//!   absorbs repeats.
+//!
+//! The report asserts bit-identity between the two result sets — the
+//! speedup is only meaningful because the answers are *exactly* the same —
+//! and carries the session's cache and batch-shape statistics.
+
+use std::sync::{Arc, Mutex};
+
+use ktelebert::TeleBert;
+use serde::{Deserialize, Serialize};
+use tele_trace::now_ns;
+
+use crate::error::ServeError;
+use crate::metrics::ServeStats;
+use crate::session::{InferenceSession, SessionConfig};
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Total encode requests in the workload.
+    pub requests: usize,
+    /// Distinct sentences the workload cycles through (`<= requests` makes
+    /// the cache earn its keep, as repeated fault texts do in production).
+    pub unique: usize,
+    /// Concurrent client threads submitting requests.
+    pub client_threads: usize,
+    /// Session tuning for the batched side.
+    pub session: SessionConfig,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            requests: 64,
+            unique: 12,
+            client_threads: 8,
+            session: SessionConfig { max_batch: 16, max_wait_us: 200, cache_capacity: 256 },
+        }
+    }
+}
+
+/// The serve-bench result, written to `results/bench_serve.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Requests per side.
+    pub requests: u64,
+    /// Distinct sentences in the workload.
+    pub unique_sentences: u64,
+    /// Concurrent client threads on the batched side.
+    pub client_threads: u64,
+    /// Wall-clock of the sequential baseline, ns.
+    pub sequential_ns: u64,
+    /// Wall-clock of the batched run, ns.
+    pub batched_ns: u64,
+    /// `sequential_ns / batched_ns`.
+    pub speedup: f64,
+    /// Sequential requests per second.
+    pub sequential_rps: f64,
+    /// Batched requests per second.
+    pub batched_rps: f64,
+    /// Whether every batched embedding matched its sequential counterpart
+    /// bit-for-bit (`f32::to_bits`).
+    pub bit_identical: bool,
+    /// Cache hit rate observed on the batched side.
+    pub cache_hit_rate: f64,
+    /// Mean micro-batch size observed on the batched side.
+    pub mean_batch_size: f64,
+    /// Full session statistics from the batched side.
+    pub stats: ServeStats,
+}
+
+/// A deterministic workload of `requests` sentences cycling through
+/// `unique` distinct fault texts.
+pub fn workload(requests: usize, unique: usize) -> Vec<String> {
+    let unique = unique.max(1);
+    (0..requests)
+        .map(|i| {
+            let u = i % unique;
+            format!(
+                "alarm {u} raised on network function nf-{} severity {} link degraded",
+                u % 7,
+                u % 3
+            )
+        })
+        .collect()
+}
+
+/// Runs the load comparison and returns the report.
+pub fn run_bench(bundle: TeleBert, cfg: &BenchConfig) -> Result<BenchReport, ServeError> {
+    let bundle = Arc::new(bundle);
+    let texts = workload(cfg.requests, cfg.unique);
+    let n = texts.len();
+
+    // Sequential baseline: one single-sentence forward per request.
+    let t0 = now_ns();
+    let mut sequential: Vec<Vec<f32>> = Vec::with_capacity(n);
+    for text in &texts {
+        let mut rows = bundle.encode_batch(std::slice::from_ref(text))?;
+        sequential.push(rows.swap_remove(0));
+    }
+    let sequential_ns = now_ns().saturating_sub(t0).max(1);
+
+    // Batched runtime: the same requests from concurrent client threads.
+    let session = InferenceSession::from_arc(Arc::clone(&bundle), cfg.session.clone());
+    let threads = cfg.client_threads.max(1).min(n);
+    let chunk = n.div_ceil(threads);
+    let batched_slots: Mutex<Vec<Option<Result<Vec<Vec<f32>>, ServeError>>>> =
+        Mutex::new((0..threads).map(|_| None).collect());
+    let t1 = now_ns();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let session = &session;
+            let texts = &texts;
+            let batched_slots = &batched_slots;
+            scope.spawn(move || {
+                let lo = t * chunk;
+                let hi = (lo + chunk).min(n);
+                let r = session.encode_many(&texts[lo..hi]);
+                let mut slots = batched_slots.lock().unwrap_or_else(|e| e.into_inner());
+                slots[t] = Some(r);
+            });
+        }
+    });
+    let batched_ns = now_ns().saturating_sub(t1).max(1);
+    let stats = session.shutdown();
+
+    let mut batched: Vec<Vec<f32>> = Vec::with_capacity(n);
+    let mut slots = batched_slots.lock().unwrap_or_else(|e| e.into_inner());
+    for slot in slots.iter_mut() {
+        match slot.take() {
+            Some(Ok(rows)) => batched.extend(rows),
+            Some(Err(e)) => return Err(e),
+            None => return Err(ServeError::Protocol("bench worker produced no result".into())),
+        }
+    }
+
+    let bit_identical = sequential.len() == batched.len()
+        && sequential.iter().zip(&batched).all(|(a, b)| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        });
+
+    Ok(BenchReport {
+        requests: n as u64,
+        unique_sentences: cfg.unique.min(n) as u64,
+        client_threads: threads as u64,
+        sequential_ns,
+        batched_ns,
+        speedup: sequential_ns as f64 / batched_ns as f64,
+        sequential_rps: n as f64 / (sequential_ns as f64 / 1e9),
+        batched_rps: n as f64 / (batched_ns as f64 / 1e9),
+        bit_identical,
+        cache_hit_rate: stats.cache_hit_rate,
+        mean_batch_size: stats.mean_batch_size,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_bundle;
+
+    #[test]
+    fn workload_is_deterministic_and_cycles() {
+        let a = workload(16, 4);
+        let b = workload(16, 4);
+        assert_eq!(a, b);
+        assert_eq!(a[0], a[4], "workload must cycle through the unique pool");
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn bench_report_is_bit_identical_and_counts_requests() {
+        let cfg = BenchConfig {
+            requests: 24,
+            unique: 8,
+            client_threads: 4,
+            session: SessionConfig { max_batch: 8, max_wait_us: 200, cache_capacity: 64 },
+        };
+        let report = run_bench(tiny_bundle(20), &cfg).expect("bench");
+        assert_eq!(report.requests, 24);
+        assert!(report.bit_identical, "batched results must match sequential bit-for-bit");
+        assert!(report.cache_hit_rate > 0.0, "repeated texts must hit the cache: {report:?}");
+        assert_eq!(report.stats.requests, 24);
+        assert!(report.speedup > 0.0);
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: BenchReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.requests, report.requests);
+    }
+}

@@ -1,0 +1,273 @@
+//! Bounded LRU embedding cache keyed by normalized input text.
+//!
+//! The cache exploits the encode path's bit-determinism: the embedding of a
+//! sentence does not depend on which batch it was computed in, so a cached
+//! vector is byte-for-byte the vector a fresh forward would produce. Keys are
+//! whitespace-normalized (runs of whitespace collapse to one space, ends
+//! trimmed), which is exactly the equivalence the tokenizer's
+//! `split_whitespace` pre-tokenization already induces — two texts with equal
+//! keys tokenize identically, so sharing a cache line between them is sound.
+//! Case is preserved: the tokenizer does not fold case, so neither may the
+//! key.
+//!
+//! Implementation: a slab of nodes linked into a doubly-linked recency list
+//! by index (no `unsafe`, no pointer juggling), plus a `HashMap` from key to
+//! slab index. All operations are O(1) amortized.
+
+use std::collections::HashMap;
+
+/// Sentinel index meaning "no node".
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: String,
+    value: Vec<f32>,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded least-recently-used map from normalized text to embedding.
+///
+/// Capacity 0 disables caching: every `get` misses and `insert` is a no-op.
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<String, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Collapses runs of whitespace to single spaces and trims the ends — the
+/// cache-key normalization. Matches the tokenizer's `split_whitespace`
+/// pre-tokenization, so equal keys imply equal token sequences.
+pub fn normalize_key(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for word in text.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(word);
+    }
+    out
+}
+
+impl LruCache {
+    /// Creates a cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Unlinks node `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    /// Links node `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up a normalized key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<&[f32]> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.link_front(i);
+                }
+                Some(&self.nodes[i].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// entry if the cache is full. No-op at capacity 0.
+    pub fn insert(&mut self, key: String, value: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            if lru != NIL {
+                self.unlink(lru);
+                self.map.remove(&self.nodes[lru].key);
+                self.free.push(lru);
+            }
+        }
+        let node = Node { key: key.clone(), value, prev: NIL, next: NIL };
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups that hit, or 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32) -> Vec<f32> {
+        vec![x, x + 1.0]
+    }
+
+    #[test]
+    fn normalize_key_collapses_whitespace_preserves_case() {
+        assert_eq!(normalize_key("  NF  link\tdown \n"), "NF link down");
+        assert_eq!(normalize_key("plain"), "plain");
+        assert_eq!(normalize_key("   "), "");
+        // Case is significant to the tokenizer's vocab, so it stays.
+        assert_ne!(normalize_key("Alarm"), normalize_key("alarm"));
+    }
+
+    #[test]
+    fn get_hit_and_miss_counting() {
+        let mut c = LruCache::new(4);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), v(1.0));
+        assert_eq!(c.get("a"), Some(&v(1.0)[..]));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut c = LruCache::new(2);
+        c.insert("a".into(), v(1.0));
+        c.insert("b".into(), v(2.0));
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(c.get("a").is_some());
+        c.insert("c".into(), v(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("b").is_none(), "LRU entry must be evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn eviction_reuses_slab_slots() {
+        let mut c = LruCache::new(2);
+        for i in 0..100 {
+            c.insert(format!("k{i}"), v(i as f32));
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.nodes.len() <= 3, "slab must recycle evicted slots");
+        assert!(c.get("k99").is_some());
+        assert!(c.get("k98").is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a".into(), v(1.0));
+        c.insert("b".into(), v(2.0));
+        c.insert("a".into(), v(9.0));
+        c.insert("c".into(), v(3.0));
+        // "b" was LRU after "a" was refreshed by reinsert.
+        assert!(c.get("b").is_none());
+        assert_eq!(c.get("a"), Some(&v(9.0)[..]));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert("a".into(), v(1.0));
+        assert!(c.get("a").is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn single_capacity_cache_churns_correctly() {
+        let mut c = LruCache::new(1);
+        c.insert("a".into(), v(1.0));
+        c.insert("b".into(), v(2.0));
+        assert!(c.get("a").is_none());
+        assert_eq!(c.get("b"), Some(&v(2.0)[..]));
+    }
+}

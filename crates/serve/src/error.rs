@@ -1,0 +1,94 @@
+//! The serving error surface: every way a request can fail, as a value.
+//!
+//! [`ServeError`] wraps the typed encode and checkpoint errors from the core
+//! crate and adds the failure modes the runtime itself introduces (transport,
+//! protocol, lifecycle), so callers can branch on the failure instead of
+//! parsing panic messages.
+
+use ktelebert::{CheckpointError, EncodeError};
+
+/// Everything that can go wrong serving an embedding request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The model rejected the request (empty batch, ragged rows, NaNs).
+    Encode(EncodeError),
+    /// The checkpoint bundle failed to load (bad magic, checksum mismatch,
+    /// missing or shape-mismatched parameters).
+    Checkpoint(CheckpointError),
+    /// Transport failure talking to a serve endpoint.
+    Io(std::io::Error),
+    /// The peer sent a line that is not a valid protocol message.
+    Protocol(String),
+    /// The session or server has shut down; no further requests are served.
+    SessionClosed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Encode(e) => write!(f, "encode failed: {e}"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+            ServeError::Io(e) => write!(f, "transport failed: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::SessionClosed => write!(f, "session is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Encode(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for ServeError {
+    fn from(e: EncodeError) -> Self {
+        ServeError::Encode(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::Encode(EncodeError::EmptyBatch), "encode failed"),
+            (ServeError::Checkpoint(CheckpointError::BadMagic), "checkpoint failed"),
+            (
+                ServeError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+                "transport failed",
+            ),
+            (ServeError::Protocol("bad line".into()), "protocol violation"),
+            (ServeError::SessionClosed, "shut down"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_the_inner_error() {
+        let e: ServeError = EncodeError::EmptyBatch.into();
+        assert!(matches!(e, ServeError::Encode(EncodeError::EmptyBatch)));
+        let e: ServeError = CheckpointError::BadMagic.into();
+        assert!(matches!(e, ServeError::Checkpoint(CheckpointError::BadMagic)));
+    }
+}

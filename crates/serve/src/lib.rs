@@ -1,0 +1,85 @@
+//! # tele-serve
+//!
+//! The inference runtime: serve trained [`ktelebert`] bundles to concurrent
+//! callers with request batching, an embedding cache, and typed errors.
+//!
+//! The runtime is built on one property of the core encode path: padded
+//! batched encoding is **bit-deterministic** — a sentence's embedding does
+//! not depend on which micro-batch computed it (padded key positions carry
+//! exactly-zero attention weight, and every other op is per-position). That
+//! makes request coalescing and caching *invisible* to callers: any
+//! grouping, any cache state, same bits.
+//!
+//! Layers, bottom up:
+//!
+//! * [`cache`] — a bounded LRU from whitespace-normalized text to embedding,
+//!   with hit/miss accounting;
+//! * [`session`] — [`InferenceSession`]: an `Arc`-shared immutable model
+//!   behind a batcher thread that coalesces concurrent encode requests into
+//!   padded micro-batches (closed by a size cap or a wait deadline);
+//! * [`server`] — `tele serve`'s TCP front-end: newline-delimited JSON over
+//!   `std::net`, a hand-rolled worker pool, cross-connection batching, and
+//!   a matching blocking [`ServeClient`];
+//! * [`bench`] — `tele serve-bench`'s load generator comparing the batched
+//!   runtime against the sequential baseline with a bit-identity check;
+//! * [`metrics`] — serving metrics that publish into the `tele-trace`
+//!   registry (`serve.*` histograms and counters);
+//! * [`error`] — [`ServeError`], the typed failure surface.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bench;
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use bench::{run_bench, workload, BenchConfig, BenchReport};
+pub use cache::{normalize_key, LruCache};
+pub use error::ServeError;
+pub use metrics::{LatencySummary, ServeMetrics, ServeStats};
+pub use protocol::{Request, Response};
+pub use server::{serve, ServeClient, ServeHandle, ServerConfig};
+pub use session::{InferenceSession, SessionConfig};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ktelebert::{ModelConfig, TagNormalizer, TeleBert, TeleModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tele_tensor::nn::TransformerConfig;
+    use tele_tensor::ParamStore;
+    use tele_tokenizer::{TeleTokenizer, TokenizerConfig};
+
+    /// A tiny randomly initialized bundle — untrained, but encode is
+    /// deterministic in eval mode, which is all the runtime tests need.
+    pub fn tiny_bundle(seed: u64) -> TeleBert {
+        let corpus: Vec<String> = (0..20)
+            .map(|i| {
+                format!(
+                    "alarm {i} raised on network function nf-{} severity {} link degraded",
+                    i % 7,
+                    i % 3
+                )
+            })
+            .collect();
+        let tokenizer = TeleTokenizer::train(corpus, &TokenizerConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let cfg = TransformerConfig {
+            vocab: tokenizer.vocab_size(),
+            dim: 16,
+            layers: 1,
+            heads: 2,
+            ffn_hidden: 32,
+            max_len: 32,
+            dropout: 0.1,
+        };
+        let model =
+            TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
+        TeleBert { store, model, tokenizer, normalizer: TagNormalizer::new() }
+    }
+}

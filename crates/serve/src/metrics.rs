@@ -1,0 +1,218 @@
+//! Serving metrics: latency histograms, throughput counters, cache and
+//! batch-shape statistics.
+//!
+//! The trace crate's registry is thread-local by design, but serving spans
+//! many threads (request threads, the batcher, TCP workers). The runtime
+//! therefore accumulates into a [`ServeMetrics`] value behind a mutex, and
+//! publishes the aggregate into whichever thread's registry asks for it via
+//! [`ServeMetrics::publish`] (backed by `tele_trace::metrics::histogram_merge`).
+//! Timing uses `tele_trace::now_ns()` — the workspace's single monotonic
+//! clock — so serve latencies line up with trace spans on a shared timeline.
+
+use serde::{Deserialize, Serialize};
+use tele_trace::metrics::Histogram;
+
+/// Aggregated serving metrics, accumulated across worker threads.
+#[derive(Default)]
+pub struct ServeMetrics {
+    /// Enqueue-to-completion latency of each request, ns.
+    pub request_latency_ns: Histogram,
+    /// Forward-pass latency of each executed micro-batch, ns.
+    pub batch_latency_ns: Histogram,
+    /// Size (request count) of each executed micro-batch.
+    pub batch_size: Histogram,
+    /// Requests completed (ok or error).
+    pub requests: u64,
+    /// Requests that failed with an error.
+    pub errors: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests answered from the embedding cache.
+    pub cache_hits: u64,
+    /// Requests that required a forward pass.
+    pub cache_misses: u64,
+    /// Unique sentences actually pushed through the model (after in-batch
+    /// dedup), i.e. forward-pass rows.
+    pub encoded_sentences: u64,
+}
+
+/// Quantile summary of one latency histogram, in microseconds.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean, µs.
+    pub mean_us: f64,
+    /// Median estimate, µs.
+    pub p50_us: f64,
+    /// 90th percentile estimate, µs.
+    pub p90_us: f64,
+    /// 99th percentile estimate, µs.
+    pub p99_us: f64,
+    /// Largest sample, µs.
+    pub max_us: f64,
+}
+
+fn latency_summary(h: &Histogram) -> LatencySummary {
+    let s = h.summary();
+    LatencySummary {
+        count: s.count,
+        mean_us: s.mean / 1_000.0,
+        p50_us: s.p50 / 1_000.0,
+        p90_us: s.p90 / 1_000.0,
+        p99_us: s.p99 / 1_000.0,
+        max_us: s.max as f64 / 1_000.0,
+    }
+}
+
+/// Point-in-time serving statistics, serializable for the `stats` protocol
+/// op and the bench report.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Requests that failed.
+    pub errors: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests answered from cache.
+    pub cache_hits: u64,
+    /// Requests that required a forward pass.
+    pub cache_misses: u64,
+    /// Fraction of requests answered from cache (0 before any request).
+    pub cache_hit_rate: f64,
+    /// Forward-pass rows after in-batch dedup.
+    pub encoded_sentences: u64,
+    /// Mean executed batch size (0 before any batch).
+    pub mean_batch_size: f64,
+    /// Largest executed batch.
+    pub max_batch_size: u64,
+    /// Request latency summary (enqueue to completion).
+    pub request_latency: LatencySummary,
+    /// Micro-batch forward latency summary.
+    pub batch_latency: LatencySummary,
+}
+
+impl ServeMetrics {
+    /// Records one completed request with its end-to-end latency.
+    pub fn record_request(&mut self, latency_ns: u64, ok: bool) {
+        self.requests += 1;
+        if !ok {
+            self.errors += 1;
+        }
+        self.request_latency_ns.record(latency_ns);
+    }
+
+    /// Records one executed micro-batch: its request count, cache hit/miss
+    /// split, unique forward rows, and forward latency.
+    pub fn record_batch(&mut self, size: u64, hits: u64, misses: u64, unique: u64, ns: u64) {
+        self.batches += 1;
+        self.batch_size.record(size);
+        self.cache_hits += hits;
+        self.cache_misses += misses;
+        self.encoded_sentences += unique;
+        self.batch_latency_ns.record(ns);
+    }
+
+    /// Summarises the current aggregates.
+    pub fn stats(&self) -> ServeStats {
+        let looked_up = self.cache_hits + self.cache_misses;
+        ServeStats {
+            requests: self.requests,
+            errors: self.errors,
+            batches: self.batches,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cache_hit_rate: if looked_up == 0 {
+                0.0
+            } else {
+                self.cache_hits as f64 / looked_up as f64
+            },
+            encoded_sentences: self.encoded_sentences,
+            mean_batch_size: self.batch_size.mean(),
+            max_batch_size: self.batch_size.max(),
+            request_latency: latency_summary(&self.request_latency_ns),
+            batch_latency: latency_summary(&self.batch_latency_ns),
+        }
+    }
+
+    /// Publishes the aggregates into the *calling thread's* trace registry
+    /// under `serve.*` names (no-op while tracing is disabled), so serving
+    /// metrics appear in the same snapshot as everything else traced on that
+    /// thread.
+    pub fn publish(&self) {
+        use tele_trace::metrics as m;
+        m::histogram_merge("serve.request_latency_ns", &self.request_latency_ns);
+        m::histogram_merge("serve.batch_latency_ns", &self.batch_latency_ns);
+        m::histogram_merge("serve.batch_size", &self.batch_size);
+        m::counter_add("serve.requests", self.requests);
+        m::counter_add("serve.errors", self.errors);
+        m::counter_add("serve.batches", self.batches);
+        m::counter_add("serve.cache_hits", self.cache_hits);
+        m::counter_add("serve.cache_misses", self.cache_misses);
+        m::counter_add("serve.encoded_sentences", self.encoded_sentences);
+        m::gauge_set("serve.cache_hit_rate", self.stats().cache_hit_rate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_aggregate_batches_and_requests() {
+        let mut m = ServeMetrics::default();
+        m.record_batch(4, 1, 3, 3, 2_000_000);
+        m.record_batch(2, 2, 0, 0, 1_000_000);
+        m.record_request(3_000_000, true);
+        m.record_request(5_000_000, false);
+        let s = m.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.batches, 2);
+        assert_eq!((s.cache_hits, s.cache_misses), (3, 3));
+        assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.encoded_sentences, 3);
+        assert!((s.mean_batch_size - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_batch_size, 4);
+        assert_eq!(s.request_latency.count, 2);
+        assert!(s.request_latency.max_us >= 4_000.0);
+    }
+
+    #[test]
+    fn stats_are_zero_before_traffic() {
+        let s = ServeMetrics::default().stats();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.cache_hit_rate, 0.0);
+        assert_eq!(s.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn publish_merges_into_the_trace_registry() {
+        tele_trace::enable();
+        tele_trace::reset();
+        let mut m = ServeMetrics::default();
+        m.record_batch(8, 0, 8, 8, 4_000_000);
+        m.record_request(5_000_000, true);
+        m.publish();
+        let snap = tele_trace::metrics::snapshot();
+        assert!(snap.counters.iter().any(|(k, v)| k == "serve.requests" && *v == 1));
+        assert!(snap.histograms.iter().any(|(k, h)| k == "serve.batch_size" && h.count == 1));
+        tele_trace::reset();
+        tele_trace::disable();
+    }
+
+    #[test]
+    fn stats_roundtrip_through_json() {
+        let mut m = ServeMetrics::default();
+        m.record_batch(4, 1, 3, 3, 2_000_000);
+        m.record_request(3_000_000, true);
+        let s = m.stats();
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: ServeStats = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.requests, s.requests);
+        assert_eq!(back.cache_hits, s.cache_hits);
+        assert!((back.cache_hit_rate - s.cache_hit_rate).abs() < 1e-12);
+        assert_eq!(back.request_latency.count, s.request_latency.count);
+    }
+}

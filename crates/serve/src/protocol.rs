@@ -1,0 +1,152 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line. Operations: `encode` (texts → embeddings), `stats`,
+//! `ping`, and `shutdown`. Errors travel as a machine-readable `code` plus a
+//! human-readable `error` message, so clients can reconstruct a typed
+//! [`ServeError`] without parsing prose.
+
+use ktelebert::EncodeError;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+use crate::metrics::ServeStats;
+
+/// A client request line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation: `"encode"`, `"stats"`, `"ping"`, or `"shutdown"`.
+    pub op: String,
+    /// Sentences to encode (required for `encode`, absent otherwise).
+    pub texts: Option<Vec<String>>,
+}
+
+impl Request {
+    /// An `encode` request.
+    pub fn encode(texts: Vec<String>) -> Self {
+        Request { op: "encode".into(), texts: Some(texts) }
+    }
+
+    /// A bare request with no payload (`stats` / `ping` / `shutdown`).
+    pub fn bare(op: &str) -> Self {
+        Request { op: op.into(), texts: None }
+    }
+}
+
+/// A server response line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// One embedding per requested sentence (`encode` only).
+    pub embeddings: Option<Vec<Vec<f32>>>,
+    /// Serving statistics (`stats` only).
+    pub stats: Option<ServeStats>,
+    /// Machine-readable error code (set when `ok` is false).
+    pub code: Option<String>,
+    /// Human-readable error message (set when `ok` is false).
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// A bare success response.
+    pub fn ack() -> Self {
+        Response { ok: true, embeddings: None, stats: None, code: None, error: None }
+    }
+
+    /// A successful `encode` response.
+    pub fn embeddings(embs: Vec<Vec<f32>>) -> Self {
+        Response { ok: true, embeddings: Some(embs), stats: None, code: None, error: None }
+    }
+
+    /// A successful `stats` response.
+    pub fn stats(stats: ServeStats) -> Self {
+        Response { ok: true, embeddings: None, stats: Some(stats), code: None, error: None }
+    }
+
+    /// An error response carrying the typed error's code and message.
+    pub fn failure(err: &ServeError) -> Self {
+        Response {
+            ok: false,
+            embeddings: None,
+            stats: None,
+            code: Some(error_code(err).into()),
+            error: Some(err.to_string()),
+        }
+    }
+
+    /// Reconstructs the typed error from an error response; `None` when the
+    /// response is a success.
+    pub fn to_error(&self) -> Option<ServeError> {
+        if self.ok {
+            return None;
+        }
+        let message = self.error.clone().unwrap_or_else(|| "unspecified server error".into());
+        Some(match self.code.as_deref() {
+            Some("empty_batch") => ServeError::Encode(EncodeError::EmptyBatch),
+            Some("session_closed") => ServeError::SessionClosed,
+            _ => ServeError::Protocol(message),
+        })
+    }
+}
+
+/// Stable wire code for each error variant.
+pub fn error_code(err: &ServeError) -> &'static str {
+    match err {
+        ServeError::Encode(EncodeError::EmptyBatch) => "empty_batch",
+        ServeError::Encode(EncodeError::RaggedRows { .. }) => "ragged_rows",
+        ServeError::Encode(EncodeError::NonFinite { .. }) => "non_finite",
+        ServeError::Checkpoint(_) => "checkpoint",
+        ServeError::Io(_) => "io",
+        ServeError::Protocol(_) => "protocol",
+        ServeError::SessionClosed => "session_closed",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::encode(vec!["a b".into(), "c".into()]);
+        let json = serde_json::to_string(&req).expect("serialize");
+        let back: Request = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.op, "encode");
+        assert_eq!(back.texts.as_deref(), Some(&["a b".to_string(), "c".to_string()][..]));
+    }
+
+    #[test]
+    fn bare_request_tolerates_missing_texts() {
+        let back: Request = serde_json::from_str(r#"{"op":"ping"}"#).expect("deserialize");
+        assert_eq!(back.op, "ping");
+        assert!(back.texts.is_none());
+    }
+
+    #[test]
+    fn embeddings_roundtrip_bit_exactly() {
+        let embs = vec![vec![0.1f32, -2.5e-8, f32::MIN_POSITIVE], vec![1.0, 2.0, 3.0]];
+        let json = serde_json::to_string(&Response::embeddings(embs.clone())).expect("serialize");
+        let back: Response = serde_json::from_str(&json).expect("deserialize");
+        let got = back.embeddings.expect("embeddings");
+        for (a, b) in embs.iter().flatten().zip(got.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "wire transport must preserve f32 bits");
+        }
+    }
+
+    #[test]
+    fn failure_roundtrips_to_typed_error() {
+        let json = serde_json::to_string(&Response::failure(&ServeError::SessionClosed))
+            .expect("serialize");
+        let back: Response = serde_json::from_str(&json).expect("deserialize");
+        assert!(matches!(back.to_error(), Some(ServeError::SessionClosed)));
+
+        let json =
+            serde_json::to_string(&Response::failure(&ServeError::Encode(EncodeError::EmptyBatch)))
+                .expect("serialize");
+        let back: Response = serde_json::from_str(&json).expect("deserialize");
+        assert!(matches!(back.to_error(), Some(ServeError::Encode(EncodeError::EmptyBatch))));
+
+        assert!(Response::ack().to_error().is_none());
+    }
+}

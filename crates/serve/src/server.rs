@@ -1,0 +1,425 @@
+//! The TCP serving front-end: `std::net::TcpListener`, a hand-rolled worker
+//! pool, and newline-delimited JSON framing (see [`crate::protocol`]).
+//!
+//! Topology: one accept thread pushes connections onto a shared queue; N
+//! worker threads each own one connection at a time and answer its requests
+//! through the shared [`InferenceSession`] — so batching happens *across*
+//! connections, not per connection. Reads carry a short timeout so workers
+//! re-check the shutdown flag even while a client sits idle, which bounds
+//! shutdown latency without a dedicated reaper.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ktelebert::TeleBert;
+
+use crate::error::ServeError;
+use crate::metrics::ServeStats;
+use crate::protocol::{Request, Response};
+use crate::session::{InferenceSession, SessionConfig};
+
+/// How long a worker blocks on a socket read before re-checking shutdown.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (the handle reports it).
+    pub addr: String,
+    /// Worker threads (= concurrently served connections).
+    pub workers: usize,
+    /// Batching and cache knobs for the shared session.
+    pub session: SessionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7077".into(),
+            workers: 4,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+struct ConnQueue {
+    conns: Mutex<VecDeque<TcpStream>>,
+    wake: Condvar,
+}
+
+struct Control {
+    stop: AtomicBool,
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Control {
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut stopped = self.stopped.lock().unwrap_or_else(|e| e.into_inner());
+        *stopped = true;
+        self.cv.notify_all();
+    }
+
+    fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A running serve endpoint. Dropping the handle shuts the server down.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    control: Arc<Control>,
+    queue: Arc<ConnQueue>,
+    session: Arc<InferenceSession>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Starts serving `bundle` per `cfg`. Returns once the listener is bound and
+/// the worker pool is up; serving proceeds on background threads.
+pub fn serve(bundle: TeleBert, cfg: &ServerConfig) -> Result<ServeHandle, ServeError> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let session = Arc::new(InferenceSession::new(bundle, cfg.session.clone()));
+    let control = Arc::new(Control {
+        stop: AtomicBool::new(false),
+        stopped: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let queue = Arc::new(ConnQueue { conns: Mutex::new(VecDeque::new()), wake: Condvar::new() });
+
+    let accept = {
+        let control = Arc::clone(&control);
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if control.is_stopping() {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
+                    conns.push_back(stream);
+                    drop(conns);
+                    queue.wake.notify_one();
+                }
+            }
+        })
+    };
+
+    let workers = (0..cfg.workers.max(1))
+        .map(|_| {
+            let control = Arc::clone(&control);
+            let queue = Arc::clone(&queue);
+            let session = Arc::clone(&session);
+            std::thread::spawn(move || worker_loop(&control, &queue, &session))
+        })
+        .collect();
+
+    Ok(ServeHandle { addr, control, queue, session, accept: Some(accept), workers })
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared session (for stats or metric publication).
+    pub fn session(&self) -> &Arc<InferenceSession> {
+        &self.session
+    }
+
+    /// Blocks until a client requests shutdown (or [`shutdown`](Self::shutdown)
+    /// is called from another thread).
+    pub fn wait(&self) {
+        let mut stopped = self.control.stopped.lock().unwrap_or_else(|e| e.into_inner());
+        while !*stopped {
+            stopped = self.control.cv.wait(stopped).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops accepting, drains workers, and returns final serving stats.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop_and_join();
+        self.session.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.control.request_stop();
+        // Unblock the accept loop with a throwaway connection; `incoming()`
+        // has no other wakeup mechanism in std.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.queue.wake.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.workers.is_empty() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn worker_loop(control: &Control, queue: &ConnQueue, session: &InferenceSession) {
+    loop {
+        let stream = {
+            let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = conns.pop_front() {
+                    break stream;
+                }
+                if control.is_stopping() {
+                    return;
+                }
+                let (guard, _timeout) =
+                    queue.wake.wait_timeout(conns, READ_POLL).unwrap_or_else(|e| e.into_inner());
+                conns = guard;
+            }
+        };
+        serve_connection(control, session, stream);
+        if control.is_stopping() {
+            return;
+        }
+    }
+}
+
+/// Answers one connection until the peer disconnects, a transport error
+/// occurs, or shutdown is requested.
+fn serve_connection(control: &Control, session: &InferenceSession, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if control.is_stopping() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop_after) = handle_line(session, &line);
+        let mut payload = match serde_json::to_string(&response) {
+            Ok(json) => json,
+            Err(_) => return,
+        };
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if stop_after {
+            control.request_stop();
+            return;
+        }
+        if control.is_stopping() {
+            return;
+        }
+    }
+}
+
+/// Parses and executes one request line. Returns the response and whether
+/// the server should stop after sending it.
+fn handle_line(session: &InferenceSession, line: &str) -> (Response, bool) {
+    let request: Request = match serde_json::from_str(line.trim()) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::failure(&ServeError::Protocol(format!("unparseable request: {e:?}"))),
+                false,
+            )
+        }
+    };
+    match request.op.as_str() {
+        "ping" => (Response::ack(), false),
+        "stats" => (Response::stats(session.stats()), false),
+        "shutdown" => (Response::ack(), true),
+        "encode" => match request.texts {
+            Some(texts) => match session.encode_many(&texts) {
+                Ok(embs) => (Response::embeddings(embs), false),
+                Err(e) => (Response::failure(&e), false),
+            },
+            None => (
+                Response::failure(&ServeError::Protocol("encode requires a `texts` array".into())),
+                false,
+            ),
+        },
+        other => (Response::failure(&ServeError::Protocol(format!("unknown op `{other}`"))), false),
+    }
+}
+
+/// A blocking NDJSON client for a serve endpoint.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a serve endpoint.
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServeClient { reader, writer: stream })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let mut payload = serde_json::to_string(request)
+            .map_err(|e| ServeError::Protocol(format!("request serialization failed: {e:?}")))?;
+        payload.push('\n');
+        self.writer.write_all(payload.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::Protocol("server closed the connection".into()));
+        }
+        serde_json::from_str(line.trim())
+            .map_err(|e| ServeError::Protocol(format!("unparseable response: {e:?}")))
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let response = self.call(request)?;
+        match response.to_error() {
+            Some(err) => Err(err),
+            None => Ok(response),
+        }
+    }
+
+    /// Round-trip health check.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.expect_ok(&Request::bare("ping")).map(|_| ())
+    }
+
+    /// Encodes sentences remotely; one embedding per sentence.
+    pub fn encode(&mut self, texts: Vec<String>) -> Result<Vec<Vec<f32>>, ServeError> {
+        let response = self.expect_ok(&Request::encode(texts))?;
+        response
+            .embeddings
+            .ok_or_else(|| ServeError::Protocol("encode response without embeddings".into()))
+    }
+
+    /// Fetches server statistics.
+    pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
+        let response = self.expect_ok(&Request::bare("stats"))?;
+        response.stats.ok_or_else(|| ServeError::Protocol("stats response without stats".into()))
+    }
+
+    /// Asks the server to shut down (acknowledged before it stops).
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.expect_ok(&Request::bare("shutdown")).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_bundle;
+
+    fn local_cfg() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            session: SessionConfig { max_batch: 8, max_wait_us: 500, cache_capacity: 64 },
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip_matches_direct_encode() {
+        let bundle = tiny_bundle(10);
+        let texts = vec!["alarm on amf".to_string(), "link down".to_string()];
+        let direct = bundle.encode_batch(&texts).expect("direct");
+
+        let handle = serve(tiny_bundle(10), &local_cfg()).expect("serve");
+        let mut client = ServeClient::connect(&handle.addr().to_string()).expect("connect");
+        client.ping().expect("ping");
+        let remote = client.encode(texts).expect("encode");
+        for (a, b) in direct.iter().flatten().zip(remote.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "wire result must be bit-identical");
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.requests, 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_are_typed_not_fatal() {
+        let handle = serve(tiny_bundle(11), &local_cfg()).expect("serve");
+        let mut client = ServeClient::connect(&handle.addr().to_string()).expect("connect");
+        match client.encode(vec![]) {
+            Err(ServeError::Encode(ktelebert::EncodeError::EmptyBatch)) => {}
+            other => panic!("expected typed EmptyBatch over the wire, got {other:?}"),
+        }
+        // The connection survives the error.
+        client.ping().expect("ping after error");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_op_stops_the_server() {
+        let handle = serve(tiny_bundle(12), &local_cfg()).expect("serve");
+        let addr = handle.addr().to_string();
+        let mut client = ServeClient::connect(&addr).expect("connect");
+        client.shutdown().expect("shutdown ack");
+        handle.wait(); // returns because the client requested shutdown
+        let stats = handle.shutdown();
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn concurrent_connections_are_batched_together() {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            session: SessionConfig { max_batch: 16, max_wait_us: 20_000, cache_capacity: 0 },
+        };
+        let handle = serve(tiny_bundle(13), &cfg).expect("serve");
+        let addr = handle.addr().to_string();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut client = ServeClient::connect(&addr).expect("connect");
+                    client
+                        .encode(vec![format!("fault {t} alpha"), format!("fault {t} beta")])
+                        .expect("encode")
+                })
+            })
+            .collect();
+        for t in threads {
+            let embs = t.join().expect("join");
+            assert_eq!(embs.len(), 2);
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.requests, 8);
+        assert!(stats.batches < 8, "requests from different connections must coalesce: {stats:?}");
+    }
+}

@@ -1,0 +1,429 @@
+//! In-process inference sessions: one shared immutable model, one batcher
+//! thread coalescing concurrent encode requests into padded micro-batches.
+//!
+//! ## Batching policy
+//!
+//! Requests enter a FIFO queue. The batcher opens a micro-batch at the first
+//! queued request and closes it when either `max_batch` requests are queued
+//! or `max_wait_us` has elapsed since the batch opened — whichever comes
+//! first — then runs **one** padded forward pass for the whole batch. The
+//! deadline bounds tail latency under light load; the size cap bounds peak
+//! memory under heavy load.
+//!
+//! ## Why coalescing is sound
+//!
+//! The encode path is bit-deterministic under padding (see
+//! [`ktelebert::TeleBert::encode_batch`]): a sentence encoded inside any
+//! micro-batch yields exactly the `f32` bits it would yield encoded alone.
+//! Requests may therefore be grouped arbitrarily — across callers, threads,
+//! and connections — without observable effect on results, and cached
+//! embeddings are interchangeable with freshly computed ones.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ktelebert::{EncodeError, TeleBert};
+use tele_trace::now_ns;
+
+use crate::cache::{normalize_key, LruCache};
+use crate::error::ServeError;
+use crate::metrics::{ServeMetrics, ServeStats};
+
+/// Tuning knobs for an [`InferenceSession`].
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Largest micro-batch the batcher will form.
+    pub max_batch: usize,
+    /// Longest the batcher waits (µs) after opening a batch for more
+    /// requests to join before running it.
+    pub max_wait_us: u64,
+    /// Embedding cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { max_batch: 16, max_wait_us: 1_000, cache_capacity: 1_024 }
+    }
+}
+
+/// One waiter's completion slot: filled exactly once by the batcher.
+struct Slot {
+    result: Mutex<Option<Result<Vec<f32>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot { result: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn deliver(&self, r: Result<Vec<f32>, ServeError>) {
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(r);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Vec<f32>, ServeError> {
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// One queued request.
+struct Pending {
+    text: String,
+    key: String,
+    enqueued_ns: u64,
+    slot: Arc<Slot>,
+}
+
+struct Queue {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    wake: Condvar,
+}
+
+/// A thread-safe handle to one loaded model with a batching encode path.
+///
+/// The model is loaded once and shared immutably (`Arc`); any number of
+/// threads may call [`encode`](Self::encode) concurrently. Requests are
+/// coalesced into micro-batches by a dedicated batcher thread and answered
+/// through a bounded LRU cache keyed by whitespace-normalized text.
+pub struct InferenceSession {
+    bundle: Arc<TeleBert>,
+    shared: Arc<Shared>,
+    metrics: Arc<Mutex<ServeMetrics>>,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl InferenceSession {
+    /// Starts a session owning `bundle`.
+    pub fn new(bundle: TeleBert, cfg: SessionConfig) -> Self {
+        Self::from_arc(Arc::new(bundle), cfg)
+    }
+
+    /// Starts a session over an already-shared bundle.
+    pub fn from_arc(bundle: Arc<TeleBert>, cfg: SessionConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue { items: VecDeque::new(), closed: false }),
+            wake: Condvar::new(),
+        });
+        let metrics = Arc::new(Mutex::new(ServeMetrics::default()));
+        let engine = {
+            let bundle = Arc::clone(&bundle);
+            let shared = Arc::clone(&shared);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || run_batcher(&bundle, &shared, &metrics, &cfg))
+        };
+        InferenceSession { bundle, shared, metrics, engine: Some(engine) }
+    }
+
+    /// The model bundle this session serves.
+    pub fn bundle(&self) -> &Arc<TeleBert> {
+        &self.bundle
+    }
+
+    /// Encodes one sentence, blocking until its micro-batch completes.
+    pub fn encode(&self, text: &str) -> Result<Vec<f32>, ServeError> {
+        let slot = self.submit(text)?;
+        slot.wait()
+    }
+
+    /// Encodes a group of sentences. All of them are enqueued in one burst —
+    /// so the batcher can coalesce them into full micro-batches — and the
+    /// call blocks until every one completes.
+    pub fn encode_many(&self, texts: &[String]) -> Result<Vec<Vec<f32>>, ServeError> {
+        if texts.is_empty() {
+            return Err(ServeError::Encode(EncodeError::EmptyBatch));
+        }
+        let slots: Vec<Arc<Slot>> =
+            texts.iter().map(|t| self.submit(t)).collect::<Result<_, _>>()?;
+        slots.into_iter().map(|s| s.wait()).collect()
+    }
+
+    fn submit(&self, text: &str) -> Result<Arc<Slot>, ServeError> {
+        let slot = Slot::new();
+        let pending = Pending {
+            text: text.to_string(),
+            key: normalize_key(text),
+            enqueued_ns: now_ns(),
+            slot: Arc::clone(&slot),
+        };
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.closed {
+            return Err(ServeError::SessionClosed);
+        }
+        q.items.push_back(pending);
+        drop(q);
+        self.shared.wake.notify_all();
+        Ok(slot)
+    }
+
+    /// Current serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).stats()
+    }
+
+    /// Publishes the session's metrics into the calling thread's trace
+    /// registry (see [`ServeMetrics::publish`]).
+    pub fn publish_metrics(&self) {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).publish();
+    }
+
+    /// Shuts the session down: already-queued requests still complete, new
+    /// submissions fail with [`ServeError::SessionClosed`]. Returns the
+    /// final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close();
+        self.stats()
+    }
+
+    fn close(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.closed = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(engine) = self.engine.take() {
+            // A panicked batcher already delivered nothing more; there is no
+            // recovery beyond surfacing SessionClosed to future callers.
+            let _ = engine.join();
+        }
+    }
+}
+
+impl Drop for InferenceSession {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The batcher loop: drain → coalesce → one forward → deliver.
+fn run_batcher(
+    bundle: &TeleBert,
+    shared: &Shared,
+    metrics: &Mutex<ServeMetrics>,
+    cfg: &SessionConfig,
+) {
+    let max_batch = cfg.max_batch.max(1);
+    let mut cache = LruCache::new(cfg.cache_capacity);
+    loop {
+        let batch = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            // Sleep until there is work or the session closes.
+            while q.items.is_empty() && !q.closed {
+                q = shared.wake.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.items.is_empty() {
+                return; // closed and drained
+            }
+            // Batch opens now; hold it open briefly for stragglers, unless
+            // it is already full or the session is draining for shutdown.
+            let deadline = now_ns().saturating_add(cfg.max_wait_us.saturating_mul(1_000));
+            while q.items.len() < max_batch && !q.closed {
+                let now = now_ns();
+                if now >= deadline {
+                    break;
+                }
+                let wait = Duration::from_nanos(deadline - now);
+                let (guard, _timeout) =
+                    shared.wake.wait_timeout(q, wait).unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+            let take = q.items.len().min(max_batch);
+            q.items.drain(..take).collect::<Vec<Pending>>()
+        };
+        run_one_batch(bundle, &mut cache, metrics, batch);
+    }
+}
+
+/// Executes one micro-batch: cache lookups, in-batch dedup, a single padded
+/// forward over the misses, then per-request delivery and metrics.
+fn run_one_batch(
+    bundle: &TeleBert,
+    cache: &mut LruCache,
+    metrics: &Mutex<ServeMetrics>,
+    batch: Vec<Pending>,
+) {
+    let t0 = now_ns();
+    let n = batch.len();
+    let mut results: Vec<Option<Vec<f32>>> = Vec::with_capacity(n);
+    let mut miss_index: HashMap<&str, usize> = HashMap::new();
+    let mut miss_texts: Vec<String> = Vec::new();
+    let mut hits = 0u64;
+    for p in &batch {
+        match cache.get(&p.key) {
+            Some(v) => {
+                hits += 1;
+                results.push(Some(v.to_vec()));
+            }
+            None => {
+                if !miss_index.contains_key(p.key.as_str()) {
+                    miss_index.insert(p.key.as_str(), miss_texts.len());
+                    miss_texts.push(p.text.clone());
+                }
+                results.push(None);
+            }
+        }
+    }
+
+    let misses = n as u64 - hits;
+    let unique = miss_texts.len() as u64;
+    let fresh = if miss_texts.is_empty() {
+        Vec::new()
+    } else {
+        match bundle.encode_batch(&miss_texts) {
+            Ok(embs) => embs,
+            Err(e) => {
+                // The whole forward failed: every request in the batch gets
+                // the same typed error.
+                let elapsed = now_ns().saturating_sub(t0);
+                let mut m = metrics.lock().unwrap_or_else(|e2| e2.into_inner());
+                m.record_batch(n as u64, hits, misses, unique, elapsed);
+                for p in &batch {
+                    m.record_request(now_ns().saturating_sub(p.enqueued_ns), false);
+                }
+                drop(m);
+                for p in &batch {
+                    p.slot.deliver(Err(ServeError::Encode(e.clone())));
+                }
+                return;
+            }
+        }
+    };
+    for (key, idx) in &miss_index {
+        cache.insert((*key).to_string(), fresh[*idx].clone());
+    }
+
+    let elapsed = now_ns().saturating_sub(t0);
+    let mut m = metrics.lock().unwrap_or_else(|e| e.into_inner());
+    m.record_batch(n as u64, hits, misses, unique, elapsed);
+    for p in &batch {
+        m.record_request(now_ns().saturating_sub(p.enqueued_ns), true);
+    }
+    drop(m);
+    for (p, r) in batch.iter().zip(results.iter_mut()) {
+        let emb = match r.take() {
+            Some(v) => v,
+            // A miss resolved by this batch's forward (dedup'd rows share
+            // one embedding).
+            None => miss_index.get(p.key.as_str()).map(|&i| fresh[i].clone()).unwrap_or_default(),
+        };
+        p.slot.deliver(Ok(emb));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_bundle;
+
+    #[test]
+    fn single_request_roundtrip() {
+        let session = InferenceSession::new(tiny_bundle(0), SessionConfig::default());
+        let emb = session.encode("control plane congested").expect("encode");
+        assert_eq!(emb.len(), 16);
+        assert!(emb.iter().all(|v| v.is_finite()));
+        let stats = session.shutdown();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn session_results_match_direct_encode_bitwise() {
+        let bundle = Arc::new(tiny_bundle(1));
+        let session = InferenceSession::from_arc(Arc::clone(&bundle), SessionConfig::default());
+        let texts = vec!["alarm raised on amf".to_string(), "link down on smf node".to_string()];
+        let via_session = session.encode_many(&texts).expect("encode_many");
+        for (text, got) in texts.iter().zip(&via_session) {
+            let solo = bundle.encode_batch(std::slice::from_ref(text)).expect("solo");
+            let a: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = solo[0].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "batched result must be bit-identical to solo encode");
+        }
+    }
+
+    #[test]
+    fn repeated_text_is_served_from_cache() {
+        let session = InferenceSession::new(tiny_bundle(2), SessionConfig::default());
+        let a = session.encode("network congestion points increased").expect("first");
+        let b = session.encode("network   congestion points\tincreased").expect("second");
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        let stats = session.shutdown();
+        assert!(stats.cache_hits >= 1, "whitespace-variant repeat must hit the cache: {stats:?}");
+        assert_eq!(stats.encoded_sentences, 1, "only one unique forward row");
+    }
+
+    #[test]
+    fn encode_many_coalesces_into_fewer_batches() {
+        let cfg = SessionConfig { max_batch: 8, max_wait_us: 20_000, cache_capacity: 0 };
+        let session = InferenceSession::new(tiny_bundle(3), cfg);
+        let texts: Vec<String> = (0..8).map(|i| format!("event number {i} on node")).collect();
+        let out = session.encode_many(&texts).expect("encode_many");
+        assert_eq!(out.len(), 8);
+        let stats = session.shutdown();
+        assert_eq!(stats.requests, 8);
+        assert!(
+            stats.batches < 8,
+            "burst submission must coalesce (got {} batches)",
+            stats.batches
+        );
+    }
+
+    #[test]
+    fn empty_request_is_a_typed_error() {
+        let session = InferenceSession::new(tiny_bundle(4), SessionConfig::default());
+        match session.encode_many(&[]) {
+            Err(ServeError::Encode(EncodeError::EmptyBatch)) => {}
+            other => panic!("expected EmptyBatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closed_session_rejects_new_requests() {
+        let bundle = Arc::new(tiny_bundle(5));
+        let mut session = InferenceSession::from_arc(Arc::clone(&bundle), SessionConfig::default());
+        session.close();
+        match session.encode("anything") {
+            Err(ServeError::SessionClosed) => {}
+            other => panic!("expected SessionClosed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_batch_duplicates_share_one_forward_row() {
+        let cfg = SessionConfig { max_batch: 8, max_wait_us: 20_000, cache_capacity: 16 };
+        let session = InferenceSession::new(tiny_bundle(6), cfg);
+        let texts: Vec<String> = vec![
+            "same fault text".into(),
+            "same fault text".into(),
+            "same  fault   text".into(),
+            "a different fault".into(),
+        ];
+        let out = session.encode_many(&texts).expect("encode_many");
+        assert_eq!(
+            out[0].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out[2].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        let stats = session.shutdown();
+        assert!(
+            stats.encoded_sentences <= 2 * stats.batches,
+            "dedup must collapse duplicate rows: {stats:?}"
+        );
+    }
+}

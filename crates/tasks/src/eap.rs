@@ -257,7 +257,7 @@ mod tests {
     fn forward_shapes() {
         let (w, ds, neighbors) = setup();
         let names: Vec<String> = (0..w.num_events()).map(|e| w.event_name(e).to_string()).collect();
-        let emb = random_embeddings(&names, 16, 0);
+        let emb = random_embeddings(&names, 16, 0).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
         let cfg = EapTaskConfig::default();
@@ -274,7 +274,7 @@ mod tests {
         // is unconstrained (it can legitimately undershoot 50).
         let (w, ds, neighbors) = setup();
         let names: Vec<String> = (0..w.num_events()).map(|e| w.event_name(e).to_string()).collect();
-        let emb = random_embeddings(&names, 16, 0);
+        let emb = random_embeddings(&names, 16, 0).unwrap();
         let cfg = EapTaskConfig { epochs: 3, ..Default::default() };
         let res = run_eap(&ds, &emb, &neighbors, &cfg);
         assert_eq!(res.folds.len(), 5);
@@ -311,7 +311,7 @@ mod tests {
                 v
             })
             .collect();
-        let emb = crate::embeddings::EmbeddingTable::normalized(rows);
+        let emb = crate::embeddings::EmbeddingTable::try_normalized(rows).unwrap();
         let cfg = EapTaskConfig { epochs: 10, ..Default::default() };
         let res = run_eap(&ds, &emb, &neighbors, &cfg);
         assert!(

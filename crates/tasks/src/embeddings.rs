@@ -8,7 +8,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use ktelebert::{ServiceEncoder, ServiceFormat, TeleBert};
+use ktelebert::{EncodeError, ServiceEncoder, ServiceFormat, TeleBert};
 use tele_kg::TeleKg;
 use tele_tensor::Tensor;
 use tele_tokenizer::pre_tokenize;
@@ -29,13 +29,24 @@ impl EmbeddingTable {
     /// embeddings carry (anisotropy), which would otherwise drown the
     /// between-name signal; it is applied identically to every provider so
     /// the comparison stays fair (random rows are already near-centered).
-    pub fn normalized(rows: Vec<Vec<f32>>) -> Self {
-        assert!(!rows.is_empty(), "empty embedding table");
+    ///
+    /// Empty input, ragged rows, and non-finite values surface as a typed
+    /// [`EncodeError`] instead of a panic, so serving and task code can
+    /// reject bad tables without taking the process down.
+    pub fn try_normalized(rows: Vec<Vec<f32>>) -> Result<Self, EncodeError> {
+        if rows.is_empty() {
+            return Err(EncodeError::EmptyBatch);
+        }
         let dim = rows[0].len();
         let n = rows.len() as f32;
         let mut mean = vec![0.0f32; dim];
-        for r in &rows {
-            assert_eq!(r.len(), dim, "ragged embedding rows");
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != dim {
+                return Err(EncodeError::RaggedRows { row: i, expected: dim, found: r.len() });
+            }
+            if r.iter().any(|v| !v.is_finite()) {
+                return Err(EncodeError::NonFinite { row: i });
+            }
             for (m, &v) in mean.iter_mut().zip(r) {
                 *m += v / n;
             }
@@ -48,7 +59,7 @@ impl EmbeddingTable {
                 centered.into_iter().map(|v| v / norm).collect()
             })
             .collect();
-        EmbeddingTable { rows, dim }
+        Ok(EmbeddingTable { rows, dim })
     }
 
     /// The table as a `[rows, dim]` tensor.
@@ -70,17 +81,25 @@ impl EmbeddingTable {
 
 /// Random uniform embeddings — the paper's "Random" baseline ("random
 /// valued vectors drawn from a uniform distribution").
-pub fn random_embeddings(names: &[String], dim: usize, seed: u64) -> EmbeddingTable {
+pub fn random_embeddings(
+    names: &[String],
+    dim: usize,
+    seed: u64,
+) -> Result<EmbeddingTable, EncodeError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let rows =
         names.iter().map(|_| Tensor::rand_uniform([dim], -1.0, 1.0, &mut rng).to_vec()).collect();
-    EmbeddingTable::normalized(rows)
+    EmbeddingTable::try_normalized(rows)
 }
 
 /// Averaged random word embeddings — the paper's "Word Embeddings" baseline
 /// for EAP: each distinct word gets a random vector; an event is the mean
 /// of its words. Shared words induce similarity; nothing else does.
-pub fn word_avg_embeddings(names: &[String], dim: usize, seed: u64) -> EmbeddingTable {
+pub fn word_avg_embeddings(
+    names: &[String],
+    dim: usize,
+    seed: u64,
+) -> Result<EmbeddingTable, EncodeError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut word_vecs: std::collections::HashMap<String, Vec<f32>> =
         std::collections::HashMap::new();
@@ -102,7 +121,7 @@ pub fn word_avg_embeddings(names: &[String], dim: usize, seed: u64) -> Embedding
             acc
         })
         .collect();
-    EmbeddingTable::normalized(rows)
+    EmbeddingTable::try_normalized(rows)
 }
 
 /// `[CLS]` service embeddings from a pre-trained bundle (MacBERT stand-in,
@@ -112,9 +131,9 @@ pub fn service_embeddings(
     kg: Option<&TeleKg>,
     names: &[String],
     format: ServiceFormat,
-) -> EmbeddingTable {
+) -> Result<EmbeddingTable, EncodeError> {
     let svc = ServiceEncoder::new(bundle, kg);
-    EmbeddingTable::normalized(svc.encode(names, format))
+    EmbeddingTable::try_normalized(svc.encode(names, format)?)
 }
 
 #[cfg(test)]
@@ -131,7 +150,7 @@ mod tests {
 
     #[test]
     fn random_rows_are_unit_norm_and_distinct() {
-        let t = random_embeddings(&names(), 16, 0);
+        let t = random_embeddings(&names(), 16, 0).unwrap();
         assert_eq!(t.len(), 3);
         for r in &t.rows {
             let n: f32 = r.iter().map(|v| v * v).sum::<f32>().sqrt();
@@ -142,7 +161,7 @@ mod tests {
 
     #[test]
     fn word_avg_reflects_shared_words() {
-        let t = word_avg_embeddings(&names(), 32, 1);
+        let t = word_avg_embeddings(&names(), 32, 1).unwrap();
         let cos = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
         let related = cos(&t.rows[0], &t.rows[1]); // share "control plane"
         let unrelated = cos(&t.rows[0], &t.rows[2]);
@@ -154,14 +173,29 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let a = random_embeddings(&names(), 8, 5);
-        let b = random_embeddings(&names(), 8, 5);
+        let a = random_embeddings(&names(), 8, 5).unwrap();
+        let b = random_embeddings(&names(), 8, 5).unwrap();
         assert_eq!(a.rows, b.rows);
     }
 
     #[test]
+    fn try_normalized_rejects_bad_tables() {
+        assert_eq!(EmbeddingTable::try_normalized(vec![]).unwrap_err(), EncodeError::EmptyBatch);
+        let ragged = vec![vec![0.0; 4], vec![0.0; 3]];
+        assert_eq!(
+            EmbeddingTable::try_normalized(ragged).unwrap_err(),
+            EncodeError::RaggedRows { row: 1, expected: 4, found: 3 }
+        );
+        let poisoned = vec![vec![1.0, 2.0], vec![f32::NAN, 0.0]];
+        assert_eq!(
+            EmbeddingTable::try_normalized(poisoned).unwrap_err(),
+            EncodeError::NonFinite { row: 1 }
+        );
+    }
+
+    #[test]
     fn tensor_shape() {
-        let t = random_embeddings(&names(), 8, 5);
+        let t = random_embeddings(&names(), 8, 5).unwrap();
         assert_eq!(t.tensor().shape().dims(), &[3, 8]);
     }
 }

@@ -342,7 +342,7 @@ mod tests {
     #[test]
     fn training_improves_over_untrained() {
         let ds = dataset();
-        let init = random_embeddings(&ds.node_names, 16, 0);
+        let init = random_embeddings(&ds.node_names, 16, 0).unwrap();
         // Untrained baseline: 0 epochs of training.
         let untrained = run_fct(&ds, &init, &FctTaskConfig { epochs: 0, ..Default::default() });
         let trained = run_fct(&ds, &init, &FctTaskConfig { epochs: 30, ..Default::default() });
@@ -359,7 +359,7 @@ mod tests {
     fn ranks_are_filtered() {
         // With filtering, a fact's rank cannot exceed the entity count.
         let ds = dataset();
-        let init = random_embeddings(&ds.node_names, 8, 1);
+        let init = random_embeddings(&ds.node_names, 8, 1).unwrap();
         let res = run_fct(&ds, &init, &FctTaskConfig { epochs: 2, ..Default::default() });
         assert!(res.test.mr <= ds.num_nodes() as f64);
     }
@@ -369,7 +369,7 @@ mod tests {
         // Internal check of the loss: higher confidence ⇒ larger margin ⇒
         // larger hinge for the same embedding state.
         let ds = dataset();
-        let init = random_embeddings(&ds.node_names, 8, 2);
+        let init = random_embeddings(&ds.node_names, 8, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
         let model =
@@ -393,7 +393,7 @@ mod tests {
     #[test]
     fn all_scorers_train_and_evaluate() {
         let ds = dataset();
-        let init = random_embeddings(&ds.node_names, 16, 3);
+        let init = random_embeddings(&ds.node_names, 16, 3).unwrap();
         for scorer in [KgeScorer::TransE, KgeScorer::TransH, KgeScorer::DistMult, KgeScorer::Rotate]
         {
             let cfg = FctTaskConfig { epochs: 3, scorer, ..Default::default() };
@@ -406,7 +406,7 @@ mod tests {
     #[test]
     fn tape_and_raw_distances_agree() {
         let ds = dataset();
-        let init = random_embeddings(&ds.node_names, 16, 4);
+        let init = random_embeddings(&ds.node_names, 16, 4).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         for scorer in [KgeScorer::TransE, KgeScorer::TransH, KgeScorer::DistMult, KgeScorer::Rotate]
         {

@@ -249,7 +249,7 @@ mod tests {
     #[test]
     fn node_init_averages_event_embeddings() {
         let (ds, names) = small_setup();
-        let emb = random_embeddings(&names, 8, 0);
+        let emb = random_embeddings(&names, 8, 0).unwrap();
         let g = &ds.graphs[0];
         let h = node_init(g, &emb);
         assert_eq!(h.shape().dims(), &[g.num_nodes(), 8]);
@@ -284,7 +284,7 @@ mod tests {
                 v
             })
             .collect();
-        let emb = crate::embeddings::EmbeddingTable::normalized(rows);
+        let emb = crate::embeddings::EmbeddingTable::try_normalized(rows).unwrap();
         let cfg = RcaTaskConfig { epochs: 10, folds: 5, ..Default::default() };
         let res = run_rca(&ds, &emb, &cfg);
         let avg_nodes = ds.stats().avg_nodes;
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn rca_runs_with_random_embeddings() {
         let (ds, names) = small_setup();
-        let emb = random_embeddings(&names, 16, 0);
+        let emb = random_embeddings(&names, 16, 0).unwrap();
         let cfg = RcaTaskConfig { epochs: 2, folds: 5, ..Default::default() };
         let res = run_rca(&ds, &emb, &cfg);
         assert!(res.mean.mr >= 1.0);

@@ -52,5 +52,5 @@ mod tensor;
 pub use init::{bert_normal, kaiming_uniform, xavier_uniform};
 pub use shape::{shape_mismatch, BroadcastIter, Shape};
 pub use sym::{SymDim, SymResult, SymShape};
-pub use tape::{Grads, LoadSummary, ParamId, ParamStore, Tape, Var};
+pub use tape::{Grads, LoadSummary, ParamId, ParamStore, ShapeDiff, Tape, Var};
 pub use tensor::Tensor;

@@ -402,17 +402,32 @@ impl ParamStore {
     pub fn load_json(&mut self, json: &str) -> Result<LoadSummary, serde_json::Error> {
         let entries: Vec<SerializedParam> = serde_json::from_str(json)?;
         let mut loaded = 0;
+        let mut loaded_ids = vec![false; self.params.len()];
         let mut skipped = Vec::new();
+        let mut mismatched = Vec::new();
         for e in entries {
             match self.by_name.get(&e.name).copied() {
                 Some(id) if self.params[id.0].value.shape().dims() == e.shape.as_slice() => {
                     self.params[id.0].value = Tensor::from_vec(e.data, Shape(e.shape));
+                    loaded_ids[id.0] = true;
                     loaded += 1;
                 }
-                _ => skipped.push(e.name),
+                Some(id) => mismatched.push(ShapeDiff {
+                    name: e.name,
+                    expected: self.params[id.0].value.shape().dims().to_vec(),
+                    found: e.shape,
+                }),
+                None => skipped.push(e.name),
             }
         }
-        Ok(LoadSummary { loaded, skipped })
+        let missing = self
+            .params
+            .iter()
+            .zip(&loaded_ids)
+            .filter(|&(_, &hit)| !hit)
+            .map(|(p, _)| p.name.clone())
+            .collect();
+        Ok(LoadSummary { loaded, skipped, mismatched, missing })
     }
 }
 
@@ -423,13 +438,31 @@ struct SerializedParam {
     data: Vec<f32>,
 }
 
+/// A checkpoint entry whose name matched a parameter but whose shape did
+/// not — distinguishing real corruption/drift from the benign "extra entry"
+/// case in [`LoadSummary::skipped`].
+#[derive(Clone, Debug)]
+pub struct ShapeDiff {
+    /// Parameter name.
+    pub name: String,
+    /// Shape of the parameter in the target store.
+    pub expected: Vec<usize>,
+    /// Shape recorded in the checkpoint entry.
+    pub found: Vec<usize>,
+}
+
 /// Outcome of [`ParamStore::load_json`].
 #[derive(Debug)]
 pub struct LoadSummary {
     /// Parameters whose values were restored.
     pub loaded: usize,
-    /// Checkpoint entries with no matching parameter (by name and shape).
+    /// Checkpoint entries with no parameter of that name in the store
+    /// (benign for sub-model loads: e.g. a dropped ELECTRA generator).
     pub skipped: Vec<String>,
+    /// Checkpoint entries whose name matched but whose shape did not.
+    pub mismatched: Vec<ShapeDiff>,
+    /// Store parameters the checkpoint carried no value for.
+    pub missing: Vec<String>,
 }
 
 #[cfg(test)]
@@ -519,7 +552,26 @@ mod tests {
         other.create("w", Tensor::zeros([3]));
         let summary = other.load_json(&json).unwrap();
         assert_eq!(summary.loaded, 0);
-        assert_eq!(summary.skipped, vec!["w".to_string()]);
+        assert!(summary.skipped.is_empty());
+        assert_eq!(summary.mismatched.len(), 1);
+        assert_eq!(summary.mismatched[0].name, "w");
+        assert_eq!(summary.mismatched[0].expected, vec![3]);
+        assert_eq!(summary.mismatched[0].found, vec![2]);
+        assert_eq!(summary.missing, vec!["w".to_string()]);
+    }
+
+    #[test]
+    fn load_json_reports_missing_store_params() {
+        let mut store = ParamStore::new();
+        store.create("present", Tensor::zeros([2]));
+        let json = store.to_json();
+        let mut other = ParamStore::new();
+        other.create("present", Tensor::zeros([2]));
+        other.create("absent", Tensor::zeros([1]));
+        let summary = other.load_json(&json).unwrap();
+        assert_eq!(summary.loaded, 1);
+        assert_eq!(summary.missing, vec!["absent".to_string()]);
+        assert!(summary.mismatched.is_empty());
     }
 
     #[test]

@@ -99,6 +99,21 @@ impl Histogram {
         }
     }
 
+    /// Folds another histogram into this one bucket-by-bucket, so metrics
+    /// accumulated off-registry (e.g. under a `Mutex` shared by server
+    /// worker threads) can later be published into a thread's registry.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
     /// inside the log bucket containing rank `q * (count - 1)`. Returns 0 for
     /// an empty histogram. The estimate is clamped to the observed
@@ -217,6 +232,17 @@ pub fn histogram_record(name: impl Into<Name>, v: u64) {
         return;
     }
     REGISTRY.with(|r| r.borrow_mut().histograms.entry(name.into()).or_default().record(v));
+}
+
+/// Merges a whole histogram into the named registry histogram (no-op while
+/// disabled). The cross-thread publication path: worker threads accumulate
+/// into their own [`Histogram`] values, and one publishing thread merges the
+/// aggregate here.
+pub fn histogram_merge(name: impl Into<Name>, h: &Histogram) {
+    if !crate::is_enabled() {
+        return;
+    }
+    REGISTRY.with(|r| r.borrow_mut().histograms.entry(name.into()).or_default().merge(h));
 }
 
 /// Summarises the named histogram, if it has any samples.

@@ -209,6 +209,58 @@ fn histogram_quantiles_match_reference() {
 }
 
 #[test]
+fn histogram_merge_equals_recording_into_one() {
+    // Splitting a sample stream across two histograms and merging must be
+    // indistinguishable from recording everything into one — the property
+    // the serve runtime relies on when publishing per-worker histograms.
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let samples: Vec<u64> = (0..2_000)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) % 500_000
+        })
+        .collect();
+    let mut all = Histogram::default();
+    let mut left = Histogram::default();
+    let mut right = Histogram::default();
+    for (i, &s) in samples.iter().enumerate() {
+        all.record(s);
+        if i % 2 == 0 { &mut left } else { &mut right }.record(s);
+    }
+    let mut merged = left.clone();
+    merged.merge(&right);
+    assert_eq!(merged.count(), all.count());
+    assert_eq!(merged.sum(), all.sum());
+    assert_eq!(merged.min(), all.min());
+    assert_eq!(merged.max(), all.max());
+    for &q in &[0.5, 0.9, 0.99] {
+        assert_eq!(merged.quantile(q), all.quantile(q), "q={q}");
+    }
+
+    // Merging an empty histogram is a no-op, either way around.
+    let before = (merged.count(), merged.sum(), merged.min(), merged.max());
+    merged.merge(&Histogram::default());
+    assert_eq!(before, (merged.count(), merged.sum(), merged.min(), merged.max()));
+    let mut empty = Histogram::default();
+    empty.merge(&left);
+    assert_eq!(empty.count(), left.count());
+    assert_eq!(empty.min(), left.min());
+    assert_eq!(empty.max(), left.max());
+
+    // The registry-level entry point folds into the named histogram.
+    isolated(|| {
+        tele_trace::enable();
+        metrics::histogram_record("serve.batch", 8);
+        metrics::histogram_merge("serve.batch", &left);
+        let snap = metrics::snapshot();
+        let (name, hist) = &snap.histograms[0];
+        assert_eq!(name, "serve.batch");
+        assert_eq!(hist.count, left.count() + 1);
+        metrics::reset();
+    });
+}
+
+#[test]
 fn metrics_registry_counters_gauges_histograms() {
     isolated(|| {
         tele_trace::enable();

@@ -29,8 +29,8 @@ fn main() {
         "Provider", "Accuracy", "Precision", "Recall", "F1"
     );
     for (name, emb) in [
-        ("Random", random_embeddings(&names, 48, 2)),
-        ("WordAvg", word_avg_embeddings(&names, 48, 2)),
+        ("Random", random_embeddings(&names, 48, 2).expect("encode")),
+        ("WordAvg", word_avg_embeddings(&names, 48, 2).expect("encode")),
     ] {
         let res = run_eap(&suite.eap, &emb, &neighbors, &cfg);
         println!(

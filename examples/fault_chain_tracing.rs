@@ -34,8 +34,8 @@ fn main() {
     let cfg = FctTaskConfig { epochs: 40, seed: 9, ..Default::default() };
     println!("\n{:<12} {:>7} {:>8} {:>8} {:>8}", "Init", "MRR", "Hits@1", "Hits@3", "Hits@10");
     for (name, emb) in [
-        ("Random", random_embeddings(&suite.fct.node_names, 48, 4)),
-        ("WordAvg", word_avg_embeddings(&suite.fct.node_names, 48, 4)),
+        ("Random", random_embeddings(&suite.fct.node_names, 48, 4).expect("encode")),
+        ("WordAvg", word_avg_embeddings(&suite.fct.node_names, 48, 4).expect("encode")),
     ] {
         let res = run_fct(&suite.fct, &emb, &cfg);
         println!(

@@ -111,7 +111,7 @@ fn main() {
     // the relative structure; all downstream tasks center the same way.
     let all_names: Vec<String> =
         (0..suite.world.num_events()).map(|e| suite.world.event_name(e).to_string()).collect();
-    let raw = ktelebert.encode_sentences(&all_names);
+    let raw = ktelebert.encode_batch(&all_names).expect("encode");
     let dim = raw[0].len();
     let mean: Vec<f32> =
         (0..dim).map(|k| raw.iter().map(|r| r[k]).sum::<f32>() / raw.len() as f32).collect();

@@ -28,8 +28,8 @@ fn main() {
     let cfg = RcaTaskConfig { epochs: 12, seed: 3, ..Default::default() };
 
     // Baselines.
-    let rand_emb = random_embeddings(&names, 48, 1);
-    let word_emb = word_avg_embeddings(&names, 48, 1);
+    let rand_emb = random_embeddings(&names, 48, 1).expect("encode");
+    let word_emb = word_avg_embeddings(&names, 48, 1).expect("encode");
 
     // A quickly pre-trained TeleBERT.
     let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
@@ -53,7 +53,8 @@ fn main() {
         Some(&suite.built_kg.kg),
         &names,
         ServiceFormat::EntityNoAttr,
-    );
+    )
+    .expect("encode");
 
     println!("\n{:<16} {:>6} {:>8} {:>8} {:>8}", "Provider", "MR", "Hits@1", "Hits@3", "Hits@5");
     for (name, emb) in [("Random", rand_emb), ("WordAvg", word_emb), ("TeleBERT", tele_emb)] {

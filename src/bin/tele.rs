@@ -10,7 +10,12 @@
 //!               [--checkpoint-keep N] [--resume auto|never]
 //!               [--guard off|skip|rollback|abort] [--stop-after N]
 //!               [--die-at-step N] --out FILE              train and checkpoint
-//! tele encode   --ckpt FILE <sentence> [<sentence> ...]   embed + similarities
+//! tele encode   --ckpt FILE [--batch-size N] [--file FILE|-]
+//!               [<sentence> ...]                          embed + similarities
+//! tele serve    --ckpt FILE [--addr HOST:PORT] [--workers N] [--batch-size N]
+//!               [--max-wait-us N] [--cache N]             NDJSON TCP server
+//! tele serve-bench --ckpt FILE [--requests N] [--unique N] [--threads N]
+//!               [--batch-size N] [--out FILE]             serving load test
 //! tele profile  [--seed N] [--steps N] [--out FILE]       profile a short run
 //! tele profile  --check FILE                              validate a trace file
 //! tele check    <config.json> [--resume FILE|DIR] [--json FILE]
@@ -25,6 +30,9 @@ use tele_knowledge::kg;
 use tele_knowledge::model::{
     cosine, load_bundle, pretrain, retrain, save_bundle, write_atomic, Checkpointing,
     FaultTolerance, GuardConfig, GuardPolicy, PretrainConfig, RetrainConfig, RetrainData, Strategy,
+};
+use tele_knowledge::serve::{
+    run_bench, BenchConfig, InferenceSession, ServerConfig, SessionConfig,
 };
 use tele_knowledge::tensor::nn::TransformerConfig;
 use tele_knowledge::tokenizer::{SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
@@ -92,6 +100,8 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "train" => cmd_train(&args),
         "encode" => cmd_encode(&args),
+        "serve" => cmd_serve(&args),
+        "serve-bench" => cmd_serve_bench(&args),
         "profile" => cmd_profile(&args),
         "check" => cmd_check(&args),
         "lint" => cmd_lint(&args),
@@ -120,7 +130,13 @@ const USAGE: &str = "tele — tele-knowledge CLI
                 [--checkpoint-keep N] [--resume auto|never]
                 [--guard off|skip|rollback|abort] [--stop-after N]
                 [--die-at-step N] --out FILE
-  tele encode   --ckpt FILE <sentence> [<sentence> ...]
+  tele encode   --ckpt FILE [--batch-size N] [--file FILE|-] [<sentence> ...]
+  tele serve    --ckpt FILE [--addr HOST:PORT] [--workers N] [--batch-size N]
+                [--max-wait-us N] [--cache N]
+                serve embeddings over newline-delimited JSON on TCP
+  tele serve-bench --ckpt FILE [--requests N] [--unique N] [--threads N]
+                [--batch-size N] [--out FILE]
+                compare batched serving against the sequential baseline
   tele profile  [--seed N] [--steps N] [--out FILE]   profile a short training run
   tele profile  --check FILE                          validate a Chrome trace file
   tele check    <config.json> [--resume FILE|DIR] [--json FILE]
@@ -358,15 +374,44 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_encode(args: &Args) -> Result<(), String> {
+/// Loads a checkpoint bundle, surfacing the typed load error's message.
+fn load_ckpt(args: &Args) -> Result<tele_knowledge::model::TeleBert, String> {
     let ckpt = args.flags.get("ckpt").ok_or("--ckpt FILE required")?;
-    if args.positional.is_empty() {
-        return Err("at least one sentence required".into());
+    let json = std::fs::read_to_string(ckpt).map_err(|e| format!("cannot read {ckpt}: {e}"))?;
+    load_bundle(&json).map_err(|e| format!("cannot load {ckpt}: {e}"))
+}
+
+/// Batching/cache knobs shared by `encode`, `serve`, and `serve-bench`.
+fn session_flags(args: &Args) -> Result<SessionConfig, String> {
+    let defaults = SessionConfig::default();
+    Ok(SessionConfig {
+        max_batch: args.usize_flag("batch-size", defaults.max_batch)?,
+        max_wait_us: args.u64_flag("max-wait-us", defaults.max_wait_us)?,
+        cache_capacity: args.usize_flag("cache", defaults.cache_capacity)?,
+    })
+}
+
+fn cmd_encode(args: &Args) -> Result<(), String> {
+    // Sentences come from positional arguments, a file, or stdin ("-").
+    let mut sentences = args.positional.clone();
+    if let Some(path) = args.flags.get("file") {
+        let text = if path == "-" {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+            buf
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        };
+        sentences.extend(text.lines().map(str::trim).filter(|l| !l.is_empty()).map(String::from));
     }
-    let json = std::fs::read_to_string(ckpt).map_err(|e| e.to_string())?;
-    let bundle = load_bundle(&json).map_err(|e| e.to_string())?;
-    let embs = bundle.encode_sentences(&args.positional);
-    for (s, e) in args.positional.iter().zip(&embs) {
+    if sentences.is_empty() {
+        return Err("at least one sentence required (positional, --file FILE, or --file -)".into());
+    }
+    let bundle = load_ckpt(args)?;
+    let session = InferenceSession::new(bundle, session_flags(args)?);
+    let embs = session.encode_many(&sentences).map_err(|e| e.to_string())?;
+    for (s, e) in sentences.iter().zip(&embs) {
         let preview: Vec<String> = e.iter().take(6).map(|v| format!("{v:+.3}")).collect();
         println!("{s:?} -> [{} …] ({} dims)", preview.join(", "), e.len());
     }
@@ -377,6 +422,87 @@ fn cmd_encode(args: &Args) -> Result<(), String> {
                 println!("  ({i}, {j}): {:+.4}", cosine(&embs[i], &embs[j]));
             }
         }
+    }
+    let stats = session.shutdown();
+    eprintln!(
+        "encoded {} sentence(s) in {} micro-batch(es), cache hit rate {:.0}%",
+        stats.requests,
+        stats.batches,
+        stats.cache_hit_rate * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let bundle = load_ckpt(args)?;
+    let cfg = ServerConfig {
+        addr: args.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7077".into()),
+        workers: args.usize_flag("workers", 4)?,
+        session: session_flags(args)?,
+    };
+    let handle = tele_knowledge::serve::serve(bundle, &cfg).map_err(|e| e.to_string())?;
+    println!("serving on {} ({} workers)", handle.addr(), cfg.workers);
+    println!("protocol: one JSON object per line, e.g.");
+    println!(r#"  {{"op":"encode","texts":["link down on smf"]}}"#);
+    println!(r#"  {{"op":"stats"}}  {{"op":"ping"}}  {{"op":"shutdown"}}"#);
+    handle.wait();
+    let stats = handle.shutdown();
+    eprintln!(
+        "served {} request(s) in {} micro-batch(es); cache hit rate {:.0}%; \
+         request p50 {:.0} us, p99 {:.0} us",
+        stats.requests,
+        stats.batches,
+        stats.cache_hit_rate * 100.0,
+        stats.request_latency.p50_us,
+        stats.request_latency.p99_us
+    );
+    Ok(())
+}
+
+fn cmd_serve_bench(args: &Args) -> Result<(), String> {
+    let bundle = load_ckpt(args)?;
+    let cfg = BenchConfig {
+        requests: args.usize_flag("requests", 64)?,
+        unique: args.usize_flag("unique", 12)?,
+        client_threads: args.usize_flag("threads", 8)?,
+        session: SessionConfig {
+            max_batch: args.usize_flag("batch-size", 16)?,
+            max_wait_us: args.u64_flag("max-wait-us", 200)?,
+            cache_capacity: args.usize_flag("cache", 256)?,
+        },
+    };
+    let report = run_bench(bundle, &cfg).map_err(|e| e.to_string())?;
+    let out = args
+        .flags
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results/bench_serve.json"));
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    let json = serde_json::to_string_pretty(&report).map_err(|e| format!("{e:?}"))?;
+    write_atomic(&out, json.as_bytes()).map_err(|e| e.to_string())?;
+    println!(
+        "sequential: {:>8.1} req/s  ({:.1} ms total)",
+        report.sequential_rps,
+        report.sequential_ns as f64 / 1e6
+    );
+    println!(
+        "batched:    {:>8.1} req/s  ({:.1} ms total, {} threads, mean batch {:.1})",
+        report.batched_rps,
+        report.batched_ns as f64 / 1e6,
+        report.client_threads,
+        report.mean_batch_size
+    );
+    println!(
+        "speedup: {:.2}x; cache hit rate {:.0}%; bit-identical: {}",
+        report.speedup,
+        report.cache_hit_rate * 100.0,
+        report.bit_identical
+    );
+    println!("report written to {}", out.display());
+    if !report.bit_identical {
+        return Err("batched embeddings diverged from the sequential baseline".into());
     }
     Ok(())
 }

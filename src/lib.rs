@@ -11,6 +11,7 @@
 //! - [`datagen`] — the synthetic tele-world (corpora, logs, datasets),
 //! - [`model`] — TeleBERT / KTeleBERT pre-training and service embeddings,
 //! - [`tasks`] — the three downstream fault-analysis tasks,
+//! - [`serve`] — the batched, cached inference runtime and TCP server,
 //! - [`trace`] — spans, metrics, and Chrome-trace/profile exporters,
 //! - [`check`] — ahead-of-time graph/shape verification and workspace lints.
 //!
@@ -40,6 +41,10 @@ pub use ktelebert as model;
 
 /// The downstream fault-analysis tasks (`tele-tasks`).
 pub use tele_tasks as tasks;
+
+/// The inference runtime (`tele-serve`): batching sessions, the NDJSON TCP
+/// server, and the serving load generator.
+pub use tele_serve as serve;
 
 /// The instrumentation layer (`tele-trace`): spans, metrics, exporters.
 pub use tele_trace as trace;

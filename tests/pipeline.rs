@@ -62,7 +62,8 @@ fn full_pipeline_smoke() {
         Some(&suite.built_kg.kg),
         &names,
         ServiceFormat::EntityWithAttr,
-    );
+    )
+    .expect("encode");
     assert_eq!(emb.len(), names.len());
     assert!(emb.rows.iter().all(|r| r.iter().all(|v| v.is_finite())));
 
@@ -78,7 +79,8 @@ fn full_pipeline_smoke() {
     assert!(eap.mean.accuracy > 0.0);
 
     let node_emb =
-        service_embeddings(&ktelebert, None, &suite.fct.node_names, ServiceFormat::OnlyName);
+        service_embeddings(&ktelebert, None, &suite.fct.node_names, ServiceFormat::OnlyName)
+            .expect("encode");
     let fct = run_fct(&suite.fct, &node_emb, &FctTaskConfig { epochs: 3, ..Default::default() });
     assert!(fct.test.mrr > 0.0);
 }
@@ -196,11 +198,11 @@ fn random_embeddings_flow_through_all_tasks() {
     let suite = Suite::generate(Scale::Smoke, 102);
     let names: Vec<String> =
         (0..suite.world.num_events()).map(|e| suite.world.event_name(e).to_string()).collect();
-    let emb = random_embeddings(&names, 32, 0);
+    let emb = random_embeddings(&names, 32, 0).expect("encode");
     let rca = run_rca(&suite.rca, &emb, &RcaTaskConfig { epochs: 2, ..Default::default() });
     assert!(rca.folds.len() == 5);
 
-    let node_emb = random_embeddings(&suite.fct.node_names, 32, 1);
+    let node_emb = random_embeddings(&suite.fct.node_names, 32, 1).expect("encode");
     let fct = run_fct(&suite.fct, &node_emb, &FctTaskConfig { epochs: 2, ..Default::default() });
     assert!(fct.test.mr >= 1.0);
 }

@@ -1,0 +1,148 @@
+//! Integration tests of the serving runtime against a trained bundle:
+//! concurrent sessions must return bit-identical embeddings to the plain
+//! encode path, and the TCP server must round-trip them unchanged.
+
+use std::sync::{Arc, Mutex};
+
+use tele_knowledge::datagen::{Scale, Suite};
+use tele_knowledge::model::{pretrain, EncodeError, PretrainConfig, TeleBert};
+use tele_knowledge::serve::{
+    serve, InferenceSession, ServeClient, ServeError, ServerConfig, SessionConfig,
+};
+use tele_knowledge::tensor::nn::TransformerConfig;
+use tele_knowledge::tokenizer::{TeleTokenizer, TokenizerConfig};
+
+fn trained_bundle(suite: &Suite) -> TeleBert {
+    let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
+    let encoder = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 32,
+        layers: 1,
+        heads: 2,
+        ffn_hidden: 64,
+        max_len: 48,
+        dropout: 0.1,
+    };
+    pretrain(
+        &suite.tele_corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig { steps: 10, batch_size: 4, ..Default::default() },
+    )
+    .0
+}
+
+/// Request texts drawn from the tele-corpus, with enough repetition to
+/// exercise both the cache and in-batch deduplication.
+fn workload(suite: &Suite, requests: usize, unique: usize) -> Vec<String> {
+    (0..requests).map(|i| suite.tele_corpus[i % unique].clone()).collect()
+}
+
+#[test]
+fn concurrent_session_matches_solo_encode_bit_for_bit() {
+    let suite = Suite::generate(Scale::Smoke, 91);
+    let bundle = trained_bundle(&suite);
+    let texts = workload(&suite, 32, 6);
+
+    // Ground truth: each sentence encoded alone, straight through the model.
+    let solo: Vec<Vec<f32>> = texts
+        .iter()
+        .map(|t| bundle.encode_batch(std::slice::from_ref(t)).expect("solo encode").swap_remove(0))
+        .collect();
+
+    let session = InferenceSession::new(
+        bundle,
+        SessionConfig { max_batch: 8, max_wait_us: 300, cache_capacity: 64 },
+    );
+    let threads = 8;
+    let chunk = texts.len().div_ceil(threads);
+    let results: Mutex<Vec<Option<Result<Vec<Vec<f32>>, ServeError>>>> =
+        Mutex::new((0..threads).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let session = &session;
+            let texts = &texts;
+            let results = &results;
+            scope.spawn(move || {
+                let lo = t * chunk;
+                let hi = (lo + chunk).min(texts.len());
+                let r = session.encode_many(&texts[lo..hi]);
+                results.lock().expect("results lock")[t] = Some(r);
+            });
+        }
+    });
+
+    let mut batched: Vec<Vec<f32>> = Vec::with_capacity(texts.len());
+    for slot in results.lock().expect("results lock").iter_mut() {
+        batched.extend(slot.take().expect("thread finished").expect("encode_many"));
+    }
+    assert_eq!(batched.len(), solo.len());
+    for (i, (a, b)) in solo.iter().zip(&batched).enumerate() {
+        assert_eq!(a.len(), b.len(), "request {i}: dimension mismatch");
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "request {i} dim {j}: batched encode must be bit-identical to solo"
+            );
+        }
+    }
+
+    let stats = session.shutdown();
+    assert_eq!(stats.requests, texts.len() as u64);
+    assert_eq!(stats.errors, 0);
+    assert!(
+        stats.cache_hits + stats.cache_misses > 0 && stats.cache_hits > 0,
+        "repeated texts must hit the cache: {stats:?}"
+    );
+}
+
+#[test]
+fn tcp_server_round_trips_embeddings_and_typed_errors() {
+    let suite = Suite::generate(Scale::Smoke, 92);
+    let bundle = trained_bundle(&suite);
+    let texts = workload(&suite, 6, 3);
+    let expected = bundle.encode_batch(&texts).expect("direct encode");
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        session: SessionConfig { max_batch: 4, max_wait_us: 300, cache_capacity: 32 },
+    };
+    let handle = serve(bundle, &cfg).expect("serve");
+    let addr = handle.addr().to_string();
+
+    // Concurrent clients each encode the full workload; every reply must
+    // carry the exact bits of the direct encode.
+    let expected = Arc::new(expected);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let addr = &addr;
+            let texts = &texts;
+            let expected = Arc::clone(&expected);
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                assert!(client.ping().is_ok());
+                let rows = client.encode(texts.clone()).expect("encode over tcp");
+                assert_eq!(rows.len(), expected.len());
+                for (a, b) in expected.iter().zip(&rows) {
+                    let same = a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+                    assert!(same, "wire round-trip must preserve f32 bits");
+                }
+            });
+        }
+    });
+
+    // Typed failure over the wire: an empty batch is a client error, not a
+    // dropped connection.
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let err = client.encode(vec![]).expect_err("empty batch must fail");
+    assert!(matches!(err, ServeError::Encode(EncodeError::EmptyBatch)), "{err:?}");
+    client.ping().expect("connection survives the typed error");
+
+    let stats = handle.shutdown();
+    // The empty batch was rejected before reaching the batcher, so it counts
+    // as neither a request nor an error.
+    assert_eq!(stats.errors, 0, "{stats:?}");
+    assert_eq!(stats.requests, 18, "three clients x six texts: {stats:?}");
+}

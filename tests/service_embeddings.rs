@@ -35,11 +35,13 @@ fn checkpoint_roundtrip_preserves_service_embeddings() {
     let names: Vec<String> = (0..4).map(|e| suite.world.event_name(e).to_string()).collect();
 
     let kg = &suite.built_kg.kg;
-    let before =
-        ServiceEncoder::new(&bundle, Some(kg)).encode(&names, ServiceFormat::EntityWithAttr);
+    let before = ServiceEncoder::new(&bundle, Some(kg))
+        .encode(&names, ServiceFormat::EntityWithAttr)
+        .expect("encode");
     let restored = load_bundle(&save_bundle(&bundle)).expect("load");
-    let after =
-        ServiceEncoder::new(&restored, Some(kg)).encode(&names, ServiceFormat::EntityWithAttr);
+    let after = ServiceEncoder::new(&restored, Some(kg))
+        .encode(&names, ServiceFormat::EntityWithAttr)
+        .expect("encode");
     assert_eq!(before, after);
 }
 
@@ -51,12 +53,12 @@ fn delivery_formats_are_distinct_but_deterministic() {
     let names = vec![suite.world.event_name(0).to_string()];
     let svc = ServiceEncoder::new(&bundle, Some(kg));
 
-    let a1 = svc.encode(&names, ServiceFormat::OnlyName);
-    let a2 = svc.encode(&names, ServiceFormat::OnlyName);
+    let a1 = svc.encode(&names, ServiceFormat::OnlyName).expect("encode");
+    let a2 = svc.encode(&names, ServiceFormat::OnlyName).expect("encode");
     assert_eq!(a1, a2, "eval-mode encoding must be deterministic");
 
-    let b = svc.encode(&names, ServiceFormat::EntityNoAttr);
-    let c = svc.encode(&names, ServiceFormat::EntityWithAttr);
+    let b = svc.encode(&names, ServiceFormat::EntityNoAttr).expect("encode");
+    let c = svc.encode(&names, ServiceFormat::EntityWithAttr).expect("encode");
     assert_ne!(a1[0], b[0]);
     assert_ne!(b[0], c[0]);
 }
@@ -66,8 +68,10 @@ fn pooling_strategies_differ() {
     let suite = Suite::generate(Scale::Smoke, 79);
     let bundle = trained_bundle(&suite);
     let enc = bundle.tokenizer.encode(suite.world.event_name(0), bundle.model.encoder.cfg.max_len);
-    let cls = bundle.encode_encodings_pooled(std::slice::from_ref(&enc), Pooling::Cls);
-    let mean = bundle.encode_encodings_pooled(std::slice::from_ref(&enc), Pooling::Mean);
+    let cls =
+        bundle.encode_encodings_pooled(std::slice::from_ref(&enc), Pooling::Cls).expect("encode");
+    let mean =
+        bundle.encode_encodings_pooled(std::slice::from_ref(&enc), Pooling::Mean).expect("encode");
     assert_eq!(cls[0].len(), mean[0].len());
     assert_ne!(cls[0], mean[0]);
 }
