@@ -83,6 +83,10 @@ pub struct CheckConfig {
     /// generator instead).
     #[serde(default)]
     pub expected_dead: Vec<String>,
+    /// Tensor device the trainer runs on (`"ref"` or `"fast"`); absent means
+    /// the process default.
+    #[serde(default)]
+    pub device: Option<String>,
 }
 
 impl CheckConfig {
@@ -215,6 +219,17 @@ pub fn validate(cfg: &CheckConfig) -> Vec<Diagnostic> {
         // Note: a.dim vs encoder.dim is deliberately NOT checked here — the
         // graph pass catches it symbolically at the exact op that fails
         // (the scatter of numeric embeddings into the hidden sequence).
+    }
+
+    // Device: must name a known backend when present.
+    if let Some(dev) = &cfg.device {
+        if tele_tensor::DeviceKind::parse(dev).is_err() {
+            out.push(err(
+                "unknown-device",
+                "device",
+                format!("unknown device {dev:?} (known: \"ref\", \"fast\")"),
+            ));
+        }
     }
 
     // Objectives: known names for the stage, no duplicates.
@@ -351,6 +366,7 @@ pub(crate) mod tests {
             fusion_tasks: 3,
             objectives: vec!["mask".into(), "num".into(), "ke".into()],
             expected_dead: vec![],
+            device: None,
         }
     }
 

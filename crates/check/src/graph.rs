@@ -434,6 +434,7 @@ mod tests {
             fusion_tasks: 3,
             objectives: vec!["mask".into(), "num".into(), "ke".into()],
             expected_dead: vec![],
+            device: None,
         }
     }
 

@@ -1,6 +1,6 @@
 //! `tele lint`: token-level invariant linter for the workspace.
 //!
-//! Four rules, each encoding a workspace convention that rustc/clippy do
+//! Five rules, each encoding a workspace convention that rustc/clippy do
 //! not enforce:
 //!
 //! | rule          | scope                         | invariant                                            |
@@ -9,6 +9,7 @@
 //! | `instant-now` | everywhere except `crates/trace` | no raw `Instant::now`; timing goes through spans  |
 //! | `date-now`    | everywhere                    | no `SystemTime::now` / `thread_rng` nondeterminism   |
 //! | `kernel-span` | `crates/tensor/src`           | pub kernels with nested loops open a `span!`         |
+//! | `tensor-storage` | everywhere except `crates/tensor` | no raw storage access (`as_mut_slice`); math goes through device kernels |
 //!
 //! Findings suppressed by the allowlist are downgraded to notes (still
 //! visible in the JSON report) rather than dropped, so CI artifacts show
@@ -217,6 +218,37 @@ fn rule_date_now(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagn
     }
 }
 
+/// `tensor-storage`: direct mutable access to tensor storage outside the
+/// tensor crate. Since the device seam landed, every numeric kernel is owned
+/// by a `Device` implementation; writing through `as_mut_slice` bypasses the
+/// active backend (and its pool/metrics accounting), so results stop being
+/// device-faithful. Build data as a plain `Vec<f32>` and hand it to
+/// `Tensor::from_vec` instead. The two surviving call sites are carried in
+/// `lint.allow` with justifications.
+fn rule_tensor_storage(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    if path.starts_with("crates/tensor/") {
+        return;
+    }
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        if toks[i].is_punct('.')
+            && i + 2 < toks.len()
+            && toks[i + 1].is_ident("as_mut_slice")
+            && toks[i + 2].is_punct('(')
+        {
+            out.push(finding(
+                "tensor-storage",
+                path,
+                toks[i + 1].line,
+                "`.as_mut_slice()` outside crates/tensor bypasses the device backend: \
+                 build a Vec<f32> and use `Tensor::from_vec`",
+            ));
+        }
+    }
+}
+
 /// `kernel-span`: public tensor kernels with nested loops must open a
 /// trace span so the profiler sees them.
 fn rule_kernel_span(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
@@ -327,6 +359,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     rule_instant_now(path, &toks, &in_test, &mut out);
     rule_date_now(path, &toks, &in_test, &mut out);
     rule_kernel_span(path, &toks, &in_test, &mut out);
+    rule_tensor_storage(path, &toks, &in_test, &mut out);
     out
 }
 
@@ -458,6 +491,29 @@ mod tests {
         assert!(lint_source("crates/tensor/src/ops.rs", single).is_empty());
         let private = "fn inner(n: usize) { for i in 0..n { for j in 0..n { work(i, j); } } }";
         assert!(lint_source("crates/tensor/src/ops.rs", private).is_empty());
+    }
+
+    #[test]
+    fn tensor_storage_flags_raw_mutation_outside_the_tensor_crate() {
+        let src = r#"
+            pub fn poke(t: &mut Tensor) {
+                let data = t.as_mut_slice();
+                data[0] = 1.0;
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t(x: &mut Tensor) { x.as_mut_slice()[0] = 0.0; }
+            }
+        "#;
+        let diags = lint_source("crates/tasks/src/rca.rs", src);
+        assert_eq!(codes(&diags), vec!["tensor-storage"], "{diags:?}");
+        assert!(diags[0].message.contains("device backend"), "{}", diags[0].message);
+
+        // The tensor crate owns its storage; devices mutate freely.
+        assert!(lint_source("crates/tensor/src/device/fast.rs", src).is_empty());
+        // Building via from_vec is the sanctioned path.
+        let ok = "pub fn build(v: Vec<f32>) -> Tensor { Tensor::from_vec(v, [2, 2]) }";
+        assert!(lint_source("crates/tasks/src/eap.rs", ok).is_empty());
     }
 
     #[test]

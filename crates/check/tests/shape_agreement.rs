@@ -32,6 +32,7 @@ fn check_config(encoder: TransformerConfig, anenc: AnencConfig, batch: usize) ->
         fusion_tasks: 3,
         objectives: vec!["mask".into(), "num".into(), "ke".into()],
         expected_dead: vec![],
+        device: None,
     }
 }
 

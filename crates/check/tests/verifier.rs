@@ -83,6 +83,17 @@ fn schedule_with_unreachable_parameters_is_rejected() {
 }
 
 #[test]
+fn unknown_device_is_rejected() {
+    let (path, cfg) = load("bad/device.json");
+    let report = timed_check(&path, &cfg, None);
+    let errs = errors(&report);
+    assert!(!errs.is_empty(), "{}", report.render());
+    let e = errs.iter().find(|d| d.code == "unknown-device").expect("unknown-device error");
+    assert!(e.message.contains("\"gpu\""), "{}", e.message);
+    assert!(e.message.contains("\"ref\"") && e.message.contains("\"fast\""), "{}", e.message);
+}
+
+#[test]
 fn truncated_checkpoint_is_rejected_in_preflight() {
     let (path, cfg) = load("ktelebert_imtl.json");
     // A genuine on-disk snapshot for this config, then a torn write.

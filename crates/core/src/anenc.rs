@@ -229,13 +229,14 @@ impl Anenc {
         let hn = h.normalize_last(1e-8);
         let sim = hn.matmul(hn.transpose(0, 1)).scale(1.0 / self.cfg.tau); // [k, k]
                                                                            // Exclude self-similarity from the softmax denominator.
-        let mut diag = Tensor::zeros([k, k]);
+        let mut diag = vec![0.0f32; k * k];
         for i in 0..k {
-            diag.as_mut_slice()[i * k + i] = -1e9;
+            diag[i * k + i] = -1e9;
         }
+        let diag = Tensor::from_vec(diag, [k, k]);
         let logp = sim.add(tape.constant(diag)).log_softmax_last();
         // One-hot positives: closest value, ties to the lowest index.
-        let mut pos_mask = Tensor::zeros([k, k]);
+        let mut pos_mask = vec![0.0f32; k * k];
         for i in 0..k {
             let mut best = usize::MAX;
             let mut best_d = f32::INFINITY;
@@ -249,8 +250,9 @@ impl Anenc {
                     best = j;
                 }
             }
-            pos_mask.as_mut_slice()[i * k + best] = 1.0;
+            pos_mask[i * k + best] = 1.0;
         }
+        let pos_mask = Tensor::from_vec(pos_mask, [k, k]);
         Some(logp.mul(tape.constant(pos_mask)).sum_all().scale(-1.0 / k as f32))
     }
 

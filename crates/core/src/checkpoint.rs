@@ -39,6 +39,9 @@ pub struct SavedBundle {
     pub params_crc: Option<u32>,
     /// The fitted normalizer.
     pub normalizer: TagNormalizer,
+    /// Compute backend the bundle opts into (`"ref"` / `"fast"`). Absent in
+    /// older bundles; loading defaults to the bit-exact reference device.
+    pub device: Option<String>,
 }
 
 /// Serializes a bundle to a JSON string.
@@ -52,6 +55,7 @@ pub fn save_bundle(bundle: &TeleBert) -> String {
         params,
         params_crc,
         normalizer: bundle.normalizer.clone(),
+        device: Some(bundle.device.name().to_string()),
     };
     serde_json::to_string(&saved).expect("bundle serialization cannot fail")
 }
@@ -90,7 +94,13 @@ pub fn load_bundle(json: &str) -> Result<TeleBert, CheckpointError> {
     if !summary.missing.is_empty() {
         return Err(CheckpointError::MissingParams { names: summary.missing });
     }
-    Ok(TeleBert { store, model, tokenizer: saved.tokenizer, normalizer: saved.normalizer })
+    // Bundles are pinned to the bit-exact reference device unless the
+    // checkpoint explicitly opts into another backend.
+    let device = match saved.device.as_deref() {
+        Some(name) => tele_tensor::DeviceKind::parse(name).map_err(CheckpointError::Parse)?,
+        None => tele_tensor::DeviceKind::Ref,
+    };
+    Ok(TeleBert { store, model, tokenizer: saved.tokenizer, normalizer: saved.normalizer, device })
 }
 
 /// Clones a trained bundle via a save/load round-trip (bundles own their
@@ -243,6 +253,7 @@ mod tests {
             model,
             tokenizer: tokenizer.clone(),
             normalizer: TagNormalizer::new(),
+            device: tele_tensor::DeviceKind::Ref,
         };
         let encodings: Vec<Encoding> =
             corpus.iter().map(|s| bundle.tokenizer.encode(s, 32)).collect();

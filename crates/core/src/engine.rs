@@ -181,6 +181,9 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Anomaly guardrails.
     pub guard: GuardConfig,
+    /// Compute backend for the whole run: forward, backward, and optimizer
+    /// tensors all dispatch to this device.
+    pub device: tele_tensor::DeviceKind,
 }
 
 impl Default for EngineConfig {
@@ -193,6 +196,7 @@ impl Default for EngineConfig {
             no_decay: vec!["bias".into(), "norm_".into(), ".tok.".into(), ".pos.".into()],
             seed: 7,
             guard: GuardConfig::default(),
+            device: tele_tensor::device::current(),
         }
     }
 }
@@ -443,6 +447,10 @@ impl<'a> TrainEngine<'a> {
         model: &TeleModel,
         data: &StepData<'_>,
     ) -> TrainTrace {
+        // Pin the configured compute device for the whole run: every tape,
+        // scratch tensor, and optimizer update inside dispatches to it.
+        let _device_scope = tele_tensor::device::scope(self.cfg.device);
+        store.to_device(self.cfg.device);
         if !self.decay_configured {
             let patterns: Vec<&str> = self.cfg.no_decay.iter().map(String::as_str).collect();
             self.opt.exclude_from_decay(store, &patterns);

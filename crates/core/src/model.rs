@@ -131,16 +131,14 @@ impl TeleModel {
         let k = batch.numerics.len();
         // Averaging matrix A [k, vocab]: row i holds 1/len at the tag's
         // token ids; tag embedding = A · E_tok.
-        let mut a = Tensor::zeros([k, vocab]);
-        {
-            let data = a.as_mut_slice();
-            for (i, n) in batch.numerics.iter().enumerate() {
-                let len = n.tag_ids.len().max(1) as f32;
-                for &t in &n.tag_ids {
-                    data[i * vocab + t] += 1.0 / len;
-                }
+        let mut a = vec![0.0f32; k * vocab];
+        for (i, n) in batch.numerics.iter().enumerate() {
+            let len = n.tag_ids.len().max(1) as f32;
+            for &t in &n.tag_ids {
+                a[i * vocab + t] += 1.0 / len;
             }
         }
+        let a = Tensor::from_vec(a, [k, vocab]);
         let tok = self.encoder.tok_embedding().weight(tape, store);
         tape.constant(a).matmul(tok)
     }
@@ -230,6 +228,9 @@ pub struct TeleBert {
     pub tokenizer: TeleTokenizer,
     /// Per-tag normalization fitted during (re-)training.
     pub normalizer: TagNormalizer,
+    /// Compute backend every encode runs on. Bundles load as `ref` (the
+    /// bit-determinism contract) unless the checkpoint opts into `fast`.
+    pub device: tele_tensor::DeviceKind,
 }
 
 impl TeleBert {
@@ -253,6 +254,7 @@ impl TeleBert {
             .collect();
         let refs: Vec<&tele_tokenizer::Encoding> = encs.iter().collect();
         let batch = Batch::collate(&refs);
+        let _dev = tele_tensor::device::scope(self.device);
         let tape = Tape::new();
         let enc = self.model.encode(&tape, &self.store, &batch, None, Some(&self.normalizer), None);
         let cls = TeleModel::cls(enc.hidden).value();
@@ -278,6 +280,7 @@ impl TeleBert {
             return Err(EncodeError::EmptyBatch);
         }
         let mut out = Vec::with_capacity(encs.len());
+        let _dev = tele_tensor::device::scope(self.device);
         // Small batches keep peak memory flat regardless of input count.
         for chunk in encs.chunks(16) {
             let refs: Vec<&tele_tokenizer::Encoding> = chunk.iter().collect();
@@ -427,7 +430,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut store = ParamStore::new();
         let model = TeleModel::new(&mut store, "m", &tiny_cfg(tok.vocab_size(), false), &mut rng);
-        let bundle = TeleBert { store, model, tokenizer: tok, normalizer: TagNormalizer::new() };
+        let bundle = TeleBert {
+            store,
+            model,
+            tokenizer: tok,
+            normalizer: TagNormalizer::new(),
+            device: tele_tensor::DeviceKind::Ref,
+        };
         let embs = bundle
             .encode_batch(&[
                 "the control plane is congested".to_string(),

@@ -108,7 +108,13 @@ mod tests {
         };
         let model =
             TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
-        let bundle = TeleBert { store, model, tokenizer, normalizer: TagNormalizer::new() };
+        let bundle = TeleBert {
+            store,
+            model,
+            tokenizer,
+            normalizer: TagNormalizer::new(),
+            device: tele_tensor::DeviceKind::Ref,
+        };
         (bundle, kg)
     }
 

@@ -216,6 +216,8 @@ pub struct PretrainConfig {
     pub telemetry: Option<PathBuf>,
     /// Guardrails, checkpointing/resume, and cancellation.
     pub fault: FaultTolerance,
+    /// Compute backend for training and the resulting bundle's encoder.
+    pub device: tele_tensor::DeviceKind,
 }
 
 impl Default for PretrainConfig {
@@ -233,6 +235,7 @@ impl Default for PretrainConfig {
             seed: 7,
             telemetry: None,
             fault: FaultTolerance::default(),
+            device: tele_tensor::device::current(),
         }
     }
 }
@@ -282,6 +285,7 @@ pub fn pretrain(
             warmup_frac: Some(cfg.warmup_frac),
             seed: cfg.seed,
             guard: cfg.fault.guard.clone(),
+            device: cfg.device,
             ..EngineConfig::default()
         },
         schedule,
@@ -303,8 +307,13 @@ pub fn pretrain(
     let log = engine.run(&mut store, &model, &data);
     drop(engine);
 
-    let bundle =
-        TeleBert { store, model, tokenizer: tokenizer.clone(), normalizer: TagNormalizer::new() };
+    let bundle = TeleBert {
+        store,
+        model,
+        tokenizer: tokenizer.clone(),
+        normalizer: TagNormalizer::new(),
+        device: cfg.device,
+    };
     (bundle, log)
 }
 
@@ -334,6 +343,8 @@ pub struct RetrainConfig {
     pub telemetry: Option<PathBuf>,
     /// Guardrails, checkpointing/resume, and cancellation.
     pub fault: FaultTolerance,
+    /// Compute backend for training and the resulting bundle's encoder.
+    pub device: tele_tensor::DeviceKind,
 }
 
 impl Default for RetrainConfig {
@@ -350,6 +361,7 @@ impl Default for RetrainConfig {
             seed: 13,
             telemetry: None,
             fault: FaultTolerance::default(),
+            device: tele_tensor::device::current(),
         }
     }
 }
@@ -421,6 +433,7 @@ pub fn retrain(
     let max_len = bundle.model.encoder.cfg.max_len;
     let tokenizer = bundle.tokenizer.clone();
 
+    bundle.device = cfg.device;
     bundle.normalizer = fit_normalizer(data);
 
     // Attach ANEnc (full KTeleBERT) or leave it off (w/o ANEnc ablation).
@@ -458,6 +471,7 @@ pub fn retrain(
                 .collect(),
             seed: cfg.seed,
             guard: cfg.fault.guard.clone(),
+            device: cfg.device,
         },
         schedule,
     );

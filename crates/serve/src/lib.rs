@@ -80,6 +80,12 @@ pub(crate) mod testutil {
         };
         let model =
             TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
-        TeleBert { store, model, tokenizer, normalizer: TagNormalizer::new() }
+        TeleBert {
+            store,
+            model,
+            tokenizer,
+            normalizer: TagNormalizer::new(),
+            device: tele_tensor::DeviceKind::Ref,
+        }
     }
 }

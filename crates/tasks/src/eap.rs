@@ -37,11 +37,21 @@ pub struct EapTaskConfig {
     pub folds: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Tensor device the task trains on.
+    pub device: tele_tensor::DeviceKind,
 }
 
 impl Default for EapTaskConfig {
     fn default() -> Self {
-        EapTaskConfig { ne_dim: 4, epochs: 20, lr: 0.01, batch: 32, folds: 5, seed: 0 }
+        EapTaskConfig {
+            ne_dim: 4,
+            epochs: 20,
+            lr: 0.01,
+            batch: 32,
+            folds: 5,
+            seed: 0,
+            device: tele_tensor::device::current(),
+        }
     }
 }
 
@@ -67,20 +77,18 @@ impl EapModel {
         let feat = 2 * text_dim + 2 * cfg.ne_dim + 2;
         let w2 = Linear::new(store, "eap.w2", feat, 2, true, rng);
         // Mean over the one-hop neighborhood including self (Eq. 18).
-        let mut avg = Tensor::zeros([num_instances, num_instances]);
-        {
-            let data = avg.as_mut_slice();
-            for (i, nbs) in neighbors.iter().enumerate() {
-                let mut set: Vec<usize> = nbs.clone();
-                set.push(i);
-                set.sort_unstable();
-                set.dedup();
-                let w = 1.0 / set.len() as f32;
-                for &j in &set {
-                    data[i * num_instances + j] = w;
-                }
+        let mut avg = vec![0.0f32; num_instances * num_instances];
+        for (i, nbs) in neighbors.iter().enumerate() {
+            let mut set: Vec<usize> = nbs.clone();
+            set.push(i);
+            set.sort_unstable();
+            set.dedup();
+            let w = 1.0 / set.len() as f32;
+            for &j in &set {
+                avg[i * num_instances + j] = w;
             }
         }
+        let avg = Tensor::from_vec(avg, [num_instances, num_instances]);
         EapModel { ne_emb, w1, w2, avg }
     }
 
@@ -140,6 +148,7 @@ pub fn run_eap(
     cfg: &EapTaskConfig,
 ) -> EapResult {
     let _span = tele_trace::span!("task.eap");
+    let _dev = tele_tensor::device::scope(cfg.device);
     let emb_t = emb.tensor();
     // Unique type pairs, in first-appearance order, tracked separately per
     // label so folds can be stratified (positive types are much fewer than

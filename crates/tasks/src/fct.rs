@@ -52,6 +52,8 @@ pub struct FctTaskConfig {
     pub scorer: KgeScorer,
     /// RNG seed.
     pub seed: u64,
+    /// Tensor device the task trains on.
+    pub device: tele_tensor::DeviceKind,
 }
 
 impl Default for FctTaskConfig {
@@ -64,6 +66,7 @@ impl Default for FctTaskConfig {
             lr: 1e-2,
             scorer: KgeScorer::TransE,
             seed: 0,
+            device: tele_tensor::device::current(),
         }
     }
 }
@@ -196,6 +199,7 @@ pub struct FctResultMetrics {
 /// early-stop on validation MRR, report filtered test metrics.
 pub fn run_fct(ds: &FctDataset, init: &EmbeddingTable, cfg: &FctTaskConfig) -> FctResultMetrics {
     let _span = tele_trace::span!("task.fct");
+    let _dev = tele_tensor::device::scope(cfg.device);
     assert_eq!(init.len(), ds.num_nodes(), "one embedding per node required");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = ParamStore::new();

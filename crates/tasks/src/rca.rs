@@ -38,6 +38,8 @@ pub struct RcaTaskConfig {
     pub folds: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Tensor device the task trains on.
+    pub device: tele_tensor::DeviceKind,
 }
 
 impl Default for RcaTaskConfig {
@@ -50,6 +52,7 @@ impl Default for RcaTaskConfig {
             lr: 5e-3,
             folds: 5,
             seed: 0,
+            device: tele_tensor::device::current(),
         }
     }
 }
@@ -155,6 +158,7 @@ pub struct RcaResult {
 /// on the frozen event embeddings, early-stopped on validation Hits@1.
 pub fn run_rca(dataset: &RcaDataset, emb: &EmbeddingTable, cfg: &RcaTaskConfig) -> RcaResult {
     let _span = tele_trace::span!("task.rca");
+    let _dev = tele_tensor::device::scope(cfg.device);
     assert_eq!(emb.len(), dataset.num_features, "one embedding per event type required");
     // Precompute constants per graph.
     let adjs: Vec<Tensor> = dataset.graphs.iter().map(normalized_adjacency).collect();

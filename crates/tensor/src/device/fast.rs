@@ -1,0 +1,411 @@
+//! The fast-math device: blocked matmul, flat loops, pooled scratch.
+//!
+//! `FastDevice` trades bit-compatibility with [`super::RefDevice`] for
+//! throughput while staying fully deterministic (fixed tile sizes, fixed
+//! reduction order, partitioning independent of thread count):
+//!
+//! - **Matmul** uses a register-blocked micro-kernel ([`MR`]×[`NR`]
+//!   accumulator tiles, k-innermost). The reference saxpy kernel streams
+//!   the output row through cache `k` times (`m·k·n` loads *and* stores of
+//!   `c`); the blocked kernel keeps a tile of `c` in registers and touches
+//!   memory `m·n` times, which is where the speedup comes from.
+//! - **Elementwise / reductions** run as flat chunked loops with multiple
+//!   independent accumulators so the autovectorizer can keep SIMD lanes
+//!   busy.
+//! - **Storage** comes from the thread-local buffer pool
+//!   ([`super::pool`]), recycling gradient/activation scratch instead of
+//!   round-tripping the allocator every op.
+//!
+//! Outputs are tolerance-equivalent to the reference device
+//! (`|ref − fast| ≤ 1e-4` relative, verified by proptest), not bit-equal:
+//! blocked accumulation reorders float additions, and the reference
+//! kernel's zero-skip is dropped here.
+
+use rayon::prelude::*;
+
+use super::refdev::PAR_MATMUL_THRESHOLD;
+use super::{pool, Device, DeviceKind};
+
+/// Micro-tile rows held in accumulator registers.
+const MR: usize = 4;
+/// Micro-tile columns held in accumulator registers.
+const NR: usize = 16;
+/// Lanes for chunked reductions (sum/dot).
+const LANES: usize = 8;
+
+/// The fast-math backend: blocked kernels over pooled buffers.
+pub struct FastDevice;
+
+impl Device for FastDevice {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Fast
+    }
+
+    fn alloc(&self, len: usize) -> Vec<f32> {
+        pool::take(len).unwrap_or_else(|| vec![0.0; len])
+    }
+
+    fn recycle(&self, buf: Vec<f32>) {
+        pool::put(buf);
+    }
+
+    fn matmul(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a_offsets: &[usize],
+        b_offsets: &[usize],
+    ) {
+        let batches = a_offsets.len();
+        let a_mat = m * k;
+        let b_mat = k * n;
+        if batches > 1 && b_offsets.iter().all(|&o| o == b_offsets[0]) {
+            // Broadcast RHS (one weight matrix against every batch): pack
+            // each `b` panel once and sweep it across all batches while it
+            // is cache-hot, instead of re-packing per batch.
+            shared_b_matmul(a, &b[b_offsets[0]..b_offsets[0] + b_mat], c, m, k, n, a_offsets);
+        } else if batches * m * n >= PAR_MATMUL_THRESHOLD && batches > 1 {
+            c.par_chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
+                blocked_matmul(
+                    &a[a_offsets[bi]..a_offsets[bi] + a_mat],
+                    &b[b_offsets[bi]..b_offsets[bi] + b_mat],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            for bi in 0..batches {
+                blocked_matmul(
+                    &a[a_offsets[bi]..a_offsets[bi] + a_mat],
+                    &b[b_offsets[bi]..b_offsets[bi] + b_mat],
+                    &mut c[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+    }
+
+    fn softmax_rows(&self, src: &[f32], dst: &mut [f32], n: usize) {
+        for (row, out) in src.chunks_exact(n).zip(dst.chunks_exact_mut(n)) {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (d, &s) in out.iter_mut().zip(row.iter()) {
+                let e = (s - max).exp();
+                *d = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for d in out.iter_mut() {
+                *d *= inv;
+            }
+        }
+    }
+
+    fn log_softmax_rows(&self, src: &[f32], dst: &mut [f32], n: usize) {
+        for (row, out) in src.chunks_exact(n).zip(dst.chunks_exact_mut(n)) {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let logsum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for (d, &s) in out.iter_mut().zip(row.iter()) {
+                *d = s - logsum;
+            }
+        }
+    }
+
+    fn layer_norm_rows(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+        out: &mut [f32],
+        xhat: &mut [f32],
+        inv_std: &mut [f32],
+    ) {
+        let d = gamma.len();
+        let inv_d = 1.0 / d as f32;
+        for (r, istd_slot) in inv_std.iter_mut().enumerate() {
+            let row = &x[r * d..(r + 1) * d];
+            let mean = sum_flat(row) * inv_d;
+            let mut var = 0.0;
+            for &v in row {
+                let c = v - mean;
+                var += c * c;
+            }
+            let istd = 1.0 / (var * inv_d + eps).sqrt();
+            *istd_slot = istd;
+            let xh_row = &mut xhat[r * d..(r + 1) * d];
+            let out_row = &mut out[r * d..(r + 1) * d];
+            for i in 0..d {
+                let xh = (row[i] - mean) * istd;
+                xh_row[i] = xh;
+                out_row[i] = xh * gamma[i] + beta[i];
+            }
+        }
+    }
+
+    fn unary(&self, src: &[f32], dst: &mut [f32], f: &(dyn Fn(f32) -> f32 + Sync)) {
+        unary(src, dst, f)
+    }
+
+    fn binary(&self, a: &[f32], b: &[f32], dst: &mut [f32], f: &(dyn Fn(f32, f32) -> f32 + Sync)) {
+        binary(a, b, dst, f)
+    }
+
+    fn axpy(&self, s: f32, x: &[f32], y: &mut [f32]) {
+        for (d, &o) in y.iter_mut().zip(x.iter()) {
+            *d += s * o;
+        }
+    }
+
+    fn sum(&self, x: &[f32]) -> f32 {
+        sum_flat(x)
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let a_chunks = a.chunks_exact(LANES);
+        let b_chunks = b.chunks_exact(LANES);
+        let a_rem = a_chunks.remainder();
+        let b_rem = b_chunks.remainder();
+        for (ca, cb) in a_chunks.zip(b_chunks) {
+            for i in 0..LANES {
+                acc[i] += ca[i] * cb[i];
+            }
+        }
+        let mut tail = 0.0;
+        for (&x, &y) in a_rem.iter().zip(b_rem.iter()) {
+            tail += x * y;
+        }
+        acc.iter().sum::<f32>() + tail
+    }
+
+    fn gather_rows(&self, src: &[f32], row: usize, ids: &[usize], dst: &mut [f32]) {
+        for (i, &id) in ids.iter().enumerate() {
+            dst[i * row..(i + 1) * row].copy_from_slice(&src[id * row..(id + 1) * row]);
+        }
+    }
+
+    fn scatter_add_rows(&self, src: &[f32], row: usize, ids: &[usize], dst: &mut [f32]) {
+        for (i, &id) in ids.iter().enumerate() {
+            let s = &src[i * row..(i + 1) * row];
+            let d = &mut dst[id * row..(id + 1) * row];
+            for (dv, &sv) in d.iter_mut().zip(s.iter()) {
+                *dv += sv;
+            }
+        }
+    }
+}
+
+/// Lane-chunked sum: `LANES` independent accumulators so the reduction
+/// vectorizes, then one horizontal fold (deterministic order).
+fn sum_flat(x: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let chunks = x.chunks_exact(LANES);
+    let rem = chunks.remainder();
+    for c in chunks {
+        for i in 0..LANES {
+            acc[i] += c[i];
+        }
+    }
+    acc.iter().sum::<f32>() + rem.iter().sum::<f32>()
+}
+
+/// Flat elementwise map (monomorphized; see [`super::unary_kernel`]).
+pub(crate) fn unary<F: Fn(f32) -> f32>(src: &[f32], dst: &mut [f32], f: F) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = f(s);
+    }
+}
+
+/// Flat elementwise zip (monomorphized; see [`super::binary_kernel`]).
+pub(crate) fn binary<F: Fn(f32, f32) -> f32>(a: &[f32], b: &[f32], dst: &mut [f32], f: F) {
+    for ((d, &x), &y) in dst.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *d = f(x, y);
+    }
+}
+
+/// Register-blocked `c[m,n] = a[m,k] · b[k,n]` over a zeroed `c`.
+///
+/// Tiles the output into `MR×NR` blocks whose partial sums live in a local
+/// accumulator array for the whole k-loop, so each `c` element is written
+/// once instead of `k` times. Both operands are packed into contiguous
+/// scratch before the kernel runs:
+///
+/// * `a` is repacked once per matmul into `MR`-interleaved row blocks
+///   (`ap[l*MR + r] = a[it+r, l]`), so the kernel's per-k a-load is one
+///   16-byte unit-stride read instead of `MR` strided row walks — the pack
+///   cost (`m·k` copies) amortizes over the `n/NR` j-tile passes that
+///   re-stream `a`;
+/// * each `k×NR` panel of `b` is packed once per j-tile and reused across
+///   all `m/MR` row blocks, one 64-byte line per k step.
+fn blocked_matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let full_blocks = m / MR;
+    let mut apack =
+        pool::take(full_blocks * MR * k).unwrap_or_else(|| vec![0.0; full_blocks * MR * k]);
+    pack_a(a, &mut apack, k, full_blocks);
+    let mut panel = pool::take(k * NR).unwrap_or_else(|| vec![0.0; k * NR]);
+    let mut jt = 0;
+    while jt < n {
+        let nb = NR.min(n - jt);
+        if nb == NR {
+            pack_b_panel(b, &mut panel, k, n, jt);
+            for ib in 0..full_blocks {
+                micro_kernel(&apack[ib * MR * k..(ib + 1) * MR * k], &panel, c, k, n, ib * MR, jt);
+            }
+        } else {
+            // Edge j-tile: plain dot products in the same l-order.
+            for it in (0..full_blocks * MR).step_by(MR) {
+                edge_tile(a, b, c, k, n, it, MR, jt, nb);
+            }
+        }
+        // Edge rows below the last full MR block.
+        let it = full_blocks * MR;
+        if it < m {
+            edge_tile(a, b, c, k, n, it, m - it, jt, nb);
+        }
+        jt += NR;
+    }
+    pool::put(panel);
+    pool::put(apack);
+}
+
+/// Broadcast-RHS batched matmul: every batch multiplies the same `b`, so
+/// the whole batch behaves as one `(batches·m) × k × n` product. Each
+/// packed `k×NR` panel of `b` is packed exactly once and swept across
+/// every row block of every batch while it sits in L1. (No L2 chunking:
+/// the packed operands of every shape this substrate runs fit the 2 MiB
+/// class of L2 outright, so re-packing panels per row chunk was measured
+/// to cost more than the locality it bought.)
+fn shared_b_matmul(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    a_offsets: &[usize],
+) {
+    debug_assert_eq!(b.len(), k * n);
+    let batches = a_offsets.len();
+    let full_blocks = m / MR;
+    let block = MR * k;
+    let total_blocks = batches * full_blocks;
+    let mut apack =
+        pool::take(total_blocks * block).unwrap_or_else(|| vec![0.0; total_blocks * block]);
+    for (bi, &ao) in a_offsets.iter().enumerate() {
+        pack_a(
+            &a[ao..ao + m * k],
+            &mut apack[bi * full_blocks * block..(bi + 1) * full_blocks * block],
+            k,
+            full_blocks,
+        );
+    }
+    let n_full = n - n % NR;
+    let mut panel = pool::take(k * NR).unwrap_or_else(|| vec![0.0; k * NR]);
+    let mut jt = 0;
+    while jt < n_full {
+        pack_b_panel(b, &mut panel, k, n, jt);
+        for g in 0..total_blocks {
+            let (bi, ib) = (g / full_blocks, g % full_blocks);
+            let cb = &mut c[bi * m * n..(bi + 1) * m * n];
+            micro_kernel(&apack[g * block..(g + 1) * block], &panel, cb, k, n, ib * MR, jt);
+        }
+        jt += NR;
+    }
+    pool::put(panel);
+    pool::put(apack);
+    // Leftovers outside the full-tile grid: edge j-tile columns for every
+    // row, and edge rows below the last full MR block per batch.
+    for (bi, &ao) in a_offsets.iter().enumerate() {
+        let ab = &a[ao..ao + m * k];
+        let cb = &mut c[bi * m * n..(bi + 1) * m * n];
+        if n_full < n {
+            for it in (0..full_blocks * MR).step_by(MR) {
+                edge_tile(ab, b, cb, k, n, it, MR, n_full, n - n_full);
+            }
+        }
+        let it = full_blocks * MR;
+        if it < m {
+            let mut jt = 0;
+            while jt < n {
+                let nb = NR.min(n - jt);
+                edge_tile(ab, b, cb, k, n, it, m - it, jt, nb);
+                jt += NR;
+            }
+        }
+    }
+}
+
+/// Packs `a`'s full `MR`-row blocks into `MR`-interleaved panels:
+/// `dst[ib][l*MR + r] = a[ib*MR + r, l]`.
+fn pack_a(a: &[f32], dst: &mut [f32], k: usize, full_blocks: usize) {
+    for ib in 0..full_blocks {
+        let block = &mut dst[ib * MR * k..(ib + 1) * MR * k];
+        for r in 0..MR {
+            for (l, &v) in a[(ib * MR + r) * k..(ib * MR + r + 1) * k].iter().enumerate() {
+                block[l * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Packs the `k×NR` panel of `b` columns `jt..jt+NR` contiguously.
+fn pack_b_panel(b: &[f32], panel: &mut [f32], k: usize, n: usize, jt: usize) {
+    for (l, brow) in b.chunks_exact(n).enumerate().take(k) {
+        panel[l * NR..(l + 1) * NR].copy_from_slice(&brow[jt..jt + NR]);
+    }
+}
+
+/// Leftover rows/columns that don't fill an `MR×NR` tile: plain dot
+/// products in the same l-order as the micro-kernel's k loop.
+fn edge_tile(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    it: usize,
+    mb: usize,
+    jt: usize,
+    nb: usize,
+) {
+    for r in 0..mb {
+        let arow = &a[(it + r) * k..(it + r + 1) * k];
+        for j in 0..nb {
+            let mut s = 0.0;
+            for (l, &av) in arow.iter().enumerate() {
+                s += av * b[l * n + jt + j];
+            }
+            c[(it + r) * n + jt + j] = s;
+        }
+    }
+}
+
+/// One full `MR×NR` output tile at `(it, jt)`: accumulators stay in
+/// registers across the entire k loop. `ap` is the `MR`-interleaved packed
+/// row block (`ap[l*MR + r]`); `bp` is the packed `k×NR` panel of `b`
+/// columns `jt..jt+NR`.
+fn micro_kernel(ap: &[f32], bp: &[f32], c: &mut [f32], k: usize, n: usize, it: usize, jt: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (al, bl) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
+        for (accr, &av) in acc.iter_mut().zip(al.iter()) {
+            for (cv, &bv) in accr.iter_mut().zip(bl.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        c[(it + r) * n + jt..(it + r) * n + jt + NR].copy_from_slice(accr);
+    }
+}

@@ -1,0 +1,317 @@
+//! Compute-device seam: every tensor kernel behind one trait.
+//!
+//! The workspace runs the same model math on two interchangeable CPU
+//! backends:
+//!
+//! - [`RefDevice`] — the bit-exact reference. Its kernels are the original
+//!   `tele-tensor` loops, moved here verbatim, so `ref` outputs are
+//!   `f32::to_bits`-identical to the pre-seam crate. The published
+//!   bit-determinism contract of `tele serve` rests on this device.
+//! - [`FastDevice`] — the fast-math tier: a register-blocked cache-friendly
+//!   matmul, flat SIMD-friendly inner loops, and a thread-local buffer pool
+//!   that recycles gradient/activation scratch. Deterministic run-to-run,
+//!   but only *tolerance*-equivalent (`|ref − fast| ≤ 1e-4` relative) to
+//!   the reference device.
+//!
+//! Every [`crate::Tensor`] carries a [`DeviceKind`] tag; ops dispatch on
+//! the left-hand operand's device and tag their result the same way, so a
+//! graph stays on one device once its leaves are placed. Leaf placement
+//! comes from the thread's current device ([`current`]), which defaults to
+//! `ref`, honours the `TELE_DEVICE` environment variable, and can be
+//! overridden for a region with [`scope`].
+//!
+//! Elementwise map/zip kernels also exist as generic (monomorphized)
+//! dispatchers ([`unary_kernel`], [`binary_kernel`], [`axpy_kernel`]) so
+//! the hot closure-per-element paths pay no dynamic-dispatch cost; the
+//! trait-object methods route to the same loops.
+
+use std::cell::Cell;
+
+pub(crate) mod fast;
+pub(crate) mod pool;
+pub(crate) mod refdev;
+
+pub use fast::FastDevice;
+pub use pool::{clear as pool_clear, stats as pool_stats, PoolStats};
+pub use refdev::RefDevice;
+
+/// Which compute backend a tensor (or a region of execution) runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum DeviceKind {
+    /// Bit-exact reference kernels (the determinism contract).
+    #[default]
+    Ref,
+    /// Blocked/tiled fast-math kernels with pooled scratch buffers.
+    Fast,
+}
+
+impl DeviceKind {
+    /// Canonical lowercase name (`"ref"` / `"fast"`), as used by configs,
+    /// checkpoint bundles, the CLI, and per-device memory gauges.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Ref => "ref",
+            DeviceKind::Fast => "fast",
+        }
+    }
+
+    /// Parses a device name as written in configs and `--device` flags.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ref" => Ok(DeviceKind::Ref),
+            "fast" => Ok(DeviceKind::Fast),
+            other => Err(format!("unknown device {other:?} (expected \"ref\" or \"fast\")")),
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Serialized as its lowercase tag so `"device": "fast"` round-trips through
+// checkpoint bundles and run configs (the vendored derive would use the
+// Rust identifier).
+impl serde::Serialize for DeviceKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl serde::Deserialize for DeviceKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v.as_str() {
+            Some(s) => DeviceKind::parse(s).map_err(serde::DeError),
+            None => Err(serde::DeError::expected("device (ref|fast)", v)),
+        }
+    }
+}
+
+/// The kernel + storage contract every backend implements.
+///
+/// All kernels operate on flat row-major `f32` slices; shape logic
+/// (broadcasting, batching offsets, bounds checks) stays in [`crate::Tensor`]
+/// so a device only ever sees validated dense work. Implementations must be
+/// deterministic: two runs over identical inputs on the same device produce
+/// `f32::to_bits`-identical outputs.
+pub trait Device: Sync {
+    /// Which tag this device answers to.
+    fn kind(&self) -> DeviceKind;
+
+    /// Allocates a zeroed scratch/output buffer of `len` elements. The fast
+    /// device serves this from its thread-local buffer pool when possible.
+    fn alloc(&self, len: usize) -> Vec<f32>;
+
+    /// Returns a buffer to the device. The reference device drops it; the
+    /// fast device parks it in the pool for the next same-size [`Self::alloc`].
+    fn recycle(&self, buf: Vec<f32>);
+
+    /// Batched `c = a × b`: for each batch `bi`, multiplies the `[m, k]`
+    /// matrix at `a[a_offsets[bi]..]` with the `[k, n]` matrix at
+    /// `b[b_offsets[bi]..]` into the zeroed chunk `c[bi * m * n..]`.
+    #[allow(clippy::too_many_arguments)]
+    fn matmul(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a_offsets: &[usize],
+        b_offsets: &[usize],
+    );
+
+    /// Row-wise numerically stable softmax over contiguous rows of width `n`.
+    fn softmax_rows(&self, src: &[f32], dst: &mut [f32], n: usize);
+
+    /// Row-wise log-softmax over contiguous rows of width `n`.
+    fn log_softmax_rows(&self, src: &[f32], dst: &mut [f32], n: usize);
+
+    /// Fused layer-norm forward over rows of width `gamma.len()`: writes the
+    /// normalized-and-affine output into `out`, the pre-affine normalized
+    /// values into `xhat`, and the per-row `1/sqrt(var + eps)` into
+    /// `inv_std` (whose length is the row count).
+    #[allow(clippy::too_many_arguments)]
+    fn layer_norm_rows(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+        out: &mut [f32],
+        xhat: &mut [f32],
+        inv_std: &mut [f32],
+    );
+
+    /// Elementwise `dst[i] = f(src[i])` (trait-object form; hot paths use
+    /// the monomorphized [`unary_kernel`]).
+    fn unary(&self, src: &[f32], dst: &mut [f32], f: &(dyn Fn(f32) -> f32 + Sync));
+
+    /// Elementwise `dst[i] = f(a[i], b[i])` for same-length slices.
+    fn binary(&self, a: &[f32], b: &[f32], dst: &mut [f32], f: &(dyn Fn(f32, f32) -> f32 + Sync));
+
+    /// In-place `y[i] += s * x[i]`.
+    fn axpy(&self, s: f32, x: &[f32], y: &mut [f32]);
+
+    /// Sum of all elements.
+    fn sum(&self, x: &[f32]) -> f32;
+
+    /// Dot product of two same-length slices.
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Embedding gather: `dst[i] = src[ids[i]]` over rows of width `row`.
+    /// Indices are pre-validated by the caller.
+    fn gather_rows(&self, src: &[f32], row: usize, ids: &[usize], dst: &mut [f32]);
+
+    /// Embedding scatter-add: `dst[ids[i]] += src[i]` over rows of width
+    /// `row` (the adjoint of [`Self::gather_rows`]).
+    fn scatter_add_rows(&self, src: &[f32], row: usize, ids: &[usize], dst: &mut [f32]);
+}
+
+static REF_DEVICE: RefDevice = RefDevice;
+static FAST_DEVICE: FastDevice = FastDevice;
+
+/// The singleton backend for a tag.
+pub fn get(kind: DeviceKind) -> &'static dyn Device {
+    match kind {
+        DeviceKind::Ref => &REF_DEVICE,
+        DeviceKind::Fast => &FAST_DEVICE,
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<DeviceKind>> = const { Cell::new(None) };
+}
+
+/// Initial per-thread device: `TELE_DEVICE=ref|fast` when set to a valid
+/// name, otherwise the reference device.
+fn env_default() -> DeviceKind {
+    std::env::var("TELE_DEVICE")
+        .ok()
+        .and_then(|v| DeviceKind::parse(&v).ok())
+        .unwrap_or(DeviceKind::Ref)
+}
+
+/// The thread's current device: where new leaf tensors are placed.
+pub fn current() -> DeviceKind {
+    CURRENT.with(|c| match c.get() {
+        Some(kind) => kind,
+        None => {
+            let kind = env_default();
+            c.set(Some(kind));
+            kind
+        }
+    })
+}
+
+/// Sets the thread's current device (prefer the RAII [`scope`]).
+pub fn set_current(kind: DeviceKind) {
+    CURRENT.with(|c| c.set(Some(kind)));
+}
+
+/// RAII guard restoring the previous thread device on drop.
+pub struct DeviceScope {
+    prev: DeviceKind,
+}
+
+impl Drop for DeviceScope {
+    fn drop(&mut self) {
+        set_current(self.prev);
+    }
+}
+
+/// Makes `kind` the thread's current device until the returned guard drops.
+///
+/// Training engines and `encode` paths open a scope from their config so
+/// every tensor created inside (forward, backward closures, optimizer
+/// scratch) lands on the configured device.
+#[must_use = "the device scope ends when the guard is dropped"]
+pub fn scope(kind: DeviceKind) -> DeviceScope {
+    let prev = current();
+    set_current(kind);
+    DeviceScope { prev }
+}
+
+// ---------------------------------------------------------------------------
+// Monomorphized elementwise dispatchers
+// ---------------------------------------------------------------------------
+
+/// Elementwise `dst[i] = f(src[i])`, statically dispatched on `kind` so the
+/// closure inlines (no per-element virtual call on the hot path).
+pub(crate) fn unary_kernel<F: Fn(f32) -> f32>(
+    kind: DeviceKind,
+    src: &[f32],
+    dst: &mut [f32],
+    f: F,
+) {
+    match kind {
+        DeviceKind::Ref => refdev::unary(src, dst, f),
+        DeviceKind::Fast => fast::unary(src, dst, f),
+    }
+}
+
+/// Elementwise `dst[i] = f(a[i], b[i])`, statically dispatched on `kind`.
+pub(crate) fn binary_kernel<F: Fn(f32, f32) -> f32>(
+    kind: DeviceKind,
+    a: &[f32],
+    b: &[f32],
+    dst: &mut [f32],
+    f: F,
+) {
+    match kind {
+        DeviceKind::Ref => refdev::binary(a, b, dst, f),
+        DeviceKind::Fast => fast::binary(a, b, dst, f),
+    }
+}
+
+/// In-place `y[i] += s * x[i]`, statically dispatched on `kind`.
+pub(crate) fn axpy_kernel(kind: DeviceKind, s: f32, x: &[f32], y: &mut [f32]) {
+    get(kind).axpy(s, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_name_roundtrip() {
+        for kind in [DeviceKind::Ref, DeviceKind::Fast] {
+            assert_eq!(DeviceKind::parse(kind.name()), Ok(kind));
+        }
+        assert!(DeviceKind::parse("gpu").is_err());
+        assert_eq!(DeviceKind::parse(" FAST "), Ok(DeviceKind::Fast));
+    }
+
+    #[test]
+    fn scope_restores_previous_device() {
+        let before = current();
+        {
+            let _g = scope(DeviceKind::Fast);
+            assert_eq!(current(), DeviceKind::Fast);
+            {
+                let _g2 = scope(DeviceKind::Ref);
+                assert_eq!(current(), DeviceKind::Ref);
+            }
+            assert_eq!(current(), DeviceKind::Fast);
+        }
+        assert_eq!(current(), before);
+    }
+
+    #[test]
+    fn registry_hands_out_matching_kinds() {
+        assert_eq!(get(DeviceKind::Ref).kind(), DeviceKind::Ref);
+        assert_eq!(get(DeviceKind::Fast).kind(), DeviceKind::Fast);
+    }
+
+    #[test]
+    fn device_kind_serde_uses_lowercase_tags() {
+        use serde::{Deserialize, Serialize};
+        assert_eq!(DeviceKind::Fast.to_value(), serde::Value::Str("fast".into()));
+        let parsed = DeviceKind::from_value(&serde::Value::Str("ref".into()));
+        assert_eq!(parsed.ok(), Some(DeviceKind::Ref));
+        assert!(DeviceKind::from_value(&serde::Value::Str("tpu".into())).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Thread-local buffer pool for the fast device.
+//!
+//! Training churns through gradient/activation scratch of a handful of
+//! recurring sizes every step; the trace crate's tensor memory gauges show
+//! the same allocations being made and freed thousands of times. The pool
+//! parks freed backing buffers keyed by capacity and hands them back to
+//! same-size allocations, zero-filled so a recycled buffer is
+//! indistinguishable from a fresh one (determinism does not depend on pool
+//! state).
+//!
+//! Observability: every [`take`] records a `tensor.pool.hit` or
+//! `tensor.pool.miss` counter in the trace registry (no-ops while tracing
+//! is disabled), so `tele profile` shows how much churn the pool absorbs.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Buffers parked per exact capacity.
+const MAX_PER_BUCKET: usize = 16;
+/// Total parked elements per thread (4 M f32 = 16 MiB) before [`put`] drops
+/// instead of parking.
+const MAX_HELD_ELEMS: usize = 4 << 20;
+
+#[derive(Default)]
+struct Pool {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    held_elems: usize,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Takes a zeroed buffer of exactly `len` elements from the pool, or `None`
+/// on a miss. Records the hit/miss counters either way.
+pub(crate) fn take(len: usize) -> Option<Vec<f32>> {
+    if len == 0 {
+        return None;
+    }
+    let got = POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let buf = p.buckets.get_mut(&len).and_then(Vec::pop);
+        if let Some(b) = &buf {
+            p.held_elems -= b.capacity();
+        }
+        buf
+    });
+    match got {
+        Some(mut buf) => {
+            tele_trace::metrics::counter_add("tensor.pool.hit", 1);
+            buf.clear();
+            buf.resize(len, 0.0);
+            Some(buf)
+        }
+        None => {
+            tele_trace::metrics::counter_add("tensor.pool.miss", 1);
+            None
+        }
+    }
+}
+
+/// Parks a buffer for reuse. Buffers whose capacity differs from their
+/// length (partially-filled builders) and overflow beyond the pool caps are
+/// dropped instead.
+pub(crate) fn put(buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap == 0 || cap != buf.len() {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.held_elems + cap > MAX_HELD_ELEMS {
+            return;
+        }
+        let bucket = p.buckets.entry(cap).or_default();
+        if bucket.len() >= MAX_PER_BUCKET {
+            return;
+        }
+        bucket.push(buf);
+        p.held_elems += cap;
+    });
+}
+
+/// Point-in-time pool occupancy for this thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of parked buffers.
+    pub buffers: usize,
+    /// Total parked elements across all buckets.
+    pub held_elems: usize,
+}
+
+/// Reports this thread's pool occupancy (tests and `tele profile`).
+pub fn stats() -> PoolStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        PoolStats { buffers: p.buckets.values().map(Vec::len).sum(), held_elems: p.held_elems }
+    })
+}
+
+/// Drops every parked buffer on this thread.
+pub fn clear() {
+    POOL.with(|p| *p.borrow_mut() = Pool::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_and_zeroes() {
+        clear();
+        assert!(take(8).is_none(), "empty pool must miss");
+        put(vec![1.0; 8]);
+        assert_eq!(stats(), PoolStats { buffers: 1, held_elems: 8 });
+        let buf = take(8).expect("parked buffer must hit");
+        assert_eq!(buf, vec![0.0; 8], "recycled buffers are zero-filled");
+        assert_eq!(stats().buffers, 0);
+    }
+
+    #[test]
+    fn zero_len_and_mismatched_capacity_are_not_parked() {
+        clear();
+        put(Vec::new());
+        let mut partial = Vec::with_capacity(10);
+        partial.push(1.0);
+        put(partial);
+        assert_eq!(stats().buffers, 0);
+    }
+
+    #[test]
+    fn bucket_cap_bounds_held_buffers() {
+        clear();
+        for _ in 0..(MAX_PER_BUCKET + 4) {
+            put(vec![0.0; 4]);
+        }
+        assert_eq!(stats().buffers, MAX_PER_BUCKET);
+        clear();
+    }
+}

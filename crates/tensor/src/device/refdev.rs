@@ -1,0 +1,225 @@
+//! The bit-exact reference device.
+//!
+//! These are the original `tele-tensor` kernels, moved here unchanged when
+//! the device seam was introduced. Nothing in this module may alter the
+//! floating-point operation order: `RefDevice` outputs must stay
+//! `f32::to_bits`-identical to the pre-seam crate, because the `tele serve`
+//! bit-determinism contract (padded batches encode identically to unpadded
+//! ones) depends on the exact zero-skip in [`matmul_kernel`] and on the
+//! exact reduction order of the softmax/layer-norm rows.
+
+use rayon::prelude::*;
+
+use super::{Device, DeviceKind};
+
+/// Minimum number of output elements before matmul parallelizes with rayon.
+pub(crate) const PAR_MATMUL_THRESHOLD: usize = 64 * 64;
+
+/// The reference backend: plain loops, fresh allocations, bit-exact.
+pub struct RefDevice;
+
+impl Device for RefDevice {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Ref
+    }
+
+    fn alloc(&self, len: usize) -> Vec<f32> {
+        vec![0.0; len]
+    }
+
+    fn recycle(&self, buf: Vec<f32>) {
+        drop(buf);
+    }
+
+    fn matmul(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        a_offsets: &[usize],
+        b_offsets: &[usize],
+    ) {
+        let batches = a_offsets.len();
+        let a_mat = m * k;
+        let b_mat = k * n;
+        let work = batches * m * n;
+        if work >= PAR_MATMUL_THRESHOLD {
+            c.par_chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
+                matmul_kernel(
+                    &a[a_offsets[bi]..a_offsets[bi] + a_mat],
+                    &b[b_offsets[bi]..b_offsets[bi] + b_mat],
+                    chunk,
+                    m,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            for bi in 0..batches {
+                matmul_kernel(
+                    &a[a_offsets[bi]..a_offsets[bi] + a_mat],
+                    &b[b_offsets[bi]..b_offsets[bi] + b_mat],
+                    &mut c[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+    }
+
+    fn softmax_rows(&self, src: &[f32], dst: &mut [f32], n: usize) {
+        let rows = src.len() / n;
+        for r in 0..rows {
+            softmax_row(&src[r * n..(r + 1) * n], &mut dst[r * n..(r + 1) * n]);
+        }
+    }
+
+    fn log_softmax_rows(&self, src: &[f32], dst: &mut [f32], n: usize) {
+        let rows = src.len() / n;
+        for r in 0..rows {
+            let row = &src[r * n..(r + 1) * n];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let logsum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for (d, &s) in dst[r * n..(r + 1) * n].iter_mut().zip(row.iter()) {
+                *d = s - logsum;
+            }
+        }
+    }
+
+    fn layer_norm_rows(
+        &self,
+        x: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+        out: &mut [f32],
+        xhat: &mut [f32],
+        inv_std: &mut [f32],
+    ) {
+        let d = gamma.len();
+        for (r, istd_slot) in inv_std.iter_mut().enumerate() {
+            let row = &x[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            *istd_slot = istd;
+            for i in 0..d {
+                let xh = (row[i] - mean) * istd;
+                xhat[r * d + i] = xh;
+                out[r * d + i] = xh * gamma[i] + beta[i];
+            }
+        }
+    }
+
+    fn unary(&self, src: &[f32], dst: &mut [f32], f: &(dyn Fn(f32) -> f32 + Sync)) {
+        unary(src, dst, f)
+    }
+
+    fn binary(&self, a: &[f32], b: &[f32], dst: &mut [f32], f: &(dyn Fn(f32, f32) -> f32 + Sync)) {
+        binary(a, b, dst, f)
+    }
+
+    fn axpy(&self, s: f32, x: &[f32], y: &mut [f32]) {
+        for (d, &o) in y.iter_mut().zip(x.iter()) {
+            *d += s * o;
+        }
+    }
+
+    fn sum(&self, x: &[f32]) -> f32 {
+        x.iter().sum()
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    }
+
+    fn gather_rows(&self, src: &[f32], row: usize, ids: &[usize], dst: &mut [f32]) {
+        for (i, &id) in ids.iter().enumerate() {
+            dst[i * row..(i + 1) * row].copy_from_slice(&src[id * row..(id + 1) * row]);
+        }
+    }
+
+    fn scatter_add_rows(&self, src: &[f32], row: usize, ids: &[usize], dst: &mut [f32]) {
+        for (i, &id) in ids.iter().enumerate() {
+            let s = &src[i * row..(i + 1) * row];
+            let d = &mut dst[id * row..(id + 1) * row];
+            for (dv, &sv) in d.iter_mut().zip(s.iter()) {
+                *dv += sv;
+            }
+        }
+    }
+}
+
+/// Elementwise map in source order (monomorphized; see
+/// [`super::unary_kernel`]).
+pub(crate) fn unary<F: Fn(f32) -> f32>(src: &[f32], dst: &mut [f32], f: F) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = f(s);
+    }
+}
+
+/// Elementwise zip in source order (monomorphized; see
+/// [`super::binary_kernel`]).
+pub(crate) fn binary<F: Fn(f32, f32) -> f32>(a: &[f32], b: &[f32], dst: &mut [f32], f: F) {
+    for ((d, &x), &y) in dst.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *d = f(x, y);
+    }
+}
+
+/// `c[m,n] = a[m,k] * b[k,n]`, accumulating into a zeroed `c`. The k-inner
+/// loop is ordered (i, l, j) so the innermost loop is a contiguous saxpy,
+/// which autovectorizes well.
+///
+/// The `av != 0.0` skip is load-bearing: it makes contributions from
+/// exactly-zero attention weights (padded key positions) exactly zero, which
+/// is what keeps padded-batch encodings bit-identical to unpadded ones.
+fn matmul_kernel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m >= 8 && m * n >= PAR_MATMUL_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
+            for l in 0..k {
+                let av = a[i * k + l];
+                if av != 0.0 {
+                    let brow = &b[l * n..(l + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        });
+    } else {
+        for i in 0..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for l in 0..k {
+                let av = a[i * k + l];
+                if av != 0.0 {
+                    let brow = &b[l * n..(l + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writes the stable softmax of `src` into `dst`.
+pub(crate) fn softmax_row(src: &[f32], dst: &mut [f32]) {
+    let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        let e = (s - max).exp();
+        *d = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for d in dst.iter_mut() {
+        *d *= inv;
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod device;
 mod init;
 pub mod nn;
 mod ops;
@@ -49,6 +50,7 @@ pub mod sym;
 mod tape;
 mod tensor;
 
+pub use device::{Device, DeviceKind};
 pub use init::{bert_normal, kaiming_uniform, xavier_uniform};
 pub use shape::{shape_mismatch, BroadcastIter, Shape};
 pub use sym::{SymDim, SymResult, SymShape};

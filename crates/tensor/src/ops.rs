@@ -301,27 +301,10 @@ impl<'t> Var<'t> {
     /// lookup primitive).
     pub fn index_select0(self, ids: &[usize]) -> Var<'t> {
         let x = self.value();
-        let full = x.shape().clone();
+        let rows0 = x.shape().dim(0);
         let out = x.index_select0(ids);
         let ids = ids.to_vec();
-        self.tape.push_op(
-            out,
-            vec![self.id],
-            Box::new(move |g| {
-                let mut gx = Tensor::zeros(full.clone());
-                let row: usize = full.dims()[1..].iter().product();
-                let gs = g.as_slice();
-                let dst = gx.as_mut_slice();
-                for (i, &id) in ids.iter().enumerate() {
-                    let src = &gs[i * row..(i + 1) * row];
-                    let d = &mut dst[id * row..(id + 1) * row];
-                    for (dv, &sv) in d.iter_mut().zip(src.iter()) {
-                        *dv += sv;
-                    }
-                }
-                vec![gx]
-            }),
-        )
+        self.tape.push_op(out, vec![self.id], Box::new(move |g| vec![g.scatter_add0(&ids, rows0)]))
     }
 
     /// Replaces rows of a rank-2 tensor: `out[rows[i]] = values[i]`, other
@@ -509,26 +492,23 @@ impl<'t> Var<'t> {
             )
         );
         let rows = x.numel() / d;
-        let mut out = vec![0.0; x.numel()];
-        let mut xhat = vec![0.0; x.numel()];
+        let devk = x.device();
+        let dev = crate::device::get(devk);
+        let mut out = dev.alloc(x.numel());
+        let mut xhat = dev.alloc(x.numel());
         let mut inv_std = vec![0.0; rows];
-        let xs = x.as_slice();
         let gs: Vec<f32> = gm.to_vec();
-        let bs = bt.as_slice();
-        for r in 0..rows {
-            let row = &xs[r * d..(r + 1) * d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + eps).sqrt();
-            inv_std[r] = istd;
-            for i in 0..d {
-                let xh = (row[i] - mean) * istd;
-                xhat[r * d + i] = xh;
-                out[r * d + i] = xh * gs[i] + bs[i];
-            }
-        }
-        let out = Tensor::from_vec(out, x.shape().clone());
-        let xhat = Tensor::from_vec(xhat, x.shape().clone());
+        dev.layer_norm_rows(
+            x.as_slice(),
+            &gs,
+            bt.as_slice(),
+            eps,
+            &mut out,
+            &mut xhat,
+            &mut inv_std,
+        );
+        let out = Tensor::from_vec_on(devk, out, x.shape().clone());
+        let xhat = Tensor::from_vec_on(devk, xhat, x.shape().clone());
         let gm_shape = gm.shape().clone();
         let bt_shape = bt.shape().clone();
         let x_shape = x.shape().clone();

@@ -29,6 +29,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+use crate::device::DeviceKind;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -51,9 +52,20 @@ pub(crate) struct TapeInner {
 }
 
 /// The autograd arena for one forward/backward pass.
-#[derive(Default)]
+///
+/// A tape is pinned to one compute device: leaves and constants pushed onto
+/// it are retagged to the tape's device, so the whole graph (and its
+/// backward sweep) dispatches to the same backend regardless of where the
+/// input tensors were created.
 pub struct Tape {
     pub(crate) inner: RefCell<TapeInner>,
+    device: DeviceKind,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Tape::on(crate::device::current())
+    }
 }
 
 /// A handle to a node on a [`Tape`]; the differentiable value type.
@@ -71,9 +83,19 @@ impl<'t> Var<'t> {
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape on the thread's current device.
     pub fn new() -> Self {
         Tape::default()
+    }
+
+    /// Creates an empty tape pinned to an explicit device.
+    pub fn on(device: DeviceKind) -> Self {
+        Tape { inner: RefCell::default(), device }
+    }
+
+    /// The device every node on this tape runs on.
+    pub fn device(&self) -> DeviceKind {
+        self.device
     }
 
     /// Number of nodes recorded so far.
@@ -86,13 +108,17 @@ impl Tape {
         self.len() == 0
     }
 
-    /// Pushes a leaf that participates in differentiation.
-    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+    /// Pushes a leaf that participates in differentiation. The value is
+    /// retagged onto the tape's device.
+    pub fn leaf(&self, mut value: Tensor) -> Var<'_> {
+        value.set_device(self.device);
         self.push(value, Vec::new(), None, true)
     }
 
     /// Pushes a non-differentiable constant (masks, labels, frozen inputs).
-    pub fn constant(&self, value: Tensor) -> Var<'_> {
+    /// The value is retagged onto the tape's device.
+    pub fn constant(&self, mut value: Tensor) -> Var<'_> {
+        value.set_device(self.device);
         self.push(value, Vec::new(), None, false)
     }
 
@@ -148,7 +174,9 @@ impl Tape {
         let inner = self.inner.borrow();
         let n = inner.nodes.len();
         let mut grads: Vec<Option<Tensor>> = vec![None; n];
-        grads[root.id] = Some(Tensor::ones(inner.nodes[root.id].value.shape().clone()));
+        let mut seed = Tensor::ones(inner.nodes[root.id].value.shape().clone());
+        seed.set_device(self.device);
+        grads[root.id] = Some(seed);
         for id in (0..=root.id).rev() {
             let Some(grad_out) = grads[id].clone() else { continue };
             let node = &inner.nodes[id];
@@ -391,6 +419,17 @@ impl ParamStore {
             })
             .collect();
         serde_json::to_string(&entries).expect("parameter serialization cannot fail")
+    }
+
+    /// Retags every parameter value and gradient onto `kind` (cheap field
+    /// writes; storage does not move). Training engines call this so
+    /// optimizer updates and gradient accumulation run on the configured
+    /// device.
+    pub fn to_device(&mut self, kind: DeviceKind) {
+        for p in &mut self.params {
+            p.value.set_device(kind);
+            p.grad.set_device(kind);
+        }
     }
 
     /// Restores parameter *values* from JSON produced by [`Self::to_json`].

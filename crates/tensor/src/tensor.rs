@@ -3,29 +3,63 @@
 //! `Tensor` is the *raw* (non-differentiable) value type. Autograd lives in
 //! [`crate::tape`]; its `Var` handles wrap `Tensor` values. Storage is an
 //! `Arc<Vec<f32>>`, so cloning a tensor is O(1) and mutation copies lazily.
+//!
+//! Every tensor carries a [`DeviceKind`] tag; kernels dispatch through the
+//! [`crate::device`] seam on the left-hand operand's device, and results
+//! inherit that tag, so a computation stays on one backend once its leaves
+//! are placed. New leaves land on the thread's current device
+//! ([`crate::device::current`]), which defaults to the bit-exact reference
+//! backend.
 
 use std::sync::Arc;
 
 use rand::Rng;
-use rayon::prelude::*;
 
+use crate::device::{self, DeviceKind};
 use crate::shape::{shape_mismatch, BroadcastIter, Shape};
 
-/// Minimum number of output elements before matmul parallelizes with rayon.
-const PAR_MATMUL_THRESHOLD: usize = 64 * 64;
-
 /// Wraps freshly allocated backing storage, reporting it to the
-/// instrumentation layer (no-op unless tracing is enabled on this thread).
-fn alloc_storage(data: Vec<f32>) -> Arc<Vec<f32>> {
-    tele_trace::mem::record_alloc(data.capacity() * std::mem::size_of::<f32>());
+/// instrumentation layer under the owning device's label (no-op unless
+/// tracing is enabled on this thread).
+fn alloc_storage(kind: DeviceKind, data: Vec<f32>) -> Arc<Vec<f32>> {
+    tele_trace::mem::record_alloc_for(kind.name(), data.capacity() * std::mem::size_of::<f32>());
     Arc::new(data)
 }
 
 /// A dense, contiguous, row-major tensor of `f32` values.
-#[derive(Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Clone)]
 pub struct Tensor {
     data: Arc<Vec<f32>>,
     shape: Shape,
+    device: DeviceKind,
+}
+
+// Hand-rolled (de)serialization: the on-disk format is exactly what the
+// derive produced before the device seam existed — `{"data": [...],
+// "shape": ...}` — so checkpoints round-trip unchanged. The device tag is
+// runtime-only; loaded tensors land on the reference device and callers
+// opt in to `fast` explicitly (e.g. a checkpoint bundle's `device` field).
+impl serde::Serialize for Tensor {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("data".to_string(), (*self.data).to_value()),
+            ("shape".to_string(), self.shape.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Tensor {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let data: Vec<f32> = serde::Deserialize::from_value(v.field("data"))?;
+        let shape: Shape = serde::Deserialize::from_value(v.field("shape"))?;
+        if data.len() != shape.numel() {
+            return Err(serde::DeError(format!(
+                "tensor data length {} does not match shape {shape}",
+                data.len()
+            )));
+        }
+        Ok(Tensor { data: alloc_storage(DeviceKind::Ref, data), shape, device: DeviceKind::Ref })
+    }
 }
 
 impl Tensor {
@@ -33,8 +67,15 @@ impl Tensor {
     // Constructors
     // ------------------------------------------------------------------
 
-    /// Builds a tensor from raw data and a shape. Panics if sizes mismatch.
+    /// Builds a tensor from raw data and a shape on the thread's current
+    /// device. Panics if sizes mismatch.
     pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        Tensor::from_vec_on(device::current(), data, shape)
+    }
+
+    /// Builds a tensor from raw data and a shape on an explicit device.
+    /// Panics if sizes mismatch.
+    pub fn from_vec_on(kind: DeviceKind, data: Vec<f32>, shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         assert_eq!(
             data.len(),
@@ -42,7 +83,7 @@ impl Tensor {
             "data length {} does not match shape {shape}",
             data.len()
         );
-        Tensor { data: alloc_storage(data), shape }
+        Tensor { data: alloc_storage(kind, data), shape, device: kind }
     }
 
     /// A scalar tensor.
@@ -50,10 +91,17 @@ impl Tensor {
         Tensor::from_vec(vec![v], Shape::scalar())
     }
 
-    /// All zeros.
+    /// All zeros, on the thread's current device.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
+        Tensor::zeros_on(device::current(), shape)
+    }
+
+    /// All zeros, on an explicit device (the fast device serves the backing
+    /// buffer from its pool when possible).
+    pub fn zeros_on(kind: DeviceKind, shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: alloc_storage(vec![0.0; shape.numel()]), shape }
+        let data = device::get(kind).alloc(shape.numel());
+        Tensor { data: alloc_storage(kind, data), shape, device: kind }
     }
 
     /// All ones.
@@ -64,14 +112,15 @@ impl Tensor {
     /// Every element equal to `v`.
     pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
         let shape = shape.into();
-        Tensor { data: alloc_storage(vec![v; shape.numel()]), shape }
+        let numel = shape.numel();
+        Tensor::from_vec_on(device::current(), vec![v; numel], shape)
     }
 
     /// I.i.d. uniform samples from `[lo, hi)`.
     pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
         let shape = shape.into();
         let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
-        Tensor { data: alloc_storage(data), shape }
+        Tensor::from_vec_on(device::current(), data, shape)
     }
 
     /// I.i.d. normal samples with the given mean and standard deviation.
@@ -80,7 +129,7 @@ impl Tensor {
         let shape = shape.into();
         let dist = Normal::new(mean, std).expect("std must be finite and positive");
         let data = (0..shape.numel()).map(|_| dist.sample(rng)).collect();
-        Tensor { data: alloc_storage(data), shape }
+        Tensor::from_vec_on(device::current(), data, shape)
     }
 
     /// The identity matrix of size `n`.
@@ -99,6 +148,22 @@ impl Tensor {
     /// The tensor's shape.
     pub fn shape(&self) -> &Shape {
         &self.shape
+    }
+
+    /// The backend this tensor's kernels dispatch to.
+    pub fn device(&self) -> DeviceKind {
+        self.device
+    }
+
+    /// A cheap O(1) copy of this tensor retagged onto `kind` (storage is
+    /// shared; no data moves between CPU backends).
+    pub fn to_device(&self, kind: DeviceKind) -> Tensor {
+        Tensor { data: Arc::clone(&self.data), shape: self.shape.clone(), device: kind }
+    }
+
+    /// Retags this tensor in place (see [`Tensor::to_device`]).
+    pub fn set_device(&mut self, kind: DeviceKind) {
+        self.device = kind;
     }
 
     /// Number of elements.
@@ -120,7 +185,10 @@ impl Tensor {
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         if Arc::strong_count(&self.data) > 1 {
             // `make_mut` is about to copy the storage for this owner.
-            tele_trace::mem::record_alloc(self.data.capacity() * std::mem::size_of::<f32>());
+            tele_trace::mem::record_alloc_for(
+                self.device.name(),
+                self.data.capacity() * std::mem::size_of::<f32>(),
+            );
         }
         let v: &mut Vec<f32> = Arc::make_mut(&mut self.data);
         v
@@ -162,7 +230,7 @@ impl Tensor {
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         assert_eq!(self.numel(), shape.numel(), "cannot reshape {} to {shape}", self.shape);
-        Tensor { data: Arc::clone(&self.data), shape }
+        Tensor { data: Arc::clone(&self.data), shape, device: self.device }
     }
 
     /// Swaps two axes (copies into a fresh contiguous tensor).
@@ -177,7 +245,7 @@ impl Tensor {
         let in_strides = self.shape.strides();
         let mut perm_strides = in_strides.clone();
         perm_strides.swap(ax0, ax1);
-        let mut out = vec![0.0; self.numel()];
+        let mut out = device::get(self.device).alloc(self.numel());
         let out_dims = &out_shape.0;
         // Walk output indices in row-major order, computing the source offset
         // with the permuted strides.
@@ -196,10 +264,11 @@ impl Tensor {
                 idx[ax] = 0;
             }
         }
-        Tensor::from_vec(out, out_shape)
+        Tensor::from_vec_on(self.device, out, out_shape)
     }
 
-    /// Concatenates tensors along `axis`. All other axes must agree.
+    /// Concatenates tensors along `axis`. All other axes must agree. The
+    /// result lands on the first operand's device.
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
         assert!(!tensors.is_empty(), "concat of zero tensors");
         let rank = tensors[0].rank();
@@ -227,7 +296,7 @@ impl Tensor {
                 out.extend_from_slice(&t.data[start..start + block]);
             }
         }
-        Tensor::from_vec(out, out_shape)
+        Tensor::from_vec_on(tensors[0].device, out, out_shape)
     }
 
     /// Selects `len` consecutive slices `[start, start+len)` along `axis`.
@@ -245,21 +314,39 @@ impl Tensor {
             let base = o * src_block + start * inner;
             out.extend_from_slice(&self.data[base..base + len * inner]);
         }
-        Tensor::from_vec(out, out_shape)
+        Tensor::from_vec_on(self.device, out, out_shape)
     }
 
     /// Gathers rows along axis 0: `out[i] = self[ids[i]]`.
     pub fn index_select0(&self, ids: &[usize]) -> Tensor {
         assert!(self.rank() >= 1, "index_select0 requires rank >= 1");
         let row: usize = self.shape.0[1..].iter().product();
-        let mut out = Vec::with_capacity(ids.len() * row);
         for &i in ids {
             assert!(i < self.shape.dim(0), "index {i} out of bounds for axis 0 of {}", self.shape);
-            out.extend_from_slice(&self.data[i * row..(i + 1) * row]);
         }
+        let dev = device::get(self.device);
+        let mut out = dev.alloc(ids.len() * row);
+        dev.gather_rows(&self.data, row, ids, &mut out);
         let mut dims = vec![ids.len()];
         dims.extend_from_slice(&self.shape.0[1..]);
-        Tensor::from_vec(out, dims)
+        Tensor::from_vec_on(self.device, out, dims)
+    }
+
+    /// Scatter-add of rows into a zeroed `[rows0, ...]` tensor:
+    /// `out[ids[i]] += self[i]` (the adjoint of [`Tensor::index_select0`]).
+    pub fn scatter_add0(&self, ids: &[usize], rows0: usize) -> Tensor {
+        assert!(self.rank() >= 1, "scatter_add0 requires rank >= 1");
+        assert_eq!(self.shape.dim(0), ids.len(), "one id per row required");
+        let row: usize = self.shape.0[1..].iter().product();
+        for &i in ids {
+            assert!(i < rows0, "index {i} out of bounds for {rows0} output rows");
+        }
+        let dev = device::get(self.device);
+        let mut out = dev.alloc(rows0 * row);
+        dev.scatter_add_rows(&self.data, row, ids, &mut out);
+        let mut dims = vec![rows0];
+        dims.extend_from_slice(&self.shape.0[1..]);
+        Tensor::from_vec_on(self.device, out, dims)
     }
 
     /// Broadcasts (materializes) this tensor to `target`.
@@ -271,7 +358,7 @@ impl Tensor {
         for off in BroadcastIter::new(target, &self.shape) {
             out.push(self.data[off]);
         }
-        Tensor::from_vec(out, target.clone())
+        Tensor::from_vec_on(self.device, out, target.clone())
     }
 
     /// Sums this tensor down to `target` (the adjoint of `broadcast_to`).
@@ -284,11 +371,11 @@ impl Tensor {
             "cannot reduce {} to {target}: target does not broadcast to source",
             self.shape
         );
-        let mut out = vec![0.0; target.numel()];
+        let mut out = device::get(self.device).alloc(target.numel());
         for (src, dst) in BroadcastIter::new(&self.shape, target).enumerate() {
             out[dst] += self.data[src];
         }
-        Tensor::from_vec(out, target.clone())
+        Tensor::from_vec_on(self.device, out, target.clone())
     }
 
     // ------------------------------------------------------------------
@@ -297,15 +384,17 @@ impl Tensor {
 
     /// Applies `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data.iter().map(|&v| f(v)).collect();
-        Tensor { data: alloc_storage(data), shape: self.shape.clone() }
+        let mut out = device::get(self.device).alloc(self.numel());
+        device::unary_kernel(self.device, &self.data, &mut out, f);
+        Tensor::from_vec_on(self.device, out, self.shape.clone())
     }
 
     /// Combines two tensors elementwise with broadcasting.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == other.shape {
-            let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-            return Tensor { data: alloc_storage(data), shape: self.shape.clone() };
+            let mut out = device::get(self.device).alloc(self.numel());
+            device::binary_kernel(self.device, &self.data, &other.data, &mut out, f);
+            return Tensor::from_vec_on(self.device, out, self.shape.clone());
         }
         let out_shape = self.shape.broadcast(&other.shape).unwrap_or_else(|| {
             panic!(
@@ -319,7 +408,7 @@ impl Tensor {
         for (oa, ob) in it_a.zip(it_b) {
             out.push(f(self.data[oa], other.data[ob]));
         }
-        Tensor::from_vec(out, out_shape)
+        Tensor::from_vec_on(self.device, out, out_shape)
     }
 
     /// Elementwise addition with broadcasting.
@@ -360,10 +449,9 @@ impl Tensor {
             "{}",
             shape_mismatch("axpy", "operand shapes must match", &self.shape, &other.shape)
         );
+        let kind = self.device;
         let dst = self.as_mut_slice();
-        for (d, &o) in dst.iter_mut().zip(other.data.iter()) {
-            *d += s * o;
-        }
+        device::axpy_kernel(kind, s, &other.data, dst);
     }
 
     /// Fills the tensor with zeros in place.
@@ -377,7 +465,7 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum_all(&self) -> f32 {
-        self.data.iter().sum()
+        device::get(self.device).sum(&self.data)
     }
 
     /// Mean of all elements.
@@ -394,7 +482,7 @@ impl Tensor {
         let outer: usize = self.shape.0[..axis].iter().product();
         let extent = self.shape.dim(axis);
         let inner: usize = self.shape.0[axis + 1..].iter().product();
-        let mut out = vec![0.0; out_shape.numel()];
+        let mut out = device::get(self.device).alloc(out_shape.numel());
         for o in 0..outer {
             for k in 0..extent {
                 let base = (o * extent + k) * inner;
@@ -404,7 +492,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor::from_vec(out, out_shape)
+        Tensor::from_vec_on(self.device, out, out_shape)
     }
 
     /// Mean over `axis` with `keepdim` semantics.
@@ -436,7 +524,7 @@ impl Tensor {
 
     /// Euclidean (L2) norm of the whole tensor.
     pub fn norm_l2(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        device::get(self.device).dot(&self.data, &self.data).sqrt()
     }
 
     /// Frobenius inner product of two same-shape tensors.
@@ -447,7 +535,7 @@ impl Tensor {
             "{}",
             shape_mismatch("dot", "operand shapes must match", &self.shape, &other.shape)
         );
-        self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).sum()
+        device::get(self.device).dot(&self.data, &other.data)
     }
 
     // ------------------------------------------------------------------
@@ -459,31 +547,20 @@ impl Tensor {
         let _span = tele_trace::span!("tensor.softmax");
         assert!(self.rank() >= 1, "softmax requires rank >= 1");
         let n = self.shape.dim(self.rank() - 1);
-        let rows = self.numel() / n;
-        let mut out = vec![0.0; self.numel()];
-        for r in 0..rows {
-            let src = &self.data[r * n..(r + 1) * n];
-            let dst = &mut out[r * n..(r + 1) * n];
-            softmax_row(src, dst);
-        }
-        Tensor::from_vec(out, self.shape.clone())
+        let dev = device::get(self.device);
+        let mut out = dev.alloc(self.numel());
+        dev.softmax_rows(&self.data, &mut out, n);
+        Tensor::from_vec_on(self.device, out, self.shape.clone())
     }
 
     /// Log-softmax over the last axis.
     pub fn log_softmax_last(&self) -> Tensor {
         let _span = tele_trace::span!("tensor.log_softmax");
         let n = self.shape.dim(self.rank() - 1);
-        let rows = self.numel() / n;
-        let mut out = vec![0.0; self.numel()];
-        for r in 0..rows {
-            let src = &self.data[r * n..(r + 1) * n];
-            let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let logsum = src.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
-            for (d, &s) in out[r * n..(r + 1) * n].iter_mut().zip(src.iter()) {
-                *d = s - logsum;
-            }
-        }
-        Tensor::from_vec(out, self.shape.clone())
+        let dev = device::get(self.device);
+        let mut out = dev.alloc(self.numel());
+        dev.log_softmax_rows(&self.data, &mut out, n);
+        Tensor::from_vec_on(self.device, out, self.shape.clone())
     }
 
     // ------------------------------------------------------------------
@@ -536,93 +613,29 @@ impl Tensor {
             BroadcastIter::new(&batch_shape, &Shape(b_batch.to_vec())).map(|o| o * b_mat).collect()
         };
 
-        let mut out = vec![0.0; out_shape.numel()];
-        let a = &self.data;
-        let b = &other.data;
-        let work = batches * m * n;
-        if work >= PAR_MATMUL_THRESHOLD {
-            out.par_chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
-                matmul_kernel(
-                    &a[a_offsets[bi]..a_offsets[bi] + a_mat],
-                    &b[b_offsets[bi]..b_offsets[bi] + b_mat],
-                    chunk,
-                    m,
-                    k,
-                    n,
-                );
-            });
-        } else {
-            for bi in 0..batches {
-                matmul_kernel(
-                    &a[a_offsets[bi]..a_offsets[bi] + a_mat],
-                    &b[b_offsets[bi]..b_offsets[bi] + b_mat],
-                    &mut out[bi * m * n..(bi + 1) * m * n],
-                    m,
-                    k,
-                    n,
-                );
-            }
-        }
-        Tensor::from_vec(out, out_shape)
-    }
-}
-
-/// `c[m,n] = a[m,k] * b[k,n]`, accumulating into a zeroed `c`. The k-inner
-/// loop is ordered (i, l, j) so the innermost loop is a contiguous saxpy,
-/// which autovectorizes well.
-fn matmul_kernel(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    if m >= 8 && m * n >= PAR_MATMUL_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, crow)| {
-            for l in 0..k {
-                let av = a[i * k + l];
-                if av != 0.0 {
-                    let brow = &b[l * n..(l + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                        *cv += av * bv;
-                    }
-                }
-            }
-        });
-    } else {
-        for i in 0..m {
-            let crow = &mut c[i * n..(i + 1) * n];
-            for l in 0..k {
-                let av = a[i * k + l];
-                if av != 0.0 {
-                    let brow = &b[l * n..(l + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                        *cv += av * bv;
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Writes the stable softmax of `src` into `dst`.
-pub(crate) fn softmax_row(src: &[f32], dst: &mut [f32]) {
-    let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
-    for (d, &s) in dst.iter_mut().zip(src.iter()) {
-        let e = (s - max).exp();
-        *d = e;
-        sum += e;
-    }
-    let inv = 1.0 / sum;
-    for d in dst.iter_mut() {
-        *d *= inv;
+        let dev = device::get(self.device);
+        let mut out = dev.alloc(out_shape.numel());
+        dev.matmul(&self.data, &other.data, &mut out, m, k, n, &a_offsets, &b_offsets);
+        Tensor::from_vec_on(self.device, out, out_shape)
     }
 }
 
 impl Drop for Tensor {
     fn drop(&mut self) {
         // Only the last owner of the storage reports the free; clones and
-        // reshapes share the same allocation.
+        // reshapes share the same allocation. Fast-device storage is handed
+        // back to the buffer pool for the next same-size allocation.
         if Arc::strong_count(&self.data) == 1 {
-            tele_trace::mem::record_free(self.data.capacity() * std::mem::size_of::<f32>());
+            tele_trace::mem::record_free_for(
+                self.device.name(),
+                self.data.capacity() * std::mem::size_of::<f32>(),
+            );
+            if self.device == DeviceKind::Fast {
+                let data = std::mem::take(&mut self.data);
+                if let Ok(buf) = Arc::try_unwrap(data) {
+                    device::get(DeviceKind::Fast).recycle(buf);
+                }
+            }
         }
     }
 }
@@ -784,6 +797,14 @@ mod tests {
     }
 
     #[test]
+    fn scatter_add0_accumulates_duplicate_ids() {
+        let a = t2(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let s = a.scatter_add0(&[2, 0, 2], 4);
+        assert_eq!(s.shape().dims(), &[4, 2]);
+        assert_eq!(s.to_vec(), vec![3., 4., 0., 0., 6., 8., 0., 0.]);
+    }
+
+    #[test]
     fn eye_matmul_is_identity() {
         let a = t2(3, 3, &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
         let i = Tensor::eye(3);
@@ -816,5 +837,25 @@ mod tests {
         let a = Tensor::from_vec(vec![1., 2.], [2, 1]);
         let b = a.broadcast_to(&[2, 3].into());
         assert_eq!(b.to_vec(), vec![1., 1., 1., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn results_inherit_lhs_device() {
+        let a = Tensor::from_vec_on(DeviceKind::Fast, vec![1., 2., 3., 4.], [2, 2]);
+        let b = Tensor::from_vec_on(DeviceKind::Ref, vec![1., 0., 0., 1.], [2, 2]);
+        assert_eq!(a.matmul(&b).device(), DeviceKind::Fast);
+        assert_eq!(a.add(&b).device(), DeviceKind::Fast);
+        assert_eq!(b.scale(2.0).device(), DeviceKind::Ref);
+        assert_eq!(a.to_device(DeviceKind::Ref).device(), DeviceKind::Ref);
+    }
+
+    #[test]
+    fn serde_roundtrip_drops_device_tag() {
+        use serde::{Deserialize, Serialize};
+        let a = Tensor::from_vec_on(DeviceKind::Fast, vec![1.5, -2.0], [2]);
+        let round = Tensor::from_value(&a.to_value()).expect("roundtrip");
+        assert_eq!(round.to_vec(), a.to_vec());
+        assert_eq!(round.shape().dims(), a.shape().dims());
+        assert_eq!(round.device(), DeviceKind::Ref, "loaded tensors land on ref");
     }
 }

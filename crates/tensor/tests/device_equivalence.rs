@@ -1,0 +1,324 @@
+//! Cross-device contract tests for the `RefDevice` / `FastDevice` seam.
+//!
+//! Three properties, one per section:
+//!
+//! 1. **Equivalence** — for every kernel, the fast device agrees with the
+//!    reference device to `|ref − fast| ≤ 1e-4` relative per element, over
+//!    randomized shapes that hit the blocked matmul's full tiles, edge
+//!    tiles, and the shared-weight batched path.
+//! 2. **Determinism** — each device, run twice on identical inputs,
+//!    produces `f32::to_bits`-identical outputs, including reruns that hit
+//!    the fast device's recycled pool buffers.
+//! 3. **Gradients** — the tape's backward pass under `FastDevice` still
+//!    matches central finite differences.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tele_tensor::{DeviceKind, Shape, Tape, Tensor};
+
+/// Per-element relative tolerance from the device contract (DESIGN.md §11).
+const REL_TOL: f32 = 1e-4;
+
+/// Largest per-element `|r − f| / max(1, |r|, |f|)` between two tensors.
+fn max_rel_err(r: &Tensor, f: &Tensor) -> f32 {
+    assert_eq!(r.shape(), f.shape(), "device outputs disagree on shape");
+    r.as_slice()
+        .iter()
+        .zip(f.as_slice())
+        .map(|(&rv, &fv)| (rv - fv).abs() / rv.abs().max(fv.abs()).max(1.0))
+        .fold(0.0f32, f32::max)
+}
+
+/// A seeded random tensor on the given device.
+fn rand_on(device: DeviceKind, shape: impl Into<Shape>, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(shape, -2.0, 2.0, &mut rng).to_device(device)
+}
+
+/// Runs `op` once per device on identically-seeded inputs and returns the
+/// maximum relative error between the two results.
+fn device_gap(op: impl Fn(DeviceKind) -> Tensor) -> f32 {
+    max_rel_err(&op(DeviceKind::Ref), &op(DeviceKind::Fast))
+}
+
+// ---------------------------------------------------------------------------
+// 1. Equivalence: every kernel, randomized shapes.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Single-matrix product across shapes straddling the fast kernel's
+    /// MR = 4 row blocks and NR = 16 column tiles (full tiles, edge rows,
+    /// edge columns, and sub-tile matrices).
+    #[test]
+    fn matmul_single_matrix(m in 1usize..10, k in 1usize..33, n in 1usize..40, seed in 0u64..1000) {
+        let gap = device_gap(|dev| {
+            rand_on(dev, [m, k], seed).matmul(&rand_on(dev, [k, n], seed ^ 1))
+        });
+        prop_assert!(gap <= REL_TOL, "matmul [{m},{k}]x[{k},{n}] rel err {gap}");
+    }
+
+    /// Batched activations against one broadcast weight matrix — the
+    /// serving shape, routed through the fast device's shared-B path that
+    /// packs each weight panel once for the whole batch.
+    #[test]
+    fn matmul_batched_shared_weight(b in 2usize..5, l in 1usize..20, k in 1usize..20,
+                                    n in 1usize..36, seed in 0u64..1000) {
+        let gap = device_gap(|dev| {
+            rand_on(dev, [b, l, k], seed).matmul(&rand_on(dev, [k, n], seed ^ 1))
+        });
+        prop_assert!(gap <= REL_TOL, "matmul [{b},{l},{k}]x[{k},{n}] rel err {gap}");
+    }
+
+    /// Batched products with per-batch right operands (attention-style),
+    /// which must take the per-batch blocked path, not the shared-B one.
+    #[test]
+    fn matmul_batched_distinct_rhs(b in 2usize..5, m in 1usize..9, k in 1usize..17,
+                                   n in 1usize..20, seed in 0u64..1000) {
+        let gap = device_gap(|dev| {
+            rand_on(dev, [b, m, k], seed).matmul(&rand_on(dev, [b, k, n], seed ^ 1))
+        });
+        prop_assert!(gap <= REL_TOL, "matmul [{b},{m},{k}]x[{b},{k},{n}] rel err {gap}");
+    }
+
+    /// Row-wise softmax and log-softmax.
+    #[test]
+    fn softmax_rows(r in 1usize..8, c in 1usize..40, seed in 0u64..1000) {
+        let soft = device_gap(|dev| rand_on(dev, [r, c], seed).softmax_last());
+        prop_assert!(soft <= REL_TOL, "softmax_last [{r},{c}] rel err {soft}");
+        let logsoft = device_gap(|dev| rand_on(dev, [r, c], seed).log_softmax_last());
+        prop_assert!(logsoft <= REL_TOL, "log_softmax_last [{r},{c}] rel err {logsoft}");
+    }
+
+    /// Row-wise layer norm, driven through the tape (the only public route
+    /// to the `layer_norm_rows` kernel).
+    #[test]
+    fn layer_norm_rows(r in 1usize..6, c in 2usize..24, seed in 0u64..1000) {
+        let gap = device_gap(|dev| {
+            let tape = Tape::on(dev);
+            let x = tape.constant(rand_on(dev, [r, c], seed));
+            let gamma = tape.constant(rand_on(dev, [c], seed ^ 1).add_scalar(2.5));
+            let beta = tape.constant(rand_on(dev, [c], seed ^ 2));
+            x.layer_norm(gamma, beta, 1e-5).value()
+        });
+        prop_assert!(gap <= REL_TOL, "layer_norm [{r},{c}] rel err {gap}");
+    }
+
+    /// Elementwise kernels: map, zip, the arithmetic ops, and axpy.
+    #[test]
+    fn elementwise_kernels(n in 1usize..64, seed in 0u64..1000) {
+        let unary = device_gap(|dev| rand_on(dev, [n], seed).map(|v| v.tanh()));
+        prop_assert!(unary <= REL_TOL, "map rel err {unary}");
+        let binary = device_gap(|dev| {
+            let a = rand_on(dev, [n], seed);
+            let b = rand_on(dev, [n], seed ^ 1);
+            a.zip(&b, |x, y| x * y + 0.5 * x)
+        });
+        prop_assert!(binary <= REL_TOL, "zip rel err {binary}");
+        for (name, op) in [
+            ("add", &(|a: &Tensor, b: &Tensor| a.add(b)) as &dyn Fn(&Tensor, &Tensor) -> Tensor),
+            ("sub", &|a, b| a.sub(b)),
+            ("mul", &|a, b| a.mul(b)),
+        ] {
+            let gap = device_gap(|dev| {
+                op(&rand_on(dev, [n], seed), &rand_on(dev, [n], seed ^ 1))
+            });
+            prop_assert!(gap <= REL_TOL, "{name} rel err {gap}");
+        }
+        let div = device_gap(|dev| {
+            let a = rand_on(dev, [n], seed);
+            let b = rand_on(dev, [n], seed ^ 1).map(|v| v.abs() + 0.5);
+            a.div(&b)
+        });
+        prop_assert!(div <= REL_TOL, "div rel err {div}");
+        let scaled = device_gap(|dev| rand_on(dev, [n], seed).scale(1.25).add_scalar(-0.75));
+        prop_assert!(scaled <= REL_TOL, "scale/add_scalar rel err {scaled}");
+        let axpy = device_gap(|dev| {
+            let mut a = rand_on(dev, [n], seed);
+            a.axpy(0.3, &rand_on(dev, [n], seed ^ 1));
+            a
+        });
+        prop_assert!(axpy <= REL_TOL, "axpy rel err {axpy}");
+    }
+
+    /// Reductions: full sums, per-axis sums, dot products, L2 norms.
+    #[test]
+    fn reduction_kernels(r in 1usize..8, c in 1usize..24, seed in 0u64..1000) {
+        let scalar_gap = |f: &dyn Fn(DeviceKind) -> f32| {
+            let (rv, fv) = (f(DeviceKind::Ref), f(DeviceKind::Fast));
+            (rv - fv).abs() / rv.abs().max(fv.abs()).max(1.0)
+        };
+        let sum = scalar_gap(&|dev| rand_on(dev, [r, c], seed).sum_all());
+        prop_assert!(sum <= REL_TOL, "sum_all rel err {sum}");
+        let dot = scalar_gap(&|dev| {
+            rand_on(dev, [r * c], seed).dot(&rand_on(dev, [r * c], seed ^ 1))
+        });
+        prop_assert!(dot <= REL_TOL, "dot rel err {dot}");
+        let norm = scalar_gap(&|dev| rand_on(dev, [r, c], seed).norm_l2());
+        prop_assert!(norm <= REL_TOL, "norm_l2 rel err {norm}");
+        for axis in 0..2 {
+            let gap = device_gap(|dev| rand_on(dev, [r, c], seed).sum_axis(axis));
+            prop_assert!(gap <= REL_TOL, "sum_axis({axis}) rel err {gap}");
+        }
+    }
+
+    /// Row gather and scatter-add.
+    #[test]
+    fn gather_scatter_kernels(rows in 2usize..8, c in 1usize..12, seed in 0u64..1000) {
+        let ids: Vec<usize> = (0..rows + 2).map(|i| (i * 3 + 1) % rows).collect();
+        let gather = device_gap(|dev| rand_on(dev, [rows, c], seed).index_select0(&ids));
+        prop_assert!(gather <= REL_TOL, "index_select0 rel err {gather}");
+        let scatter = device_gap(|dev| {
+            rand_on(dev, [ids.len(), c], seed).scatter_add0(&ids, rows)
+        });
+        prop_assert!(scatter <= REL_TOL, "scatter_add0 rel err {scatter}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Determinism: same inputs, same bits, every run — per device.
+// ---------------------------------------------------------------------------
+
+/// One pass of every kernel family, fingerprinted as exact bit patterns.
+fn kernel_fingerprint(device: DeviceKind) -> Vec<u32> {
+    let a = rand_on(device, [3, 18, 11], 7);
+    let w = rand_on(device, [11, 21], 8);
+    let prod = a.matmul(&w);
+    let soft = prod.softmax_last();
+    let logsoft = prod.log_softmax_last();
+    let normed = {
+        let tape = Tape::on(device);
+        let x = tape.constant(prod.clone());
+        let gamma = tape.constant(Tensor::ones([21]));
+        let beta = tape.constant(Tensor::zeros([21]));
+        x.layer_norm(gamma, beta, 1e-5).value()
+    };
+    let gathered = prod.reshape([3 * 18, 21]).index_select0(&[5, 1, 5, 40]);
+    let scattered = gathered.scatter_add0(&[2, 0, 2, 1], 4);
+    let reduced = Tensor::from_vec(vec![prod.sum_all(), prod.norm_l2(), soft.dot(&logsoft)], [3]);
+    [prod, soft, logsoft, normed, gathered, scattered, reduced]
+        .iter()
+        .flat_map(|t| t.as_slice().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+#[test]
+fn ref_device_is_bitwise_deterministic() {
+    assert_eq!(kernel_fingerprint(DeviceKind::Ref), kernel_fingerprint(DeviceKind::Ref));
+}
+
+#[test]
+fn fast_device_is_bitwise_deterministic() {
+    // The first pass seeds the buffer pool; the second and third reuse
+    // recycled buffers, so this also checks that pool reuse (and the
+    // zero-fill on take) never leaks stale values into results.
+    let first = kernel_fingerprint(DeviceKind::Fast);
+    assert_eq!(first, kernel_fingerprint(DeviceKind::Fast));
+    assert_eq!(first, kernel_fingerprint(DeviceKind::Fast));
+}
+
+// ---------------------------------------------------------------------------
+// 3. Gradients under FastDevice: backward still matches finite differences.
+// ---------------------------------------------------------------------------
+
+/// Central-difference gradient of `f` at `x`, element by element.
+fn numeric_grad(x: &Tensor, mut f: impl FnMut(&Tensor) -> f32, eps: f32) -> Vec<f32> {
+    let base = x.to_vec();
+    let shape = x.shape().clone();
+    (0..base.len())
+        .map(|i| {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let fp = f(&Tensor::from_vec(plus, shape.clone()));
+            let fm = f(&Tensor::from_vec(minus, shape.clone()));
+            (fp - fm) / (2.0 * eps)
+        })
+        .collect()
+}
+
+/// Absolute-or-relative closeness, tolerant of f32 finite-difference noise.
+fn grads_close(analytic: &[f32], numeric: &[f32]) -> Result<(), String> {
+    for (i, (&a, &n)) in analytic.iter().zip(numeric).enumerate() {
+        let abs = (a - n).abs();
+        let rel = abs / a.abs().max(n.abs()).max(1e-3);
+        if abs > 1e-2 && rel > 5e-2 {
+            return Err(format!("grad[{i}]: analytic {a} vs numeric {n}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// L(A) = Σ (A·B)² gradcheck with every node on the fast device,
+    /// including a shape wide enough to cross an NR = 16 tile boundary.
+    #[test]
+    fn fast_matmul_gradient_matches_finite_difference(
+        av in proptest::collection::vec(-2.0f32..2.0, 2 * 5),
+        bv in proptest::collection::vec(-2.0f32..2.0, 5 * 18),
+    ) {
+        let a0 = Tensor::from_vec(av, [2, 5]);
+        let b = Tensor::from_vec(bv, [5, 18]);
+        let loss = |at: &Tensor| {
+            let tape = Tape::on(DeviceKind::Fast);
+            let a = tape.constant(at.clone());
+            let bb = tape.constant(b.clone());
+            a.matmul(bb).square().sum_all().value().item()
+        };
+        let tape = Tape::on(DeviceKind::Fast);
+        let a = tape.leaf(a0.clone());
+        let bb = tape.constant(b.clone());
+        let y = a.matmul(bb).square().sum_all();
+        let grads = tape.backward(y);
+        let analytic = grads.get(a).unwrap().as_slice().to_vec();
+        let numeric = numeric_grad(&a0, loss, 1e-2);
+        prop_assert!(grads_close(&analytic, &numeric).is_ok(),
+            "{:?}", grads_close(&analytic, &numeric));
+    }
+
+    /// Layer-norm gradcheck on the fast device, for both the input and the
+    /// gain parameter.
+    #[test]
+    fn fast_layer_norm_gradient_matches_finite_difference(
+        xv in proptest::collection::vec(-2.0f32..2.0, 4),
+        gv in proptest::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        // Spread the row so its variance is bounded away from zero — the
+        // normalizer's 1/σ makes near-constant rows ill-conditioned for FD.
+        let xd: Vec<f32> = xv.iter().enumerate().map(|(i, v)| v + i as f32 * 0.5).collect();
+        let gd: Vec<f32> = gv.iter().map(|v| v + 2.5).collect();
+        let x0 = Tensor::from_vec(xd, [1, 4]);
+        let g0 = Tensor::from_vec(gd, [4]);
+        let beta = Tensor::from_vec(vec![0.1, -0.2, 0.3, -0.4], [4]);
+        let loss = |xt: &Tensor, gt: &Tensor| {
+            let tape = Tape::on(DeviceKind::Fast);
+            let x = tape.constant(xt.clone());
+            let gamma = tape.constant(gt.clone());
+            let b = tape.constant(beta.clone());
+            x.layer_norm(gamma, b, 1e-5).square().sum_all().value().item()
+        };
+
+        let tape = Tape::on(DeviceKind::Fast);
+        let x = tape.leaf(x0.clone());
+        let gamma = tape.leaf(g0.clone());
+        let b = tape.constant(beta.clone());
+        let y = x.layer_norm(gamma, b, 1e-5).square().sum_all();
+        let grads = tape.backward(y);
+
+        let analytic_x = grads.get(x).unwrap().as_slice().to_vec();
+        let numeric_x = numeric_grad(&x0, |xt| loss(xt, &g0), 1e-2);
+        prop_assert!(grads_close(&analytic_x, &numeric_x).is_ok(),
+            "d/dx {:?}", grads_close(&analytic_x, &numeric_x));
+
+        let analytic_g = grads.get(gamma).unwrap().as_slice().to_vec();
+        let numeric_g = numeric_grad(&g0, |gt| loss(&x0, gt), 1e-2);
+        prop_assert!(grads_close(&analytic_g, &numeric_g).is_ok(),
+            "d/dγ {:?}", grads_close(&analytic_g, &numeric_g));
+    }
+}

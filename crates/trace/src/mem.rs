@@ -1,17 +1,28 @@
 //! Thread-local tensor memory accounting.
 //!
-//! `tele-tensor` calls [`record_alloc`] when it allocates backing storage and
-//! [`record_free`] when the last owner drops it. Both are no-ops while
-//! instrumentation is disabled; a free of storage allocated before enabling
-//! saturates at zero instead of underflowing.
+//! `tele-tensor` calls [`record_alloc_for`] when it allocates backing storage
+//! and [`record_free_for`] when the last owner drops it, labelling the event
+//! with the owning compute device (`"ref"` / `"fast"`). All recorders are
+//! no-ops while instrumentation is disabled; a free of storage allocated
+//! before enabling saturates at zero instead of underflowing.
+//!
+//! Per-device gauges are advisory: a tensor retagged onto another device
+//! between allocation and drop moves its bytes between labels, so the label
+//! split can drift slightly while the totals stay exact.
 
 use std::cell::Cell;
+
+/// Known device labels, indexed by [`label_slot`]. Unknown labels fold into
+/// the last slot.
+pub const DEVICE_LABELS: [&str; 2] = ["ref", "fast"];
 
 struct MemState {
     live: Cell<u64>,
     peak: Cell<u64>,
     allocs: Cell<u64>,
     frees: Cell<u64>,
+    live_by: [Cell<u64>; 2],
+    allocs_by: [Cell<u64>; 2],
 }
 
 thread_local! {
@@ -21,12 +32,29 @@ thread_local! {
             peak: Cell::new(0),
             allocs: Cell::new(0),
             frees: Cell::new(0),
+            live_by: [Cell::new(0), Cell::new(0)],
+            allocs_by: [Cell::new(0), Cell::new(0)],
         }
     };
 }
 
-/// Records an allocation of `bytes` backing bytes (no-op while disabled).
+fn label_slot(label: &str) -> usize {
+    if label == DEVICE_LABELS[0] {
+        0
+    } else {
+        1
+    }
+}
+
+/// Records an allocation of `bytes` backing bytes (no-op while disabled),
+/// attributed to the `"ref"` device.
 pub fn record_alloc(bytes: usize) {
+    record_alloc_for(DEVICE_LABELS[0], bytes);
+}
+
+/// Records an allocation of `bytes` backing bytes attributed to a device
+/// label (no-op while disabled).
+pub fn record_alloc_for(label: &str, bytes: usize) {
     if !crate::is_enabled() {
         return;
     }
@@ -37,23 +65,40 @@ pub fn record_alloc(bytes: usize) {
             m.peak.set(live);
         }
         m.allocs.set(m.allocs.get() + 1);
+        let slot = label_slot(label);
+        m.live_by[slot].set(m.live_by[slot].get() + bytes as u64);
+        m.allocs_by[slot].set(m.allocs_by[slot].get() + 1);
     });
 }
 
-/// Records a free of `bytes` backing bytes (no-op while disabled).
+/// Records a free of `bytes` backing bytes (no-op while disabled),
+/// attributed to the `"ref"` device.
 pub fn record_free(bytes: usize) {
+    record_free_for(DEVICE_LABELS[0], bytes);
+}
+
+/// Records a free of `bytes` backing bytes attributed to a device label
+/// (no-op while disabled).
+pub fn record_free_for(label: &str, bytes: usize) {
     if !crate::is_enabled() {
         return;
     }
     MEM.with(|m| {
         m.live.set(m.live.get().saturating_sub(bytes as u64));
         m.frees.set(m.frees.get() + 1);
+        let slot = label_slot(label);
+        m.live_by[slot].set(m.live_by[slot].get().saturating_sub(bytes as u64));
     });
 }
 
 /// Bytes currently live (allocated minus freed) on this thread.
 pub fn live_bytes() -> u64 {
     MEM.with(|m| m.live.get())
+}
+
+/// Bytes currently live attributed to a device label.
+pub fn live_bytes_for(label: &str) -> u64 {
+    MEM.with(|m| m.live_by[label_slot(label)].get())
 }
 
 /// High-water mark of [`live_bytes`] since the last [`reset`]/[`reset_peak`].
@@ -64,6 +109,11 @@ pub fn peak_live_bytes() -> u64 {
 /// Number of recorded allocations on this thread.
 pub fn alloc_count() -> u64 {
     MEM.with(|m| m.allocs.get())
+}
+
+/// Number of recorded allocations attributed to a device label.
+pub fn alloc_count_for(label: &str) -> u64 {
+    MEM.with(|m| m.allocs_by[label_slot(label)].get())
 }
 
 /// Number of recorded frees on this thread.
@@ -83,5 +133,11 @@ pub fn reset() {
         m.peak.set(0);
         m.allocs.set(0);
         m.frees.set(0);
+        for c in &m.live_by {
+            c.set(0);
+        }
+        for c in &m.allocs_by {
+            c.set(0);
+        }
     });
 }

@@ -5,7 +5,8 @@
 //! tele corpus   [--seed N] [--count N]                    sample corpus sentences
 //! tele simulate [--seed N] [--episodes N]                 fault-episode summaries
 //! tele query    [--seed N] <SPARQL-like query>            query the Tele-KG
-//! tele train    [--seed N] [--steps N] [--retrain N] [--telemetry FILE]
+//! tele train    [--seed N] [--steps N] [--retrain N] [--device ref|fast]
+//!               [--telemetry FILE]
 //!               [--profile FILE] [--checkpoint-dir DIR] [--checkpoint-every N]
 //!               [--checkpoint-keep N] [--resume auto|never]
 //!               [--guard off|skip|rollback|abort] [--stop-after N]
@@ -16,7 +17,8 @@
 //!               [--max-wait-us N] [--cache N]             NDJSON TCP server
 //! tele serve-bench --ckpt FILE [--requests N] [--unique N] [--threads N]
 //!               [--batch-size N] [--out FILE]             serving load test
-//! tele profile  [--seed N] [--steps N] [--out FILE]       profile a short run
+//! tele profile  [--seed N] [--steps N] [--device ref|fast] [--out FILE]
+//!                                                         profile a short run
 //! tele profile  --check FILE                              validate a trace file
 //! tele check    <config.json> [--resume FILE|DIR] [--json FILE]
 //!                                                         verify a model config
@@ -68,6 +70,13 @@ impl Args {
 
     fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
         Ok(self.u64_flag(name, default as u64)? as usize)
+    }
+
+    fn device(&self) -> Result<tele_knowledge::tensor::DeviceKind, String> {
+        match self.flags.get("device") {
+            Some(v) => tele_knowledge::tensor::DeviceKind::parse(v),
+            None => Ok(tele_knowledge::tensor::device::current()),
+        }
     }
 
     fn scale(&self) -> Result<Scale, String> {
@@ -125,7 +134,8 @@ const USAGE: &str = "tele — tele-knowledge CLI
   tele corpus   [--seed N] [--count N]
   tele simulate [--seed N] [--episodes N]
   tele query    [--seed N] <query>      e.g. 'SELECT ?a WHERE { ?a type Alarm }'
-  tele train    [--seed N] [--steps N] [--retrain N] [--telemetry FILE]
+  tele train    [--seed N] [--steps N] [--retrain N] [--device ref|fast]
+                [--telemetry FILE]
                 [--profile FILE] [--checkpoint-dir DIR] [--checkpoint-every N]
                 [--checkpoint-keep N] [--resume auto|never]
                 [--guard off|skip|rollback|abort] [--stop-after N]
@@ -137,7 +147,8 @@ const USAGE: &str = "tele — tele-knowledge CLI
   tele serve-bench --ckpt FILE [--requests N] [--unique N] [--threads N]
                 [--batch-size N] [--out FILE]
                 compare batched serving against the sequential baseline
-  tele profile  [--seed N] [--steps N] [--out FILE]   profile a short training run
+  tele profile  [--seed N] [--steps N] [--device ref|fast] [--out FILE]
+                profile a short training run
   tele profile  --check FILE                          validate a Chrome trace file
   tele check    <config.json> [--resume FILE|DIR] [--json FILE]
                 verify graph shapes, gradient coverage, and checkpoint pre-flight
@@ -317,6 +328,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             seed,
             telemetry: telemetry.clone(),
             fault: fault_tolerance_flags(args, "stage1")?,
+            device: args.device()?,
             ..Default::default()
         },
     );
@@ -349,6 +361,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             seed,
             telemetry: retrain_telemetry,
             fault: fault_tolerance_flags(args, "stage2")?,
+            device: args.device()?,
             ..Default::default()
         },
     );
@@ -530,6 +543,26 @@ fn write_profile(path: &std::path::Path) -> Result<(), String> {
         gauge("train.tokens_per_sec"),
         gauge("mem.peak_live_bytes") / (1024.0 * 1024.0),
     );
+    let counter = |name: &str| {
+        snapshot.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0)
+    };
+    let (hits, misses) = (counter("tensor.pool.hit"), counter("tensor.pool.miss"));
+    let pool = tele_knowledge::tensor::device::pool_stats();
+    eprintln!(
+        "buffer pool: {hits} hits / {misses} misses ({:.0}% hit rate); {} buffers ({:.2} MiB) parked",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64,
+        pool.buffers,
+        (pool.held_elems * std::mem::size_of::<f32>()) as f64 / (1024.0 * 1024.0),
+    );
+    for dev in ["ref", "fast"] {
+        let (live, allocs) = (trace::mem::live_bytes_for(dev), trace::mem::alloc_count_for(dev));
+        if allocs > 0 {
+            eprintln!(
+                "  {dev} device: {:.2} MiB live across {allocs} allocations",
+                live as f64 / (1024.0 * 1024.0),
+            );
+        }
+    }
     println!("trace written to {}", path.display());
     Ok(())
 }
@@ -569,12 +602,16 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         max_len: 48,
         dropout: 0.1,
     };
-    eprintln!("profiling {steps} pre-training steps (vocab {})", tokenizer.vocab_size());
+    eprintln!(
+        "profiling {steps} pre-training steps on the {} device (vocab {})",
+        args.device()?.name(),
+        tokenizer.vocab_size()
+    );
     let (_telebert, log) = pretrain(
         &suite.tele_corpus,
         &tokenizer,
         encoder,
-        &PretrainConfig { steps, seed, ..Default::default() },
+        &PretrainConfig { steps, seed, device: args.device()?, ..Default::default() },
     );
     eprintln!("  final loss {:.3}", log.final_loss);
     if let Some(phases) = log.summary().mean_phases {
