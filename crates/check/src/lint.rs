@@ -1,6 +1,6 @@
 //! `tele lint`: token-level invariant linter for the workspace.
 //!
-//! Five rules, each encoding a workspace convention that rustc/clippy do
+//! Six rules, each encoding a workspace convention that rustc/clippy do
 //! not enforce:
 //!
 //! | rule          | scope                         | invariant                                            |
@@ -10,6 +10,7 @@
 //! | `date-now`    | everywhere                    | no `SystemTime::now` / `thread_rng` nondeterminism   |
 //! | `kernel-span` | `crates/tensor/src`           | pub kernels with nested loops open a `span!`         |
 //! | `tensor-storage` | everywhere except `crates/tensor` | no raw storage access (`as_mut_slice`); math goes through device kernels |
+//! | `metric-name` | everywhere                    | literal metric names are lowercase dot-separated `[a-z0-9_.]` |
 //!
 //! Findings suppressed by the allowlist are downgraded to notes (still
 //! visible in the JSON report) rather than dropped, so CI artifacts show
@@ -249,6 +250,84 @@ fn rule_tensor_storage(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec
     }
 }
 
+/// `metric-name`: literal metric names passed to the trace registry must be
+/// lowercase dot-separated (`[a-z0-9_.]`), so the Prometheus exposition and
+/// dashboards see one consistent namespace. `{placeholder}` segments inside
+/// a name (e.g. `objective.{name}.active`) are ignored; fully dynamic names
+/// (no string literal at the call) are out of scope for a static check.
+fn rule_metric_name(
+    path: &str,
+    src: &str,
+    toks: &[Tok],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    const CALLS: [&str; 5] =
+        ["counter_add", "gauge_set", "gauge_add", "histogram_record", "histogram_merge"];
+    let lines: Vec<&str> = src.lines().collect();
+    for i in 0..toks.len().saturating_sub(1) {
+        if in_test[i] {
+            continue;
+        }
+        if toks[i].kind != TokKind::Ident
+            || !CALLS.contains(&toks[i].text.as_str())
+            || !toks[i + 1].is_punct('(')
+        {
+            continue;
+        }
+        // The lexer drops string-literal contents, so recover the name from
+        // the raw source: first `"…"` at or after the call on its line (the
+        // name argument comes first, so a literal on a following line still
+        // belongs to it when the call wraps).
+        let call_line = toks[i].line as usize;
+        let mut literal: Option<(String, u32)> = None;
+        for (offset, text) in lines.iter().enumerate().skip(call_line.saturating_sub(1)).take(2) {
+            let text = if offset + 1 == call_line {
+                match text.split_once(&toks[i].text) {
+                    Some((_, rest)) => rest,
+                    None => text,
+                }
+            } else {
+                text
+            };
+            if let Some((_, rest)) = text.split_once('"') {
+                if let Some((name, _)) = rest.split_once('"') {
+                    literal = Some((name.to_string(), offset as u32 + 1));
+                    break;
+                }
+            }
+        }
+        let Some((name, line)) = literal else { continue };
+        // Mask `{placeholder}` segments, then validate what remains.
+        let mut masked = String::with_capacity(name.len());
+        let mut depth = 0usize;
+        for c in name.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                _ if depth == 0 => masked.push(c),
+                _ => {}
+            }
+        }
+        let ok = !masked.is_empty()
+            && masked
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.');
+        if !ok {
+            out.push(finding(
+                "metric-name",
+                path,
+                line,
+                format!(
+                    "metric name {name:?} passed to `{}`: names must be lowercase \
+                     dot-separated (`[a-z0-9_.]`)",
+                    toks[i].text
+                ),
+            ));
+        }
+    }
+}
+
 /// `kernel-span`: public tensor kernels with nested loops must open a
 /// trace span so the profiler sees them.
 fn rule_kernel_span(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
@@ -360,6 +439,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     rule_date_now(path, &toks, &in_test, &mut out);
     rule_kernel_span(path, &toks, &in_test, &mut out);
     rule_tensor_storage(path, &toks, &in_test, &mut out);
+    rule_metric_name(path, src, &toks, &in_test, &mut out);
     out
 }
 
@@ -542,6 +622,33 @@ mod tests {
             }
         "#;
         assert!(lint_source("crates/serve/src/cache.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn metric_name_enforces_lowercase_dot_names() {
+        let bad = r#"pub fn f() { tele_trace::metrics::counter_add("Serve.Requests", 1); }"#;
+        assert_eq!(codes(&lint_source("crates/serve/src/metrics.rs", bad)), vec!["metric-name"]);
+        let spaced = "pub fn f() {\n    tele_trace::metrics::gauge_set(\n        \"serve queue depth\", 1.0);\n}";
+        assert_eq!(codes(&lint_source("src/bin/tele.rs", spaced)), vec!["metric-name"]);
+
+        let ok = r#"pub fn f() { tele_trace::metrics::histogram_record("serve.queue_us", 9); }"#;
+        assert!(lint_source("crates/serve/src/metrics.rs", ok).is_empty());
+        // `{placeholder}` segments are masked before validation.
+        let templated = r#"pub fn f(name: &str) {
+            tele_trace::metrics::counter_add(format!("objective.{name}.active"), 1);
+        }"#;
+        assert!(lint_source("crates/core/src/engine.rs", templated).is_empty());
+        // Fully dynamic names are out of scope for a static check.
+        let dynamic = "pub fn f(n: String) { tele_trace::metrics::gauge_set(n, 1.0); }";
+        assert!(lint_source("crates/core/src/engine.rs", dynamic).is_empty());
+        // Test modules are exempt like every other rule.
+        let in_test = r#"
+            #[cfg(test)]
+            mod tests {
+                fn t() { tele_trace::metrics::counter_add("BAD NAME", 1); }
+            }
+        "#;
+        assert!(lint_source("crates/serve/src/metrics.rs", in_test).is_empty());
     }
 
     #[test]

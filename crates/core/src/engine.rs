@@ -139,6 +139,9 @@ pub struct GuardConfig {
     pub max_recoveries: usize,
     /// Multiplier applied to the learning rate on every rollback.
     pub lr_backoff: f32,
+    /// Directory receiving an atomic flight-recorder dump on every guard
+    /// trip; `None` disables dumping (notes still accumulate in the ring).
+    pub flight_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for GuardConfig {
@@ -149,6 +152,7 @@ impl Default for GuardConfig {
             spike_factor: 4.0,
             max_recoveries: 3,
             lr_backoff: 0.5,
+            flight_dir: None,
         }
     }
 }
@@ -474,6 +478,10 @@ impl<'a> TrainEngine<'a> {
 
         let mut trace = TrainTrace::default();
         let run_started = Instant::now();
+        // Rolling window of recent step durations backing the live
+        // `train.heartbeat.steps_per_sec` gauge (`tele top --file` reads a
+        // heartbeat file, `tele profile` reads the gauge directly).
+        let mut recent_step_us: VecDeque<u64> = VecDeque::new();
         while self.completed < total {
             if self.stop.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) {
                 trace.stopped = true;
@@ -602,12 +610,42 @@ impl<'a> TrainEngine<'a> {
                     },
                     1,
                 );
+                tele_trace::recorder::note("guard.trip", None, format!("step={step} {detail}"));
+                if let Some(dir) = &guard.flight_dir {
+                    if let Err(e) = tele_trace::recorder::dump(dir) {
+                        eprintln!("guard: flight dump to {} failed: {e}", dir.display());
+                    }
+                }
                 GuardEvent { kind, action, detail }
             });
 
             let micros = started.elapsed().as_micros() as u64;
             tele_trace::metrics::counter_add("train.steps", 1);
             tele_trace::metrics::histogram_record("engine.step_us", micros);
+            if tele_trace::is_enabled() {
+                recent_step_us.push_back(micros.max(1));
+                while recent_step_us.len() > 32 {
+                    recent_step_us.pop_front();
+                }
+                let window_us: u64 = recent_step_us.iter().sum();
+                tele_trace::metrics::gauge_set(
+                    "train.heartbeat.steps_per_sec",
+                    recent_step_us.len() as f64 / (window_us as f64 / 1e6),
+                );
+                tele_trace::metrics::gauge_set("train.heartbeat.step", step as f64);
+                if let Some(v) = fused_raw {
+                    tele_trace::metrics::gauge_set("train.heartbeat.fused_loss", v as f64);
+                }
+                tele_trace::metrics::gauge_set(
+                    "train.heartbeat.live_tensor_bytes",
+                    tele_trace::mem::live_bytes() as f64,
+                );
+                tele_trace::recorder::note(
+                    "train.step",
+                    None,
+                    format!("step={step} micros={micros} fused={fused_raw:?}"),
+                );
+            }
             let record = StepRecord {
                 step,
                 lr,

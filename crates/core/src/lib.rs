@@ -65,8 +65,8 @@ pub use objective::{Objective, StepData, StepEnv};
 pub use service::{cosine, ServiceEncoder, ServiceFormat};
 pub use strategy::{StepTask, Strategy};
 pub use telemetry::{
-    GuardAction, GuardEvent, GuardKind, JsonlSink, ObjectiveRecord, ObjectiveStats, StepRecord,
-    TraceSummary, TrainCallback, TrainTrace,
+    GuardAction, GuardEvent, GuardKind, Heartbeat, HeartbeatSink, JsonlSink, ObjectiveRecord,
+    ObjectiveStats, StepRecord, TraceSummary, TrainCallback, TrainTrace,
 };
 pub use trainer::{
     pretrain, retrain, Checkpointing, FaultTolerance, PretrainConfig, RetrainConfig, RetrainData,

@@ -307,6 +307,90 @@ impl Drop for JsonlSink {
     }
 }
 
+/// The live-training pulse `tele top --file` polls: one small JSON object,
+/// atomically replaced after every step.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Zero-based index of the step that just finished.
+    pub step: usize,
+    /// Fused loss of that step; `None` when every objective abstained.
+    pub fused: Option<f32>,
+    /// Throughput over the recent-step window (see [`HeartbeatSink`]).
+    pub steps_per_sec: f64,
+    /// Live tensor bytes at the end of the step.
+    pub live_tensor_bytes: u64,
+    /// Wall-clock duration of the step, µs.
+    pub micros: u64,
+}
+
+impl Heartbeat {
+    /// Parses a heartbeat from its JSON form.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Callback publishing a [`Heartbeat`] file after every step.
+///
+/// Each write goes through `tele_trace::export::write_atomic`, so a
+/// concurrent reader (`tele top --file`) always sees a complete JSON
+/// object — never a torn write. Throughput is computed over a rolling
+/// window of the most recent step durations, matching the engine's
+/// `train.heartbeat.steps_per_sec` gauge. Like [`JsonlSink`], the first
+/// write failure is reported once and silences the sink.
+pub struct HeartbeatSink {
+    path: std::path::PathBuf,
+    recent_us: std::collections::VecDeque<u64>,
+    failed: bool,
+}
+
+impl HeartbeatSink {
+    /// Steps in the rolling throughput window.
+    const WINDOW: usize = 32;
+
+    /// Creates a sink that will atomically replace `path` each step.
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        HeartbeatSink {
+            path: path.into(),
+            recent_us: std::collections::VecDeque::new(),
+            failed: false,
+        }
+    }
+
+    /// Whether a write error has disabled the sink.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+}
+
+impl TrainCallback for HeartbeatSink {
+    fn on_step(&mut self, record: &StepRecord) {
+        if self.failed {
+            return;
+        }
+        self.recent_us.push_back(record.micros.max(1));
+        while self.recent_us.len() > Self::WINDOW {
+            self.recent_us.pop_front();
+        }
+        let window_us: u64 = self.recent_us.iter().sum();
+        let beat = Heartbeat {
+            step: record.step,
+            fused: record.fused,
+            steps_per_sec: self.recent_us.len() as f64 / (window_us as f64 / 1e6),
+            live_tensor_bytes: tele_trace::mem::live_bytes(),
+            micros: record.micros,
+        };
+        let Ok(json) = serde_json::to_string_pretty(&beat) else { return };
+        if let Err(e) = tele_trace::export::write_atomic(&self.path, json.as_bytes()) {
+            eprintln!(
+                "telemetry: failed to write heartbeat {}: {e} (suppressing further errors)",
+                self.path.display()
+            );
+            self.failed = true;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

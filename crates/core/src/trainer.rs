@@ -34,7 +34,7 @@ use crate::objective::{
     StepData,
 };
 use crate::strategy::Strategy;
-use crate::telemetry::{JsonlSink, StepRecord, TrainCallback, TrainTrace};
+use crate::telemetry::{HeartbeatSink, JsonlSink, StepRecord, TrainCallback, TrainTrace};
 
 /// Per-run training telemetry. Alias of [`TrainTrace`]: the old aggregate
 /// fields (`mean_loss`, `final_loss`, `steps`) are still public fields, and
@@ -214,6 +214,9 @@ pub struct PretrainConfig {
     pub seed: u64,
     /// When set, per-step telemetry is appended to this file as JSONL.
     pub telemetry: Option<PathBuf>,
+    /// When set, a [`Heartbeat`](crate::telemetry::Heartbeat) JSON file is
+    /// atomically replaced here after every step (`tele top --file` polls it).
+    pub heartbeat: Option<PathBuf>,
     /// Guardrails, checkpointing/resume, and cancellation.
     pub fault: FaultTolerance,
     /// Compute backend for training and the resulting bundle's encoder.
@@ -234,6 +237,7 @@ impl Default for PretrainConfig {
             rtd_weight: 1.0,
             seed: 7,
             telemetry: None,
+            heartbeat: None,
             fault: FaultTolerance::default(),
             device: tele_tensor::device::current(),
         }
@@ -248,6 +252,13 @@ fn attach_telemetry(engine: &mut TrainEngine<'_>, path: Option<&Path>) {
             Ok(sink) => engine.add_callback(Box::new(sink)),
             Err(e) => eprintln!("telemetry: cannot create {}: {e}", path.display()),
         }
+    }
+}
+
+/// Attaches a per-step heartbeat publisher when a path is configured.
+fn attach_heartbeat(engine: &mut TrainEngine<'_>, path: Option<&Path>) {
+    if let Some(path) = path {
+        engine.add_callback(Box::new(HeartbeatSink::new(path)));
     }
 }
 
@@ -295,6 +306,7 @@ pub fn pretrain(
         .add_objective(Box::new(ReplacedTokenDetection::new(Rc::clone(&electra), cfg.rtd_weight)));
     engine.add_objective(Box::new(SimCse::new(cfg.simcse_tau, cfg.simcse_weight)));
     attach_telemetry(&mut engine, cfg.telemetry.as_deref());
+    attach_heartbeat(&mut engine, cfg.heartbeat.as_deref());
     wire_fault_tolerance(&mut engine, &mut store, &cfg.fault);
 
     let data = StepData {
@@ -341,6 +353,9 @@ pub struct RetrainConfig {
     pub seed: u64,
     /// When set, per-step telemetry is appended to this file as JSONL.
     pub telemetry: Option<PathBuf>,
+    /// When set, a [`Heartbeat`](crate::telemetry::Heartbeat) JSON file is
+    /// atomically replaced here after every step (`tele top --file` polls it).
+    pub heartbeat: Option<PathBuf>,
     /// Guardrails, checkpointing/resume, and cancellation.
     pub fault: FaultTolerance,
     /// Compute backend for training and the resulting bundle's encoder.
@@ -360,6 +375,7 @@ impl Default for RetrainConfig {
             ke_batch: 4,
             seed: 13,
             telemetry: None,
+            heartbeat: None,
             fault: FaultTolerance::default(),
             device: tele_tensor::device::current(),
         }
@@ -479,6 +495,7 @@ pub fn retrain(
     engine.add_objective(Box::new(NumericBundle));
     engine.add_objective(Box::new(KnowledgeEmbedding::new(data.kg, cfg.ke, cfg.ke_batch)));
     attach_telemetry(&mut engine, cfg.telemetry.as_deref());
+    attach_heartbeat(&mut engine, cfg.heartbeat.as_deref());
     wire_fault_tolerance(&mut engine, &mut bundle.store, &cfg.fault);
 
     let step_data = StepData {

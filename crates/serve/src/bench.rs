@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use tele_trace::now_ns;
 
 use crate::error::ServeError;
-use crate::metrics::ServeStats;
+use crate::metrics::{ServeStats, TelemetryConfig, WindowStats};
 use crate::session::{InferenceSession, SessionConfig};
 
 /// Load-generator configuration.
@@ -44,7 +44,12 @@ impl Default for BenchConfig {
             requests: 64,
             unique: 12,
             client_threads: 8,
-            session: SessionConfig { max_batch: 16, max_wait_us: 200, cache_capacity: 256 },
+            session: SessionConfig {
+                max_batch: 16,
+                max_wait_us: 200,
+                cache_capacity: 256,
+                ..Default::default()
+            },
         }
     }
 }
@@ -75,7 +80,13 @@ pub struct BenchReport {
     pub cache_hit_rate: f64,
     /// Mean micro-batch size observed on the batched side.
     pub mean_batch_size: f64,
-    /// Full session statistics from the batched side.
+    /// Sliding-window latency view from the batched side: per-phase
+    /// (queue/assemble/forward/write) p50/p90/p99/p999 plus true max. This
+    /// is the block that makes the deadline-batching tail visible — the
+    /// cumulative quantiles below it collapse to p50≈p99 when every sample
+    /// shares one log bucket.
+    pub latency_window: WindowStats,
+    /// Full session statistics from the batched side (cumulative block).
     pub stats: ServeStats,
 }
 
@@ -95,32 +106,28 @@ pub fn workload(requests: usize, unique: usize) -> Vec<String> {
         .collect()
 }
 
-/// Runs the load comparison and returns the report.
-pub fn run_bench(bundle: TeleBert, cfg: &BenchConfig) -> Result<BenchReport, ServeError> {
-    let bundle = Arc::new(bundle);
-    let texts = workload(cfg.requests, cfg.unique);
+/// Per-thread result slots for the batched run (each client thread owns
+/// one slot holding its chunk's embeddings or the first error it hit).
+type BenchSlots = Mutex<Vec<Option<Result<Vec<Vec<f32>>, ServeError>>>>;
+
+/// Runs the workload through a fresh batching session from
+/// `client_threads` concurrent threads. Returns wall-clock ns, the results
+/// in request order, and the session's final stats.
+fn run_batched(
+    bundle: &Arc<TeleBert>,
+    texts: &[String],
+    session_cfg: SessionConfig,
+    client_threads: usize,
+) -> Result<(u64, Vec<Vec<f32>>, ServeStats), ServeError> {
     let n = texts.len();
-
-    // Sequential baseline: one single-sentence forward per request.
-    let t0 = now_ns();
-    let mut sequential: Vec<Vec<f32>> = Vec::with_capacity(n);
-    for text in &texts {
-        let mut rows = bundle.encode_batch(std::slice::from_ref(text))?;
-        sequential.push(rows.swap_remove(0));
-    }
-    let sequential_ns = now_ns().saturating_sub(t0).max(1);
-
-    // Batched runtime: the same requests from concurrent client threads.
-    let session = InferenceSession::from_arc(Arc::clone(&bundle), cfg.session.clone());
-    let threads = cfg.client_threads.max(1).min(n);
+    let session = InferenceSession::from_arc(Arc::clone(bundle), session_cfg);
+    let threads = client_threads.max(1).min(n.max(1));
     let chunk = n.div_ceil(threads);
-    let batched_slots: Mutex<Vec<Option<Result<Vec<Vec<f32>>, ServeError>>>> =
-        Mutex::new((0..threads).map(|_| None).collect());
+    let batched_slots: BenchSlots = Mutex::new((0..threads).map(|_| None).collect());
     let t1 = now_ns();
     std::thread::scope(|scope| {
         for t in 0..threads {
             let session = &session;
-            let texts = &texts;
             let batched_slots = &batched_slots;
             scope.spawn(move || {
                 let lo = t * chunk;
@@ -143,6 +150,27 @@ pub fn run_bench(bundle: TeleBert, cfg: &BenchConfig) -> Result<BenchReport, Ser
             None => return Err(ServeError::Protocol("bench worker produced no result".into())),
         }
     }
+    Ok((batched_ns, batched, stats))
+}
+
+/// Runs the load comparison and returns the report.
+pub fn run_bench(bundle: TeleBert, cfg: &BenchConfig) -> Result<BenchReport, ServeError> {
+    let bundle = Arc::new(bundle);
+    let texts = workload(cfg.requests, cfg.unique);
+    let n = texts.len();
+
+    // Sequential baseline: one single-sentence forward per request.
+    let t0 = now_ns();
+    let mut sequential: Vec<Vec<f32>> = Vec::with_capacity(n);
+    for text in &texts {
+        let mut rows = bundle.encode_batch(std::slice::from_ref(text))?;
+        sequential.push(rows.swap_remove(0));
+    }
+    let sequential_ns = now_ns().saturating_sub(t0).max(1);
+
+    // Batched runtime: the same requests from concurrent client threads.
+    let (batched_ns, batched, stats) =
+        run_batched(&bundle, &texts, cfg.session.clone(), cfg.client_threads)?;
 
     let bit_identical = sequential.len() == batched.len()
         && sequential.iter().zip(&batched).all(|(a, b)| {
@@ -152,7 +180,7 @@ pub fn run_bench(bundle: TeleBert, cfg: &BenchConfig) -> Result<BenchReport, Ser
     Ok(BenchReport {
         requests: n as u64,
         unique_sentences: cfg.unique.min(n) as u64,
-        client_threads: threads as u64,
+        client_threads: cfg.client_threads.max(1).min(n) as u64,
         sequential_ns,
         batched_ns,
         speedup: sequential_ns as f64 / batched_ns as f64,
@@ -161,7 +189,76 @@ pub fn run_bench(bundle: TeleBert, cfg: &BenchConfig) -> Result<BenchReport, Ser
         bit_identical,
         cache_hit_rate: stats.cache_hit_rate,
         mean_batch_size: stats.mean_batch_size,
+        latency_window: stats.latency_window.clone(),
         stats,
+    })
+}
+
+/// The instrumented-vs-uninstrumented comparison, written to
+/// `results/bench_telemetry_overhead.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Requests per run.
+    pub requests: u64,
+    /// Interleaved measurement rounds (best-of to reject scheduler noise).
+    pub rounds: u64,
+    /// Best batched wall-clock with per-request tracing ON, ns.
+    pub instrumented_ns: u64,
+    /// Best batched wall-clock with per-request tracing OFF, ns.
+    pub uninstrumented_ns: u64,
+    /// Requests per second with tracing on.
+    pub instrumented_rps: f64,
+    /// Requests per second with tracing off.
+    pub uninstrumented_rps: f64,
+    /// Fractional slowdown from tracing: `(on - off) / off` (negative =
+    /// within noise, instrumented run happened to be faster).
+    pub overhead_frac: f64,
+    /// The acceptance budget for `overhead_frac`.
+    pub threshold: f64,
+    /// Whether `overhead_frac <= threshold`.
+    pub within_budget: bool,
+}
+
+/// Measures the throughput cost of per-request tracing: the same batched
+/// workload, alternating tracing on/off for `rounds` rounds on fresh
+/// sessions, best wall-clock per side.
+pub fn run_overhead_bench(
+    bundle: TeleBert,
+    cfg: &BenchConfig,
+    rounds: usize,
+) -> Result<OverheadReport, ServeError> {
+    let bundle = Arc::new(bundle);
+    let texts = workload(cfg.requests, cfg.unique);
+    let n = texts.len();
+    let rounds = rounds.max(1);
+    let on_cfg = SessionConfig {
+        telemetry: TelemetryConfig { tracing: true, ..cfg.session.telemetry.clone() },
+        ..cfg.session.clone()
+    };
+    let off_cfg = SessionConfig {
+        telemetry: TelemetryConfig { tracing: false, ..cfg.session.telemetry.clone() },
+        ..cfg.session.clone()
+    };
+    let mut best_on = u64::MAX;
+    let mut best_off = u64::MAX;
+    for _ in 0..rounds {
+        let (on_ns, _, _) = run_batched(&bundle, &texts, on_cfg.clone(), cfg.client_threads)?;
+        let (off_ns, _, _) = run_batched(&bundle, &texts, off_cfg.clone(), cfg.client_threads)?;
+        best_on = best_on.min(on_ns);
+        best_off = best_off.min(off_ns);
+    }
+    let threshold = 0.05;
+    let overhead_frac = (best_on as f64 - best_off as f64) / best_off as f64;
+    Ok(OverheadReport {
+        requests: n as u64,
+        rounds: rounds as u64,
+        instrumented_ns: best_on,
+        uninstrumented_ns: best_off,
+        instrumented_rps: n as f64 / (best_on as f64 / 1e9),
+        uninstrumented_rps: n as f64 / (best_off as f64 / 1e9),
+        overhead_frac,
+        threshold,
+        within_budget: overhead_frac <= threshold,
     })
 }
 
@@ -185,7 +282,12 @@ mod tests {
             requests: 24,
             unique: 8,
             client_threads: 4,
-            session: SessionConfig { max_batch: 8, max_wait_us: 200, cache_capacity: 64 },
+            session: SessionConfig {
+                max_batch: 8,
+                max_wait_us: 200,
+                cache_capacity: 64,
+                ..Default::default()
+            },
         };
         let report = run_bench(tiny_bundle(20), &cfg).expect("bench");
         assert_eq!(report.requests, 24);
@@ -193,8 +295,38 @@ mod tests {
         assert!(report.cache_hit_rate > 0.0, "repeated texts must hit the cache: {report:?}");
         assert_eq!(report.stats.requests, 24);
         assert!(report.speedup > 0.0);
+        assert_eq!(
+            report.latency_window.request_latency.count, 24,
+            "windowed quantiles must cover the whole fresh run: {:?}",
+            report.latency_window
+        );
+        assert!(report.latency_window.queue_us.count > 0, "{:?}", report.latency_window);
         let json = serde_json::to_string(&report).expect("serialize");
         let back: BenchReport = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back.requests, report.requests);
+        assert_eq!(back.latency_window.window_secs, report.latency_window.window_secs);
+    }
+
+    #[test]
+    fn overhead_bench_compares_tracing_on_and_off() {
+        let cfg = BenchConfig {
+            requests: 16,
+            unique: 8,
+            client_threads: 4,
+            session: SessionConfig {
+                max_batch: 8,
+                max_wait_us: 200,
+                cache_capacity: 64,
+                ..Default::default()
+            },
+        };
+        let report = run_overhead_bench(tiny_bundle(21), &cfg, 2).expect("overhead bench");
+        assert_eq!(report.requests, 16);
+        assert_eq!(report.rounds, 2);
+        assert!(report.instrumented_ns > 0 && report.uninstrumented_ns > 0);
+        assert!((report.threshold - 0.05).abs() < 1e-12);
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: OverheadReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.rounds, report.rounds);
     }
 }

@@ -73,7 +73,7 @@ mod tests {
             (ServeError::Encode(EncodeError::EmptyBatch), "encode failed"),
             (ServeError::Checkpoint(CheckpointError::BadMagic), "checkpoint failed"),
             (
-                ServeError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+                ServeError::Io(std::io::Error::other("x")),
                 "transport failed",
             ),
             (ServeError::Protocol("bad line".into()), "protocol violation"),

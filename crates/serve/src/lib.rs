@@ -21,10 +21,17 @@
 //!   `std::net`, a hand-rolled worker pool, cross-connection batching, and
 //!   a matching blocking [`ServeClient`];
 //! * [`bench`] — `tele serve-bench`'s load generator comparing the batched
-//!   runtime against the sequential baseline with a bit-identity check;
-//! * [`metrics`] — serving metrics that publish into the `tele-trace`
-//!   registry (`serve.*` histograms and counters);
+//!   runtime against the sequential baseline with a bit-identity check,
+//!   plus the tracing-on/off overhead comparison;
+//! * [`metrics`] — the telemetry plane: cumulative **and** sliding-window
+//!   `serve.*` histograms, per-phase request decomposition
+//!   (queue/assemble/forward/write), live gauges, the `metrics` wire
+//!   snapshot, and Prometheus export;
 //! * [`error`] — [`ServeError`], the typed failure surface.
+//!
+//! Every request carries an id from accept to reply; a bounded flight
+//! recorder (see `tele_trace::recorder`) keeps recent annotations and dumps
+//! them atomically on typed errors when a flight directory is configured.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -37,10 +44,15 @@ pub mod protocol;
 pub mod server;
 pub mod session;
 
-pub use bench::{run_bench, workload, BenchConfig, BenchReport};
+pub use bench::{
+    run_bench, run_overhead_bench, workload, BenchConfig, BenchReport, OverheadReport,
+};
 pub use cache::{normalize_key, LruCache};
 pub use error::ServeError;
-pub use metrics::{LatencySummary, ServeMetrics, ServeStats};
+pub use metrics::{
+    LatencySummary, MetricsSnapshot, PhaseStats, ServeMetrics, ServeStats, TelemetryConfig,
+    WindowStats,
+};
 pub use protocol::{Request, Response};
 pub use server::{serve, ServeClient, ServeHandle, ServerConfig};
 pub use session::{InferenceSession, SessionConfig};

@@ -1,5 +1,5 @@
 //! Serving metrics: latency histograms, throughput counters, cache and
-//! batch-shape statistics.
+//! batch-shape statistics — cumulative **and** sliding-window.
 //!
 //! The trace crate's registry is thread-local by design, but serving spans
 //! many threads (request threads, the batcher, TCP workers). The runtime
@@ -8,12 +8,86 @@
 //! [`ServeMetrics::publish`] (backed by `tele_trace::metrics::histogram_merge`).
 //! Timing uses `tele_trace::now_ns()` — the workspace's single monotonic
 //! clock — so serve latencies line up with trace spans on a shared timeline.
+//!
+//! Every tracked latency is recorded twice: into a cumulative
+//! [`Histogram`] (whole-process summaries, unchanged from PR 6) and into a
+//! [`WindowedHistogram`] ring covering the last
+//! [`TelemetryConfig::window_secs`] seconds. The windowed view is what makes
+//! tails visible: a cumulative histogram over a bursty run collapses
+//! p50≈p99 (every sample lands in one log bucket), while the window isolates
+//! the current regime. Request latency further decomposes into phases —
+//! queue wait, batch assembly, forward pass, reply write — so a bad tail is
+//! attributable, not just observable.
+
+use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 use tele_trace::metrics::Histogram;
+use tele_trace::window::WindowedHistogram;
+
+/// Telemetry knobs for the serving runtime.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Per-request phase tracing and flight-recorder notes. Off leaves only
+    /// the cumulative counters/histograms (the overhead-bench baseline).
+    pub tracing: bool,
+    /// Span of the sliding latency window, seconds.
+    pub window_secs: u64,
+    /// Number of ring buckets the window is split into.
+    pub window_buckets: usize,
+    /// Flight-recorder ring capacity in notes.
+    pub flight_capacity: usize,
+    /// Directory for flight-recorder dumps on typed errors; `None` disables
+    /// dumping (notes are still collected).
+    pub flight_dir: Option<PathBuf>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            tracing: true,
+            window_secs: 60,
+            window_buckets: 12,
+            flight_capacity: 256,
+            flight_dir: None,
+        }
+    }
+}
+
+/// One latency series tracked two ways: a cumulative histogram and a
+/// sliding-window ring over the same samples.
+#[derive(Debug)]
+pub struct PhaseTrack {
+    cum: Histogram,
+    win: WindowedHistogram,
+}
+
+impl PhaseTrack {
+    fn new(cfg: &TelemetryConfig) -> PhaseTrack {
+        PhaseTrack {
+            cum: Histogram::default(),
+            win: WindowedHistogram::new(cfg.window_secs, cfg.window_buckets),
+        }
+    }
+
+    /// Records one sample observed at `now_ns`.
+    pub fn record(&mut self, now_ns: u64, v: u64) {
+        self.cum.record(v);
+        self.win.record(now_ns, v);
+    }
+
+    /// The cumulative (whole-process) histogram.
+    pub fn cumulative(&self) -> &Histogram {
+        &self.cum
+    }
+
+    /// The samples still inside the window ending at `now_ns`.
+    pub fn window(&self, now_ns: u64) -> Histogram {
+        self.win.merged(now_ns)
+    }
+}
 
 /// Aggregated serving metrics, accumulated across worker threads.
-#[derive(Default)]
 pub struct ServeMetrics {
     /// Enqueue-to-completion latency of each request, ns.
     pub request_latency_ns: Histogram,
@@ -34,6 +108,26 @@ pub struct ServeMetrics {
     /// Unique sentences actually pushed through the model (after in-batch
     /// dedup), i.e. forward-pass rows.
     pub encoded_sentences: u64,
+    /// Flight-recorder dumps written.
+    pub flight_dumps: u64,
+    window_secs: u64,
+    start_ns: u64,
+    request_window: WindowedHistogram,
+    batch_window: WindowedHistogram,
+    /// Queue wait per request (enqueue → batch drain), µs.
+    queue_us: PhaseTrack,
+    /// Batch assembly per micro-batch (cache lookups + dedup), µs.
+    assemble_us: PhaseTrack,
+    /// Forward pass per micro-batch, µs.
+    forward_us: PhaseTrack,
+    /// Reply serialization + socket write per response, µs.
+    write_us: PhaseTrack,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new(&TelemetryConfig::default())
+    }
 }
 
 /// Quantile summary of one latency histogram, in microseconds.
@@ -49,10 +143,13 @@ pub struct LatencySummary {
     pub p90_us: f64,
     /// 99th percentile estimate, µs.
     pub p99_us: f64,
-    /// Largest sample, µs.
+    /// 99.9th percentile estimate, µs.
+    pub p999_us: f64,
+    /// Largest sample (exact, not estimated), µs.
     pub max_us: f64,
 }
 
+/// Summarises a histogram of nanosecond samples in microseconds.
 fn latency_summary(h: &Histogram) -> LatencySummary {
     let s = h.summary();
     LatencySummary {
@@ -61,8 +158,56 @@ fn latency_summary(h: &Histogram) -> LatencySummary {
         p50_us: s.p50 / 1_000.0,
         p90_us: s.p90 / 1_000.0,
         p99_us: s.p99 / 1_000.0,
+        p999_us: s.p999 / 1_000.0,
         max_us: s.max as f64 / 1_000.0,
     }
+}
+
+/// Summarises a histogram whose samples are already microseconds.
+fn us_summary(h: &Histogram) -> LatencySummary {
+    let s = h.summary();
+    LatencySummary {
+        count: s.count,
+        mean_us: s.mean,
+        p50_us: s.p50,
+        p90_us: s.p90,
+        p99_us: s.p99,
+        p999_us: s.p999,
+        max_us: s.max as f64,
+    }
+}
+
+/// Cumulative per-phase latency summaries (µs).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Queue wait: enqueue → batch drain.
+    pub queue_us: LatencySummary,
+    /// Batch assembly: cache lookups + in-batch dedup.
+    pub assemble_us: LatencySummary,
+    /// Forward pass through the model.
+    pub forward_us: LatencySummary,
+    /// Reply serialization + socket write.
+    pub write_us: LatencySummary,
+}
+
+/// Sliding-window latency summaries: the last `window_secs` seconds only,
+/// with true max — this is where the deadline-batching tail is visible.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Span of the window, seconds.
+    pub window_secs: u64,
+    /// End-to-end request latency inside the window.
+    pub request_latency: LatencySummary,
+    /// Micro-batch forward latency inside the window.
+    pub batch_latency: LatencySummary,
+    /// Queue-wait phase inside the window.
+    pub queue_us: LatencySummary,
+    /// Assembly phase inside the window.
+    pub assemble_us: LatencySummary,
+    /// Forward phase inside the window.
+    pub forward_us: LatencySummary,
+    /// Write phase inside the window.
+    pub write_us: LatencySummary,
 }
 
 /// Point-in-time serving statistics, serializable for the `stats` protocol
@@ -83,39 +228,128 @@ pub struct ServeStats {
     pub cache_hit_rate: f64,
     /// Forward-pass rows after in-batch dedup.
     pub encoded_sentences: u64,
+    /// Flight-recorder dumps written so far.
+    pub flight_dumps: u64,
     /// Mean executed batch size (0 before any batch).
     pub mean_batch_size: f64,
     /// Largest executed batch.
     pub max_batch_size: u64,
-    /// Request latency summary (enqueue to completion).
+    /// Request latency summary (enqueue to completion), whole process.
     pub request_latency: LatencySummary,
-    /// Micro-batch forward latency summary.
+    /// Micro-batch forward latency summary, whole process.
     pub batch_latency: LatencySummary,
+    /// Cumulative per-phase decomposition of request latency.
+    pub phases: PhaseStats,
+    /// Sliding-window view of everything above.
+    pub latency_window: WindowStats,
+}
+
+/// Live snapshot answered by the `metrics` wire op: current gauges plus the
+/// full [`ServeStats`] (cumulative + windowed).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic timestamp the snapshot was taken at.
+    pub now_ns: u64,
+    /// Span of the sliding window, seconds.
+    pub window_secs: u64,
+    /// Completed requests per second over the window.
+    pub rps_window: f64,
+    /// Requests queued but not yet drained into a batch.
+    pub queue_depth: u64,
+    /// Requests accepted and not yet answered.
+    pub in_flight: u64,
+    /// Full serving statistics.
+    pub stats: ServeStats,
 }
 
 impl ServeMetrics {
-    /// Records one completed request with its end-to-end latency.
-    pub fn record_request(&mut self, latency_ns: u64, ok: bool) {
+    /// Creates metrics with windows sized by `cfg`.
+    pub fn new(cfg: &TelemetryConfig) -> ServeMetrics {
+        ServeMetrics {
+            request_latency_ns: Histogram::default(),
+            batch_latency_ns: Histogram::default(),
+            batch_size: Histogram::default(),
+            requests: 0,
+            errors: 0,
+            batches: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            encoded_sentences: 0,
+            flight_dumps: 0,
+            window_secs: cfg.window_secs.max(1),
+            start_ns: tele_trace::now_ns(),
+            request_window: WindowedHistogram::new(cfg.window_secs, cfg.window_buckets),
+            batch_window: WindowedHistogram::new(cfg.window_secs, cfg.window_buckets),
+            queue_us: PhaseTrack::new(cfg),
+            assemble_us: PhaseTrack::new(cfg),
+            forward_us: PhaseTrack::new(cfg),
+            write_us: PhaseTrack::new(cfg),
+        }
+    }
+
+    /// Records one completed request with its end-to-end latency, observed
+    /// at `now_ns`.
+    pub fn record_request(&mut self, now_ns: u64, latency_ns: u64, ok: bool) {
         self.requests += 1;
         if !ok {
             self.errors += 1;
         }
         self.request_latency_ns.record(latency_ns);
+        self.request_window.record(now_ns, latency_ns);
     }
 
     /// Records one executed micro-batch: its request count, cache hit/miss
     /// split, unique forward rows, and forward latency.
-    pub fn record_batch(&mut self, size: u64, hits: u64, misses: u64, unique: u64, ns: u64) {
+    pub fn record_batch(
+        &mut self,
+        now_ns: u64,
+        size: u64,
+        hits: u64,
+        misses: u64,
+        unique: u64,
+        ns: u64,
+    ) {
         self.batches += 1;
         self.batch_size.record(size);
         self.cache_hits += hits;
         self.cache_misses += misses;
         self.encoded_sentences += unique;
         self.batch_latency_ns.record(ns);
+        self.batch_window.record(now_ns, ns);
     }
 
-    /// Summarises the current aggregates.
-    pub fn stats(&self) -> ServeStats {
+    /// Records one request's queue wait (enqueue → batch drain), µs.
+    pub fn record_queue_us(&mut self, now_ns: u64, us: u64) {
+        self.queue_us.record(now_ns, us);
+    }
+
+    /// Records one micro-batch's assembly time (cache + dedup), µs.
+    pub fn record_assemble_us(&mut self, now_ns: u64, us: u64) {
+        self.assemble_us.record(now_ns, us);
+    }
+
+    /// Records one micro-batch's forward-pass time, µs.
+    pub fn record_forward_us(&mut self, now_ns: u64, us: u64) {
+        self.forward_us.record(now_ns, us);
+    }
+
+    /// Records one response's serialization + socket-write time, µs.
+    pub fn record_write_us(&mut self, now_ns: u64, us: u64) {
+        self.write_us.record(now_ns, us);
+    }
+
+    /// Completed requests per second over the window ending at `now_ns`
+    /// (scaled by actual elapsed time while the process is younger than one
+    /// window).
+    pub fn rps_window(&self, now_ns: u64) -> f64 {
+        let in_window = self.request_window.merged(now_ns).count();
+        let elapsed = (now_ns.saturating_sub(self.start_ns)) as f64 / 1e9;
+        let span = elapsed.clamp(1e-9, self.window_secs as f64);
+        in_window as f64 / span
+    }
+
+    /// Summarises the current aggregates as of `now_ns`.
+    pub fn stats_at(&self, now_ns: u64) -> ServeStats {
         let looked_up = self.cache_hits + self.cache_misses;
         ServeStats {
             requests: self.requests,
@@ -129,11 +363,80 @@ impl ServeMetrics {
                 self.cache_hits as f64 / looked_up as f64
             },
             encoded_sentences: self.encoded_sentences,
+            flight_dumps: self.flight_dumps,
             mean_batch_size: self.batch_size.mean(),
             max_batch_size: self.batch_size.max(),
             request_latency: latency_summary(&self.request_latency_ns),
             batch_latency: latency_summary(&self.batch_latency_ns),
+            phases: PhaseStats {
+                queue_us: us_summary(self.queue_us.cumulative()),
+                assemble_us: us_summary(self.assemble_us.cumulative()),
+                forward_us: us_summary(self.forward_us.cumulative()),
+                write_us: us_summary(self.write_us.cumulative()),
+            },
+            latency_window: WindowStats {
+                window_secs: self.window_secs,
+                request_latency: latency_summary(&self.request_window.merged(now_ns)),
+                batch_latency: latency_summary(&self.batch_window.merged(now_ns)),
+                queue_us: us_summary(&self.queue_us.window(now_ns)),
+                assemble_us: us_summary(&self.assemble_us.window(now_ns)),
+                forward_us: us_summary(&self.forward_us.window(now_ns)),
+                write_us: us_summary(&self.write_us.window(now_ns)),
+            },
         }
+    }
+
+    /// Summarises the current aggregates "now".
+    pub fn stats(&self) -> ServeStats {
+        self.stats_at(tele_trace::now_ns())
+    }
+
+    /// Builds a trace-registry-shaped snapshot (counters, gauges, histogram
+    /// summaries) suitable for `tele_trace::export::prometheus_text`, with
+    /// the caller-supplied live gauges folded in. Names are the same
+    /// `serve.*` keys [`publish`](Self::publish) uses, plus `.window`
+    /// variants for the sliding-window series.
+    pub fn registry_snapshot(
+        &self,
+        now_ns: u64,
+        queue_depth: u64,
+        in_flight: u64,
+    ) -> tele_trace::metrics::MetricsSnapshot {
+        let counters = vec![
+            ("serve.batches".to_string(), self.batches),
+            ("serve.cache_hits".to_string(), self.cache_hits),
+            ("serve.cache_misses".to_string(), self.cache_misses),
+            ("serve.encoded_sentences".to_string(), self.encoded_sentences),
+            ("serve.errors".to_string(), self.errors),
+            ("serve.flight_dumps".to_string(), self.flight_dumps),
+            ("serve.requests".to_string(), self.requests),
+        ];
+        let looked_up = self.cache_hits + self.cache_misses;
+        let hit_rate = if looked_up == 0 { 0.0 } else { self.cache_hits as f64 / looked_up as f64 };
+        let gauges = vec![
+            ("serve.cache_hit_rate".to_string(), hit_rate),
+            ("serve.in_flight".to_string(), in_flight as f64),
+            ("serve.queue_depth".to_string(), queue_depth as f64),
+            ("serve.rps_window".to_string(), self.rps_window(now_ns)),
+        ];
+        let histograms = vec![
+            ("serve.assemble_us".to_string(), self.assemble_us.cumulative().summary()),
+            ("serve.assemble_us.window".to_string(), self.assemble_us.window(now_ns).summary()),
+            ("serve.batch_latency_ns".to_string(), self.batch_latency_ns.summary()),
+            ("serve.batch_size".to_string(), self.batch_size.summary()),
+            ("serve.forward_us".to_string(), self.forward_us.cumulative().summary()),
+            ("serve.forward_us.window".to_string(), self.forward_us.window(now_ns).summary()),
+            ("serve.queue_us".to_string(), self.queue_us.cumulative().summary()),
+            ("serve.queue_us.window".to_string(), self.queue_us.window(now_ns).summary()),
+            ("serve.request_latency_ns".to_string(), self.request_latency_ns.summary()),
+            (
+                "serve.request_latency_ns.window".to_string(),
+                self.request_window.merged(now_ns).summary(),
+            ),
+            ("serve.write_us".to_string(), self.write_us.cumulative().summary()),
+            ("serve.write_us.window".to_string(), self.write_us.window(now_ns).summary()),
+        ];
+        tele_trace::metrics::MetricsSnapshot { counters, gauges, histograms }
     }
 
     /// Publishes the aggregates into the *calling thread's* trace registry
@@ -145,12 +448,17 @@ impl ServeMetrics {
         m::histogram_merge("serve.request_latency_ns", &self.request_latency_ns);
         m::histogram_merge("serve.batch_latency_ns", &self.batch_latency_ns);
         m::histogram_merge("serve.batch_size", &self.batch_size);
+        m::histogram_merge("serve.queue_us", self.queue_us.cumulative());
+        m::histogram_merge("serve.assemble_us", self.assemble_us.cumulative());
+        m::histogram_merge("serve.forward_us", self.forward_us.cumulative());
+        m::histogram_merge("serve.write_us", self.write_us.cumulative());
         m::counter_add("serve.requests", self.requests);
         m::counter_add("serve.errors", self.errors);
         m::counter_add("serve.batches", self.batches);
         m::counter_add("serve.cache_hits", self.cache_hits);
         m::counter_add("serve.cache_misses", self.cache_misses);
         m::counter_add("serve.encoded_sentences", self.encoded_sentences);
+        m::counter_add("serve.flight_dumps", self.flight_dumps);
         m::gauge_set("serve.cache_hit_rate", self.stats().cache_hit_rate);
     }
 }
@@ -159,13 +467,18 @@ impl ServeMetrics {
 mod tests {
     use super::*;
 
+    fn at(secs: u64) -> u64 {
+        secs * 1_000_000_000
+    }
+
     #[test]
     fn stats_aggregate_batches_and_requests() {
         let mut m = ServeMetrics::default();
-        m.record_batch(4, 1, 3, 3, 2_000_000);
-        m.record_batch(2, 2, 0, 0, 1_000_000);
-        m.record_request(3_000_000, true);
-        m.record_request(5_000_000, false);
+        let now = tele_trace::now_ns();
+        m.record_batch(now, 4, 1, 3, 3, 2_000_000);
+        m.record_batch(now, 2, 2, 0, 0, 1_000_000);
+        m.record_request(now, 3_000_000, true);
+        m.record_request(now, 5_000_000, false);
         let s = m.stats();
         assert_eq!(s.requests, 2);
         assert_eq!(s.errors, 1);
@@ -188,25 +501,90 @@ mod tests {
     }
 
     #[test]
+    fn window_stats_expire_but_cumulative_do_not() {
+        let cfg = TelemetryConfig { window_secs: 10, window_buckets: 10, ..Default::default() };
+        let mut m = ServeMetrics::new(&cfg);
+        m.record_request(at(1), 8_000_000, true);
+        m.record_queue_us(at(1), 9_000);
+        // Far beyond the window: cumulative keeps the sample, the window
+        // must be empty.
+        let s = m.stats_at(at(100));
+        assert_eq!(s.request_latency.count, 1);
+        assert_eq!(s.phases.queue_us.count, 1);
+        assert_eq!(s.latency_window.request_latency.count, 0);
+        assert_eq!(s.latency_window.queue_us.count, 0);
+        assert_eq!(s.latency_window.window_secs, 10);
+    }
+
+    #[test]
+    fn phase_summaries_are_in_microseconds() {
+        let mut m = ServeMetrics::default();
+        let now = tele_trace::now_ns();
+        m.record_forward_us(now, 1_000);
+        let s = m.stats_at(now);
+        assert_eq!(s.phases.forward_us.count, 1);
+        assert!((s.phases.forward_us.max_us - 1_000.0).abs() < 1e-9);
+        assert_eq!(s.latency_window.forward_us.count, 1);
+    }
+
+    #[test]
+    fn rps_window_scales_by_elapsed_when_young() {
+        let cfg = TelemetryConfig { window_secs: 60, ..Default::default() };
+        let mut m = ServeMetrics::new(&cfg);
+        let t0 = m.start_ns;
+        for _ in 0..10 {
+            m.record_request(t0 + at(1), 1_000, true);
+        }
+        // 10 requests in ~2s of process life: rps ≈ 5, not 10/60.
+        let rps = m.rps_window(t0 + at(2));
+        assert!((rps - 5.0).abs() < 0.1, "rps {rps}");
+    }
+
+    #[test]
     fn publish_merges_into_the_trace_registry() {
         tele_trace::enable();
         tele_trace::reset();
         let mut m = ServeMetrics::default();
-        m.record_batch(8, 0, 8, 8, 4_000_000);
-        m.record_request(5_000_000, true);
+        let now = tele_trace::now_ns();
+        m.record_batch(now, 8, 0, 8, 8, 4_000_000);
+        m.record_request(now, 5_000_000, true);
+        m.record_queue_us(now, 120);
         m.publish();
         let snap = tele_trace::metrics::snapshot();
         assert!(snap.counters.iter().any(|(k, v)| k == "serve.requests" && *v == 1));
         assert!(snap.histograms.iter().any(|(k, h)| k == "serve.batch_size" && h.count == 1));
+        assert!(snap.histograms.iter().any(|(k, h)| k == "serve.queue_us" && h.count == 1));
         tele_trace::reset();
         tele_trace::disable();
     }
 
     #[test]
+    fn registry_snapshot_renders_as_prometheus() {
+        let mut m = ServeMetrics::default();
+        let now = tele_trace::now_ns();
+        m.record_request(now, 2_000_000, true);
+        m.record_queue_us(now, 55);
+        let snap = m.registry_snapshot(now, 3, 7);
+        let text = tele_trace::export::prometheus_text(&snap);
+        assert!(text.contains("serve_requests 1"), "{text}");
+        assert!(text.contains("serve_queue_depth 3"), "{text}");
+        assert!(text.contains("serve_queue_us{quantile=\"0.999\"}"), "{text}");
+        // Every metric family is typed exactly once.
+        let mut families: Vec<&str> =
+            text.lines().filter_map(|l| l.strip_prefix("# TYPE ")).collect();
+        let before = families.len();
+        families.sort_unstable();
+        families.dedup();
+        assert_eq!(before, families.len(), "duplicate metric family in:\n{text}");
+    }
+
+    #[test]
     fn stats_roundtrip_through_json() {
         let mut m = ServeMetrics::default();
-        m.record_batch(4, 1, 3, 3, 2_000_000);
-        m.record_request(3_000_000, true);
+        let now = tele_trace::now_ns();
+        m.record_batch(now, 4, 1, 3, 3, 2_000_000);
+        m.record_request(now, 3_000_000, true);
+        m.record_write_us(now, 42);
         let s = m.stats();
         let json = serde_json::to_string(&s).expect("serialize");
         let back: ServeStats = serde_json::from_str(&json).expect("deserialize");
@@ -214,5 +592,7 @@ mod tests {
         assert_eq!(back.cache_hits, s.cache_hits);
         assert!((back.cache_hit_rate - s.cache_hit_rate).abs() < 1e-12);
         assert_eq!(back.request_latency.count, s.request_latency.count);
+        assert_eq!(back.phases.write_us.count, 1);
+        assert_eq!(back.latency_window.window_secs, s.latency_window.window_secs);
     }
 }

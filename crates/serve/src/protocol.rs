@@ -2,34 +2,57 @@
 //!
 //! Each request is one JSON object on one line; each response is one JSON
 //! object on one line. Operations: `encode` (texts → embeddings), `stats`,
-//! `ping`, and `shutdown`. Errors travel as a machine-readable `code` plus a
+//! `metrics` (live telemetry snapshot, JSON or Prometheus text), `ping`, and
+//! `shutdown`. Errors travel as a machine-readable `code` plus a
 //! human-readable `error` message, so clients can reconstruct a typed
 //! [`ServeError`] without parsing prose.
+//!
+//! Every response echoes a `request_id`: the client's `id` field when given,
+//! otherwise one drawn from the server's counter — the same id the flight
+//! recorder and phase histograms are tagged with, so a slow or failed wire
+//! response is joinable against server-side telemetry.
 
 use ktelebert::EncodeError;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
-use crate::metrics::ServeStats;
+use crate::metrics::{MetricsSnapshot, ServeStats};
 
 /// A client request line.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Request {
-    /// Operation: `"encode"`, `"stats"`, `"ping"`, or `"shutdown"`.
+    /// Operation: `"encode"`, `"stats"`, `"metrics"`, `"ping"`, or
+    /// `"shutdown"`.
     pub op: String,
     /// Sentences to encode (required for `encode`, absent otherwise).
     pub texts: Option<Vec<String>>,
+    /// Client-chosen request id; the server assigns one when absent.
+    pub id: Option<u64>,
+    /// Output format for `metrics`: absent/`"json"` for a structured
+    /// snapshot, `"prometheus"` for text exposition.
+    pub format: Option<String>,
 }
 
 impl Request {
     /// An `encode` request.
     pub fn encode(texts: Vec<String>) -> Self {
-        Request { op: "encode".into(), texts: Some(texts) }
+        Request { op: "encode".into(), texts: Some(texts), id: None, format: None }
     }
 
-    /// A bare request with no payload (`stats` / `ping` / `shutdown`).
+    /// An `encode` request under a client-chosen id.
+    pub fn encode_with_id(texts: Vec<String>, id: u64) -> Self {
+        Request { op: "encode".into(), texts: Some(texts), id: Some(id), format: None }
+    }
+
+    /// A bare request with no payload (`stats` / `metrics` / `ping` /
+    /// `shutdown`).
     pub fn bare(op: &str) -> Self {
-        Request { op: op.into(), texts: None }
+        Request { op: op.into(), texts: None, id: None, format: None }
+    }
+
+    /// A `metrics` request asking for the Prometheus text exposition.
+    pub fn metrics_prometheus() -> Self {
+        Request { op: "metrics".into(), texts: None, id: None, format: Some("prometheus".into()) }
     }
 }
 
@@ -42,6 +65,12 @@ pub struct Response {
     pub embeddings: Option<Vec<Vec<f32>>>,
     /// Serving statistics (`stats` only).
     pub stats: Option<ServeStats>,
+    /// Live telemetry snapshot (`metrics` only, JSON format).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Prometheus text exposition (`metrics` only, `format: "prometheus"`).
+    pub prometheus: Option<String>,
+    /// Id the server processed this request under (echoed or assigned).
+    pub request_id: Option<u64>,
     /// Machine-readable error code (set when `ok` is false).
     pub code: Option<String>,
     /// Human-readable error message (set when `ok` is false).
@@ -51,27 +80,51 @@ pub struct Response {
 impl Response {
     /// A bare success response.
     pub fn ack() -> Self {
-        Response { ok: true, embeddings: None, stats: None, code: None, error: None }
+        Response {
+            ok: true,
+            embeddings: None,
+            stats: None,
+            metrics: None,
+            prometheus: None,
+            request_id: None,
+            code: None,
+            error: None,
+        }
     }
 
     /// A successful `encode` response.
     pub fn embeddings(embs: Vec<Vec<f32>>) -> Self {
-        Response { ok: true, embeddings: Some(embs), stats: None, code: None, error: None }
+        Response { embeddings: Some(embs), ..Response::ack() }
     }
 
     /// A successful `stats` response.
     pub fn stats(stats: ServeStats) -> Self {
-        Response { ok: true, embeddings: None, stats: Some(stats), code: None, error: None }
+        Response { stats: Some(stats), ..Response::ack() }
+    }
+
+    /// A successful `metrics` response (JSON snapshot).
+    pub fn metrics(snapshot: MetricsSnapshot) -> Self {
+        Response { metrics: Some(snapshot), ..Response::ack() }
+    }
+
+    /// A successful `metrics` response (Prometheus text).
+    pub fn prometheus(text: String) -> Self {
+        Response { prometheus: Some(text), ..Response::ack() }
+    }
+
+    /// Tags the response with the id it was processed under.
+    pub fn with_request_id(mut self, id: u64) -> Self {
+        self.request_id = Some(id);
+        self
     }
 
     /// An error response carrying the typed error's code and message.
     pub fn failure(err: &ServeError) -> Self {
         Response {
             ok: false,
-            embeddings: None,
-            stats: None,
             code: Some(error_code(err).into()),
             error: Some(err.to_string()),
+            ..Response::ack()
         }
     }
 
@@ -148,5 +201,36 @@ mod tests {
         assert!(matches!(back.to_error(), Some(ServeError::Encode(EncodeError::EmptyBatch))));
 
         assert!(Response::ack().to_error().is_none());
+    }
+
+    #[test]
+    fn request_id_rides_both_directions() {
+        let req = Request::encode_with_id(vec!["x".into()], 42);
+        let json = serde_json::to_string(&req).expect("serialize");
+        let back: Request = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.id, Some(42));
+
+        let resp = Response::ack().with_request_id(42);
+        let json = serde_json::to_string(&resp).expect("serialize");
+        let back: Response = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.request_id, Some(42));
+    }
+
+    #[test]
+    fn old_style_requests_still_parse() {
+        // Pre-telemetry clients send neither `id` nor `format`.
+        let back: Request =
+            serde_json::from_str(r#"{"op":"encode","texts":["a"]}"#).expect("deserialize");
+        assert!(back.id.is_none() && back.format.is_none());
+    }
+
+    #[test]
+    fn metrics_response_roundtrips() {
+        let snap = MetricsSnapshot { rps_window: 3.5, queue_depth: 2, ..Default::default() };
+        let json = serde_json::to_string(&Response::metrics(snap)).expect("serialize");
+        let back: Response = serde_json::from_str(&json).expect("deserialize");
+        let m = back.metrics.expect("metrics");
+        assert_eq!(m.queue_depth, 2);
+        assert!((m.rps_window - 3.5).abs() < 1e-12);
     }
 }

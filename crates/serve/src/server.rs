@@ -17,10 +17,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ktelebert::TeleBert;
+use tele_trace::now_ns;
 
 use crate::error::ServeError;
 use crate::metrics::ServeStats;
-use crate::protocol::{Request, Response};
+use crate::protocol::{error_code, Request, Response};
 use crate::session::{InferenceSession, SessionConfig};
 
 /// How long a worker blocks on a socket read before re-checking shutdown.
@@ -97,12 +98,24 @@ pub fn serve(bundle: TeleBert, cfg: &ServerConfig) -> Result<ServeHandle, ServeE
     let accept = {
         let control = Arc::clone(&control);
         let queue = Arc::clone(&queue);
+        let session = Arc::clone(&session);
         std::thread::spawn(move || {
+            let mut conn_seq = 0u64;
             for stream in listener.incoming() {
                 if control.is_stopping() {
                     break;
                 }
                 if let Ok(stream) = stream {
+                    conn_seq += 1;
+                    let peer = stream
+                        .peer_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "unknown".into());
+                    session.flight_note(
+                        "conn.accept",
+                        None,
+                        format!("conn={conn_seq} peer={peer}"),
+                    );
                     let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
                     conns.push_back(stream);
                     drop(conns);
@@ -228,6 +241,7 @@ fn serve_connection(control: &Control, session: &InferenceSession, stream: TcpSt
             continue;
         }
         let (response, stop_after) = handle_line(session, &line);
+        let write_start = now_ns();
         let mut payload = match serde_json::to_string(&response) {
             Ok(json) => json,
             Err(_) => return,
@@ -236,6 +250,7 @@ fn serve_connection(control: &Control, session: &InferenceSession, stream: TcpSt
         if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
             return;
         }
+        session.record_write_us(now_ns().saturating_sub(write_start) / 1_000);
         if stop_after {
             control.request_stop();
             return;
@@ -248,31 +263,51 @@ fn serve_connection(control: &Control, session: &InferenceSession, stream: TcpSt
 
 /// Parses and executes one request line. Returns the response and whether
 /// the server should stop after sending it.
+///
+/// Every line is processed under a request id — the client's `id` when it
+/// sent one, otherwise the next id from the session's counter — and the
+/// response echoes it, so wire traffic is joinable against flight-recorder
+/// notes and phase histograms.
 fn handle_line(session: &InferenceSession, line: &str) -> (Response, bool) {
     let request: Request = match serde_json::from_str(line.trim()) {
         Ok(r) => r,
         Err(e) => {
-            return (
-                Response::failure(&ServeError::Protocol(format!("unparseable request: {e:?}"))),
-                false,
-            )
+            let rid = session.next_request_id();
+            let err = ServeError::Protocol(format!("unparseable request: {e:?}"));
+            session.record_error(error_code(&err), Some(rid), "request line did not parse");
+            return (Response::failure(&err).with_request_id(rid), false);
         }
     };
+    let rid = request.id.unwrap_or_else(|| session.next_request_id());
+    let protocol_error = |err: ServeError| {
+        session.record_error(error_code(&err), Some(rid), &err.to_string());
+        (Response::failure(&err).with_request_id(rid), false)
+    };
     match request.op.as_str() {
-        "ping" => (Response::ack(), false),
-        "stats" => (Response::stats(session.stats()), false),
-        "shutdown" => (Response::ack(), true),
-        "encode" => match request.texts {
-            Some(texts) => match session.encode_many(&texts) {
-                Ok(embs) => (Response::embeddings(embs), false),
-                Err(e) => (Response::failure(&e), false),
-            },
-            None => (
-                Response::failure(&ServeError::Protocol("encode requires a `texts` array".into())),
-                false,
-            ),
+        "ping" => (Response::ack().with_request_id(rid), false),
+        "stats" => (Response::stats(session.stats()).with_request_id(rid), false),
+        "metrics" => match request.format.as_deref() {
+            None | Some("json") => {
+                (Response::metrics(session.metrics_snapshot()).with_request_id(rid), false)
+            }
+            Some("prometheus") => {
+                (Response::prometheus(session.prometheus_text()).with_request_id(rid), false)
+            }
+            Some(other) => protocol_error(ServeError::Protocol(format!(
+                "unknown metrics format `{other}` (expected `json` or `prometheus`)"
+            ))),
         },
-        other => (Response::failure(&ServeError::Protocol(format!("unknown op `{other}`"))), false),
+        "shutdown" => (Response::ack().with_request_id(rid), true),
+        "encode" => match request.texts {
+            Some(texts) => match session.encode_many_with_id(&texts, rid) {
+                Ok(embs) => (Response::embeddings(embs).with_request_id(rid), false),
+                // The session already noted (and possibly flight-dumped)
+                // typed encode errors under this id.
+                Err(e) => (Response::failure(&e).with_request_id(rid), false),
+            },
+            None => protocol_error(ServeError::Protocol("encode requires a `texts` array".into())),
+        },
+        other => protocol_error(ServeError::Protocol(format!("unknown op `{other}`"))),
     }
 }
 
@@ -327,10 +362,40 @@ impl ServeClient {
             .ok_or_else(|| ServeError::Protocol("encode response without embeddings".into()))
     }
 
+    /// Encodes sentences under a client-chosen request id; returns the
+    /// embeddings and the id the server echoed back.
+    pub fn encode_with_id(
+        &mut self,
+        texts: Vec<String>,
+        id: u64,
+    ) -> Result<(Vec<Vec<f32>>, Option<u64>), ServeError> {
+        let response = self.expect_ok(&Request::encode_with_id(texts, id))?;
+        let embs = response
+            .embeddings
+            .ok_or_else(|| ServeError::Protocol("encode response without embeddings".into()))?;
+        Ok((embs, response.request_id))
+    }
+
     /// Fetches server statistics.
     pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
         let response = self.expect_ok(&Request::bare("stats"))?;
         response.stats.ok_or_else(|| ServeError::Protocol("stats response without stats".into()))
+    }
+
+    /// Fetches the live telemetry snapshot.
+    pub fn metrics(&mut self) -> Result<crate::metrics::MetricsSnapshot, ServeError> {
+        let response = self.expect_ok(&Request::bare("metrics"))?;
+        response
+            .metrics
+            .ok_or_else(|| ServeError::Protocol("metrics response without snapshot".into()))
+    }
+
+    /// Fetches the metrics in Prometheus text exposition format.
+    pub fn metrics_prometheus(&mut self) -> Result<String, ServeError> {
+        let response = self.expect_ok(&Request::metrics_prometheus())?;
+        response
+            .prometheus
+            .ok_or_else(|| ServeError::Protocol("metrics response without prometheus text".into()))
     }
 
     /// Asks the server to shut down (acknowledged before it stops).
@@ -348,7 +413,12 @@ mod tests {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 2,
-            session: SessionConfig { max_batch: 8, max_wait_us: 500, cache_capacity: 64 },
+            session: SessionConfig {
+                max_batch: 8,
+                max_wait_us: 500,
+                cache_capacity: 64,
+                ..Default::default()
+            },
         }
     }
 
@@ -399,7 +469,12 @@ mod tests {
         let cfg = ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
-            session: SessionConfig { max_batch: 16, max_wait_us: 20_000, cache_capacity: 0 },
+            session: SessionConfig {
+                max_batch: 16,
+                max_wait_us: 20_000,
+                cache_capacity: 0,
+                ..Default::default()
+            },
         };
         let handle = serve(tiny_bundle(13), &cfg).expect("serve");
         let addr = handle.addr().to_string();
@@ -421,5 +496,30 @@ mod tests {
         let stats = handle.shutdown();
         assert_eq!(stats.requests, 8);
         assert!(stats.batches < 8, "requests from different connections must coalesce: {stats:?}");
+    }
+
+    #[test]
+    fn metrics_op_serves_json_and_prometheus() {
+        let handle = serve(tiny_bundle(14), &local_cfg()).expect("serve");
+        let mut client = ServeClient::connect(&handle.addr().to_string()).expect("connect");
+        client.encode(vec!["warm up the histograms".into()]).expect("encode");
+        let snap = client.metrics().expect("metrics");
+        assert_eq!(snap.stats.requests, 1);
+        assert!(snap.window_secs > 0);
+        assert_eq!(snap.stats.latency_window.request_latency.count, 1);
+        let text = client.metrics_prometheus().expect("prometheus");
+        assert!(text.contains("serve_requests"), "{text}");
+        assert!(text.contains("quantile=\"0.999\""), "{text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn responses_echo_the_client_request_id() {
+        let handle = serve(tiny_bundle(15), &local_cfg()).expect("serve");
+        let mut client = ServeClient::connect(&handle.addr().to_string()).expect("connect");
+        let (embs, rid) = client.encode_with_id(vec!["id me".into()], 9001).expect("encode");
+        assert_eq!(embs.len(), 1);
+        assert_eq!(rid, Some(9001), "server must echo the client's id");
+        handle.shutdown();
     }
 }

@@ -18,18 +18,29 @@
 //! Requests may therefore be grouped arbitrarily — across callers, threads,
 //! and connections — without observable effect on results, and cached
 //! embeddings are interchangeable with freshly computed ones.
+//!
+//! ## Telemetry
+//!
+//! Every request carries an id (caller-supplied or assigned from the
+//! session's counter) from enqueue to delivery. With
+//! [`TelemetryConfig::tracing`] on, each phase of a request's life is timed
+//! into sliding-window histograms (queue wait, batch assembly, forward) and
+//! annotated into a bounded [`FlightRecorder`]; typed errors dump the ring
+//! to `flight_<ts>.json` when a flight directory is configured.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ktelebert::{EncodeError, TeleBert};
 use tele_trace::now_ns;
+use tele_trace::recorder::FlightRecorder;
 
 use crate::cache::{normalize_key, LruCache};
 use crate::error::ServeError;
-use crate::metrics::{ServeMetrics, ServeStats};
+use crate::metrics::{MetricsSnapshot, ServeMetrics, ServeStats, TelemetryConfig};
 
 /// Tuning knobs for an [`InferenceSession`].
 #[derive(Clone, Debug)]
@@ -41,11 +52,18 @@ pub struct SessionConfig {
     pub max_wait_us: u64,
     /// Embedding cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Telemetry plane configuration (windows, tracing, flight recorder).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        SessionConfig { max_batch: 16, max_wait_us: 1_000, cache_capacity: 1_024 }
+        SessionConfig {
+            max_batch: 16,
+            max_wait_us: 1_000,
+            cache_capacity: 1_024,
+            telemetry: TelemetryConfig::default(),
+        }
     }
 }
 
@@ -79,6 +97,7 @@ impl Slot {
 
 /// One queued request.
 struct Pending {
+    id: u64,
     text: String,
     key: String,
     enqueued_ns: u64,
@@ -93,6 +112,49 @@ struct Queue {
 struct Shared {
     queue: Mutex<Queue>,
     wake: Condvar,
+    /// Requests accepted and not yet answered.
+    in_flight: AtomicU64,
+}
+
+/// Telemetry state shared between the session handle and the batcher:
+/// metrics sink, flight-recorder ring, and the plane's configuration.
+struct Telemetry {
+    cfg: TelemetryConfig,
+    metrics: Mutex<ServeMetrics>,
+    recorder: Mutex<FlightRecorder>,
+}
+
+impl Telemetry {
+    fn new(cfg: TelemetryConfig) -> Telemetry {
+        let metrics = Mutex::new(ServeMetrics::new(&cfg));
+        let recorder = Mutex::new(FlightRecorder::new(cfg.flight_capacity));
+        Telemetry { cfg, metrics, recorder }
+    }
+
+    fn metrics(&self) -> std::sync::MutexGuard<'_, ServeMetrics> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Per-request annotation, elided when tracing is off.
+    fn note(&self, kind: &'static str, id: Option<u64>, detail: impl Into<String>) {
+        if !self.cfg.tracing {
+            return;
+        }
+        self.recorder.lock().unwrap_or_else(|e| e.into_inner()).note(kind, id, detail);
+    }
+
+    /// Error annotation plus flight dump (when a dump dir is configured).
+    /// Errors are always noted, even with per-request tracing off.
+    fn error(&self, kind: &'static str, id: Option<u64>, detail: impl Into<String>) {
+        self.recorder.lock().unwrap_or_else(|e| e.into_inner()).note(kind, id, detail);
+        if let Some(dir) = &self.cfg.flight_dir {
+            let dumped = self.recorder.lock().unwrap_or_else(|e| e.into_inner()).dump_to_dir(dir);
+            match dumped {
+                Ok(_) => self.metrics().flight_dumps += 1,
+                Err(e) => eprintln!("serve: flight dump to {} failed: {e}", dir.display()),
+            }
+        }
+    }
 }
 
 /// A thread-safe handle to one loaded model with a batching encode path.
@@ -104,7 +166,8 @@ struct Shared {
 pub struct InferenceSession {
     bundle: Arc<TeleBert>,
     shared: Arc<Shared>,
-    metrics: Arc<Mutex<ServeMetrics>>,
+    telemetry: Arc<Telemetry>,
+    next_id: AtomicU64,
     engine: Option<JoinHandle<()>>,
 }
 
@@ -119,15 +182,22 @@ impl InferenceSession {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue { items: VecDeque::new(), closed: false }),
             wake: Condvar::new(),
+            in_flight: AtomicU64::new(0),
         });
-        let metrics = Arc::new(Mutex::new(ServeMetrics::default()));
+        let telemetry = Arc::new(Telemetry::new(cfg.telemetry.clone()));
         let engine = {
             let bundle = Arc::clone(&bundle);
             let shared = Arc::clone(&shared);
-            let metrics = Arc::clone(&metrics);
-            std::thread::spawn(move || run_batcher(&bundle, &shared, &metrics, &cfg))
+            let telemetry = Arc::clone(&telemetry);
+            std::thread::spawn(move || run_batcher(&bundle, &shared, &telemetry, &cfg))
         };
-        InferenceSession { bundle, shared, metrics, engine: Some(engine) }
+        InferenceSession {
+            bundle,
+            shared,
+            telemetry,
+            next_id: AtomicU64::new(1),
+            engine: Some(engine),
+        }
     }
 
     /// The model bundle this session serves.
@@ -135,9 +205,15 @@ impl InferenceSession {
         &self.bundle
     }
 
+    /// Draws the next request id from the session's counter.
+    pub fn next_request_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Encodes one sentence, blocking until its micro-batch completes.
     pub fn encode(&self, text: &str) -> Result<Vec<f32>, ServeError> {
-        let slot = self.submit(text)?;
+        let id = self.next_request_id();
+        let slot = self.submit(text, id)?;
         slot.wait()
     }
 
@@ -145,17 +221,32 @@ impl InferenceSession {
     /// so the batcher can coalesce them into full micro-batches — and the
     /// call blocks until every one completes.
     pub fn encode_many(&self, texts: &[String]) -> Result<Vec<Vec<f32>>, ServeError> {
+        let id = self.next_request_id();
+        self.encode_many_with_id(texts, id)
+    }
+
+    /// [`encode_many`](Self::encode_many) under a caller-chosen request id
+    /// (the TCP server threads its wire-level id through here, so flight
+    /// notes and the reply all carry the same id).
+    pub fn encode_many_with_id(
+        &self,
+        texts: &[String],
+        id: u64,
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
         if texts.is_empty() {
+            self.telemetry.error("serve.error", Some(id), "empty_batch rejected at submit");
             return Err(ServeError::Encode(EncodeError::EmptyBatch));
         }
+        self.telemetry.note("req.enqueue", Some(id), format!("texts={}", texts.len()));
         let slots: Vec<Arc<Slot>> =
-            texts.iter().map(|t| self.submit(t)).collect::<Result<_, _>>()?;
+            texts.iter().map(|t| self.submit(t, id)).collect::<Result<_, _>>()?;
         slots.into_iter().map(|s| s.wait()).collect()
     }
 
-    fn submit(&self, text: &str) -> Result<Arc<Slot>, ServeError> {
+    fn submit(&self, text: &str, id: u64) -> Result<Arc<Slot>, ServeError> {
         let slot = Slot::new();
         let pending = Pending {
+            id,
             text: text.to_string(),
             key: normalize_key(text),
             enqueued_ns: now_ns(),
@@ -167,19 +258,70 @@ impl InferenceSession {
         }
         q.items.push_back(pending);
         drop(q);
+        self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
         self.shared.wake.notify_all();
         Ok(slot)
     }
 
+    /// Requests queued but not yet drained into a micro-batch.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).items.len() as u64
+    }
+
+    /// Requests accepted and not yet answered.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
     /// Current serving statistics.
     pub fn stats(&self) -> ServeStats {
-        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).stats()
+        self.telemetry.metrics().stats()
+    }
+
+    /// Live snapshot for the `metrics` wire op: gauges plus full stats.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let now = now_ns();
+        let m = self.telemetry.metrics();
+        MetricsSnapshot {
+            now_ns: now,
+            window_secs: self.telemetry.cfg.window_secs,
+            rps_window: m.rps_window(now),
+            queue_depth: self.queue_depth(),
+            in_flight: self.in_flight(),
+            stats: m.stats_at(now),
+        }
+    }
+
+    /// Prometheus text exposition of the session's metrics.
+    pub fn prometheus_text(&self) -> String {
+        let now = now_ns();
+        let snap =
+            self.telemetry.metrics().registry_snapshot(now, self.queue_depth(), self.in_flight());
+        tele_trace::export::prometheus_text(&snap)
+    }
+
+    /// Records the time spent serializing and writing one reply, µs
+    /// (called by the TCP server after the socket write completes).
+    pub fn record_write_us(&self, us: u64) {
+        let now = now_ns();
+        self.telemetry.metrics().record_write_us(now, us);
+    }
+
+    /// Annotates a server-side error into the flight ring and dumps the
+    /// ring when a flight directory is configured.
+    pub fn record_error(&self, code: &str, id: Option<u64>, detail: &str) {
+        self.telemetry.error("serve.error", id, format!("code={code} {detail}"));
+    }
+
+    /// Appends a flight note (no-op with tracing off).
+    pub fn flight_note(&self, kind: &'static str, id: Option<u64>, detail: String) {
+        self.telemetry.note(kind, id, detail);
     }
 
     /// Publishes the session's metrics into the calling thread's trace
     /// registry (see [`ServeMetrics::publish`]).
     pub fn publish_metrics(&self) {
-        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).publish();
+        self.telemetry.metrics().publish();
     }
 
     /// Shuts the session down: already-queued requests still complete, new
@@ -211,12 +353,7 @@ impl Drop for InferenceSession {
 }
 
 /// The batcher loop: drain → coalesce → one forward → deliver.
-fn run_batcher(
-    bundle: &TeleBert,
-    shared: &Shared,
-    metrics: &Mutex<ServeMetrics>,
-    cfg: &SessionConfig,
-) {
+fn run_batcher(bundle: &TeleBert, shared: &Shared, tel: &Telemetry, cfg: &SessionConfig) {
     let max_batch = cfg.max_batch.max(1);
     let mut cache = LruCache::new(cfg.cache_capacity);
     loop {
@@ -245,19 +382,32 @@ fn run_batcher(
             let take = q.items.len().min(max_batch);
             q.items.drain(..take).collect::<Vec<Pending>>()
         };
-        run_one_batch(bundle, &mut cache, metrics, batch);
+        let n = batch.len() as u64;
+        run_one_batch(bundle, &mut cache, tel, batch);
+        shared.in_flight.fetch_sub(n, Ordering::Relaxed);
     }
+}
+
+/// Formats the distinct request ids in a batch for a flight note (batches
+/// are small — `max_batch` entries at most).
+fn id_list(batch: &[Pending]) -> String {
+    let mut ids: Vec<u64> = batch.iter().map(|p| p.id).collect();
+    ids.dedup();
+    let mut out = String::new();
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+    }
+    out
 }
 
 /// Executes one micro-batch: cache lookups, in-batch dedup, a single padded
 /// forward over the misses, then per-request delivery and metrics.
-fn run_one_batch(
-    bundle: &TeleBert,
-    cache: &mut LruCache,
-    metrics: &Mutex<ServeMetrics>,
-    batch: Vec<Pending>,
-) {
+fn run_one_batch(bundle: &TeleBert, cache: &mut LruCache, tel: &Telemetry, batch: Vec<Pending>) {
     let t0 = now_ns();
+    let tracing = tel.cfg.tracing;
     let n = batch.len();
     let mut results: Vec<Option<Vec<f32>>> = Vec::with_capacity(n);
     let mut miss_index: HashMap<&str, usize> = HashMap::new();
@@ -281,6 +431,7 @@ fn run_one_batch(
 
     let misses = n as u64 - hits;
     let unique = miss_texts.len() as u64;
+    let assembled = now_ns();
     let fresh = if miss_texts.is_empty() {
         Vec::new()
     } else {
@@ -289,13 +440,20 @@ fn run_one_batch(
             Err(e) => {
                 // The whole forward failed: every request in the batch gets
                 // the same typed error.
-                let elapsed = now_ns().saturating_sub(t0);
-                let mut m = metrics.lock().unwrap_or_else(|e2| e2.into_inner());
-                m.record_batch(n as u64, hits, misses, unique, elapsed);
+                let failed = now_ns();
+                let elapsed = failed.saturating_sub(t0);
+                let mut m = tel.metrics();
+                m.record_batch(failed, n as u64, hits, misses, unique, elapsed);
                 for p in &batch {
-                    m.record_request(now_ns().saturating_sub(p.enqueued_ns), false);
+                    m.record_request(failed, failed.saturating_sub(p.enqueued_ns), false);
                 }
                 drop(m);
+                let code = crate::protocol::error_code(&ServeError::Encode(e.clone()));
+                tel.error(
+                    "serve.error",
+                    batch.first().map(|p| p.id),
+                    format!("code={code} rows={n} ids=[{}]", id_list(&batch)),
+                );
                 for p in &batch {
                     p.slot.deliver(Err(ServeError::Encode(e.clone())));
                 }
@@ -303,17 +461,33 @@ fn run_one_batch(
             }
         }
     };
+    let forwarded = now_ns();
     for (key, idx) in &miss_index {
         cache.insert((*key).to_string(), fresh[*idx].clone());
     }
 
-    let elapsed = now_ns().saturating_sub(t0);
-    let mut m = metrics.lock().unwrap_or_else(|e| e.into_inner());
-    m.record_batch(n as u64, hits, misses, unique, elapsed);
+    let done = now_ns();
+    let elapsed = done.saturating_sub(t0);
+    let mut m = tel.metrics();
+    m.record_batch(done, n as u64, hits, misses, unique, elapsed);
     for p in &batch {
-        m.record_request(now_ns().saturating_sub(p.enqueued_ns), true);
+        m.record_request(done, done.saturating_sub(p.enqueued_ns), true);
+    }
+    if tracing {
+        for p in &batch {
+            m.record_queue_us(done, t0.saturating_sub(p.enqueued_ns) / 1_000);
+        }
+        m.record_assemble_us(done, assembled.saturating_sub(t0) / 1_000);
+        if unique > 0 {
+            m.record_forward_us(done, forwarded.saturating_sub(assembled) / 1_000);
+        }
     }
     drop(m);
+    tel.note(
+        "batch.exec",
+        None,
+        format!("rows={n} unique={unique} hits={hits} ids=[{}]", id_list(&batch)),
+    );
     for (p, r) in batch.iter().zip(results.iter_mut()) {
         let emb = match r.take() {
             Some(v) => v,
@@ -371,7 +545,12 @@ mod tests {
 
     #[test]
     fn encode_many_coalesces_into_fewer_batches() {
-        let cfg = SessionConfig { max_batch: 8, max_wait_us: 20_000, cache_capacity: 0 };
+        let cfg = SessionConfig {
+            max_batch: 8,
+            max_wait_us: 20_000,
+            cache_capacity: 0,
+            ..Default::default()
+        };
         let session = InferenceSession::new(tiny_bundle(3), cfg);
         let texts: Vec<String> = (0..8).map(|i| format!("event number {i} on node")).collect();
         let out = session.encode_many(&texts).expect("encode_many");
@@ -407,7 +586,12 @@ mod tests {
 
     #[test]
     fn in_batch_duplicates_share_one_forward_row() {
-        let cfg = SessionConfig { max_batch: 8, max_wait_us: 20_000, cache_capacity: 16 };
+        let cfg = SessionConfig {
+            max_batch: 8,
+            max_wait_us: 20_000,
+            cache_capacity: 16,
+            ..Default::default()
+        };
         let session = InferenceSession::new(tiny_bundle(6), cfg);
         let texts: Vec<String> = vec![
             "same fault text".into(),
@@ -425,5 +609,78 @@ mod tests {
             stats.encoded_sentences <= 2 * stats.batches,
             "dedup must collapse duplicate rows: {stats:?}"
         );
+    }
+
+    #[test]
+    fn phase_histograms_fill_under_tracing() {
+        let session = InferenceSession::new(tiny_bundle(7), SessionConfig::default());
+        let texts: Vec<String> = (0..4).map(|i| format!("phase sample {i}")).collect();
+        session.encode_many(&texts).expect("encode_many");
+        let stats = session.shutdown();
+        assert_eq!(stats.phases.queue_us.count, 4, "{:?}", stats.phases);
+        assert!(stats.phases.assemble_us.count >= 1);
+        assert!(stats.phases.forward_us.count >= 1);
+        assert_eq!(stats.latency_window.queue_us.count, 4);
+        assert!(stats.latency_window.request_latency.count >= 4);
+    }
+
+    #[test]
+    fn tracing_off_skips_phases_but_keeps_cumulative() {
+        let cfg = SessionConfig {
+            telemetry: TelemetryConfig { tracing: false, ..Default::default() },
+            ..Default::default()
+        };
+        let session = InferenceSession::new(tiny_bundle(8), cfg);
+        session.encode("a quiet request").expect("encode");
+        let stats = session.shutdown();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.phases.queue_us.count, 0);
+        assert_eq!(stats.request_latency.count, 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_gauges_and_window() {
+        let session = InferenceSession::new(tiny_bundle(9), SessionConfig::default());
+        session.encode("snapshot me").expect("encode");
+        // The batcher decrements in-flight just after delivering the result,
+        // so give the gauge a moment to settle before snapshotting.
+        for _ in 0..200 {
+            if session.in_flight() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = session.metrics_snapshot();
+        assert_eq!(snap.stats.requests, 1);
+        assert_eq!(snap.in_flight, 0);
+        assert!(snap.rps_window > 0.0);
+        assert!(snap.window_secs > 0);
+        let prom = session.prometheus_text();
+        assert!(prom.contains("serve_requests 1"), "{prom}");
+    }
+
+    #[test]
+    fn typed_error_dumps_flight_ring() {
+        let dir = std::env::temp_dir().join(format!("tele_serve_flight_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SessionConfig {
+            telemetry: TelemetryConfig { flight_dir: Some(dir.clone()), ..Default::default() },
+            ..Default::default()
+        };
+        let session = InferenceSession::new(tiny_bundle(10), cfg);
+        session.encode("warm the ring").expect("encode");
+        assert!(session.encode_many_with_id(&[], 77).is_err());
+        let stats = session.shutdown();
+        assert_eq!(stats.flight_dumps, 1, "typed error must dump the flight ring");
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .expect("flight dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("flight_"))
+            .collect();
+        assert_eq!(dumps.len(), 1);
+        let body = std::fs::read_to_string(dumps[0].path()).expect("read dump");
+        assert!(body.contains("\"request_id\":77"), "{body}");
+        assert!(body.contains("empty_batch"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

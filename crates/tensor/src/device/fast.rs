@@ -369,6 +369,7 @@ fn pack_b_panel(b: &[f32], panel: &mut [f32], k: usize, n: usize, jt: usize) {
 
 /// Leftover rows/columns that don't fill an `MR×NR` tile: plain dot
 /// products in the same l-order as the micro-kernel's k loop.
+#[allow(clippy::too_many_arguments)]
 fn edge_tile(
     a: &[f32],
     b: &[f32],

@@ -7,7 +7,7 @@ use std::path::Path;
 use crate::span::SpanEvent;
 
 /// Escapes `s` for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -82,6 +82,50 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
         }
     }
     Ok(())
+}
+
+/// Sanitises a registry metric name for Prometheus: every character outside
+/// `[a-zA-Z0-9_:]` (dots, dashes, braces) becomes `_`.
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4).
+///
+/// Counters and gauges map directly; histograms are exposed as summaries
+/// with `quantile` labels (0.5/0.9/0.99/0.999) plus `_sum`, `_count`, and a
+/// `_max` gauge (the log-bucketed estimator tracks the exact max, which
+/// Prometheus summaries cannot express). Registry names are dot-separated;
+/// dots become underscores, so `serve.queue_us` exports as
+/// `serve_queue_us{quantile="0.5"}`. Snapshot names are unique by
+/// construction, so no metric family is ever emitted twice.
+pub fn prometheus_text(snap: &crate::metrics::MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, est) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99), ("0.999", h.p999)] {
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {est}");
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+        let _ = writeln!(out, "# TYPE {n}_max gauge");
+        let _ = writeln!(out, "{n}_max {}", h.max);
+    }
+    out
 }
 
 /// Aggregated timing for one span name.

@@ -14,10 +14,13 @@
 //!   buffered per thread in completion order and drained with
 //!   [`take_events`].
 //! * **Metrics registry** ([`metrics`]) — named counters, gauges, and
-//!   log-bucketed histograms with p50/p90/p99 quantiles, plus tensor memory
-//!   accounting ([`mem`]) hooked into `Tensor` alloc/free.
-//! * **Exporters** ([`export`]) — Chrome/Perfetto trace-event JSON and a
-//!   per-op profile table (calls, self/total time, share of wall-clock).
+//!   log-bucketed histograms with p50/p90/p99/p999 quantiles, plus tensor
+//!   memory accounting ([`mem`]) hooked into `Tensor` alloc/free. Sliding
+//!   windows over the same histograms live in [`window`], and a bounded
+//!   flight recorder for fault evidence in [`recorder`].
+//! * **Exporters** ([`export`]) — Chrome/Perfetto trace-event JSON, the
+//!   Prometheus text exposition format, and a per-op profile table (calls,
+//!   self/total time, share of wall-clock).
 //!
 //! When disabled, `span!` evaluates neither its name expression nor a
 //! timestamp; the only cost is one thread-local flag read, which keeps the
@@ -29,7 +32,9 @@
 pub mod export;
 pub mod mem;
 pub mod metrics;
+pub mod recorder;
 mod span;
+pub mod window;
 
 pub use span::{
     clear, disable, enable, is_enabled, now_ns, set_enabled, take_events, SpanEvent, SpanGuard,

@@ -161,10 +161,12 @@ pub struct HistogramSummary {
     pub p90: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// Estimated 99.9th percentile.
+    pub p999: f64,
 }
 
 impl Histogram {
-    /// Summarises the histogram (count/sum/min/max/mean and p50/p90/p99).
+    /// Summarises the histogram (count/sum/min/max/mean and p50/p90/p99/p999).
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
             count: self.count,
@@ -175,6 +177,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
         }
     }
 }

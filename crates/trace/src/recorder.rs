@@ -1,0 +1,219 @@
+//! Bounded flight recorder: a ring buffer of recent structured annotations.
+//!
+//! A [`FlightRecorder`] keeps the last `capacity` notes — timestamped,
+//! optionally tagged with a request id, with a short kind ("req.enqueue",
+//! "guard.trip", "serve.error") and a free-form detail string. Recording is
+//! one `VecDeque` push (plus an eviction pop once full), cheap enough to
+//! leave on in production. When something goes wrong (a typed serve error, a
+//! training guard trip, overload shedding) the whole ring is dumped
+//! atomically via [`crate::export::write_atomic`] to
+//! `<dir>/flight_<ts>.json`, preserving the events leading up to the fault.
+//!
+//! Owners that need cross-thread sharing wrap the recorder in their own
+//! `Mutex` (the serve session does); a process-global recorder behind
+//! [`note`]/[`dump`] serves single-driver contexts like the training engine.
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use crate::export::{json_escape, write_atomic};
+
+/// One structured annotation in the flight ring.
+#[derive(Clone, Debug)]
+pub struct FlightNote {
+    /// Monotonic timestamp (see [`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// Request this note belongs to, when known.
+    pub request_id: Option<u64>,
+    /// Short machine-readable kind, e.g. `"req.enqueue"` or `"guard.trip"`.
+    pub kind: Cow<'static, str>,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+/// Bounded ring buffer of [`FlightNote`]s: oldest evicted first, never
+/// exceeds its capacity.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    notes: VecDeque<FlightNote>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` notes (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder { capacity, notes: VecDeque::with_capacity(capacity), dropped: 0 }
+    }
+
+    /// Maximum number of retained notes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of notes currently retained.
+    pub fn len(&self) -> usize {
+        self.notes.len()
+    }
+
+    /// True when no notes are retained.
+    pub fn is_empty(&self) -> bool {
+        self.notes.is_empty()
+    }
+
+    /// Number of notes evicted so far to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends a note stamped with the current monotonic time.
+    pub fn note(
+        &mut self,
+        kind: impl Into<Cow<'static, str>>,
+        request_id: Option<u64>,
+        detail: impl Into<String>,
+    ) {
+        self.note_at(crate::now_ns(), kind, request_id, detail);
+    }
+
+    /// Appends a note with an explicit timestamp (deterministic tests).
+    pub fn note_at(
+        &mut self,
+        ts_ns: u64,
+        kind: impl Into<Cow<'static, str>>,
+        request_id: Option<u64>,
+        detail: impl Into<String>,
+    ) {
+        if self.notes.len() == self.capacity {
+            self.notes.pop_front();
+            self.dropped += 1;
+        }
+        self.notes.push_back(FlightNote {
+            ts_ns,
+            request_id,
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Iterates retained notes, oldest first.
+    pub fn notes(&self) -> impl Iterator<Item = &FlightNote> {
+        self.notes.iter()
+    }
+
+    /// Discards all retained notes (the dropped count is kept).
+    pub fn clear(&mut self) {
+        self.notes.clear();
+    }
+
+    /// Renders the ring as a JSON document (hand-rolled; the trace crate has
+    /// no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.notes.len() * 96);
+        let _ = write!(out, "{{\"dropped\":{},\"notes\":[", self.dropped);
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"ts_ns\":{},\"request_id\":", n.ts_ns);
+            match n.request_id {
+                Some(id) => {
+                    let _ = write!(out, "{id}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(&n.kind),
+                json_escape(&n.detail)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Dumps the ring atomically to `<dir>/flight_<now_ns>.json` (creating
+    /// `dir` if needed) and returns the written path. The monotonic
+    /// timestamp keeps filenames unique per process without a wall clock.
+    pub fn dump_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("flight_{}.json", crate::now_ns()));
+        write_atomic(&path, self.to_json().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Default capacity of the process-global recorder.
+pub const GLOBAL_CAPACITY: usize = 512;
+
+fn global() -> &'static Mutex<FlightRecorder> {
+    static GLOBAL: OnceLock<Mutex<FlightRecorder>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(FlightRecorder::new(GLOBAL_CAPACITY)))
+}
+
+/// Runs `f` with the process-global recorder locked.
+pub fn with<R>(f: impl FnOnce(&mut FlightRecorder) -> R) -> R {
+    let mut g = global().lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut g)
+}
+
+/// Appends a note to the process-global recorder.
+pub fn note(
+    kind: impl Into<Cow<'static, str>>,
+    request_id: Option<u64>,
+    detail: impl Into<String>,
+) {
+    with(|r| r.note(kind, request_id, detail));
+}
+
+/// Dumps the process-global recorder to `dir` (see
+/// [`FlightRecorder::dump_to_dir`]).
+pub fn dump(dir: &Path) -> io::Result<PathBuf> {
+    with(|r| r.dump_to_dir(dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_never_exceeds_capacity_and_evicts_oldest() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..10u64 {
+            r.note_at(i, "t", Some(i), format!("n{i}"));
+            assert!(r.len() <= 3);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        let ids: Vec<u64> = r.notes().filter_map(|n| n.request_id).collect();
+        assert_eq!(ids, vec![7, 8, 9], "oldest notes must go first");
+    }
+
+    #[test]
+    fn json_escapes_and_encodes_null_ids() {
+        let mut r = FlightRecorder::new(4);
+        r.note_at(1, "kind\"q", None, "line1\nline2");
+        let j = r.to_json();
+        assert!(j.contains("\"request_id\":null"), "{j}");
+        assert!(j.contains("kind\\\"q"), "{j}");
+        assert!(j.contains("line1\\nline2"), "{j}");
+    }
+
+    #[test]
+    fn dump_writes_parseable_file() {
+        let dir = std::env::temp_dir().join(format!("tele_flight_{}", std::process::id()));
+        let mut r = FlightRecorder::new(2);
+        r.note("a", Some(1), "x");
+        let path = r.dump_to_dir(&dir).expect("dump");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.starts_with('{') && body.ends_with('}'));
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir(dir);
+    }
+}

@@ -1,0 +1,147 @@
+//! Sliding-window histograms: a ring of time-bucketed sub-histograms.
+//!
+//! The cumulative [`Histogram`] answers "what happened since the process
+//! started"; a [`WindowedHistogram`] answers "what happened in the last N
+//! seconds". It keeps a fixed ring of sub-histograms, each covering one
+//! time bucket of `window / buckets`. Recording routes the sample to the
+//! bucket owning its timestamp (lazily clearing a bucket the first time a
+//! new epoch touches it), and a window summary folds the still-live buckets
+//! together with [`Histogram::merge`] — so windowed quantiles reuse the
+//! exact same estimator as the cumulative ones.
+//!
+//! Timestamps are caller-provided (`now_ns` from [`crate::now_ns`] in
+//! production, synthetic clocks in tests), which keeps rotation
+//! deterministic and testable without sleeping.
+
+use crate::metrics::{Histogram, HistogramSummary};
+
+/// A ring of time-bucketed sub-histograms covering a sliding window.
+#[derive(Clone, Debug)]
+pub struct WindowedHistogram {
+    /// Width of one ring slot in nanoseconds.
+    bucket_ns: u64,
+    /// The ring; slot `epoch % len` holds bucket `epoch`.
+    slots: Vec<Histogram>,
+    /// Which epoch each slot currently holds (`u64::MAX` = never written).
+    epochs: Vec<u64>,
+}
+
+impl WindowedHistogram {
+    /// Creates a window spanning `window_secs` seconds split into `buckets`
+    /// sub-histograms. Both are clamped to at least 1.
+    pub fn new(window_secs: u64, buckets: usize) -> WindowedHistogram {
+        let buckets = buckets.max(1);
+        let window_ns = window_secs.max(1).saturating_mul(1_000_000_000);
+        WindowedHistogram {
+            bucket_ns: (window_ns / buckets as u64).max(1),
+            slots: vec![Histogram::default(); buckets],
+            epochs: vec![u64::MAX; buckets],
+        }
+    }
+
+    /// Total span of the window in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.bucket_ns * self.slots.len() as u64
+    }
+
+    /// Total span of the window in whole seconds (rounded down).
+    pub fn window_secs(&self) -> u64 {
+        self.window_ns() / 1_000_000_000
+    }
+
+    fn epoch_of(&self, now_ns: u64) -> u64 {
+        now_ns / self.bucket_ns
+    }
+
+    /// Records one sample observed at `now_ns` into the bucket owning that
+    /// timestamp, evicting whatever older epoch occupied the slot.
+    pub fn record(&mut self, now_ns: u64, v: u64) {
+        let e = self.epoch_of(now_ns);
+        let slot = (e % self.slots.len() as u64) as usize;
+        if self.epochs[slot] != e {
+            self.slots[slot] = Histogram::default();
+            self.epochs[slot] = e;
+        }
+        self.slots[slot].record(v);
+    }
+
+    /// Folds the buckets still inside the window ending at `now_ns` into one
+    /// [`Histogram`]. Buckets whose epoch has slid out of the window are
+    /// skipped (they are cleared lazily on the next write that wraps onto
+    /// their slot).
+    pub fn merged(&self, now_ns: u64) -> Histogram {
+        let e = self.epoch_of(now_ns);
+        let n = self.slots.len() as u64;
+        let oldest = e.saturating_sub(n - 1);
+        let mut out = Histogram::default();
+        for (slot, h) in self.slots.iter().enumerate() {
+            let ep = self.epochs[slot];
+            if ep != u64::MAX && ep >= oldest && ep <= e {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Summary (count/sum/min/max/mean, p50/p90/p99/p999) of the samples in
+    /// the window ending at `now_ns`.
+    pub fn summary(&self, now_ns: u64) -> HistogramSummary {
+        self.merged(now_ns).summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn window_merges_live_buckets() {
+        let mut w = WindowedHistogram::new(10, 10);
+        for i in 0..10u64 {
+            w.record(i * SEC, 100);
+        }
+        let s = w.summary(9 * SEC);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 100);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn rotation_expires_old_buckets() {
+        let mut w = WindowedHistogram::new(10, 10);
+        // Old regime: large samples early in time.
+        for i in 0..5u64 {
+            w.record(i * SEC, 1_000_000);
+        }
+        // New regime: small samples much later; the old epochs are now
+        // outside the window ending "now".
+        let now = 100 * SEC;
+        for i in 0..5u64 {
+            w.record(now - i * SEC, 10);
+        }
+        let s = w.summary(now);
+        assert_eq!(s.count, 5, "old buckets must have expired");
+        assert_eq!(s.max, 10);
+        assert!(s.p99 <= 15.0, "p99 {} should converge to the new regime", s.p99);
+    }
+
+    #[test]
+    fn wrap_reuses_slots_without_mixing_epochs() {
+        let mut w = WindowedHistogram::new(4, 4);
+        w.record(0, 7); // epoch 0, slot 0
+        w.record(4 * SEC, 9); // epoch 4 wraps onto slot 0, evicting epoch 0
+        let s = w.summary(4 * SEC);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 9);
+    }
+
+    #[test]
+    fn empty_window_is_zeroed() {
+        let w = WindowedHistogram::new(60, 12);
+        let s = w.summary(123 * SEC);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p999, 0.0);
+    }
+}

@@ -6,7 +6,7 @@
 //! tele simulate [--seed N] [--episodes N]                 fault-episode summaries
 //! tele query    [--seed N] <SPARQL-like query>            query the Tele-KG
 //! tele train    [--seed N] [--steps N] [--retrain N] [--device ref|fast]
-//!               [--telemetry FILE]
+//!               [--telemetry FILE] [--heartbeat FILE] [--flight-dir DIR]
 //!               [--profile FILE] [--checkpoint-dir DIR] [--checkpoint-every N]
 //!               [--checkpoint-keep N] [--resume auto|never]
 //!               [--guard off|skip|rollback|abort] [--stop-after N]
@@ -14,9 +14,13 @@
 //! tele encode   --ckpt FILE [--batch-size N] [--file FILE|-]
 //!               [<sentence> ...]                          embed + similarities
 //! tele serve    --ckpt FILE [--addr HOST:PORT] [--workers N] [--batch-size N]
-//!               [--max-wait-us N] [--cache N]             NDJSON TCP server
+//!               [--max-wait-us N] [--cache N] [--window-secs N]
+//!               [--flight-dir DIR|none]                   NDJSON TCP server
 //! tele serve-bench --ckpt FILE [--requests N] [--unique N] [--threads N]
-//!               [--batch-size N] [--out FILE]             serving load test
+//!               [--batch-size N] [--out FILE] [--overhead-rounds N]
+//!               [--overhead-out FILE]                     serving load test
+//! tele top      --addr HOST:PORT | --file HEARTBEAT.json
+//!               [--interval-ms N] [--count N]             live metrics view
 //! tele profile  [--seed N] [--steps N] [--device ref|fast] [--out FILE]
 //!                                                         profile a short run
 //! tele profile  --check FILE                              validate a trace file
@@ -34,7 +38,8 @@ use tele_knowledge::model::{
     FaultTolerance, GuardConfig, GuardPolicy, PretrainConfig, RetrainConfig, RetrainData, Strategy,
 };
 use tele_knowledge::serve::{
-    run_bench, BenchConfig, InferenceSession, ServerConfig, SessionConfig,
+    run_bench, run_overhead_bench, BenchConfig, InferenceSession, ServeClient, ServerConfig,
+    SessionConfig, TelemetryConfig,
 };
 use tele_knowledge::tensor::nn::TransformerConfig;
 use tele_knowledge::tokenizer::{SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
@@ -111,6 +116,7 @@ fn main() -> ExitCode {
         "encode" => cmd_encode(&args),
         "serve" => cmd_serve(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "top" => cmd_top(&args),
         "profile" => cmd_profile(&args),
         "check" => cmd_check(&args),
         "lint" => cmd_lint(&args),
@@ -135,18 +141,25 @@ const USAGE: &str = "tele — tele-knowledge CLI
   tele simulate [--seed N] [--episodes N]
   tele query    [--seed N] <query>      e.g. 'SELECT ?a WHERE { ?a type Alarm }'
   tele train    [--seed N] [--steps N] [--retrain N] [--device ref|fast]
-                [--telemetry FILE]
+                [--telemetry FILE] [--heartbeat FILE] [--flight-dir DIR]
                 [--profile FILE] [--checkpoint-dir DIR] [--checkpoint-every N]
                 [--checkpoint-keep N] [--resume auto|never]
                 [--guard off|skip|rollback|abort] [--stop-after N]
                 [--die-at-step N] --out FILE
   tele encode   --ckpt FILE [--batch-size N] [--file FILE|-] [<sentence> ...]
   tele serve    --ckpt FILE [--addr HOST:PORT] [--workers N] [--batch-size N]
-                [--max-wait-us N] [--cache N]
+                [--max-wait-us N] [--cache N] [--window-secs N]
+                [--flight-dir DIR|none]
                 serve embeddings over newline-delimited JSON on TCP
   tele serve-bench --ckpt FILE [--requests N] [--unique N] [--threads N]
-                [--batch-size N] [--out FILE]
-                compare batched serving against the sequential baseline
+                [--batch-size N] [--out FILE] [--overhead-rounds N]
+                [--overhead-out FILE]
+                compare batched serving against the sequential baseline and
+                measure the telemetry overhead (tracing on vs off)
+  tele top      --addr HOST:PORT | --file HEARTBEAT.json
+                [--interval-ms N] [--count N]
+                live view of a serve endpoint's metrics op or a training
+                heartbeat file (N=0 polls forever)
   tele profile  [--seed N] [--steps N] [--device ref|fast] [--out FILE]
                 profile a short training run
   tele profile  --check FILE                          validate a Chrome trace file
@@ -273,8 +286,9 @@ fn fault_tolerance_flags(args: &Args, stage: &str) -> Result<FaultTolerance, Str
         Some(_) => Some(args.usize_flag("die-at-step", 0)?),
         None => None,
     };
+    let flight_dir = args.flags.get("flight-dir").map(std::path::PathBuf::from);
     Ok(FaultTolerance {
-        guard: GuardConfig::with_policy(guard_policy),
+        guard: GuardConfig { flight_dir, ..GuardConfig::with_policy(guard_policy) },
         checkpointing,
         stop: None,
         stop_after,
@@ -290,6 +304,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     // Per-step JSONL telemetry: `FILE` gets stage-1 records, `FILE.retrain`
     // the stage-2 records.
     let telemetry = args.flags.get("telemetry").map(std::path::PathBuf::from);
+    // Live pulse for `tele top --file`: one JSON object, atomically replaced
+    // after every step of whichever stage is running.
+    let heartbeat = args.flags.get("heartbeat").map(std::path::PathBuf::from);
     // Span profiling: collect a Chrome/Perfetto trace of the whole run.
     let profile = args.flags.get("profile").map(std::path::PathBuf::from);
     if profile.is_some() {
@@ -327,6 +344,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             steps,
             seed,
             telemetry: telemetry.clone(),
+            heartbeat: heartbeat.clone(),
             fault: fault_tolerance_flags(args, "stage1")?,
             device: args.device()?,
             ..Default::default()
@@ -360,6 +378,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             steps: retrain_steps,
             seed,
             telemetry: retrain_telemetry,
+            heartbeat,
             fault: fault_tolerance_flags(args, "stage2")?,
             device: args.device()?,
             ..Default::default()
@@ -394,13 +413,34 @@ fn load_ckpt(args: &Args) -> Result<tele_knowledge::model::TeleBert, String> {
     load_bundle(&json).map_err(|e| format!("cannot load {ckpt}: {e}"))
 }
 
+/// Telemetry knobs for a serving session: the sliding-window span and the
+/// flight-dump directory (`--flight-dir none` disables dumping; notes still
+/// accumulate in the in-memory ring).
+fn telemetry_flags(
+    args: &Args,
+    default_flight_dir: Option<&str>,
+) -> Result<TelemetryConfig, String> {
+    let defaults = TelemetryConfig::default();
+    let flight_dir = match args.flags.get("flight-dir").map(String::as_str) {
+        Some("none") => None,
+        Some(dir) => Some(std::path::PathBuf::from(dir)),
+        None => default_flight_dir.map(std::path::PathBuf::from),
+    };
+    Ok(TelemetryConfig {
+        window_secs: args.u64_flag("window-secs", defaults.window_secs)?,
+        flight_dir,
+        ..defaults
+    })
+}
+
 /// Batching/cache knobs shared by `encode`, `serve`, and `serve-bench`.
-fn session_flags(args: &Args) -> Result<SessionConfig, String> {
+fn session_flags(args: &Args, default_flight_dir: Option<&str>) -> Result<SessionConfig, String> {
     let defaults = SessionConfig::default();
     Ok(SessionConfig {
         max_batch: args.usize_flag("batch-size", defaults.max_batch)?,
         max_wait_us: args.u64_flag("max-wait-us", defaults.max_wait_us)?,
         cache_capacity: args.usize_flag("cache", defaults.cache_capacity)?,
+        telemetry: telemetry_flags(args, default_flight_dir)?,
     })
 }
 
@@ -422,7 +462,7 @@ fn cmd_encode(args: &Args) -> Result<(), String> {
         return Err("at least one sentence required (positional, --file FILE, or --file -)".into());
     }
     let bundle = load_ckpt(args)?;
-    let session = InferenceSession::new(bundle, session_flags(args)?);
+    let session = InferenceSession::new(bundle, session_flags(args, None)?);
     let embs = session.encode_many(&sentences).map_err(|e| e.to_string())?;
     for (s, e) in sentences.iter().zip(&embs) {
         let preview: Vec<String> = e.iter().take(6).map(|v| format!("{v:+.3}")).collect();
@@ -451,12 +491,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let cfg = ServerConfig {
         addr: args.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7077".into()),
         workers: args.usize_flag("workers", 4)?,
-        session: session_flags(args)?,
+        session: session_flags(args, Some("results"))?,
     };
     let handle = tele_knowledge::serve::serve(bundle, &cfg).map_err(|e| e.to_string())?;
     println!("serving on {} ({} workers)", handle.addr(), cfg.workers);
     println!("protocol: one JSON object per line, e.g.");
     println!(r#"  {{"op":"encode","texts":["link down on smf"]}}"#);
+    println!(r#"  {{"op":"metrics"}}  {{"op":"metrics","format":"prometheus"}}"#);
     println!(r#"  {{"op":"stats"}}  {{"op":"ping"}}  {{"op":"shutdown"}}"#);
     handle.wait();
     let stats = handle.shutdown();
@@ -482,6 +523,7 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
             max_batch: args.usize_flag("batch-size", 16)?,
             max_wait_us: args.u64_flag("max-wait-us", 200)?,
             cache_capacity: args.usize_flag("cache", 256)?,
+            telemetry: telemetry_flags(args, None)?,
         },
     };
     let report = run_bench(bundle, &cfg).map_err(|e| e.to_string())?;
@@ -513,11 +555,127 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         report.cache_hit_rate * 100.0,
         report.bit_identical
     );
+    // Windowed quantiles with a true max: the cumulative log-bucket summary
+    // underestimates tail spread on short runs (the old p50≈p99 artifact).
+    let w = &report.latency_window.request_latency;
+    println!(
+        "request latency (window): p50 {:.0} us, p90 {:.0} us, p99 {:.0} us, \
+         p999 {:.0} us, max {:.0} us",
+        w.p50_us, w.p90_us, w.p99_us, w.p999_us, w.max_us
+    );
     println!("report written to {}", out.display());
     if !report.bit_identical {
         return Err("batched embeddings diverged from the sequential baseline".into());
     }
+
+    // Telemetry overhead: re-run the batched workload with tracing on vs off
+    // (interleaved best-of rounds) and record the fractional slowdown.
+    let rounds = args.usize_flag("overhead-rounds", 3)?;
+    if rounds > 0 {
+        let bundle = load_ckpt(args)?;
+        let overhead = run_overhead_bench(bundle, &cfg, rounds).map_err(|e| e.to_string())?;
+        let overhead_out =
+            args.flags.get("overhead-out").map(std::path::PathBuf::from).unwrap_or_else(|| {
+                std::path::PathBuf::from("results/bench_telemetry_overhead.json")
+            });
+        if let Some(dir) = overhead_out.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        let json = serde_json::to_string_pretty(&overhead).map_err(|e| format!("{e:?}"))?;
+        write_atomic(&overhead_out, json.as_bytes()).map_err(|e| e.to_string())?;
+        println!(
+            "telemetry overhead: {:+.1}% ({:.1} vs {:.1} req/s, {} rounds, budget ≤{:.0}%) — {}",
+            overhead.overhead_frac * 100.0,
+            overhead.instrumented_rps,
+            overhead.uninstrumented_rps,
+            overhead.rounds,
+            overhead.threshold * 100.0,
+            if overhead.within_budget { "within budget" } else { "OVER BUDGET" }
+        );
+        println!("overhead report written to {}", overhead_out.display());
+    }
     Ok(())
+}
+
+/// Renders one latency row of the `tele top` table.
+fn top_row(name: &str, s: &tele_knowledge::serve::LatencySummary) -> String {
+    format!(
+        "  {name:<10} {:>8} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+        s.count, s.p50_us, s.p90_us, s.p99_us, s.p999_us, s.max_us
+    )
+}
+
+/// Live metrics poller: refreshes a terminal table from either a serve
+/// endpoint's `metrics` op (`--addr`) or a training heartbeat file
+/// (`--file`).
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let interval = std::time::Duration::from_millis(args.u64_flag("interval-ms", 1000)?);
+    let count = args.usize_flag("count", 0)?;
+    let addr = args.flags.get("addr");
+    let file = args.flags.get("file");
+    let mut polled = 0usize;
+    match (addr, file) {
+        (Some(addr), None) => {
+            let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+            loop {
+                let snap = client.metrics().map_err(|e| e.to_string())?;
+                polled += 1;
+                // Clear the screen and home the cursor between refreshes.
+                print!("\x1b[2J\x1b[H");
+                println!("tele top — {addr} (window {}s, poll {polled})", snap.window_secs);
+                let s = &snap.stats;
+                println!(
+                    "  {:.1} req/s | queue {} | in-flight {} | cache hit {:.0}% | \
+                     requests {} | errors {} | flight dumps {}",
+                    snap.rps_window,
+                    snap.queue_depth,
+                    snap.in_flight,
+                    s.cache_hit_rate * 100.0,
+                    s.requests,
+                    s.errors,
+                    s.flight_dumps
+                );
+                println!(
+                    "  {:<10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    "phase", "count", "p50us", "p90us", "p99us", "p999us", "maxus"
+                );
+                let w = &s.latency_window;
+                println!("{}", top_row("queue", &w.queue_us));
+                println!("{}", top_row("assemble", &w.assemble_us));
+                println!("{}", top_row("forward", &w.forward_us));
+                println!("{}", top_row("write", &w.write_us));
+                println!("{}", top_row("request", &w.request_latency));
+                println!("{}", top_row("batch", &w.batch_latency));
+                if count > 0 && polled >= count {
+                    return Ok(());
+                }
+                std::thread::sleep(interval);
+            }
+        }
+        (None, Some(path)) => loop {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read heartbeat {path}: {e}"))?;
+            let beat = tele_knowledge::model::Heartbeat::from_json(&text)
+                .map_err(|e| format!("unparseable heartbeat {path}: {e}"))?;
+            polled += 1;
+            print!("\x1b[2J\x1b[H");
+            println!("tele top — {path} (poll {polled})");
+            println!(
+                "  step {} | {:.2} steps/s | fused loss {} | live tensors {:.2} MiB | \
+                 last step {} us",
+                beat.step,
+                beat.steps_per_sec,
+                beat.fused.map_or_else(|| "-".into(), |v| format!("{v:.4}")),
+                beat.live_tensor_bytes as f64 / (1024.0 * 1024.0),
+                beat.micros
+            );
+            if count > 0 && polled >= count {
+                return Ok(());
+            }
+            std::thread::sleep(interval);
+        },
+        _ => Err("exactly one of --addr HOST:PORT or --file HEARTBEAT.json required".into()),
+    }
 }
 
 /// Drains the collected span events, writes the Chrome trace to `path`, and
@@ -553,6 +711,25 @@ fn write_profile(path: &std::path::Path) -> Result<(), String> {
         100.0 * hits as f64 / (hits + misses).max(1) as f64,
         pool.buffers,
         (pool.held_elems * std::mem::size_of::<f32>()) as f64 / (1024.0 * 1024.0),
+    );
+    // Registry histograms: the engine's step timing plus any published
+    // `serve.*` phase histograms when a serving session ran in-process.
+    if !snapshot.histograms.is_empty() {
+        eprintln!(
+            "histograms:\n  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "p50", "p90", "p99", "p999"
+        );
+        for (name, h) in &snapshot.histograms {
+            eprintln!(
+                "  {name:<24} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                h.count, h.p50, h.p90, h.p99, h.p999
+            );
+        }
+    }
+    eprintln!(
+        "memory gauges: live {:.2} MiB, peak {:.2} MiB",
+        gauge("mem.live_bytes") / (1024.0 * 1024.0),
+        gauge("mem.peak_live_bytes") / (1024.0 * 1024.0),
     );
     for dev in ["ref", "fast"] {
         let (live, allocs) = (trace::mem::live_bytes_for(dev), trace::mem::alloc_count_for(dev));

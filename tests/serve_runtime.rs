@@ -7,10 +7,14 @@ use std::sync::{Arc, Mutex};
 use tele_knowledge::datagen::{Scale, Suite};
 use tele_knowledge::model::{pretrain, EncodeError, PretrainConfig, TeleBert};
 use tele_knowledge::serve::{
-    serve, InferenceSession, ServeClient, ServeError, ServerConfig, SessionConfig,
+    serve, InferenceSession, ServeClient, ServeError, ServerConfig, SessionConfig, TelemetryConfig,
 };
 use tele_knowledge::tensor::nn::TransformerConfig;
 use tele_knowledge::tokenizer::{TeleTokenizer, TokenizerConfig};
+
+/// One result slot per client thread: its chunk's embeddings or the first
+/// error it hit.
+type ThreadSlots = Mutex<Vec<Option<Result<Vec<Vec<f32>>, ServeError>>>>;
 
 fn trained_bundle(suite: &Suite) -> TeleBert {
     let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
@@ -52,12 +56,11 @@ fn concurrent_session_matches_solo_encode_bit_for_bit() {
 
     let session = InferenceSession::new(
         bundle,
-        SessionConfig { max_batch: 8, max_wait_us: 300, cache_capacity: 64 },
+        SessionConfig { max_batch: 8, max_wait_us: 300, cache_capacity: 64, ..Default::default() },
     );
     let threads = 8;
     let chunk = texts.len().div_ceil(threads);
-    let results: Mutex<Vec<Option<Result<Vec<Vec<f32>>, ServeError>>>> =
-        Mutex::new((0..threads).map(|_| None).collect());
+    let results: ThreadSlots = Mutex::new((0..threads).map(|_| None).collect());
     std::thread::scope(|scope| {
         for t in 0..threads {
             let session = &session;
@@ -107,7 +110,12 @@ fn tcp_server_round_trips_embeddings_and_typed_errors() {
     let cfg = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
-        session: SessionConfig { max_batch: 4, max_wait_us: 300, cache_capacity: 32 },
+        session: SessionConfig {
+            max_batch: 4,
+            max_wait_us: 300,
+            cache_capacity: 32,
+            ..Default::default()
+        },
     };
     let handle = serve(bundle, &cfg).expect("serve");
     let addr = handle.addr().to_string();
@@ -145,4 +153,70 @@ fn tcp_server_round_trips_embeddings_and_typed_errors() {
     // as neither a request nor an error.
     assert_eq!(stats.errors, 0, "{stats:?}");
     assert_eq!(stats.requests, 18, "three clients x six texts: {stats:?}");
+}
+
+#[test]
+fn request_ids_propagate_end_to_end_over_tcp() {
+    let suite = Suite::generate(Scale::Smoke, 93);
+    let bundle = trained_bundle(&suite);
+    let texts = workload(&suite, 4, 2);
+
+    let flight_dir = std::env::temp_dir().join(format!("tele-flight-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&flight_dir).ok();
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        session: SessionConfig {
+            max_batch: 4,
+            max_wait_us: 300,
+            cache_capacity: 32,
+            telemetry: TelemetryConfig {
+                flight_dir: Some(flight_dir.clone()),
+                ..Default::default()
+            },
+        },
+    };
+    let handle = serve(bundle, &cfg).expect("serve");
+    let addr = handle.addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    // A client-chosen request id must come back on the reply.
+    let (rows, echoed) = client.encode_with_id(texts.clone(), 4242).expect("encode with id");
+    assert_eq!(rows.len(), texts.len());
+    assert_eq!(echoed, Some(4242), "server must echo the client's request id");
+
+    // The metrics op sees the traffic: cumulative and windowed latency both
+    // counted the request, and the phase histograms are live.
+    let snap = client.metrics().expect("metrics op");
+    assert_eq!(snap.stats.requests, texts.len() as u64);
+    assert_eq!(snap.stats.latency_window.request_latency.count, texts.len() as u64);
+    assert!(snap.stats.phases.queue_us.count > 0, "queue phase must be sampled: {snap:?}");
+    assert!(snap.rps_window > 0.0, "windowed rps must be live: {snap:?}");
+    let prom = client.metrics_prometheus().expect("prometheus op");
+    assert!(prom.contains("serve_requests"), "{prom}");
+    assert!(prom.contains("quantile=\"0.999\""), "{prom}");
+
+    // A typed error under a configured flight dir dumps the ring, and the
+    // dump names the offending request id.
+    let err = client.encode(vec![]).expect_err("empty batch must fail");
+    assert!(matches!(err, ServeError::Encode(EncodeError::EmptyBatch)), "{err:?}");
+    let snap = client.metrics().expect("metrics after error");
+    assert_eq!(snap.stats.flight_dumps, 1, "{snap:?}");
+    let dumps: Vec<_> = std::fs::read_dir(&flight_dir)
+        .expect("flight dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.starts_with("flight_") && name.ends_with(".json")
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "exactly one flight dump expected");
+    let text = std::fs::read_to_string(dumps[0].path()).expect("readable dump");
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("dump is valid JSON");
+    let notes = parsed.field("notes").as_arr();
+    assert!(notes.is_some_and(|n| !n.is_empty()), "{text}");
+    assert!(text.contains("empty_batch"), "dump must describe the error: {text}");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&flight_dir).ok();
 }
