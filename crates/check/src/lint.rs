@@ -1,6 +1,6 @@
 //! `tele lint`: token-level invariant linter for the workspace.
 //!
-//! Six rules, each encoding a workspace convention that rustc/clippy do
+//! Seven rules, each encoding a workspace convention that rustc/clippy do
 //! not enforce:
 //!
 //! | rule          | scope                         | invariant                                            |
@@ -11,6 +11,7 @@
 //! | `kernel-span` | `crates/tensor/src`           | pub kernels with nested loops open a `span!`         |
 //! | `tensor-storage` | everywhere except `crates/tensor` | no raw storage access (`as_mut_slice`); math goes through device kernels |
 //! | `metric-name` | everywhere                    | literal metric names are lowercase dot-separated `[a-z0-9_.]` |
+//! | `queue-bound` | `crates/serve/src`            | queues are built with an explicit capacity (`with_capacity` / `sync_channel`), never `VecDeque::new` / `channel()` |
 //!
 //! Findings suppressed by the allowlist are downgraded to notes (still
 //! visible in the JSON report) rather than dropped, so CI artifacts show
@@ -328,6 +329,51 @@ fn rule_metric_name(
     }
 }
 
+/// `queue-bound`: unbounded queue construction in the serving crate. Since
+/// admission control landed, every serve-layer queue carries an explicit
+/// capacity so overload sheds at enqueue instead of growing memory without
+/// bound — `VecDeque::with_capacity` and `mpsc::sync_channel` encode the
+/// bound at the construction site. A genuinely unbounded queue needs a
+/// justified `lint.allow` entry.
+fn rule_queue_bound(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
+    if !path.starts_with("crates/serve/") {
+        return;
+    }
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        if toks[i].is_ident("VecDeque")
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && (toks[i + 3].is_ident("new") || toks[i + 3].is_ident("default"))
+            && toks[i + 4].is_punct('(')
+        {
+            out.push(finding(
+                "queue-bound",
+                path,
+                toks[i].line,
+                format!(
+                    "`VecDeque::{}()` in the serving crate builds an unbounded queue: \
+                     use `with_capacity` with the admission bound, or carry a justified \
+                     lint.allow entry",
+                    toks[i + 3].text
+                ),
+            ));
+        }
+        if toks[i].is_ident("channel") && i + 1 < toks.len() && toks[i + 1].is_punct('(') {
+            out.push(finding(
+                "queue-bound",
+                path,
+                toks[i].line,
+                "`channel()` in the serving crate is unbounded: use `sync_channel(bound)`, \
+                 or carry a justified lint.allow entry",
+            ));
+        }
+    }
+}
+
 /// `kernel-span`: public tensor kernels with nested loops must open a
 /// trace span so the profiler sees them.
 fn rule_kernel_span(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
@@ -440,6 +486,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     rule_kernel_span(path, &toks, &in_test, &mut out);
     rule_tensor_storage(path, &toks, &in_test, &mut out);
     rule_metric_name(path, src, &toks, &in_test, &mut out);
+    rule_queue_bound(path, &toks, &in_test, &mut out);
     out
 }
 
@@ -649,6 +696,40 @@ mod tests {
             }
         "#;
         assert!(lint_source("crates/serve/src/metrics.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn queue_bound_requires_capacities_in_the_serving_crate() {
+        let bad = r#"
+            pub fn q() {
+                let a: VecDeque<u32> = VecDeque::new();
+                let b: VecDeque<u32> = VecDeque::default();
+                let (tx, rx) = std::sync::mpsc::channel();
+            }
+        "#;
+        let diags = lint_source("crates/serve/src/server.rs", bad);
+        assert_eq!(codes(&diags), vec!["queue-bound"; 3], "{diags:?}");
+        assert!(diags[0].message.contains("with_capacity"), "{}", diags[0].message);
+
+        // Bounded constructors are the sanctioned path.
+        let ok = r#"
+            pub fn q(cap: usize) {
+                let a: VecDeque<u32> = VecDeque::with_capacity(cap);
+                let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+            }
+        "#;
+        assert!(lint_source("crates/serve/src/session.rs", ok).is_empty());
+
+        // Other crates may build scratch queues freely, and serve test
+        // modules are exempt like every other rule.
+        assert!(lint_source("crates/core/src/engine.rs", bad).is_empty());
+        let in_test = r#"
+            #[cfg(test)]
+            mod tests {
+                fn t() { let q: VecDeque<u32> = VecDeque::new(); }
+            }
+        "#;
+        assert!(lint_source("crates/serve/src/server.rs", in_test).is_empty());
     }
 
     #[test]

@@ -282,7 +282,23 @@ pub struct CheckpointStore {
 }
 
 /// Name of the pointer file inside a checkpoint directory.
-const LATEST: &str = "LATEST";
+pub const LATEST_POINTER: &str = "LATEST";
+const LATEST: &str = LATEST_POINTER;
+
+/// Reads the `LATEST` pointer of a checkpoint/bundle directory: the file
+/// name it designates (trimmed), or `Ok(None)` when no pointer exists yet.
+///
+/// This is the polling primitive for hot rollover: a serve-side watcher
+/// re-reads the pointer and reloads when its value changes. The pointer is
+/// written atomically by [`CheckpointStore::save`] (or any writer using
+/// [`write_atomic`]), so a reader never observes a torn name.
+pub fn read_latest_pointer(dir: &Path) -> io::Result<Option<String>> {
+    match fs::read_to_string(dir.join(LATEST)) {
+        Ok(name) => Ok(Some(name.trim().to_string())),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
 
 fn snapshot_name(step: u64) -> String {
     format!("ckpt-{step:010}.tkpt")
@@ -516,6 +532,21 @@ mod tests {
         let (step, payload) = store.load_latest().unwrap().unwrap();
         assert_eq!(step, 7);
         assert_eq!(payload, b"seven");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_pointer_reads_back_and_tolerates_absence() {
+        let dir = tmp_dir("latest-pointer");
+        fs::create_dir_all(&dir).unwrap();
+        // No pointer yet: None, not an error.
+        assert_eq!(read_latest_pointer(&dir).unwrap(), None);
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        store.save(42, b"forty-two").unwrap();
+        assert_eq!(read_latest_pointer(&dir).unwrap().as_deref(), Some(snapshot_name(42).as_str()));
+        // A hand-written pointer (e.g. a bundle publisher) reads back trimmed.
+        write_atomic(&dir.join(LATEST), b"bundle_v2.json\n").unwrap();
+        assert_eq!(read_latest_pointer(&dir).unwrap().as_deref(), Some("bundle_v2.json"));
         fs::remove_dir_all(&dir).ok();
     }
 

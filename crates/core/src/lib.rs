@@ -50,7 +50,10 @@ pub use checkpoint::{
     restore_stage_checkpoint, save_bundle, save_checkpoint, SavedBundle, SavedCheckpoint,
     StageCheckpoint,
 };
-pub use ckptstore::{write_atomic, CheckpointError, CheckpointStore, FsIo, StoreIo};
+pub use ckptstore::{
+    read_latest_pointer, write_atomic, CheckpointError, CheckpointStore, FsIo, StoreIo,
+    LATEST_POINTER,
+};
 pub use faults::{flip_bit, truncate, FailingIo, FaultyObjective, LossFault, TornIo};
 
 pub use engine::{

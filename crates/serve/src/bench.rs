@@ -15,14 +15,15 @@
 //! and carries the session's cache and batch-shape statistics.
 
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use ktelebert::TeleBert;
 use serde::{Deserialize, Serialize};
 use tele_trace::now_ns;
 
 use crate::error::ServeError;
-use crate::metrics::{ServeStats, TelemetryConfig, WindowStats};
-use crate::session::{InferenceSession, SessionConfig};
+use crate::metrics::{LatencySummary, ServeStats, TelemetryConfig, WindowStats};
+use crate::session::{EncodeTicket, InferenceSession, SessionConfig};
 
 /// Load-generator configuration.
 #[derive(Clone, Debug)]
@@ -262,6 +263,104 @@ pub fn run_overhead_bench(
     })
 }
 
+/// One arrival rate's measurement in the open-loop overload sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Offered arrival rate, requests per second.
+    pub arrival_rps: f64,
+    /// Requests the dispatcher offered at this rate.
+    pub offered: u64,
+    /// Requests that completed with an embedding.
+    pub completed: u64,
+    /// Requests shed at admission with a typed `overloaded`.
+    pub shed: u64,
+    /// Requests expired in the queue past their deadline.
+    pub deadline_expired: u64,
+    /// `shed / offered`.
+    pub shed_rate: f64,
+    /// End-to-end latency of completed requests at this rate, µs.
+    pub latency: LatencySummary,
+}
+
+/// The overload sweep result, written to `results/bench_serve_overload.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OverloadReport {
+    /// Requests offered per rate point.
+    pub requests_per_rate: u64,
+    /// The session's admission bound during the sweep (0 = unbounded).
+    pub queue_capacity: u64,
+    /// The default queueing deadline applied to every request, µs (0 = none).
+    pub default_deadline_us: u64,
+    /// One measurement per swept arrival rate, in sweep order.
+    pub rates: Vec<RatePoint>,
+}
+
+/// Open-loop overload sweep: for each rate in `rates_rps`, a fresh session
+/// receives `cfg.requests` arrivals on a fixed clock-driven schedule —
+/// the dispatcher holds the schedule no matter how slowly the server drains,
+/// which is what distinguishes overload from the closed-loop [`run_bench`]
+/// (where slow service throttles the clients). Shed and expired requests are
+/// counted instead of failing the sweep; any other error aborts it.
+pub fn run_overload_bench(
+    bundle: TeleBert,
+    cfg: &BenchConfig,
+    rates_rps: &[f64],
+) -> Result<OverloadReport, ServeError> {
+    let bundle = Arc::new(bundle);
+    let texts = workload(cfg.requests, cfg.unique);
+    let mut rates = Vec::with_capacity(rates_rps.len());
+    for &rate in rates_rps {
+        let rate = if rate.is_finite() && rate > 0.0 { rate } else { 1.0 };
+        let gap_ns = (1e9 / rate) as u64;
+        let session = InferenceSession::from_arc(Arc::clone(&bundle), cfg.session.clone());
+        let mut tickets: Vec<EncodeTicket> = Vec::with_capacity(texts.len());
+        let mut shed = 0u64;
+        let t0 = now_ns();
+        for (i, text) in texts.iter().enumerate() {
+            // Hold the arrival schedule: sleep to t0 + i * gap, never longer.
+            let target = t0.saturating_add((i as u64).saturating_mul(gap_ns));
+            loop {
+                let now = now_ns();
+                if now >= target {
+                    break;
+                }
+                std::thread::sleep(Duration::from_nanos((target - now).min(1_000_000)));
+            }
+            match session.encode_async(text, i as u64 + 1, None) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(ServeError::Overloaded { .. }) => shed += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut completed = 0u64;
+        let mut deadline_expired = 0u64;
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(_) => completed += 1,
+                Err(ServeError::DeadlineExceeded { .. }) => deadline_expired += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        let stats = session.shutdown();
+        let offered = texts.len() as u64;
+        rates.push(RatePoint {
+            arrival_rps: rate,
+            offered,
+            completed,
+            shed,
+            deadline_expired,
+            shed_rate: shed as f64 / offered.max(1) as f64,
+            latency: stats.latency_window.request_latency.clone(),
+        });
+    }
+    Ok(OverloadReport {
+        requests_per_rate: texts.len() as u64,
+        queue_capacity: cfg.session.queue_capacity as u64,
+        default_deadline_us: cfg.session.default_deadline_us,
+        rates,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +404,36 @@ mod tests {
         let back: BenchReport = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back.requests, report.requests);
         assert_eq!(back.latency_window.window_secs, report.latency_window.window_secs);
+    }
+
+    #[test]
+    fn overload_sweep_sheds_at_rates_past_capacity() {
+        let cfg = BenchConfig {
+            requests: 30,
+            unique: 30, // all distinct: the cache cannot absorb the overload
+            client_threads: 1,
+            session: SessionConfig {
+                max_batch: 1,
+                max_wait_us: 0,
+                cache_capacity: 0,
+                queue_capacity: 2,
+                fault: crate::faults::ServeFault::SlowBatch(10),
+                ..Default::default()
+            },
+        };
+        let report = run_overload_bench(tiny_bundle(22), &cfg, &[5_000.0]).expect("overload sweep");
+        assert_eq!(report.requests_per_rate, 30);
+        assert_eq!(report.queue_capacity, 2);
+        assert_eq!(report.rates.len(), 1);
+        let point = &report.rates[0];
+        assert_eq!(point.offered, 30);
+        assert_eq!(point.completed + point.shed + point.deadline_expired, 30);
+        assert!(point.completed >= 1, "some requests must complete: {point:?}");
+        assert!(point.shed >= 1, "a 5k rps burst into capacity 2 must shed: {point:?}");
+        assert!((point.shed_rate - point.shed as f64 / 30.0).abs() < 1e-12);
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: OverloadReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.rates.len(), report.rates.len());
     }
 
     #[test]

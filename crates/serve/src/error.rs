@@ -21,6 +21,28 @@ pub enum ServeError {
     Protocol(String),
     /// The session or server has shut down; no further requests are served.
     SessionClosed,
+    /// Admission control shed the request: the queue was already at capacity
+    /// when it arrived, so it was rejected at enqueue instead of stalling.
+    Overloaded {
+        /// Queue depth observed when the request was shed.
+        depth: u64,
+        /// The configured queue capacity the depth collided with.
+        capacity: u64,
+    },
+    /// The request waited in the queue past its deadline and was expired
+    /// instead of being forwarded dead to the model.
+    DeadlineExceeded {
+        /// How long the request actually waited before expiry.
+        waited_us: u64,
+        /// The deadline the request carried.
+        deadline_us: u64,
+    },
+    /// A blocking client operation exceeded its configured read/write
+    /// timeout; the server may still be alive but is not answering in time.
+    Timeout,
+    /// The worker servicing the batch panicked; the panic was contained and
+    /// converted into this error instead of poisoning the session.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -31,6 +53,14 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "transport failed: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ServeError::SessionClosed => write!(f, "session is shut down"),
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "server overloaded: queue depth {depth} at capacity {capacity}")
+            }
+            ServeError::DeadlineExceeded { waited_us, deadline_us } => {
+                write!(f, "deadline exceeded: waited {waited_us} us past a {deadline_us} us budget")
+            }
+            ServeError::Timeout => write!(f, "operation timed out"),
+            ServeError::Internal(msg) => write!(f, "internal server error: {msg}"),
         }
     }
 }
@@ -72,12 +102,16 @@ mod tests {
         let cases: Vec<(ServeError, &str)> = vec![
             (ServeError::Encode(EncodeError::EmptyBatch), "encode failed"),
             (ServeError::Checkpoint(CheckpointError::BadMagic), "checkpoint failed"),
-            (
-                ServeError::Io(std::io::Error::other("x")),
-                "transport failed",
-            ),
+            (ServeError::Io(std::io::Error::other("x")), "transport failed"),
             (ServeError::Protocol("bad line".into()), "protocol violation"),
             (ServeError::SessionClosed, "shut down"),
+            (ServeError::Overloaded { depth: 9, capacity: 8 }, "overloaded"),
+            (
+                ServeError::DeadlineExceeded { waited_us: 700, deadline_us: 500 },
+                "deadline exceeded",
+            ),
+            (ServeError::Timeout, "timed out"),
+            (ServeError::Internal("worker panic".into()), "internal server error"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

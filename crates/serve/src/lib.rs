@@ -16,13 +16,19 @@
 //!   with hit/miss accounting;
 //! * [`session`] — [`InferenceSession`]: an `Arc`-shared immutable model
 //!   behind a batcher thread that coalesces concurrent encode requests into
-//!   padded micro-batches (closed by a size cap or a wait deadline);
+//!   padded micro-batches (closed by a size cap or a wait deadline), with
+//!   bounded admission (typed [`ServeError::Overloaded`] sheds), per-request
+//!   deadlines, and hot model rollover ([`InferenceSession::install`]);
 //! * [`server`] — `tele serve`'s TCP front-end: newline-delimited JSON over
-//!   `std::net`, a hand-rolled worker pool, cross-connection batching, and
-//!   a matching blocking [`ServeClient`];
+//!   `std::net`, a bounded accept queue, a hand-rolled worker pool,
+//!   cross-connection batching, a LATEST-pointer checkpoint watcher, and a
+//!   matching blocking [`ServeClient`] with timeouts and bounded retry;
 //! * [`bench`] — `tele serve-bench`'s load generator comparing the batched
 //!   runtime against the sequential baseline with a bit-identity check,
-//!   plus the tracing-on/off overhead comparison;
+//!   the tracing-on/off overhead comparison, and the open-loop overload
+//!   sweep behind `--arrival-rps`;
+//! * [`faults`] — deterministic serve-layer fault injection ([`ServeFault`])
+//!   for the chaos suite;
 //! * [`metrics`] — the telemetry plane: cumulative **and** sliding-window
 //!   `serve.*` histograms, per-phase request decomposition
 //!   (queue/assemble/forward/write), live gauges, the `metrics` wire
@@ -39,23 +45,28 @@
 pub mod bench;
 pub mod cache;
 pub mod error;
+pub mod faults;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
 pub use bench::{
-    run_bench, run_overhead_bench, workload, BenchConfig, BenchReport, OverheadReport,
+    run_bench, run_overhead_bench, run_overload_bench, workload, BenchConfig, BenchReport,
+    OverheadReport, OverloadReport, RatePoint,
 };
 pub use cache::{normalize_key, LruCache};
 pub use error::ServeError;
+pub use faults::ServeFault;
 pub use metrics::{
     LatencySummary, MetricsSnapshot, PhaseStats, ServeMetrics, ServeStats, TelemetryConfig,
     WindowStats,
 };
 pub use protocol::{Request, Response};
-pub use server::{serve, ServeClient, ServeHandle, ServerConfig};
-pub use session::{InferenceSession, SessionConfig};
+pub use server::{
+    backoff_delay_ms, serve, ClientConfig, ServeClient, ServeHandle, ServerConfig, WatchConfig,
+};
+pub use session::{effective_wait_us, EncodeTicket, InferenceSession, SessionConfig};
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -90,8 +101,14 @@ pub(crate) mod testutil {
             max_len: 32,
             dropout: 0.1,
         };
-        let model =
-            TeleModel::new(&mut store, "m", &ModelConfig { encoder: cfg, anenc: None }, &mut rng);
+        // The canonical trainer prefix, so save_bundle/load_bundle
+        // round-trips (rollover tests) find every parameter by name.
+        let model = TeleModel::new(
+            &mut store,
+            "telebert",
+            &ModelConfig { encoder: cfg, anenc: None },
+            &mut rng,
+        );
         TeleBert {
             store,
             model,

@@ -110,6 +110,12 @@ pub struct ServeMetrics {
     pub encoded_sentences: u64,
     /// Flight-recorder dumps written.
     pub flight_dumps: u64,
+    /// Requests shed at enqueue by admission control.
+    pub shed: u64,
+    /// Queued requests expired past their deadline instead of forwarded.
+    pub deadline_expired: u64,
+    /// Hot checkpoint rollovers completed.
+    pub rollovers: u64,
     window_secs: u64,
     start_ns: u64,
     request_window: WindowedHistogram,
@@ -230,6 +236,12 @@ pub struct ServeStats {
     pub encoded_sentences: u64,
     /// Flight-recorder dumps written so far.
     pub flight_dumps: u64,
+    /// Requests shed at enqueue by admission control.
+    pub shed: u64,
+    /// Queued requests expired past their deadline.
+    pub deadline_expired: u64,
+    /// Hot checkpoint rollovers completed.
+    pub rollovers: u64,
     /// Mean executed batch size (0 before any batch).
     pub mean_batch_size: f64,
     /// Largest executed batch.
@@ -258,6 +270,9 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Requests accepted and not yet answered.
     pub in_flight: u64,
+    /// Version of the checkpoint bundle currently serving (starts at 1,
+    /// bumped by each hot rollover).
+    pub model_version: u64,
     /// Full serving statistics.
     pub stats: ServeStats,
 }
@@ -276,6 +291,9 @@ impl ServeMetrics {
             cache_misses: 0,
             encoded_sentences: 0,
             flight_dumps: 0,
+            shed: 0,
+            deadline_expired: 0,
+            rollovers: 0,
             window_secs: cfg.window_secs.max(1),
             start_ns: tele_trace::now_ns(),
             request_window: WindowedHistogram::new(cfg.window_secs, cfg.window_buckets),
@@ -364,6 +382,9 @@ impl ServeMetrics {
             },
             encoded_sentences: self.encoded_sentences,
             flight_dumps: self.flight_dumps,
+            shed: self.shed,
+            deadline_expired: self.deadline_expired,
+            rollovers: self.rollovers,
             mean_batch_size: self.batch_size.mean(),
             max_batch_size: self.batch_size.max(),
             request_latency: latency_summary(&self.request_latency_ns),
@@ -401,21 +422,26 @@ impl ServeMetrics {
         now_ns: u64,
         queue_depth: u64,
         in_flight: u64,
+        model_version: u64,
     ) -> tele_trace::metrics::MetricsSnapshot {
         let counters = vec![
             ("serve.batches".to_string(), self.batches),
             ("serve.cache_hits".to_string(), self.cache_hits),
             ("serve.cache_misses".to_string(), self.cache_misses),
+            ("serve.deadline_expired".to_string(), self.deadline_expired),
             ("serve.encoded_sentences".to_string(), self.encoded_sentences),
             ("serve.errors".to_string(), self.errors),
             ("serve.flight_dumps".to_string(), self.flight_dumps),
             ("serve.requests".to_string(), self.requests),
+            ("serve.rollover".to_string(), self.rollovers),
+            ("serve.shed".to_string(), self.shed),
         ];
         let looked_up = self.cache_hits + self.cache_misses;
         let hit_rate = if looked_up == 0 { 0.0 } else { self.cache_hits as f64 / looked_up as f64 };
         let gauges = vec![
             ("serve.cache_hit_rate".to_string(), hit_rate),
             ("serve.in_flight".to_string(), in_flight as f64),
+            ("serve.model_version".to_string(), model_version as f64),
             ("serve.queue_depth".to_string(), queue_depth as f64),
             ("serve.rps_window".to_string(), self.rps_window(now_ns)),
         ];
@@ -459,6 +485,9 @@ impl ServeMetrics {
         m::counter_add("serve.cache_misses", self.cache_misses);
         m::counter_add("serve.encoded_sentences", self.encoded_sentences);
         m::counter_add("serve.flight_dumps", self.flight_dumps);
+        m::counter_add("serve.shed", self.shed);
+        m::counter_add("serve.deadline_expired", self.deadline_expired);
+        m::counter_add("serve.rollover", self.rollovers);
         m::gauge_set("serve.cache_hit_rate", self.stats().cache_hit_rate);
     }
 }
@@ -564,10 +593,14 @@ mod tests {
         let now = tele_trace::now_ns();
         m.record_request(now, 2_000_000, true);
         m.record_queue_us(now, 55);
-        let snap = m.registry_snapshot(now, 3, 7);
+        let snap = m.registry_snapshot(now, 3, 7, 1);
         let text = tele_trace::export::prometheus_text(&snap);
         assert!(text.contains("serve_requests 1"), "{text}");
         assert!(text.contains("serve_queue_depth 3"), "{text}");
+        assert!(text.contains("serve_model_version 1"), "{text}");
+        assert!(text.contains("serve_shed 0"), "{text}");
+        assert!(text.contains("serve_deadline_expired 0"), "{text}");
+        assert!(text.contains("serve_rollover 0"), "{text}");
         assert!(text.contains("serve_queue_us{quantile=\"0.999\"}"), "{text}");
         // Every metric family is typed exactly once.
         let mut families: Vec<&str> =
@@ -576,6 +609,27 @@ mod tests {
         families.sort_unstable();
         families.dedup();
         assert_eq!(before, families.len(), "duplicate metric family in:\n{text}");
+    }
+
+    #[test]
+    fn overload_counters_flow_through_stats_and_publish() {
+        tele_trace::enable();
+        tele_trace::reset();
+        let m =
+            ServeMetrics { shed: 5, deadline_expired: 2, rollovers: 1, ..ServeMetrics::default() };
+        let s = m.stats();
+        assert_eq!((s.shed, s.deadline_expired, s.rollovers), (5, 2, 1));
+        m.publish();
+        let snap = tele_trace::metrics::snapshot();
+        assert!(snap.counters.iter().any(|(k, v)| k == "serve.shed" && *v == 5));
+        assert!(snap.counters.iter().any(|(k, v)| k == "serve.deadline_expired" && *v == 2));
+        assert!(snap.counters.iter().any(|(k, v)| k == "serve.rollover" && *v == 1));
+        tele_trace::reset();
+        tele_trace::disable();
+
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: ServeStats = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!((back.shed, back.deadline_expired, back.rollovers), (5, 2, 1));
     }
 
     #[test]

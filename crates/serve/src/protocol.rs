@@ -21,8 +21,8 @@ use crate::metrics::{MetricsSnapshot, ServeStats};
 /// A client request line.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Request {
-    /// Operation: `"encode"`, `"stats"`, `"metrics"`, `"ping"`, or
-    /// `"shutdown"`.
+    /// Operation: `"encode"`, `"stats"`, `"metrics"`, `"ping"`, `"reload"`,
+    /// or `"shutdown"`.
     pub op: String,
     /// Sentences to encode (required for `encode`, absent otherwise).
     pub texts: Option<Vec<String>>,
@@ -31,28 +31,50 @@ pub struct Request {
     /// Output format for `metrics`: absent/`"json"` for a structured
     /// snapshot, `"prometheus"` for text exposition.
     pub format: Option<String>,
+    /// Per-request queueing deadline in microseconds (`encode` only); the
+    /// server's configured default applies when absent.
+    pub deadline_us: Option<u64>,
+    /// Checkpoint bundle path for `reload`.
+    pub ckpt: Option<String>,
 }
 
 impl Request {
     /// An `encode` request.
     pub fn encode(texts: Vec<String>) -> Self {
-        Request { op: "encode".into(), texts: Some(texts), id: None, format: None }
+        Request { texts: Some(texts), ..Request::bare("encode") }
     }
 
     /// An `encode` request under a client-chosen id.
     pub fn encode_with_id(texts: Vec<String>, id: u64) -> Self {
-        Request { op: "encode".into(), texts: Some(texts), id: Some(id), format: None }
+        Request { id: Some(id), ..Request::encode(texts) }
+    }
+
+    /// An `encode` request carrying an explicit queueing deadline.
+    pub fn encode_with_deadline(texts: Vec<String>, deadline_us: u64) -> Self {
+        Request { deadline_us: Some(deadline_us), ..Request::encode(texts) }
     }
 
     /// A bare request with no payload (`stats` / `metrics` / `ping` /
     /// `shutdown`).
     pub fn bare(op: &str) -> Self {
-        Request { op: op.into(), texts: None, id: None, format: None }
+        Request {
+            op: op.into(),
+            texts: None,
+            id: None,
+            format: None,
+            deadline_us: None,
+            ckpt: None,
+        }
     }
 
     /// A `metrics` request asking for the Prometheus text exposition.
     pub fn metrics_prometheus() -> Self {
-        Request { op: "metrics".into(), texts: None, id: None, format: Some("prometheus".into()) }
+        Request { format: Some("prometheus".into()), ..Request::bare("metrics") }
+    }
+
+    /// A `reload` request pointing the server at a new checkpoint bundle.
+    pub fn reload(ckpt: &str) -> Self {
+        Request { ckpt: Some(ckpt.into()), ..Request::bare("reload") }
     }
 }
 
@@ -71,6 +93,8 @@ pub struct Response {
     pub prometheus: Option<String>,
     /// Id the server processed this request under (echoed or assigned).
     pub request_id: Option<u64>,
+    /// Model version now serving (`reload` only).
+    pub version: Option<u64>,
     /// Machine-readable error code (set when `ok` is false).
     pub code: Option<String>,
     /// Human-readable error message (set when `ok` is false).
@@ -87,9 +111,15 @@ impl Response {
             metrics: None,
             prometheus: None,
             request_id: None,
+            version: None,
             code: None,
             error: None,
         }
+    }
+
+    /// A successful `reload` response naming the model version now serving.
+    pub fn reloaded(version: u64) -> Self {
+        Response { version: Some(version), ..Response::ack() }
     }
 
     /// A successful `encode` response.
@@ -138,6 +168,20 @@ impl Response {
         Some(match self.code.as_deref() {
             Some("empty_batch") => ServeError::Encode(EncodeError::EmptyBatch),
             Some("session_closed") => ServeError::SessionClosed,
+            // Shed/expiry details travel in the message; the variant is what
+            // retry logic branches on, so zeroed fields are fine client-side.
+            // A checkpoint/io failure loses its inner structure crossing the
+            // wire; the message keeps the detail, the variant keeps the type.
+            Some("checkpoint") => {
+                ServeError::Checkpoint(ktelebert::CheckpointError::Parse(message))
+            }
+            Some("io") => ServeError::Io(std::io::Error::other(message)),
+            Some("overloaded") => ServeError::Overloaded { depth: 0, capacity: 0 },
+            Some("deadline_exceeded") => {
+                ServeError::DeadlineExceeded { waited_us: 0, deadline_us: 0 }
+            }
+            Some("timeout") => ServeError::Timeout,
+            Some("internal") => ServeError::Internal(message),
             _ => ServeError::Protocol(message),
         })
     }
@@ -153,6 +197,10 @@ pub fn error_code(err: &ServeError) -> &'static str {
         ServeError::Io(_) => "io",
         ServeError::Protocol(_) => "protocol",
         ServeError::SessionClosed => "session_closed",
+        ServeError::Overloaded { .. } => "overloaded",
+        ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+        ServeError::Timeout => "timeout",
+        ServeError::Internal(_) => "internal",
     }
 }
 
@@ -218,10 +266,50 @@ mod tests {
 
     #[test]
     fn old_style_requests_still_parse() {
-        // Pre-telemetry clients send neither `id` nor `format`.
+        // Pre-telemetry clients send neither `id` nor `format`, and
+        // pre-overload clients send neither `deadline_us` nor `ckpt`.
         let back: Request =
             serde_json::from_str(r#"{"op":"encode","texts":["a"]}"#).expect("deserialize");
         assert!(back.id.is_none() && back.format.is_none());
+        assert!(back.deadline_us.is_none() && back.ckpt.is_none());
+    }
+
+    #[test]
+    fn overload_errors_roundtrip_to_typed_errors() {
+        for (err, wants) in [
+            (ServeError::Overloaded { depth: 9, capacity: 8 }, "overloaded"),
+            (
+                ServeError::DeadlineExceeded { waited_us: 700, deadline_us: 500 },
+                "deadline_exceeded",
+            ),
+            (ServeError::Timeout, "timeout"),
+            (ServeError::Internal("worker panic".into()), "internal"),
+        ] {
+            let json = serde_json::to_string(&Response::failure(&err)).expect("serialize");
+            let back: Response = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back.code.as_deref(), Some(wants));
+            let typed = back.to_error().expect("typed error");
+            assert_eq!(error_code(&typed), wants, "{typed:?}");
+        }
+    }
+
+    #[test]
+    fn deadline_and_reload_requests_roundtrip() {
+        let req = Request::encode_with_deadline(vec!["x".into()], 2_500);
+        let json = serde_json::to_string(&req).expect("serialize");
+        let back: Request = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.deadline_us, Some(2_500));
+
+        let req = Request::reload("results/bundle_v2.json");
+        let json = serde_json::to_string(&req).expect("serialize");
+        let back: Request = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.op, "reload");
+        assert_eq!(back.ckpt.as_deref(), Some("results/bundle_v2.json"));
+
+        let json = serde_json::to_string(&Response::reloaded(2)).expect("serialize");
+        let back: Response = serde_json::from_str(&json).expect("deserialize");
+        assert!(back.ok);
+        assert_eq!(back.version, Some(2));
     }
 
     #[test]

@@ -1,16 +1,38 @@
 //! The TCP serving front-end: `std::net::TcpListener`, a hand-rolled worker
 //! pool, and newline-delimited JSON framing (see [`crate::protocol`]).
 //!
-//! Topology: one accept thread pushes connections onto a shared queue; N
+//! Topology: one accept thread pushes connections onto a **bounded** queue; N
 //! worker threads each own one connection at a time and answer its requests
 //! through the shared [`InferenceSession`] — so batching happens *across*
 //! connections, not per connection. Reads carry a short timeout so workers
 //! re-check the shutdown flag even while a client sits idle, which bounds
 //! shutdown latency without a dedicated reaper.
+//!
+//! # Overload behavior
+//!
+//! Admission control is layered: when the connection queue is already at
+//! [`ServerConfig::accept_queue`], new connections are answered with one
+//! typed `overloaded` error line and closed instead of queueing without
+//! bound; accepted requests can still be shed by the session's own bounded
+//! request queue. A per-connection idle budget
+//! ([`ServerConfig::idle_timeout_ms`]) cuts slow-loris peers — clients that
+//! hold a worker by trickling bytes without ever completing a frame — while
+//! partial frames interrupted by the read-poll timeout are preserved across
+//! polls, so slow-but-live clients are never misparsed.
+//!
+//! # Hot rollover
+//!
+//! A model swap arrives two ways: the `reload` wire op names a bundle file
+//! explicitly, or a [`WatchConfig`] polls a checkpoint directory's `LATEST`
+//! pointer and installs each newly pointed-at bundle. Both paths validate
+//! with [`ktelebert::load_bundle`] *before* touching the serving session; a
+//! corrupt candidate leaves the old bundle serving and surfaces a typed
+//! checkpoint error.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -27,6 +49,23 @@ use crate::session::{InferenceSession, SessionConfig};
 /// How long a worker blocks on a socket read before re-checking shutdown.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Socket write timeout: a peer that stops draining its receive buffer must
+/// not pin a worker forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Write budget for the single shed line sent to a rejected connection.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Checkpoint-directory watching: poll `dir`'s `LATEST` pointer and hot-swap
+/// the serving bundle when it names a new snapshot.
+#[derive(Clone, Debug)]
+pub struct WatchConfig {
+    /// Checkpoint directory holding snapshots and the `LATEST` pointer file.
+    pub dir: PathBuf,
+    /// Poll interval, milliseconds (floored to 50).
+    pub interval_ms: u64,
+}
+
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -34,6 +73,14 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads (= concurrently served connections).
     pub workers: usize,
+    /// Accepted connections queued ahead of the worker pool before new
+    /// arrivals are shed with a typed `overloaded` line (min 1).
+    pub accept_queue: usize,
+    /// Per-connection idle budget, ms: a connection that completes no frame
+    /// for this long is closed (slow-loris guard). 0 disables the cut.
+    pub idle_timeout_ms: u64,
+    /// Optional LATEST-pointer watcher for hot checkpoint rollover.
+    pub watch: Option<WatchConfig>,
     /// Batching and cache knobs for the shared session.
     pub session: SessionConfig,
 }
@@ -43,6 +90,9 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7077".into(),
             workers: 4,
+            accept_queue: 128,
+            idle_timeout_ms: 60_000,
+            watch: None,
             session: SessionConfig::default(),
         }
     }
@@ -79,6 +129,7 @@ pub struct ServeHandle {
     queue: Arc<ConnQueue>,
     session: Arc<InferenceSession>,
     accept: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -93,7 +144,11 @@ pub fn serve(bundle: TeleBert, cfg: &ServerConfig) -> Result<ServeHandle, ServeE
         stopped: Mutex::new(false),
         cv: Condvar::new(),
     });
-    let queue = Arc::new(ConnQueue { conns: Mutex::new(VecDeque::new()), wake: Condvar::new() });
+    let accept_queue = cfg.accept_queue.max(1);
+    let queue = Arc::new(ConnQueue {
+        conns: Mutex::new(VecDeque::with_capacity(accept_queue.min(1_024))),
+        wake: Condvar::new(),
+    });
 
     let accept = {
         let control = Arc::clone(&control);
@@ -111,12 +166,26 @@ pub fn serve(bundle: TeleBert, cfg: &ServerConfig) -> Result<ServeHandle, ServeE
                         .peer_addr()
                         .map(|a| a.to_string())
                         .unwrap_or_else(|_| "unknown".into());
+                    let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
+                    if conns.len() >= accept_queue {
+                        let depth = conns.len() as u64;
+                        drop(conns);
+                        session.record_shed(
+                            1,
+                            None,
+                            &format!(
+                                "accept queue full: conn={conn_seq} peer={peer} \
+                                 depth={depth} capacity={accept_queue}"
+                            ),
+                        );
+                        shed_connection(stream, depth, accept_queue as u64);
+                        continue;
+                    }
                     session.flight_note(
                         "conn.accept",
                         None,
                         format!("conn={conn_seq} peer={peer}"),
                     );
-                    let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
                     conns.push_back(stream);
                     drop(conns);
                     queue.wake.notify_one();
@@ -125,16 +194,97 @@ pub fn serve(bundle: TeleBert, cfg: &ServerConfig) -> Result<ServeHandle, ServeE
         })
     };
 
+    let watcher = cfg.watch.clone().map(|watch| {
+        let control = Arc::clone(&control);
+        let session = Arc::clone(&session);
+        // Seed the baseline pointer *before* spawning: whatever LATEST names
+        // when serve() returns is the generation already being served, and
+        // any later flip — even an immediate one — is a rollover.
+        let initial = ktelebert::read_latest_pointer(&watch.dir).ok().flatten();
+        std::thread::spawn(move || watch_latest(&control, &session, &watch, initial))
+    });
+
+    let idle_timeout_ms = cfg.idle_timeout_ms;
     let workers = (0..cfg.workers.max(1))
         .map(|_| {
             let control = Arc::clone(&control);
             let queue = Arc::clone(&queue);
             let session = Arc::clone(&session);
-            std::thread::spawn(move || worker_loop(&control, &queue, &session))
+            std::thread::spawn(move || worker_loop(&control, &queue, &session, idle_timeout_ms))
         })
         .collect();
 
-    Ok(ServeHandle { addr, control, queue, session, accept: Some(accept), workers })
+    Ok(ServeHandle { addr, control, queue, session, accept: Some(accept), watcher, workers })
+}
+
+/// Answers a connection rejected at the accept queue with one typed
+/// `overloaded` line, best effort, then drops it. The peer gets a parseable
+/// reason instead of a silent RST, and the write cannot pin the accept loop
+/// past [`SHED_WRITE_TIMEOUT`].
+fn shed_connection(mut stream: TcpStream, depth: u64, capacity: u64) {
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+    let err = ServeError::Overloaded { depth, capacity };
+    if let Ok(mut payload) = serde_json::to_string(&Response::failure(&err)) {
+        payload.push('\n');
+        let _ = stream.write_all(payload.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
+/// Polls `watch.dir`'s `LATEST` pointer; when it names a new snapshot, loads
+/// and validates the bundle off the serving path and installs it. Each
+/// pointer value gets exactly one load attempt — a corrupt candidate is
+/// recorded and skipped, and the old bundle keeps serving.
+fn watch_latest(
+    control: &Control,
+    session: &InferenceSession,
+    watch: &WatchConfig,
+    mut last: Option<String>,
+) {
+    let interval_ms = watch.interval_ms.max(50);
+    while !control.is_stopping() {
+        // Chunked sleep so shutdown latency is ~50ms, not interval_ms.
+        let mut slept = 0u64;
+        while slept < interval_ms && !control.is_stopping() {
+            std::thread::sleep(Duration::from_millis(50));
+            slept += 50;
+        }
+        if control.is_stopping() {
+            break;
+        }
+        let current = match ktelebert::read_latest_pointer(&watch.dir) {
+            Ok(pointer) => pointer,
+            Err(_) => continue, // transient read error: re-poll
+        };
+        if current == last {
+            continue;
+        }
+        if let Some(name) = &current {
+            let path = watch.dir.join(name);
+            match reload_bundle(session, &path) {
+                Ok(version) => session.flight_note(
+                    "serve.rollover",
+                    None,
+                    format!("watch installed {name} as version {version}"),
+                ),
+                Err(e) => session.record_error(
+                    error_code(&e),
+                    None,
+                    &format!("watch: candidate {name} rejected, old bundle keeps serving: {e}"),
+                ),
+            }
+        }
+        last = current;
+    }
+}
+
+/// Reads, validates, and installs a bundle file. Validation happens entirely
+/// before [`InferenceSession::install`], so a torn or corrupt candidate never
+/// touches the serving model.
+fn reload_bundle(session: &InferenceSession, path: &Path) -> Result<u64, ServeError> {
+    let json = std::fs::read_to_string(path)?;
+    let bundle = ktelebert::load_bundle(&json)?;
+    Ok(session.install(bundle))
 }
 
 impl ServeHandle {
@@ -171,6 +321,9 @@ impl ServeHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
+        }
         self.queue.wake.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -186,7 +339,12 @@ impl Drop for ServeHandle {
     }
 }
 
-fn worker_loop(control: &Control, queue: &ConnQueue, session: &InferenceSession) {
+fn worker_loop(
+    control: &Control,
+    queue: &ConnQueue,
+    session: &InferenceSession,
+    idle_timeout_ms: u64,
+) {
     loop {
         let stream = {
             let mut conns = queue.conns.lock().unwrap_or_else(|e| e.into_inner());
@@ -202,7 +360,7 @@ fn worker_loop(control: &Control, queue: &ConnQueue, session: &InferenceSession)
                 conns = guard;
             }
         };
-        serve_connection(control, session, stream);
+        serve_connection(control, session, stream, idle_timeout_ms);
         if control.is_stopping() {
             return;
         }
@@ -210,51 +368,86 @@ fn worker_loop(control: &Control, queue: &ConnQueue, session: &InferenceSession)
 }
 
 /// Answers one connection until the peer disconnects, a transport error
-/// occurs, or shutdown is requested.
-fn serve_connection(control: &Control, session: &InferenceSession, stream: TcpStream) {
+/// occurs, the idle budget runs out, or shutdown is requested.
+///
+/// `read_line` appends to its buffer and keeps partially read bytes across a
+/// timeout, so a frame arriving slowly over several read polls is assembled
+/// correctly: the buffer is cleared only after a *complete* line is handled.
+/// The idle counter, by contrast, resets only on a complete frame — a peer
+/// trickling bytes without ever finishing a line (slow loris) still burns
+/// through its idle budget and is cut.
+fn serve_connection(
+    control: &Control,
+    session: &InferenceSession,
+    stream: TcpStream,
+    idle_timeout_ms: u64,
+) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
+    let poll_ms = READ_POLL.as_millis() as u64;
+    let idle_limit =
+        if idle_timeout_ms == 0 { u64::MAX } else { idle_timeout_ms.div_ceil(poll_ms).max(1) };
     let mut reader = BufReader::new(reader_stream);
     let mut writer = stream;
     let mut line = String::new();
+    let mut idle_polls = 0u64;
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) => return, // peer closed
+            Ok(0) => return, // peer closed cleanly between frames
             Ok(_) => {}
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                // Partial bytes (if any) stay in `line` for the next poll.
                 if control.is_stopping() {
+                    return;
+                }
+                idle_polls += 1;
+                if idle_polls >= idle_limit {
+                    session.flight_note(
+                        "conn.idle_timeout",
+                        None,
+                        format!("idle budget {idle_timeout_ms}ms spent, partial={}", line.len()),
+                    );
                     return;
                 }
                 continue;
             }
             Err(_) => return,
         }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, stop_after) = handle_line(session, &line);
-        let write_start = now_ns();
-        let mut payload = match serde_json::to_string(&response) {
-            Ok(json) => json,
-            Err(_) => return,
-        };
-        payload.push('\n');
-        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+        idle_polls = 0;
+        // Ok(n > 0) without a trailing newline means EOF landed mid-frame
+        // (torn connection). The fragment is an incomplete request, not a
+        // malformed one — a prefix could even parse as a *different* valid
+        // request — so it gets no reply, just a note and a clean close.
+        if !line.ends_with('\n') {
+            session.flight_note("conn.torn", None, format!("eof mid-frame after {}B", line.len()));
             return;
         }
-        session.record_write_us(now_ns().saturating_sub(write_start) / 1_000);
-        if stop_after {
-            control.request_stop();
-            return;
+        if !line.trim().is_empty() {
+            let (response, stop_after) = handle_line(session, &line);
+            let write_start = now_ns();
+            let mut payload = match serde_json::to_string(&response) {
+                Ok(json) => json,
+                Err(_) => return,
+            };
+            payload.push('\n');
+            if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+                return;
+            }
+            session.record_write_us(now_ns().saturating_sub(write_start) / 1_000);
+            if stop_after {
+                control.request_stop();
+                return;
+            }
         }
+        line.clear();
         if control.is_stopping() {
             return;
         }
@@ -298,42 +491,138 @@ fn handle_line(session: &InferenceSession, line: &str) -> (Response, bool) {
             ))),
         },
         "shutdown" => (Response::ack().with_request_id(rid), true),
-        "encode" => match request.texts {
-            Some(texts) => match session.encode_many_with_id(&texts, rid) {
-                Ok(embs) => (Response::embeddings(embs).with_request_id(rid), false),
-                // The session already noted (and possibly flight-dumped)
-                // typed encode errors under this id.
-                Err(e) => (Response::failure(&e).with_request_id(rid), false),
+        "reload" => match &request.ckpt {
+            Some(path) => match reload_bundle(session, Path::new(path)) {
+                Ok(version) => (Response::reloaded(version).with_request_id(rid), false),
+                Err(e) => {
+                    session.record_error(
+                        error_code(&e),
+                        Some(rid),
+                        &format!("reload of {path} failed, old bundle keeps serving: {e}"),
+                    );
+                    (Response::failure(&e).with_request_id(rid), false)
+                }
             },
+            None => {
+                protocol_error(ServeError::Protocol("reload requires a `ckpt` bundle path".into()))
+            }
+        },
+        "encode" => match request.texts {
+            Some(texts) => {
+                match session.encode_many_with_deadline(&texts, rid, request.deadline_us) {
+                    Ok(embs) => (Response::embeddings(embs).with_request_id(rid), false),
+                    // The session already noted (and possibly flight-dumped)
+                    // typed encode errors under this id.
+                    Err(e) => (Response::failure(&e).with_request_id(rid), false),
+                }
+            }
             None => protocol_error(ServeError::Protocol("encode requires a `texts` array".into())),
         },
         other => protocol_error(ServeError::Protocol(format!("unknown op `{other}`"))),
     }
 }
 
-/// A blocking NDJSON client for a serve endpoint.
+/// Client-side resilience knobs: socket timeouts and a bounded,
+/// deterministic retry policy for idempotent operations.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Socket read timeout, ms (0 disables; an unanswered call then blocks).
+    pub read_timeout_ms: u64,
+    /// Socket write timeout, ms (0 disables).
+    pub write_timeout_ms: u64,
+    /// Retries after the first attempt, for idempotent operations only.
+    pub retries: u32,
+    /// Base backoff delay, ms; attempt `k` sleeps `base * 2^(k-1)` plus
+    /// seeded jitter in `[0, base)`.
+    pub backoff_base_ms: u64,
+    /// Seed for the deterministic jitter (splitmix64 of `seed ^ attempt`).
+    pub backoff_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            retries: 3,
+            backoff_base_ms: 50,
+            backoff_seed: 0x7E1E_5EED,
+        }
+    }
+}
+
+/// splitmix64: the jitter source for retry backoff. Deterministic and
+/// dependency-free, so two clients with the same seed replay byte-identical
+/// retry schedules — which is what the chaos suite asserts.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The delay before retry `attempt` (1-based): exponential in the attempt
+/// number with deterministic seeded jitter. Pure — given the same config and
+/// attempt, the same delay.
+pub fn backoff_delay_ms(cfg: &ClientConfig, attempt: u32) -> u64 {
+    let base = cfg.backoff_base_ms.max(1);
+    let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+    exp + splitmix64(cfg.backoff_seed ^ u64::from(attempt)) % base
+}
+
+/// A blocking NDJSON client for a serve endpoint, with socket timeouts and
+/// bounded retry (idempotent operations only — `shutdown` and `reload` are
+/// never retried).
 pub struct ServeClient {
+    addr: String,
+    cfg: ClientConfig,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    retries_used: u64,
 }
 
 impl ServeClient {
-    /// Connects to a serve endpoint.
+    /// Connects to a serve endpoint with the default [`ClientConfig`].
     pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeout and retry configuration.
+    pub fn connect_with(addr: &str, cfg: ClientConfig) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        if cfg.read_timeout_ms > 0 {
+            stream.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms)))?;
+        }
+        if cfg.write_timeout_ms > 0 {
+            stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms)))?;
+        }
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(ServeClient { reader, writer: stream })
+        Ok(ServeClient { addr: addr.to_string(), cfg, reader, writer: stream, retries_used: 0 })
+    }
+
+    /// Retries consumed by this client so far (for tests and diagnostics).
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used
+    }
+
+    /// Maps a socket error to the typed surface: an expired read/write
+    /// timeout becomes [`ServeError::Timeout`], everything else stays `Io`.
+    fn io_err(e: std::io::Error) -> ServeError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ServeError::Timeout,
+            _ => ServeError::Io(e),
+        }
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
         let mut payload = serde_json::to_string(request)
             .map_err(|e| ServeError::Protocol(format!("request serialization failed: {e:?}")))?;
         payload.push('\n');
-        self.writer.write_all(payload.as_bytes())?;
-        self.writer.flush()?;
+        self.writer.write_all(payload.as_bytes()).map_err(Self::io_err)?;
+        self.writer.flush().map_err(Self::io_err)?;
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = self.reader.read_line(&mut line).map_err(Self::io_err)?;
         if n == 0 {
             return Err(ServeError::Protocol("server closed the connection".into()));
         }
@@ -341,6 +630,7 @@ impl ServeClient {
             .map_err(|e| ServeError::Protocol(format!("unparseable response: {e:?}")))
     }
 
+    /// One attempt, no retry: used by the non-idempotent operations.
     fn expect_ok(&mut self, request: &Request) -> Result<Response, ServeError> {
         let response = self.call(request)?;
         match response.to_error() {
@@ -349,14 +639,71 @@ impl ServeClient {
         }
     }
 
+    /// Retrying wrapper for idempotent operations. Retries fire only on a
+    /// typed `overloaded` reply or on transport-level failures (timeout, io)
+    /// — a served error like `empty_batch` would fail identically again and
+    /// is returned immediately. Backoff is deterministic ([`backoff_delay_ms`]);
+    /// after a transport failure the client reconnects before retrying.
+    fn expect_ok_retrying(
+        &mut self,
+        request: &Request,
+        idempotent: bool,
+    ) -> Result<Response, ServeError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let (err, transport) = match self.call(request) {
+                Ok(response) => match response.to_error() {
+                    None => return Ok(response),
+                    Some(err) => (err, false),
+                },
+                Err(err) => (err, true),
+            };
+            let retryable = idempotent
+                && attempt < self.cfg.retries
+                && match &err {
+                    ServeError::Overloaded { .. } => true,
+                    ServeError::Io(_) | ServeError::Timeout => transport,
+                    _ => false,
+                };
+            if !retryable {
+                return Err(err);
+            }
+            attempt += 1;
+            self.retries_used += 1;
+            std::thread::sleep(Duration::from_millis(backoff_delay_ms(&self.cfg, attempt)));
+            if transport {
+                // The old socket may be dead or mid-frame; start clean.
+                if let Ok(fresh) = Self::connect_with(&self.addr, self.cfg.clone()) {
+                    self.reader = fresh.reader;
+                    self.writer = fresh.writer;
+                }
+            }
+        }
+    }
+
     /// Round-trip health check.
     pub fn ping(&mut self) -> Result<(), ServeError> {
-        self.expect_ok(&Request::bare("ping")).map(|_| ())
+        self.expect_ok_retrying(&Request::bare("ping"), true).map(|_| ())
     }
 
     /// Encodes sentences remotely; one embedding per sentence.
     pub fn encode(&mut self, texts: Vec<String>) -> Result<Vec<Vec<f32>>, ServeError> {
-        let response = self.expect_ok(&Request::encode(texts))?;
+        let response = self.expect_ok_retrying(&Request::encode(texts), true)?;
+        response
+            .embeddings
+            .ok_or_else(|| ServeError::Protocol("encode response without embeddings".into()))
+    }
+
+    /// Encodes sentences under an explicit queueing deadline (µs): the
+    /// server expires the request with a typed `deadline_exceeded` if it
+    /// cannot start serving it in time.
+    pub fn encode_with_deadline(
+        &mut self,
+        texts: Vec<String>,
+        deadline_us: u64,
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
+        let request = Request::encode_with_deadline(texts, deadline_us);
+        let response = self.expect_ok_retrying(&request, true)?;
         response
             .embeddings
             .ok_or_else(|| ServeError::Protocol("encode response without embeddings".into()))
@@ -369,7 +716,7 @@ impl ServeClient {
         texts: Vec<String>,
         id: u64,
     ) -> Result<(Vec<Vec<f32>>, Option<u64>), ServeError> {
-        let response = self.expect_ok(&Request::encode_with_id(texts, id))?;
+        let response = self.expect_ok_retrying(&Request::encode_with_id(texts, id), true)?;
         let embs = response
             .embeddings
             .ok_or_else(|| ServeError::Protocol("encode response without embeddings".into()))?;
@@ -378,13 +725,13 @@ impl ServeClient {
 
     /// Fetches server statistics.
     pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
-        let response = self.expect_ok(&Request::bare("stats"))?;
+        let response = self.expect_ok_retrying(&Request::bare("stats"), true)?;
         response.stats.ok_or_else(|| ServeError::Protocol("stats response without stats".into()))
     }
 
     /// Fetches the live telemetry snapshot.
     pub fn metrics(&mut self) -> Result<crate::metrics::MetricsSnapshot, ServeError> {
-        let response = self.expect_ok(&Request::bare("metrics"))?;
+        let response = self.expect_ok_retrying(&Request::bare("metrics"), true)?;
         response
             .metrics
             .ok_or_else(|| ServeError::Protocol("metrics response without snapshot".into()))
@@ -392,13 +739,24 @@ impl ServeClient {
 
     /// Fetches the metrics in Prometheus text exposition format.
     pub fn metrics_prometheus(&mut self) -> Result<String, ServeError> {
-        let response = self.expect_ok(&Request::metrics_prometheus())?;
+        let response = self.expect_ok_retrying(&Request::metrics_prometheus(), true)?;
         response
             .prometheus
             .ok_or_else(|| ServeError::Protocol("metrics response without prometheus text".into()))
     }
 
-    /// Asks the server to shut down (acknowledged before it stops).
+    /// Asks the server to hot-swap its serving bundle from a bundle file;
+    /// returns the new model version. Never retried: a reload is not
+    /// idempotent (each success bumps the version).
+    pub fn reload(&mut self, ckpt: &str) -> Result<u64, ServeError> {
+        let response = self.expect_ok(&Request::reload(ckpt))?;
+        response
+            .version
+            .ok_or_else(|| ServeError::Protocol("reload response without a version".into()))
+    }
+
+    /// Asks the server to shut down (acknowledged before it stops). Never
+    /// retried.
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
         self.expect_ok(&Request::bare("shutdown")).map(|_| ())
     }
@@ -419,6 +777,7 @@ mod tests {
                 cache_capacity: 64,
                 ..Default::default()
             },
+            ..Default::default()
         }
     }
 
@@ -448,6 +807,8 @@ mod tests {
             Err(ServeError::Encode(ktelebert::EncodeError::EmptyBatch)) => {}
             other => panic!("expected typed EmptyBatch over the wire, got {other:?}"),
         }
+        // A served (non-transport) error must not burn retries.
+        assert_eq!(client.retries_used(), 0);
         // The connection survives the error.
         client.ping().expect("ping after error");
         handle.shutdown();
@@ -475,6 +836,7 @@ mod tests {
                 cache_capacity: 0,
                 ..Default::default()
             },
+            ..Default::default()
         };
         let handle = serve(tiny_bundle(13), &cfg).expect("serve");
         let addr = handle.addr().to_string();
@@ -507,6 +869,7 @@ mod tests {
         assert_eq!(snap.stats.requests, 1);
         assert!(snap.window_secs > 0);
         assert_eq!(snap.stats.latency_window.request_latency.count, 1);
+        assert_eq!(snap.model_version, 1);
         let text = client.metrics_prometheus().expect("prometheus");
         assert!(text.contains("serve_requests"), "{text}");
         assert!(text.contains("quantile=\"0.999\""), "{text}");
@@ -521,5 +884,126 @@ mod tests {
         assert_eq!(embs.len(), 1);
         assert_eq!(rid, Some(9001), "server must echo the client's id");
         handle.shutdown();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_with_bounded_jitter() {
+        let cfg = ClientConfig::default();
+        for attempt in 1..=5u32 {
+            let a = backoff_delay_ms(&cfg, attempt);
+            let b = backoff_delay_ms(&cfg, attempt);
+            assert_eq!(a, b, "same seed + attempt must replay the same delay");
+            let exp = cfg.backoff_base_ms * (1 << (attempt - 1));
+            assert!(a >= exp && a < exp + cfg.backoff_base_ms, "attempt {attempt}: {a} vs {exp}");
+        }
+        let other = ClientConfig { backoff_seed: 99, ..ClientConfig::default() };
+        assert_ne!(
+            backoff_delay_ms(&cfg, 1),
+            backoff_delay_ms(&other, 1),
+            "different seeds should jitter differently"
+        );
+    }
+
+    #[test]
+    fn client_read_timeout_is_typed_not_a_hang() {
+        // A listener that accepts and never answers.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let cfg = ClientConfig { read_timeout_ms: 150, retries: 0, ..ClientConfig::default() };
+        let mut client = ServeClient::connect_with(&addr, cfg).expect("connect");
+        match client.ping() {
+            Err(ServeError::Timeout) => {}
+            other => panic!("expected ServeError::Timeout, got {other:?}"),
+        }
+        drop(client);
+        let _ = hold.join();
+    }
+
+    #[test]
+    fn reload_op_swaps_the_model_over_the_wire() {
+        let dir = std::env::temp_dir().join(format!("tele-serve-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let next = dir.join("bundle_v2.json");
+        std::fs::write(&next, ktelebert::save_bundle(&tiny_bundle(21))).expect("write bundle");
+
+        let handle = serve(tiny_bundle(20), &local_cfg()).expect("serve");
+        let mut client = ServeClient::connect(&handle.addr().to_string()).expect("connect");
+        let text = "alarm on amf".to_string();
+        let before = client.encode(vec![text.clone()]).expect("encode v1");
+
+        // A corrupt candidate is rejected with a typed error; v1 keeps serving.
+        let bad = dir.join("corrupt.json");
+        std::fs::write(&bad, "{ not a bundle").expect("write corrupt");
+        match client.reload(&bad.display().to_string()) {
+            Err(ServeError::Checkpoint(_)) => {}
+            other => panic!("expected typed Checkpoint error, got {other:?}"),
+        }
+        let still = client.encode(vec![text.clone()]).expect("encode after bad reload");
+        assert_eq!(before[0][0].to_bits(), still[0][0].to_bits(), "old bundle must keep serving");
+
+        let version = client.reload(&next.display().to_string()).expect("reload v2");
+        assert_eq!(version, 2);
+        let after = client.encode(vec![text.clone()]).expect("encode v2");
+        let cold = tiny_bundle(21).encode_batch(&[text]).expect("cold")[0].clone();
+        assert_ne!(before[0][0].to_bits(), after[0][0].to_bits(), "swap must change bits");
+        for (a, b) in after[0].iter().zip(cold.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "served bits must match the new bundle");
+        }
+        let snap = client.metrics().expect("metrics");
+        assert_eq!(snap.model_version, 2);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn accept_queue_overflow_sheds_with_a_typed_line() {
+        let cfg = ServerConfig { workers: 1, accept_queue: 1, ..local_cfg() };
+        let handle = serve(tiny_bundle(22), &cfg).expect("serve");
+        let addr = handle.addr().to_string();
+        // c1 occupies the single worker (a completed ping proves a worker
+        // owns it); c2 parks in the accept queue; c3 must be shed.
+        let mut c1 = ServeClient::connect(&addr).expect("c1");
+        c1.ping().expect("ping c1");
+        let _c2 = TcpStream::connect(&addr).expect("c2");
+        std::thread::sleep(Duration::from_millis(100));
+        let c3 = TcpStream::connect(&addr).expect("c3");
+        let mut line = String::new();
+        BufReader::new(c3).read_line(&mut line).expect("read shed line");
+        let response: Response = serde_json::from_str(line.trim()).expect("parse shed line");
+        match response.to_error() {
+            Some(ServeError::Overloaded { .. }) => {}
+            other => panic!("expected typed overloaded shed, got {other:?}"),
+        }
+        let stats = handle.shutdown();
+        assert!(stats.shed >= 1, "the shed connection must be counted: {stats:?}");
+    }
+
+    #[test]
+    fn watcher_installs_newly_pointed_bundles() {
+        let dir = std::env::temp_dir().join(format!("tele-serve-watch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("b2.json"), ktelebert::save_bundle(&tiny_bundle(31)))
+            .expect("write bundle");
+
+        let cfg = ServerConfig {
+            watch: Some(WatchConfig { dir: dir.clone(), interval_ms: 50 }),
+            ..local_cfg()
+        };
+        let handle = serve(tiny_bundle(30), &cfg).expect("serve");
+        assert_eq!(handle.session().model_version(), 1);
+        // Atomic pointer flip, as the checkpoint store would do it.
+        std::fs::write(dir.join(ktelebert::LATEST_POINTER), "b2.json\n").expect("flip pointer");
+        let deadline = 100u32;
+        let mut ticks = 0u32;
+        while handle.session().model_version() < 2 && ticks < deadline {
+            std::thread::sleep(Duration::from_millis(50));
+            ticks += 1;
+        }
+        assert_eq!(handle.session().model_version(), 2, "watcher must install the new bundle");
+        let stats = handle.shutdown();
+        assert_eq!(stats.rollovers, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,6 +10,29 @@
 //! deadline bounds tail latency under light load; the size cap bounds peak
 //! memory under heavy load.
 //!
+//! ## Admission control and degradation
+//!
+//! The queue is bounded by [`SessionConfig::queue_capacity`]: a submission
+//! that would push the depth past capacity is shed **at enqueue** with a
+//! typed [`ServeError::Overloaded`] — all-or-nothing per request group, and
+//! never mid-batch, so a caller either gets every embedding or a single
+//! typed refusal. Requests may carry a deadline
+//! ([`SessionConfig::default_deadline_us`] or per-request); the batcher
+//! expires queued work past its deadline with
+//! [`ServeError::DeadlineExceeded`] instead of forwarding dead requests, and
+//! expired items do not consume batch slots. As depth rises toward capacity
+//! the batcher also shrinks its straggler wait ([`effective_wait_us`]), so a
+//! loaded server stops trading latency for batch fullness exactly when
+//! batches fill on their own.
+//!
+//! ## Hot rollover
+//!
+//! The serving bundle lives behind a versioned model slot.
+//! [`InferenceSession::install`] atomically swaps in a new bundle (version +1)
+//! while any in-flight micro-batch finishes on the `Arc` it already drained;
+//! the batcher rebuilds its LRU cache whenever the version changes, so a
+//! cache hit can never cross a model swap.
+//!
 //! ## Why coalescing is sound
 //!
 //! The encode path is bit-deterministic under padding (see
@@ -40,6 +63,7 @@ use tele_trace::recorder::FlightRecorder;
 
 use crate::cache::{normalize_key, LruCache};
 use crate::error::ServeError;
+use crate::faults::ServeFault;
 use crate::metrics::{MetricsSnapshot, ServeMetrics, ServeStats, TelemetryConfig};
 
 /// Tuning knobs for an [`InferenceSession`].
@@ -52,6 +76,14 @@ pub struct SessionConfig {
     pub max_wait_us: u64,
     /// Embedding cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Request-queue capacity; submissions past it are shed with a typed
+    /// [`ServeError::Overloaded`]. 0 disables admission control (unbounded).
+    pub queue_capacity: usize,
+    /// Default queueing deadline (µs) applied to requests that carry none;
+    /// 0 means no default deadline.
+    pub default_deadline_us: u64,
+    /// Injected fault for chaos tests; [`ServeFault::None`] in production.
+    pub fault: ServeFault,
     /// Telemetry plane configuration (windows, tracing, flight recorder).
     pub telemetry: TelemetryConfig,
 }
@@ -62,9 +94,27 @@ impl Default for SessionConfig {
             max_batch: 16,
             max_wait_us: 1_000,
             cache_capacity: 1_024,
+            queue_capacity: 1_024,
+            default_deadline_us: 0,
+            fault: ServeFault::None,
             telemetry: TelemetryConfig::default(),
         }
     }
+}
+
+/// The batcher's straggler wait under load: the configured `max_wait_us`
+/// scaled down linearly by queue depth. A full batch already queued needs no
+/// wait at all; a queue at capacity gets none either — trading batch
+/// fullness for latency is only worthwhile while the server is keeping up.
+pub fn effective_wait_us(max_wait_us: u64, depth: u64, capacity: u64, max_batch: u64) -> u64 {
+    if depth >= max_batch.max(1) {
+        return 0;
+    }
+    if capacity == 0 {
+        return max_wait_us;
+    }
+    let free = capacity.saturating_sub(depth.min(capacity));
+    max_wait_us.saturating_mul(free) / capacity
 }
 
 /// One waiter's completion slot: filled exactly once by the batcher.
@@ -101,6 +151,8 @@ struct Pending {
     text: String,
     key: String,
     enqueued_ns: u64,
+    /// Absolute expiry timestamp; `None` when the request has no deadline.
+    deadline_ns: Option<u64>,
     slot: Arc<Slot>,
 }
 
@@ -109,11 +161,20 @@ struct Queue {
     closed: bool,
 }
 
+/// The serving bundle behind a version tag: [`InferenceSession::install`]
+/// swaps the `Arc` and bumps the version, and the batcher flushes its cache
+/// whenever the version it last built against has moved on.
+struct ModelSlot {
+    version: u64,
+    bundle: Arc<TeleBert>,
+}
+
 struct Shared {
     queue: Mutex<Queue>,
     wake: Condvar,
     /// Requests accepted and not yet answered.
     in_flight: AtomicU64,
+    model: Mutex<ModelSlot>,
 }
 
 /// Telemetry state shared between the session handle and the batcher:
@@ -164,11 +225,32 @@ impl Telemetry {
 /// coalesced into micro-batches by a dedicated batcher thread and answered
 /// through a bounded LRU cache keyed by whitespace-normalized text.
 pub struct InferenceSession {
-    bundle: Arc<TeleBert>,
     shared: Arc<Shared>,
     telemetry: Arc<Telemetry>,
     next_id: AtomicU64,
+    queue_capacity: usize,
+    default_deadline_us: u64,
     engine: Option<JoinHandle<()>>,
+}
+
+/// A pending single-sentence encode started by
+/// [`InferenceSession::encode_async`]: the request is already queued (or was
+/// shed at submission); `wait` blocks for its micro-batch to complete.
+pub struct EncodeTicket {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for EncodeTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncodeTicket").finish_non_exhaustive()
+    }
+}
+
+impl EncodeTicket {
+    /// Blocks until the batcher delivers this request's result.
+    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        self.slot.wait()
+    }
 }
 
 impl InferenceSession {
@@ -179,30 +261,61 @@ impl InferenceSession {
 
     /// Starts a session over an already-shared bundle.
     pub fn from_arc(bundle: Arc<TeleBert>, cfg: SessionConfig) -> Self {
+        // Pre-size the queue to its admission bound (clamped: capacity 0
+        // means unbounded, and huge bounds should not pre-allocate).
+        let prealloc = cfg.queue_capacity.clamp(16, 4_096);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue { items: VecDeque::new(), closed: false }),
+            queue: Mutex::new(Queue { items: VecDeque::with_capacity(prealloc), closed: false }),
             wake: Condvar::new(),
             in_flight: AtomicU64::new(0),
+            model: Mutex::new(ModelSlot { version: 1, bundle }),
         });
         let telemetry = Arc::new(Telemetry::new(cfg.telemetry.clone()));
+        let queue_capacity = cfg.queue_capacity;
+        let default_deadline_us = cfg.default_deadline_us;
         let engine = {
-            let bundle = Arc::clone(&bundle);
             let shared = Arc::clone(&shared);
             let telemetry = Arc::clone(&telemetry);
-            std::thread::spawn(move || run_batcher(&bundle, &shared, &telemetry, &cfg))
+            std::thread::spawn(move || run_batcher(&shared, &telemetry, &cfg))
         };
         InferenceSession {
-            bundle,
             shared,
             telemetry,
             next_id: AtomicU64::new(1),
+            queue_capacity,
+            default_deadline_us,
             engine: Some(engine),
         }
     }
 
-    /// The model bundle this session serves.
-    pub fn bundle(&self) -> &Arc<TeleBert> {
-        &self.bundle
+    /// The model bundle currently serving (a snapshot: a concurrent
+    /// [`install`](Self::install) may supersede it at any time).
+    pub fn bundle(&self) -> Arc<TeleBert> {
+        let slot = self.shared.model.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(&slot.bundle)
+    }
+
+    /// Version of the bundle currently serving (starts at 1).
+    pub fn model_version(&self) -> u64 {
+        self.shared.model.lock().unwrap_or_else(|e| e.into_inner()).version
+    }
+
+    /// Atomically swaps in a new serving bundle and returns its version.
+    ///
+    /// In-flight micro-batches finish on the bundle they drained against;
+    /// every batch drained after this call runs on the new bundle, and the
+    /// batcher flushes its version-keyed cache before the first one.
+    pub fn install(&self, bundle: TeleBert) -> u64 {
+        let version = {
+            let mut slot = self.shared.model.lock().unwrap_or_else(|e| e.into_inner());
+            slot.bundle = Arc::new(bundle);
+            slot.version += 1;
+            slot.version
+        };
+        self.telemetry.metrics().rollovers += 1;
+        self.telemetry.note("serve.rollover", None, format!("version={version}"));
+        self.shared.wake.notify_all();
+        version
     }
 
     /// Draws the next request id from the session's counter.
@@ -213,8 +326,7 @@ impl InferenceSession {
     /// Encodes one sentence, blocking until its micro-batch completes.
     pub fn encode(&self, text: &str) -> Result<Vec<f32>, ServeError> {
         let id = self.next_request_id();
-        let slot = self.submit(text, id)?;
-        slot.wait()
+        self.encode_async(text, id, None)?.wait()
     }
 
     /// Encodes a group of sentences. All of them are enqueued in one burst —
@@ -233,34 +345,96 @@ impl InferenceSession {
         texts: &[String],
         id: u64,
     ) -> Result<Vec<Vec<f32>>, ServeError> {
+        self.encode_many_with_deadline(texts, id, None)
+    }
+
+    /// [`encode_many_with_id`](Self::encode_many_with_id) with an explicit
+    /// queueing deadline (µs); `None` falls back to the configured default.
+    pub fn encode_many_with_deadline(
+        &self,
+        texts: &[String],
+        id: u64,
+        deadline_us: Option<u64>,
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
         if texts.is_empty() {
             self.telemetry.error("serve.error", Some(id), "empty_batch rejected at submit");
             return Err(ServeError::Encode(EncodeError::EmptyBatch));
         }
         self.telemetry.note("req.enqueue", Some(id), format!("texts={}", texts.len()));
-        let slots: Vec<Arc<Slot>> =
-            texts.iter().map(|t| self.submit(t, id)).collect::<Result<_, _>>()?;
+        let slots = self.submit_all(texts, id, deadline_us)?;
         slots.into_iter().map(|s| s.wait()).collect()
     }
 
-    fn submit(&self, text: &str, id: u64) -> Result<Arc<Slot>, ServeError> {
-        let slot = Slot::new();
-        let pending = Pending {
-            id,
-            text: text.to_string(),
-            key: normalize_key(text),
-            enqueued_ns: now_ns(),
-            slot: Arc::clone(&slot),
-        };
+    /// Submits one sentence without blocking for its result. The returned
+    /// [`EncodeTicket`] can be waited on later; admission control still
+    /// applies at submission, so an overloaded queue sheds instantly instead
+    /// of parking the caller. This is the open-loop load-generation
+    /// primitive: a dispatcher can hold its arrival schedule regardless of
+    /// how slowly the server drains.
+    pub fn encode_async(
+        &self,
+        text: &str,
+        id: u64,
+        deadline_us: Option<u64>,
+    ) -> Result<EncodeTicket, ServeError> {
+        let mut slots = self.submit_all(std::slice::from_ref(&text), id, deadline_us)?;
+        match slots.pop() {
+            Some(slot) => Ok(EncodeTicket { slot }),
+            // submit_all returns exactly one slot per input text.
+            None => Err(ServeError::Internal("submit_all returned no slot".into())),
+        }
+    }
+
+    /// All-or-nothing bounded submission: either every text is enqueued
+    /// under one lock hold, or nothing is and the whole group is shed with a
+    /// typed [`ServeError::Overloaded`]. Shedding happens strictly at
+    /// enqueue — never once work has entered the queue.
+    fn submit_all<S: AsRef<str>>(
+        &self,
+        texts: &[S],
+        id: u64,
+        deadline_us: Option<u64>,
+    ) -> Result<Vec<Arc<Slot>>, ServeError> {
+        let deadline_us = deadline_us
+            .or_else(|| (self.default_deadline_us > 0).then_some(self.default_deadline_us));
+        let now = now_ns();
+        let deadline_ns = deadline_us.map(|d| now.saturating_add(d.saturating_mul(1_000)));
         let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.closed {
             return Err(ServeError::SessionClosed);
         }
-        q.items.push_back(pending);
+        let capacity = self.queue_capacity;
+        if capacity > 0 && q.items.len() + texts.len() > capacity {
+            let depth = q.items.len() as u64;
+            drop(q);
+            self.telemetry.metrics().shed += texts.len() as u64;
+            // A shed is expected degradation, not a failure: note it for the
+            // flight ring without dumping.
+            self.telemetry.note(
+                "serve.shed",
+                Some(id),
+                format!("depth={depth} capacity={capacity} rows={}", texts.len()),
+            );
+            return Err(ServeError::Overloaded { depth, capacity: capacity as u64 });
+        }
+        let mut slots = Vec::with_capacity(texts.len());
+        for text in texts {
+            let text = text.as_ref();
+            let slot = Slot::new();
+            q.items.push_back(Pending {
+                id,
+                text: text.to_string(),
+                key: normalize_key(text),
+                enqueued_ns: now,
+                deadline_ns,
+                slot: Arc::clone(&slot),
+            });
+            slots.push(slot);
+        }
         drop(q);
-        self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.shared.in_flight.fetch_add(texts.len() as u64, Ordering::Relaxed);
         self.shared.wake.notify_all();
-        Ok(slot)
+        Ok(slots)
     }
 
     /// Requests queued but not yet drained into a micro-batch.
@@ -288,6 +462,7 @@ impl InferenceSession {
             rps_window: m.rps_window(now),
             queue_depth: self.queue_depth(),
             in_flight: self.in_flight(),
+            model_version: self.model_version(),
             stats: m.stats_at(now),
         }
     }
@@ -295,8 +470,12 @@ impl InferenceSession {
     /// Prometheus text exposition of the session's metrics.
     pub fn prometheus_text(&self) -> String {
         let now = now_ns();
-        let snap =
-            self.telemetry.metrics().registry_snapshot(now, self.queue_depth(), self.in_flight());
+        let snap = self.telemetry.metrics().registry_snapshot(
+            now,
+            self.queue_depth(),
+            self.in_flight(),
+            self.model_version(),
+        );
         tele_trace::export::prometheus_text(&snap)
     }
 
@@ -316,6 +495,14 @@ impl InferenceSession {
     /// Appends a flight note (no-op with tracing off).
     pub fn flight_note(&self, kind: &'static str, id: Option<u64>, detail: String) {
         self.telemetry.note(kind, id, detail);
+    }
+
+    /// Counts `rows` shed requests rejected before enqueue (used by the TCP
+    /// accept loop when the connection queue itself is full; session-level
+    /// sheds are counted inside `submit_all`).
+    pub fn record_shed(&self, rows: u64, id: Option<u64>, detail: &str) {
+        self.telemetry.metrics().shed += rows;
+        self.telemetry.note("serve.shed", id, detail.to_string());
     }
 
     /// Publishes the session's metrics into the calling thread's trace
@@ -352,12 +539,16 @@ impl Drop for InferenceSession {
     }
 }
 
-/// The batcher loop: drain → coalesce → one forward → deliver.
-fn run_batcher(bundle: &TeleBert, shared: &Shared, tel: &Telemetry, cfg: &SessionConfig) {
+/// The batcher loop: drain → expire → coalesce → one forward → deliver.
+fn run_batcher(shared: &Shared, tel: &Telemetry, cfg: &SessionConfig) {
     let max_batch = cfg.max_batch.max(1);
     let mut cache = LruCache::new(cfg.cache_capacity);
+    // Version the live cache was built against; rebuilt on every rollover so
+    // a stale hit across a model swap is structurally impossible.
+    let mut cache_version = 1u64;
+    let mut batch_seq = 0u64;
     loop {
-        let batch = {
+        let (batch, expired) = {
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             // Sleep until there is work or the session closes.
             while q.items.is_empty() && !q.closed {
@@ -368,7 +559,14 @@ fn run_batcher(bundle: &TeleBert, shared: &Shared, tel: &Telemetry, cfg: &Sessio
             }
             // Batch opens now; hold it open briefly for stragglers, unless
             // it is already full or the session is draining for shutdown.
-            let deadline = now_ns().saturating_add(cfg.max_wait_us.saturating_mul(1_000));
+            // The straggler budget shrinks as depth approaches capacity.
+            let wait_us = effective_wait_us(
+                cfg.max_wait_us,
+                q.items.len() as u64,
+                cfg.queue_capacity as u64,
+                max_batch as u64,
+            );
+            let deadline = now_ns().saturating_add(wait_us.saturating_mul(1_000));
             while q.items.len() < max_batch && !q.closed {
                 let now = now_ns();
                 if now >= deadline {
@@ -379,12 +577,60 @@ fn run_batcher(bundle: &TeleBert, shared: &Shared, tel: &Telemetry, cfg: &Sessio
                     shared.wake.wait_timeout(q, wait).unwrap_or_else(|e| e.into_inner());
                 q = guard;
             }
-            let take = q.items.len().min(max_batch);
-            q.items.drain(..take).collect::<Vec<Pending>>()
+            // Drain up to max_batch live requests; requests already past
+            // their deadline are set aside (they cost no batch slots) and
+            // expired below instead of being forwarded dead.
+            let now = now_ns();
+            let mut live: Vec<Pending> = Vec::with_capacity(max_batch);
+            let mut expired: Vec<Pending> = Vec::new();
+            while live.len() < max_batch {
+                let past_deadline = match q.items.front() {
+                    Some(p) => p.deadline_ns.is_some_and(|d| now >= d),
+                    None => break,
+                };
+                let Some(p) = q.items.pop_front() else { break };
+                if past_deadline {
+                    expired.push(p);
+                } else {
+                    live.push(p);
+                }
+            }
+            (live, expired)
         };
-        let n = batch.len() as u64;
-        run_one_batch(bundle, &mut cache, tel, batch);
-        shared.in_flight.fetch_sub(n, Ordering::Relaxed);
+        let drained = (batch.len() + expired.len()) as u64;
+        for p in &expired {
+            let now = now_ns();
+            let waited_us = now.saturating_sub(p.enqueued_ns) / 1_000;
+            let deadline_us =
+                p.deadline_ns.map(|d| d.saturating_sub(p.enqueued_ns) / 1_000).unwrap_or_default();
+            let mut m = tel.metrics();
+            m.deadline_expired += 1;
+            m.record_request(now, now.saturating_sub(p.enqueued_ns), false);
+            drop(m);
+            tel.note(
+                "serve.deadline_expired",
+                Some(p.id),
+                format!("waited_us={waited_us} deadline_us={deadline_us}"),
+            );
+            p.slot.deliver(Err(ServeError::DeadlineExceeded { waited_us, deadline_us }));
+        }
+        if !batch.is_empty() {
+            // Snapshot the serving bundle for this batch: an install() racing
+            // us swaps the slot, but this batch finishes on the Arc it took.
+            let (version, bundle) = {
+                let slot = shared.model.lock().unwrap_or_else(|e| e.into_inner());
+                (slot.version, Arc::clone(&slot.bundle))
+            };
+            if version != cache_version {
+                cache = LruCache::new(cfg.cache_capacity);
+                cache_version = version;
+                tel.note("serve.cache_flush", None, format!("version={version}"));
+            }
+            batch_seq += 1;
+            cfg.fault.on_batch_start(batch_seq);
+            run_one_batch(&bundle, &mut cache, tel, batch, &cfg.fault, batch_seq);
+        }
+        shared.in_flight.fetch_sub(drained, Ordering::Relaxed);
     }
 }
 
@@ -403,9 +649,60 @@ fn id_list(batch: &[Pending]) -> String {
     out
 }
 
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "worker panic".to_string()
+}
+
+/// Fails every request of a micro-batch with the same typed error: records
+/// the batch and per-request metrics, notes + dumps the flight ring, and
+/// delivers `make_err()` to each waiting slot.
+fn fail_batch(
+    tel: &Telemetry,
+    batch: &[Pending],
+    t0: u64,
+    counts: (u64, u64, u64),
+    make_err: &dyn Fn() -> ServeError,
+) {
+    let (hits, misses, unique) = counts;
+    let failed = now_ns();
+    let n = batch.len() as u64;
+    let elapsed = failed.saturating_sub(t0);
+    let mut m = tel.metrics();
+    m.record_batch(failed, n, hits, misses, unique, elapsed);
+    for p in batch {
+        m.record_request(failed, failed.saturating_sub(p.enqueued_ns), false);
+    }
+    drop(m);
+    let code = crate::protocol::error_code(&make_err());
+    tel.error(
+        "serve.error",
+        batch.first().map(|p| p.id),
+        format!("code={code} rows={n} ids=[{}]", id_list(batch)),
+    );
+    for p in batch {
+        p.slot.deliver(Err(make_err()));
+    }
+}
+
 /// Executes one micro-batch: cache lookups, in-batch dedup, a single padded
-/// forward over the misses, then per-request delivery and metrics.
-fn run_one_batch(bundle: &TeleBert, cache: &mut LruCache, tel: &Telemetry, batch: Vec<Pending>) {
+/// forward over the misses (under `catch_unwind`, so a panicking model or
+/// injected fault fails the batch instead of killing the batcher), then
+/// per-request delivery and metrics.
+fn run_one_batch(
+    bundle: &TeleBert,
+    cache: &mut LruCache,
+    tel: &Telemetry,
+    batch: Vec<Pending>,
+    fault: &ServeFault,
+    seq: u64,
+) {
     let t0 = now_ns();
     let tracing = tel.cfg.tracing;
     let n = batch.len();
@@ -435,28 +732,28 @@ fn run_one_batch(bundle: &TeleBert, cache: &mut LruCache, tel: &Telemetry, batch
     let fresh = if miss_texts.is_empty() {
         Vec::new()
     } else {
-        match bundle.encode_batch(&miss_texts) {
-            Ok(embs) => embs,
-            Err(e) => {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fault.in_forward(seq);
+            bundle.encode_batch(&miss_texts)
+        }));
+        match outcome {
+            Ok(Ok(embs)) => embs,
+            Ok(Err(e)) => {
                 // The whole forward failed: every request in the batch gets
                 // the same typed error.
-                let failed = now_ns();
-                let elapsed = failed.saturating_sub(t0);
-                let mut m = tel.metrics();
-                m.record_batch(failed, n as u64, hits, misses, unique, elapsed);
-                for p in &batch {
-                    m.record_request(failed, failed.saturating_sub(p.enqueued_ns), false);
-                }
-                drop(m);
-                let code = crate::protocol::error_code(&ServeError::Encode(e.clone()));
-                tel.error(
-                    "serve.error",
-                    batch.first().map(|p| p.id),
-                    format!("code={code} rows={n} ids=[{}]", id_list(&batch)),
-                );
-                for p in &batch {
-                    p.slot.deliver(Err(ServeError::Encode(e.clone())));
-                }
+                fail_batch(tel, &batch, t0, (hits, misses, unique), &|| {
+                    ServeError::Encode(e.clone())
+                });
+                return;
+            }
+            Err(payload) => {
+                // The forward panicked: contain it, fail the batch with a
+                // typed internal error, and keep the batcher alive for the
+                // next batch.
+                let msg = panic_message(payload.as_ref());
+                fail_batch(tel, &batch, t0, (hits, misses, unique), &|| {
+                    ServeError::Internal(msg.clone())
+                });
                 return;
             }
         }
@@ -657,6 +954,186 @@ mod tests {
         assert!(snap.window_secs > 0);
         let prom = session.prometheus_text();
         assert!(prom.contains("serve_requests 1"), "{prom}");
+    }
+
+    /// Spins until the batcher has drained the queue (the request may still
+    /// be executing).
+    fn wait_for_drain(session: &InferenceSession) {
+        for _ in 0..500 {
+            if session.queue_depth() == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("queue never drained");
+    }
+
+    #[test]
+    fn effective_wait_shrinks_with_queue_depth() {
+        // Full batch already queued: no straggler wait at all.
+        assert_eq!(effective_wait_us(1_000, 16, 64, 16), 0);
+        // Empty queue at large capacity: the full configured wait.
+        assert_eq!(effective_wait_us(1_000, 0, 64, 16), 1_000);
+        // Half-full queue: half the wait.
+        assert_eq!(effective_wait_us(1_000, 8, 64, 16), 875);
+        assert_eq!(effective_wait_us(1_000, 15, 16, 16), 62);
+        // Unbounded queue (capacity 0): depth only matters via max_batch.
+        assert_eq!(effective_wait_us(1_000, 8, 0, 16), 1_000);
+        // Depth at/past capacity saturates to zero, no underflow.
+        assert_eq!(effective_wait_us(1_000, 99, 8, 100), 0);
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_error_and_counts() {
+        let cfg = SessionConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            cache_capacity: 0,
+            queue_capacity: 2,
+            fault: ServeFault::SlowBatch(200),
+            ..Default::default()
+        };
+        let session = InferenceSession::new(tiny_bundle(11), cfg);
+        // First request occupies the batcher (a 200 ms slow batch)...
+        let busy = session.encode_async("occupy the batcher", 1, None).expect("submit");
+        wait_for_drain(&session);
+        // ...so these two fill the queue to capacity...
+        let q1 = session.encode_async("queued one", 2, None).expect("submit");
+        let q2 = session.encode_async("queued two", 3, None).expect("submit");
+        // ...and the next submission must shed, typed, without blocking.
+        match session.encode_async("one too many", 4, None) {
+            Err(ServeError::Overloaded { depth, capacity }) => {
+                assert_eq!((depth, capacity), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // A multi-text group past capacity is all-or-nothing: nothing of it
+        // is enqueued.
+        let group: Vec<String> = (0..3).map(|i| format!("group item {i}")).collect();
+        match session.encode_many_with_id(&group, 5) {
+            Err(ServeError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded for the group, got {other:?}"),
+        }
+        assert!(session.queue_depth() <= 2, "shed groups must not partially enqueue");
+        // Queued work still completes; shed work never entered the queue.
+        busy.wait().expect("busy request completes");
+        q1.wait().expect("queued one completes");
+        q2.wait().expect("queued two completes");
+        let stats = session.shutdown();
+        assert_eq!(stats.shed, 1 + 3, "one single + one group of three: {stats:?}");
+        assert_eq!(stats.requests, 3, "shed requests are not counted as completed");
+    }
+
+    #[test]
+    fn queued_requests_expire_past_their_deadline() {
+        let cfg = SessionConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            cache_capacity: 0,
+            fault: ServeFault::SlowBatch(150),
+            ..Default::default()
+        };
+        let session = InferenceSession::new(tiny_bundle(12), cfg);
+        let busy = session.encode_async("occupy the batcher", 1, None).expect("submit");
+        wait_for_drain(&session);
+        // 1 ms deadline, but the batcher is busy for 150 ms: the request
+        // must expire at drain time, not run against the model.
+        let doomed = session.encode_async("will expire", 2, Some(1_000)).expect("submit");
+        busy.wait().expect("busy request completes");
+        match doomed.wait() {
+            Err(ServeError::DeadlineExceeded { waited_us, deadline_us }) => {
+                assert_eq!(deadline_us, 1_000);
+                assert!(waited_us >= 1_000, "waited {waited_us} us");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = session.shutdown();
+        assert_eq!(stats.deadline_expired, 1, "{stats:?}");
+        assert_eq!(stats.errors, 1, "expiry counts as a failed request");
+        assert_eq!(stats.encoded_sentences, 1, "the expired text must never reach the model");
+    }
+
+    #[test]
+    fn default_deadline_applies_when_request_carries_none() {
+        let cfg = SessionConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            cache_capacity: 0,
+            default_deadline_us: 1_000,
+            fault: ServeFault::SlowBatch(150),
+            ..Default::default()
+        };
+        let session = InferenceSession::new(tiny_bundle(13), cfg);
+        let busy = session.encode_async("occupy the batcher", 1, Some(10_000_000)).expect("submit");
+        wait_for_drain(&session);
+        let doomed = session.encode_async("inherits the default", 2, None).expect("submit");
+        busy.wait().expect("busy request completes");
+        match doomed.wait() {
+            Err(ServeError::DeadlineExceeded { deadline_us, .. }) => {
+                assert_eq!(deadline_us, 1_000, "default deadline must apply");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        session.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_session_survives() {
+        let cfg = SessionConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            cache_capacity: 16,
+            fault: ServeFault::PanicOnBatch(1),
+            ..Default::default()
+        };
+        let session = InferenceSession::new(tiny_bundle(14), cfg);
+        match session.encode("this batch panics") {
+            Err(ServeError::Internal(msg)) => {
+                assert!(msg.contains("injected fault"), "{msg}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // The batcher must still be alive and serving.
+        let emb = session.encode("the next batch succeeds").expect("session survives");
+        assert_eq!(emb.len(), 16);
+        let stats = session.shutdown();
+        assert_eq!(stats.errors, 1, "{stats:?}");
+        assert_eq!(stats.requests, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn install_swaps_the_model_and_flushes_the_cache() {
+        let text = "alarm raised on amf";
+        let bundle_a = tiny_bundle(20);
+        let bundle_b = tiny_bundle(21);
+        let cold_b: Vec<u32> = bundle_b
+            .encode_batch(std::slice::from_ref(&text.to_string()))
+            .expect("cold encode")
+            .swap_remove(0)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+
+        let session = InferenceSession::new(bundle_a, SessionConfig::default());
+        assert_eq!(session.model_version(), 1);
+        let pre: Vec<u32> =
+            session.encode(text).expect("encode on A").iter().map(|v| v.to_bits()).collect();
+        // The answer is now cached; the swap must make that cache entry
+        // unreachable.
+        let version = session.install(bundle_b);
+        assert_eq!(version, 2);
+        assert_eq!(session.model_version(), 2);
+        let post: Vec<u32> =
+            session.encode(text).expect("encode on B").iter().map(|v| v.to_bits()).collect();
+        assert_eq!(post, cold_b, "post-swap replies must match a cold session on the new bundle");
+        assert_ne!(pre, post, "a stale cache hit would reproduce the old bundle's bits");
+        let snap = session.metrics_snapshot();
+        assert_eq!(snap.model_version, 2);
+        let prom = session.prometheus_text();
+        assert!(prom.contains("serve_model_version 2"), "{prom}");
+        assert!(prom.contains("serve_rollover 1"), "{prom}");
+        let stats = session.shutdown();
+        assert_eq!(stats.rollovers, 1, "{stats:?}");
     }
 
     #[test]

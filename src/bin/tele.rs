@@ -15,10 +15,14 @@
 //!               [<sentence> ...]                          embed + similarities
 //! tele serve    --ckpt FILE [--addr HOST:PORT] [--workers N] [--batch-size N]
 //!               [--max-wait-us N] [--cache N] [--window-secs N]
+//!               [--queue N] [--deadline-us N] [--accept-queue N]
+//!               [--idle-timeout-ms N] [--watch DIR] [--watch-interval-ms N]
 //!               [--flight-dir DIR|none]                   NDJSON TCP server
 //! tele serve-bench --ckpt FILE [--requests N] [--unique N] [--threads N]
-//!               [--batch-size N] [--out FILE] [--overhead-rounds N]
-//!               [--overhead-out FILE]                     serving load test
+//!               [--batch-size N] [--queue N] [--deadline-us N] [--out FILE]
+//!               [--overhead-rounds N] [--overhead-out FILE]
+//!               [--arrival-rps R1,R2,...] [--arrival-requests N]
+//!               [--overload-out FILE]                     serving load test
 //! tele top      --addr HOST:PORT | --file HEARTBEAT.json
 //!               [--interval-ms N] [--count N]             live metrics view
 //! tele profile  [--seed N] [--steps N] [--device ref|fast] [--out FILE]
@@ -38,8 +42,8 @@ use tele_knowledge::model::{
     FaultTolerance, GuardConfig, GuardPolicy, PretrainConfig, RetrainConfig, RetrainData, Strategy,
 };
 use tele_knowledge::serve::{
-    run_bench, run_overhead_bench, BenchConfig, InferenceSession, ServeClient, ServerConfig,
-    SessionConfig, TelemetryConfig,
+    run_bench, run_overhead_bench, run_overload_bench, BenchConfig, InferenceSession, ServeClient,
+    ServerConfig, SessionConfig, TelemetryConfig, WatchConfig,
 };
 use tele_knowledge::tensor::nn::TransformerConfig;
 use tele_knowledge::tokenizer::{SpecialTokenConfig, TeleTokenizer, TokenizerConfig};
@@ -149,13 +153,21 @@ const USAGE: &str = "tele — tele-knowledge CLI
   tele encode   --ckpt FILE [--batch-size N] [--file FILE|-] [<sentence> ...]
   tele serve    --ckpt FILE [--addr HOST:PORT] [--workers N] [--batch-size N]
                 [--max-wait-us N] [--cache N] [--window-secs N]
+                [--queue N] [--deadline-us N] [--accept-queue N]
+                [--idle-timeout-ms N] [--watch DIR] [--watch-interval-ms N]
                 [--flight-dir DIR|none]
-                serve embeddings over newline-delimited JSON on TCP
+                serve embeddings over newline-delimited JSON on TCP, with
+                bounded admission (--queue), request deadlines, and hot
+                checkpoint rollover (reload op / --watch)
   tele serve-bench --ckpt FILE [--requests N] [--unique N] [--threads N]
-                [--batch-size N] [--out FILE] [--overhead-rounds N]
-                [--overhead-out FILE]
-                compare batched serving against the sequential baseline and
-                measure the telemetry overhead (tracing on vs off)
+                [--batch-size N] [--queue N] [--deadline-us N] [--out FILE]
+                [--overhead-rounds N] [--overhead-out FILE]
+                [--arrival-rps R1,R2,...] [--arrival-requests N]
+                [--overload-out FILE]
+                compare batched serving against the sequential baseline,
+                measure the telemetry overhead (tracing on vs off), or —
+                with --arrival-rps — sweep open-loop arrival rates and
+                report shed rate + latency quantiles per rate
   tele top      --addr HOST:PORT | --file HEARTBEAT.json
                 [--interval-ms N] [--count N]
                 live view of a serve endpoint's metrics op or a training
@@ -433,14 +445,19 @@ fn telemetry_flags(
     })
 }
 
-/// Batching/cache knobs shared by `encode`, `serve`, and `serve-bench`.
+/// Batching/cache/admission knobs shared by `encode`, `serve`, and
+/// `serve-bench` (`--queue 0` disables the admission bound, `--deadline-us 0`
+/// disables the default queueing deadline).
 fn session_flags(args: &Args, default_flight_dir: Option<&str>) -> Result<SessionConfig, String> {
     let defaults = SessionConfig::default();
     Ok(SessionConfig {
         max_batch: args.usize_flag("batch-size", defaults.max_batch)?,
         max_wait_us: args.u64_flag("max-wait-us", defaults.max_wait_us)?,
         cache_capacity: args.usize_flag("cache", defaults.cache_capacity)?,
+        queue_capacity: args.usize_flag("queue", defaults.queue_capacity)?,
+        default_deadline_us: args.u64_flag("deadline-us", defaults.default_deadline_us)?,
         telemetry: telemetry_flags(args, default_flight_dir)?,
+        ..defaults
     })
 }
 
@@ -462,7 +479,14 @@ fn cmd_encode(args: &Args) -> Result<(), String> {
         return Err("at least one sentence required (positional, --file FILE, or --file -)".into());
     }
     let bundle = load_ckpt(args)?;
-    let session = InferenceSession::new(bundle, session_flags(args, None)?);
+    let mut session_cfg = session_flags(args, None)?;
+    if !args.flags.contains_key("queue") {
+        // Local one-shot encode: the whole input is submitted as one group,
+        // so admission control would shed large files. Unbounded unless the
+        // caller asks for a bound.
+        session_cfg.queue_capacity = 0;
+    }
+    let session = InferenceSession::new(bundle, session_cfg);
     let embs = session.encode_many(&sentences).map_err(|e| e.to_string())?;
     for (s, e) in sentences.iter().zip(&embs) {
         let preview: Vec<String> = e.iter().take(6).map(|v| format!("{v:+.3}")).collect();
@@ -488,16 +512,31 @@ fn cmd_encode(args: &Args) -> Result<(), String> {
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let bundle = load_ckpt(args)?;
+    // `--watch DIR` follows the checkpoint store's LATEST pointer and
+    // hot-swaps the serving bundle whenever it names a new snapshot.
+    let watch = match args.flags.get("watch") {
+        Some(dir) => Some(WatchConfig {
+            dir: std::path::PathBuf::from(dir),
+            interval_ms: args.u64_flag("watch-interval-ms", 1_000)?,
+        }),
+        None => None,
+    };
+    let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         addr: args.flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7077".into()),
         workers: args.usize_flag("workers", 4)?,
+        accept_queue: args.usize_flag("accept-queue", defaults.accept_queue)?,
+        idle_timeout_ms: args.u64_flag("idle-timeout-ms", defaults.idle_timeout_ms)?,
+        watch,
         session: session_flags(args, Some("results"))?,
     };
     let handle = tele_knowledge::serve::serve(bundle, &cfg).map_err(|e| e.to_string())?;
     println!("serving on {} ({} workers)", handle.addr(), cfg.workers);
     println!("protocol: one JSON object per line, e.g.");
     println!(r#"  {{"op":"encode","texts":["link down on smf"]}}"#);
+    println!(r#"  {{"op":"encode","texts":["..."],"deadline_us":5000}}"#);
     println!(r#"  {{"op":"metrics"}}  {{"op":"metrics","format":"prometheus"}}"#);
+    println!(r#"  {{"op":"reload","ckpt":"path/to/bundle.json"}}"#);
     println!(r#"  {{"op":"stats"}}  {{"op":"ping"}}  {{"op":"shutdown"}}"#);
     handle.wait();
     let stats = handle.shutdown();
@@ -513,6 +552,64 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the open-loop overload sweep (`--arrival-rps R1,R2,...`) and writes
+/// `results/bench_serve_overload.json` (or `--overload-out`).
+fn run_arrival_sweep(
+    args: &Args,
+    bundle: tele_knowledge::model::TeleBert,
+    cfg: &BenchConfig,
+    spec: &str,
+) -> Result<(), String> {
+    let rates: Vec<f64> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("--arrival-rps expects comma-separated rates, got {s:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if rates.is_empty() {
+        return Err("--arrival-rps needs at least one rate".into());
+    }
+    let mut cfg = cfg.clone();
+    cfg.requests = args.usize_flag("arrival-requests", 120)?;
+    let report = run_overload_bench(bundle, &cfg, &rates).map_err(|e| e.to_string())?;
+    let out = args
+        .flags
+        .get("overload-out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results/bench_serve_overload.json"));
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    let json = serde_json::to_string_pretty(&report).map_err(|e| format!("{e:?}"))?;
+    write_atomic(&out, json.as_bytes()).map_err(|e| e.to_string())?;
+    println!(
+        "overload sweep: {} requests per rate, queue capacity {}, default deadline {} us",
+        report.requests_per_rate, report.queue_capacity, report.default_deadline_us
+    );
+    println!(
+        "  {:>9} {:>9} {:>6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "rps", "completed", "shed", "expired", "shed%", "p50us", "p90us", "p99us", "p999us"
+    );
+    for p in &report.rates {
+        println!(
+            "  {:>9.0} {:>9} {:>6} {:>8} {:>8.1}% {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+            p.arrival_rps,
+            p.completed,
+            p.shed,
+            p.deadline_expired,
+            p.shed_rate * 100.0,
+            p.latency.p50_us,
+            p.latency.p90_us,
+            p.latency.p99_us,
+            p.latency.p999_us
+        );
+    }
+    println!("overload report written to {}", out.display());
+    Ok(())
+}
+
 fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     let bundle = load_ckpt(args)?;
     let cfg = BenchConfig {
@@ -523,9 +620,20 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
             max_batch: args.usize_flag("batch-size", 16)?,
             max_wait_us: args.u64_flag("max-wait-us", 200)?,
             cache_capacity: args.usize_flag("cache", 256)?,
+            // Unbounded by default: the closed-loop comparison submits whole
+            // per-thread chunks and must never shed; the overload sweep sets
+            // --queue explicitly to exercise admission control.
+            queue_capacity: args.usize_flag("queue", 0)?,
+            default_deadline_us: args.u64_flag("deadline-us", 0)?,
             telemetry: telemetry_flags(args, None)?,
+            ..SessionConfig::default()
         },
     };
+    // Open-loop overload sweep mode: fixed arrival schedules instead of the
+    // closed-loop comparison.
+    if let Some(spec) = args.flags.get("arrival-rps") {
+        return run_arrival_sweep(args, bundle, &cfg, spec);
+    }
     let report = run_bench(bundle, &cfg).map_err(|e| e.to_string())?;
     let out = args
         .flags

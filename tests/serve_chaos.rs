@@ -1,0 +1,444 @@
+//! Chaos suite for the serving layer: deliberate overload, injected worker
+//! panics, slow-loris and torn connections, and checkpoint rollover under
+//! fire. Extends the training-side fault-injection discipline (see
+//! `tests/chaos.rs`-style harnesses in crates/core) to `tele serve`: every
+//! failure here must surface as a typed error or a clean close — never a
+//! hang, never a crash, never changed bits.
+
+use std::io::{Read as IoRead, Write as IoWrite};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use tele_knowledge::datagen::{Scale, Suite};
+use tele_knowledge::model::{load_bundle, pretrain, save_bundle, PretrainConfig, TeleBert};
+use tele_knowledge::serve::{
+    serve, ClientConfig, InferenceSession, ServeClient, ServeError, ServeFault, ServerConfig,
+    SessionConfig,
+};
+use tele_knowledge::tensor::nn::TransformerConfig;
+use tele_knowledge::tokenizer::{TeleTokenizer, TokenizerConfig};
+
+fn train(suite: &Suite) -> TeleBert {
+    let tokenizer = TeleTokenizer::train(suite.tele_corpus.iter(), &TokenizerConfig::default());
+    let encoder = TransformerConfig {
+        vocab: tokenizer.vocab_size(),
+        dim: 32,
+        layers: 1,
+        heads: 2,
+        ffn_hidden: 64,
+        max_len: 48,
+        dropout: 0.1,
+    };
+    pretrain(
+        &suite.tele_corpus,
+        &tokenizer,
+        encoder,
+        &PretrainConfig { steps: 10, batch_size: 4, ..Default::default() },
+    )
+    .0
+}
+
+/// Bundles are expensive to train, so each is trained once per process and
+/// shared between tests as serialized JSON (load_bundle is cheap and the
+/// round-trip is bit-exact).
+fn bundle_a() -> TeleBert {
+    static SAVED: OnceLock<String> = OnceLock::new();
+    let json = SAVED.get_or_init(|| save_bundle(&train(&Suite::generate(Scale::Smoke, 81))));
+    load_bundle(json).expect("bundle A round-trip")
+}
+
+fn bundle_b() -> TeleBert {
+    static SAVED: OnceLock<String> = OnceLock::new();
+    let json = SAVED.get_or_init(|| save_bundle(&train(&Suite::generate(Scale::Smoke, 82))));
+    load_bundle(json).expect("bundle B round-trip")
+}
+
+fn texts(n: usize) -> Vec<String> {
+    let suite = Suite::generate(Scale::Smoke, 81);
+    (0..n).map(|i| suite.tele_corpus[i % suite.tele_corpus.len()].clone()).collect()
+}
+
+fn solo_bits(bundle: &TeleBert, text: &str) -> Vec<u32> {
+    bundle
+        .encode_batch(std::slice::from_ref(&text.to_string()))
+        .expect("solo encode")
+        .swap_remove(0)
+        .iter()
+        .map(|x| x.to_bits())
+        .collect()
+}
+
+fn bits(row: &[f32]) -> Vec<u32> {
+    row.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Past the queue bound, submissions shed instantly with a typed
+/// `Overloaded` carrying the observed depth, and multi-text groups shed
+/// all-or-nothing: no partial batch ever enters the queue.
+#[test]
+fn overload_sheds_atomically_with_typed_errors() {
+    let texts = texts(8);
+    let session = InferenceSession::new(
+        bundle_a(),
+        SessionConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            cache_capacity: 0,
+            queue_capacity: 2,
+            fault: ServeFault::SlowBatch(150),
+            ..Default::default()
+        },
+    );
+
+    // Primer: popped by the batcher almost immediately, after which the
+    // injected 150 ms stall keeps the queue from draining.
+    let primer = session.encode_async(&texts[0], 1, None).expect("primer admitted");
+    std::thread::sleep(Duration::from_millis(60));
+
+    // The queue holds exactly `queue_capacity` singles...
+    let t1 = session.encode_async(&texts[1], 2, None).expect("slot 1 admitted");
+    let t2 = session.encode_async(&texts[2], 3, None).expect("slot 2 admitted");
+    // ...then sheds, reporting depth and capacity.
+    match session.encode_async(&texts[3], 4, None) {
+        Err(ServeError::Overloaded { depth, capacity }) => {
+            assert_eq!((depth, capacity), (2, 2));
+        }
+        other => panic!("expected typed shed, got {other:?}"),
+    }
+    // A group that cannot fit in full is shed in full.
+    let group: Vec<String> = texts[4..7].to_vec();
+    match session.encode_many_with_deadline(&group, 5, None) {
+        Err(ServeError::Overloaded { .. }) => {}
+        other => panic!("expected group shed, got {other:?}"),
+    }
+
+    // Shed counter: 1 single + 3-row group, counted at the enqueue boundary.
+    assert_eq!(session.stats().shed, 4);
+    // Admitted work is unaffected by the shedding around it.
+    for t in [primer, t1, t2] {
+        t.wait().expect("admitted request completes");
+    }
+    let stats = session.shutdown();
+    assert_eq!(stats.shed, 4, "{stats:?}");
+    assert_eq!(stats.errors, 0, "sheds are not errors: {stats:?}");
+}
+
+/// Queued work whose deadline lapses before the batcher drains it expires
+/// with a typed `DeadlineExceeded` — it is never forwarded through the
+/// model.
+#[test]
+fn expired_deadlines_are_typed_and_never_forwarded() {
+    let texts = texts(4);
+    let session = InferenceSession::new(
+        bundle_a(),
+        SessionConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            cache_capacity: 0,
+            queue_capacity: 0,
+            default_deadline_us: 30_000,
+            fault: ServeFault::SlowBatch(120),
+            ..Default::default()
+        },
+    );
+
+    // The primer drains well inside its 30 ms deadline; everything queued
+    // behind it waits out the 120 ms stall and must expire.
+    let primer = session.encode_async(&texts[0], 1, None).expect("primer admitted");
+    let late: Vec<_> = texts[1..4]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| session.encode_async(t, 2 + i as u64, None).expect("admitted"))
+        .collect();
+
+    primer.wait().expect("primer beats its deadline");
+    for t in late {
+        match t.wait() {
+            Err(ServeError::DeadlineExceeded { waited_us, deadline_us }) => {
+                assert!(waited_us >= deadline_us, "{waited_us} vs {deadline_us}");
+            }
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+    }
+    let stats = session.shutdown();
+    assert_eq!(stats.deadline_expired, 3, "{stats:?}");
+    assert_eq!(stats.encoded_sentences, 1, "expired work must not reach the model: {stats:?}");
+}
+
+/// An injected panic inside the forward pass surfaces as a typed internal
+/// error for the requests in that micro-batch; the batcher survives and
+/// later batches serve correct bits.
+#[test]
+fn worker_panic_is_contained_as_a_typed_error() {
+    let texts = texts(2);
+    let bundle = bundle_a();
+    let expected = solo_bits(&bundle, &texts[1]);
+    let session = InferenceSession::new(
+        bundle,
+        SessionConfig {
+            max_batch: 1,
+            cache_capacity: 0,
+            fault: ServeFault::PanicOnBatch(1),
+            ..Default::default()
+        },
+    );
+
+    match session.encode(&texts[0]) {
+        Err(ServeError::Internal(msg)) => assert!(msg.contains("panic"), "{msg}"),
+        other => panic!("expected typed panic containment, got {other:?}"),
+    }
+    let row = session.encode(&texts[1]).expect("session survives the panic");
+    assert_eq!(bits(&row), expected, "post-panic batches still serve exact bits");
+    let stats = session.shutdown();
+    assert!(stats.errors >= 1, "{stats:?}");
+}
+
+/// A slow-loris connection — bytes trickling in with no complete frame —
+/// is cut by the idle timeout instead of pinning a worker forever.
+#[test]
+fn slow_loris_connection_is_cut_by_the_idle_timeout() {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        idle_timeout_ms: 200,
+        session: SessionConfig { cache_capacity: 0, ..Default::default() },
+        ..Default::default()
+    };
+    let handle = serve(bundle_a(), &cfg).expect("serve");
+    let addr = handle.addr().to_string();
+
+    let mut loris = TcpStream::connect(&addr).expect("connect");
+    loris.write_all(b"{\"op\":\"pi").expect("partial frame");
+    loris.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    let mut buf = [0u8; 64];
+    let n = loris.read(&mut buf).expect("server must close, not hang");
+    assert_eq!(n, 0, "idle cut is a clean EOF, not a reply");
+
+    // The freed worker serves the next well-behaved client.
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    client.ping().expect("server healthy after the loris is cut");
+    handle.shutdown();
+}
+
+/// A connection torn mid-frame (EOF without a trailing newline) closes
+/// cleanly on the server side and takes nothing else down.
+#[test]
+fn torn_connection_mid_frame_closes_cleanly() {
+    let texts = texts(2);
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        session: SessionConfig { cache_capacity: 0, ..Default::default() },
+        ..Default::default()
+    };
+    let bundle = bundle_a();
+    let expected = solo_bits(&bundle, &texts[0]);
+    let handle = serve(bundle, &cfg).expect("serve");
+    let addr = handle.addr().to_string();
+
+    let mut torn = TcpStream::connect(&addr).expect("connect");
+    torn.write_all(b"{\"op\":\"encode\",\"texts\":[\"alarm").expect("partial frame");
+    torn.shutdown(std::net::Shutdown::Write).expect("tear the connection");
+    torn.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    let mut buf = [0u8; 64];
+    let n = torn.read(&mut buf).expect("server must close, not hang");
+    assert_eq!(n, 0, "a torn frame gets no reply, just a close");
+
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let rows = client.encode(vec![texts[0].clone()]).expect("encode after the tear");
+    assert_eq!(bits(&rows[0]), expected);
+    handle.shutdown();
+}
+
+/// Hot rollover invariants, asserted at the bit level: in-flight batches
+/// finish on the bundle they started on, the embedding cache flushes on
+/// version change, and post-swap answers match a cold session on the new
+/// bundle exactly.
+#[test]
+fn rollover_is_bit_identical_and_flushes_the_cache() {
+    let texts = texts(3);
+    let a = bundle_a();
+    let b = bundle_b();
+    let a_bits_0 = solo_bits(&a, &texts[0]);
+    let a_bits_1 = solo_bits(&a, &texts[1]);
+    let b_bits_0 = solo_bits(&b, &texts[0]);
+    assert_ne!(a_bits_0, b_bits_0, "distinct bundles must disagree for this test to mean anything");
+
+    let session = InferenceSession::new(
+        a,
+        SessionConfig {
+            max_batch: 1,
+            cache_capacity: 16,
+            fault: ServeFault::SlowBatch(80),
+            ..Default::default()
+        },
+    );
+    assert_eq!(session.model_version(), 1);
+
+    // Cache a pre-swap answer.
+    let row = session.encode(&texts[0]).expect("encode on A");
+    assert_eq!(bits(&row), a_bits_0);
+
+    // Put a request in flight on A, then swap to B while it runs.
+    let inflight = session.encode_async(&texts[1], 7, None).expect("admitted");
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(session.install(b), 2, "install bumps the model version");
+
+    // The in-flight batch finishes on the bundle it started on: A's bits.
+    let row = inflight.wait().expect("in-flight survives the swap");
+    assert_eq!(bits(&row), a_bits_1, "in-flight work must finish on the old bundle");
+
+    // The cached pre-swap answer is gone: the same text now returns B's
+    // bits, identical to a cold encode on B.
+    let row = session.encode(&texts[0]).expect("encode on B");
+    assert_eq!(bits(&row), b_bits_0, "post-swap answers must match cold bundle B");
+
+    let stats = session.shutdown();
+    assert_eq!(stats.rollovers, 1, "{stats:?}");
+}
+
+/// Wire-level rollover under fire: a corrupt candidate is rejected with a
+/// typed checkpoint error and the old model keeps serving its exact bits;
+/// a valid candidate then swaps in and serves *its* exact bits.
+#[test]
+fn wire_reload_rejects_corrupt_candidates_and_swaps_valid_ones() {
+    let texts = texts(1);
+    let a = bundle_a();
+    let b = bundle_b();
+    let a_bits = solo_bits(&a, &texts[0]);
+    let b_bits = solo_bits(&b, &texts[0]);
+
+    let dir = std::env::temp_dir().join(format!("tele-chaos-reload-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp ckpt dir");
+    let corrupt = dir.join("corrupt.json");
+    std::fs::write(&corrupt, "{\"this is\": \"not a bundle\"").expect("write corrupt");
+    let valid = dir.join("b.json");
+    std::fs::write(&valid, save_bundle(&b)).expect("write valid");
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        session: SessionConfig { cache_capacity: 16, ..Default::default() },
+        ..Default::default()
+    };
+    let handle = serve(a, &cfg).expect("serve");
+    let addr = handle.addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    let rows = client.encode(texts.clone()).expect("encode on A");
+    assert_eq!(bits(&rows[0]), a_bits);
+
+    // Corrupt candidate: typed rejection, no swap, old bits keep flowing.
+    let err = client
+        .reload(corrupt.to_str().expect("utf8 path"))
+        .expect_err("corrupt bundle must be rejected");
+    assert!(matches!(err, ServeError::Checkpoint(_)), "{err:?}");
+    let rows = client.encode(texts.clone()).expect("still serving A");
+    assert_eq!(bits(&rows[0]), a_bits, "failed reload must not disturb the model");
+    assert_eq!(client.metrics().expect("metrics").model_version, 1);
+
+    // Valid candidate: version bump, B's exact bits.
+    let version = client.reload(valid.to_str().expect("utf8 path")).expect("valid reload");
+    assert_eq!(version, 2);
+    let rows = client.encode(texts).expect("encode on B");
+    assert_eq!(bits(&rows[0]), b_bits, "post-reload answers must match cold bundle B");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.rollovers, 1, "{stats:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A client that hits a shed retries with backoff and succeeds once the
+/// queue drains — overload degrades to latency, not failure, for
+/// idempotent requests.
+#[test]
+fn client_retries_through_overload_and_succeeds() {
+    let texts = texts(4);
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        session: SessionConfig {
+            max_batch: 1,
+            max_wait_us: 0,
+            cache_capacity: 0,
+            queue_capacity: 1,
+            fault: ServeFault::SlowBatch(60),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let bundle = bundle_a();
+    let expected = solo_bits(&bundle, &texts[3]);
+    let handle = serve(bundle, &cfg).expect("serve");
+    let addr = handle.addr().to_string();
+
+    // Fill the pipeline through the shared session: one request in the
+    // batcher's 60 ms stall, one occupying the single queue slot.
+    let primer = handle.session().encode_async(&texts[0], 1, None).expect("primer");
+    std::thread::sleep(Duration::from_millis(30));
+    let filler = handle.session().encode_async(&texts[1], 2, None).expect("filler");
+
+    let mut client = ServeClient::connect_with(
+        &addr,
+        ClientConfig { retries: 6, backoff_base_ms: 25, ..Default::default() },
+    )
+    .expect("connect");
+    let rows = client.encode(vec![texts[3].clone()]).expect("retry must eventually land");
+    assert_eq!(bits(&rows[0]), expected, "retried answers carry exact bits");
+    assert!(client.retries_used() >= 1, "the first attempt must have been shed");
+
+    primer.wait().expect("primer");
+    filler.wait().expect("filler");
+    let stats = handle.shutdown();
+    assert!(stats.shed >= 1, "{stats:?}");
+}
+
+/// The same overload pattern sheds the same requests every time: admission
+/// decisions are a function of queue state, not scheduling luck.
+#[test]
+fn shed_schedule_is_reproducible() {
+    fn run_schedule(bundle: TeleBert, texts: &[String]) -> (Vec<bool>, u64) {
+        let session = InferenceSession::new(
+            bundle,
+            SessionConfig {
+                max_batch: 1,
+                max_wait_us: 0,
+                cache_capacity: 0,
+                queue_capacity: 3,
+                fault: ServeFault::SlowBatch(250),
+                ..Default::default()
+            },
+        );
+        // Primer enters the batcher's stall; the burst then lands against a
+        // frozen queue, so admission is decided purely by capacity.
+        let primer = session.encode_async(&texts[0], 1, None).expect("primer");
+        std::thread::sleep(Duration::from_millis(80));
+        let mut admitted = Vec::new();
+        let mut tickets = Vec::new();
+        for (i, text) in texts[1..9].iter().enumerate() {
+            match session.encode_async(text, 2 + i as u64, None) {
+                Ok(t) => {
+                    admitted.push(true);
+                    tickets.push(t);
+                }
+                Err(ServeError::Overloaded { .. }) => admitted.push(false),
+                Err(other) => panic!("unexpected error in schedule: {other:?}"),
+            }
+        }
+        primer.wait().expect("primer");
+        for t in tickets {
+            t.wait().expect("admitted request completes");
+        }
+        (admitted, session.shutdown().shed)
+    }
+
+    let texts = texts(9);
+    let (first, shed_first) = run_schedule(bundle_a(), &texts);
+    let (second, shed_second) = run_schedule(bundle_a(), &texts);
+    assert_eq!(first, second, "identical overload pattern must shed identically");
+    assert_eq!(shed_first, shed_second);
+    assert_eq!(first, vec![true, true, true, false, false, false, false, false]);
+    assert_eq!(shed_first, 5);
+}

@@ -116,6 +116,7 @@ fn tcp_server_round_trips_embeddings_and_typed_errors() {
             cache_capacity: 32,
             ..Default::default()
         },
+        ..Default::default()
     };
     let handle = serve(bundle, &cfg).expect("serve");
     let addr = handle.addr().to_string();
@@ -174,7 +175,9 @@ fn request_ids_propagate_end_to_end_over_tcp() {
                 flight_dir: Some(flight_dir.clone()),
                 ..Default::default()
             },
+            ..Default::default()
         },
+        ..Default::default()
     };
     let handle = serve(bundle, &cfg).expect("serve");
     let addr = handle.addr().to_string();
