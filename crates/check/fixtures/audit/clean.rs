@@ -1,0 +1,47 @@
+//! Clean fixture: the same shapes as the seeded-bad files, written the way
+//! the audit sanctions — guards scoped to single statements so no lock is
+//! held across another acquisition or a blocking wait, and hash iteration
+//! sorted before touching floats.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Ledger {
+    pub accounts: Mutex<Vec<u64>>,
+    pub journal: Mutex<Vec<String>>,
+}
+
+impl Ledger {
+    pub fn post(&self) {
+        self.accounts.lock().unwrap().push(1);
+        self.journal.lock().unwrap().push("post".to_string());
+    }
+
+    pub fn audit_trail(&self) {
+        self.accounts.lock().unwrap().push(2);
+        self.journal.lock().unwrap().push("audit".to_string());
+    }
+}
+
+pub struct Collector {
+    pub totals: Mutex<Vec<u64>>,
+}
+
+impl Collector {
+    pub fn drain(&self, rx: &Receiver<u64>) {
+        while let Ok(v) = rx.recv() {
+            self.totals.lock().unwrap().push(v);
+        }
+    }
+}
+
+pub fn total_weight(weights: &HashMap<String, f32>) -> f32 {
+    let mut pairs: Vec<(&String, &f32)> = weights.iter().collect();
+    pairs.sort();
+    let mut total = 0.0f32;
+    for (_name, w) in pairs {
+        total += *w;
+    }
+    total
+}

@@ -1,0 +1,18 @@
+//! Seeded-bad fixture: a mutex guard held across a channel `recv()` — the
+//! lock stays unavailable to every other thread for the full wait.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Collector {
+    pub totals: Mutex<Vec<u64>>,
+}
+
+impl Collector {
+    pub fn drain(&self, rx: &Receiver<u64>) {
+        let mut t = self.totals.lock().unwrap();
+        while let Ok(v) = rx.recv() {
+            t.push(v);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded-bad fixture: float accumulation in `HashMap` iteration order —
+//! the sum's f32 bits differ between runs.
+
+use std::collections::HashMap;
+
+pub fn total_weight(weights: &HashMap<String, f32>) -> f32 {
+    let mut total = 0.0f32;
+    for (_name, w) in weights {
+        total += *w;
+    }
+    total
+}

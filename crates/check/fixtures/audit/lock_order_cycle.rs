@@ -1,0 +1,25 @@
+//! Seeded-bad fixture: two threads take the same two mutexes in opposite
+//! orders — the classic lock-order cycle `tele audit` must reject.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    pub accounts: Mutex<Vec<u64>>,
+    pub journal: Mutex<Vec<String>>,
+}
+
+impl Ledger {
+    pub fn post(&self) {
+        let mut a = self.accounts.lock().unwrap();
+        let mut j = self.journal.lock().unwrap();
+        a.push(1);
+        j.push("post".to_string());
+    }
+
+    pub fn audit_trail(&self) {
+        let mut j = self.journal.lock().unwrap();
+        let mut a = self.accounts.lock().unwrap();
+        j.push("audit".to_string());
+        a.push(2);
+    }
+}

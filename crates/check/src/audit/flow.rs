@@ -1,0 +1,1334 @@
+//! Flow analyses over the parsed workspace: lock-order cycles,
+//! blocking-while-locked, and nondeterministic hash iteration.
+//!
+//! All three share one approximation: a token-level walk of each function
+//! body that tracks *guard liveness* — a guard becomes live at a resolved
+//! lock acquisition (`.lock()` / `.read()` / `.write()` on a known lock
+//! field, static, `Mutex::new` local, or guard-returning helper) and dies
+//! at `drop(guard)`, at the end of the block that bound it, or (for
+//! unbound statement temporaries) at the end of the statement. Condvar
+//! `wait(guard)` is the sanctioned blocking-while-locked pattern and is
+//! exempted for the guard it consumes.
+//!
+//! Thread-spawn closures (`spawn(...)` argument lists) are analyzed as
+//! independent roots with an empty guard stack: they run on another
+//! thread, so neither their effects nor the caller's guards transfer.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+use super::parse::{
+    balanced_end, mentions_float, mentions_guard, mentions_hash, LockKind, Workspace, KEYWORDS,
+};
+
+/// Method/function names treated as blocking calls. `join` only counts
+/// with an empty argument list (thread join), since `Path::join` and
+/// `slice::join` take arguments.
+const BLOCKING: [&str; 14] = [
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "join",
+    "accept",
+    "read_line",
+    "read_to_string",
+    "read_to_end",
+    "read_exact",
+    "write_all",
+    "flush",
+    "sleep",
+    "park",
+    "connect",
+];
+
+/// Call names that consume or produce randomness inside a loop body.
+const RNG_CALLS: [&str; 8] =
+    ["gen", "gen_range", "gen_bool", "sample", "shuffle", "next_u32", "next_u64", "next_f32"];
+
+/// Guard-preserving adapters: `.lock().unwrap_or_else(...)` still yields
+/// the guard, so the chain stays an acquisition through these.
+const GUARD_ADAPTERS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+/// A source position, kept structured so diagnostics can carry line/col.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Pos {
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}", self.path, self.line, self.col)
+    }
+}
+
+fn pos(ws: &Workspace, file: usize, tok: &Tok) -> Pos {
+    Pos { path: ws.files[file].path.clone(), line: tok.line, col: tok.col }
+}
+
+/// One analysis root: a function body, or a spawned-closure argument range
+/// inside one (attributed to the parent function).
+struct Root {
+    file: usize,
+    /// Token subranges belonging to this root (spawn args carved out).
+    ranges: Vec<(usize, usize)>,
+    /// Display name (`Type::fn`, with ` (spawned closure)` for sub-roots).
+    display: String,
+    /// Index into `ws.fns` when this root is a callable function.
+    fn_idx: Option<usize>,
+    /// Let-bound `Mutex::new` / `RwLock::new` locals visible to this root,
+    /// mapped to (global identity, kind).
+    local_locks: HashMap<String, (String, LockKind)>,
+}
+
+/// Per-function effect summary, closed over the call graph by fixpoint.
+#[derive(Default, Clone)]
+struct Summary {
+    /// Locks (transitively) acquired: name → (deepest acquisition site,
+    /// call chain description; empty for direct).
+    locks: HashMap<String, (Pos, String)>,
+    /// First (transitively reachable) blocking operation, if any.
+    blocks: Option<(String, Pos, String)>,
+    /// Lock whose guard this function returns, if its return type is a
+    /// guard (e.g. `fn metrics(&self) -> MutexGuard<'_, ServeMetrics>`).
+    guard_ret: Option<String>,
+    /// `true` when the function returns a lock itself (`&'static Mutex<T>`
+    /// accessors like `global()`), so `f().lock()` resolves to `f`.
+    lock_ret: bool,
+    /// Resolved intra-workspace calls as (callee fn index, call site).
+    calls: Vec<(usize, Pos)>,
+}
+
+/// A lock-order edge: `from` was held when `to` was acquired.
+struct Edge {
+    fn_display: String,
+    from_site: Pos,
+    to_site: Pos,
+    via: String,
+}
+
+/// Carves `range` into the tokens owned by this root plus spawned
+/// sub-ranges (the balanced argument list of every `spawn(`).
+type TokRanges = Vec<(usize, usize)>;
+
+fn carve_spawns(toks: &[Tok], range: (usize, usize)) -> (TokRanges, TokRanges) {
+    let mut own = Vec::new();
+    let mut spawned = Vec::new();
+    let mut start = range.0;
+    let mut i = range.0;
+    while i < range.1 {
+        if toks[i].is_ident("spawn") && i + 1 < range.1 && toks[i + 1].is_punct('(') {
+            let end = balanced_end(toks, i + 1);
+            own.push((start, i + 2)); // keep `spawn(` so calls see the paren
+            spawned.push((i + 2, end - 1));
+            start = end - 1; // the closing `)` stays with the parent
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    own.push((start, range.1));
+    (own, spawned)
+}
+
+/// Walks back from the `.` at `dot` to name the receiver: the preceding
+/// ident, or for `f(...).lock()` / `x[i].lock()` the ident before the
+/// balanced group. Returns `(name, receiver_is_call)`.
+fn receiver(toks: &[Tok], dot: usize) -> Option<(String, bool)> {
+    if dot == 0 {
+        return None;
+    }
+    let prev = &toks[dot - 1];
+    if prev.kind == TokKind::Ident && !KEYWORDS.contains(&prev.text.as_str()) {
+        return Some((prev.text.clone(), false));
+    }
+    let close = prev.text.chars().next()?;
+    let open = match close {
+        ')' => '(',
+        ']' => '[',
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    let mut i = dot - 1;
+    loop {
+        if toks[i].is_punct(close) {
+            depth += 1;
+        } else if toks[i].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+    if i == 0 {
+        return None;
+    }
+    let name = &toks[i - 1];
+    if name.kind == TokKind::Ident {
+        Some((name.text.clone(), close == ')'))
+    } else {
+        None
+    }
+}
+
+/// After an acquisition's `(...)`, skips guard-preserving adapters and
+/// reports whether the method chain continues (meaning a `let` binds the
+/// chained *result*, not the guard).
+fn chain_continues(toks: &[Tok], mut i: usize) -> usize {
+    // `i` is one past the acquisition's closing paren.
+    loop {
+        if i + 2 < toks.len()
+            && toks[i].is_punct('.')
+            && toks[i + 1].kind == TokKind::Ident
+            && GUARD_ADAPTERS.contains(&toks[i + 1].text.as_str())
+            && toks[i + 2].is_punct('(')
+        {
+            i = balanced_end(toks, i + 2);
+            continue;
+        }
+        return i;
+    }
+}
+
+/// Collects `let name = ... Mutex::new/RwLock::new ...` locals over the
+/// whole body (spawn ranges included, since closures capture them).
+fn collect_local_locks(
+    toks: &[Tok],
+    range: (usize, usize),
+    identity_prefix: &str,
+) -> HashMap<String, (String, LockKind)> {
+    let mut out = HashMap::new();
+    let mut i = range.0;
+    while i < range.1 {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < range.1 && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            let binder = toks.get(j).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+            // Scan the init to the statement end at this depth.
+            let mut k = j;
+            while k < range.1 && !toks[k].is_punct(';') {
+                if toks[k].is_punct('{') || toks[k].is_punct('(') || toks[k].is_punct('[') {
+                    k = balanced_end(toks, k);
+                    continue;
+                }
+                k += 1;
+            }
+            if let Some(binder) = binder {
+                let kind = (i..k).find_map(|m| {
+                    if toks[m].is_ident("Mutex") {
+                        Some(LockKind::Mutex)
+                    } else if toks[m].is_ident("RwLock") {
+                        Some(LockKind::RwLock)
+                    } else {
+                        None
+                    }
+                });
+                if let Some(kind) = kind {
+                    // Only constructor inits (`Mutex::new`), not references.
+                    let ctor = (i..k.saturating_sub(1)).any(|m| {
+                        (toks[m].is_ident("Mutex") || toks[m].is_ident("RwLock"))
+                            && toks.get(m + 1).is_some_and(|t| t.is_punct(':'))
+                    });
+                    if ctor {
+                        out.insert(binder.clone(), (format!("{identity_prefix}::{binder}"), kind));
+                    }
+                }
+            }
+            i = k + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A live guard during the findings walk.
+#[derive(Clone)]
+struct Held {
+    /// Global lock identity.
+    lock: String,
+    /// Human name (`Shared.queue`).
+    display: String,
+    /// Binder variable, `None` for statement temporaries.
+    binder: Option<String>,
+    /// Acquisition site.
+    site: Pos,
+    /// Brace depth at which the guard was bound (dies when it closes).
+    depth: i32,
+}
+
+pub(crate) struct FlowResult {
+    pub findings: Vec<Diagnostic>,
+}
+
+/// Runs all three analyses over the workspace.
+pub(crate) fn analyze(ws: &Workspace) -> FlowResult {
+    let mut roots: Vec<Root> = Vec::new();
+    for (idx, f) in ws.fns.iter().enumerate() {
+        let toks = &ws.files[f.file].toks;
+        let locals = collect_local_locks(toks, f.body, &f.display());
+        let (own, spawned) = carve_spawns(toks, f.body);
+        roots.push(Root {
+            file: f.file,
+            ranges: own,
+            display: f.display(),
+            fn_idx: Some(idx),
+            local_locks: locals.clone(),
+        });
+        let mut queue = spawned;
+        while let Some(range) = queue.pop() {
+            let (own, nested) = carve_spawns(toks, range);
+            roots.push(Root {
+                file: f.file,
+                ranges: own,
+                display: format!("{} (spawned closure)", f.display()),
+                fn_idx: None,
+                local_locks: locals.clone(),
+            });
+            queue.extend(nested);
+        }
+    }
+
+    // Phase 1: direct summaries for callable functions.
+    let mut summaries: Vec<Summary> = vec![Summary::default(); ws.fns.len()];
+    for root in &roots {
+        let Some(fn_idx) = root.fn_idx else { continue };
+        summaries[fn_idx] = direct_summary(ws, root, &ws.fns[fn_idx]);
+    }
+
+    // Phase 2: fixpoint closure over the call graph.
+    loop {
+        let mut changed = false;
+        for f in 0..summaries.len() {
+            let calls = summaries[f].calls.clone();
+            for (g, callsite) in calls {
+                let callee_locks: Vec<(String, (Pos, String))> =
+                    summaries[g].locks.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                let callee_blocks = summaries[g].blocks.clone();
+                let callee_name = ws.fns[g].display();
+                for (lock, (site, via)) in callee_locks {
+                    if let std::collections::hash_map::Entry::Vacant(e) =
+                        summaries[f].locks.entry(lock)
+                    {
+                        let chain = if via.is_empty() {
+                            format!("via `{callee_name}` at {callsite}")
+                        } else {
+                            format!("via `{callee_name}` {via}")
+                        };
+                        e.insert((site, chain));
+                        changed = true;
+                    }
+                }
+                if summaries[f].blocks.is_none() {
+                    if let Some((what, site, via)) = callee_blocks {
+                        let chain = if via.is_empty() {
+                            format!("via `{callee_name}` at {callsite}")
+                        } else {
+                            format!("via `{callee_name}` {via}")
+                        };
+                        summaries[f].blocks = Some((what, site, chain));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 3: findings walk per root.
+    let mut findings = Vec::new();
+    let mut edges: HashMap<(String, String), Edge> = HashMap::new();
+    for root in &roots {
+        findings_walk(ws, root, &summaries, &mut findings, &mut edges);
+    }
+
+    // Lock-order cycles.
+    findings.extend(report_cycles(ws, &edges));
+
+    // Determinism pass (independent of guard state).
+    for root in &roots {
+        if let Some(fn_idx) = root.fn_idx {
+            nondet_walk(ws, root, &ws.fns[fn_idx], &mut findings);
+        }
+    }
+
+    FlowResult { findings }
+}
+
+/// Resolves a call at `toks[i]` (an ident followed by `(`) to candidate
+/// workspace functions. With `strict`, a method call that resolves to
+/// more than one function (same method name on several types) resolves to
+/// nothing: attributing *effects* (locks, blocking) to the wrong
+/// same-named method produces false alarms, so ambiguity is a documented
+/// false-negative instead. Non-strict resolution returns every candidate,
+/// for classification checks that require all candidates to agree.
+fn resolve_call(ws: &Workspace, toks: &[Tok], i: usize, strict: bool) -> Vec<usize> {
+    let name = toks[i].text.as_str();
+    if KEYWORDS.contains(&name) || name == "spawn" {
+        return Vec::new();
+    }
+    let Some(ids) = ws.by_name.get(name) else { return Vec::new() };
+    let prev = i.checked_sub(1).map(|p| &toks[p]);
+    if prev.is_some_and(|t| t.is_punct('.')) {
+        // Method call: name resolution only, no receiver types.
+        if strict && ids.len() > 1 {
+            return Vec::new();
+        }
+        return ids.clone();
+    }
+    if prev.is_some_and(|t| t.is_punct(':')) {
+        // Qualified `Owner::name(`: match the owner exactly; an unknown
+        // owner (std types) resolves to nothing rather than everything.
+        let owner = i.checked_sub(3).map(|p| &toks[p]);
+        let Some(owner) = owner.filter(|t| t.kind == TokKind::Ident) else {
+            return Vec::new();
+        };
+        return ids
+            .iter()
+            .copied()
+            .filter(|&id| {
+                ws.fns[id].owner.as_deref() == Some(owner.text.as_str())
+                    || owner.text == "Self"
+                    || owner.text == "self"
+            })
+            .collect();
+    }
+    // Free call: free functions only.
+    ids.iter().copied().filter(|&id| ws.fns[id].owner.is_none()).collect()
+}
+
+/// `true` when the call at `toks[i]` is a blocking operation by name.
+fn is_blocking_call(toks: &[Tok], i: usize) -> bool {
+    let name = toks[i].text.as_str();
+    if !BLOCKING.contains(&name) {
+        return false;
+    }
+    if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return false;
+    }
+    if name == "join" {
+        // Thread join takes no arguments; `Path::join(p)` does.
+        return toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
+    }
+    true
+}
+
+/// Phase-1 summary of one function's own tokens.
+fn direct_summary(ws: &Workspace, root: &Root, f: &super::parse::FnInfo) -> Summary {
+    let toks = &ws.files[root.file].toks;
+    let mut s = Summary::default();
+    let guard_typed = mentions_guard(toks, f.ret);
+    s.lock_ret = !guard_typed
+        && toks[f.ret.0..f.ret.1].iter().any(|t| t.is_ident("Mutex") || t.is_ident("RwLock"));
+    for range in &root.ranges {
+        let mut i = range.0;
+        while i < range.1 {
+            let t = &toks[i];
+            if t.is_punct('.')
+                && i + 2 < range.1
+                && toks[i + 1].kind == TokKind::Ident
+                && toks[i + 2].is_punct('(')
+            {
+                let op = toks[i + 1].text.as_str();
+                if matches!(op, "lock" | "read" | "write") {
+                    if let Some(lock) = resolve_lock(ws, root, toks, i, op) {
+                        s.locks
+                            .entry(lock)
+                            .or_insert_with(|| (pos(ws, root.file, &toks[i + 1]), String::new()));
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+            if t.kind == TokKind::Ident && is_blocking_call(toks, i) {
+                // Condvar waits are handled separately; `wait` is not in
+                // BLOCKING, but e.g. `sleep` in a helper marks it blocking.
+                if s.blocks.is_none() {
+                    s.blocks =
+                        Some((format!("`{}`", t.text), pos(ws, root.file, t), String::new()));
+                }
+            }
+            if t.kind == TokKind::Ident
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && (t.text == "wait" || t.text == "wait_timeout")
+            {
+                // A condvar wait blocks the thread (releasing only its own
+                // guard): callers holding other locks must know.
+                if let Some((recv, _)) = receiver(toks, i.saturating_sub(1)) {
+                    if ws.condvars.contains(&recv) && s.blocks.is_none() {
+                        s.blocks = Some((
+                            "condvar wait".to_string(),
+                            pos(ws, root.file, t),
+                            String::new(),
+                        ));
+                    }
+                }
+            }
+            if t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                for id in resolve_call(ws, toks, i, true) {
+                    s.calls.push((id, pos(ws, root.file, t)));
+                }
+            }
+            i += 1;
+        }
+    }
+    if guard_typed {
+        s.guard_ret = s.locks.keys().next().cloned();
+    }
+    s
+}
+
+/// Resolves the receiver of `.lock()`/`.read()`/`.write()` at the `.`
+/// token `dot` to a known lock identity, or `None` for foreign receivers
+/// (`io::stdout().lock()`, third-party types).
+fn resolve_lock(ws: &Workspace, root: &Root, toks: &[Tok], dot: usize, op: &str) -> Option<String> {
+    let (recv, is_call) = receiver(toks, dot)?;
+    if matches!(recv.as_str(), "stdout" | "stderr" | "stdin") {
+        return None;
+    }
+    if let Some((identity, kind)) = root.local_locks.get(&recv) {
+        let ok = match kind {
+            LockKind::Mutex => op == "lock",
+            LockKind::RwLock => op == "read" || op == "write",
+        };
+        return ok.then(|| identity.clone());
+    }
+    if let Some(kind) = ws.locks.get(&recv) {
+        let ok = match kind {
+            LockKind::Mutex => op == "lock",
+            LockKind::RwLock => op == "read" || op == "write",
+        };
+        return ok.then(|| recv.clone());
+    }
+    if is_call && op == "lock" {
+        // `global().lock()`: an accessor returning a `&Mutex`.
+        if let Some(ids) = ws.by_name.get(&recv) {
+            if ids.iter().any(|&id| {
+                let f = &ws.fns[id];
+                let toks = &ws.files[f.file].toks;
+                !mentions_guard(toks, f.ret)
+                    && toks[f.ret.0..f.ret.1]
+                        .iter()
+                        .any(|t| t.is_ident("Mutex") || t.is_ident("RwLock"))
+            }) {
+                return Some(recv);
+            }
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_edges(
+    ws: &Workspace,
+    held: &[Held],
+    new_lock: &str,
+    new_site: &Pos,
+    fn_display: &str,
+    via: &str,
+    edges: &mut HashMap<(String, String), Edge>,
+) {
+    for h in held {
+        if h.lock == new_lock {
+            continue;
+        }
+        edges.entry((h.lock.clone(), new_lock.to_string())).or_insert_with(|| Edge {
+            fn_display: fn_display.to_string(),
+            from_site: h.site.clone(),
+            to_site: new_site.clone(),
+            via: via.to_string(),
+        });
+    }
+    let _ = ws;
+}
+
+/// Phase-3 guard-liveness walk emitting blocking-while-locked findings and
+/// lock-order edges.
+fn findings_walk(
+    ws: &Workspace,
+    root: &Root,
+    summaries: &[Summary],
+    findings: &mut Vec<Diagnostic>,
+    edges: &mut HashMap<(String, String), Edge>,
+) {
+    let toks = &ws.files[root.file].toks;
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending_let: Option<String> = None;
+
+    let release_temps = |held: &mut Vec<Held>| {
+        held.retain(|h| h.binder.is_some());
+    };
+
+    for range in root.ranges.clone() {
+        let mut i = range.0;
+        while i < range.1 {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+                release_temps(&mut held);
+                pending_let = None;
+                i += 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                held.retain(|h| h.depth < depth);
+                depth -= 1;
+                release_temps(&mut held);
+                i += 1;
+                continue;
+            }
+            if t.is_punct(';') {
+                release_temps(&mut held);
+                pending_let = None;
+                i += 1;
+                continue;
+            }
+            if t.is_ident("let") {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                pending_let = toks
+                    .get(j)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .filter(|_| toks.get(j + 1).is_some_and(|n| n.is_punct('=') || n.is_punct(':')))
+                    .map(|t| t.text.clone());
+                // A deref init (`let n = *x.lock()…;`) binds the pointee
+                // value; the guard is a statement temporary.
+                if toks.get(j + 1).is_some_and(|n| n.is_punct('='))
+                    && toks.get(j + 2).is_some_and(|n| n.is_punct('*'))
+                {
+                    pending_let = None;
+                }
+                i = j;
+                continue;
+            }
+            // `drop(guard)` releases a bound guard.
+            if t.is_ident("drop")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+            {
+                let name = toks[i + 2].text.clone();
+                held.retain(|h| h.binder.as_deref() != Some(name.as_str()));
+                i += 4;
+                continue;
+            }
+            // Condvar wait: sanctioned for the guard it consumes.
+            if t.kind == TokKind::Ident
+                && (t.text == "wait" || t.text == "wait_timeout")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                if let Some((recv, _)) = receiver(toks, i.saturating_sub(1)) {
+                    if ws.condvars.contains(&recv) {
+                        let arg =
+                            toks.get(i + 2).filter(|a| a.kind == TokKind::Ident).map(|a| &a.text);
+                        let consumed: Vec<usize> = held
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, h)| h.binder.as_ref() == arg)
+                            .map(|(k, _)| k)
+                            .collect();
+                        let wait_site = pos(ws, root.file, t);
+                        for h in held.iter().enumerate().filter(|(k, _)| !consumed.contains(k)) {
+                            let h = h.1;
+                            findings.push(blocking_finding(
+                                &h.display,
+                                &h.site,
+                                &format!(
+                                    "condvar `{recv}.{}` at {wait_site} blocks while releasing \
+                                     only its own guard",
+                                    t.text
+                                ),
+                                &wait_site,
+                                &root.display,
+                            ));
+                        }
+                        i = balanced_end(toks, i + 1);
+                        continue;
+                    }
+                }
+            }
+            // Lock acquisition: `.lock()` / `.read()` / `.write()`.
+            if t.is_punct('.')
+                && i + 2 < range.1
+                && toks[i + 1].kind == TokKind::Ident
+                && matches!(toks[i + 1].text.as_str(), "lock" | "read" | "write")
+                && toks[i + 2].is_punct('(')
+            {
+                let op = toks[i + 1].text.clone();
+                if let Some(lock) = resolve_lock(ws, root, toks, i, &op) {
+                    let site = pos(ws, root.file, &toks[i + 1]);
+                    let display = ws.lock_display(&lock);
+                    for h in &held {
+                        if h.lock != lock {
+                            findings.push(blocking_finding(
+                                &h.display,
+                                &h.site,
+                                &format!("nested acquisition of `{display}` at {site}"),
+                                &site,
+                                &root.display,
+                            ));
+                        }
+                    }
+                    record_edges(ws, &held, &lock, &site, &root.display, "", edges);
+                    let after = chain_continues(toks, balanced_end(toks, i + 2));
+                    let chained = toks.get(after).is_some_and(|n| n.is_punct('.'));
+                    let binder = if chained { None } else { pending_let.clone() };
+                    held.push(Held { lock, display, binder, site, depth });
+                    i += 3;
+                    continue;
+                }
+            }
+            // Blocking call by name.
+            if t.kind == TokKind::Ident && is_blocking_call(toks, i) {
+                let Some(h) = held.last() else {
+                    i += 1;
+                    continue;
+                };
+                let site = pos(ws, root.file, t);
+                findings.push(blocking_finding(
+                    &h.display,
+                    &h.site,
+                    &format!("blocking call `{}()` at {site}", t.text),
+                    &site,
+                    &root.display,
+                ));
+                i += 1;
+                continue;
+            }
+            // Workspace call: guard-returning helpers act like
+            // acquisitions; other callees contribute transitive effects.
+            if t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                let candidates = resolve_call(ws, toks, i, true);
+                let callsite = pos(ws, root.file, t);
+                let guard_lock = candidates.iter().find_map(|&id| summaries[id].guard_ret.clone());
+                if let Some(lock) = guard_lock {
+                    let display = ws.lock_display(&lock);
+                    for h in &held {
+                        if h.lock != lock {
+                            findings.push(blocking_finding(
+                                &h.display,
+                                &h.site,
+                                &format!(
+                                    "nested acquisition of `{display}` via `{}()` at {callsite}",
+                                    t.text
+                                ),
+                                &callsite,
+                                &root.display,
+                            ));
+                        }
+                    }
+                    record_edges(ws, &held, &lock, &callsite, &root.display, "", edges);
+                    let after = chain_continues(toks, balanced_end(toks, i + 1));
+                    let chained = toks.get(after).is_some_and(|n| n.is_punct('.'));
+                    let binder = if chained { None } else { pending_let.clone() };
+                    held.push(Held { lock, display, binder, site: callsite, depth });
+                    i += 2;
+                    continue;
+                }
+                if !held.is_empty() {
+                    for &id in &candidates {
+                        let callee = ws.fns[id].display();
+                        for (lock, (deep_site, via)) in &summaries[id].locks {
+                            let via = if via.is_empty() {
+                                format!("via `{callee}` at {callsite}")
+                            } else {
+                                format!("via `{callee}` {via}")
+                            };
+                            record_edges(ws, &held, lock, deep_site, &root.display, &via, edges);
+                        }
+                        if let (Some((what, deep_site, _)), Some(h)) =
+                            (&summaries[id].blocks, held.last())
+                        {
+                            findings.push(blocking_finding(
+                                &h.display,
+                                &h.site,
+                                &format!(
+                                    "call to `{callee}` at {callsite}, which may block \
+                                     ({what} at {deep_site})"
+                                ),
+                                &callsite,
+                                &root.display,
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+fn blocking_finding(
+    guard_display: &str,
+    guard_site: &Pos,
+    what: &str,
+    anchor: &Pos,
+    fn_display: &str,
+) -> Diagnostic {
+    Diagnostic::error(
+        "audit",
+        "blocking-while-locked",
+        anchor.to_string(),
+        format!(
+            "in `{fn_display}`: guard of `{guard_display}` (acquired at {guard_site}) is live \
+             across {what}; the lock stays unavailable for the full wait"
+        ),
+    )
+    .with_pos(anchor.line, anchor.col)
+}
+
+/// Reports every distinct cycle in the lock-order graph, quoting one
+/// witness per edge.
+fn report_cycles(ws: &Workspace, edges: &HashMap<(String, String), Edge>) -> Vec<Diagnostic> {
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut seen: HashSet<Vec<String>> = HashSet::new();
+    let mut out = Vec::new();
+    let mut keys: Vec<_> = edges.keys().collect();
+    keys.sort();
+    for (a, b) in keys {
+        // BFS from b back to a closes the cycle a → b → ... → a.
+        let mut prev: HashMap<&str, &str> = HashMap::new();
+        let mut queue = std::collections::VecDeque::with_capacity(adj.len().max(1));
+        queue.push_back(b.as_str());
+        let mut found = false;
+        while let Some(n) = queue.pop_front() {
+            if n == a {
+                found = true;
+                break;
+            }
+            for &m in adj.get(n).map(Vec::as_slice).unwrap_or(&[]) {
+                if m != b.as_str() && !prev.contains_key(m) {
+                    prev.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        if !found && a != b {
+            continue;
+        }
+        // Reconstruct the node cycle [a, b, ..., a].
+        let mut path = vec![a.as_str()];
+        let mut chain = Vec::new();
+        let mut n = a.as_str();
+        while n != b.as_str() {
+            let p = prev.get(n).copied().unwrap_or(b.as_str());
+            chain.push(n);
+            n = p;
+            if chain.len() > edges.len() {
+                break;
+            }
+        }
+        path.push(b.as_str());
+        chain.reverse();
+        path.extend(chain);
+        path.push(a.as_str());
+        // Canonical key: the cycle's sorted node set.
+        let mut key: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+        key.sort();
+        key.dedup();
+        if !seen.insert(key) {
+            continue;
+        }
+        let mut legs = Vec::new();
+        for w in path.windows(2) {
+            let Some(e) = edges.get(&(w[0].to_string(), w[1].to_string())) else { continue };
+            let via = if e.via.is_empty() { String::new() } else { format!(", {}", e.via) };
+            legs.push(format!(
+                "`{}` then `{}` in `{}` (`{}` held at {}, `{}` acquired at {}{via})",
+                ws.lock_display(w[0]),
+                ws.lock_display(w[1]),
+                e.fn_display,
+                ws.lock_display(w[0]),
+                e.from_site,
+                ws.lock_display(w[1]),
+                e.to_site,
+            ));
+        }
+        let first = edges.get(&(path[0].to_string(), path[1].to_string()));
+        let anchor = first.map(|e| e.from_site.clone());
+        let cycle: Vec<String> = path.iter().map(|l| format!("`{}`", ws.lock_display(l))).collect();
+        let mut d = Diagnostic::error(
+            "audit",
+            "lock-order",
+            anchor.as_ref().map(Pos::to_string).unwrap_or_default(),
+            format!(
+                "potential deadlock: lock-order cycle {}; {}",
+                cycle.join(" → "),
+                legs.join("; ")
+            ),
+        );
+        if let Some(p) = anchor {
+            d = d.with_pos(p.line, p.col);
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// Std iterator/container method names that never count as tensor-kernel
+/// calls. By-name resolution would otherwise attribute every `map`/`get`/
+/// `push` in a loop body to same-named tensor-crate functions.
+const ITER_ADAPTERS: [&str; 38] = [
+    "zip",
+    "map",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "enumerate",
+    "filter",
+    "filter_map",
+    "fold",
+    "rev",
+    "chain",
+    "flat_map",
+    "take",
+    "skip",
+    "collect",
+    "get",
+    "get_mut",
+    "len",
+    "is_empty",
+    "push",
+    "push_back",
+    "insert",
+    "extend",
+    "remove",
+    "contains",
+    "contains_key",
+    "clone",
+    "new",
+    "next",
+    "sum",
+    "min",
+    "max",
+    "entry",
+    "keys",
+    "values",
+    "drain",
+    "last",
+    "first",
+];
+
+/// `true` when the identifier occurrence at `idx` denotes a hash-ordered
+/// container: the literal type name, a call all of whose candidates return
+/// one, a field whose name classifies unambiguously across the workspace,
+/// or a local in `locals`. Classifying *occurrences* rather than bare
+/// names keeps `histogram.buckets` (an array) distinct from `pool.buckets`
+/// (a `HashMap`).
+fn occ_hash(ws: &Workspace, toks: &[Tok], idx: usize, locals: &HashSet<String>) -> bool {
+    if toks[idx].kind != TokKind::Ident {
+        return false;
+    }
+    let name = toks[idx].text.as_str();
+    if name == "HashMap" || name == "HashSet" {
+        return true;
+    }
+    if toks.get(idx + 1).is_some_and(|t| t.is_punct('(')) {
+        if ITER_ADAPTERS.contains(&name) {
+            return false; // std adapter: carries no type information
+        }
+        let cands = resolve_call(ws, toks, idx, false);
+        return !cands.is_empty()
+            && cands.iter().all(|&id| {
+                let f = &ws.fns[id];
+                mentions_hash(&ws.files[f.file].toks, f.ret)
+            });
+    }
+    if idx > 0 && toks[idx - 1].is_punct('.') {
+        return ws.field_is_hash(name);
+    }
+    locals.contains(name)
+}
+
+/// Float analogue of [`occ_hash`]: `f32`/`f64`/`Tensor` literally, a call
+/// all of whose candidates return floats, an unambiguous float field, or a
+/// float-classified local.
+fn occ_float(ws: &Workspace, toks: &[Tok], idx: usize, locals: &HashSet<String>) -> bool {
+    if toks[idx].kind != TokKind::Ident {
+        return false;
+    }
+    let name = toks[idx].text.as_str();
+    if matches!(name, "f32" | "f64" | "Tensor") {
+        return true;
+    }
+    if toks.get(idx + 1).is_some_and(|t| t.is_punct('(')) {
+        if ITER_ADAPTERS.contains(&name) {
+            return false; // std adapter: carries no type information
+        }
+        let cands = resolve_call(ws, toks, idx, false);
+        return !cands.is_empty()
+            && cands.iter().all(|&id| {
+                let f = &ws.fns[id];
+                mentions_float(&ws.files[f.file].toks, f.ret)
+            });
+    }
+    if idx > 0 && toks[idx - 1].is_punct('.') {
+        return ws.field_is_float(name);
+    }
+    locals.contains(name)
+}
+
+/// Determinism dataflow: iteration over hash-ordered containers whose loop
+/// body writes float storage, calls tensor kernels, or feeds RNG.
+fn nondet_walk(
+    ws: &Workspace,
+    root: &Root,
+    f: &super::parse::FnInfo,
+    findings: &mut Vec<Diagnostic>,
+) {
+    let toks = &ws.files[root.file].toks;
+    let mut hash_names: HashSet<String> = HashSet::new();
+    let mut float_names: HashSet<String> = HashSet::new();
+
+    // Params: `name: TYPE` segments at paren depth 1.
+    {
+        let (start, end) = f.params;
+        let mut i = start + 1;
+        let mut depth = 0i32;
+        while i < end.saturating_sub(1) {
+            if toks[i].is_punct('(') || toks[i].is_punct('[') {
+                i = balanced_end(toks, i);
+                continue;
+            }
+            if toks[i].is_punct('<') {
+                depth += 1;
+            } else if toks[i].is_punct('>') {
+                depth -= 1;
+            }
+            if depth == 0
+                && toks[i].kind == TokKind::Ident
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            {
+                let name = toks[i].text.clone();
+                let mut j = i + 2;
+                let mut d = 0i32;
+                while j < end.saturating_sub(1) {
+                    if toks[j].is_punct('<') {
+                        d += 1;
+                    } else if toks[j].is_punct('>') {
+                        d -= 1;
+                    } else if toks[j].is_punct('(') || toks[j].is_punct('[') {
+                        j = balanced_end(toks, j);
+                        continue;
+                    } else if toks[j].is_punct(',') && d <= 0 {
+                        break;
+                    }
+                    j += 1;
+                }
+                if mentions_hash(toks, (i + 2, j)) {
+                    hash_names.insert(name.clone());
+                }
+                if mentions_float(toks, (i + 2, j)) {
+                    float_names.insert(name);
+                }
+                i = j;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    // Locals: `let name [: TYPE] = INIT;`, classified by the occurrences
+    // in the initializer (not bare names).
+    {
+        let (start, end) = f.body;
+        let mut i = start;
+        while i < end {
+            if toks[i].is_ident("let") {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                let binder =
+                    toks.get(j).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+                let mut k = j;
+                while k < end && !toks[k].is_punct(';') {
+                    if toks[k].is_punct('{') || toks[k].is_punct('(') || toks[k].is_punct('[') {
+                        k = balanced_end(toks, k);
+                        continue;
+                    }
+                    k += 1;
+                }
+                if let Some(binder) = binder {
+                    // An initializer that iterates a range produces its
+                    // elements in range order even when a hash container
+                    // appears elsewhere in it (e.g. as a `contains` filter).
+                    let has_range = (j..k.saturating_sub(1))
+                        .any(|m| toks[m].is_punct('.') && toks[m + 1].is_punct('.'));
+                    if !has_range && (j..k).any(|m| occ_hash(ws, toks, m, &hash_names)) {
+                        hash_names.insert(binder.clone());
+                    }
+                    let floaty = (j..k).any(|m| occ_float(ws, toks, m, &float_names))
+                        || toks[j..k.min(toks.len())].iter().any(Tok::is_float_literal);
+                    if floaty {
+                        float_names.insert(binder);
+                    }
+                }
+                i = k + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    // `for PAT in EXPR { BODY }` loops.
+    let (start, end) = f.body;
+    let mut i = start;
+    while i < end {
+        if !toks[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+            i += 1; // `for<'a>` binder, not a loop
+            continue;
+        }
+        let for_tok = i;
+        // Find `in` at depth 0 of the pattern.
+        let mut j = i + 1;
+        while j < end && !toks[j].is_ident("in") {
+            if toks[j].is_punct('(') || toks[j].is_punct('[') {
+                j = balanced_end(toks, j);
+                continue;
+            }
+            if toks[j].is_punct('{') {
+                break; // malformed / not a loop
+            }
+            j += 1;
+        }
+        if j >= end || !toks[j].is_ident("in") {
+            i += 1;
+            continue;
+        }
+        // Expr runs to the body `{` at depth 0.
+        let mut k = j + 1;
+        while k < end && !toks[k].is_punct('{') {
+            if toks[k].is_punct('(') || toks[k].is_punct('[') {
+                k = balanced_end(toks, k);
+                continue;
+            }
+            k += 1;
+        }
+        if k >= end {
+            break;
+        }
+        let expr = (j + 1, k);
+        // `for i in 0..map.len()` iterates integers in order, not the map.
+        let is_range = (expr.0..expr.1.saturating_sub(1))
+            .any(|m| toks[m].is_punct('.') && toks[m + 1].is_punct('.'));
+        let sorted_before = |m: usize| -> bool {
+            // `keys.sort(); for k in keys` iterates in sorted order even
+            // when `keys` was collected from a hash container.
+            let name = toks[m].text.as_str();
+            (start..for_tok).any(|k| {
+                k + 2 < for_tok
+                    && toks[k].is_ident(name)
+                    && toks[k + 1].is_punct('.')
+                    && toks[k + 2].kind == TokKind::Ident
+                    && toks[k + 2].text.starts_with("sort")
+            })
+        };
+        let iterated = if is_range {
+            None
+        } else {
+            (expr.0..expr.1).find(|&m| occ_hash(ws, toks, m, &hash_names) && !sorted_before(m))
+        };
+        let body_end = balanced_end(toks, k);
+        let Some(iterated) = iterated else {
+            i = k + 1; // scan the body for nested loops
+            continue;
+        };
+        let iterated = toks[iterated].text.clone();
+        let loop_site = pos(ws, root.file, &toks[for_tok]);
+
+        // Pattern variables inherit floatiness from the container: in
+        // `for (_k, w) in weights` over a `HashMap<String, f32>`, `w`
+        // is float storage.
+        let mut pattern_floats: HashSet<String> = HashSet::new();
+        let container_floaty = (expr.0..expr.1).any(|m| occ_float(ws, toks, m, &float_names));
+        if container_floaty {
+            for t in &toks[for_tok + 1..j] {
+                if t.kind == TokKind::Ident
+                    && t.text != "mut"
+                    && !KEYWORDS.contains(&t.text.as_str())
+                {
+                    pattern_floats.insert(t.text.clone());
+                }
+            }
+        }
+        let is_float_at = |idx: usize| -> bool {
+            occ_float(ws, toks, idx, &float_names)
+                || (toks[idx].kind == TokKind::Ident
+                    && !(idx > 0 && toks[idx - 1].is_punct('.'))
+                    && pattern_floats.contains(&toks[idx].text))
+        };
+        let stmt_floaty = |range: (usize, usize)| -> bool {
+            (range.0..range.1).any(|m| toks[m].is_float_literal() || is_float_at(m))
+        };
+
+        if let Some((desc, sink_site)) = find_sink(
+            ws,
+            root,
+            toks,
+            (k + 1, body_end - 1),
+            (body_end, end),
+            &is_float_at,
+            &stmt_floaty,
+        ) {
+            findings.push(
+                Diagnostic::error(
+                    "audit",
+                    "nondet-iteration",
+                    loop_site.to_string(),
+                    format!(
+                        "in `{}`: iteration over hash-ordered `{iterated}` (loop at {loop_site}) \
+                         {desc} at {sink_site}; HashMap/HashSet order varies between runs — \
+                         iterate a sorted or insertion-ordered view to keep f32-bit determinism",
+                        root.display
+                    ),
+                )
+                .with_pos(loop_site.line, loop_site.col),
+            );
+        }
+        i = k + 1;
+    }
+}
+
+/// Scans a loop body for an order-sensitive sink. `rest` is the remainder
+/// of the function after the loop, used for the collect-then-sort
+/// exemption.
+#[allow(clippy::too_many_arguments)]
+fn find_sink(
+    ws: &Workspace,
+    root: &Root,
+    toks: &[Tok],
+    body: (usize, usize),
+    rest: (usize, usize),
+    is_float_at: &dyn Fn(usize) -> bool,
+    stmt_floaty: &dyn Fn((usize, usize)) -> bool,
+) -> Option<(String, Pos)> {
+    let stmt_end = |from: usize| -> usize {
+        let mut k = from;
+        while k < body.1 && !toks[k].is_punct(';') {
+            if toks[k].is_punct('{') || toks[k].is_punct('(') || toks[k].is_punct('[') {
+                k = balanced_end(toks, k);
+                continue;
+            }
+            k += 1;
+        }
+        k
+    };
+    let sorted_later = |name: &str| -> bool {
+        let mut k = rest.0;
+        while k + 2 < rest.1 {
+            if toks[k].is_ident(name)
+                && toks[k + 1].is_punct('.')
+                && toks[k + 2].kind == TokKind::Ident
+                && toks[k + 2].text.starts_with("sort")
+            {
+                return true;
+            }
+            k += 1;
+        }
+        false
+    };
+
+    let mut stmt_start = body.0;
+    let mut i = body.0;
+    while i < body.1 {
+        let t = &toks[i];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        // Tensor kernel call: not a std iterator/container name, every
+        // candidate lives in the tensor crate, at least one returns
+        // floats, and the statement actually involves floats.
+        if t.kind == TokKind::Ident && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            if !ITER_ADAPTERS.contains(&t.text.as_str()) {
+                let cands = resolve_call(ws, toks, i, false);
+                let tensor_call = !cands.is_empty()
+                    && cands
+                        .iter()
+                        .all(|&id| ws.files[ws.fns[id].file].path.starts_with("crates/tensor/"))
+                    && cands.iter().any(|&id| {
+                        let f = &ws.fns[id];
+                        mentions_float(&ws.files[f.file].toks, f.ret)
+                    })
+                    && stmt_floaty((stmt_start, stmt_end(i)));
+                if tensor_call {
+                    return Some((
+                        format!("calls tensor kernel `{}`", t.text),
+                        pos(ws, root.file, t),
+                    ));
+                }
+            }
+            if RNG_CALLS.contains(&t.text.as_str()) {
+                return Some((format!("feeds RNG via `{}`", t.text), pos(ws, root.file, t)));
+            }
+        }
+        // Compound float accumulation: `+=` `-=` `*=` `/=`.
+        if (t.is_punct('+') || t.is_punct('-') || t.is_punct('*') || t.is_punct('/'))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('='))
+            && stmt_floaty((stmt_start, stmt_end(i)))
+        {
+            return Some(("accumulates floats".to_string(), pos(ws, root.file, t)));
+        }
+        // Writes into float storage: `recv.push(...)` / `.insert(...)`.
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident
+                    && matches!(n.text.as_str(), "push" | "insert" | "extend" | "push_back")
+            })
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let recv = (i > 0 && toks[i - 1].kind == TokKind::Ident).then(|| i - 1);
+            let args = (i + 2, balanced_end(toks, i + 2));
+            let floaty = recv.is_some_and(is_float_at) || stmt_floaty(args);
+            let exempt = recv.is_some_and(|r| sorted_later(&toks[r].text));
+            if floaty && !exempt {
+                let name = recv.map(|r| toks[r].text.clone()).unwrap_or_default();
+                return Some((
+                    format!("writes float storage via `{name}.{}`", toks[i + 1].text),
+                    pos(ws, root.file, &toks[i + 1]),
+                ));
+            }
+        }
+        // Indexed float assignment: `name[...] = ...`.
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('['))
+            && is_float_at(i)
+        {
+            let close = balanced_end(toks, i + 1);
+            if toks.get(close).is_some_and(|n| n.is_punct('='))
+                && !toks.get(close + 1).is_some_and(|n| n.is_punct('='))
+            {
+                return Some((
+                    format!("writes float storage via `{}[..] = ..`", t.text),
+                    pos(ws, root.file, t),
+                ));
+            }
+        }
+        i += 1;
+    }
+    None
+}

@@ -1,0 +1,416 @@
+//! `tele audit`: whole-workspace concurrency and determinism analysis.
+//!
+//! Three analyses over an item-level parse of every workspace source file
+//! (see [`parse`]) and a guard-liveness flow walk (see `flow`):
+//!
+//! | rule                     | finding                                              |
+//! |--------------------------|------------------------------------------------------|
+//! | `lock-order`             | a cycle in the lock-acquisition order graph, with a witness path for each edge |
+//! | `blocking-while-locked`  | a guard live across a blocking call, a nested lock acquisition, or a call that transitively blocks |
+//! | `nondet-iteration`       | iteration over a `HashMap`/`HashSet` whose loop body writes float storage, calls tensor kernels, or feeds RNG |
+//!
+//! The analyses are name-resolved and flow-insensitive across calls: lock
+//! identity is the field/static/local *name*, and calls resolve to every
+//! workspace function with that name (narrowed by impl owner for
+//! `Type::f` paths). That trades a class of false negatives — nested `fn`
+//! items are not itemized, trait dispatch is unioned, locks aliased
+//! through references lose their identity — for a parser small enough to
+//! audit the whole workspace in milliseconds with zero dependencies.
+//!
+//! Functions that merely *acquire and release* a lock contribute
+//! lock-order edges to their callers but no blocking findings: holding a
+//! guard across a call that briefly locks something else orders the two
+//! locks (which the cycle check wants to know) without parking the
+//! thread. Errors are reserved for guards held across operations that
+//! actually wait.
+//!
+//! Findings flow through the same [`Diagnostic`] / allowlist / JSON
+//! report machinery as `tele lint`; suppressed findings are downgraded to
+//! notes and stale suppressions warn, exactly like lint.
+
+mod flow;
+mod parse;
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Report};
+use crate::lint::{apply_allowlist_tracked, stale_allow_warnings, workspace_files, AllowEntry};
+
+pub use parse::LockKind;
+
+/// Rule codes owned by `tele audit` (the stale-suppression check only
+/// attributes allowlist entries bearing one of these codes to an audit
+/// run).
+pub const AUDIT_RULES: [&str; 4] =
+    ["lock-order", "blocking-while-locked", "nondet-iteration", "stale-allow"];
+
+/// Runs all three analyses over `(path, source)` pairs and returns raw
+/// findings (no allowlist applied), deterministically ordered.
+pub fn audit_files(files: Vec<(String, String)>) -> Vec<Diagnostic> {
+    let ws = parse::parse_workspace(files);
+    let mut findings = flow::analyze(&ws).findings;
+    findings.sort_by(|a, b| {
+        (&a.site, a.line, a.col, &a.code, &a.message)
+            .cmp(&(&b.site, b.line, b.col, &b.code, &b.message))
+    });
+    findings.dedup_by(|a, b| a.site == b.site && a.code == b.code && a.message == b.message);
+    findings
+}
+
+/// Collects an explicit path argument: a `.rs` file as itself, a
+/// directory recursively (every `.rs` under it, no `src/` filter — this
+/// is how the seeded-bad fixtures opt in).
+fn collect_path(arg: &str, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let path = Path::new(arg);
+    if path.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(path)
+            .map_err(|e| format!("reading {arg}: {e}"))?
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("reading {arg}: {e}"))?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let p = entry.path();
+            let s = p.to_string_lossy().replace('\\', "/");
+            if p.is_dir() || s.ends_with(".rs") {
+                collect_path(&s, out)?;
+            }
+        }
+        return Ok(());
+    }
+    let src = fs::read_to_string(path).map_err(|e| format!("reading {arg}: {e}"))?;
+    out.push((arg.replace('\\', "/"), src));
+    Ok(())
+}
+
+/// Audits the workspace under `root` (every `src/` Rust file, like
+/// `tele lint`), or just `paths` when non-empty. Findings matched by
+/// `allow` are downgraded to notes; allowlist entries for audit rules
+/// that matched nothing produce `stale-allow` warnings.
+pub fn audit_workspace(
+    root: &Path,
+    paths: &[String],
+    allow: &[AllowEntry],
+) -> Result<Report, String> {
+    let files = if paths.is_empty() {
+        workspace_files(root)?
+    } else {
+        let mut out = Vec::new();
+        for p in paths {
+            collect_path(p, &mut out)?;
+        }
+        out
+    };
+    let src_by_path: HashMap<String, String> =
+        files.iter().map(|(p, s)| (p.clone(), s.clone())).collect();
+    let findings = audit_files(files);
+    let mut report = Report::new("tele audit");
+    let mut used = vec![false; allow.len()];
+    for d in findings {
+        // Sites are `path:line:col`; paths never contain `:`.
+        let path = d.site.split(':').next().unwrap_or("").to_string();
+        let empty = String::new();
+        let src = src_by_path.get(&path).unwrap_or(&empty);
+        report.extend(apply_allowlist_tracked(vec![d], &path, src, allow, &mut used));
+    }
+    report.extend(stale_allow_warnings("audit", allow, &used, &AUDIT_RULES));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit_one(path: &str, src: &str) -> Vec<Diagnostic> {
+        audit_files(vec![(path.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn lock_order_cycle_is_reported_with_both_witnesses() {
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn ab(&self) {
+                    let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+                    let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+                    drop(gb);
+                    drop(ga);
+                }
+                fn ba(&self) {
+                    let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+                    let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+                    drop(ga);
+                    drop(gb);
+                }
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        let cycles: Vec<_> = diags.iter().filter(|d| d.code == "lock-order").collect();
+        assert_eq!(cycles.len(), 1, "{diags:?}");
+        let msg = &cycles[0].message;
+        assert!(msg.contains("`S::ab`") && msg.contains("`S::ba`"), "{msg}");
+        assert!(msg.contains("S.a") && msg.contains("S.b"), "{msg}");
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn ab(&self) {
+                    let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+                    let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+                    drop(gb);
+                    drop(ga);
+                }
+                fn ab2(&self) {
+                    let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+                    let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+                    drop(gb);
+                    drop(ga);
+                }
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        assert!(diags.iter().all(|d| d.code != "lock-order"), "{diags:?}");
+    }
+
+    #[test]
+    fn guard_across_recv_is_flagged_with_both_sites() {
+        let src = r#"
+            struct S { state: Mutex<u32> }
+            impl S {
+                fn bad(&self, rx: &Receiver<u32>) {
+                    let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                    let v = rx.recv();
+                    drop(g);
+                }
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == "blocking-while-locked").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        let msg = &hits[0].message;
+        assert!(msg.contains("S.state"), "{msg}");
+        assert!(msg.contains(":5:") && msg.contains("recv"), "{msg}");
+    }
+
+    #[test]
+    fn guard_dropped_before_recv_is_clean() {
+        let src = r#"
+            struct S { state: Mutex<u32> }
+            impl S {
+                fn ok(&self, rx: &Receiver<u32>) {
+                    let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                    drop(g);
+                    let v = rx.recv();
+                }
+                fn scoped(&self, rx: &Receiver<u32>) {
+                    {
+                        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                    }
+                    let v = rx.recv();
+                }
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn statement_temporary_guard_does_not_outlive_its_statement() {
+        let src = r#"
+            struct S { n: Mutex<u64> }
+            impl S {
+                fn ok(&self, rx: &Receiver<u32>) {
+                    let n = *self.n.lock().unwrap_or_else(|e| e.into_inner());
+                    let v = rx.recv();
+                }
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn condvar_wait_is_sanctioned_for_its_own_guard_only() {
+        let ok = r#"
+            struct S { q: Mutex<u32>, cv: Condvar }
+            impl S {
+                fn wait(&self) {
+                    let mut g = self.q.lock().unwrap_or_else(|e| e.into_inner());
+                    g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                    drop(g);
+                }
+            }
+        "#;
+        assert!(audit_one("crates/x/src/lib.rs", ok).is_empty());
+
+        let bad = r#"
+            struct S { q: Mutex<u32>, other: Mutex<u32>, cv: Condvar }
+            impl S {
+                fn wait(&self) {
+                    let o = self.other.lock().unwrap_or_else(|e| e.into_inner());
+                    let mut g = self.q.lock().unwrap_or_else(|e| e.into_inner());
+                    g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                    drop(g);
+                    drop(o);
+                }
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", bad);
+        assert!(
+            diags.iter().any(|d| d.code == "blocking-while-locked"
+                && d.message.contains("condvar")
+                && d.message.contains("S.other")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn transitive_blocking_through_a_call_is_flagged() {
+        let src = r#"
+            struct S { state: Mutex<u32> }
+            fn pause() { thread::sleep(Duration::from_millis(5)); }
+            impl S {
+                fn bad(&self) {
+                    let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                    pause();
+                    drop(g);
+                }
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == "blocking-while-locked").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("`pause`"), "{}", hits[0].message);
+        assert!(hits[0].message.contains("sleep"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn lock_then_call_that_locks_makes_an_edge_not_an_error() {
+        // Holding `a` across a call that briefly takes `b` orders the
+        // locks but parks nobody; only a cycle makes it an error.
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn touch_b(&self) -> u32 {
+                    *self.b.lock().unwrap_or_else(|e| e.into_inner())
+                }
+                fn ok(&self) {
+                    let g = self.a.lock().unwrap_or_else(|e| e.into_inner());
+                    let v = self.touch_b();
+                    drop(g);
+                }
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn hash_iteration_into_float_storage_is_flagged() {
+        let src = r#"
+            fn fold(weights: &HashMap<String, f32>) -> Vec<f32> {
+                let mut out = Vec::new();
+                for (_k, w) in weights {
+                    out.push(*w);
+                }
+                out
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == "nondet-iteration").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        let msg = &hits[0].message;
+        assert!(msg.contains("`weights`"), "{msg}");
+        assert!(msg.contains("out.push"), "{msg}");
+    }
+
+    #[test]
+    fn sorted_or_integer_hash_iteration_is_clean() {
+        // Collect-then-sort is the sanctioned pattern.
+        let sorted = r#"
+            fn fold(weights: &HashMap<String, f32>) -> Vec<f32> {
+                let mut out = Vec::new();
+                for (_k, w) in weights {
+                    out.push(*w);
+                }
+                out.sort_by(|a, b| a.total_cmp(b));
+                out
+            }
+        "#;
+        assert!(audit_one("crates/x/src/lib.rs", sorted).is_empty());
+
+        // Integer bookkeeping in hash order is order-insensitive.
+        let ints = r#"
+            fn count(seen: &HashSet<String>) -> usize {
+                let mut n = 0;
+                for _k in seen {
+                    n += 1;
+                }
+                n
+            }
+        "#;
+        assert!(audit_one("crates/x/src/lib.rs", ints).is_empty());
+    }
+
+    #[test]
+    fn float_accumulation_in_hash_order_is_flagged() {
+        let src = r#"
+            fn total(weights: &HashMap<String, f32>) -> f32 {
+                let mut sum = 0.0;
+                for (_k, w) in weights {
+                    sum += *w;
+                }
+                sum
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "nondet-iteration" && d.message.contains("accumulates floats")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn spawned_closures_are_isolated_roots() {
+        // The closure's lock never overlaps the caller's guard: no finding.
+        let src = r#"
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn ok(&self) {
+                    let g = self.a.lock().unwrap_or_else(|e| e.into_inner());
+                    thread::spawn(move || {
+                        let h = self.b.lock().unwrap_or_else(|e| e.into_inner());
+                        drop(h);
+                    });
+                    drop(g);
+                }
+            }
+        "#;
+        let diags = audit_one("crates/x/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                struct S { a: Mutex<u32> }
+                impl S {
+                    fn bad(&self, rx: &Receiver<u32>) {
+                        let g = self.a.lock().unwrap_or_else(|e| e.into_inner());
+                        let v = rx.recv();
+                        drop(g);
+                    }
+                }
+            }
+        "#;
+        assert!(audit_one("crates/x/src/lib.rs", src).is_empty());
+    }
+}

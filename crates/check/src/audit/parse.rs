@@ -1,0 +1,477 @@
+//! Item-level parse of workspace sources for `tele audit`.
+//!
+//! Grown from the lint lexer: the same token stream, plus just enough
+//! structure to support flow analyses — struct fields classified by type
+//! (locks, condvars, hash containers, float storage), per-function body
+//! token ranges with their impl/trait owner, and signature classification
+//! (guard-returning helpers, lock-returning accessors, float-returning
+//! kernels). Deliberately NOT a full parser: no expressions, no generics
+//! resolution, no trait dispatch. The analyses are name-resolved, so the
+//! parse only has to attach names to token ranges.
+
+use std::collections::HashMap;
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::lint::test_regions;
+
+/// What kind of lock a struct field or static holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockKind {
+    /// `std::sync::Mutex` — acquired with `.lock()`.
+    Mutex,
+    /// `std::sync::RwLock` — acquired with `.read()` / `.write()`.
+    RwLock,
+}
+
+/// One parsed function (or default trait method) with body tokens.
+#[derive(Clone, Debug)]
+pub(crate) struct FnInfo {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Simple name (`submit_all`).
+    pub name: String,
+    /// Impl or trait type owning the method, `None` for free functions.
+    pub owner: Option<String>,
+    /// Token range of the parameter list, parens included.
+    pub params: (usize, usize),
+    /// Token range of the return type (empty range when `-> ()`).
+    pub ret: (usize, usize),
+    /// Token range of the body, braces included.
+    pub body: (usize, usize),
+}
+
+impl FnInfo {
+    /// `Owner::name` for methods, plain `name` for free functions.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One lexed source file.
+pub(crate) struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Lexed tokens.
+    pub toks: Vec<Tok>,
+    /// Per-token `#[cfg(test)]` / `#[test]` coverage.
+    pub in_test: Vec<bool>,
+}
+
+/// The parsed workspace: every file, every function, and name-classified
+/// struct fields and statics.
+pub(crate) struct Workspace {
+    /// All parsed files.
+    pub files: Vec<FileUnit>,
+    /// All parsed functions (outside test regions).
+    pub fns: Vec<FnInfo>,
+    /// Simple function name → indices into `fns`.
+    pub by_name: HashMap<String, Vec<usize>>,
+    /// Lock-typed struct fields and statics, by field name.
+    pub locks: HashMap<String, LockKind>,
+    /// Lock name → owning struct names (for display qualification).
+    pub lock_owner: HashMap<String, Vec<String>>,
+    /// `Condvar`-typed struct field names.
+    pub condvars: std::collections::HashSet<String>,
+    /// `HashMap`/`HashSet`-typed struct field names.
+    pub hash_fields: std::collections::HashSet<String>,
+    /// Struct field names whose type mentions `f32`/`f64`/`Tensor`.
+    pub float_fields: std::collections::HashSet<String>,
+    /// Field names seen with a NON-hash type somewhere. Field access is
+    /// name-resolved (no receiver types), so a name in both sets is
+    /// ambiguous and must not be classified (e.g. one struct's `buckets`
+    /// is a `HashMap`, another's is an array).
+    pub nonhash_fields: std::collections::HashSet<String>,
+    /// Field names seen with a non-float type somewhere (see
+    /// [`Workspace::nonhash_fields`]).
+    pub nonfloat_fields: std::collections::HashSet<String>,
+}
+
+impl Workspace {
+    /// `true` when field `name` is unambiguously hash-typed.
+    pub fn field_is_hash(&self, name: &str) -> bool {
+        self.hash_fields.contains(name) && !self.nonhash_fields.contains(name)
+    }
+
+    /// `true` when field `name` is unambiguously float-typed.
+    pub fn field_is_float(&self, name: &str) -> bool {
+        self.float_fields.contains(name) && !self.nonfloat_fields.contains(name)
+    }
+}
+
+/// Idents that look like calls but are control flow.
+pub(crate) const KEYWORDS: [&str; 14] = [
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
+    "move", "in", "await",
+];
+
+fn ident_in(toks: &[Tok], range: (usize, usize), words: &[&str]) -> bool {
+    toks[range.0..range.1]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && words.contains(&t.text.as_str()))
+}
+
+/// `true` when the token range mentions a float-ish type.
+pub(crate) fn mentions_float(toks: &[Tok], range: (usize, usize)) -> bool {
+    ident_in(toks, range, &["f32", "f64", "Tensor"])
+}
+
+/// `true` when the token range mentions a hash-ordered container.
+pub(crate) fn mentions_hash(toks: &[Tok], range: (usize, usize)) -> bool {
+    ident_in(toks, range, &["HashMap", "HashSet"])
+}
+
+/// `true` when the token range mentions a guard type.
+pub(crate) fn mentions_guard(toks: &[Tok], range: (usize, usize)) -> bool {
+    ident_in(toks, range, &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"])
+}
+
+/// Finds the matching close for the open bracket at `open` (`toks[open]`
+/// must be `{`, `(`, or `[`). Returns the index one past the close.
+pub(crate) fn balanced_end(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "{" => ('{', '}'),
+        "(" => ('(', ')'),
+        _ => ('[', ']'),
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct(o) {
+            depth += 1;
+        } else if toks[i].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Skips a generics list starting at `<` (angle-depth counted over single
+/// `<`/`>` puncts; shifts do not occur in signature position). Returns the
+/// index one past the closing `>`.
+fn skip_generics(toks: &[Tok], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < toks.len() {
+        if toks[i].is_punct('<') {
+            depth += 1;
+        } else if toks[i].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if toks[i].is_punct('(') || toks[i].is_punct('[') {
+            i = balanced_end(toks, i);
+            continue;
+        } else if toks[i].is_punct('{') || toks[i].is_punct(';') {
+            return i; // malformed; bail before swallowing a body
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Classifies the fields of a struct body (`toks[open]` is its `{`) into
+/// the workspace-wide name sets.
+fn classify_fields(ws: &mut Workspace, file: usize, struct_name: &str, open: usize) {
+    let toks = &ws.files[file].toks;
+    let end = balanced_end(toks, open);
+    let mut i = open + 1;
+    while i < end.saturating_sub(1) {
+        // Skip attributes and visibility.
+        if toks[i].is_punct('#') && i + 1 < end && toks[i + 1].is_punct('[') {
+            i = balanced_end(toks, i + 1);
+            continue;
+        }
+        if toks[i].is_ident("pub") {
+            i += 1;
+            if i < end && toks[i].is_punct('(') {
+                i = balanced_end(toks, i);
+            }
+            continue;
+        }
+        // `name : TYPE ,`
+        if toks[i].kind == TokKind::Ident && i + 1 < end && toks[i + 1].is_punct(':') {
+            let name = toks[i].text.clone();
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            while j < end.saturating_sub(1) {
+                if toks[j].is_punct('<') {
+                    angle += 1;
+                } else if toks[j].is_punct('>') {
+                    angle -= 1;
+                } else if toks[j].is_punct('(') || toks[j].is_punct('[') {
+                    j = balanced_end(toks, j);
+                    continue;
+                } else if toks[j].is_punct(',') && angle <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            let ty = (i + 2, j);
+            if ident_in(toks, ty, &["Mutex"]) {
+                ws.locks.insert(name.clone(), LockKind::Mutex);
+                ws.lock_owner.entry(name.clone()).or_default().push(struct_name.to_string());
+            } else if ident_in(toks, ty, &["RwLock"]) {
+                ws.locks.insert(name.clone(), LockKind::RwLock);
+                ws.lock_owner.entry(name.clone()).or_default().push(struct_name.to_string());
+            }
+            if ident_in(toks, ty, &["Condvar"]) {
+                ws.condvars.insert(name.clone());
+            }
+            if mentions_hash(toks, ty) {
+                ws.hash_fields.insert(name.clone());
+            } else {
+                ws.nonhash_fields.insert(name.clone());
+            }
+            if mentions_float(toks, ty) {
+                ws.float_fields.insert(name.clone());
+            } else {
+                ws.nonfloat_fields.insert(name.clone());
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Extracts the impl target type: the ident naming the self type of
+/// `impl Type`, `impl<T> Type<T>`, or `impl Trait for Type`.
+fn impl_target(toks: &[Tok], mut i: usize) -> Option<String> {
+    // i points just past `impl`; skip generics.
+    if i < toks.len() && toks[i].is_punct('<') {
+        i = skip_generics(toks, i);
+    }
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut seen_for = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+            break;
+        }
+        if t.is_ident("for") {
+            seen_for = true;
+        } else if t.kind == TokKind::Ident {
+            if seen_for {
+                after_for = Some(t.text.clone());
+            } else if last_ident.is_none() || toks[i - 1].is_punct(':') {
+                // First path, or a later segment of it (`a::b::Type`).
+                last_ident = Some(t.text.clone());
+            }
+        } else if t.is_punct('<') {
+            i = skip_generics(toks, i);
+            continue;
+        }
+        i += 1;
+    }
+    after_for.or(last_ident)
+}
+
+/// Parses one file into `ws`, appending functions and classifying fields.
+fn parse_file(ws: &mut Workspace, file: usize) {
+    let len = ws.files[file].toks.len();
+    // (owner name, brace depth at which the impl/trait body closes)
+    let mut owners: Vec<(Option<String>, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < len {
+        let toks = &ws.files[file].toks;
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            while owners.last().is_some_and(|(_, d)| *d > depth) {
+                owners.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if ws.files[file].in_test[i] {
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") {
+            let owner = impl_target(toks, i + 1);
+            // Find the body `{` and record the owner until it closes.
+            let mut j = i + 1;
+            while j < len && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < len && toks[j].is_punct('{') {
+                owners.push((owner, depth + 1));
+                depth += 1;
+                i = j + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.is_ident("trait") {
+            let owner =
+                toks.get(i + 1).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+            let mut j = i + 1;
+            while j < len && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                if toks[j].is_punct('<') {
+                    j = skip_generics(toks, j);
+                    continue;
+                }
+                j += 1;
+            }
+            if j < len && toks[j].is_punct('{') {
+                owners.push((owner, depth + 1));
+                depth += 1;
+                i = j + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.is_ident("struct") {
+            let name = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+            let mut j = i + 2;
+            if j < len && toks[j].is_punct('<') {
+                j = skip_generics(toks, j);
+            }
+            while j < len
+                && !toks[j].is_punct('{')
+                && !toks[j].is_punct(';')
+                && !toks[j].is_punct('(')
+            {
+                j += 1;
+            }
+            if j < len && toks[j].is_punct('{') {
+                if let Some(name) = name {
+                    classify_fields(ws, file, &name, j);
+                }
+                i = balanced_end(&ws.files[file].toks, j);
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        if t.is_ident("static") || t.is_ident("const") {
+            // `static NAME: Mutex<...>` (possibly wrapped in OnceLock).
+            if let (Some(name), Some(colon)) = (toks.get(i + 1), toks.get(i + 2)) {
+                if name.kind == TokKind::Ident && colon.is_punct(':') {
+                    let mut j = i + 3;
+                    while j < len && !toks[j].is_punct('=') && !toks[j].is_punct(';') {
+                        j += 1;
+                    }
+                    let ty = (i + 3, j);
+                    let lock_name = name.text.clone();
+                    if ident_in(toks, ty, &["Mutex"]) {
+                        ws.locks.insert(lock_name.clone(), LockKind::Mutex);
+                        ws.lock_owner.entry(lock_name).or_default().push("static".into());
+                    } else if ident_in(toks, ty, &["RwLock"]) {
+                        ws.locks.insert(lock_name.clone(), LockKind::RwLock);
+                        ws.lock_owner.entry(lock_name).or_default().push("static".into());
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            let name = name_tok.text.clone();
+            let mut j = i + 2;
+            if j < len && toks[j].is_punct('<') {
+                j = skip_generics(toks, j);
+            }
+            if j >= len || !toks[j].is_punct('(') {
+                i += 1;
+                continue;
+            }
+            let params_end = balanced_end(toks, j);
+            let params = (j, params_end);
+            // Return type runs to the body `{` or a bodiless `;`, at
+            // bracket depth 0 (the kernel-span scan logic).
+            let mut k = params_end;
+            let mut bracket = 0i32;
+            let body_open = loop {
+                match toks.get(k) {
+                    None => break None,
+                    Some(t) if t.is_punct('(') || t.is_punct('[') => bracket += 1,
+                    Some(t) if t.is_punct(')') || t.is_punct(']') => bracket -= 1,
+                    Some(t) if t.is_punct('{') => break Some(k),
+                    Some(t) if t.is_punct(';') && bracket == 0 => break None,
+                    Some(_) => {}
+                }
+                k += 1;
+            };
+            let Some(open) = body_open else {
+                i = k + 1;
+                continue;
+            };
+            let body_end = balanced_end(toks, open);
+            let owner = owners.last().and_then(|(o, _)| o.clone());
+            ws.fns.push(FnInfo {
+                file,
+                name: name.clone(),
+                owner,
+                params,
+                ret: (params_end, open),
+                body: (open, body_end),
+            });
+            // Skip the body in the item scan: nested `fn` items are not
+            // itemized (a documented false-negative of the item parser).
+            i = body_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Parses every file into one workspace.
+pub(crate) fn parse_workspace(files: Vec<(String, String)>) -> Workspace {
+    let mut ws = Workspace {
+        files: Vec::new(),
+        fns: Vec::new(),
+        by_name: HashMap::new(),
+        locks: HashMap::new(),
+        lock_owner: HashMap::new(),
+        condvars: std::collections::HashSet::new(),
+        hash_fields: std::collections::HashSet::new(),
+        float_fields: std::collections::HashSet::new(),
+        nonhash_fields: std::collections::HashSet::new(),
+        nonfloat_fields: std::collections::HashSet::new(),
+    };
+    for (path, src) in files {
+        let toks = lex(&src);
+        let in_test = test_regions(&toks);
+        ws.files.push(FileUnit { path, toks, in_test });
+    }
+    for file in 0..ws.files.len() {
+        parse_file(&mut ws, file);
+    }
+    for (idx, f) in ws.fns.iter().enumerate() {
+        ws.by_name.entry(f.name.clone()).or_default().push(idx);
+    }
+    ws
+}
+
+impl Workspace {
+    /// Qualified display name for a lock (`Shared.queue`, or the bare name
+    /// when the owning struct is ambiguous or it is a local).
+    pub fn lock_display(&self, lock: &str) -> String {
+        match self.lock_owner.get(lock).map(Vec::as_slice) {
+            Some([owner]) if owner != "static" => format!("{owner}.{lock}"),
+            _ => lock.to_string(),
+        }
+    }
+}

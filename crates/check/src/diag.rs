@@ -30,8 +30,17 @@ pub struct Diagnostic {
     /// findings — see `tele_tensor::shape_mismatch`).
     pub message: String,
     /// Where the finding anchors: a graph site (`encoder.layer0.attn`), a
-    /// `file:line` for lint findings, or empty.
+    /// `file:line[:col]` for lint/audit findings, or empty.
     pub site: String,
+    /// 1-based source line for file-anchored findings; 0 when the finding
+    /// has no file position (graph/config sites). Allowlist line-text
+    /// matching keys off this field, not the `site` string, so the site
+    /// format can carry a column without changing suppression semantics.
+    #[serde(default)]
+    pub line: u32,
+    /// 1-based source column for file-anchored findings; 0 when unknown.
+    #[serde(default)]
+    pub col: u32,
 }
 
 impl Diagnostic {
@@ -48,7 +57,16 @@ impl Diagnostic {
             code: code.to_string(),
             message: message.into(),
             site: site.into(),
+            line: 0,
+            col: 0,
         }
+    }
+
+    /// Attaches a numeric source position (also reflected in JSON output).
+    pub fn with_pos(mut self, line: u32, col: u32) -> Self {
+        self.line = line;
+        self.col = col;
+        self
     }
 
     /// A warning finding.

@@ -1,4 +1,4 @@
-//! A minimal hand-rolled Rust lexer for `tele lint`.
+//! A minimal hand-rolled Rust lexer for `tele lint` and `tele audit`.
 //!
 //! The linter needs exactly one guarantee from its lexer: that token-level
 //! pattern matching never fires inside comments, string/char literals, or
@@ -6,7 +6,11 @@
 //! vendored); this lexer handles the hard cases — nested block comments,
 //! escaped strings, raw strings with arbitrary `#` fences, byte strings,
 //! and the char-literal/lifetime ambiguity — and flattens everything else
-//! to identifier/punctuation/literal tokens with line numbers.
+//! to identifier/punctuation/literal tokens with line and column numbers.
+//!
+//! Numeric literals keep their source text (including a decimal fraction,
+//! so `1.5` is one token) because the audit pass distinguishes float from
+//! integer constants; string/char literal contents are still dropped.
 
 /// Token classes the lint rules distinguish.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -15,21 +19,24 @@ pub enum TokKind {
     Ident,
     /// Single punctuation character.
     Punct,
-    /// Number, string, char, or byte literal (contents dropped).
+    /// Number, string, char, or byte literal (text kept for numbers only).
     Literal,
     /// A lifetime (`'a`); distinguished from char literals.
     Lifetime,
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source line and column.
 #[derive(Clone, Debug)]
 pub struct Tok {
     /// Token class.
     pub kind: TokKind,
-    /// Source text for identifiers and punctuation; `""` for literals.
+    /// Source text for identifiers, punctuation, and numeric literals;
+    /// `""` for string/char/byte literals.
     pub text: String,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column (byte offset within the line) of the token start.
+    pub col: u32,
 }
 
 impl Tok {
@@ -42,12 +49,20 @@ impl Tok {
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
     }
+
+    /// `true` when the token is a numeric literal with a float shape
+    /// (decimal point or an explicit `f32`/`f64` suffix).
+    pub fn is_float_literal(&self) -> bool {
+        self.kind == TokKind::Literal
+            && (self.text.contains('.') || self.text.ends_with("f32") || self.text.ends_with("f64"))
+    }
 }
 
 struct Lexer<'s> {
     src: &'s [u8],
     pos: usize,
     line: u32,
+    line_start: usize,
 }
 
 impl<'s> Lexer<'s> {
@@ -60,8 +75,14 @@ impl<'s> Lexer<'s> {
         self.pos += 1;
         if c == b'\n' {
             self.line += 1;
+            self.line_start = self.pos;
         }
         Some(c)
+    }
+
+    /// 1-based column of the current position.
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start + 1) as u32
     }
 
     /// Consumes a line comment (`//...`) up to (not including) the newline.
@@ -133,7 +154,7 @@ impl<'s> Lexer<'s> {
     }
 
     /// Disambiguates `'` between a char literal and a lifetime.
-    fn char_or_lifetime(&mut self, out: &mut Vec<Tok>) {
+    fn char_or_lifetime(&mut self, col: u32, out: &mut Vec<Tok>) {
         let line = self.line;
         match (self.peek(0), self.peek(1)) {
             // `'a`, `'static`, `'_` not closed by a quote → lifetime.
@@ -147,24 +168,25 @@ impl<'s> Lexer<'s> {
                     }
                 }
                 let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
-                out.push(Tok { kind: TokKind::Lifetime, text, line });
+                out.push(Tok { kind: TokKind::Lifetime, text, line, col });
             }
             _ => {
                 // Char literal: consume up to the closing quote.
                 self.quoted(b'\'');
-                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line, col });
             }
         }
     }
 }
 
-/// Lexes Rust source into lint tokens. Comments and literal *contents*
-/// are dropped; everything else keeps its text and line.
+/// Lexes Rust source into lint tokens. Comments and string/char literal
+/// *contents* are dropped; everything else keeps its text, line, and column.
 pub fn lex(src: &str) -> Vec<Tok> {
-    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, line_start: 0 };
     let mut out = Vec::new();
     while let Some(c) = lx.peek(0) {
         let line = lx.line;
+        let col = lx.col();
         match c {
             b'/' if lx.peek(1) == Some(b'/') => {
                 lx.pos += 2;
@@ -177,31 +199,31 @@ pub fn lex(src: &str) -> Vec<Tok> {
             b'"' => {
                 lx.bump();
                 lx.quoted(b'"');
-                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line, col });
             }
             b'r' if matches!(lx.peek(1), Some(b'"') | Some(b'#')) => {
                 lx.pos += 1;
                 lx.raw_string();
-                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line, col });
             }
             b'b' if lx.peek(1) == Some(b'"') => {
                 lx.pos += 2;
                 lx.quoted(b'"');
-                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line, col });
             }
             b'b' if lx.peek(1) == Some(b'r') && matches!(lx.peek(2), Some(b'"') | Some(b'#')) => {
                 lx.pos += 2;
                 lx.raw_string();
-                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line, col });
             }
             b'b' if lx.peek(1) == Some(b'\'') => {
                 lx.pos += 2;
                 lx.quoted(b'\'');
-                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+                out.push(Tok { kind: TokKind::Literal, text: String::new(), line, col });
             }
             b'\'' => {
                 lx.bump();
-                lx.char_or_lifetime(&mut out);
+                lx.char_or_lifetime(col, &mut out);
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = lx.pos;
@@ -213,24 +235,36 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     }
                 }
                 let text = String::from_utf8_lossy(&lx.src[start..lx.pos]).into_owned();
-                out.push(Tok { kind: TokKind::Ident, text, line });
+                out.push(Tok { kind: TokKind::Ident, text, line, col });
             }
             c if c.is_ascii_digit() => {
-                while let Some(c) = lx.peek(0) {
-                    if c.is_ascii_alphanumeric() || c == b'_' {
-                        lx.pos += 1;
-                    } else {
-                        break;
+                let start = lx.pos;
+                let digits = |lx: &mut Lexer| {
+                    while let Some(c) = lx.peek(0) {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            lx.pos += 1;
+                        } else {
+                            break;
+                        }
                     }
+                };
+                digits(&mut lx);
+                // A decimal fraction (`1.5`, not `1..n` or `x.0.1`) belongs
+                // to the same literal; keeping it glued lets the audit pass
+                // tell float constants from integers.
+                if lx.peek(0) == Some(b'.') && lx.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                    lx.pos += 1;
+                    digits(&mut lx);
                 }
-                out.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+                let text = String::from_utf8_lossy(&lx.src[start..lx.pos]).into_owned();
+                out.push(Tok { kind: TokKind::Literal, text, line, col });
             }
             c if c.is_ascii_whitespace() => {
                 lx.bump();
             }
             _ => {
                 lx.bump();
-                out.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line });
+                out.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line, col });
             }
         }
     }
@@ -284,5 +318,24 @@ mod tests {
         let dot = toks.iter().position(|t| t.is_punct('.')).unwrap();
         assert!(toks[dot + 1].is_ident("unwrap"));
         assert!(toks[dot + 2].is_punct('('));
+    }
+
+    #[test]
+    fn columns_are_tracked_per_line() {
+        let toks = lex("let x = 1;\n    let yy = 2;");
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (1, 5));
+        let yy = toks.iter().find(|t| t.is_ident("yy")).unwrap();
+        assert_eq!((yy.line, yy.col), (2, 9));
+    }
+
+    #[test]
+    fn float_literals_keep_their_shape() {
+        let toks = lex("let a = 1.5; let b = 2; let c = 3f32; let r = 0..n; let t = x.0;");
+        let lits: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Literal).map(|t| t.text.as_str()).collect();
+        assert_eq!(lits, vec!["1.5", "2", "3f32", "0", "0"]);
+        let floats: Vec<_> = toks.iter().filter(|t| t.is_float_literal()).collect();
+        assert_eq!(floats.len(), 2, "{floats:?}");
     }
 }

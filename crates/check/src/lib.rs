@@ -22,12 +22,18 @@
 //!   reads outside the trace crate, instrumented tensor kernels) with
 //!   machine-readable JSON diagnostics and an explicit allowlist.
 //!
-//! Both layers emit the same [`Report`]/[`Diagnostic`] structures and are
+//! * **`tele audit`** — flow analyses over an item-level parse of the
+//!   whole workspace ([`audit`]): lock-order cycle detection,
+//!   blocking-while-locked, and nondeterministic hash-iteration dataflow,
+//!   sharing the lint allowlist and report machinery.
+//!
+//! All layers emit the same [`Report`]/[`Diagnostic`] structures and are
 //! wired into the `tele` CLI and CI.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod audit;
 pub mod config;
 pub mod coverage;
 pub mod diag;
@@ -36,6 +42,7 @@ pub mod lexer;
 pub mod lint;
 pub mod preflight;
 
+pub use audit::{audit_files, audit_workspace, AUDIT_RULES};
 pub use config::{validate, CheckConfig, MaskingSpec, Stage};
 pub use coverage::verify_coverage;
 pub use diag::{Diagnostic, Report, Severity};

@@ -11,11 +11,12 @@
 //! | `kernel-span` | `crates/tensor/src`           | pub kernels with nested loops open a `span!`         |
 //! | `tensor-storage` | everywhere except `crates/tensor` | no raw storage access (`as_mut_slice`); math goes through device kernels |
 //! | `metric-name` | everywhere                    | literal metric names are lowercase dot-separated `[a-z0-9_.]` |
-//! | `queue-bound` | `crates/serve/src`            | queues are built with an explicit capacity (`with_capacity` / `sync_channel`), never `VecDeque::new` / `channel()` |
+//! | `queue-bound` | `crates/serve/src`, `crates/core/src` | queues are built with an explicit capacity (`with_capacity` / `sync_channel`), never `VecDeque::new` / `channel()` |
 //!
 //! Findings suppressed by the allowlist are downgraded to notes (still
 //! visible in the JSON report) rather than dropped, so CI artifacts show
-//! what the allowlist is carrying.
+//! what the allowlist is carrying. Allowlist entries that matched nothing
+//! this run produce `stale-allow` warnings so the list cannot rot.
 
 use std::fs;
 use std::path::Path;
@@ -36,6 +37,8 @@ pub struct AllowEntry {
     pub path: String,
     /// Substring of the flagged source line (`*` for any).
     pub code: String,
+    /// 1-based line of the entry in the allowlist file (for stale reports).
+    pub line: u32,
 }
 
 impl AllowEntry {
@@ -62,6 +65,7 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
                 rule: rule.to_string(),
                 path: path.to_string(),
                 code: code.trim().to_string(),
+                line: i as u32 + 1,
             }),
             _ => {
                 return Err(format!(
@@ -76,7 +80,7 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
 
 /// Marks tokens covered by `#[cfg(test)]` / `#[test]` items: the attribute
 /// itself plus the next balanced `{...}` block after it.
-fn test_regions(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_regions(toks: &[Tok]) -> Vec<bool> {
     let mut in_test = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -126,8 +130,18 @@ fn test_regions(toks: &[Tok]) -> Vec<bool> {
     in_test
 }
 
-fn finding(rule: &str, path: &str, line: u32, message: impl Into<String>) -> Diagnostic {
-    Diagnostic::error("lint", rule, format!("{path}:{line}"), message)
+fn finding_at(
+    rule: &str,
+    path: &str,
+    line: u32,
+    col: u32,
+    message: impl Into<String>,
+) -> Diagnostic {
+    Diagnostic::error("lint", rule, format!("{path}:{line}:{col}"), message).with_pos(line, col)
+}
+
+fn finding(rule: &str, path: &str, tok: &Tok, message: impl Into<String>) -> Diagnostic {
+    finding_at(rule, path, tok.line, tok.col, message)
 }
 
 /// `no-unwrap`: `.unwrap()`, `.expect()`, and `panic!` in library crates.
@@ -147,7 +161,7 @@ fn rule_no_unwrap(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diag
             out.push(finding(
                 "no-unwrap",
                 path,
-                toks[i + 1].line,
+                &toks[i + 1],
                 format!(
                     "`.{}()` in library code: return a Result or encode the invariant in types",
                     toks[i + 1].text
@@ -158,7 +172,7 @@ fn rule_no_unwrap(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diag
             out.push(finding(
                 "no-unwrap",
                 path,
-                toks[i].line,
+                &toks[i],
                 "`panic!` in library code: surface the failure as an error value",
             ));
         }
@@ -182,7 +196,7 @@ fn rule_instant_now(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Di
             out.push(finding(
                 "instant-now",
                 path,
-                toks[i].line,
+                &toks[i],
                 "`Instant::now` outside crates/trace: route timing through trace spans",
             ));
         }
@@ -205,7 +219,7 @@ fn rule_date_now(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagn
             out.push(finding(
                 "date-now",
                 path,
-                toks[i].line,
+                &toks[i],
                 "`SystemTime::now` is nondeterministic: thread a timestamp in from the caller",
             ));
         }
@@ -213,7 +227,7 @@ fn rule_date_now(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagn
             out.push(finding(
                 "date-now",
                 path,
-                toks[i].line,
+                &toks[i],
                 "`thread_rng()` seeds from OS entropy: use a seeded StdRng for replayability",
             ));
         }
@@ -243,7 +257,7 @@ fn rule_tensor_storage(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec
             out.push(finding(
                 "tensor-storage",
                 path,
-                toks[i + 1].line,
+                &toks[i + 1],
                 "`.as_mut_slice()` outside crates/tensor bypasses the device backend: \
                  build a Vec<f32> and use `Tensor::from_vec`",
             ));
@@ -315,10 +329,12 @@ fn rule_metric_name(
                 .chars()
                 .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.');
         if !ok {
-            out.push(finding(
+            let col = if line == toks[i].line { toks[i].col } else { 1 };
+            out.push(finding_at(
                 "metric-name",
                 path,
                 line,
+                col,
                 format!(
                     "metric name {name:?} passed to `{}`: names must be lowercase \
                      dot-separated (`[a-z0-9_.]`)",
@@ -329,14 +345,14 @@ fn rule_metric_name(
     }
 }
 
-/// `queue-bound`: unbounded queue construction in the serving crate. Since
-/// admission control landed, every serve-layer queue carries an explicit
-/// capacity so overload sheds at enqueue instead of growing memory without
-/// bound — `VecDeque::with_capacity` and `mpsc::sync_channel` encode the
-/// bound at the construction site. A genuinely unbounded queue needs a
+/// `queue-bound`: unbounded queue construction in the serving and training
+/// crates. Since admission control landed, every long-lived queue carries an
+/// explicit capacity so overload sheds at enqueue instead of growing memory
+/// without bound — `VecDeque::with_capacity` and `mpsc::sync_channel` encode
+/// the bound at the construction site. A genuinely unbounded queue needs a
 /// justified `lint.allow` entry.
 fn rule_queue_bound(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Diagnostic>) {
-    if !path.starts_with("crates/serve/") {
+    if !(path.starts_with("crates/serve/") || path.starts_with("crates/core/")) {
         return;
     }
     for i in 0..toks.len() {
@@ -353,10 +369,10 @@ fn rule_queue_bound(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Di
             out.push(finding(
                 "queue-bound",
                 path,
-                toks[i].line,
+                &toks[i],
                 format!(
-                    "`VecDeque::{}()` in the serving crate builds an unbounded queue: \
-                     use `with_capacity` with the admission bound, or carry a justified \
+                    "`VecDeque::{}()` builds an unbounded queue: use `with_capacity` \
+                     with the admission or window bound, or carry a justified \
                      lint.allow entry",
                     toks[i + 3].text
                 ),
@@ -366,8 +382,8 @@ fn rule_queue_bound(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Di
             out.push(finding(
                 "queue-bound",
                 path,
-                toks[i].line,
-                "`channel()` in the serving crate is unbounded: use `sync_channel(bound)`, \
+                &toks[i],
+                "`channel()` is unbounded: use `sync_channel(bound)`, \
                  or carry a justified lint.allow entry",
             ));
         }
@@ -410,7 +426,7 @@ fn rule_kernel_span(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Di
                 continue;
             }
         };
-        let fn_line = toks[i].line;
+        let (fn_line, fn_col) = (toks[i].line, toks[i].col);
         // Find the body's opening brace; `;` at bracket depth 0 means a
         // bodiless declaration (trait method signature).
         let mut j = i + 1;
@@ -463,10 +479,11 @@ fn rule_kernel_span(path: &str, toks: &[Tok], in_test: &[bool], out: &mut Vec<Di
             k += 1;
         }
         if is_pub && !in_test[i] && max_nest >= 2 && !has_span {
-            out.push(finding(
+            out.push(finding_at(
                 "kernel-span",
                 path,
                 fn_line,
+                fn_col,
                 format!("pub tensor kernel `{name}` has nested loops but opens no `span!`"),
             ));
         }
@@ -491,28 +508,98 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
 }
 
 /// Downgrades findings matched by the allowlist to notes, keeping them
-/// visible in reports.
-pub fn apply_allowlist(
+/// visible in reports. `used` (parallel to `allow`) is marked for every
+/// entry that matched at least one finding, feeding the stale-entry check.
+pub fn apply_allowlist_tracked(
     findings: Vec<Diagnostic>,
     path: &str,
     src: &str,
     allow: &[AllowEntry],
+    used: &mut [bool],
 ) -> Vec<Diagnostic> {
     let lines: Vec<&str> = src.lines().collect();
     findings
         .into_iter()
         .map(|d| {
-            let line_no: usize =
-                d.site.rsplit(':').next().and_then(|n| n.parse().ok()).unwrap_or(0);
+            let line_no = if d.line > 0 {
+                d.line as usize
+            } else {
+                d.site.rsplit(':').next().and_then(|n| n.parse().ok()).unwrap_or(0)
+            };
             let line_text = lines.get(line_no.saturating_sub(1)).copied().unwrap_or("");
-            if allow.iter().any(|e| e.matches(&d.code, path, line_text)) {
-                Diagnostic::note("lint", &d.code, &d.site, format!("{} (allowlisted)", d.message))
+            let mut matched = false;
+            for (i, e) in allow.iter().enumerate() {
+                if e.matches(&d.code, path, line_text) {
+                    matched = true;
+                    if let Some(slot) = used.get_mut(i) {
+                        *slot = true;
+                    }
+                }
+            }
+            if matched {
+                let pass = d.pass.clone();
+                Diagnostic::note(&pass, &d.code, &d.site, format!("{} (allowlisted)", d.message))
+                    .with_pos(d.line, d.col)
             } else {
                 d
             }
         })
         .collect()
 }
+
+/// [`apply_allowlist_tracked`] without usage tracking.
+pub fn apply_allowlist(
+    findings: Vec<Diagnostic>,
+    path: &str,
+    src: &str,
+    allow: &[AllowEntry],
+) -> Vec<Diagnostic> {
+    let mut used = vec![false; allow.len()];
+    apply_allowlist_tracked(findings, path, src, allow, &mut used)
+}
+
+/// Warnings for allowlist entries owned by `rules` that matched nothing
+/// this run. Entries for other tools' rules (e.g. audit entries during a
+/// lint run) are out of scope; `*`-rule entries are only checked when they
+/// matched nothing anywhere, since they cannot be attributed to one tool.
+pub fn stale_allow_warnings(
+    pass: &str,
+    allow: &[AllowEntry],
+    used: &[bool],
+    rules: &[&str],
+) -> Vec<Diagnostic> {
+    allow
+        .iter()
+        .zip(used)
+        .filter(|(e, &u)| !u && rules.contains(&e.rule.as_str()))
+        .map(|(e, _)| {
+            Diagnostic::warning(
+                pass,
+                "stale-allow",
+                format!("lint.allow:{}", e.line),
+                format!(
+                    "allowlist entry `{} {} {}` matched no findings this run: \
+                     remove it or fix the pattern",
+                    e.rule, e.path, e.code
+                ),
+            )
+            .with_pos(e.line, 1)
+        })
+        .collect()
+}
+
+/// Rule codes owned by `tele lint` (the stale-suppression check only
+/// attributes allowlist entries bearing one of these codes to a lint run).
+pub const LINT_RULES: [&str; 8] = [
+    "no-unwrap",
+    "instant-now",
+    "date-now",
+    "kernel-span",
+    "tensor-storage",
+    "metric-name",
+    "queue-bound",
+    "stale-allow",
+];
 
 fn walk(dir: &Path, root: &Path, files: &mut Vec<(String, String)>) -> std::io::Result<()> {
     let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
@@ -538,17 +625,28 @@ fn walk(dir: &Path, root: &Path, files: &mut Vec<(String, String)>) -> std::io::
     Ok(())
 }
 
-/// Lints every `src/` Rust file under `root` (skipping `target`, `vendor`,
-/// `.git`, `results`) and returns one report. Findings matched by `allow`
-/// are downgraded to notes.
-pub fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<Report, String> {
+/// Collects every `src/` Rust file under `root` (skipping `target`,
+/// `vendor`, `.git`, `results`) as `(workspace-relative path, contents)`,
+/// sorted by path. Shared by `tele lint` and `tele audit`.
+pub(crate) fn workspace_files(root: &Path) -> Result<Vec<(String, String)>, String> {
     let mut files = Vec::new();
     walk(root, root, &mut files).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    Ok(files)
+}
+
+/// Lints every `src/` Rust file under `root` (skipping `target`, `vendor`,
+/// `.git`, `results`) and returns one report. Findings matched by `allow`
+/// are downgraded to notes; allowlist entries for lint rules that matched
+/// nothing produce `stale-allow` warnings.
+pub fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> Result<Report, String> {
+    let files = workspace_files(root)?;
     let mut report = Report::new("tele lint");
+    let mut used = vec![false; allow.len()];
     for (path, src) in &files {
         let raw = lint_source(path, src);
-        report.extend(apply_allowlist(raw, path, src, allow));
+        report.extend(apply_allowlist_tracked(raw, path, src, allow, &mut used));
     }
+    report.extend(stale_allow_warnings("lint", allow, &used, &LINT_RULES));
     Ok(report)
 }
 
@@ -720,9 +818,11 @@ mod tests {
         "#;
         assert!(lint_source("crates/serve/src/session.rs", ok).is_empty());
 
-        // Other crates may build scratch queues freely, and serve test
-        // modules are exempt like every other rule.
-        assert!(lint_source("crates/core/src/engine.rs", bad).is_empty());
+        // The training crate is in scope too (rolling windows must carry
+        // their bound); other crates may build scratch queues freely, and
+        // serve test modules are exempt like every other rule.
+        assert_eq!(codes(&lint_source("crates/core/src/engine.rs", bad)), vec!["queue-bound"; 3]);
+        assert!(lint_source("crates/kg/src/store.rs", bad).is_empty());
         let in_test = r#"
             #[cfg(test)]
             mod tests {
@@ -730,6 +830,40 @@ mod tests {
             }
         "#;
         assert!(lint_source("crates/serve/src/server.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_line_and_column() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diags = lint_source("crates/core/src/lib.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].line, diags[0].col), (2, 7));
+        assert!(diags[0].site.ends_with(":2:7"), "{}", diags[0].site);
+    }
+
+    #[test]
+    fn stale_allow_entries_warn_only_for_owned_rules() {
+        let allow = parse_allowlist(
+            "no-unwrap crates/core nothing_matches_this\n\
+             lock-order crates/serve *\n",
+        )
+        .unwrap();
+        let used = vec![false; allow.len()];
+        let warnings = stale_allow_warnings("lint", &allow, &used, &LINT_RULES);
+        // The audit-owned `lock-order` entry is not lint's to police.
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert_eq!(warnings[0].code, "stale-allow");
+        assert_eq!(warnings[0].site, "lint.allow:1");
+        assert_eq!(warnings[0].severity, Severity::Warning);
+
+        // A matched entry is not stale.
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let path = "crates/core/src/lib.rs";
+        let matching = parse_allowlist("no-unwrap crates/core x.unwrap()\n").unwrap();
+        let mut used = vec![false; matching.len()];
+        apply_allowlist_tracked(lint_source(path, src), path, src, &matching, &mut used);
+        assert_eq!(used, vec![true]);
+        assert!(stale_allow_warnings("lint", &matching, &used, &LINT_RULES).is_empty());
     }
 
     #[test]

@@ -291,9 +291,14 @@ pub struct TrainEngine<'a> {
 }
 
 impl<'a> TrainEngine<'a> {
+    /// Steps in the rolling step-duration window behind the heartbeat
+    /// throughput gauge.
+    const STEP_WINDOW: usize = 32;
+
     /// Creates an engine with no objectives or callbacks registered yet.
     pub fn new(cfg: EngineConfig, schedule: ActivationSchedule) -> Self {
         let opt = AdamW::new(cfg.lr, cfg.weight_decay);
+        let spike_window = cfg.guard.spike_window.max(1);
         TrainEngine {
             cfg,
             opt,
@@ -307,7 +312,9 @@ impl<'a> TrainEngine<'a> {
             restore: None,
             lr_scale: 1.0,
             recoveries: 0,
-            window: VecDeque::new(),
+            // Bounded at `guard.spike_window` on push; reserving it up
+            // front means steady-state pushes never reallocate.
+            window: VecDeque::with_capacity(spike_window),
         }
     }
 
@@ -481,7 +488,7 @@ impl<'a> TrainEngine<'a> {
         // Rolling window of recent step durations backing the live
         // `train.heartbeat.steps_per_sec` gauge (`tele top --file` reads a
         // heartbeat file, `tele profile` reads the gauge directly).
-        let mut recent_step_us: VecDeque<u64> = VecDeque::new();
+        let mut recent_step_us: VecDeque<u64> = VecDeque::with_capacity(Self::STEP_WINDOW);
         while self.completed < total {
             if self.stop.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) {
                 trace.stopped = true;
@@ -624,7 +631,7 @@ impl<'a> TrainEngine<'a> {
             tele_trace::metrics::histogram_record("engine.step_us", micros);
             if tele_trace::is_enabled() {
                 recent_step_us.push_back(micros.max(1));
-                while recent_step_us.len() > 32 {
+                while recent_step_us.len() > Self::STEP_WINDOW {
                     recent_step_us.pop_front();
                 }
                 let window_us: u64 = recent_step_us.iter().sum();

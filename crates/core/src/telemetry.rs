@@ -352,7 +352,7 @@ impl HeartbeatSink {
     pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
         HeartbeatSink {
             path: path.into(),
-            recent_us: std::collections::VecDeque::new(),
+            recent_us: std::collections::VecDeque::with_capacity(Self::WINDOW),
             failed: false,
         }
     }

@@ -209,8 +209,11 @@ impl Telemetry {
     fn error(&self, kind: &'static str, id: Option<u64>, detail: impl Into<String>) {
         self.recorder.lock().unwrap_or_else(|e| e.into_inner()).note(kind, id, detail);
         if let Some(dir) = &self.cfg.flight_dir {
-            let dumped = self.recorder.lock().unwrap_or_else(|e| e.into_inner()).dump_to_dir(dir);
-            match dumped {
+            // Render under the lock (in-memory), write after releasing it:
+            // the recorder must stay available to every noting thread while
+            // the dump hits the filesystem.
+            let json = self.recorder.lock().unwrap_or_else(|e| e.into_inner()).to_json();
+            match tele_trace::recorder::dump_json_to_dir(dir, &json) {
                 Ok(_) => self.metrics().flight_dumps += 1,
                 Err(e) => eprintln!("serve: flight dump to {} failed: {e}", dir.display()),
             }
@@ -708,6 +711,7 @@ fn run_one_batch(
     let n = batch.len();
     let mut results: Vec<Option<Vec<f32>>> = Vec::with_capacity(n);
     let mut miss_index: HashMap<&str, usize> = HashMap::new();
+    let mut miss_keys: Vec<&str> = Vec::new();
     let mut miss_texts: Vec<String> = Vec::new();
     let mut hits = 0u64;
     for p in &batch {
@@ -719,6 +723,7 @@ fn run_one_batch(
             None => {
                 if !miss_index.contains_key(p.key.as_str()) {
                     miss_index.insert(p.key.as_str(), miss_texts.len());
+                    miss_keys.push(p.key.as_str());
                     miss_texts.push(p.text.clone());
                 }
                 results.push(None);
@@ -759,8 +764,11 @@ fn run_one_batch(
         }
     };
     let forwarded = now_ns();
-    for (key, idx) in &miss_index {
-        cache.insert((*key).to_string(), fresh[*idx].clone());
+    // Fill the cache in batch arrival order, not HashMap order: the LRU's
+    // eviction sequence (and thus which keys survive a full cache) must not
+    // vary between runs of the same request stream.
+    for (idx, key) in miss_keys.iter().enumerate() {
+        cache.insert((*key).to_string(), fresh[idx].clone());
     }
 
     let done = now_ns();

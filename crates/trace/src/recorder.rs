@@ -142,11 +142,22 @@ impl FlightRecorder {
     /// `dir` if needed) and returns the written path. The monotonic
     /// timestamp keeps filenames unique per process without a wall clock.
     pub fn dump_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("flight_{}.json", crate::now_ns()));
-        write_atomic(&path, self.to_json().as_bytes())?;
-        Ok(path)
+        dump_json_to_dir(dir, &self.to_json())
     }
+}
+
+/// Writes an already-rendered flight ring (see [`FlightRecorder::to_json`])
+/// atomically to `<dir>/flight_<now_ns>.json` and returns the written path.
+///
+/// Split out from [`FlightRecorder::dump_to_dir`] so owners that share a
+/// recorder behind a `Mutex` can render under the lock (one in-memory
+/// format) and perform the file IO after releasing it, instead of holding
+/// the lock across filesystem writes.
+pub fn dump_json_to_dir(dir: &Path, json: &str) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("flight_{}.json", crate::now_ns()));
+    write_atomic(&path, json.as_bytes())?;
+    Ok(path)
 }
 
 /// Default capacity of the process-global recorder.

@@ -31,6 +31,8 @@
 //! tele check    <config.json> [--resume FILE|DIR] [--json FILE]
 //!                                                         verify a model config
 //! tele lint     [--root DIR] [--allow FILE] [--json FILE] lint workspace sources
+//! tele audit    [--root DIR] [--allow FILE] [--json FILE] [PATHS..]
+//!                                                         concurrency/determinism audit
 //! ```
 
 use std::process::ExitCode;
@@ -124,6 +126,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&args),
         "check" => cmd_check(&args),
         "lint" => cmd_lint(&args),
+        "audit" => cmd_audit(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -178,7 +181,10 @@ const USAGE: &str = "tele — tele-knowledge CLI
   tele check    <config.json> [--resume FILE|DIR] [--json FILE]
                 verify graph shapes, gradient coverage, and checkpoint pre-flight
   tele lint     [--root DIR] [--allow FILE] [--json FILE]
-                lint workspace sources against the tele invariants";
+                lint workspace sources against the tele invariants
+  tele audit    [--root DIR] [--allow FILE] [--json FILE] [PATHS..]
+                concurrency & determinism flow analysis (lock order,
+                blocking while locked, nondeterministic hash iteration)";
 
 fn cmd_world(args: &Args) -> Result<(), String> {
     let suite = Suite::generate(args.scale()?, args.u64_flag("seed", 17)?);
@@ -968,6 +974,33 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
         None => Vec::new(),
     };
     let report = tele_knowledge::check::lint_workspace(std::path::Path::new(root), &allow)?;
+    finish_report(args, &report)
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let root = args.flags.get("root").map(String::as_str).unwrap_or(".");
+    // Same default allowlist as `tele lint`: entries carry the rule code,
+    // so one file serves both tools.
+    let allow_path = match args.flags.get("allow") {
+        Some(p) => Some(std::path::PathBuf::from(p)),
+        None => {
+            let default = std::path::Path::new(root).join("lint.allow");
+            default.exists().then_some(default)
+        }
+    };
+    let allow = match &allow_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read allowlist {}: {e}", p.display()))?;
+            tele_knowledge::check::parse_allowlist(&text)?
+        }
+        None => Vec::new(),
+    };
+    let report = tele_knowledge::check::audit_workspace(
+        std::path::Path::new(root),
+        &args.positional,
+        &allow,
+    )?;
     finish_report(args, &report)
 }
 
